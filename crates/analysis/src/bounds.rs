@@ -1,0 +1,140 @@
+//! Utilization-based feasibility bounds for implicit-deadline systems on
+//! identical multiprocessors.
+//!
+//! * **Exact** (P-fair theorem, Baruah–Cohen–Plaxton–Varvel 1996): an
+//!   implicit-deadline periodic system with integer parameters is feasible
+//!   on `m` identical processors in *discrete* time **iff** `U ≤ m` and
+//!   `ui ≤ 1` for every task. Because both directions hold, this test
+//!   decides every implicit-deadline instance outright — the exact CSP
+//!   search is only needed for constrained deadlines.
+//! * **GFB** (Goossens–Funk–Baruah 2003): `U ≤ m − (m−1)·umax` proves
+//!   global-EDF schedulability. Strictly weaker than the P-fair condition
+//!   for feasibility, but it additionally certifies that plain global EDF
+//!   (a practical runtime policy, no CSP table needed) suffices — the
+//!   report keeps both for that reason.
+
+use rt_task::TaskSet;
+
+use crate::result::TestOutcome;
+
+/// Exact utilization comparison `U ≤ m` in integer arithmetic:
+/// `Σ Ci·(L/Ti) ≤ m·L` with `L = lcm(Ti)`, avoiding any float rounding.
+#[must_use]
+pub fn utilization_at_most(ts: &TaskSet, m: usize) -> bool {
+    match (ts.demand_per_hyperperiod(), ts.hyperperiod()) {
+        (Ok(demand), Ok(h)) => demand <= m as u64 * h,
+        // Hyperperiod overflow: fall back to floats (parameters this large
+        // do not appear in any experiment; documented best-effort).
+        _ => ts.utilization() <= m as f64 + 1e-9,
+    }
+}
+
+/// The exact implicit-deadline feasibility test (P-fair theorem).
+///
+/// Returns [`TestOutcome::Inapplicable`] unless every deadline equals its
+/// period.
+#[must_use]
+pub fn pfair_exact_test(ts: &TaskSet, m: usize) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    // ui ≤ 1 holds by construction (Ci ≤ Di = Ti), so U ≤ m decides.
+    if utilization_at_most(ts, m) {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Infeasible
+    }
+}
+
+/// The GFB global-EDF bound `U ≤ m − (m−1)·umax` for implicit deadlines.
+#[must_use]
+pub fn gfb_test(ts: &TaskSet, m: usize) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    let umax = ts
+        .tasks()
+        .iter()
+        .map(rt_task::Task::utilization)
+        .fold(0.0, f64::max);
+    let u = ts.utilization();
+    if u <= m as f64 - (m as f64 - 1.0) * umax + 1e-9 {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Inconclusive
+    }
+}
+
+/// Detail string for the report.
+#[must_use]
+pub fn gfb_detail(ts: &TaskSet, m: usize) -> String {
+    let umax = ts
+        .tasks()
+        .iter()
+        .map(rt_task::Task::utilization)
+        .fold(0.0, f64::max);
+    format!(
+        "U={:.3}, umax={:.3}, bound={:.3}",
+        ts.utilization(),
+        umax,
+        m as f64 - (m as f64 - 1.0) * umax
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfair_decides_implicit_instances() {
+        // U = 1/2 + 1/2 + 1/2 = 1.5 → feasible on 2, infeasible on 1.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 4, 4), (0, 3, 6, 6)]);
+        assert_eq!(pfair_exact_test(&ts, 2), TestOutcome::Feasible);
+        assert_eq!(pfair_exact_test(&ts, 1), TestOutcome::Infeasible);
+    }
+
+    #[test]
+    fn pfair_exact_at_the_boundary() {
+        // U = exactly 2 on m = 2 — integer arithmetic must accept.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 3, 3, 3)]);
+        assert_eq!(pfair_exact_test(&ts, 2), TestOutcome::Feasible);
+        assert_eq!(pfair_exact_test(&ts, 1), TestOutcome::Infeasible);
+    }
+
+    #[test]
+    fn pfair_inapplicable_on_constrained() {
+        let ts = TaskSet::running_example(); // τ3 has D < T
+        assert_eq!(pfair_exact_test(&ts, 2), TestOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn gfb_bound_behaviour() {
+        // Light tasks: U = 0.75, umax = 0.25, bound = 2 - 0.25 → pass.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 4, 4), (0, 1, 4, 4), (0, 1, 4, 4)]);
+        assert_eq!(gfb_test(&ts, 2), TestOutcome::Feasible);
+        // Exactly on the bound: umax = 0.75, U = 1.25 = 2 - 0.75 → pass.
+        let on_bound = TaskSet::from_ocdt(&[(0, 3, 4, 4), (0, 1, 4, 4), (0, 1, 4, 4)]);
+        assert_eq!(gfb_test(&on_bound, 2), TestOutcome::Feasible);
+        // Dhall-style: one heavy task + enough light load defeats the
+        // bound (umax = 0.9 → bound 1.1 < U = 1.9)…
+        let heavy = TaskSet::from_ocdt(&[(0, 9, 10, 10), (0, 5, 10, 10), (0, 5, 10, 10)]);
+        assert_eq!(gfb_test(&heavy, 2), TestOutcome::Inconclusive);
+        // …but P-fair still decides it exactly: U = 1.9 ≤ 2.
+        assert_eq!(pfair_exact_test(&heavy, 2), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn gfb_inapplicable_on_constrained() {
+        assert_eq!(gfb_test(&TaskSet::running_example(), 2), TestOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn utilization_comparison_is_integer_exact() {
+        // 2/3 + 1/3 = 1 exactly; float summation of 1/3s would be shaky.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3), (0, 1, 3, 3)]);
+        assert!(utilization_at_most(&ts, 1));
+        let over = TaskSet::from_ocdt(&[(0, 2, 3, 3), (0, 1, 3, 3), (0, 1, 300, 300)]);
+        assert!(!utilization_at_most(&over, 1));
+        assert!(utilization_at_most(&over, 2));
+    }
+}

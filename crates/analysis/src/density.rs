@@ -1,0 +1,123 @@
+//! Density metrics and the global-EDF density test for constrained-deadline
+//! systems.
+//!
+//! The *density* of a task is `λi = Ci / min(Di, Ti)` — the fraction of a
+//! processor the task needs inside its tightest window. Two classic results
+//! use it:
+//!
+//! * **Necessary**: `λi > 1` (i.e. `Ci > Di`) makes the task impossible to
+//!   finish without intra-task parallelism, which the model forbids. (The
+//!   task type already rejects `Ci > Di` at construction, so this is only
+//!   reachable through the arbitrary-deadline clone path; it is kept as a
+//!   defensive check.)
+//! * **Sufficient** (global-EDF density test, Goossens–Funk–Baruah
+//!   extended to constrained deadlines): a sporadic constrained-deadline
+//!   system is global-EDF-schedulable on `m` identical processors when
+//!
+//!   `λsum ≤ m − (m−1)·λmax`.
+//!
+//!   EDF-schedulable-for-all-release-patterns covers our concrete periodic
+//!   offsets, and with integer parameters the EDF schedule only switches at
+//!   integer instants, so a pass proves *discrete* feasibility.
+
+use rt_task::TaskSet;
+
+use crate::result::TestOutcome;
+
+/// Density `λi = Ci / min(Di, Ti)` of one task.
+#[must_use]
+pub fn task_density(wcet: u64, deadline: u64, period: u64) -> f64 {
+    wcet as f64 / deadline.min(period) as f64
+}
+
+/// Total density `λsum` of a task set.
+#[must_use]
+pub fn total_density(ts: &TaskSet) -> f64 {
+    ts.tasks()
+        .iter()
+        .map(|t| task_density(t.wcet, t.deadline, t.period))
+        .sum()
+}
+
+/// Maximal density `λmax` of a task set (0 for the empty set).
+#[must_use]
+pub fn max_density(ts: &TaskSet) -> f64 {
+    ts.tasks()
+        .iter()
+        .map(|t| task_density(t.wcet, t.deadline, t.period))
+        .fold(0.0, f64::max)
+}
+
+/// The global-EDF density test: `λsum ≤ m − (m−1)·λmax` proves
+/// feasibility; otherwise inconclusive.
+#[must_use]
+pub fn density_test(ts: &TaskSet, m: usize) -> TestOutcome {
+    let lmax = max_density(ts);
+    if lmax > 1.0 {
+        return TestOutcome::Infeasible;
+    }
+    let lsum = total_density(ts);
+    let bound = m as f64 - (m as f64 - 1.0) * lmax;
+    // Exact comparison in rationals would avoid float edge cases; the
+    // parameters are small integers, so f64 is exact here (all values are
+    // ratios of integers < 2^53).
+    if lsum <= bound + 1e-9 {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Inconclusive
+    }
+}
+
+/// Human-readable summary used by the report.
+#[must_use]
+pub fn density_detail(ts: &TaskSet, m: usize) -> String {
+    format!(
+        "λsum={:.3}, λmax={:.3}, bound m-(m-1)λmax={:.3}",
+        total_density(ts),
+        max_density(ts),
+        m as f64 - (m as f64 - 1.0) * max_density(ts),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_computed() {
+        assert!((task_density(1, 2, 4) - 0.5).abs() < 1e-12);
+        assert!((task_density(3, 6, 4) - 0.75).abs() < 1e-12); // min(D,T)=4
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 4, 4)]);
+        assert!((total_density(&ts) - 0.75).abs() < 1e-12);
+        assert!((max_density(&ts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn light_system_passes() {
+        // λsum = 0.5, bound = 2 - 0.25 → pass on m = 2.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 4, 4), (0, 1, 4, 4)]);
+        assert_eq!(density_test(&ts, 2), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn heavy_system_inconclusive() {
+        // The running example: λ = 1/2 + 3/4 + 1 = 2.25; bound = 2-1 = 1.
+        let ts = TaskSet::running_example();
+        assert_eq!(density_test(&ts, 2), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn single_processor_edge() {
+        // m = 1: bound is exactly 1 regardless of λmax; λsum ≤ 1 passes.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 2, 4)]);
+        // λsum = 0.5 + 0.5 = 1.0.
+        assert_eq!(density_test(&ts, 1), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn boundary_exact() {
+        // λsum exactly equals the bound: two tasks λ = 0.5 each on m = 1.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 4, 4), (0, 2, 4, 4)]);
+        assert_eq!(density_test(&ts, 1), TestOutcome::Feasible);
+    }
+}

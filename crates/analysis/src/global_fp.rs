@@ -1,0 +1,190 @@
+//! Global fixed-priority schedulability analysis and optimal priority
+//! assignment.
+//!
+//! The paper's Section VIII suggests "searching for a feasible priority
+//! assignment among the n! possible orderings". `mgrts-core::priority`
+//! does that with exhaustive/heuristic search over a *simulation*
+//! predicate; this module adds the analytic side:
+//!
+//! * the **DA test** (deadline analysis, Bertogna–Cirinei interference
+//!   bound): task `τk` meets its deadlines under global FP on `m`
+//!   identical processors if
+//!
+//!   `Ck + ⌊(Σ_{i∈hp(k)} min(Wi(Dk), Dk−Ck+1)) / m⌋ ≤ Dk`
+//!
+//!   where `Wi(L)` bounds τi's workload in any window of length `L`;
+//! * **Audsley's OPA** over the DA test (Davis–Burns showed the test is
+//!   OPA-compatible): assigns priorities lowest-first, trying every
+//!   unassigned task at each level; failure-free completion yields a
+//!   priority order the DA test certifies.
+//!
+//! Both are *sufficient*: the workload bound assumes the sporadic worst
+//! case, which covers our concrete periodic offsets, and with integer
+//! parameters the FP schedule only switches at integer instants — so a
+//! pass proves discrete feasibility. Integration tests cross-check every
+//! certified order against the exact tick-by-tick FP simulator.
+
+use rt_task::{Task, TaskId, TaskSet};
+
+use crate::result::TestOutcome;
+
+/// Bertogna–Cirinei workload bound `Wi(L)`: the most execution a sporadic
+/// constrained-deadline task can demand inside *any* window of length `L`
+/// when every one of its jobs meets its deadline.
+#[must_use]
+pub fn workload_bound(task: &Task, window: u64) -> u64 {
+    // Densest packing: a carry-in job finishing as late as possible, then
+    // periodic jobs starting as early as possible.
+    let n_full = (window + task.deadline - task.wcet) / task.period;
+    let remainder = window + task.deadline - task.wcet - n_full * task.period;
+    n_full * task.wcet + task.wcet.min(remainder)
+}
+
+/// The DA test for one task given the set of higher-priority tasks.
+#[must_use]
+pub fn da_task_schedulable(ts: &TaskSet, m: usize, k: TaskId, higher: &[TaskId]) -> bool {
+    let task = ts.task(k);
+    if task.wcet > task.deadline {
+        return false;
+    }
+    let slack_cap = task.deadline - task.wcet + 1;
+    let interference: u64 = higher
+        .iter()
+        .map(|&i| workload_bound(ts.task(i), task.deadline).min(slack_cap))
+        .sum();
+    task.wcet + interference / m as u64 <= task.deadline
+}
+
+/// The DA test for a full priority order (`order[0]` = highest priority).
+#[must_use]
+pub fn da_schedulable(ts: &TaskSet, m: usize, order: &[TaskId]) -> bool {
+    (0..order.len()).all(|pos| da_task_schedulable(ts, m, order[pos], &order[..pos]))
+}
+
+/// Audsley's optimal priority assignment over the DA test.
+///
+/// Returns a priority order (highest first) certified by
+/// [`da_schedulable`], or `None` when no assignment passes the test —
+/// which, the test being sufficient only, does **not** prove FP
+/// infeasibility.
+#[must_use]
+pub fn opa_da(ts: &TaskSet, m: usize) -> Option<Vec<TaskId>> {
+    let n = ts.len();
+    let mut unassigned: Vec<TaskId> = (0..n).collect();
+    let mut order_low_first: Vec<TaskId> = Vec::with_capacity(n);
+    // Assign lowest priority first: a task is safe at this level if it
+    // passes with all other unassigned tasks as higher-priority.
+    while !unassigned.is_empty() {
+        let found = unassigned.iter().position(|&cand| {
+            let higher: Vec<TaskId> = unassigned
+                .iter()
+                .copied()
+                .filter(|&i| i != cand)
+                .collect();
+            da_task_schedulable(ts, m, cand, &higher)
+        });
+        match found {
+            Some(pos) => order_low_first.push(unassigned.remove(pos)),
+            None => return None,
+        }
+    }
+    order_low_first.reverse();
+    Some(order_low_first)
+}
+
+/// Battery wrapper: `Feasible` when OPA finds a certified assignment.
+#[must_use]
+pub fn global_fp_test(ts: &TaskSet, m: usize) -> TestOutcome {
+    if opa_da(ts, m).is_some() {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_bound_basics() {
+        // Task (C=2, D=4, T=5). Window 4: carry-in packing fits
+        // N = (4+4-2)/5 = 1 full job + min(2, 6-5) = 1 → 3.
+        let t = Task::ocdt(0, 2, 4, 5);
+        assert_eq!(workload_bound(&t, 4), 3);
+        // Window 0: (0+2)/5 = 0 full jobs, min(2, 2) = 2? A zero-length
+        // window contains no execution — but the bound is only ever used
+        // with L = Dk ≥ 1; document the L ≥ 1 contract via the L = 1 case.
+        assert_eq!(workload_bound(&t, 1), 2);
+        // Large windows grow linearly with the period.
+        assert_eq!(workload_bound(&t, 5 + 4), workload_bound(&t, 4) + 2);
+    }
+
+    #[test]
+    fn light_tasks_pass_da() {
+        // Three light tasks on two processors.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 8, 8), (0, 1, 8, 8), (0, 1, 8, 8)]);
+        assert!(da_schedulable(&ts, 2, &[0, 1, 2]));
+        assert_eq!(global_fp_test(&ts, 2), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn overload_fails_da() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
+        assert!(!da_schedulable(&ts, 2, &[0, 1, 2]));
+        assert_eq!(global_fp_test(&ts, 2), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn priority_order_matters() {
+        // A heavy short-deadline task must go first: with it last, the DA
+        // test rejects; OPA finds the working order.
+        let ts = TaskSet::from_ocdt(&[(0, 4, 8, 8), (0, 1, 2, 8)]);
+        let heavy_last = [0, 1];
+        let heavy_first = [1, 0];
+        assert!(da_schedulable(&ts, 1, &heavy_first));
+        assert!(!da_schedulable(&ts, 1, &heavy_last));
+        let opa = opa_da(&ts, 1).expect("OPA must find the working order");
+        assert!(da_schedulable(&ts, 1, &opa));
+        assert_eq!(opa[0], 1, "short-deadline task gets top priority");
+    }
+
+    #[test]
+    fn opa_finds_whenever_some_order_passes() {
+        // OPA optimality: exhaustively check all 3! orders; if any passes
+        // DA, OPA must succeed too.
+        let sets = [
+            vec![(0, 1, 3, 4), (0, 2, 4, 4), (0, 1, 2, 4)],
+            vec![(0, 2, 3, 3), (0, 1, 3, 3), (0, 1, 2, 2)],
+            vec![(0, 1, 1, 2), (0, 1, 2, 2), (0, 1, 2, 2)],
+        ];
+        for spec in sets {
+            let ts = TaskSet::from_ocdt(&spec);
+            for m in 1..=2 {
+                let mut perms = vec![
+                    vec![0, 1, 2],
+                    vec![0, 2, 1],
+                    vec![1, 0, 2],
+                    vec![1, 2, 0],
+                    vec![2, 0, 1],
+                    vec![2, 1, 0],
+                ];
+                let any = perms.drain(..).any(|p| da_schedulable(&ts, m, &p));
+                assert_eq!(
+                    opa_da(&ts, m).is_some(),
+                    any,
+                    "OPA optimality violated on {spec:?} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opa_order_is_a_permutation() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 8, 8), (0, 1, 6, 8), (0, 2, 8, 8)]);
+        let order = opa_da(&ts, 2).expect("light set passes");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+}

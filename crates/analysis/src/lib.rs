@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # rt-analysis — polynomial-time schedulability tests
+//!
+//! The exact CSP route of the reproduced paper decides *every* instance
+//! but pays combinatorial search for it. Decades of schedulability theory
+//! provide cheap, sound-but-incomplete tests; this crate implements the
+//! classic battery and wires it in front of the exact solvers:
+//!
+//! * [`bounds`] — the P-fair exact condition (`U ≤ m` iff feasible for
+//!   implicit deadlines — Baruah–Cohen–Plaxton–Varvel) and the GFB
+//!   global-EDF bound;
+//! * [`density`] — density metrics and the constrained-deadline global-EDF
+//!   density test;
+//! * [`uniprocessor`] — Liu & Layland, the hyperbolic bound, exact EDF,
+//!   and the processor-demand criterion;
+//! * [`global_fp`] — the Bertogna–Cirinei DA test for global fixed
+//!   priority and Audsley's optimal priority assignment over it (the
+//!   analytic counterpart of the paper's Section VIII priority-assignment
+//!   viewpoint);
+//! * [`uniform`] — Funk–Goossens–Baruah necessary conditions on uniform
+//!   platforms (Section II's intermediate machine class);
+//! * [`report`] — the aggregated battery with a consistency guarantee:
+//!   sufficient tests only ever say [`TestOutcome::Feasible`], necessary
+//!   tests only [`TestOutcome::Infeasible`], so the battery can never
+//!   contradict itself or the exact solvers (property-tested against
+//!   CSP2 in this crate's integration tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_task::TaskSet;
+//! use rt_analysis::{analyze, TestOutcome};
+//!
+//! // Implicit deadlines: the battery decides outright.
+//! let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 4, 4), (0, 3, 6, 6)]);
+//! assert_eq!(analyze(&ts, 2).verdict(), TestOutcome::Feasible);
+//! assert_eq!(analyze(&ts, 1).verdict(), TestOutcome::Infeasible);
+//! ```
+
+pub mod bounds;
+pub mod density;
+pub mod global_fp;
+pub mod report;
+pub mod result;
+pub mod uniform;
+pub mod uniprocessor;
+
+pub use bounds::{gfb_test, pfair_exact_test, utilization_at_most};
+pub use density::{density_test, max_density, total_density};
+pub use global_fp::{da_schedulable, da_task_schedulable, global_fp_test, opa_da, workload_bound};
+pub use report::{analyze, analyze_with, AnalysisConfig};
+pub use result::{AnalysisReport, TestOutcome, TestRecord};
+pub use uniform::{uniform_necessary_on_platform, uniform_necessary_test};
+pub use uniprocessor::{
+    demand_bound, edf_exact_implicit, liu_layland_bound, processor_demand_test, rm_hyperbolic,
+    rm_liu_layland,
+};

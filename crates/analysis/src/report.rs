@@ -1,0 +1,176 @@
+//! The analysis battery: run every applicable test cheapest-first and
+//! aggregate into an [`AnalysisReport`].
+//!
+//! This is the "fast path" in front of the exact CSP solvers: on
+//! implicit-deadline instances the P-fair condition decides outright; on
+//! constrained-deadline instances the battery decides a large fraction
+//! (measured by the `filter_power` experiment in `mgrts-bench`) and the
+//! CSP search is only needed for the remainder.
+
+use rt_task::demand::{demand_precheck, Precheck};
+use rt_task::TaskSet;
+
+use crate::bounds::{gfb_detail, gfb_test, pfair_exact_test, utilization_at_most};
+use crate::density::{density_detail, density_test};
+use crate::result::{AnalysisReport, TestOutcome, TestRecord};
+use crate::uniprocessor::processor_demand_test;
+
+/// Tuning knobs for the battery.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Skip the O(#jobs²) window-demand filter when the hyperperiod
+    /// exceeds this many ticks.
+    pub max_window_hyperperiod: u64,
+    /// Abort the processor-demand criterion past this many check points.
+    pub max_pdc_points: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            max_window_hyperperiod: 10_000,
+            max_pdc_points: 100_000,
+        }
+    }
+}
+
+/// Run the full battery for `m` identical processors.
+#[must_use]
+pub fn analyze(ts: &TaskSet, m: usize) -> AnalysisReport {
+    analyze_with(ts, m, &AnalysisConfig::default())
+}
+
+/// [`analyze`] with explicit configuration.
+#[must_use]
+pub fn analyze_with(ts: &TaskSet, m: usize, cfg: &AnalysisConfig) -> AnalysisReport {
+    let mut records = Vec::new();
+
+    // 1. Utilization necessity — the paper's Table II filter.
+    let util_ok = utilization_at_most(ts, m);
+    records.push(TestRecord {
+        name: "utilization",
+        outcome: if util_ok {
+            TestOutcome::Inconclusive
+        } else {
+            TestOutcome::Infeasible
+        },
+        detail: format!("U={:.3}, m={m}", ts.utilization()),
+    });
+
+    // 2. P-fair exact feasibility (implicit deadlines only).
+    records.push(TestRecord {
+        name: "pfair-exact",
+        outcome: pfair_exact_test(ts, m),
+        detail: "U ≤ m iff feasible (implicit deadlines)".to_string(),
+    });
+
+    // 3. Global-EDF density test (sufficient, constrained deadlines).
+    records.push(TestRecord {
+        name: "density",
+        outcome: density_test(ts, m),
+        detail: density_detail(ts, m),
+    });
+
+    // 4. GFB bound — also certifies the *policy* global EDF.
+    records.push(TestRecord {
+        name: "gfb",
+        outcome: gfb_test(ts, m),
+        detail: gfb_detail(ts, m),
+    });
+
+    // 5. Global FP via OPA over the DA test — also yields a priority
+    // assignment certificate.
+    records.push(TestRecord {
+        name: "opa-da",
+        outcome: crate::global_fp::global_fp_test(ts, m),
+        detail: "Audsley OPA over the Bertogna-Cirinei DA test".to_string(),
+    });
+
+    // 6. Uniprocessor processor-demand criterion.
+    if m == 1 {
+        records.push(TestRecord {
+            name: "pdc",
+            outcome: processor_demand_test(ts, cfg.max_pdc_points),
+            detail: "synchronous demand-bound check".to_string(),
+        });
+    }
+
+    // 7. Window-demand necessity (size-guarded: O(#jobs²)).
+    let small_enough = matches!(ts.hyperperiod(), Ok(h) if h <= cfg.max_window_hyperperiod);
+    if small_enough {
+        let outcome = match demand_precheck(ts, m) {
+            Precheck::UtilizationExceeded | Precheck::WindowOverload { .. } => {
+                TestOutcome::Infeasible
+            }
+            Precheck::Unknown => TestOutcome::Inconclusive,
+        };
+        records.push(TestRecord {
+            name: "window-demand",
+            outcome,
+            detail: "forced demand per window ≤ m·|window|".to_string(),
+        });
+    }
+
+    AnalysisReport { records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_instances_always_decided() {
+        let feasible = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 4, 4)]);
+        let report = analyze(&feasible, 1);
+        assert_eq!(report.verdict(), TestOutcome::Feasible);
+        assert!(report.is_consistent());
+
+        let infeasible = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2)]);
+        let report = analyze(&infeasible, 1);
+        assert_eq!(report.verdict(), TestOutcome::Infeasible);
+        assert_eq!(report.decided_by(), Some("utilization"));
+    }
+
+    #[test]
+    fn running_example_undecided_analytically() {
+        // The paper's example is feasible but only the exact search proves
+        // it: high density defeats every sufficient test.
+        let ts = TaskSet::running_example();
+        let report = analyze(&ts, 2);
+        assert_eq!(report.verdict(), TestOutcome::Inconclusive);
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn window_overload_reported() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 12), (0, 2, 2, 12), (0, 2, 2, 12)]);
+        let report = analyze(&ts, 2);
+        assert_eq!(report.verdict(), TestOutcome::Infeasible);
+        assert_eq!(report.decided_by(), Some("window-demand"));
+    }
+
+    #[test]
+    fn window_filter_guarded() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 12), (0, 2, 2, 12), (0, 2, 2, 12)]);
+        let cfg = AnalysisConfig {
+            max_window_hyperperiod: 4,
+            ..AnalysisConfig::default()
+        };
+        let report = analyze_with(&ts, 2, &cfg);
+        assert!(report.records.iter().all(|r| r.name != "window-demand"));
+    }
+
+    #[test]
+    fn pdc_only_on_uniprocessor() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 2, 2)]);
+        assert!(analyze(&ts, 1).records.iter().any(|r| r.name == "pdc"));
+        assert!(analyze(&ts, 2).records.iter().all(|r| r.name != "pdc"));
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = analyze(&TaskSet::running_example(), 2).to_string();
+        assert!(text.contains("verdict"));
+        assert!(text.contains("density"));
+    }
+}

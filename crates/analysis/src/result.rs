@@ -1,0 +1,136 @@
+//! Outcome types shared by every schedulability test in this crate.
+
+/// What a single analytic test concluded about an instance.
+///
+/// Every test is *sound* in the direction it reports: `Feasible` is only
+/// returned by sufficient tests whose pass proves a schedule exists,
+/// `Infeasible` only by necessary tests whose failure proves none does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// A feasible schedule provably exists.
+    Feasible,
+    /// No feasible schedule exists.
+    Infeasible,
+    /// The test could not decide the instance.
+    Inconclusive,
+    /// The test's model assumptions do not hold for this instance
+    /// (e.g. an implicit-deadline bound on a constrained-deadline set).
+    Inapplicable,
+}
+
+impl TestOutcome {
+    /// True when the test reached a verdict.
+    #[must_use]
+    pub fn is_decisive(self) -> bool {
+        matches!(self, TestOutcome::Feasible | TestOutcome::Infeasible)
+    }
+}
+
+/// A named test result inside an [`AnalysisReport`].
+#[derive(Debug, Clone)]
+pub struct TestRecord {
+    /// Short stable identifier (e.g. `"density"`, `"gfb"`).
+    pub name: &'static str,
+    /// What the test concluded.
+    pub outcome: TestOutcome,
+    /// One-line human-readable detail (bound values etc.).
+    pub detail: String,
+}
+
+/// Combined verdict of the full analysis battery.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Every test that ran, in execution order.
+    pub records: Vec<TestRecord>,
+}
+
+impl AnalysisReport {
+    /// The overall verdict: the first decisive record wins (tests are
+    /// ordered cheapest-first and are mutually consistent by soundness).
+    #[must_use]
+    pub fn verdict(&self) -> TestOutcome {
+        self.records
+            .iter()
+            .map(|r| r.outcome)
+            .find(|o| o.is_decisive())
+            .unwrap_or(TestOutcome::Inconclusive)
+    }
+
+    /// Name of the test that decided the instance, if any.
+    #[must_use]
+    pub fn decided_by(&self) -> Option<&'static str> {
+        self.records
+            .iter()
+            .find(|r| r.outcome.is_decisive())
+            .map(|r| r.name)
+    }
+
+    /// Internal consistency: sound tests may never contradict each other.
+    /// Exposed so property tests can assert it on random instances.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let any_feasible = self
+            .records
+            .iter()
+            .any(|r| r.outcome == TestOutcome::Feasible);
+        let any_infeasible = self
+            .records
+            .iter()
+            .any(|r| r.outcome == TestOutcome::Infeasible);
+        !(any_feasible && any_infeasible)
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "verdict: {:?}", self.verdict())?;
+        for r in &self.records {
+            writeln!(f, "  {:<14} {:<13?} {}", r.name, r.outcome, r.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str, outcome: TestOutcome) -> TestRecord {
+        TestRecord {
+            name,
+            outcome,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn first_decisive_wins() {
+        let report = AnalysisReport {
+            records: vec![
+                rec("a", TestOutcome::Inconclusive),
+                rec("b", TestOutcome::Feasible),
+                rec("c", TestOutcome::Inconclusive),
+            ],
+        };
+        assert_eq!(report.verdict(), TestOutcome::Feasible);
+        assert_eq!(report.decided_by(), Some("b"));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn all_inconclusive() {
+        let report = AnalysisReport {
+            records: vec![rec("a", TestOutcome::Inconclusive), rec("b", TestOutcome::Inapplicable)],
+        };
+        assert_eq!(report.verdict(), TestOutcome::Inconclusive);
+        assert_eq!(report.decided_by(), None);
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let report = AnalysisReport {
+            records: vec![rec("a", TestOutcome::Feasible), rec("b", TestOutcome::Infeasible)],
+        };
+        assert!(!report.is_consistent());
+    }
+}

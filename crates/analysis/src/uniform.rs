@@ -1,0 +1,114 @@
+//! Necessary feasibility conditions on *uniform* platforms (Section II's
+//! intermediate machine class: processor `Pj` has speed `sj`).
+//!
+//! Funk–Goossens–Baruah (RTSS 2001): in the fluid model, an
+//! implicit-deadline periodic system is feasible on speeds
+//! `s1 ≥ s2 ≥ … ≥ sm` iff
+//!
+//! * `U ≤ Σj sj`, and
+//! * for every `k < m`: the `k` largest utilizations sum to at most
+//!   `s1 + … + sk`.
+//!
+//! Any discrete schedule induces a fluid one, so a *violation* proves
+//! discrete infeasibility — that direction is exposed here. The converse
+//! (fluid-feasible ⇒ discrete-feasible) needs a fluid-to-discrete
+//! conversion that integer rates do not always admit, so a pass is
+//! reported as [`TestOutcome::Inconclusive`] and left to the exact
+//! heterogeneous CSP solvers.
+
+use rt_platform::{Platform, Rate};
+use rt_task::TaskSet;
+
+use crate::result::TestOutcome;
+
+/// The FGB necessary conditions on an explicit speed vector.
+///
+/// Returns `Infeasible` when some prefix condition is violated, otherwise
+/// `Inconclusive` (`Inapplicable` for non-implicit deadlines).
+#[must_use]
+pub fn uniform_necessary_test(ts: &TaskSet, speeds: &[Rate]) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    let mut s: Vec<f64> = speeds.iter().map(|&r| r as f64).collect();
+    s.sort_by(|a, b| b.total_cmp(a));
+    let mut u: Vec<f64> = ts.tasks().iter().map(rt_task::Task::utilization).collect();
+    u.sort_by(|a, b| b.total_cmp(a));
+
+    let mut s_prefix = 0.0;
+    let mut u_prefix = 0.0;
+    for k in 0..u.len() {
+        u_prefix += u[k];
+        s_prefix += if k < s.len() { s[k] } else { 0.0 };
+        if u_prefix > s_prefix + 1e-9 {
+            return TestOutcome::Infeasible;
+        }
+    }
+    TestOutcome::Inconclusive
+}
+
+/// Extract the speed vector from a [`Platform`] when it is uniform, then
+/// run [`uniform_necessary_test`]. Non-uniform platforms are
+/// `Inapplicable`.
+#[must_use]
+pub fn uniform_necessary_on_platform(ts: &TaskSet, platform: &Platform) -> TestOutcome {
+    if !platform.is_uniform() {
+        return TestOutcome::Inapplicable;
+    }
+    // Uniform means every column (processor) has one rate for all tasks;
+    // row 0 carries the speed vector.
+    let speeds: Vec<Rate> = (0..platform.num_processors())
+        .map(|j| platform.rate(0, j))
+        .collect();
+    uniform_necessary_test(ts, &speeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_capacity_violation() {
+        // U = 1.5, capacity 1 + 0.?? — speeds are integers: {1}, U > 1.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 2, 2)]);
+        assert_eq!(uniform_necessary_test(&ts, &[1]), TestOutcome::Infeasible);
+        assert_eq!(uniform_necessary_test(&ts, &[1, 1]), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn prefix_violation_caught() {
+        let three = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
+        // Three full-utilization tasks: total 3 exceeds two unit speeds.
+        assert_eq!(uniform_necessary_test(&three, &[1, 1]), TestOutcome::Infeasible);
+        assert_eq!(
+            uniform_necessary_test(&three, &[1, 1, 1]),
+            TestOutcome::Inconclusive
+        );
+        // Two such tasks fit one speed-2 processor in the fluid sense
+        // (prefix k=1: 1 ≤ 2, k=2: 2 ≤ 2) — not rejected.
+        let two = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2)]);
+        assert_eq!(uniform_necessary_test(&two, &[2]), TestOutcome::Inconclusive);
+        // Three of them exceed it: 3 > 2 at k = 3.
+        assert_eq!(uniform_necessary_test(&three, &[2]), TestOutcome::Infeasible);
+    }
+
+    #[test]
+    fn constrained_inapplicable() {
+        let ts = TaskSet::running_example();
+        assert_eq!(uniform_necessary_test(&ts, &[1, 1]), TestOutcome::Inapplicable);
+    }
+
+    #[test]
+    fn platform_extraction() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
+        let uni = Platform::uniform(3, &[1, 1]).unwrap();
+        assert_eq!(uniform_necessary_on_platform(&ts, &uni), TestOutcome::Infeasible);
+        let het = Platform::heterogeneous(vec![
+            vec![1, 2],
+            vec![2, 1],
+            vec![1, 1],
+        ])
+        .unwrap();
+        assert_eq!(uniform_necessary_on_platform(&ts, &het), TestOutcome::Inapplicable);
+    }
+}

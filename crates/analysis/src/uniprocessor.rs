@@ -1,0 +1,219 @@
+//! Classic uniprocessor schedulability tests (the `m = 1` corner of the
+//! problem space, and the per-core test behind partitioned baselines).
+//!
+//! * **Liu & Layland (1973)**: implicit-deadline RM is schedulable when
+//!   `U ≤ n(2^{1/n} − 1)`.
+//! * **Hyperbolic bound** (Bini–Buttazzo–Buttazzo 2003): RM is schedulable
+//!   when `Π(ui + 1) ≤ 2` — strictly dominates Liu & Layland.
+//! * **EDF exact** (implicit deadlines): feasible iff `U ≤ 1`.
+//! * **Processor-demand criterion** (Baruah–Rosier–Howell 1990): a
+//!   *synchronous* constrained-deadline system is EDF-feasible iff
+//!   `dbf(ℓ) ≤ ℓ` at every absolute deadline `ℓ` up to the hyperperiod.
+//!   Synchronous release is the worst case on a uniprocessor, so a pass
+//!   also proves feasibility for arbitrary offsets; a fail proves
+//!   infeasibility only when the set really is synchronous.
+
+use rt_task::TaskSet;
+
+use crate::bounds::utilization_at_most;
+use crate::result::TestOutcome;
+
+/// Liu & Layland's RM utilization bound `n(2^{1/n} − 1)`.
+#[must_use]
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    n as f64 * (2f64.powf(1.0 / n as f64) - 1.0)
+}
+
+/// RM schedulability by the Liu & Layland bound (implicit deadlines,
+/// single processor). Pass proves feasibility (RM would meet all
+/// deadlines); fail is inconclusive — the bound is only sufficient.
+#[must_use]
+pub fn rm_liu_layland(ts: &TaskSet) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    if ts.utilization() <= liu_layland_bound(ts.len()) + 1e-9 {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Inconclusive
+    }
+}
+
+/// RM schedulability by the hyperbolic bound `Π(ui+1) ≤ 2` (implicit
+/// deadlines, single processor). Dominates [`rm_liu_layland`].
+#[must_use]
+pub fn rm_hyperbolic(ts: &TaskSet) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    let product: f64 = ts
+        .tasks()
+        .iter()
+        .map(|t| t.utilization() + 1.0)
+        .product();
+    if product <= 2.0 + 1e-9 {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Inconclusive
+    }
+}
+
+/// Exact EDF test for implicit deadlines on one processor: `U ≤ 1`.
+#[must_use]
+pub fn edf_exact_implicit(ts: &TaskSet) -> TestOutcome {
+    if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
+        return TestOutcome::Inapplicable;
+    }
+    if utilization_at_most(ts, 1) {
+        TestOutcome::Feasible
+    } else {
+        TestOutcome::Infeasible
+    }
+}
+
+/// Synchronous demand bound function `dbf(ℓ) = Σ max(0, ⌊(ℓ−Di)/Ti⌋+1)·Ci`.
+#[must_use]
+pub fn demand_bound(ts: &TaskSet, l: u64) -> u64 {
+    ts.tasks()
+        .iter()
+        .map(|t| {
+            if l >= t.deadline {
+                ((l - t.deadline) / t.period + 1) * t.wcet
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
+/// The processor-demand criterion on one processor.
+///
+/// * Pass (all check points satisfy `dbf(ℓ) ≤ ℓ`) → **Feasible** for any
+///   offsets, because synchronous release maximizes demand on one
+///   processor.
+/// * Fail → **Infeasible** when the instance is synchronous (all offsets
+///   equal), otherwise **Inconclusive**.
+///
+/// Check points are the absolute deadlines up to the hyperperiod; when the
+/// hyperperiod overflows or exceeds `max_points` deadlines the test
+/// abstains rather than silently truncating.
+#[must_use]
+pub fn processor_demand_test(ts: &TaskSet, max_points: usize) -> TestOutcome {
+    if !utilization_at_most(ts, 1) {
+        return TestOutcome::Infeasible;
+    }
+    let Ok(h) = ts.hyperperiod() else {
+        return TestOutcome::Inconclusive;
+    };
+    let mut points: Vec<u64> = Vec::new();
+    for t in ts.tasks() {
+        let mut d = t.deadline;
+        while d <= h {
+            points.push(d);
+            if points.len() > max_points {
+                return TestOutcome::Inconclusive;
+            }
+            d += t.period;
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    let synchronous = ts.tasks().windows(2).all(|w| w[0].offset == w[1].offset);
+    for &l in &points {
+        if demand_bound(ts, l) > l {
+            return if synchronous {
+                TestOutcome::Infeasible
+            } else {
+                TestOutcome::Inconclusive
+            };
+        }
+    }
+    TestOutcome::Feasible
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_bound_values() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        assert!((liu_layland_bound(2) - 0.8284271247).abs() < 1e-9);
+        // n → ∞ limit is ln 2 ≈ 0.693.
+        assert!(liu_layland_bound(1000) > 0.693);
+        assert!(liu_layland_bound(1000) < 0.694);
+    }
+
+    #[test]
+    fn ll_pass_and_abstain() {
+        let light = TaskSet::from_ocdt(&[(0, 1, 4, 4), (0, 1, 4, 4)]); // U = 0.5
+        assert_eq!(rm_liu_layland(&light), TestOutcome::Feasible);
+        let heavy = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 5, 5)]); // U = 0.9
+        assert_eq!(rm_liu_layland(&heavy), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn hyperbolic_dominates_ll() {
+        // U = 0.5 + 0.333… = 0.833 > LL(2) = 0.828, but (1.5)(1.333) = 2.0
+        // exactly → hyperbolic passes where LL abstains.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 3, 3)]);
+        assert_eq!(rm_liu_layland(&ts), TestOutcome::Inconclusive);
+        assert_eq!(rm_hyperbolic(&ts), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn edf_exact_boundary() {
+        let full = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 2, 2)]); // U = 1
+        assert_eq!(edf_exact_implicit(&full), TestOutcome::Feasible);
+        let over = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 3, 3)]); // U = 7/6
+        assert_eq!(edf_exact_implicit(&over), TestOutcome::Infeasible);
+    }
+
+    #[test]
+    fn dbf_values() {
+        // Task (C=1, D=2, T=3): dbf jumps at 2, 5, 8, …
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 3)]);
+        assert_eq!(demand_bound(&ts, 1), 0);
+        assert_eq!(demand_bound(&ts, 2), 1);
+        assert_eq!(demand_bound(&ts, 4), 1);
+        assert_eq!(demand_bound(&ts, 5), 2);
+        assert_eq!(demand_bound(&ts, 8), 3);
+    }
+
+    #[test]
+    fn pdc_feasible_constrained() {
+        // (C=1,D=1,T=2) + (C=1,D=2,T=2): dbf(1)=1, dbf(2)=2 → pass.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 2, 2)]);
+        assert_eq!(processor_demand_test(&ts, 1000), TestOutcome::Feasible);
+    }
+
+    #[test]
+    fn pdc_infeasible_synchronous() {
+        // Both want the first instant: dbf(1) = 2 > 1.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2)]);
+        assert_eq!(processor_demand_test(&ts, 1000), TestOutcome::Infeasible);
+    }
+
+    #[test]
+    fn pdc_offset_system_abstains_on_fail() {
+        // Same windows but offset apart — actually feasible; the sync
+        // abstraction fails, so the test must abstain, not reject.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (1, 1, 1, 2)]);
+        assert_eq!(processor_demand_test(&ts, 1000), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn pdc_point_guard() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 7, 7)]);
+        assert_eq!(processor_demand_test(&ts, 2), TestOutcome::Inconclusive);
+    }
+
+    #[test]
+    fn pdc_overutilized() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 1, 2, 2)]);
+        assert_eq!(processor_demand_test(&ts, 1000), TestOutcome::Infeasible);
+    }
+}

@@ -1,0 +1,135 @@
+//! Soundness of every analytic test against the exact CSP2 solver: on
+//! random instances a `Feasible` verdict must coincide with a real
+//! schedule, an `Infeasible` verdict with proven absence of one.
+
+use proptest::prelude::*;
+
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::heuristics::TaskOrder;
+use rt_analysis::{analyze, TestOutcome};
+use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+use rt_task::{Task, TaskSet};
+
+fn exact_feasible(ts: &TaskSet, m: usize) -> bool {
+    Csp2Solver::new(ts, m)
+        .unwrap()
+        .with_order(TaskOrder::DeadlineMinusWcet)
+        .solve()
+        .verdict
+        .is_feasible()
+}
+
+#[test]
+fn battery_sound_on_random_constrained_instances() {
+    let cfg = GeneratorConfig {
+        n: 4,
+        m: MSpec::Fixed(2),
+        t_max: 4,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: false,
+    };
+    let gen = ProblemGenerator::new(cfg, 0xA11A);
+    let mut decided = 0;
+    for p in gen.batch(250) {
+        let report = analyze(&p.taskset, p.m);
+        assert!(report.is_consistent(), "seed {}", p.seed);
+        match report.verdict() {
+            TestOutcome::Feasible => {
+                decided += 1;
+                assert!(
+                    exact_feasible(&p.taskset, p.m),
+                    "battery claimed feasible, CSP2 disproves (seed {})",
+                    p.seed
+                );
+            }
+            TestOutcome::Infeasible => {
+                decided += 1;
+                assert!(
+                    !exact_feasible(&p.taskset, p.m),
+                    "battery claimed infeasible, CSP2 found a schedule (seed {})",
+                    p.seed
+                );
+            }
+            _ => {}
+        }
+    }
+    // The battery should carry real filtering weight on this workload.
+    assert!(decided >= 50, "battery decided only {decided}/250");
+}
+
+#[test]
+fn pfair_agrees_with_exact_search_on_implicit_sets() {
+    // Force implicit deadlines (Di = Ti) and compare the P-fair verdict —
+    // which claims to be exact — against the CSP search on every instance.
+    let cfg = GeneratorConfig {
+        n: 3,
+        m: MSpec::Fixed(2),
+        t_max: 4,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: false,
+    };
+    let gen = ProblemGenerator::new(cfg, 0x1D);
+    for p in gen.batch(120) {
+        let implicit: Vec<Task> = p
+            .taskset
+            .tasks()
+            .iter()
+            .map(|t| Task::ocdt(t.offset, t.wcet, t.period, t.period))
+            .collect();
+        let ts = TaskSet::new(implicit).unwrap();
+        let analytic = rt_analysis::pfair_exact_test(&ts, p.m);
+        let exact = exact_feasible(&ts, p.m);
+        match analytic {
+            TestOutcome::Feasible => assert!(exact, "seed {}", p.seed),
+            TestOutcome::Infeasible => assert!(!exact, "seed {}", p.seed),
+            other => panic!("P-fair must decide implicit sets, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Uniprocessor: the PDC verdict must match exact search.
+    #[test]
+    fn pdc_sound_on_uniprocessor(
+        specs in proptest::collection::vec((0u64..3, 1u64..4, 0u64..3, 0u64..3), 2..4)
+    ) {
+        // Build valid constrained tasks: C ≤ D ≤ T ≤ 6.
+        let tasks: Vec<Task> = specs
+            .iter()
+            .map(|&(o, c, dslack, tslack)| {
+                let d = c + dslack;
+                let t = d + tslack;
+                Task::ocdt(o, c, d, t)
+            })
+            .collect();
+        let ts = TaskSet::new(tasks).unwrap();
+        let exact = exact_feasible(&ts, 1);
+        match rt_analysis::processor_demand_test(&ts, 100_000) {
+            TestOutcome::Feasible => prop_assert!(exact),
+            TestOutcome::Infeasible => prop_assert!(!exact),
+            _ => {}
+        }
+    }
+
+    /// Density-test passes are always genuinely feasible.
+    #[test]
+    fn density_pass_implies_feasible(
+        specs in proptest::collection::vec((0u64..3, 1u64..3, 0u64..3, 0u64..4), 2..5),
+        m in 1usize..3,
+    ) {
+        let tasks: Vec<Task> = specs
+            .iter()
+            .map(|&(o, c, dslack, tslack)| {
+                let d = c + dslack;
+                let t = d + tslack;
+                Task::ocdt(o, c, d, t)
+            })
+            .collect();
+        let ts = TaskSet::new(tasks).unwrap();
+        if rt_analysis::density_test(&ts, m) == TestOutcome::Feasible {
+            prop_assert!(exact_feasible(&ts, m));
+        }
+    }
+}

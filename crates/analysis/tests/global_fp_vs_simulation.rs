@@ -1,0 +1,134 @@
+//! The DA test is sufficient for *sporadic* global FP, which covers every
+//! concrete release pattern: any order it certifies must therefore run
+//! without misses in the exact tick-by-tick FP simulator, and any OPA
+//! certificate must be a genuinely feasible instance per the exact CSP
+//! solver.
+
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::heuristics::TaskOrder;
+use rt_analysis::{da_schedulable, opa_da};
+use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+use rt_sim::fp_schedulable;
+
+fn small_config(n: usize, m: usize) -> GeneratorConfig {
+    GeneratorConfig {
+        n,
+        m: MSpec::Fixed(m),
+        t_max: 5,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: false,
+    }
+}
+
+#[test]
+fn da_certificates_hold_in_simulation() {
+    let gen = ProblemGenerator::new(small_config(4, 2), 0xDA7E57);
+    let mut certified = 0;
+    for p in gen.batch(300) {
+        // Try deadline-monotonic order (a natural candidate) and the OPA
+        // order when it exists.
+        let mut dm: Vec<usize> = (0..p.taskset.len()).collect();
+        dm.sort_by_key(|&i| p.taskset.task(i).deadline);
+        let mut orders = vec![dm];
+        if let Some(opa) = opa_da(&p.taskset, p.m) {
+            orders.push(opa);
+        }
+        for order in orders {
+            if da_schedulable(&p.taskset, p.m, &order) {
+                certified += 1;
+                assert!(
+                    fp_schedulable(&p.taskset, p.m, &order),
+                    "DA certified order {order:?} but the simulator misses a deadline (seed {})",
+                    p.seed
+                );
+            }
+        }
+    }
+    assert!(certified >= 20, "only {certified} certificates exercised");
+}
+
+#[test]
+fn opa_pass_implies_csp_feasible() {
+    let gen = ProblemGenerator::new(small_config(4, 2), 0x0FA);
+    let mut passes = 0;
+    for p in gen.batch(300) {
+        if opa_da(&p.taskset, p.m).is_some() {
+            passes += 1;
+            let exact = Csp2Solver::new(&p.taskset, p.m)
+                .unwrap()
+                .with_order(TaskOrder::DeadlineMinusWcet)
+                .solve();
+            assert!(
+                exact.verdict.is_feasible(),
+                "OPA certified an instance the exact solver disproves (seed {})",
+                p.seed
+            );
+        }
+    }
+    assert!(passes >= 10, "only {passes} OPA passes");
+}
+
+#[test]
+fn uniprocessor_rm_bounds_hold_in_simulation() {
+    // Liu & Layland / hyperbolic passes promise RM schedulability: replay
+    // each certified instance under rate-monotonic priorities in the exact
+    // simulator. Implicit deadlines, m = 1.
+    use rt_analysis::TestOutcome;
+    use rt_task::{Task, TaskSet};
+    let gen = ProblemGenerator::new(small_config(3, 1), 0x11);
+    let mut certified = 0;
+    for p in gen.batch(300) {
+        let implicit: Vec<Task> = p
+            .taskset
+            .tasks()
+            .iter()
+            .map(|t| Task::ocdt(t.offset, t.wcet, t.period, t.period))
+            .collect();
+        let ts = TaskSet::new(implicit).unwrap();
+        let ll = rt_analysis::rm_liu_layland(&ts);
+        let hyp = rt_analysis::rm_hyperbolic(&ts);
+        if ll == TestOutcome::Feasible || hyp == TestOutcome::Feasible {
+            certified += 1;
+            let mut rm: Vec<usize> = (0..ts.len()).collect();
+            rm.sort_by_key(|&i| ts.task(i).period);
+            assert!(
+                fp_schedulable(&ts, 1, &rm),
+                "RM bound certified seed {} but RM simulation misses",
+                p.seed
+            );
+        }
+        // Hyperbolic dominates Liu & Layland: never the other way around.
+        assert!(
+            !(ll == TestOutcome::Feasible && hyp != TestOutcome::Feasible),
+            "LL passed where hyperbolic abstained (seed {})",
+            p.seed
+        );
+    }
+    // The Di-first sampler is dense, so passes are the minority — but the
+    // test is vacuous without a handful.
+    assert!(certified >= 5, "only {certified} RM certificates");
+}
+
+#[test]
+fn simulation_dominates_da() {
+    // The analytic test must never certify more than the simulator
+    // accepts; count how often the simulator accepts an order DA rejects
+    // (pessimism gap — expected to be nonzero).
+    let gen = ProblemGenerator::new(small_config(3, 2), 0x9A9);
+    let mut da_pass = 0u32;
+    let mut sim_pass = 0u32;
+    for p in gen.batch(200) {
+        let mut dm: Vec<usize> = (0..p.taskset.len()).collect();
+        dm.sort_by_key(|&i| p.taskset.task(i).deadline);
+        let da = da_schedulable(&p.taskset, p.m, &dm);
+        let sim = fp_schedulable(&p.taskset, p.m, &dm);
+        assert!(!da || sim, "DA pass must imply simulation pass");
+        da_pass += u32::from(da);
+        sim_pass += u32::from(sim);
+    }
+    assert!(sim_pass >= da_pass);
+    assert!(
+        sim_pass > da_pass,
+        "DA should be strictly pessimistic somewhere on 200 instances"
+    );
+}

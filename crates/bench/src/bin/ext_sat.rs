@@ -1,0 +1,93 @@
+//! Extension experiment: the SAT route as a seventh solver column.
+//!
+//! Section IV motivates CSP1's boolean shape with "even boolean
+//! satisfiability (SAT) solvers could be used"; the paper never runs one.
+//! This binary does: the Table-I workload (m = 5, n = 10, Tmax = 7) under
+//! CSP1-on-the-generic-engine, CSP2+(D-C), and CSP1-as-CNF on the CDCL
+//! solver, reporting overruns and mean decision time per column.
+//!
+//! Run with: `cargo run --release -p mgrts-bench --bin ext_sat -- [flags]`
+
+use mgrts_bench::{run_corpus, Args, InstanceOutcome, SolverKind};
+use mgrts_core::heuristics::TaskOrder;
+use rt_gen::{GeneratorConfig, ProblemGenerator};
+
+fn main() {
+    let args = Args::parse();
+    let roster = [
+        SolverKind::Csp1,
+        SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
+        SolverKind::Csp1Sat,
+    ];
+    eprintln!(
+        "EXT-SAT: {} instances (m=5, n=10, Tmax=7), limit {:?}, seed {}",
+        args.instances, args.time_limit, args.seed
+    );
+    let gen = ProblemGenerator::new(GeneratorConfig::table1(), args.seed);
+    let problems = gen.batch(args.instances);
+    let records = run_corpus(&problems, &roster, args.time_limit, args.threads, true);
+    if let Some(path) = &args.json {
+        mgrts_bench::runner::save_records(&records, path).expect("write records");
+    }
+
+    println!("\nEXTENDED TABLE I — CSP1 vs CSP2+(D-C) vs SAT (CDCL)\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>10} {:>14}",
+        "solver", "solved", "infeasible", "overruns", "too-large", "mean time (ms)"
+    );
+    for solver in roster {
+        let rows: Vec<_> = records.iter().filter(|r| r.solver == solver).collect();
+        let count = |o: InstanceOutcome| rows.iter().filter(|r| r.outcome == o).count();
+        let decided: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible
+                )
+            })
+            .collect();
+        let mean_ms = if decided.is_empty() {
+            0.0
+        } else {
+            decided.iter().map(|r| r.time_us as f64).sum::<f64>() / decided.len() as f64 / 1000.0
+        };
+        println!(
+            "{:<10} {:>8} {:>10} {:>9} {:>10} {:>14.2}",
+            solver.label(),
+            count(InstanceOutcome::Solved),
+            count(InstanceOutcome::ProvedInfeasible),
+            count(InstanceOutcome::Overrun),
+            count(InstanceOutcome::TooLarge),
+            mean_ms
+        );
+    }
+
+    // Verdict agreement audit between CSP2+(D-C) and SAT where both decided.
+    let mut agree = 0u64;
+    let mut both = 0u64;
+    for i in 0..problems.len() as u64 {
+        let of = |s: SolverKind| {
+            records
+                .iter()
+                .find(|r| r.instance == i && r.solver == s)
+                .map(|r| r.outcome)
+        };
+        if let (Some(a), Some(b)) = (
+            of(SolverKind::Csp2(TaskOrder::DeadlineMinusWcet)),
+            of(SolverKind::Csp1Sat),
+        ) {
+            let dec = |o: InstanceOutcome| {
+                matches!(o, InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible)
+            };
+            if dec(a) && dec(b) {
+                both += 1;
+                if a == b {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    println!("\nverdict agreement CSP2+(D-C) vs SAT on co-decided instances: {agree}/{both}");
+    assert_eq!(agree, both, "exact solvers disagreed — this is a bug");
+}

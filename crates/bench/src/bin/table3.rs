@@ -1,0 +1,33 @@
+//! Table III reproduction (Section VII-D): distribution of the 500
+//! generated instances over utilization-ratio buckets and the mean
+//! resolution time (over all six solvers) per bucket.
+//!
+//! Run with: `cargo run --release -p mgrts-bench --bin table3 -- [flags]`
+
+use mgrts_bench::{run_corpus, tables, Args, SolverKind};
+use rt_gen::{GeneratorConfig, ProblemGenerator};
+
+fn main() {
+    let args = Args::parse();
+    eprintln!(
+        "Table III: {} instances (m=5, n=10, Tmax=7), limit {:?}, seed {}",
+        args.instances, args.time_limit, args.seed
+    );
+    let gen = ProblemGenerator::new(GeneratorConfig::table1(), args.seed);
+    let problems = gen.batch(args.instances);
+    let records = run_corpus(
+        &problems,
+        &SolverKind::ROSTER,
+        args.time_limit,
+        args.threads,
+        true,
+    );
+    if let Some(path) = &args.json {
+        mgrts_bench::runner::save_records(&records, path).expect("write records");
+        eprintln!("raw records written to {}", path.display());
+    }
+    println!(
+        "\nTABLE III — instance distribution and mean resolution time by r\n"
+    );
+    println!("{}", tables::table3(&records));
+}

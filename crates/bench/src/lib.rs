@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # mgrts-bench — experiment harness regenerating the paper's evaluation
+//!
+//! One binary per table/figure of Section VII:
+//!
+//! * `figure1` — the availability-interval pattern of the running example;
+//! * `table1` — Tables I and II (overrun counts per solver, 500 random
+//!   problems, m = 5, n = 10, Tmax = 7);
+//! * `table3` — Table III (instance distribution and mean resolution time
+//!   per utilization-ratio bucket);
+//! * `table4` — Table IV (scaling with n ∈ {4 … 256}, Tmax = 15,
+//!   m = ⌈U⌉).
+//!
+//! Shared machinery lives here: the solver roster ([`SolverKind`]), the
+//! per-instance runner, a crossbeam-based parallel executor with a
+//! parking_lot progress counter, and plain-text table formatting. All runs
+//! are deterministic given the CLI seed; wall-clock *classifications*
+//! (overrun vs solved) depend on the machine, exactly as in the paper.
+
+pub mod cli;
+pub mod runner;
+pub mod tables;
+
+pub use cli::Args;
+pub use runner::{run_corpus, InstanceOutcome, RunRecord, SolverKind};

@@ -1,0 +1,244 @@
+//! The instance runner: solver roster, parallel execution, raw records.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mgrts_core::csp1::{solve_csp1, Csp1Config};
+use mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
+use mgrts_core::csp2::{Csp2Budget, Csp2Solver};
+use mgrts_core::heuristics::TaskOrder;
+use mgrts_core::solve::{StopReason, Verdict};
+use mgrts_core::verify::check_identical;
+use rt_gen::Problem;
+
+/// One column of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// CSP1 on the generic randomized solver (Choco stand-in).
+    Csp1,
+    /// The specialized CSP2 search with a value-ordering heuristic.
+    Csp2(TaskOrder),
+    /// CSP1 lowered to CNF and solved by the CDCL SAT solver — not a paper
+    /// column; used by the extension experiments.
+    Csp1Sat,
+}
+
+impl SolverKind {
+    /// The paper's six solver columns, in Table I order.
+    pub const ROSTER: [SolverKind; 6] = [
+        SolverKind::Csp1,
+        SolverKind::Csp2(TaskOrder::Lexicographic),
+        SolverKind::Csp2(TaskOrder::RateMonotonic),
+        SolverKind::Csp2(TaskOrder::DeadlineMonotonic),
+        SolverKind::Csp2(TaskOrder::PeriodMinusWcet),
+        SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
+    ];
+
+    /// Column header matching the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverKind::Csp1 => "CSP1",
+            SolverKind::Csp2(order) => order.label(),
+            SolverKind::Csp1Sat => "SAT",
+        }
+    }
+}
+
+/// Classified outcome of one (instance, solver) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceOutcome {
+    /// A feasible schedule was produced (and verified against C1–C4).
+    Solved,
+    /// Infeasibility was proven within the budget.
+    ProvedInfeasible,
+    /// The time budget elapsed — the paper's "overrun".
+    Overrun,
+    /// The encoding exceeded the size guard (CSP1 on large instances).
+    TooLarge,
+}
+
+/// One row of raw experimental data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Instance index in the generator stream.
+    pub instance: u64,
+    /// Which solver ran.
+    pub solver: SolverKind,
+    /// Classified outcome.
+    pub outcome: InstanceOutcome,
+    /// Wall-clock solve time (µs). For overruns this is ≈ the time limit.
+    pub time_us: u64,
+    /// Utilization ratio r = U/m of the instance.
+    pub ratio: f64,
+    /// Whether the instance is pruned by the r > 1 filter (Table II).
+    pub filtered: bool,
+}
+
+/// Run one solver on one instance with a wall-clock budget. Every produced
+/// schedule is verified against the independent C1–C4 checker; a
+/// verification failure is a bug and panics loudly.
+#[must_use]
+pub fn run_one(p: &Problem, solver: SolverKind, time_limit: Duration) -> (InstanceOutcome, u64) {
+    let (verdict, elapsed) = match solver {
+        SolverKind::Csp1 => {
+            let cfg = Csp1Config {
+                seed: p.seed,
+                time: Some(time_limit),
+                ..Csp1Config::default()
+            };
+            let res = solve_csp1(&p.taskset, p.m, &cfg).expect("valid constrained instance");
+            (res.verdict, res.stats.elapsed_us)
+        }
+        SolverKind::Csp2(order) => {
+            let res = Csp2Solver::new(&p.taskset, p.m)
+                .expect("valid constrained instance")
+                .with_order(order)
+                .with_budget(Csp2Budget {
+                    time: Some(time_limit),
+                    max_decisions: None,
+                })
+                .solve();
+            (res.verdict, res.stats.elapsed_us)
+        }
+        SolverKind::Csp1Sat => {
+            let cfg = Csp1SatConfig {
+                time: Some(time_limit),
+                ..Csp1SatConfig::default()
+            };
+            let res = solve_csp1_sat(&p.taskset, p.m, &cfg).expect("valid constrained instance");
+            (res.verdict, res.stats.elapsed_us)
+        }
+    };
+    let outcome = match &verdict {
+        Verdict::Feasible(s) => {
+            check_identical(&p.taskset, p.m, s)
+                .unwrap_or_else(|e| panic!("solver {solver:?} returned invalid schedule: {e}"));
+            InstanceOutcome::Solved
+        }
+        Verdict::Infeasible => InstanceOutcome::ProvedInfeasible,
+        Verdict::Unknown(StopReason::EncodingTooLarge) => InstanceOutcome::TooLarge,
+        Verdict::Unknown(_) => InstanceOutcome::Overrun,
+    };
+    (outcome, elapsed)
+}
+
+/// Write raw records as JSON to `path` (the `--json` flag of the
+/// experiment binaries).
+pub fn save_records(records: &[RunRecord], path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), records)
+        .map_err(std::io::Error::other)?;
+    Ok(())
+}
+
+/// Run a roster of solvers over a problem stream in parallel. Results come
+/// back sorted by (instance, roster position) regardless of scheduling.
+#[must_use]
+pub fn run_corpus(
+    problems: &[Problem],
+    roster: &[SolverKind],
+    time_limit: Duration,
+    threads: usize,
+    progress: bool,
+) -> Vec<RunRecord> {
+    let jobs: Vec<(u64, SolverKind)> = (0..problems.len() as u64)
+        .flat_map(|i| roster.iter().map(move |&s| (i, s)))
+        .collect();
+    let next = Mutex::new(0usize);
+    let records = Mutex::new(Vec::with_capacity(jobs.len()));
+    let done = Mutex::new(0usize);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut n = next.lock();
+                    if *n >= jobs.len() {
+                        break;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let (inst, solver) = jobs[idx];
+                let p = &problems[inst as usize];
+                let (outcome, time_us) = run_one(p, solver, time_limit);
+                records.lock().push(RunRecord {
+                    instance: inst,
+                    solver,
+                    outcome,
+                    time_us,
+                    ratio: p.utilization_ratio(),
+                    filtered: p.filtered_out(),
+                });
+                if progress {
+                    let mut d = done.lock();
+                    *d += 1;
+                    if *d % 100 == 0 {
+                        eprintln!("  … {}/{} runs", *d, jobs.len());
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut out = records.into_inner();
+    let pos = |s: SolverKind| roster.iter().position(|&r| r == s).unwrap_or(usize::MAX);
+    out.sort_by_key(|r| (r.instance, pos(r.solver)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_gen::{GeneratorConfig, ProblemGenerator};
+
+    #[test]
+    fn roster_matches_paper_columns() {
+        let labels: Vec<_> = SolverKind::ROSTER.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["CSP1", "CSP2", "+RM", "+DM", "+(T-C)", "+(D-C)"]);
+    }
+
+    #[test]
+    fn run_one_solves_the_running_example() {
+        let p = Problem {
+            taskset: rt_task::TaskSet::running_example(),
+            m: 2,
+            seed: 0,
+        };
+        for solver in SolverKind::ROSTER {
+            let (outcome, _) = run_one(&p, solver, Duration::from_secs(5));
+            assert_eq!(outcome, InstanceOutcome::Solved, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_runs_deterministic_order() {
+        let gen = ProblemGenerator::new(
+            GeneratorConfig {
+                n: 3,
+                t_max: 3,
+                ..GeneratorConfig::table1()
+            },
+            1,
+        );
+        let problems = gen.batch(6);
+        let roster = [
+            SolverKind::Csp2(TaskOrder::Lexicographic),
+            SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
+        ];
+        let a = run_corpus(&problems, &roster, Duration::from_secs(1), 4, false);
+        let b = run_corpus(&problems, &roster, Duration::from_secs(1), 2, false);
+        assert_eq!(a.len(), 12);
+        let key = |r: &RunRecord| (r.instance, r.solver, r.outcome);
+        assert_eq!(
+            a.iter().map(key).collect::<Vec<_>>(),
+            b.iter().map(key).collect::<Vec<_>>(),
+            "outcomes must not depend on thread count"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Aggregation and formatting of the paper's Tables I–IV from raw
+//! [`RunRecord`]s.
+
+use std::collections::HashSet;
+
+use crate::runner::{InstanceOutcome, RunRecord, SolverKind};
+
+/// Instances solved (feasible schedule found) by at least one solver.
+#[must_use]
+pub fn solved_by_someone(records: &[RunRecord]) -> HashSet<u64> {
+    records
+        .iter()
+        .filter(|r| r.outcome == InstanceOutcome::Solved)
+        .map(|r| r.instance)
+        .collect()
+}
+
+fn overruns(records: &[RunRecord], solver: SolverKind, pred: impl Fn(&RunRecord) -> bool) -> usize {
+    records
+        .iter()
+        .filter(|r| r.solver == solver && r.outcome == InstanceOutcome::Overrun && pred(r))
+        .count()
+}
+
+/// Table I: per solver, the number of runs reaching the time limit, split
+/// by whether the instance was solved by at least one solver.
+#[must_use]
+pub fn table1(records: &[RunRecord], roster: &[SolverKind], total_instances: u64) -> String {
+    let solved = solved_by_someone(records);
+    let mut out = String::from("# overruns |");
+    for s in roster {
+        out.push_str(&format!(" {:>7}", s.label()));
+    }
+    out.push_str(" |  Total\n");
+    let width = out.lines().next().unwrap().chars().count();
+    out.push_str(&format!("{}\n", "-".repeat(width)));
+    for (name, in_solved) in [("solved", true), ("unsolved", false)] {
+        out.push_str(&format!("{name:<10} |"));
+        for &s in roster {
+            let n = overruns(records, s, |r| solved.contains(&r.instance) == in_solved);
+            out.push_str(&format!(" {n:>7}"));
+        }
+        let total = if in_solved {
+            solved.len()
+        } else {
+            total_instances as usize - solved.len()
+        };
+        out.push_str(&format!(" | {total:>6}\n"));
+    }
+    out
+}
+
+/// Table II: the unsolved-instance overruns of Table I split by the
+/// `r > 1` utilization filter.
+#[must_use]
+pub fn table2(records: &[RunRecord], roster: &[SolverKind]) -> String {
+    let solved = solved_by_someone(records);
+    let unsolved_instances: HashSet<u64> = records
+        .iter()
+        .map(|r| r.instance)
+        .filter(|i| !solved.contains(i))
+        .collect();
+    let mut filtered_total = 0usize;
+    let mut unfiltered_total = 0usize;
+    for &i in &unsolved_instances {
+        let filtered = records
+            .iter()
+            .find(|r| r.instance == i)
+            .is_some_and(|r| r.filtered);
+        if filtered {
+            filtered_total += 1;
+        } else {
+            unfiltered_total += 1;
+        }
+    }
+    let mut out = String::from("# overruns |");
+    for s in roster {
+        out.push_str(&format!(" {:>7}", s.label()));
+    }
+    out.push_str(" |  Total\n");
+    let width = out.lines().next().unwrap().chars().count();
+    out.push_str(&format!("{}\n", "-".repeat(width)));
+    for (name, want_filtered, total) in [
+        ("filtered", true, filtered_total),
+        ("unfiltered", false, unfiltered_total),
+    ] {
+        out.push_str(&format!("{name:<10} |"));
+        for &s in roster {
+            let n = overruns(records, s, |r| {
+                !solved.contains(&r.instance) && r.filtered == want_filtered
+            });
+            out.push_str(&format!(" {n:>7}"));
+        }
+        out.push_str(&format!(" | {total:>6}\n"));
+    }
+    out
+}
+
+/// The paper's Table III utilization-ratio buckets.
+pub const RATIO_BUCKETS: [(f64, f64); 15] = [
+    (0.0, 0.4),
+    (0.4, 0.5),
+    (0.5, 0.6),
+    (0.6, 0.7),
+    (0.7, 0.8),
+    (0.8, 0.9),
+    (0.9, 1.0),
+    (1.0, 1.1),
+    (1.1, 1.2),
+    (1.2, 1.3),
+    (1.3, 1.4),
+    (1.4, 1.5),
+    (1.5, 1.6),
+    (1.6, 1.7),
+    (1.7, 2.0),
+];
+
+/// Table III: instance distribution over `r` buckets and mean resolution
+/// time (over all solvers; an overrun contributes its full measured time,
+/// ≈ the limit — the paper does the same by construction).
+#[must_use]
+pub fn table3(records: &[RunRecord]) -> String {
+    let mut out = String::from("rmin–rmax  | #instances |  t_res (ms)\n");
+    out.push_str("-----------+------------+------------\n");
+    for (lo, hi) in RATIO_BUCKETS {
+        let in_bucket: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| r.ratio >= lo && r.ratio < hi)
+            .collect();
+        let instances: HashSet<u64> = in_bucket.iter().map(|r| r.instance).collect();
+        if instances.is_empty() {
+            out.push_str(&format!("{lo:.1}–{hi:.1}    | {:>10} |          –\n", 0));
+            continue;
+        }
+        let mean_ms = in_bucket.iter().map(|r| r.time_us as f64).sum::<f64>()
+            / in_bucket.len() as f64
+            / 1000.0;
+        out.push_str(&format!(
+            "{lo:.1}–{hi:.1}    | {:>10} | {mean_ms:>10.1}\n",
+            instances.len()
+        ));
+    }
+    out
+}
+
+/// One aggregated row of Table IV.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Number of tasks.
+    pub n: usize,
+    /// Mean utilization ratio.
+    pub mean_r: f64,
+    /// Mean processor count.
+    pub mean_m: f64,
+    /// Mean hyperperiod (raw ticks; the paper prints thousands).
+    pub mean_h: f64,
+    /// (solved fraction, mean time ms, all-too-large) per roster solver.
+    pub per_solver: Vec<(f64, f64, bool)>,
+}
+
+/// Format Table IV rows with the paper's column layout.
+#[must_use]
+pub fn table4(rows: &[Table4Row], roster: &[SolverKind]) -> String {
+    let mut out = String::from("   n |    r  |     m  |  H(1000) |");
+    for s in roster {
+        out.push_str(&format!(" {:>8} solved  t(ms) |", s.label()));
+    }
+    out.push('\n');
+    let width = out.lines().next().unwrap().chars().count();
+    out.push_str(&format!("{}\n", "-".repeat(width)));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>4} | {:>5.2} | {:>6.2} | {:>8.2} |",
+            row.n,
+            row.mean_r,
+            row.mean_m,
+            row.mean_h / 1000.0
+        ));
+        for &(solved, t_ms, too_large) in &row.per_solver {
+            if too_large {
+                out.push_str(&format!(" {:>8}      –      – |", ""));
+            } else {
+                out.push_str(&format!(
+                    " {:>8} {:>5.0}% {:>6.1} |",
+                    "",
+                    solved * 100.0,
+                    t_ms
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgrts_core::heuristics::TaskOrder;
+
+    fn rec(
+        instance: u64,
+        solver: SolverKind,
+        outcome: InstanceOutcome,
+        ratio: f64,
+        filtered: bool,
+    ) -> RunRecord {
+        RunRecord {
+            instance,
+            solver,
+            outcome,
+            time_us: 1000,
+            ratio,
+            filtered,
+        }
+    }
+
+    const CSP1: SolverKind = SolverKind::Csp1;
+    const DC: SolverKind = SolverKind::Csp2(TaskOrder::DeadlineMinusWcet);
+
+    #[test]
+    fn table1_counts_overruns_by_solved_partition() {
+        // Instance 0: solved by DC, overrun by CSP1 → "solved" overrun.
+        // Instance 1: overrun by both → "unsolved" overruns.
+        let records = vec![
+            rec(0, CSP1, InstanceOutcome::Overrun, 0.9, false),
+            rec(0, DC, InstanceOutcome::Solved, 0.9, false),
+            rec(1, CSP1, InstanceOutcome::Overrun, 1.2, true),
+            rec(1, DC, InstanceOutcome::Overrun, 1.2, true),
+        ];
+        let out = table1(&records, &[CSP1, DC], 2);
+        let lines: Vec<&str> = out.lines().collect();
+        // solved row: CSP1 = 1, DC = 0, total solved instances = 1.
+        assert!(lines[2].contains('1'));
+        assert!(lines[2].trim_end().ends_with('1'));
+        // unsolved row: CSP1 = 1, DC = 1, total = 1.
+        assert!(lines[3].starts_with("unsolved"));
+    }
+
+    #[test]
+    fn table2_partitions_by_filter() {
+        let records = vec![
+            rec(0, CSP1, InstanceOutcome::Overrun, 1.3, true),
+            rec(0, DC, InstanceOutcome::ProvedInfeasible, 1.3, true),
+            rec(1, CSP1, InstanceOutcome::Overrun, 0.98, false),
+            rec(1, DC, InstanceOutcome::Overrun, 0.98, false),
+        ];
+        let out = table2(&records, &[CSP1, DC]);
+        assert!(out.contains("filtered"));
+        assert!(out.contains("unfiltered"));
+        let filtered_line = out.lines().nth(2).unwrap();
+        // CSP1 overran the filtered instance, DC did not.
+        assert!(filtered_line.contains("1") && filtered_line.contains("0"));
+    }
+
+    #[test]
+    fn table3_buckets_cover_the_paper_range() {
+        assert_eq!(RATIO_BUCKETS.len(), 15);
+        assert_eq!(RATIO_BUCKETS[0], (0.0, 0.4));
+        assert_eq!(RATIO_BUCKETS[14], (1.7, 2.0));
+        let records = vec![
+            rec(0, DC, InstanceOutcome::Solved, 0.95, false),
+            rec(1, DC, InstanceOutcome::Solved, 0.97, false),
+            rec(2, DC, InstanceOutcome::Overrun, 1.45, true),
+        ];
+        let out = table3(&records);
+        let bucket_09 = out.lines().find(|l| l.starts_with("0.9–1.0")).unwrap();
+        assert!(bucket_09.contains('2'), "{bucket_09}");
+    }
+
+    #[test]
+    fn table4_renders_dashes_for_too_large() {
+        let rows = vec![Table4Row {
+            n: 64,
+            mean_r: 0.98,
+            mean_m: 25.8,
+            mean_h: 345_950.0,
+            per_solver: vec![(0.0, 0.0, true), (0.25, 3.2, false)],
+        }];
+        let out = table4(&rows, &[CSP1, DC]);
+        assert!(out.contains('–'));
+        assert!(out.contains("25%"));
+        assert!(out.contains("345.95"));
+    }
+
+    #[test]
+    fn solved_by_someone_dedups() {
+        let records = vec![
+            rec(0, CSP1, InstanceOutcome::Solved, 0.5, false),
+            rec(0, DC, InstanceOutcome::Solved, 0.5, false),
+        ];
+        assert_eq!(solved_by_someone(&records).len(), 1);
+    }
+}

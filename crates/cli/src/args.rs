@@ -1,0 +1,187 @@
+//! A small deliberate argument parser (no external dependency): positional
+//! arguments plus `--flag value` / `--switch` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals in order, options by name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Argument errors, rendered to the user by `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--opt` given twice.
+    Duplicate(String),
+    /// `--opt` expected a value but hit the end or another option.
+    MissingValue(String),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// Raw value.
+        value: String,
+        /// Expected type, for the message.
+        expected: &'static str,
+    },
+    /// A required option was not supplied.
+    Required(String),
+    /// A required positional argument was not supplied.
+    MissingPositional(&'static str),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Duplicate(o) => write!(f, "option --{o} given more than once"),
+            ArgError::MissingValue(o) => write!(f, "option --{o} expects a value"),
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} {value}: expected {expected}"),
+            ArgError::Required(o) => write!(f, "missing required option --{o}"),
+            ArgError::MissingPositional(name) => write!(f, "missing <{name}> argument"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option names that take no value.
+const SWITCHES: &[&str] = &["gantt", "json", "quiet", "synchronous", "help"];
+
+impl Args {
+    /// Parse raw arguments (without the program/subcommand names).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let name = name.to_string();
+                if SWITCHES.contains(&name.as_str()) {
+                    args.switches.push(name);
+                } else {
+                    let value = it.next().ok_or_else(|| ArgError::MissingValue(name.clone()))?;
+                    if args.options.insert(name.clone(), value).is_some() {
+                        return Err(ArgError::Duplicate(name));
+                    }
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// Number of positional arguments.
+    #[must_use]
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// Optional string option.
+    #[must_use]
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Optional parsed option.
+    pub fn opt<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Required parsed option.
+    pub fn req<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        self.opt(name, expected)?
+            .ok_or_else(|| ArgError::Required(name.to_string()))
+    }
+
+    /// Parsed option with a default.
+    pub fn opt_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        Ok(self.opt(name, expected)?.unwrap_or(default))
+    }
+
+    /// True when `--name` was given (switches only).
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["file.json", "--m", "3", "--json"]).unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "file.json");
+        assert_eq!(a.req::<usize>("m", "integer").unwrap(), 3);
+        assert!(a.switch("json"));
+        assert!(!a.switch("gantt"));
+    }
+
+    #[test]
+    fn defaults_and_missing() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.opt_or::<u64>("seed", "integer", 7).unwrap(), 7);
+        assert!(matches!(
+            a.positional(0, "input"),
+            Err(ArgError::MissingPositional("input"))
+        ));
+        assert!(matches!(
+            a.req::<usize>("m", "integer"),
+            Err(ArgError::Required(_))
+        ));
+    }
+
+    #[test]
+    fn errors_detected() {
+        assert!(matches!(
+            parse(&["--m", "2", "--m", "3"]),
+            Err(ArgError::Duplicate(_))
+        ));
+        assert!(matches!(parse(&["--m"]), Err(ArgError::MissingValue(_))));
+        let a = parse(&["--m", "abc"]).unwrap();
+        assert!(matches!(
+            a.req::<usize>("m", "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+}

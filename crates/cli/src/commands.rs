@@ -1,0 +1,374 @@
+//! Subcommand implementations. Every command is a pure function from
+//! parsed arguments to output text, so the test suite drives them without
+//! spawning processes.
+
+use std::time::Duration;
+
+use mgrts_core::csp1::{solve_csp1, Csp1Config};
+use mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
+use mgrts_core::csp2::{Csp2Budget, Csp2Solver};
+use mgrts_core::csp2_generic::{solve_csp2_generic, Csp2GenericConfig};
+use mgrts_core::heuristics::TaskOrder;
+use mgrts_core::local_search::{solve_local_search, LocalSearchConfig, LsStrategy};
+use mgrts_core::minimal_m::minimal_processors;
+use mgrts_core::verify::check_identical;
+use mgrts_core::{SolveResult, Verdict};
+use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+use rt_prob::{analyze_all, hyperperiod_miss_probability, ExecModel, McConfig};
+use rt_task::TaskSet;
+
+use crate::args::{ArgError, Args};
+use crate::io::{load_instance, CliError};
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Other(e.to_string())
+    }
+}
+
+/// Resolve `m`: flag overrides file, file overrides nothing.
+fn resolve_m(args: &Args, file_m: Option<usize>) -> Result<usize, CliError> {
+    if let Some(m) = args.opt::<usize>("m", "a processor count")? {
+        return Ok(m);
+    }
+    file_m.ok_or_else(|| CliError::Other("no --m and the input file embeds none".into()))
+}
+
+fn parse_order(args: &Args) -> Result<TaskOrder, CliError> {
+    Ok(match args.opt_str("order") {
+        None | Some("dc") => TaskOrder::DeadlineMinusWcet,
+        Some("input") => TaskOrder::Lexicographic,
+        Some("rm") => TaskOrder::RateMonotonic,
+        Some("dm") => TaskOrder::DeadlineMonotonic,
+        Some("tc") => TaskOrder::PeriodMinusWcet,
+        Some(other) => {
+            return Err(CliError::Other(format!(
+                "unknown --order {other} (expected input|rm|dm|tc|dc)"
+            )))
+        }
+    })
+}
+
+fn time_budget(args: &Args) -> Result<Option<Duration>, CliError> {
+    Ok(args
+        .opt::<u64>("time-ms", "milliseconds")?
+        .map(Duration::from_millis))
+}
+
+fn run_solver(
+    name: &str,
+    ts: &TaskSet,
+    m: usize,
+    order: TaskOrder,
+    time: Option<Duration>,
+) -> Result<SolveResult, CliError> {
+    match name {
+        "csp2" => {
+            let mut s = Csp2Solver::new(ts, m)?.with_order(order);
+            if time.is_some() {
+                s = s.with_budget(Csp2Budget {
+                    time,
+                    max_decisions: None,
+                });
+            }
+            Ok(s.solve())
+        }
+        "csp1" => Ok(solve_csp1(
+            ts,
+            m,
+            &Csp1Config {
+                time,
+                ..Csp1Config::default()
+            },
+        )?),
+        "csp2-generic" => Ok(solve_csp2_generic(
+            ts,
+            m,
+            &Csp2GenericConfig {
+                time,
+                ..Csp2GenericConfig::default()
+            },
+        )?),
+        "sat" => Ok(solve_csp1_sat(
+            ts,
+            m,
+            &Csp1SatConfig {
+                time,
+                ..Csp1SatConfig::default()
+            },
+        )?),
+        "local" => Ok(solve_local_search(ts, m, &LocalSearchConfig::default())?),
+        "local-tabu" => Ok(solve_local_search(
+            ts,
+            m,
+            &LocalSearchConfig {
+                strategy: LsStrategy::Tabu { tenure: 10 },
+                ..LocalSearchConfig::default()
+            },
+        )?),
+        "local-sa" => Ok(solve_local_search(
+            ts,
+            m,
+            &LocalSearchConfig {
+                strategy: LsStrategy::Annealing {
+                    t0: 2.0,
+                    cooling: 0.9995,
+                },
+                ..LocalSearchConfig::default()
+            },
+        )?),
+        other => Err(CliError::Other(format!(
+            "unknown --solver {other} (expected csp1|csp2|csp2-generic|sat|local|local-tabu|local-sa)"
+        ))),
+    }
+}
+
+/// `mgrts solve <instance> [--m N] [--solver S] [--order O] [--time-ms T]
+/// [--gantt] [--json]`
+pub fn cmd_solve(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let m = resolve_m(args, inst.file_m)?;
+    let solver = args.opt_str("solver").unwrap_or("csp2");
+    let order = parse_order(args)?;
+    let res = run_solver(solver, &inst.taskset, m, order, time_budget(args)?)?;
+
+    let mut out = String::new();
+    match &res.verdict {
+        Verdict::Feasible(s) => {
+            check_identical(&inst.taskset, m, s)
+                .map_err(|e| CliError::Other(format!("solver produced invalid schedule: {e}")))?;
+            out.push_str("FEASIBLE\n");
+            if args.switch("json") {
+                out.push_str(&serde_json::to_string(s).expect("schedule serializes"));
+                out.push('\n');
+            }
+            if args.switch("gantt") {
+                out.push_str(&rt_sim::render_schedule(s));
+            }
+        }
+        Verdict::Infeasible => out.push_str("INFEASIBLE\n"),
+        Verdict::Unknown(r) => out.push_str(&format!("UNKNOWN ({r:?})\n")),
+    }
+    if !args.switch("quiet") {
+        out.push_str(&format!(
+            "decisions={} failures={} elapsed={:?}\n",
+            res.stats.decisions,
+            res.stats.failures,
+            res.stats.elapsed()
+        ));
+    }
+    Ok(out)
+}
+
+/// `mgrts analyze <instance> [--m N]`
+pub fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let m = resolve_m(args, inst.file_m)?;
+    let report = rt_analysis::analyze(&inst.taskset, m);
+    Ok(report.to_string())
+}
+
+/// `mgrts generate --n N --tmax T [--m M] [--count K] [--seed S]
+/// [--synchronous]` — emits one JSON problem per line.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let n = args.req::<usize>("n", "a task count")?;
+    let t_max = args.req::<u64>("tmax", "a maximum period")?;
+    let count = args.opt_or::<u64>("count", "an instance count", 1)?;
+    let seed = args.opt_or::<u64>("seed", "a seed", 1)?;
+    let m = match args.opt_str("m") {
+        None => MSpec::UniformBelowN,
+        Some("auto") => MSpec::MinUtilization,
+        Some(v) => MSpec::Fixed(v.parse().map_err(|_| {
+            CliError::Other(format!("--m {v}: expected an integer or 'auto'"))
+        })?),
+    };
+    let cfg = GeneratorConfig {
+        n,
+        m,
+        t_max,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: args.switch("synchronous"),
+    };
+    let gen = ProblemGenerator::new(cfg, seed);
+    let mut out = String::new();
+    for p in gen.batch(count) {
+        out.push_str(&serde_json::to_string(&p).expect("problem serializes"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `mgrts min-m <instance> [--time-ms T]`
+pub fn cmd_min_m(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let result = minimal_processors(&inst.taskset, TaskOrder::DeadlineMinusWcet, time_budget(args)?)?;
+    let mut out = String::new();
+    for (m, res) in &result.probes {
+        out.push_str(&format!(
+            "m={m}: {}\n",
+            match &res.verdict {
+                Verdict::Feasible(_) => "feasible",
+                Verdict::Infeasible => "infeasible",
+                Verdict::Unknown(_) => "unknown (budget)",
+            }
+        ));
+    }
+    match result.minimal_m {
+        Some(m) => out.push_str(&format!("minimal m = {m}\n")),
+        None => out.push_str("minimal m not determined within budget\n"),
+    }
+    Ok(out)
+}
+
+/// `mgrts gantt <instance> [--m N]` — availability intervals, plus the
+/// schedule when `m` resolves and the instance is feasible.
+pub fn cmd_gantt(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let mut out = rt_sim::render_intervals(&inst.taskset)?;
+    let m = args
+        .opt::<usize>("m", "a processor count")?
+        .or(inst.file_m);
+    if let Some(m) = m {
+        let res = Csp2Solver::new(&inst.taskset, m)?
+            .with_order(TaskOrder::DeadlineMinusWcet)
+            .solve();
+        if let Some(s) = res.verdict.schedule() {
+            out.push('\n');
+            out.push_str(&rt_sim::render_schedule(s));
+        } else {
+            out.push_str("\n(no feasible schedule)\n");
+        }
+    }
+    Ok(out)
+}
+
+/// `mgrts prob <instance> [--m N] [--overrun-p P] [--overrun-factor F]
+/// [--rounds R]` — probabilistic analysis of the CSP2 schedule.
+pub fn cmd_prob(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let m = resolve_m(args, inst.file_m)?;
+    let p_over = args.opt_or::<f64>("overrun-p", "a probability", 0.0)?;
+    let factor = args.opt_or::<f64>("overrun-factor", "a factor", 2.0)?;
+    let rounds = args.opt_or::<u64>("rounds", "a round count", 10_000)?;
+
+    let res = Csp2Solver::new(&inst.taskset, m)?
+        .with_order(TaskOrder::DeadlineMinusWcet)
+        .solve();
+    let Some(schedule) = res.verdict.schedule() else {
+        return Err(CliError::Other(
+            "instance has no feasible schedule to analyze".into(),
+        ));
+    };
+    let model = if p_over > 0.0 {
+        ExecModel::with_overruns(&inst.taskset, p_over, factor)
+    } else {
+        ExecModel::uniform_to_wcet(&inst.taskset)
+    };
+    let timings = analyze_all(&inst.taskset, schedule, &model)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "exact hyperperiod miss probability: {:.6}\n",
+        hyperperiod_miss_probability(&timings)
+    ));
+    out.push_str(&format!(
+        "expected reclaimable idle per hyperperiod: {:.3} slots\n",
+        rt_prob::expected_idle_per_hyperperiod(&timings, &model)
+    ));
+    for t in &timings {
+        out.push_str(&format!(
+            "task {} job {}: miss={:.4} mean-response={}\n",
+            t.job.task,
+            t.job.k,
+            t.miss_prob,
+            t.mean_on_time_response()
+                .map_or("-".to_string(), |r| format!("{r:.2}")),
+        ));
+    }
+    let mc = rt_prob::monte_carlo_run(
+        &inst.taskset,
+        schedule,
+        &model,
+        &McConfig {
+            rounds,
+            ..McConfig::default()
+        },
+    )?;
+    out.push_str(&format!(
+        "monte-carlo ({rounds} rounds): hyperperiod miss rate {:.6}, mean idle {:.3}\n",
+        mc.hyperperiod_miss_rate(),
+        mc.mean_idle()
+    ));
+    Ok(out)
+}
+
+/// `mgrts verify <instance> --schedule <schedule.json> [--m N]`
+pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let sched_path: String = args.req("schedule", "a schedule file")?;
+    let text = std::fs::read_to_string(&sched_path)?;
+    let schedule: mgrts_core::Schedule = serde_json::from_str(&text)
+        .map_err(|e| CliError::Parse(format!("schedule file: {e}")))?;
+    let m = args
+        .opt::<usize>("m", "a processor count")?
+        .or(inst.file_m)
+        .unwrap_or_else(|| schedule.num_processors());
+    match check_identical(&inst.taskset, m, &schedule) {
+        Ok(()) => Ok("VALID: all conditions C1-C4 hold\n".to_string()),
+        Err(e) => Ok(format!("INVALID: {e}\n")),
+    }
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "mgrts — global multiprocessor real-time scheduling as a CSP\n\
+     \n\
+     USAGE: mgrts <command> [args]\n\
+     \n\
+     COMMANDS\n\
+       solve <instance>     decide feasibility and print a schedule\n\
+                            [--m N] [--solver csp1|csp2|csp2-generic|sat|local|local-tabu|local-sa]\n\
+                            [--order input|rm|dm|tc|dc] [--time-ms T] [--gantt] [--json]\n\
+       analyze <instance>   run the polynomial schedulability battery [--m N]\n\
+       generate             emit random instances (JSON, one per line)\n\
+                            --n N --tmax T [--m M|auto] [--count K] [--seed S] [--synchronous]\n\
+       min-m <instance>     incremental search for the smallest feasible m\n\
+       gantt <instance>     render availability intervals (and schedule with --m)\n\
+       prob <instance>      probabilistic execution-time analysis [--m N]\n\
+                            [--overrun-p P] [--overrun-factor F] [--rounds R]\n\
+       verify <instance>    check a schedule file against C1-C4 --schedule FILE\n\
+     \n\
+     Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
+     or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"
+        .to_string()
+}
+
+/// Dispatch a full command line (without the program name).
+pub fn dispatch(mut argv: std::env::Args) -> Result<String, CliError> {
+    let _program = argv.next();
+    let Some(command) = argv.next() else {
+        return Ok(usage());
+    };
+    let args = Args::parse(argv)?;
+    run_command(&command, &args)
+}
+
+/// Dispatch with explicit tokens (test entry point).
+pub fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
+    if args.switch("help") {
+        return Ok(usage());
+    }
+    match command {
+        "solve" => cmd_solve(args),
+        "analyze" => cmd_analyze(args),
+        "generate" => cmd_generate(args),
+        "min-m" => cmd_min_m(args),
+        "gantt" => cmd_gantt(args),
+        "prob" => cmd_prob(args),
+        "verify" => cmd_verify(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Other(format!(
+            "unknown command {other:?}; run `mgrts help`"
+        ))),
+    }
+}

@@ -1,0 +1,134 @@
+//! Instance and schedule (de)serialization for the CLI.
+//!
+//! The on-disk instance format is JSON and accepts two shapes:
+//!
+//! ```json
+//! {"tasks": [{"offset":0,"wcet":1,"deadline":2,"period":2}, …]}
+//! ```
+//!
+//! or a full generated problem (what `mgrts generate` writes):
+//!
+//! ```json
+//! {"taskset": {"tasks": […]}, "m": 2, "seed": 42}
+//! ```
+
+use rt_gen::Problem;
+use rt_task::TaskSet;
+
+/// A loaded instance: the task set plus an optional processor count from
+/// the file (a `--m` flag overrides it).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The task set.
+    pub taskset: TaskSet,
+    /// Processor count embedded in the file, when the file was a full
+    /// problem.
+    pub file_m: Option<usize>,
+}
+
+/// CLI-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// I/O failure reading or writing a file.
+    Io(std::io::Error),
+    /// Neither instance shape parsed.
+    Parse(String),
+    /// Task-model violation (empty set, D > T where forbidden, …).
+    Task(rt_task::TaskError),
+    /// Anything command-specific.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Parse(e) => write!(f, "parse: {e}"),
+            CliError::Task(e) => write!(f, "task model: {e}"),
+            CliError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<rt_task::TaskError> for CliError {
+    fn from(e: rt_task::TaskError) -> Self {
+        CliError::Task(e)
+    }
+}
+
+/// Parse instance JSON text (both accepted shapes).
+pub fn parse_instance(text: &str) -> Result<Instance, CliError> {
+    if let Ok(p) = serde_json::from_str::<Problem>(text) {
+        return Ok(Instance {
+            taskset: p.taskset,
+            file_m: Some(p.m),
+        });
+    }
+    match serde_json::from_str::<TaskSet>(text) {
+        Ok(ts) => Ok(Instance {
+            taskset: ts,
+            file_m: None,
+        }),
+        Err(e) => Err(CliError::Parse(format!(
+            "input is neither a problem nor a task set: {e}"
+        ))),
+    }
+}
+
+/// Load an instance from a path, `-` meaning stdin.
+pub fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    parse_instance(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_taskset() {
+        let text = r#"{"tasks":[{"offset":0,"wcet":1,"deadline":2,"period":2}]}"#;
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.taskset.len(), 1);
+        assert_eq!(inst.file_m, None);
+    }
+
+    #[test]
+    fn parses_full_problem() {
+        let text = r#"{
+            "taskset": {"tasks":[{"offset":0,"wcet":1,"deadline":2,"period":2}]},
+            "m": 2, "seed": 7
+        }"#;
+        let inst = parse_instance(text).unwrap();
+        assert_eq!(inst.file_m, Some(2));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(parse_instance("[1,2,3]"), Err(CliError::Parse(_))));
+        assert!(matches!(parse_instance("not json"), Err(CliError::Parse(_))));
+    }
+
+    #[test]
+    fn roundtrip_with_generator_output() {
+        let ts = TaskSet::running_example();
+        let text = serde_json::to_string(&ts).unwrap();
+        let inst = parse_instance(&text).unwrap();
+        assert_eq!(inst.taskset, ts);
+    }
+}

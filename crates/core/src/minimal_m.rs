@@ -1,0 +1,127 @@
+//! Incremental search for the smallest feasible processor count
+//! (Section VII-E: "It would be interesting to use an algorithm which
+//! incrementally searches for the smallest number of processors m required
+//! to schedule a given set of tasks.").
+//!
+//! Feasibility is monotone in `m` on identical platforms (extra processors
+//! can simply idle), so scanning upward from the utilization lower bound
+//! `mmin = ⌈Σ Ci/Ti⌉` and stopping at the first feasible count is exact.
+//! `m = n` is always sufficient for a constrained-deadline system (each
+//! task runs alone on its own processor, and `Ci ≤ Di` lets every job
+//! complete inside its window), which bounds the scan.
+
+use std::time::Duration;
+
+use rt_task::{TaskError, TaskSet};
+
+use crate::csp2::{Csp2Budget, Csp2Solver};
+use crate::heuristics::TaskOrder;
+use crate::solve::{SolveResult, Verdict};
+
+/// Result of the incremental minimum-`m` search.
+#[derive(Debug, Clone)]
+pub struct MinimalMResult {
+    /// The smallest `m` found feasible, if the scan concluded.
+    pub minimal_m: Option<usize>,
+    /// Every `m` probed, with its verdict.
+    pub probes: Vec<(usize, SolveResult)>,
+}
+
+/// Scan `m = mmin, mmin+1, …, n` with the CSP2 solver until feasible.
+///
+/// `per_probe_time` bounds each individual solve; a probe that times out
+/// aborts the scan with `minimal_m = None` (monotonicity cannot be invoked
+/// on an unknown verdict).
+pub fn minimal_processors(
+    ts: &TaskSet,
+    order: TaskOrder,
+    per_probe_time: Option<Duration>,
+) -> Result<MinimalMResult, TaskError> {
+    let mut probes = Vec::new();
+    let lo = ts.min_processors();
+    let hi = ts.len().max(lo);
+    for m in lo..=hi {
+        let res = Csp2Solver::new(ts, m)?
+            .with_order(order)
+            .with_budget(Csp2Budget {
+                time: per_probe_time,
+                max_decisions: None,
+            })
+            .solve();
+        let verdict = res.verdict.clone();
+        probes.push((m, res));
+        match verdict {
+            Verdict::Feasible(_) => {
+                return Ok(MinimalMResult {
+                    minimal_m: Some(m),
+                    probes,
+                })
+            }
+            Verdict::Infeasible => continue,
+            Verdict::Unknown(_) => {
+                return Ok(MinimalMResult {
+                    minimal_m: None,
+                    probes,
+                })
+            }
+        }
+    }
+    // Unreachable for valid constrained sets (m = n is always feasible),
+    // but stay total.
+    Ok(MinimalMResult {
+        minimal_m: None,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_identical;
+
+    #[test]
+    fn running_example_needs_two() {
+        let ts = TaskSet::running_example(); // U = 23/12 → mmin = 2
+        let res = minimal_processors(&ts, TaskOrder::DeadlineMinusWcet, None).unwrap();
+        assert_eq!(res.minimal_m, Some(2));
+        // First probe is already at the utilization bound.
+        assert_eq!(res.probes[0].0, 2);
+        let s = res.probes.last().unwrap().1.verdict.schedule().unwrap();
+        check_identical(&ts, 2, s).unwrap();
+    }
+
+    #[test]
+    fn utilization_bound_can_be_strict() {
+        // Three simultaneous (C=1, D=1, T=2) jobs: U = 3/2 → mmin = 2, but
+        // the release instant forces m = 3.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let res = minimal_processors(&ts, TaskOrder::DeadlineMinusWcet, None).unwrap();
+        assert_eq!(res.minimal_m, Some(3));
+        assert_eq!(res.probes.len(), 2); // m = 2 infeasible, m = 3 feasible
+        assert!(res.probes[0].1.verdict.is_infeasible());
+    }
+
+    #[test]
+    fn single_task_needs_one() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 4)]);
+        let res = minimal_processors(&ts, TaskOrder::RateMonotonic, None).unwrap();
+        assert_eq!(res.minimal_m, Some(1));
+    }
+
+    #[test]
+    fn n_processors_always_suffice() {
+        // Dense tasks: every task needs its own processor.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 3, 3, 3), (0, 5, 5, 5)]);
+        let res = minimal_processors(&ts, TaskOrder::DeadlineMinusWcet, None).unwrap();
+        assert_eq!(res.minimal_m, Some(3));
+    }
+
+    #[test]
+    fn timeout_aborts_with_none() {
+        let ts = TaskSet::running_example();
+        let res =
+            minimal_processors(&ts, TaskOrder::DeadlineMinusWcet, Some(Duration::ZERO)).unwrap();
+        assert_eq!(res.minimal_m, None);
+        assert!(res.probes[0].1.verdict.is_unknown());
+    }
+}

@@ -1,0 +1,197 @@
+//! Incremental minimal-`m` search on the SAT route.
+//!
+//! Section VII-E: "It would be interesting to use an algorithm which
+//! incrementally searches for the smallest number of processors m required
+//! to schedule a given set of tasks." [`crate::minimal_m`] does this by
+//! independent CSP2 solves; this module does it *incrementally* in the
+//! CDCL sense: one CNF built once for the upper-bound processor count with
+//! a switch variable `e_j` per processor (`x_{i,j}(t) → e_j`), then one
+//! solver instance queried under assumptions `¬e_j` for the disabled
+//! processors. Clauses learned while refuting `m` processors carry over to
+//! the `m+1` query — the incremental dividend the paper anticipates.
+//! Processors being interchangeable, disabling a suffix loses no
+//! generality.
+
+use rt_sat::{Lit, SatConfig, SatOutcome, SatSolver};
+use rt_task::{JobInstants, TaskError, TaskSet};
+
+use crate::csp1::Csp1Layout;
+use crate::csp1_sat::{decode_model, encode_cnf};
+use crate::schedule::Schedule;
+use crate::verify::check_identical;
+
+/// Result of the incremental scan.
+#[derive(Debug, Clone)]
+pub struct MinimalMSat {
+    /// The smallest feasible processor count, when the scan concluded.
+    pub minimal_m: Option<usize>,
+    /// A feasible schedule on `minimal_m` processors (restricted to the
+    /// enabled prefix).
+    pub schedule: Option<Schedule>,
+    /// Every probed `m` with its verdict (`true` = feasible).
+    pub probes: Vec<(usize, bool)>,
+    /// Conflicts accumulated across the whole scan (one solver instance).
+    pub total_conflicts: u64,
+}
+
+/// Scan `m = ⌈U⌉ … n` with one incremental CDCL instance.
+///
+/// Returns `minimal_m: None` when even `n` processors do not suffice
+/// (tasks never benefit from more processors than tasks, since parallelism
+/// within a task is forbidden) or when a conflict budget in `cfg` stops
+/// the scan early.
+pub fn minimal_m_sat(ts: &TaskSet, cfg: SatConfig) -> Result<MinimalMSat, TaskError> {
+    let ji = JobInstants::new(ts)?;
+    let n = ts.len();
+    let m_hi = n.max(1);
+    let lo = ts.min_processors().max(1);
+
+    // Encode for the full m_hi processors, then append switch semantics.
+    let (mut cnf, layout) = encode_cnf(ts, m_hi, rt_sat::AmoEncoding::Pairwise)?;
+    let switches: Vec<Lit> = (0..m_hi).map(|_| Lit::pos(cnf.new_var())).collect();
+    let h = ji.hyperperiod();
+    for i in 0..n {
+        for (j, &switch) in switches.iter().enumerate() {
+            for t in 0..h {
+                if ji.job_at(i, t).is_some() {
+                    let x = Lit::pos(u32::try_from(layout.var(i, j, t)).expect("fits u32"));
+                    cnf.add_binary(!x, switch);
+                }
+            }
+        }
+    }
+
+    let mut solver = SatSolver::new(&cnf, cfg);
+    let mut probes = Vec::new();
+    let mut total_conflicts = 0;
+    for m in lo..=m_hi {
+        let assumptions: Vec<Lit> = switches[m..].iter().map(|&e| !e).collect();
+        let outcome = solver.solve_with_assumptions(&assumptions);
+        total_conflicts = solver.stats().conflicts;
+        match outcome {
+            SatOutcome::Sat(model) => {
+                probes.push((m, true));
+                // Decode on the full layout, then shrink to the enabled
+                // prefix (disabled processors are provably idle).
+                let full = decode_model(&layout, &model);
+                let mut shrunk = Schedule::idle(m, h);
+                for (j, t, task) in full.busy_iter() {
+                    assert!(j < m, "disabled processor executed work");
+                    shrunk.set(j, t, Some(task));
+                }
+                check_identical(ts, m, &shrunk)
+                    .unwrap_or_else(|e| panic!("SAT minimal-m produced invalid schedule: {e}"));
+                return Ok(MinimalMSat {
+                    minimal_m: Some(m),
+                    schedule: Some(shrunk),
+                    probes,
+                    total_conflicts,
+                });
+            }
+            SatOutcome::Unsat => probes.push((m, false)),
+            SatOutcome::Unknown(_) => {
+                return Ok(MinimalMSat {
+                    minimal_m: None,
+                    schedule: None,
+                    probes,
+                    total_conflicts,
+                })
+            }
+        }
+    }
+    Ok(MinimalMSat {
+        minimal_m: None,
+        schedule: None,
+        probes,
+        total_conflicts,
+    })
+}
+
+/// Variable layout helper re-exported for tests: the switch of processor
+/// `j` sits immediately after the base grid and any encoding auxiliaries,
+/// so it is *not* part of [`Csp1Layout`]; this function only documents
+/// that invariant for downstream users decoding raw models.
+#[must_use]
+pub fn grid_cells(layout: &Csp1Layout) -> u64 {
+    layout.cells()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::TaskOrder;
+    use crate::minimal_m::minimal_processors;
+
+    #[test]
+    fn running_example_needs_two() {
+        let ts = TaskSet::running_example();
+        let res = minimal_m_sat(&ts, SatConfig::default()).unwrap();
+        assert_eq!(res.minimal_m, Some(2));
+        assert_eq!(res.probes, vec![(2, true)]); // ⌈23/12⌉ = 2 starts the scan
+        assert!(res.schedule.is_some());
+    }
+
+    #[test]
+    fn scan_walks_past_infeasible_counts() {
+        // Three always-busy tasks: m = 2 (⌈U⌉ = 2? U = 3 → lo = 3)…
+        // use tasks with slack so the scan actually probes and rejects.
+        // Two tasks requiring simultaneity: (0,1,1,2) twice → U = 1,
+        // lo = 1, but both need instant 0 → m = 2.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2)]);
+        let res = minimal_m_sat(&ts, SatConfig::default()).unwrap();
+        assert_eq!(res.minimal_m, Some(2));
+        assert_eq!(res.probes, vec![(1, false), (2, true)]);
+    }
+
+    #[test]
+    fn agrees_with_csp2_scan_on_random_instances() {
+        use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+        let gen = ProblemGenerator::new(
+            GeneratorConfig {
+                n: 4,
+                m: MSpec::Fixed(2),
+                t_max: 4,
+                order: ParamOrder::DeadlineFirst,
+                synchronous: false,
+            },
+            0x315A7,
+        );
+        for p in gen.batch(40) {
+            let sat = minimal_m_sat(&p.taskset, SatConfig::default()).unwrap();
+            let csp2 =
+                minimal_processors(&p.taskset, TaskOrder::DeadlineMinusWcet, None).unwrap();
+            assert_eq!(
+                sat.minimal_m, csp2.minimal_m,
+                "SAT vs CSP2 minimal-m disagree on seed {}",
+                p.seed
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_at_any_m_reports_none() {
+        // A single task can never need parallelism; craft infeasibility
+        // via window overload that persists for any m: impossible for
+        // independent windows — instead verify the n-processor ceiling:
+        // three tasks all requiring [0,1) need m = 3 exactly, and the
+        // scan must find 3 (= n), never None.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let res = minimal_m_sat(&ts, SatConfig::default()).unwrap();
+        assert_eq!(res.minimal_m, Some(3));
+        assert_eq!(res.probes.len(), 2); // lo = ⌈3/2⌉ = 2, then 3
+    }
+
+    #[test]
+    fn budget_stops_scan_cleanly() {
+        let ts = TaskSet::running_example();
+        let cfg = SatConfig {
+            max_conflicts: Some(0),
+            ..SatConfig::default()
+        };
+        let res = minimal_m_sat(&ts, cfg).unwrap();
+        // Either decided by pure propagation or stopped with None.
+        if res.minimal_m.is_none() {
+            assert!(res.schedule.is_none());
+        }
+    }
+}

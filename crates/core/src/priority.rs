@@ -1,0 +1,160 @@
+//! The priority-assignment viewpoint (Section VIII, second future-work
+//! bullet): instead of searching slot assignments directly, search the `n!`
+//! task priority orderings and test each with a (cheap) fixed-priority
+//! scheduler.
+//!
+//! The paper's experiments single out the (D-C) ordering as the best CSP2
+//! value heuristic and suggest that "an optimal priority assignment
+//! algorithm could be built starting from a first ordering based on a (D-C)
+//! criterion". This module is scheduler-agnostic: schedulability of a
+//! concrete ordering is delegated to a caller-supplied test (the global
+//! fixed-priority simulator lives in `rt-sim`, which depends on this
+//! crate).
+
+use rt_task::{TaskId, TaskSet};
+
+use crate::heuristics::TaskOrder;
+
+/// The (D-C) seed ordering (smallest `Di − Ci` first).
+#[must_use]
+pub fn dc_seed(ts: &TaskSet) -> Vec<TaskId> {
+    TaskOrder::DeadlineMinusWcet.priorities(ts)
+}
+
+/// Exhaustive optimal priority assignment: try every permutation (in
+/// lexicographic order of the seed-relative index) and return the first
+/// ordering accepted by `is_schedulable`. Exact but `O(n!)`; guarded to
+/// `n ≤ 10`.
+pub fn exhaustive_assignment<F>(ts: &TaskSet, mut is_schedulable: F) -> Option<Vec<TaskId>>
+where
+    F: FnMut(&[TaskId]) -> bool,
+{
+    assert!(ts.len() <= 10, "n! search guarded to n ≤ 10");
+    let mut perm: Vec<TaskId> = (0..ts.len()).collect();
+    permute(&mut perm, 0, &mut is_schedulable)
+}
+
+fn permute<F>(perm: &mut Vec<TaskId>, k: usize, check: &mut F) -> Option<Vec<TaskId>>
+where
+    F: FnMut(&[TaskId]) -> bool,
+{
+    if k == perm.len() {
+        return check(perm).then(|| perm.clone());
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        if let Some(found) = permute(perm, k + 1, check) {
+            return Some(found);
+        }
+        perm.swap(k, i);
+    }
+    None
+}
+
+/// (D-C)-seeded greedy search: start from [`dc_seed`] and hill-climb over
+/// adjacent transpositions, accepting the first schedulable ordering met.
+/// Incomplete but cheap — the paper's suggested starting point made
+/// concrete. Returns the ordering and how many candidate orderings were
+/// tested.
+pub fn dc_seeded_assignment<F>(
+    ts: &TaskSet,
+    mut is_schedulable: F,
+) -> (Option<Vec<TaskId>>, u64)
+where
+    F: FnMut(&[TaskId]) -> bool,
+{
+    let seed = dc_seed(ts);
+    let mut tested = 1;
+    if is_schedulable(&seed) {
+        return (Some(seed), tested);
+    }
+    // One pass of adjacent transpositions around the seed; each swap is a
+    // minimal perturbation of the (D-C) criterion.
+    for i in 0..seed.len().saturating_sub(1) {
+        let mut cand = seed.clone();
+        cand.swap(i, i + 1);
+        tested += 1;
+        if is_schedulable(&cand) {
+            return (Some(cand), tested);
+        }
+    }
+    // Second ring: rotate each task to the front.
+    for i in 1..seed.len() {
+        let mut cand = seed.clone();
+        let t = cand.remove(i);
+        cand.insert(0, t);
+        tested += 1;
+        if is_schedulable(&cand) {
+            return (Some(cand), tested);
+        }
+    }
+    (None, tested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_seed_matches_heuristic() {
+        let ts = TaskSet::running_example();
+        // Slacks: τ1: 2−1 = 1, τ2: 4−3 = 1, τ3: 2−2 = 0 → τ3 first.
+        assert_eq!(dc_seed(&ts), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn exhaustive_finds_the_unique_acceptable_order() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 2, 2), (0, 1, 2, 4)]);
+        // Accept only the exact ordering [1, 2, 0].
+        let want = vec![1usize, 2, 0];
+        let found = exhaustive_assignment(&ts, |p| p == want.as_slice());
+        assert_eq!(found, Some(want));
+    }
+
+    #[test]
+    fn exhaustive_none_when_unschedulable() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 2, 2)]);
+        assert_eq!(exhaustive_assignment(&ts, |_| false), None);
+    }
+
+    #[test]
+    fn exhaustive_counts_all_permutations() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 2, 2), (0, 1, 2, 2)]);
+        let mut count = 0;
+        assert_eq!(
+            exhaustive_assignment(&ts, |_| {
+                count += 1;
+                false
+            }),
+            None
+        );
+        assert_eq!(count, 6); // 3!
+    }
+
+    #[test]
+    fn seeded_search_accepts_the_seed_first() {
+        let ts = TaskSet::running_example();
+        let (found, tested) = dc_seeded_assignment(&ts, |_| true);
+        assert_eq!(found, Some(dc_seed(&ts)));
+        assert_eq!(tested, 1);
+    }
+
+    #[test]
+    fn seeded_search_explores_neighbours() {
+        let ts = TaskSet::running_example();
+        let seed = dc_seed(&ts); // [2, 0, 1]
+        let mut target = seed.clone();
+        target.swap(0, 1); // an adjacent transposition
+        let (found, tested) = dc_seeded_assignment(&ts, |p| p == target.as_slice());
+        assert_eq!(found, Some(target));
+        assert!(tested >= 2);
+    }
+
+    #[test]
+    fn seeded_search_gives_up_gracefully() {
+        let ts = TaskSet::running_example();
+        let (found, tested) = dc_seeded_assignment(&ts, |_| false);
+        assert_eq!(found, None);
+        assert!(tested >= 4);
+    }
+}

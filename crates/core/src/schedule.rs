@@ -1,0 +1,170 @@
+//! The periodic schedule object of Theorem 1.
+//!
+//! A feasible schedule for a constrained-deadline system exists iff a
+//! feasible schedule of one hyperperiod exists; the infinite schedule is the
+//! finite one repeated (`σj(t) = σj(t + kH)`). [`Schedule`] stores that
+//! finite window as an `m × H` grid of task assignments.
+
+use serde::{Deserialize, Serialize};
+
+use rt_task::{TaskId, Time};
+
+/// One hyperperiod of a global multiprocessor schedule.
+///
+/// Entry `(j, t)` holds `Some(i)` when task `τi` runs on processor `Pj` at
+/// instant `t`, `None` when `Pj` idles (the paper's `σj(t) = 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    m: usize,
+    horizon: Time,
+    /// Row-major by time: `grid[t * m + j]`.
+    grid: Vec<Option<TaskId>>,
+}
+
+impl Schedule {
+    /// An all-idle schedule of `m` processors over `horizon` ticks.
+    #[must_use]
+    pub fn idle(m: usize, horizon: Time) -> Self {
+        Schedule {
+            m,
+            horizon,
+            grid: vec![None; m * horizon as usize],
+        }
+    }
+
+    /// Build from a row-major grid (`grid[t * m + j]`). Panics when the grid
+    /// size does not equal `m·horizon`.
+    #[must_use]
+    pub fn from_grid(m: usize, horizon: Time, grid: Vec<Option<TaskId>>) -> Self {
+        assert_eq!(grid.len(), m * horizon as usize, "grid size mismatch");
+        Schedule { m, horizon, grid }
+    }
+
+    /// Number of processors `m`.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.m
+    }
+
+    /// The hyperperiod `H` this schedule covers.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Assignment of processor `j` at *absolute* instant `t` — the periodic
+    /// extension of Theorem 1: instants beyond the horizon wrap modulo `H`.
+    #[must_use]
+    pub fn at(&self, proc: usize, t: Time) -> Option<TaskId> {
+        let tm = (t % self.horizon) as usize;
+        self.grid[tm * self.m + proc]
+    }
+
+    /// Set the assignment at an instant within the horizon.
+    pub fn set(&mut self, proc: usize, t: Time, task: Option<TaskId>) {
+        assert!(t < self.horizon, "instant outside the schedule window");
+        self.grid[t as usize * self.m + proc] = task;
+    }
+
+    /// All assignments at instant `t` (wrapping), indexed by processor.
+    #[must_use]
+    pub fn row(&self, t: Time) -> Vec<Option<TaskId>> {
+        let tm = (t % self.horizon) as usize;
+        self.grid[tm * self.m..(tm + 1) * self.m].to_vec()
+    }
+
+    /// Which processor (if any) runs `task` at instant `t` (wrapping).
+    #[must_use]
+    pub fn processor_of(&self, task: TaskId, t: Time) -> Option<usize> {
+        let tm = (t % self.horizon) as usize;
+        (0..self.m).find(|&j| self.grid[tm * self.m + j] == Some(task))
+    }
+
+    /// Total busy slots (non-idle entries) in one hyperperiod.
+    #[must_use]
+    pub fn busy_slots(&self) -> usize {
+        self.grid.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Units of execution task `i` receives in `[from, to)` (absolute time,
+    /// wrapping periodically). On identical platforms 1 slot = 1 unit.
+    #[must_use]
+    pub fn service(&self, task: TaskId, from: Time, to: Time) -> Time {
+        (from..to)
+            .filter(|&t| self.processor_of(task, t).is_some())
+            .count() as Time
+    }
+
+    /// Iterate `(proc, t, task)` over all busy slots of the window.
+    pub fn busy_iter(&self) -> impl Iterator<Item = (usize, Time, TaskId)> + '_ {
+        self.grid.iter().enumerate().filter_map(move |(idx, e)| {
+            e.map(|task| ((idx % self.m), (idx / self.m) as Time, task))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_schedule() {
+        let s = Schedule::idle(2, 5);
+        assert_eq!(s.num_processors(), 2);
+        assert_eq!(s.horizon(), 5);
+        assert_eq!(s.busy_slots(), 0);
+        assert_eq!(s.at(1, 3), None);
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let mut s = Schedule::idle(2, 4);
+        s.set(0, 0, Some(7));
+        s.set(1, 0, Some(3));
+        s.set(0, 2, Some(7));
+        assert_eq!(s.at(0, 0), Some(7));
+        assert_eq!(s.at(1, 0), Some(3));
+        assert_eq!(s.row(0), vec![Some(7), Some(3)]);
+        assert_eq!(s.busy_slots(), 3);
+    }
+
+    #[test]
+    fn periodic_wrapping() {
+        let mut s = Schedule::idle(1, 3);
+        s.set(0, 1, Some(0));
+        // Theorem 1: σ(t) = σ(t + kH).
+        assert_eq!(s.at(0, 1), Some(0));
+        assert_eq!(s.at(0, 4), Some(0));
+        assert_eq!(s.at(0, 7), Some(0));
+        assert_eq!(s.at(0, 3), None);
+    }
+
+    #[test]
+    fn processor_of_and_service() {
+        let mut s = Schedule::idle(2, 4);
+        s.set(1, 0, Some(5));
+        s.set(0, 1, Some(5));
+        assert_eq!(s.processor_of(5, 0), Some(1));
+        assert_eq!(s.processor_of(5, 1), Some(0));
+        assert_eq!(s.processor_of(5, 2), None);
+        assert_eq!(s.service(5, 0, 4), 2);
+        // Wrapping service across two hyperperiods.
+        assert_eq!(s.service(5, 0, 8), 4);
+    }
+
+    #[test]
+    fn busy_iter_yields_all() {
+        let mut s = Schedule::idle(2, 2);
+        s.set(0, 0, Some(1));
+        s.set(1, 1, Some(2));
+        let mut v: Vec<_> = s.busy_iter().collect();
+        v.sort();
+        assert_eq!(v, vec![(0, 0, 1), (1, 1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size mismatch")]
+    fn from_grid_validates() {
+        let _ = Schedule::from_grid(2, 3, vec![None; 5]);
+    }
+}

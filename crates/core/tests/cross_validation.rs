@@ -1,0 +1,159 @@
+//! Cross-validation of all solvers on random instances — the paper's own
+//! methodology industrialized: "the first implementation (CSP1 …) has
+//! helped debugging the second implementation (CSP2) by comparing their
+//! respective results: some bugs are rare and hardly noticeable"
+//! (Section VII).
+//!
+//! Every solver must agree on feasibility, every produced schedule must
+//! pass the independent C1–C4 verifier, and the exact solvers must agree
+//! with the necessary-condition prechecks.
+
+use mgrts_core::csp1::{solve_csp1, Csp1Config};
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::csp2_generic::{solve_csp2_generic, Csp2GenericConfig};
+use mgrts_core::heuristics::TaskOrder;
+use mgrts_core::local_search::{solve_local_search, LocalSearchConfig};
+use mgrts_core::verify::check_identical;
+use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+use rt_task::demand::{demand_precheck, Precheck};
+
+fn small_config() -> GeneratorConfig {
+    GeneratorConfig {
+        n: 4,
+        m: MSpec::Fixed(2),
+        t_max: 4,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: false,
+    }
+}
+
+#[test]
+fn all_exact_solvers_agree_on_200_random_instances() {
+    let gen = ProblemGenerator::new(small_config(), 0xC5F1);
+    let mut feasible = 0;
+    let mut infeasible = 0;
+    for p in gen.batch(200) {
+        let csp2 = Csp2Solver::new(&p.taskset, p.m)
+            .unwrap()
+            .with_order(TaskOrder::DeadlineMinusWcet)
+            .solve();
+        let csp1 = solve_csp1(&p.taskset, p.m, &Csp1Config::default()).unwrap();
+        let generic = solve_csp2_generic(&p.taskset, p.m, &Csp2GenericConfig::default()).unwrap();
+
+        let f2 = csp2.verdict.is_feasible();
+        let f1 = csp1.verdict.is_feasible();
+        let fg = generic.verdict.is_feasible();
+        assert_eq!(f1, f2, "CSP1 vs CSP2 disagree on seed {}", p.seed);
+        assert_eq!(fg, f2, "generic CSP2 vs CSP2 disagree on seed {}", p.seed);
+
+        for (name, res) in [("csp1", &csp1), ("csp2", &csp2), ("generic", &generic)] {
+            if let Some(s) = res.verdict.schedule() {
+                check_identical(&p.taskset, p.m, s)
+                    .unwrap_or_else(|e| panic!("{name} schedule invalid on seed {}: {e}", p.seed));
+            }
+        }
+        if f2 {
+            feasible += 1;
+        } else {
+            infeasible += 1;
+        }
+    }
+    // The workload should exercise both verdicts, otherwise the test is
+    // vacuous.
+    assert!(feasible >= 20, "only {feasible} feasible instances");
+    assert!(infeasible >= 20, "only {infeasible} infeasible instances");
+}
+
+#[test]
+fn every_heuristic_agrees_with_the_reference() {
+    let gen = ProblemGenerator::new(small_config(), 0xBEEF);
+    for p in gen.batch(60) {
+        let reference = Csp2Solver::new(&p.taskset, p.m).unwrap().solve();
+        for order in TaskOrder::ALL {
+            let res = Csp2Solver::new(&p.taskset, p.m)
+                .unwrap()
+                .with_order(order)
+                .solve();
+            assert_eq!(
+                res.verdict.is_feasible(),
+                reference.verdict.is_feasible(),
+                "heuristic {order:?} changes the verdict on seed {}",
+                p.seed
+            );
+            if let Some(s) = res.verdict.schedule() {
+                check_identical(&p.taskset, p.m, s).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn prechecks_never_contradict_the_exact_solver() {
+    let gen = ProblemGenerator::new(small_config(), 0xFEED);
+    for p in gen.batch(150) {
+        let res = Csp2Solver::new(&p.taskset, p.m).unwrap().solve();
+        match demand_precheck(&p.taskset, p.m) {
+            Precheck::UtilizationExceeded | Precheck::WindowOverload { .. } => {
+                assert!(
+                    res.verdict.is_infeasible(),
+                    "precheck claimed infeasible but CSP2 found a schedule (seed {})",
+                    p.seed
+                );
+            }
+            Precheck::Unknown => {}
+        }
+    }
+}
+
+#[test]
+fn local_search_only_finds_genuinely_feasible_instances() {
+    let gen = ProblemGenerator::new(small_config(), 0xAB);
+    for p in gen.batch(40) {
+        let cfg = LocalSearchConfig {
+            max_iters: 20_000,
+            ..Default::default()
+        };
+        let ls = solve_local_search(&p.taskset, p.m, &cfg).unwrap();
+        if let Some(s) = ls.verdict.schedule() {
+            check_identical(&p.taskset, p.m, s).unwrap();
+            let exact = Csp2Solver::new(&p.taskset, p.m).unwrap().solve();
+            assert!(
+                exact.verdict.is_feasible(),
+                "local search found a schedule the exact solver says cannot exist (seed {})",
+                p.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_sized_instances_solve_under_csp2_dc() {
+    // The paper's workload shape: n = 10, m = 5, Tmax = 7. CSP2+(D-C)
+    // should dispatch these fast; give each a generous decision budget and
+    // demand a verdict (not Unknown) on a majority.
+    use mgrts_core::csp2::Csp2Budget;
+    use std::time::Duration;
+    let gen = ProblemGenerator::new(GeneratorConfig::table1(), 0x2009);
+    let mut decided = 0;
+    let total = 30;
+    for p in gen.batch(total) {
+        let res = Csp2Solver::new(&p.taskset, p.m)
+            .unwrap()
+            .with_order(TaskOrder::DeadlineMinusWcet)
+            .with_budget(Csp2Budget {
+                time: Some(Duration::from_millis(500)),
+                max_decisions: None,
+            })
+            .solve();
+        if !res.verdict.is_unknown() {
+            decided += 1;
+            if let Some(s) = res.verdict.schedule() {
+                check_identical(&p.taskset, p.m, s).unwrap();
+            }
+        }
+    }
+    assert!(
+        decided * 10 >= total * 7,
+        "CSP2+(D-C) decided only {decided}/{total} paper-sized instances"
+    );
+}

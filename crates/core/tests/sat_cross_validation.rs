@@ -1,0 +1,108 @@
+//! Cross-validation of the SAT route (CSP1 → CNF → CDCL) against the
+//! specialized CSP2 solver, extending the paper's debugging methodology to
+//! a third independent implementation: three solvers sharing no search code
+//! must agree on every random instance.
+
+use mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::heuristics::TaskOrder;
+use mgrts_core::verify::check_identical;
+use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
+use rt_sat::AmoEncoding;
+
+fn small_config() -> GeneratorConfig {
+    GeneratorConfig {
+        n: 4,
+        m: MSpec::Fixed(2),
+        t_max: 4,
+        order: ParamOrder::DeadlineFirst,
+        synchronous: false,
+    }
+}
+
+#[test]
+fn sat_route_agrees_with_csp2_on_200_random_instances() {
+    let gen = ProblemGenerator::new(small_config(), 0x5A7);
+    let mut feasible = 0;
+    for p in gen.batch(200) {
+        let csp2 = Csp2Solver::new(&p.taskset, p.m)
+            .unwrap()
+            .with_order(TaskOrder::DeadlineMinusWcet)
+            .solve();
+        let sat = solve_csp1_sat(&p.taskset, p.m, &Csp1SatConfig::default()).unwrap();
+        assert_eq!(
+            sat.verdict.is_feasible(),
+            csp2.verdict.is_feasible(),
+            "SAT vs CSP2 disagree on seed {}",
+            p.seed
+        );
+        if let Some(s) = sat.verdict.schedule() {
+            check_identical(&p.taskset, p.m, s)
+                .unwrap_or_else(|e| panic!("SAT schedule invalid on seed {}: {e}", p.seed));
+            feasible += 1;
+        }
+    }
+    assert!(feasible >= 20, "only {feasible} feasible instances");
+}
+
+#[test]
+fn both_amo_encodings_agree() {
+    let gen = ProblemGenerator::new(small_config(), 0xA770);
+    for p in gen.batch(80) {
+        let pairwise = solve_csp1_sat(
+            &p.taskset,
+            p.m,
+            &Csp1SatConfig {
+                amo: AmoEncoding::Pairwise,
+                ..Csp1SatConfig::default()
+            },
+        )
+        .unwrap();
+        let ladder = solve_csp1_sat(
+            &p.taskset,
+            p.m,
+            &Csp1SatConfig {
+                amo: AmoEncoding::Ladder,
+                ..Csp1SatConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            pairwise.verdict.is_feasible(),
+            ladder.verdict.is_feasible(),
+            "AMO encodings disagree on seed {}",
+            p.seed
+        );
+        for res in [&pairwise, &ladder] {
+            if let Some(s) = res.verdict.schedule() {
+                check_identical(&p.taskset, p.m, s).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn sat_route_solves_paper_sized_instances() {
+    // Table-I shape (n = 10, m = 5, Tmax = 7): the CDCL solver should
+    // decide a clear majority within a modest conflict budget.
+    let gen = ProblemGenerator::new(GeneratorConfig::table1(), 0x2009);
+    let total = 20;
+    let mut decided = 0;
+    for p in gen.batch(total) {
+        let cfg = Csp1SatConfig {
+            max_conflicts: Some(200_000),
+            ..Csp1SatConfig::default()
+        };
+        let res = solve_csp1_sat(&p.taskset, p.m, &cfg).unwrap();
+        if !res.verdict.is_unknown() {
+            decided += 1;
+            if let Some(s) = res.verdict.schedule() {
+                check_identical(&p.taskset, p.m, s).unwrap();
+            }
+        }
+    }
+    assert!(
+        decided * 10 >= total * 7,
+        "SAT route decided only {decided}/{total} paper-sized instances"
+    );
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # csp-engine — a generic finite-domain constraint satisfaction solver
+//!
+//! This crate is the stand-in for the generic CSP solver (Choco) used by the
+//! paper for its first encoding. It is a classical systematic solver in the
+//! sense of Section III-B:
+//!
+//! * finite integer domains stored as bitsets with trail-based backtracking
+//!   ([`store::Store`]);
+//! * constraint propagation to fixpoint through a watcher queue
+//!   ([`constraints::Constraint`] — linear (in)equalities, boolean cardinality,
+//!   occurrence counting, pairwise difference, ordering);
+//! * depth-first search with pluggable variable/value ordering heuristics,
+//!   seeded randomization and geometric restarts ([`solver::Solver`]), so the
+//!   randomized behaviour the paper observed with Choco ("multiple executions
+//!   … may return different outcomes", Section VII-B) is reproducible here
+//!   under an explicit seed;
+//! * node / failure / wall-clock budgets with a three-way verdict
+//!   ([`solver::Outcome`]): `Sat`, `Unsat` (search space exhausted), or
+//!   `Unknown` (budget exceeded — the paper's "overrun").
+//!
+//! The engine is problem-agnostic and tested on classic CSPs independently of
+//! the scheduling encodings built on top of it in `mgrts-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_engine::{Model, Constraint, SolverConfig, Outcome};
+//!
+//! // x + y = 5, x ≠ y, x,y ∈ [0,4]
+//! let mut m = Model::new();
+//! let x = m.new_var(0, 4);
+//! let y = m.new_var(0, 4);
+//! m.post(Constraint::linear_eq(vec![x, y], vec![1, 1], 5));
+//! m.post(Constraint::NotEqual { a: x, b: y });
+//! let mut solver = m.into_solver(SolverConfig::default());
+//! match solver.solve() {
+//!     Outcome::Sat(sol) => {
+//!         assert_eq!(sol[x] + sol[y], 5);
+//!         assert_ne!(sol[x], sol[y]);
+//!     }
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+pub mod constraints;
+pub mod model;
+pub mod solver;
+pub mod store;
+
+pub use constraints::Constraint;
+pub use model::Model;
+pub use solver::{
+    Budget, LimitReason, Outcome, SolveStats, Solver, SolverConfig, ValOrder, VarOrder,
+};
+pub use store::{Store, VarId};

@@ -1,0 +1,116 @@
+//! Model builder: declare variables and post constraints, then hand off to a
+//! [`crate::Solver`].
+
+use crate::constraints::Constraint;
+use crate::solver::{Solver, SolverConfig};
+use crate::store::{Store, Val, VarId};
+
+/// A CSP under construction.
+#[derive(Debug, Default)]
+pub struct Model {
+    domains: Vec<(Val, Val)>,
+    removals: Vec<(VarId, Val)>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// An empty model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a variable with inclusive domain `[lb, ub]`.
+    pub fn new_var(&mut self, lb: Val, ub: Val) -> VarId {
+        assert!(lb <= ub, "empty initial domain");
+        self.domains.push((lb, ub));
+        self.domains.len() - 1
+    }
+
+    /// Declare a 0/1 variable.
+    pub fn new_bool(&mut self) -> VarId {
+        self.new_var(0, 1)
+    }
+
+    /// Declare `n` variables with the same domain.
+    pub fn new_vars(&mut self, n: usize, lb: Val, ub: Val) -> Vec<VarId> {
+        (0..n).map(|_| self.new_var(lb, ub)).collect()
+    }
+
+    /// Punch a hole in a variable's initial domain (e.g. paper constraints
+    /// (2)/(7): out-of-interval values are removed before search).
+    pub fn remove_value(&mut self, var: VarId, val: Val) {
+        self.removals.push((var, val));
+    }
+
+    /// Post a constraint.
+    pub fn post(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Number of declared variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Number of posted constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sum over variables of (domain size − 1) — a rough search-space gauge
+    /// used by encoders to refuse absurdly large models gracefully.
+    #[must_use]
+    pub fn domain_mass(&self) -> u64 {
+        self.domains
+            .iter()
+            .map(|&(lb, ub)| (ub - lb) as u64)
+            .sum()
+    }
+
+    /// Freeze the model into a solver.
+    #[must_use]
+    pub fn into_solver(self, config: SolverConfig) -> Solver {
+        let mut store = Store::new();
+        for &(lb, ub) in &self.domains {
+            store.new_var(lb, ub);
+        }
+        let mut initially_inconsistent = false;
+        for &(var, val) in &self.removals {
+            if store.remove(var, val).is_err() {
+                initially_inconsistent = true;
+            }
+        }
+        Solver::from_parts(store, self.constraints, config, initially_inconsistent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Outcome;
+
+    #[test]
+    fn builder_counts() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 4);
+        let b = m.new_bool();
+        let more = m.new_vars(3, -1, 2);
+        assert_eq!(m.num_vars(), 5);
+        assert_eq!(more[2], 4);
+        m.post(Constraint::NotEqual { a: x, b });
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.domain_mass(), 4 + 1 + 3 * 3);
+    }
+
+    #[test]
+    fn initial_removal_can_prove_unsat() {
+        let mut m = Model::new();
+        let x = m.new_var(3, 3);
+        m.remove_value(x, 3);
+        let mut s = m.into_solver(SolverConfig::default());
+        assert!(matches!(s.solve(), Outcome::Unsat));
+    }
+}

@@ -1,0 +1,846 @@
+//! Systematic search: DFS with propagation, heuristics, restarts, budgets.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::constraints::Constraint;
+use crate::store::{Store, Val, VarId};
+
+/// Variable-ordering heuristics (Section III-B: "ordering the variables to
+/// prune the search space more efficiently").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VarOrder {
+    /// Declaration order — what the chronological MGRTS encodings rely on.
+    Input,
+    /// Smallest current domain first ("most constrained variable").
+    MinDomain,
+    /// Smallest domain-size / constraint-failure-weight ratio first
+    /// (dom/wdeg, the workhorse default of generic solvers such as Choco).
+    #[default]
+    DomOverWDeg,
+    /// Uniformly random among unfixed variables.
+    Random,
+}
+
+/// Value-ordering heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValOrder {
+    /// Smallest value first.
+    #[default]
+    Min,
+    /// Largest value first.
+    Max,
+    /// Uniformly random value from the current domain.
+    Random,
+}
+
+/// Restart policy: restart from the root after a failure quota, growing the
+/// quota geometrically (guarantees completeness on finite search spaces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartPolicy {
+    /// Failures allowed before the first restart.
+    pub initial_failures: u64,
+    /// Multiplicative quota growth per restart (> 1 for completeness).
+    pub growth: f64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            initial_failures: 128,
+            growth: 1.5,
+        }
+    }
+}
+
+/// Resource limits. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Wall-clock limit (the paper's 30 s "resolution time" cap).
+    pub time: Option<Duration>,
+    /// Decision limit.
+    pub max_decisions: Option<u64>,
+    /// Failure (backtrack) limit.
+    pub max_failures: Option<u64>,
+}
+
+impl Budget {
+    /// Only a wall-clock limit.
+    #[must_use]
+    pub fn time_limit(d: Duration) -> Self {
+        Budget {
+            time: Some(d),
+            ..Budget::default()
+        }
+    }
+}
+
+/// Which budget was exhausted when a solve ends in [`Outcome::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitReason {
+    /// Wall-clock budget exhausted (the paper's "overrun").
+    Time,
+    /// Decision budget exhausted.
+    Decisions,
+    /// Failure budget exhausted.
+    Failures,
+}
+
+/// Verdict of a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A complete assignment satisfying every constraint (indexed by
+    /// [`VarId`]).
+    Sat(Vec<Val>),
+    /// The search space was exhausted: no solution exists.
+    Unsat,
+    /// A budget ran out before a verdict.
+    Unknown(LimitReason),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// True for [`Outcome::Unsat`].
+    #[must_use]
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, Outcome::Unsat)
+    }
+
+    /// Extract the solution if SAT.
+    #[must_use]
+    pub fn solution(&self) -> Option<&[Val]> {
+        match self {
+            Outcome::Sat(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Variable-ordering heuristic.
+    pub var_order: VarOrder,
+    /// Value-ordering heuristic.
+    pub val_order: ValOrder,
+    /// Optional restart schedule.
+    pub restarts: Option<RestartPolicy>,
+    /// RNG seed for `Random` heuristics and restart diversification.
+    pub seed: u64,
+    /// Resource limits.
+    pub budget: Budget,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_order: VarOrder::DomOverWDeg,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 42,
+            budget: Budget::default(),
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The configuration used to emulate the paper's CSP1 setup: a generic
+    /// solver with its default randomized strategy (dom/wdeg, random value
+    /// choice, geometric restarts). Different seeds reproduce the paper's
+    /// observation that runs on the same instance vary in duration.
+    #[must_use]
+    pub fn generic_randomized(seed: u64) -> Self {
+        SolverConfig {
+            var_order: VarOrder::DomOverWDeg,
+            val_order: ValOrder::Random,
+            restarts: Some(RestartPolicy::default()),
+            seed,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Set the budget (builder style).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Counters reported after a solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Decisions (search-tree nodes).
+    pub decisions: u64,
+    /// Failures (dead ends).
+    pub failures: u64,
+    /// Propagator executions.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+    /// Wall-clock time of the last `solve` call, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A frozen CSP ready to solve.
+#[derive(Debug)]
+pub struct Solver {
+    store: Store,
+    constraints: Vec<Constraint>,
+    watchers: Vec<Vec<u32>>,
+    weights: Vec<u64>,
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    decisions: Vec<(VarId, Val)>,
+    config: SolverConfig,
+    rng: SmallRng,
+    stats: SolveStats,
+    initially_inconsistent: bool,
+}
+
+impl Solver {
+    pub(crate) fn from_parts(
+        store: Store,
+        constraints: Vec<Constraint>,
+        config: SolverConfig,
+        initially_inconsistent: bool,
+    ) -> Self {
+        let mut watchers = vec![Vec::new(); store.num_vars()];
+        for (ci, c) in constraints.iter().enumerate() {
+            for v in c.watched() {
+                watchers[v].push(ci as u32);
+            }
+        }
+        let n_constraints = constraints.len();
+        Solver {
+            store,
+            constraints,
+            watchers,
+            weights: vec![1; n_constraints],
+            queue: VecDeque::new(),
+            in_queue: vec![false; n_constraints],
+            decisions: Vec::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            stats: SolveStats::default(),
+            initially_inconsistent,
+        }
+    }
+
+    /// Statistics of the last [`Solver::solve`] call.
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Run the search to a verdict or a budget limit.
+    pub fn solve(&mut self) -> Outcome {
+        let start = Instant::now();
+        let outcome = self.solve_inner(start);
+        self.stats.elapsed_us = start.elapsed().as_micros() as u64;
+        if let Outcome::Sat(sol) = &outcome {
+            // The engine's own post-condition: never hand out a bogus model.
+            for c in &self.constraints {
+                assert!(
+                    c.is_satisfied(sol),
+                    "internal error: solver produced an assignment violating {c:?}"
+                );
+            }
+        }
+        outcome
+    }
+
+    fn solve_inner(&mut self, start: Instant) -> Outcome {
+        self.stats = SolveStats::default();
+        if self.initially_inconsistent {
+            return Outcome::Unsat;
+        }
+        // Root propagation over every constraint.
+        for ci in 0..self.constraints.len() {
+            self.enqueue(ci as u32);
+        }
+        if !self.propagate(start) {
+            return Outcome::Unsat;
+        }
+        if let Some(r) = self.check_budget(start) {
+            return Outcome::Unknown(r);
+        }
+
+        let mut restart_quota = self
+            .config
+            .restarts
+            .map(|p| p.initial_failures)
+            .unwrap_or(u64::MAX);
+        let mut failures_since_restart = 0u64;
+
+        loop {
+            if let Some(r) = self.check_budget(start) {
+                return Outcome::Unknown(r);
+            }
+            // Restart when the quota is hit (only above the root).
+            if failures_since_restart >= restart_quota && !self.decisions.is_empty() {
+                self.store.backtrack_to_root();
+                self.decisions.clear();
+                self.stats.restarts += 1;
+                failures_since_restart = 0;
+                if let Some(p) = self.config.restarts {
+                    restart_quota = ((restart_quota as f64) * p.growth).ceil() as u64;
+                }
+                // Re-propagate from the root (permanent refutations may now
+                // trigger further pruning chains).
+                for ci in 0..self.constraints.len() {
+                    self.enqueue(ci as u32);
+                }
+                if !self.propagate(start) {
+                    return Outcome::Unsat;
+                }
+                continue;
+            }
+
+            let Some(var) = self.select_var() else {
+                return Outcome::Sat(self.extract());
+            };
+            let val = self.select_val(var);
+            self.store.push_level();
+            self.decisions.push((var, val));
+            self.stats.decisions += 1;
+            self.stats.max_depth = self.stats.max_depth.max(self.decisions.len());
+            if self
+                .config
+                .budget
+                .max_decisions
+                .is_some_and(|mx| self.stats.decisions > mx)
+            {
+                return Outcome::Unknown(LimitReason::Decisions);
+            }
+
+            let mut ok = self.enact(var, val, start);
+            while !ok {
+                self.stats.failures += 1;
+                failures_since_restart += 1;
+                if self
+                    .config
+                    .budget
+                    .max_failures
+                    .is_some_and(|mx| self.stats.failures > mx)
+                {
+                    return Outcome::Unknown(LimitReason::Failures);
+                }
+                if let Some(r) = self.check_budget(start) {
+                    return Outcome::Unknown(r);
+                }
+                let Some((v, val)) = self.decisions.pop() else {
+                    return Outcome::Unsat;
+                };
+                self.store.backtrack();
+                // Refute the failed decision at the parent level.
+                ok = match self.store.remove(v, val) {
+                    Err(_) => false,
+                    Ok(_) => {
+                        self.wake_watchers_of(v);
+                        self.propagate(start)
+                    }
+                };
+            }
+        }
+    }
+
+    /// Enumerate solutions by exhaustive DFS, invoking `on_solution` for
+    /// each one, up to `limit` solutions. Returns `(count, complete)` where
+    /// `complete` is true when the whole space was exhausted (so `count` is
+    /// the exact solution count when `count < limit`).
+    ///
+    /// Restarts are ignored during enumeration (they would revisit
+    /// solutions); budgets still apply and make `complete = false`.
+    pub fn enumerate<F: FnMut(&[Val])>(&mut self, limit: u64, mut on_solution: F) -> (u64, bool) {
+        let start = Instant::now();
+        self.stats = SolveStats::default();
+        if self.initially_inconsistent {
+            return (0, true);
+        }
+        for ci in 0..self.constraints.len() {
+            self.enqueue(ci as u32);
+        }
+        if !self.propagate(start) {
+            return (0, true);
+        }
+        let mut count = 0u64;
+        loop {
+            if self.check_budget(start).is_some() {
+                return (count, false);
+            }
+            let next_var = self.select_var();
+            if let Some(var) = next_var {
+                let val = self.select_val(var);
+                self.store.push_level();
+                self.decisions.push((var, val));
+                self.stats.decisions += 1;
+                if self
+                    .config
+                    .budget
+                    .max_decisions
+                    .is_some_and(|mx| self.stats.decisions > mx)
+                {
+                    return (count, false);
+                }
+                if self.enact(var, val, start) {
+                    continue;
+                }
+            } else {
+                // All variables fixed: record the solution, then treat the
+                // leaf as a dead end to keep searching.
+                let sol = self.extract();
+                debug_assert!(self.constraints.iter().all(|c| c.is_satisfied(&sol)));
+                on_solution(&sol);
+                count += 1;
+                if count >= limit {
+                    return (count, false);
+                }
+            }
+            // Backtrack out of the conflict / recorded solution.
+            loop {
+                self.stats.failures += 1;
+                let Some((v, val)) = self.decisions.pop() else {
+                    return (count, true);
+                };
+                self.store.backtrack();
+                let ok = match self.store.remove(v, val) {
+                    Err(_) => false,
+                    Ok(_) => {
+                        self.wake_watchers_of(v);
+                        self.propagate(start)
+                    }
+                };
+                if ok {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Count solutions up to `limit`. Convenience wrapper over
+    /// [`Solver::enumerate`].
+    pub fn count_solutions(&mut self, limit: u64) -> (u64, bool) {
+        self.enumerate(limit, |_| {})
+    }
+
+    fn check_budget(&self, start: Instant) -> Option<LimitReason> {
+        if let Some(t) = self.config.budget.time {
+            if start.elapsed() >= t {
+                return Some(LimitReason::Time);
+            }
+        }
+        None
+    }
+
+    fn enqueue(&mut self, ci: u32) {
+        if !self.in_queue[ci as usize] {
+            self.in_queue[ci as usize] = true;
+            self.queue.push_back(ci);
+        }
+    }
+
+    fn wake_watchers_of(&mut self, v: VarId) {
+        // Swap the list out to appease the borrow checker without cloning
+        // per wake-up.
+        let list = std::mem::take(&mut self.watchers[v]);
+        for &ci in &list {
+            self.enqueue(ci);
+        }
+        self.watchers[v] = list;
+    }
+
+    /// Run the propagation queue to fixpoint. Returns false on conflict.
+    fn propagate(&mut self, start: Instant) -> bool {
+        while let Some(ci) = self.queue.pop_front() {
+            self.in_queue[ci as usize] = false;
+            self.stats.propagations += 1;
+            // Periodic time check: huge models can spend long in one
+            // fixpoint (the paper's CSP1 instances do).
+            if self.stats.propagations.is_multiple_of(4096) && self.check_budget(start).is_some() {
+                // Leave the queue dirty; the caller notices the time limit.
+                self.drain_queue();
+                self.store.take_dirty();
+                return true;
+            }
+            match self.constraints[ci as usize].propagate(&mut self.store) {
+                Err(_) => {
+                    self.weights[ci as usize] += 1;
+                    self.drain_queue();
+                    self.store.take_dirty();
+                    return false;
+                }
+                Ok(()) => {
+                    for v in self.store.take_dirty() {
+                        self.wake_watchers_of(v);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn drain_queue(&mut self) {
+        while let Some(ci) = self.queue.pop_front() {
+            self.in_queue[ci as usize] = false;
+        }
+    }
+
+    fn enact(&mut self, var: VarId, val: Val, start: Instant) -> bool {
+        match self.store.assign(var, val) {
+            Err(_) => false,
+            Ok(_) => {
+                self.store.take_dirty();
+                self.wake_watchers_of(var);
+                self.propagate(start)
+            }
+        }
+    }
+
+    fn select_var(&mut self) -> Option<VarId> {
+        let n = self.store.num_vars();
+        match self.config.var_order {
+            VarOrder::Input => (0..n).find(|&v| !self.store.is_fixed(v)),
+            VarOrder::MinDomain => {
+                let mut best: Option<(u32, VarId)> = None;
+                for v in 0..n {
+                    if !self.store.is_fixed(v) {
+                        let s = self.store.size(v);
+                        if best.is_none_or(|(bs, _)| s < bs) {
+                            best = Some((s, v));
+                        }
+                    }
+                }
+                best.map(|(_, v)| v)
+            }
+            VarOrder::DomOverWDeg => {
+                // Minimize size/weight ⇔ minimize size·w_best vs size_best·w
+                // in exact integer arithmetic.
+                let mut best: Option<(u64, u64, VarId)> = None; // (size, weight, var)
+                for v in 0..n {
+                    if self.store.is_fixed(v) {
+                        continue;
+                    }
+                    let size = u64::from(self.store.size(v));
+                    let weight: u64 = self.watchers[v]
+                        .iter()
+                        .map(|&ci| self.weights[ci as usize])
+                        .sum::<u64>()
+                        .max(1);
+                    let better = match best {
+                        None => true,
+                        Some((bs, bw, _)) => {
+                            (u128::from(size) * u128::from(bw))
+                                < (u128::from(bs) * u128::from(weight))
+                        }
+                    };
+                    if better {
+                        best = Some((size, weight, v));
+                    }
+                }
+                best.map(|(_, _, v)| v)
+            }
+            VarOrder::Random => {
+                let mut chosen = None;
+                let mut seen = 0u64;
+                for v in 0..n {
+                    if !self.store.is_fixed(v) {
+                        seen += 1;
+                        if self.rng.gen_range(0..seen) == 0 {
+                            chosen = Some(v);
+                        }
+                    }
+                }
+                chosen
+            }
+        }
+    }
+
+    fn select_val(&mut self, var: VarId) -> Val {
+        match self.config.val_order {
+            ValOrder::Min => self.store.min(var),
+            ValOrder::Max => self.store.max(var),
+            ValOrder::Random => {
+                let n = self.store.size(var);
+                self.store.nth_value(var, self.rng.gen_range(0..n))
+            }
+        }
+    }
+
+    fn extract(&self) -> Vec<Val> {
+        (0..self.store.num_vars())
+            .map(|v| self.store.value(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn all_configs() -> Vec<SolverConfig> {
+        let mut cfgs = Vec::new();
+        for var_order in [
+            VarOrder::Input,
+            VarOrder::MinDomain,
+            VarOrder::DomOverWDeg,
+            VarOrder::Random,
+        ] {
+            for val_order in [ValOrder::Min, ValOrder::Max, ValOrder::Random] {
+                cfgs.push(SolverConfig {
+                    var_order,
+                    val_order,
+                    restarts: None,
+                    seed: 7,
+                    budget: Budget::default(),
+                });
+            }
+        }
+        cfgs.push(SolverConfig::generic_randomized(3));
+        cfgs
+    }
+
+    fn simple_model() -> Model {
+        // x + y + z = 6, all-different, domains [0,3] → {0,1,2,3} triples
+        // summing to 6 with distinct values: permutations of (1,2,3) or (0,3,?)…
+        let mut m = Model::new();
+        let v = m.new_vars(3, 0, 3);
+        m.post(Constraint::linear_eq(v.clone(), vec![1, 1, 1], 6));
+        m.post(Constraint::AllDifferent { vars: v });
+        m
+    }
+
+    #[test]
+    fn sat_under_every_heuristic() {
+        for cfg in all_configs() {
+            let mut s = simple_model().into_solver(cfg);
+            let out = s.solve();
+            let sol = out.solution().unwrap_or_else(|| panic!("{cfg:?} failed"));
+            assert_eq!(sol.iter().map(|&x| i64::from(x)).sum::<i64>(), 6);
+        }
+    }
+
+    #[test]
+    fn unsat_under_every_heuristic() {
+        for cfg in all_configs() {
+            // Pigeonhole: 4 pigeons, 3 holes.
+            let mut m = Model::new();
+            let v = m.new_vars(4, 0, 2);
+            m.post(Constraint::AllDifferent { vars: v });
+            let mut s = m.into_solver(cfg);
+            assert!(s.solve().is_unsat(), "{cfg:?} should prove UNSAT");
+        }
+    }
+
+    #[test]
+    fn magic_series_length_4() {
+        // s[i] = #occurrences of i in s. Known solution: [1,2,1,0].
+        let mut m = Model::new();
+        let v = m.new_vars(4, 0, 4);
+        for i in 0..4 {
+            // CountEq can't bind a variable rhs; encode via channeling with
+            // booleans: b[i][j] ⇔ (v[j] == i), Σ_j b[i][j] = v[i].
+            let mut bools = Vec::new();
+            for &vj in v.iter().take(4) {
+                let b = m.new_bool();
+                bools.push(b);
+                // b=1 → v[j]=i is enforced by the linear link below only in
+                // one direction; enforce equivalence with two linears:
+                //   v[j] - i ≤ (4)(1-b)  and  i - v[j] ≤ (4)(1-b)
+                m.post(Constraint::linear_leq(vec![vj, b], vec![1, 4], i + 4));
+                m.post(Constraint::linear_leq(vec![vj, b], vec![-1, 4], 4 - i));
+                // b=0 → v[j] ≠ i: |v[j] - i| ≥ 1 - … needs disjunction; we
+                // instead force the count from the other side:
+            }
+            // Σ_j b[i][j] ≥ occurrences is implied; for exact counting add
+            // CountEq on v with a fixed rhs … not expressible. Use the sum
+            // identity Σ_i v[i] = 4 plus the ≤ links; final check via search.
+            m.post(Constraint::linear_eq(
+                {
+                    let mut vs = bools.clone();
+                    vs.push(v[i as usize]);
+                    vs
+                },
+                {
+                    let mut cs = vec![1i64; 4];
+                    cs.push(-1);
+                    cs
+                },
+                0,
+            ));
+        }
+        m.post(Constraint::linear_eq(v.clone(), vec![1, 1, 1, 1], 4));
+        let mut s = m.into_solver(SolverConfig::default());
+        // The relaxed encoding admits the magic series; check the canonical
+        // one is found satisfiable.
+        let out = s.solve();
+        assert!(out.is_sat());
+    }
+
+    #[test]
+    fn random_seeds_change_the_path_but_not_the_verdict() {
+        let mut solutions = Vec::new();
+        for seed in 0..6 {
+            let mut m = Model::new();
+            let v = m.new_vars(8, 0, 7);
+            m.post(Constraint::AllDifferent { vars: v });
+            let mut s = m.into_solver(SolverConfig::generic_randomized(seed));
+            match s.solve() {
+                Outcome::Sat(sol) => solutions.push(sol),
+                other => panic!("seed {seed}: expected SAT, got {other:?}"),
+            }
+        }
+        // Not every pair of runs must differ, but at least two distinct
+        // solutions demonstrate the randomized behaviour the paper
+        // describes for the generic solver.
+        solutions.sort();
+        solutions.dedup();
+        assert!(solutions.len() >= 2, "expected varied outcomes");
+    }
+
+    #[test]
+    fn time_budget_reports_unknown() {
+        // A hard unsat pigeonhole with a 0 ms budget must report Unknown.
+        let mut m = Model::new();
+        let v = m.new_vars(9, 0, 7);
+        m.post(Constraint::AllDifferent { vars: v });
+        let cfg = SolverConfig::default().with_budget(Budget::time_limit(Duration::ZERO));
+        let mut s = m.into_solver(cfg);
+        assert_eq!(s.solve(), Outcome::Unknown(LimitReason::Time));
+    }
+
+    #[test]
+    fn decision_budget_reports_unknown() {
+        let mut m = Model::new();
+        let v = m.new_vars(10, 0, 9);
+        m.post(Constraint::AllDifferent { vars: v });
+        let mut cfg = SolverConfig {
+            var_order: VarOrder::Input,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 0,
+            budget: Budget::default(),
+        };
+        cfg.budget.max_decisions = Some(2);
+        let mut s = m.into_solver(cfg);
+        assert_eq!(s.solve(), Outcome::Unknown(LimitReason::Decisions));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut s = simple_model().into_solver(SolverConfig::default());
+        s.solve();
+        let st = s.stats();
+        assert!(st.propagations > 0);
+        assert!(st.decisions >= 1);
+    }
+
+    #[test]
+    fn empty_model_is_sat() {
+        let m = Model::new();
+        let mut s = m.into_solver(SolverConfig::default());
+        assert_eq!(s.solve(), Outcome::Sat(vec![]));
+    }
+
+    #[test]
+    fn restarts_preserve_soundness() {
+        // Small unsat problem with an aggressive restart schedule still
+        // proves UNSAT (growing quotas keep the search complete).
+        let mut m = Model::new();
+        let v = m.new_vars(5, 0, 3);
+        m.post(Constraint::AllDifferent { vars: v });
+        let cfg = SolverConfig {
+            restarts: Some(RestartPolicy {
+                initial_failures: 1,
+                growth: 1.3,
+            }),
+            val_order: ValOrder::Random,
+            var_order: VarOrder::Random,
+            seed: 11,
+            budget: Budget::default(),
+        };
+        let mut s = m.into_solver(cfg);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn enumerate_counts_exactly() {
+        // x, y ∈ [0,2], x ≠ y → 6 solutions.
+        let mut m = Model::new();
+        let x = m.new_var(0, 2);
+        let y = m.new_var(0, 2);
+        m.post(Constraint::NotEqual { a: x, b: y });
+        let mut s = m.into_solver(SolverConfig::default());
+        let mut seen = Vec::new();
+        let (count, complete) = s.enumerate(100, |sol| seen.push(sol.to_vec()));
+        assert_eq!(count, 6);
+        assert!(complete);
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "no duplicate solutions");
+    }
+
+    #[test]
+    fn enumerate_respects_the_limit() {
+        let mut m = Model::new();
+        m.new_vars(4, 0, 3); // 256 unconstrained assignments
+        let mut s = m.into_solver(SolverConfig::default());
+        let (count, complete) = s.count_solutions(10);
+        assert_eq!(count, 10);
+        assert!(!complete);
+    }
+
+    #[test]
+    fn enumerate_unsat_is_zero_complete() {
+        let mut m = Model::new();
+        let v = m.new_vars(3, 0, 1);
+        m.post(Constraint::AllDifferent { vars: v });
+        let mut s = m.into_solver(SolverConfig::default());
+        assert_eq!(s.count_solutions(100), (0, true));
+    }
+
+    #[test]
+    fn enumerate_unique_solution_via_propagation() {
+        let mut m = Model::new();
+        let x = m.new_var(0, 5);
+        m.post(Constraint::linear_eq(vec![x], vec![2], 6));
+        let mut s = m.into_solver(SolverConfig::default());
+        let mut seen = Vec::new();
+        let (count, complete) = s.enumerate(100, |sol| seen.push(sol[0]));
+        assert_eq!((count, complete), (1, true));
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn enumeration_count_matches_brute_force_independence() {
+        // 3 vars over [0,2] with x0 ≤ x1 ≤ x2: C(5,3)=10 monotone triples.
+        let mut m = Model::new();
+        let v = m.new_vars(3, 0, 2);
+        m.post(Constraint::LeqVar { a: v[0], b: v[1] });
+        m.post(Constraint::LeqVar { a: v[1], b: v[2] });
+        let mut s = m.into_solver(SolverConfig::default());
+        assert_eq!(s.count_solutions(1000), (10, true));
+    }
+
+    #[test]
+    fn solve_is_rerunnable() {
+        // Calling solve twice returns consistent verdicts (state reset).
+        let mut s = simple_model().into_solver(SolverConfig::default());
+        let a = s.solve().is_sat();
+        // After SAT the store is fully fixed; a second call must still
+        // report SAT (all vars fixed → immediate extraction).
+        let b = s.solve().is_sat();
+        assert!(a && b);
+    }
+}

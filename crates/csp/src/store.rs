@@ -1,0 +1,609 @@
+//! Trailed variable store: bitset domains with O(1) backtracking.
+//!
+//! All domains live in one flattened word array for cache locality. Every
+//! destructive update saves the overwritten word (and the per-variable
+//! min/max/size summary) to a trail the first time it is touched within the
+//! current decision level; [`Store::backtrack`] replays the trail in reverse.
+//! "First time this level" is detected with monotonically increasing stamps,
+//! so stale level markers can never alias after deep backtracking.
+
+/// Index of a decision variable.
+pub type VarId = usize;
+
+/// Domain values. `i32` is wide enough for every client in this workspace
+/// (booleans, task indices, small integers).
+pub type Val = i32;
+
+#[derive(Debug, Clone, Copy)]
+struct VarMeta {
+    /// First word of this domain in `words`.
+    offset: u32,
+    /// Number of words.
+    nwords: u32,
+    /// Value represented by bit 0 of word `offset`.
+    base: Val,
+    /// Current cardinality.
+    size: u32,
+    /// Current minimum value.
+    min: Val,
+    /// Current maximum value.
+    max: Val,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TrailEntry {
+    Word { idx: u32, old: u64 },
+    Meta { var: u32, size: u32, min: Val, max: Val },
+}
+
+/// The store of all variable domains plus the backtracking trail.
+#[derive(Debug, Clone)]
+pub struct Store {
+    words: Vec<u64>,
+    word_stamp: Vec<u64>,
+    vars: Vec<VarMeta>,
+    var_stamp: Vec<u64>,
+    trail: Vec<TrailEntry>,
+    level_marks: Vec<usize>,
+    stamp: u64,
+    /// Variables modified since the queue was last drained; consumed by the
+    /// solver to wake watching constraints.
+    dirty: Vec<VarId>,
+}
+
+/// Raised by a pruning operation that wipes a domain out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyDomain(pub VarId);
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Store {
+            words: Vec::new(),
+            word_stamp: Vec::new(),
+            vars: Vec::new(),
+            var_stamp: Vec::new(),
+            trail: Vec::new(),
+            level_marks: Vec::new(),
+            stamp: 1,
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Create a variable with domain `[lb, ub]` (inclusive). Panics if
+    /// `lb > ub`.
+    pub fn new_var(&mut self, lb: Val, ub: Val) -> VarId {
+        assert!(lb <= ub, "empty initial domain");
+        let span = (ub - lb) as u64 + 1;
+        let nwords = span.div_ceil(64) as u32;
+        let offset = self.words.len() as u32;
+        for w in 0..nwords {
+            let lo = u64::from(w) * 64;
+            let hi = (lo + 64).min(span);
+            let word = if hi - lo == 64 {
+                u64::MAX
+            } else {
+                (1u64 << (hi - lo)) - 1
+            };
+            self.words.push(word);
+            self.word_stamp.push(0);
+        }
+        self.vars.push(VarMeta {
+            offset,
+            nwords,
+            base: lb,
+            size: span as u32,
+            min: lb,
+            max: ub,
+        });
+        self.var_stamp.push(0);
+        self.vars.len() - 1
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Current decision depth (0 at root).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.level_marks.len()
+    }
+
+    /// Current minimum of `v`'s domain.
+    #[must_use]
+    pub fn min(&self, v: VarId) -> Val {
+        self.vars[v].min
+    }
+
+    /// Current maximum of `v`'s domain.
+    #[must_use]
+    pub fn max(&self, v: VarId) -> Val {
+        self.vars[v].max
+    }
+
+    /// Current cardinality of `v`'s domain.
+    #[must_use]
+    pub fn size(&self, v: VarId) -> u32 {
+        self.vars[v].size
+    }
+
+    /// Is `v` fixed (singleton domain)?
+    #[must_use]
+    pub fn is_fixed(&self, v: VarId) -> bool {
+        self.vars[v].size == 1
+    }
+
+    /// Value of a fixed variable. Panics if unfixed (callers check first).
+    #[must_use]
+    pub fn value(&self, v: VarId) -> Val {
+        debug_assert!(self.is_fixed(v));
+        self.vars[v].min
+    }
+
+    /// Does `v`'s domain contain `val`?
+    #[must_use]
+    pub fn contains(&self, v: VarId, val: Val) -> bool {
+        let meta = &self.vars[v];
+        if val < meta.min || val > meta.max {
+            return false;
+        }
+        let bit = (val - meta.base) as u64;
+        let w = meta.offset as usize + (bit / 64) as usize;
+        self.words[w] >> (bit % 64) & 1 == 1
+    }
+
+    /// Iterate the current domain of `v` in ascending order.
+    pub fn iter(&self, v: VarId) -> impl Iterator<Item = Val> + '_ {
+        let meta = self.vars[v];
+        (0..meta.nwords).flat_map(move |wi| {
+            let word = self.words[(meta.offset + wi) as usize];
+            BitIter { word }.map(move |b| meta.base + (wi * 64) as Val + b as Val)
+        })
+    }
+
+    /// `n`-th (0-based) smallest value of the domain. Panics if out of range.
+    #[must_use]
+    pub fn nth_value(&self, v: VarId, mut n: u32) -> Val {
+        let meta = self.vars[v];
+        for wi in 0..meta.nwords {
+            let word = self.words[(meta.offset + wi) as usize];
+            let ones = word.count_ones();
+            if n < ones {
+                let b = select_bit(word, n);
+                return meta.base + (wi * 64) as Val + b as Val;
+            }
+            n -= ones;
+        }
+        panic!("nth_value out of range");
+    }
+
+    /// Open a new decision level.
+    pub fn push_level(&mut self) {
+        self.level_marks.push(self.trail.len());
+        self.stamp += 1;
+    }
+
+    /// Undo all changes of the innermost decision level. Panics at root.
+    pub fn backtrack(&mut self) {
+        let mark = self.level_marks.pop().expect("backtrack at root");
+        while self.trail.len() > mark {
+            match self.trail.pop().unwrap() {
+                TrailEntry::Word { idx, old } => self.words[idx as usize] = old,
+                TrailEntry::Meta { var, size, min, max } => {
+                    let m = &mut self.vars[var as usize];
+                    m.size = size;
+                    m.min = min;
+                    m.max = max;
+                }
+            }
+        }
+        self.stamp += 1;
+        self.dirty.clear();
+    }
+
+    /// Undo everything back to the root level.
+    pub fn backtrack_to_root(&mut self) {
+        while !self.level_marks.is_empty() {
+            self.backtrack();
+        }
+    }
+
+    /// Drain the modified-variable set (solver wakes watchers from this).
+    pub fn take_dirty(&mut self) -> Vec<VarId> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    fn save_meta(&mut self, v: VarId) {
+        if self.level_marks.is_empty() {
+            return; // root-level changes are permanent
+        }
+        if self.var_stamp[v] != self.stamp {
+            self.var_stamp[v] = self.stamp;
+            let m = &self.vars[v];
+            self.trail.push(TrailEntry::Meta {
+                var: v as u32,
+                size: m.size,
+                min: m.min,
+                max: m.max,
+            });
+        }
+    }
+
+    fn save_word(&mut self, idx: usize) {
+        if self.level_marks.is_empty() {
+            return;
+        }
+        if self.word_stamp[idx] != self.stamp {
+            self.word_stamp[idx] = self.stamp;
+            self.trail.push(TrailEntry::Word {
+                idx: idx as u32,
+                old: self.words[idx],
+            });
+        }
+    }
+
+    fn recompute_min(&mut self, v: VarId) {
+        let meta = self.vars[v];
+        for wi in ((meta.min - meta.base) as u64 / 64) as u32..meta.nwords {
+            let word = self.words[(meta.offset + wi) as usize];
+            if word != 0 {
+                self.vars[v].min = meta.base + (wi * 64) as Val + word.trailing_zeros() as Val;
+                return;
+            }
+        }
+        unreachable!("recompute_min on empty domain");
+    }
+
+    fn recompute_max(&mut self, v: VarId) {
+        let meta = self.vars[v];
+        for wi in (0..=((meta.max - meta.base) as u64 / 64) as u32).rev() {
+            let word = self.words[(meta.offset + wi) as usize];
+            if word != 0 {
+                self.vars[v].max =
+                    meta.base + (wi * 64) as Val + (63 - word.leading_zeros()) as Val;
+                return;
+            }
+        }
+        unreachable!("recompute_max on empty domain");
+    }
+
+    fn mark_dirty(&mut self, v: VarId) {
+        self.dirty.push(v);
+    }
+
+    /// Remove `val` from `v`. Returns `Ok(true)` if the domain changed.
+    pub fn remove(&mut self, v: VarId, val: Val) -> Result<bool, EmptyDomain> {
+        if !self.contains(v, val) {
+            return Ok(false);
+        }
+        if self.vars[v].size == 1 {
+            return Err(EmptyDomain(v));
+        }
+        self.save_meta(v);
+        let meta = self.vars[v];
+        let bit = (val - meta.base) as u64;
+        let idx = meta.offset as usize + (bit / 64) as usize;
+        self.save_word(idx);
+        self.words[idx] &= !(1u64 << (bit % 64));
+        self.vars[v].size -= 1;
+        if val == meta.min {
+            self.recompute_min(v);
+        }
+        if val == meta.max {
+            self.recompute_max(v);
+        }
+        self.mark_dirty(v);
+        Ok(true)
+    }
+
+    /// Fix `v` to `val`. Returns `Ok(true)` if the domain changed.
+    pub fn assign(&mut self, v: VarId, val: Val) -> Result<bool, EmptyDomain> {
+        if !self.contains(v, val) {
+            return Err(EmptyDomain(v));
+        }
+        if self.vars[v].size == 1 {
+            return Ok(false);
+        }
+        self.save_meta(v);
+        let meta = self.vars[v];
+        let bit = (val - meta.base) as u64;
+        let target_w = (bit / 64) as u32;
+        for wi in 0..meta.nwords {
+            let idx = (meta.offset + wi) as usize;
+            let desired = if wi == target_w { 1u64 << (bit % 64) } else { 0 };
+            if self.words[idx] != desired {
+                self.save_word(idx);
+                self.words[idx] = desired;
+            }
+        }
+        let m = &mut self.vars[v];
+        m.size = 1;
+        m.min = val;
+        m.max = val;
+        self.mark_dirty(v);
+        Ok(true)
+    }
+
+    /// Remove every value strictly below `val`.
+    pub fn remove_below(&mut self, v: VarId, val: Val) -> Result<bool, EmptyDomain> {
+        let meta = self.vars[v];
+        if val <= meta.min {
+            return Ok(false);
+        }
+        if val > meta.max {
+            return Err(EmptyDomain(v));
+        }
+        self.save_meta(v);
+        let cut = (val - meta.base) as u64;
+        let mut removed = 0;
+        for wi in 0..=(cut / 64) as u32 {
+            let idx = (meta.offset + wi) as usize;
+            let word = self.words[idx];
+            let mask = if u64::from(wi) == cut / 64 {
+                !((1u64 << (cut % 64)) - 1)
+            } else {
+                0
+            };
+            let kept = word & mask;
+            if kept != word {
+                self.save_word(idx);
+                self.words[idx] = kept;
+                removed += (word & !mask).count_ones();
+            }
+        }
+        if removed == 0 {
+            return Ok(false);
+        }
+        let m = &mut self.vars[v];
+        m.size -= removed;
+        debug_assert!(m.size > 0);
+        self.recompute_min(v);
+        self.mark_dirty(v);
+        Ok(true)
+    }
+
+    /// Remove every value strictly above `val`.
+    pub fn remove_above(&mut self, v: VarId, val: Val) -> Result<bool, EmptyDomain> {
+        let meta = self.vars[v];
+        if val >= meta.max {
+            return Ok(false);
+        }
+        if val < meta.min {
+            return Err(EmptyDomain(v));
+        }
+        self.save_meta(v);
+        let cut = (val - meta.base) as u64; // keep bits ≤ cut
+        let mut removed = 0;
+        for wi in (cut / 64) as u32..meta.nwords {
+            let idx = (meta.offset + wi) as usize;
+            let word = self.words[idx];
+            let mask = if u64::from(wi) == cut / 64 {
+                if cut % 64 == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (cut % 64 + 1)) - 1
+                }
+            } else {
+                0
+            };
+            let kept = word & mask;
+            if kept != word {
+                self.save_word(idx);
+                self.words[idx] = kept;
+                removed += (word & !mask).count_ones();
+            }
+        }
+        if removed == 0 {
+            return Ok(false);
+        }
+        let m = &mut self.vars[v];
+        m.size -= removed;
+        debug_assert!(m.size > 0);
+        self.recompute_max(v);
+        self.mark_dirty(v);
+        Ok(true)
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            None
+        } else {
+            let b = self.word.trailing_zeros();
+            self.word &= self.word - 1;
+            Some(b)
+        }
+    }
+}
+
+/// Position of the `n`-th (0-based) set bit of `word`.
+fn select_bit(mut word: u64, n: u32) -> u32 {
+    for _ in 0..n {
+        word &= word - 1;
+    }
+    word.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_var_spans_words() {
+        let mut s = Store::new();
+        let v = s.new_var(-3, 130); // 134 values, 3 words
+        assert_eq!(s.size(v), 134);
+        assert_eq!(s.min(v), -3);
+        assert_eq!(s.max(v), 130);
+        assert!(s.contains(v, 0));
+        assert!(s.contains(v, 130));
+        assert!(!s.contains(v, 131));
+        assert!(!s.contains(v, -4));
+    }
+
+    #[test]
+    fn remove_updates_bounds() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 5);
+        assert!(s.remove(v, 0).unwrap());
+        assert_eq!(s.min(v), 1);
+        assert!(s.remove(v, 5).unwrap());
+        assert_eq!(s.max(v), 4);
+        assert!(!s.remove(v, 0).unwrap()); // already gone
+        assert_eq!(s.size(v), 4);
+    }
+
+    #[test]
+    fn remove_last_value_fails() {
+        let mut s = Store::new();
+        let v = s.new_var(7, 7);
+        assert_eq!(s.remove(v, 7), Err(EmptyDomain(v)));
+    }
+
+    #[test]
+    fn assign_and_value() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 100);
+        assert!(s.assign(v, 42).unwrap());
+        assert!(s.is_fixed(v));
+        assert_eq!(s.value(v), 42);
+        assert!(!s.assign(v, 42).unwrap()); // no-op
+        assert_eq!(s.assign(v, 3), Err(EmptyDomain(v)));
+    }
+
+    #[test]
+    fn bounds_pruning() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 9);
+        assert!(s.remove_below(v, 3).unwrap());
+        assert!(s.remove_above(v, 6).unwrap());
+        assert_eq!((s.min(v), s.max(v), s.size(v)), (3, 6, 4));
+        assert!(!s.remove_below(v, 3).unwrap());
+        assert!(!s.remove_above(v, 6).unwrap());
+        assert_eq!(s.remove_below(v, 7), Err(EmptyDomain(v)));
+        assert_eq!(s.remove_above(v, 2), Err(EmptyDomain(v)));
+    }
+
+    #[test]
+    fn bounds_pruning_with_holes() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 9);
+        s.remove(v, 4).unwrap();
+        s.remove(v, 5).unwrap();
+        // remove_below(4) must land min on 6 (4,5 are holes... min is 4→6).
+        s.remove_below(v, 4).unwrap();
+        assert_eq!(s.min(v), 6);
+    }
+
+    #[test]
+    fn backtrack_restores_everything() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 70); // two words
+        let w = s.new_var(0, 3);
+        s.push_level();
+        s.remove(v, 0).unwrap();
+        s.remove(v, 65).unwrap();
+        s.assign(w, 2).unwrap();
+        s.push_level();
+        s.assign(v, 30).unwrap();
+        assert_eq!(s.size(v), 1);
+        s.backtrack();
+        assert_eq!(s.size(v), 69);
+        assert!(s.contains(v, 64));
+        assert!(!s.contains(v, 65));
+        assert_eq!(s.value(w), 2);
+        s.backtrack();
+        assert_eq!(s.size(v), 71);
+        assert_eq!(s.size(w), 4);
+        assert_eq!(s.min(v), 0);
+        assert_eq!(s.max(v), 70);
+    }
+
+    #[test]
+    fn root_changes_are_permanent() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 5);
+        s.remove(v, 3).unwrap(); // at root
+        s.push_level();
+        s.remove(v, 4).unwrap();
+        s.backtrack();
+        assert!(!s.contains(v, 3)); // root removal survives
+        assert!(s.contains(v, 4));
+    }
+
+    #[test]
+    fn stamps_do_not_alias_across_levels() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 10);
+        s.push_level();
+        s.remove(v, 1).unwrap();
+        s.backtrack();
+        s.push_level();
+        s.remove(v, 2).unwrap();
+        s.backtrack();
+        assert!(s.contains(v, 1));
+        assert!(s.contains(v, 2));
+        assert_eq!(s.size(v), 11);
+    }
+
+    #[test]
+    fn iter_and_nth() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 9);
+        s.remove(v, 2).unwrap();
+        s.remove(v, 7).unwrap();
+        let vals: Vec<i32> = s.iter(v).collect();
+        assert_eq!(vals, vec![0, 1, 3, 4, 5, 6, 8, 9]);
+        for (n, &val) in vals.iter().enumerate() {
+            assert_eq!(s.nth_value(v, n as u32), val);
+        }
+    }
+
+    #[test]
+    fn iter_across_word_boundary() {
+        let mut s = Store::new();
+        let v = s.new_var(60, 70);
+        let vals: Vec<i32> = s.iter(v).collect();
+        assert_eq!(vals, (60..=70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 5);
+        let w = s.new_var(0, 5);
+        s.remove(v, 1).unwrap();
+        s.assign(w, 0).unwrap();
+        let d = s.take_dirty();
+        assert_eq!(d, vec![v, w]);
+        assert!(s.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn negative_domains() {
+        let mut s = Store::new();
+        let v = s.new_var(-5, 5);
+        assert!(s.contains(v, -5));
+        s.remove(v, -5).unwrap();
+        assert_eq!(s.min(v), -4);
+        s.remove_above(v, -1).unwrap();
+        assert_eq!(s.max(v), -1);
+        assert_eq!(s.iter(v).collect::<Vec<_>>(), vec![-4, -3, -2, -1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Corpus persistence: save and reload generated instance sets, so
+//! experiment tables can be re-aggregated (or re-run under different
+//! budgets) against byte-identical workloads.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::problem::Problem;
+use crate::sampler::GeneratorConfig;
+
+/// A saved corpus: the generator configuration plus the materialized
+/// instances (redundant by construction — the config + master seed
+/// regenerate the same stream — but storing both makes corpora
+/// self-describing and guards against generator drift).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Generator configuration used.
+    pub config: GeneratorConfig,
+    /// Master seed of the stream.
+    pub master_seed: u64,
+    /// The instances, in stream order.
+    pub problems: Vec<Problem>,
+}
+
+/// I/O or format failure while loading/saving a corpus.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "corpus I/O error: {e}"),
+            CorpusError::Format(e) => write!(f, "corpus format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CorpusError {
+    fn from(e: serde_json::Error) -> Self {
+        CorpusError::Format(e)
+    }
+}
+
+impl Corpus {
+    /// Materialize a corpus from a generator.
+    #[must_use]
+    pub fn generate(config: GeneratorConfig, master_seed: u64, count: u64) -> Self {
+        let gen = crate::problem::ProblemGenerator::new(config, master_seed);
+        Corpus {
+            config,
+            master_seed,
+            problems: gen.batch(count),
+        }
+    }
+
+    /// Write as pretty JSON.
+    pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        let file = File::create(path)?;
+        serde_json::to_writer_pretty(BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Read back from JSON.
+    pub fn load(path: &Path) -> Result<Self, CorpusError> {
+        let file = File::open(path)?;
+        Ok(serde_json::from_reader(BufReader::new(file))?)
+    }
+
+    /// Check that the stored instances match regeneration from the stored
+    /// config and seed (guards against generator drift across versions).
+    #[must_use]
+    pub fn is_reproducible(&self) -> bool {
+        let gen = crate::problem::ProblemGenerator::new(self.config, self.master_seed);
+        self.problems
+            .iter()
+            .enumerate()
+            .all(|(i, p)| &gen.nth(i as u64) == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::GeneratorConfig;
+
+    #[test]
+    fn round_trip_through_disk() {
+        let corpus = Corpus::generate(GeneratorConfig::table1(), 99, 10);
+        let dir = std::env::temp_dir().join("mgrts-corpus-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        corpus.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        assert_eq!(corpus, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reproducibility_check() {
+        let corpus = Corpus::generate(GeneratorConfig::table1(), 7, 5);
+        assert!(corpus.is_reproducible());
+        let mut tampered = corpus.clone();
+        tampered.master_seed ^= 1;
+        assert!(!tampered.is_reproducible());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("mgrts-corpus-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        assert!(matches!(
+            Corpus::load(&path),
+            Err(CorpusError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            Corpus::load(Path::new("/nonexistent/x.json")),
+            Err(CorpusError::Io(_))
+        ));
+    }
+}

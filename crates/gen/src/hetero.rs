@@ -1,0 +1,119 @@
+//! Random heterogeneous rate matrices for the Section VI-A extension
+//! experiments.
+//!
+//! The paper describes but does not evaluate heterogeneous platforms; our
+//! extension benches need workloads for them. [`RateMatrixGen`] produces
+//! `n × m` integer rate matrices where every task can run somewhere and a
+//! configurable fraction of task-processor pairs is forbidden
+//! (`si,j = 0`, the dedicated-processor case).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rt_platform::Platform;
+
+/// Generator for random execution-rate matrices.
+#[derive(Debug, Clone)]
+pub struct RateMatrixGen {
+    /// Maximum rate (rates are `U(1..=max_rate)` where allowed).
+    pub max_rate: u64,
+    /// Probability that a pair is forbidden (`si,j = 0`).
+    pub forbid_prob: f64,
+}
+
+impl Default for RateMatrixGen {
+    fn default() -> Self {
+        RateMatrixGen {
+            max_rate: 3,
+            forbid_prob: 0.25,
+        }
+    }
+}
+
+impl RateMatrixGen {
+    /// Generate a valid platform for `n` tasks on `m` processors.
+    /// Every row keeps at least one non-zero entry.
+    #[must_use]
+    pub fn generate(&self, n: usize, m: usize, seed: u64) -> Platform {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rates = vec![vec![0u64; m]; n];
+        for row in rates.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = if rng.gen_bool(self.forbid_prob) {
+                    0
+                } else {
+                    rng.gen_range(1..=self.max_rate)
+                };
+            }
+            if row.iter().all(|&s| s == 0) {
+                // Repair: grant one random processor.
+                let j = rng.gen_range(0..m);
+                row[j] = rng.gen_range(1..=self.max_rate);
+            }
+        }
+        Platform::heterogeneous(rates).expect("repaired matrix is valid")
+    }
+
+    /// Generate a platform with unit rates where allowed (`si,j ∈ {0, 1}`):
+    /// the "restricted migration" shape where heterogeneity is purely about
+    /// eligibility, keeping constraint (11) equivalent to (5) on eligible
+    /// pairs.
+    #[must_use]
+    pub fn generate_unit(&self, n: usize, m: usize, seed: u64) -> Platform {
+        let gen = RateMatrixGen {
+            max_rate: 1,
+            forbid_prob: self.forbid_prob,
+        };
+        gen.generate(n, m, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_is_servable() {
+        let g = RateMatrixGen {
+            max_rate: 2,
+            forbid_prob: 0.9, // aggressive: forces the repair path
+        };
+        for seed in 0..50 {
+            let p = g.generate(6, 3, seed);
+            for i in 0..6 {
+                assert!(p.eligibility_count(i) >= 1, "seed {seed} task {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = RateMatrixGen::default();
+        assert_eq!(g.generate(4, 3, 7), g.generate(4, 3, 7));
+    }
+
+    #[test]
+    fn unit_rates_are_binary() {
+        let g = RateMatrixGen::default();
+        let p = g.generate_unit(5, 4, 3);
+        for i in 0..5 {
+            for j in 0..4 {
+                assert!(p.rate(i, j) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_within_bounds() {
+        let g = RateMatrixGen {
+            max_rate: 5,
+            forbid_prob: 0.0,
+        };
+        let p = g.generate(3, 3, 0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((1..=5).contains(&p.rate(i, j)));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # rt-gen — random MGRTS problem generators
+//!
+//! Reproduces Section VII-A of the paper. A random problem is a task set
+//! plus a processor count, generated under the constraints
+//! `1 ≤ Ci ≤ Di ≤ Ti ≤ Tmax` and `1 < m < n`.
+//!
+//! The paper observes that the order in which `(Ci, Di, Ti)` are sampled
+//! changes the induced distribution and settles on sampling `Di` first, then
+//! `Ci` and `Ti` independently given `Di`. All 3! orderings collapse to
+//! three distinct distributions, offered as [`ParamOrder`]:
+//!
+//! * [`ParamOrder::DeadlineFirst`] — the paper's choice;
+//! * [`ParamOrder::WcetFirst`] (`Ci → Di → Ti`) — favours large periods;
+//! * [`ParamOrder::PeriodFirst`] (`Ti → Di → Ci`) — favours short WCETs.
+//!
+//! Everything is seeded and deterministic: the same [`GeneratorConfig`] and
+//! seed always produce the same instances, byte for byte.
+
+pub mod corpus;
+pub mod hetero;
+pub mod problem;
+pub mod sampler;
+
+pub use corpus::{Corpus, CorpusError};
+pub use hetero::RateMatrixGen;
+pub use problem::{Problem, ProblemGenerator};
+pub use sampler::{GeneratorConfig, MSpec, ParamOrder};

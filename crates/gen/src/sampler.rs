@@ -1,0 +1,204 @@
+//! Task-parameter sampling under `1 ≤ Ci ≤ Di ≤ Ti ≤ Tmax`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use rt_task::{Task, Time};
+
+/// Order in which `(Ci, Di, Ti)` are drawn (Section VII-A). Each ordering
+/// induces a different distribution over valid triples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ParamOrder {
+    /// The paper's choice: `Di ~ U(1..Tmax)`, then `Ci ~ U(1..Di)` and
+    /// `Ti ~ U(Di..Tmax)` (independent given `Di`).
+    #[default]
+    DeadlineFirst,
+    /// `Ci → Di → Ti`: favours large periods.
+    WcetFirst,
+    /// `Ti → Di → Ci`: favours short WCETs.
+    PeriodFirst,
+}
+
+/// How the processor count is chosen for a generated problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MSpec {
+    /// Fixed `m` (Table I uses `m = 5`).
+    Fixed(usize),
+    /// Uniform over `1..n` ("m ∈ 1..(n-1)", Section VII-A).
+    UniformBelowN,
+    /// The minimum count passing the utilization filter:
+    /// `mmin = ⌈Σ Ci/Ti⌉` (Table IV).
+    MinUtilization,
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tasks `n` (> 2 per the paper).
+    pub n: usize,
+    /// Processor-count rule.
+    pub m: MSpec,
+    /// Maximum period `Tmax` (> 1 per the paper).
+    pub t_max: Time,
+    /// Sampling order for `(Ci, Di, Ti)`.
+    pub order: ParamOrder,
+    /// When true all offsets are 0 (synchronous release); otherwise
+    /// `Oi ~ U(0..Ti-1)`.
+    pub synchronous: bool,
+}
+
+impl GeneratorConfig {
+    /// The Table I / II / III workload: 500 problems with `m = 5`, `n = 10`,
+    /// `Tmax = 7`.
+    #[must_use]
+    pub fn table1() -> Self {
+        GeneratorConfig {
+            n: 10,
+            m: MSpec::Fixed(5),
+            t_max: 7,
+            order: ParamOrder::DeadlineFirst,
+            synchronous: false,
+        }
+    }
+
+    /// The Table IV workload for a given `n`: `Tmax = 15`,
+    /// `m = ⌈Σ Ci/Ti⌉`.
+    #[must_use]
+    pub fn table4(n: usize) -> Self {
+        GeneratorConfig {
+            n,
+            m: MSpec::MinUtilization,
+            t_max: 15,
+            order: ParamOrder::DeadlineFirst,
+            synchronous: false,
+        }
+    }
+}
+
+/// Draw one task under the configured ordering. `U(a..=b)` throughout, as in
+/// the paper's `U(min..max)` notation.
+pub fn sample_task<R: Rng>(rng: &mut R, cfg: &GeneratorConfig) -> Task {
+    let t_max = cfg.t_max;
+    debug_assert!(t_max >= 1);
+    let (c, d, t) = match cfg.order {
+        ParamOrder::DeadlineFirst => {
+            let d = rng.gen_range(1..=t_max);
+            let c = rng.gen_range(1..=d);
+            let t = rng.gen_range(d..=t_max);
+            (c, d, t)
+        }
+        ParamOrder::WcetFirst => {
+            let c = rng.gen_range(1..=t_max);
+            let d = rng.gen_range(c..=t_max);
+            let t = rng.gen_range(d..=t_max);
+            (c, d, t)
+        }
+        ParamOrder::PeriodFirst => {
+            let t = rng.gen_range(1..=t_max);
+            let d = rng.gen_range(1..=t);
+            let c = rng.gen_range(1..=d);
+            (c, d, t)
+        }
+    };
+    let o = if cfg.synchronous {
+        0
+    } else {
+        rng.gen_range(0..t)
+    };
+    Task::new(o, c, d, t).expect("sampled parameters satisfy 1 ≤ C ≤ D ≤ T")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check_valid(order: ParamOrder) {
+        let cfg = GeneratorConfig {
+            n: 5,
+            m: MSpec::Fixed(2),
+            t_max: 9,
+            order,
+            synchronous: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let t = sample_task(&mut rng, &cfg);
+            assert!(1 <= t.wcet && t.wcet <= t.deadline);
+            assert!(t.deadline <= t.period);
+            assert!(t.period <= 9);
+            assert!(t.offset < t.period);
+        }
+    }
+
+    #[test]
+    fn all_orders_respect_constraints() {
+        check_valid(ParamOrder::DeadlineFirst);
+        check_valid(ParamOrder::WcetFirst);
+        check_valid(ParamOrder::PeriodFirst);
+    }
+
+    #[test]
+    fn synchronous_zeroes_offsets() {
+        let cfg = GeneratorConfig {
+            synchronous: true,
+            ..GeneratorConfig::table1()
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sample_task(&mut rng, &cfg).offset, 0);
+        }
+    }
+
+    #[test]
+    fn orderings_have_distinct_biases() {
+        // WcetFirst should produce larger periods on average than
+        // PeriodFirst (the paper's motivation for choosing the middle way).
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut mean_period = |order| {
+            let cfg = GeneratorConfig {
+                n: 1,
+                m: MSpec::Fixed(1),
+                t_max: 15,
+                order,
+                synchronous: true,
+            };
+            let mut rng2 = SmallRng::seed_from_u64(rng.gen());
+            (0..4000)
+                .map(|_| sample_task(&mut rng2, &cfg).period as f64)
+                .sum::<f64>()
+                / 4000.0
+        };
+        let wf = mean_period(ParamOrder::WcetFirst);
+        let pf = mean_period(ParamOrder::PeriodFirst);
+        assert!(
+            wf > pf + 1.0,
+            "WcetFirst mean period {wf} should exceed PeriodFirst {pf}"
+        );
+    }
+
+    #[test]
+    fn tmax_one_is_degenerate_but_valid() {
+        let cfg = GeneratorConfig {
+            n: 3,
+            m: MSpec::Fixed(2),
+            t_max: 1,
+            order: ParamOrder::DeadlineFirst,
+            synchronous: false,
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = sample_task(&mut rng, &cfg);
+        assert_eq!((t.wcet, t.deadline, t.period, t.offset), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let t1 = GeneratorConfig::table1();
+        assert_eq!((t1.n, t1.t_max), (10, 7));
+        assert_eq!(t1.m, MSpec::Fixed(5));
+        let t4 = GeneratorConfig::table4(64);
+        assert_eq!((t4.n, t4.t_max), (64, 15));
+        assert_eq!(t4.m, MSpec::MinUtilization);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # rt-platform — multiprocessor platform models
+//!
+//! Section II of the paper distinguishes three platform classes, from least
+//! to most general:
+//!
+//! * **identical** — all processors have the same computing power;
+//! * **uniform** — processor `Pj` has capacity `sj`; a job run for `t` ticks
+//!   completes `sj·t` units;
+//! * **heterogeneous** (unrelated) — an execution rate `si,j` per
+//!   task-processor pair; `si,j = 0` models a dedicated processor that
+//!   cannot serve the task.
+//!
+//! [`Platform`] stores the general rate matrix and exposes the structure the
+//! CSP encodings need: per-processor quality `Q(Pj) = Σ_i si,j·Ci/Ti`
+//! (Section VI-A variable ordering) and groups of mutually identical
+//! processors (eq. 13 symmetry breaking).
+//!
+//! Rates are integers: running task `τi` on `Pj` for `t` ticks completes
+//! `si,j·t` execution units. Identical platforms use rate 1 everywhere, so
+//! the constrained encodings of Sections IV–V fall out as the special case
+//! `si,j ≡ 1`.
+
+pub mod platform;
+pub mod quality;
+
+pub use platform::{Platform, PlatformError, ProcId, Rate};
+pub use quality::{identical_groups, quality_order, QualityKey};

@@ -1,0 +1,235 @@
+//! The platform type: a task×processor execution-rate matrix.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor (0-based; the paper numbers `P1..Pm`).
+pub type ProcId = usize;
+
+/// Integer execution rate `si,j`: units of execution completed per tick when
+/// task `i` runs on processor `j`. Zero means the processor cannot serve the
+/// task (dedicated-processor modelling, Section II).
+pub type Rate = u64;
+
+/// Why a platform was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// No processors.
+    NoProcessors,
+    /// No tasks (rate matrix has zero rows).
+    NoTasks,
+    /// Row lengths of the rate matrix differ.
+    RaggedMatrix {
+        /// The offending row (task index).
+        row: usize,
+        /// Expected column count `m`.
+        expected: usize,
+        /// Actual column count.
+        got: usize,
+    },
+    /// Some task cannot run anywhere (`si,j = 0` for all `j`).
+    UnservableTask {
+        /// The unservable task's index.
+        task: usize,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoProcessors => write!(f, "platform has no processors"),
+            PlatformError::NoTasks => write!(f, "rate matrix has no task rows"),
+            PlatformError::RaggedMatrix { row, expected, got } => write!(
+                f,
+                "rate matrix row {row} has {got} entries, expected {expected}"
+            ),
+            PlatformError::UnservableTask { task } => {
+                write!(f, "task {task} has rate 0 on every processor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A multiprocessor platform described by its execution-rate matrix
+/// `rates[i][j] = si,j`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Rate matrix, one row per task, one column per processor.
+    rates: Vec<Vec<Rate>>,
+    /// Number of processors `m`.
+    m: usize,
+}
+
+impl Platform {
+    /// An identical platform of `m` processors for `n` tasks: `si,j = 1`.
+    pub fn identical(n: usize, m: usize) -> Result<Self, PlatformError> {
+        Self::heterogeneous(vec![vec![1; m]; n])
+    }
+
+    /// A uniform platform: processor `j` has capacity `speeds[j]`, the same
+    /// for every task (`si,j = sj`).
+    pub fn uniform(n: usize, speeds: &[Rate]) -> Result<Self, PlatformError> {
+        Self::heterogeneous(vec![speeds.to_vec(); n])
+    }
+
+    /// A fully heterogeneous platform from an explicit `n × m` rate matrix.
+    pub fn heterogeneous(rates: Vec<Vec<Rate>>) -> Result<Self, PlatformError> {
+        if rates.is_empty() {
+            return Err(PlatformError::NoTasks);
+        }
+        let m = rates[0].len();
+        if m == 0 {
+            return Err(PlatformError::NoProcessors);
+        }
+        for (row, r) in rates.iter().enumerate() {
+            if r.len() != m {
+                return Err(PlatformError::RaggedMatrix {
+                    row,
+                    expected: m,
+                    got: r.len(),
+                });
+            }
+            if r.iter().all(|&s| s == 0) {
+                return Err(PlatformError::UnservableTask { task: row });
+            }
+        }
+        Ok(Platform { rates, m })
+    }
+
+    /// Number of processors `m`.
+    #[must_use]
+    pub fn num_processors(&self) -> usize {
+        self.m
+    }
+
+    /// Number of tasks `n` the matrix covers.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Execution rate `si,j`.
+    #[must_use]
+    pub fn rate(&self, task: usize, proc: ProcId) -> Rate {
+        self.rates[task][proc]
+    }
+
+    /// Can processor `j` serve task `i` at all?
+    #[must_use]
+    pub fn can_run(&self, task: usize, proc: ProcId) -> bool {
+        self.rates[task][proc] > 0
+    }
+
+    /// Is the platform identical (`si,j = 1` everywhere)? This is the domain
+    /// of the base encodings (Sections IV–V).
+    #[must_use]
+    pub fn is_identical(&self) -> bool {
+        self.rates.iter().all(|row| row.iter().all(|&s| s == 1))
+    }
+
+    /// Is the platform uniform (all rows equal)?
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.rates.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Column `j` of the rate matrix — the rate signature of processor `j`.
+    /// Two processors with equal signatures are interchangeable
+    /// (eq. 13's `Pj ≡ Pj'`).
+    #[must_use]
+    pub fn signature(&self, proc: ProcId) -> Vec<Rate> {
+        self.rates.iter().map(|row| row[proc]).collect()
+    }
+
+    /// Processors able to serve task `i`.
+    #[must_use]
+    pub fn eligible_processors(&self, task: usize) -> Vec<ProcId> {
+        (0..self.m).filter(|&j| self.can_run(task, j)).collect()
+    }
+
+    /// Number of processors able to serve task `i` — used by the
+    /// heterogeneous value-ordering rule ("higher priority on tasks that can
+    /// run on few processors", Section VI-A).
+    #[must_use]
+    pub fn eligibility_count(&self, task: usize) -> usize {
+        (0..self.m).filter(|&j| self.can_run(task, j)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_platform() {
+        let p = Platform::identical(3, 2).unwrap();
+        assert_eq!(p.num_processors(), 2);
+        assert_eq!(p.num_tasks(), 3);
+        assert!(p.is_identical());
+        assert!(p.is_uniform());
+        assert_eq!(p.rate(1, 1), 1);
+        assert!(p.can_run(2, 0));
+    }
+
+    #[test]
+    fn uniform_platform() {
+        let p = Platform::uniform(2, &[2, 1]).unwrap();
+        assert!(!p.is_identical());
+        assert!(p.is_uniform());
+        assert_eq!(p.rate(0, 0), 2);
+        assert_eq!(p.rate(1, 0), 2);
+    }
+
+    #[test]
+    fn heterogeneous_platform_with_dedicated_processor() {
+        // Task 0 can only run on P0; task 1 anywhere.
+        let p = Platform::heterogeneous(vec![vec![1, 0], vec![1, 2]]).unwrap();
+        assert!(!p.is_uniform());
+        assert!(!p.can_run(0, 1));
+        assert_eq!(p.eligible_processors(0), vec![0]);
+        assert_eq!(p.eligibility_count(0), 1);
+        assert_eq!(p.eligibility_count(1), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Platform::heterogeneous(vec![]),
+            Err(PlatformError::NoTasks)
+        );
+        assert_eq!(
+            Platform::heterogeneous(vec![vec![]]),
+            Err(PlatformError::NoProcessors)
+        );
+        assert_eq!(
+            Platform::heterogeneous(vec![vec![1, 1], vec![1]]),
+            Err(PlatformError::RaggedMatrix {
+                row: 1,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            Platform::heterogeneous(vec![vec![1, 1], vec![0, 0]]),
+            Err(PlatformError::UnservableTask { task: 1 })
+        );
+    }
+
+    #[test]
+    fn signatures_detect_identical_processors() {
+        let p = Platform::heterogeneous(vec![vec![1, 2, 1], vec![3, 1, 3]]).unwrap();
+        assert_eq!(p.signature(0), p.signature(2));
+        assert_ne!(p.signature(0), p.signature(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::heterogeneous(vec![vec![1, 0], vec![1, 2]]).unwrap();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,151 @@
+//! Quantile-based execution budgets: trading deadline-miss probability for
+//! schedulability.
+//!
+//! Sizing every task at its full worst case can make an instance
+//! infeasible even when overruns are rare. With a distribution per task,
+//! one can instead budget each task at its `q`-quantile ("probabilistic
+//! WCET at confidence `q`"), schedule the *smaller* budgets with the exact
+//! CSP solvers, and bound the resulting per-job miss probability by
+//! `1 − q`. This module builds those resized instances and the
+//! feasibility-versus-confidence tradeoff curve — the natural bridge
+//! between the paper's deterministic CSP machinery and its probabilistic
+//! future work.
+
+use rt_task::{Task, TaskError, TaskSet};
+
+use crate::model::ExecModel;
+
+/// Per-task budgets at confidence `q`: the smallest `b` with
+/// `P(X ≤ b) ≥ q` for each task.
+///
+/// # Panics
+/// Panics unless `0 < q ≤ 1` (propagated from [`crate::Pmf::quantile`]).
+#[must_use]
+pub fn quantile_budgets(model: &ExecModel, q: f64) -> Vec<u64> {
+    (0..model.len()).map(|i| model.pmf(i).quantile(q)).collect()
+}
+
+/// Rebuild a task set with new execution budgets (same offsets, deadlines,
+/// periods). Fails with the task model's own validation when a budget
+/// exceeds its deadline or is zero.
+pub fn with_budgets(ts: &TaskSet, budgets: &[u64]) -> Result<TaskSet, TaskError> {
+    assert_eq!(budgets.len(), ts.len(), "one budget per task");
+    let tasks: Result<Vec<Task>, TaskError> = ts
+        .tasks()
+        .iter()
+        .zip(budgets)
+        .map(|(t, &b)| Task::new(t.offset, b, t.deadline, t.period))
+        .collect();
+    TaskSet::new(tasks?)
+}
+
+/// One point of the tradeoff curve.
+#[derive(Debug, Clone)]
+pub struct TradeoffPoint {
+    /// Confidence level of the budgets.
+    pub q: f64,
+    /// The per-task budgets.
+    pub budgets: Vec<u64>,
+    /// Whether the resized instance could even be *built* (budgets within
+    /// deadlines) — `None` when construction failed.
+    pub taskset: Option<TaskSet>,
+    /// Upper bound on the probability a given job overruns its budget:
+    /// `max_i P(Xi > budget_i)`.
+    pub worst_job_overrun: f64,
+}
+
+/// Build the tradeoff curve for a list of confidence levels. Feasibility
+/// of each point is left to the caller's solver of choice (the curve is
+/// solver-independent data).
+#[must_use]
+pub fn tradeoff_curve(ts: &TaskSet, model: &ExecModel, qs: &[f64]) -> Vec<TradeoffPoint> {
+    qs.iter()
+        .map(|&q| {
+            let budgets = quantile_budgets(model, q);
+            let worst = (0..model.len())
+                .map(|i| model.pmf(i).exceedance(budgets[i]))
+                .fold(0.0, f64::max);
+            TradeoffPoint {
+                q,
+                taskset: with_budgets(ts, &budgets).ok(),
+                budgets,
+                worst_job_overrun: worst,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmf::Pmf;
+
+    #[test]
+    fn quantile_budgets_monotone_in_q() {
+        let ts = TaskSet::running_example();
+        let model = ExecModel::uniform_to_wcet(&ts);
+        let low = quantile_budgets(&model, 0.5);
+        let high = quantile_budgets(&model, 1.0);
+        for (l, h) in low.iter().zip(&high) {
+            assert!(l <= h);
+        }
+        // q = 1 recovers the WCETs.
+        let wcets: Vec<u64> = ts.tasks().iter().map(|t| t.wcet).collect();
+        assert_eq!(high, wcets);
+    }
+
+    #[test]
+    fn with_budgets_rebuilds() {
+        let ts = TaskSet::running_example();
+        let resized = with_budgets(&ts, &[1, 2, 1]).unwrap();
+        assert_eq!(resized.task(1).wcet, 2);
+        assert_eq!(resized.task(1).deadline, 4);
+        // Budget 0 or beyond a deadline is rejected by task validation.
+        assert!(with_budgets(&ts, &[0, 2, 1]).is_err());
+        assert!(with_budgets(&ts, &[3, 2, 1]).is_err()); // D1 = 2 < 3
+    }
+
+    #[test]
+    fn overrun_bound_matches_exceedance() {
+        let ts = TaskSet::running_example();
+        // Heavy-tailed model: exceeds WCET 30% of the time.
+        let pmfs = vec![
+            Pmf::new(vec![(1, 0.7), (2, 0.3)]).unwrap(),
+            Pmf::new(vec![(3, 0.7), (5, 0.3)]).unwrap(),
+            Pmf::new(vec![(2, 0.7), (3, 0.3)]).unwrap(),
+        ];
+        let model = ExecModel::new(pmfs, &ts).unwrap();
+        let curve = tradeoff_curve(&ts, &model, &[0.7, 1.0]);
+        // q = 0.7 budgets at the 70th percentile: overrun prob 0.3.
+        assert!((curve[0].worst_job_overrun - 0.3).abs() < 1e-9);
+        assert_eq!(curve[1].worst_job_overrun, 0.0);
+        // q = 0.7 budgets are buildable (all ≤ deadlines).
+        assert!(curve[0].taskset.is_some());
+        // q = 1.0 here needs C2 = 5 > D2 = 4: unbuildable point, flagged
+        // rather than panicking.
+        assert!(curve[1].taskset.is_none());
+    }
+
+    #[test]
+    fn smaller_budgets_can_recover_feasibility() {
+        use mgrts_core::csp2::Csp2Solver;
+        // Three always-busy tasks on two processors: infeasible at WCET.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
+        assert!(!Csp2Solver::new(&ts, 2)
+            .unwrap()
+            .solve()
+            .verdict
+            .is_feasible());
+        // Each task usually needs 1 tick; only 10% of jobs need 2.
+        let pmfs = vec![Pmf::new(vec![(1, 0.9), (2, 0.1)]).unwrap(); 3];
+        let model = ExecModel::new(pmfs, &ts).unwrap();
+        let budgets = quantile_budgets(&model, 0.9);
+        assert_eq!(budgets, vec![1, 1, 1]);
+        let resized = with_budgets(&ts, &budgets).unwrap();
+        assert!(Csp2Solver::new(&resized, 2)
+            .unwrap()
+            .solve()
+            .verdict
+            .is_feasible());
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! # rt-prob — probabilistic execution times on top of CSP schedules
+//!
+//! The reproduced paper closes with its long-term objective: "to move from
+//! the usual deterministic setting — where worst-case execution times are
+//! considered — to probabilistic settings — e.g. where a probability
+//! distribution over execution times is known for each task"
+//! (Section VIII). This crate is that step, built on the paper's own
+//! anomaly-avoidance policy (idling on early completion, remark after
+//! Theorem 1), which makes each job's slot allocation deterministic and
+//! the analysis *exact*:
+//!
+//! * [`pmf`] — discrete execution-time distributions with convolution,
+//!   quantiles and exceedance probabilities;
+//! * [`model`] — per-task models (deterministic / uniform / two-point
+//!   overrun);
+//! * [`response`] — exact response-time distributions and deadline-miss
+//!   probabilities of a schedule table under a model;
+//! * [`monte_carlo`] — seeded empirical replay cross-validating the exact
+//!   analysis;
+//! * [`budget`] — quantile-based ("probabilistic WCET") budget sizing and
+//!   the feasibility-versus-confidence tradeoff curve.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_task::TaskSet;
+//! use mgrts_core::csp2::Csp2Solver;
+//! use rt_prob::{ExecModel, analyze_all, hyperperiod_miss_probability};
+//!
+//! let ts = TaskSet::running_example();
+//! let schedule = Csp2Solver::new(&ts, 2).unwrap().solve()
+//!     .verdict.schedule().unwrap().clone();
+//! // 10% chance every job overruns to twice its WCET.
+//! let model = ExecModel::with_overruns(&ts, 0.1, 2.0);
+//! let timings = analyze_all(&ts, &schedule, &model).unwrap();
+//! let p_miss = hyperperiod_miss_probability(&timings);
+//! assert!(p_miss > 0.0 && p_miss < 1.0);
+//! ```
+
+pub mod budget;
+pub mod model;
+pub mod monte_carlo;
+pub mod pmf;
+pub mod response;
+
+pub use budget::{quantile_budgets, tradeoff_curve, with_budgets, TradeoffPoint};
+pub use model::{ExecModel, ModelError};
+pub use monte_carlo::{run as monte_carlo_run, McConfig, McSummary, TaskMcStats};
+pub use pmf::{Pmf, PmfError};
+pub use response::{
+    analyze_all, analyze_job, expected_idle_per_hyperperiod, hyperperiod_miss_probability,
+    job_allocation, JobTiming,
+};

@@ -1,0 +1,174 @@
+//! Per-task execution-time models.
+//!
+//! An [`ExecModel`] attaches one [`Pmf`] to each task of a set. The
+//! deterministic setting of the paper is the special case of all-delta
+//! distributions at the WCET; the probabilistic extension allows any
+//! distribution — including support *beyond* the scheduled budget `Ci`,
+//! which is what makes deadline misses possible and the analysis
+//! interesting.
+
+use rt_task::TaskSet;
+
+use crate::pmf::{Pmf, PmfError};
+
+/// Errors building an [`ExecModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Number of distributions ≠ number of tasks.
+    LengthMismatch {
+        /// Distributions supplied.
+        pmfs: usize,
+        /// Tasks in the set.
+        tasks: usize,
+    },
+    /// A distribution failed validation.
+    Pmf(PmfError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::LengthMismatch { pmfs, tasks } => {
+                write!(f, "{pmfs} distributions for {tasks} tasks")
+            }
+            ModelError::Pmf(e) => write!(f, "bad distribution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<PmfError> for ModelError {
+    fn from(e: PmfError) -> Self {
+        ModelError::Pmf(e)
+    }
+}
+
+/// Execution-time distributions, one per task (indexed like the task set).
+#[derive(Debug, Clone)]
+pub struct ExecModel {
+    pmfs: Vec<Pmf>,
+}
+
+impl ExecModel {
+    /// One distribution per task, in task order.
+    pub fn new(pmfs: Vec<Pmf>, ts: &TaskSet) -> Result<ExecModel, ModelError> {
+        if pmfs.len() != ts.len() {
+            return Err(ModelError::LengthMismatch {
+                pmfs: pmfs.len(),
+                tasks: ts.len(),
+            });
+        }
+        Ok(ExecModel { pmfs })
+    }
+
+    /// The deterministic model: every task always needs exactly its WCET.
+    #[must_use]
+    pub fn deterministic(ts: &TaskSet) -> ExecModel {
+        ExecModel {
+            pmfs: ts.tasks().iter().map(|t| Pmf::delta(t.wcet)).collect(),
+        }
+    }
+
+    /// Uniform between 1 and the WCET — the "jobs often finish early"
+    /// model the paper's idling remark (after Theorem 1) anticipates.
+    #[must_use]
+    pub fn uniform_to_wcet(ts: &TaskSet) -> ExecModel {
+        ExecModel {
+            pmfs: ts
+                .tasks()
+                .iter()
+                .map(|t| Pmf::uniform(1, t.wcet))
+                .collect(),
+        }
+    }
+
+    /// A two-point "normal vs overrun" model: the task takes its WCET with
+    /// probability `1 − p_over` and `overrun_factor × WCET` (rounded down,
+    /// at least WCET+1) with probability `p_over`. This deliberately
+    /// exceeds the scheduled budget — the deadline-miss analysis exercises
+    /// it.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_over < 1`.
+    #[must_use]
+    pub fn with_overruns(ts: &TaskSet, p_over: f64, overrun_factor: f64) -> ExecModel {
+        assert!(p_over > 0.0 && p_over < 1.0, "overrun probability in (0,1)");
+        let pmfs = ts
+            .tasks()
+            .iter()
+            .map(|t| {
+                let over = ((t.wcet as f64 * overrun_factor) as u64).max(t.wcet + 1);
+                Pmf::new(vec![(t.wcet, 1.0 - p_over), (over, p_over)])
+                    .expect("two-point distribution is valid")
+            })
+            .collect();
+        ExecModel { pmfs }
+    }
+
+    /// The distribution of task `i`.
+    #[must_use]
+    pub fn pmf(&self, task: usize) -> &Pmf {
+        &self.pmfs[task]
+    }
+
+    /// Number of tasks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pmfs.len()
+    }
+
+    /// True when no distributions are stored (never for validated models).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pmfs.is_empty()
+    }
+
+    /// True when task `i`'s demand can exceed `budget` ticks.
+    #[must_use]
+    pub fn can_exceed(&self, task: usize, budget: u64) -> bool {
+        self.pmfs[task].max() > budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_model_is_deltas() {
+        let ts = TaskSet::running_example();
+        let m = ExecModel::deterministic(&ts);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.pmf(0).points(), &[(1, 1.0)]);
+        assert_eq!(m.pmf(1).points(), &[(3, 1.0)]);
+        assert!(!m.can_exceed(1, 3));
+    }
+
+    #[test]
+    fn uniform_model_bounded_by_wcet() {
+        let ts = TaskSet::running_example();
+        let m = ExecModel::uniform_to_wcet(&ts);
+        for (i, t) in ts.iter() {
+            assert_eq!(m.pmf(i).max(), t.wcet);
+            assert!(m.pmf(i).min() >= 1);
+        }
+    }
+
+    #[test]
+    fn overrun_model_exceeds_budget() {
+        let ts = TaskSet::running_example();
+        let m = ExecModel::with_overruns(&ts, 0.1, 1.5);
+        for (i, t) in ts.iter() {
+            assert!(m.can_exceed(i, t.wcet));
+            assert!((m.pmf(i).exceedance(t.wcet) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let ts = TaskSet::running_example();
+        let err = ExecModel::new(vec![Pmf::delta(1)], &ts).unwrap_err();
+        assert!(matches!(err, ModelError::LengthMismatch { pmfs: 1, tasks: 3 }));
+    }
+}

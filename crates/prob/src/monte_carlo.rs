@@ -1,0 +1,278 @@
+//! Monte-Carlo replay of a schedule table under random execution times —
+//! the empirical counterpart validating the exact analysis in
+//! [`crate::response`].
+//!
+//! Each round draws one execution time per job of the hyperperiod and
+//! replays the table under the paper's idling policy (early completions
+//! idle the processor; overruns are cut off at the end of the allocation
+//! and counted as deadline misses).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rt_task::{JobId, JobInstants, TaskError, TaskSet};
+
+use mgrts_core::Schedule;
+
+use crate::model::ExecModel;
+use crate::response::job_allocation;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Hyperperiods to replay.
+    pub rounds: u64,
+    /// RNG seed — identical configs reproduce identical summaries.
+    pub seed: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            rounds: 10_000,
+            seed: 0x9E3779B9,
+        }
+    }
+}
+
+/// Per-task empirical counters.
+#[derive(Debug, Clone, Default)]
+pub struct TaskMcStats {
+    /// Jobs observed (rounds × jobs per hyperperiod).
+    pub jobs: u64,
+    /// Jobs whose drawn demand exceeded the allocation.
+    pub misses: u64,
+    /// Sum of response times of on-time jobs.
+    pub response_sum: u64,
+    /// On-time jobs (denominator for the mean response).
+    pub on_time: u64,
+}
+
+impl TaskMcStats {
+    /// Empirical miss rate.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.jobs as f64
+        }
+    }
+
+    /// Empirical mean on-time response.
+    #[must_use]
+    pub fn mean_response(&self) -> Option<f64> {
+        if self.on_time == 0 {
+            None
+        } else {
+            Some(self.response_sum as f64 / self.on_time as f64)
+        }
+    }
+}
+
+/// Whole-run summary.
+#[derive(Debug, Clone)]
+pub struct McSummary {
+    /// Rounds replayed.
+    pub rounds: u64,
+    /// Per-task counters.
+    pub per_task: Vec<TaskMcStats>,
+    /// Rounds in which at least one job missed.
+    pub rounds_with_miss: u64,
+    /// Total slots idled by early completions, across all rounds.
+    pub idle_slots: u64,
+}
+
+impl McSummary {
+    /// Empirical probability a hyperperiod contains a miss.
+    #[must_use]
+    pub fn hyperperiod_miss_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.rounds_with_miss as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean idled slots per hyperperiod.
+    #[must_use]
+    pub fn mean_idle(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.idle_slots as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Replay `cfg.rounds` hyperperiods of `schedule` under `model`.
+pub fn run(
+    ts: &TaskSet,
+    schedule: &Schedule,
+    model: &ExecModel,
+    cfg: &McConfig,
+) -> Result<McSummary, TaskError> {
+    let ji = JobInstants::new(ts)?;
+    // Precompute each job's allocation once; it is deterministic.
+    let mut jobs: Vec<(JobId, Vec<u64>)> = Vec::new();
+    for i in 0..ts.len() {
+        for k in 0..ji.jobs_of(i) {
+            let job = JobId { task: i, k };
+            jobs.push((job, job_allocation(schedule, &ji, job)));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut per_task = vec![TaskMcStats::default(); ts.len()];
+    let mut rounds_with_miss = 0u64;
+    let mut idle_slots = 0u64;
+    for _ in 0..cfg.rounds {
+        let mut round_missed = false;
+        for (job, alloc) in &jobs {
+            let x = model.pmf(job.task).sample(&mut rng);
+            let stats = &mut per_task[job.task];
+            stats.jobs += 1;
+            let cap = alloc.len() as u64;
+            if x > cap {
+                stats.misses += 1;
+                round_missed = true;
+            } else {
+                stats.on_time += 1;
+                let response = if x == 0 { 0 } else { alloc[(x - 1) as usize] + 1 };
+                stats.response_sum += response;
+                idle_slots += cap - x;
+            }
+        }
+        if round_missed {
+            rounds_with_miss += 1;
+        }
+    }
+    Ok(McSummary {
+        rounds: cfg.rounds,
+        per_task,
+        rounds_with_miss,
+        idle_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{analyze_all, hyperperiod_miss_probability};
+    use mgrts_core::csp2::Csp2Solver;
+
+    fn schedule_for(ts: &TaskSet, m: usize) -> Schedule {
+        Csp2Solver::new(ts, m)
+            .unwrap()
+            .solve()
+            .verdict
+            .schedule()
+            .expect("feasible")
+            .clone()
+    }
+
+    #[test]
+    fn deterministic_replay_never_misses() {
+        let ts = TaskSet::running_example();
+        let s = schedule_for(&ts, 2);
+        let model = ExecModel::deterministic(&ts);
+        let sum = run(&ts, &s, &model, &McConfig { rounds: 50, seed: 3 }).unwrap();
+        assert_eq!(sum.rounds_with_miss, 0);
+        assert_eq!(sum.idle_slots, 0);
+        for st in &sum.per_task {
+            assert_eq!(st.misses, 0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_analysis() {
+        let ts = TaskSet::running_example();
+        let s = schedule_for(&ts, 2);
+        let model = ExecModel::with_overruns(&ts, 0.2, 2.0);
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        let exact_sys = hyperperiod_miss_probability(&timings);
+        let sum = run(
+            &ts,
+            &s,
+            &model,
+            &McConfig {
+                rounds: 20_000,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        // Per-task miss rates ≈ 0.2.
+        for st in &sum.per_task {
+            assert!((st.miss_rate() - 0.2).abs() < 0.02, "rate {}", st.miss_rate());
+        }
+        // System-level miss rate matches the independence formula.
+        assert!(
+            (sum.hyperperiod_miss_rate() - exact_sys).abs() < 0.02,
+            "mc {} vs exact {exact_sys}",
+            sum.hyperperiod_miss_rate()
+        );
+    }
+
+    #[test]
+    fn mean_response_matches_exact() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3)]);
+        let s = schedule_for(&ts, 1);
+        let model = ExecModel::uniform_to_wcet(&ts);
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        let exact_mean: f64 = timings
+            .iter()
+            .filter_map(|t| t.mean_on_time_response())
+            .sum::<f64>()
+            / timings.len() as f64;
+        let sum = run(
+            &ts,
+            &s,
+            &model,
+            &McConfig {
+                rounds: 30_000,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let mc_mean = sum.per_task[0].mean_response().unwrap();
+        assert!(
+            (mc_mean - exact_mean).abs() < 0.05,
+            "mc {mc_mean} vs exact {exact_mean}"
+        );
+    }
+
+    #[test]
+    fn idle_accounting_matches_expectation() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3)]);
+        let s = schedule_for(&ts, 1);
+        let model = ExecModel::uniform_to_wcet(&ts); // E[idle per job] = 0.5
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        let exact_idle = crate::response::expected_idle_per_hyperperiod(&timings, &model);
+        let sum = run(
+            &ts,
+            &s,
+            &model,
+            &McConfig {
+                rounds: 30_000,
+                seed: 6,
+            },
+        )
+        .unwrap();
+        assert!(
+            (sum.mean_idle() - exact_idle).abs() < 0.05,
+            "mc {} vs exact {exact_idle}",
+            sum.mean_idle()
+        );
+    }
+
+    #[test]
+    fn reproducible_under_seed() {
+        let ts = TaskSet::running_example();
+        let s = schedule_for(&ts, 2);
+        let model = ExecModel::with_overruns(&ts, 0.3, 2.0);
+        let cfg = McConfig { rounds: 500, seed: 42 };
+        let a = run(&ts, &s, &model, &cfg).unwrap();
+        let b = run(&ts, &s, &model, &cfg).unwrap();
+        assert_eq!(a.rounds_with_miss, b.rounds_with_miss);
+        assert_eq!(a.idle_slots, b.idle_slots);
+    }
+}

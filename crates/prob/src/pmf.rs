@@ -1,0 +1,327 @@
+//! Discrete probability mass functions over integer execution times.
+//!
+//! The paper's long-term goal (Section VIII) is to move "from the usual
+//! deterministic setting — where worst-case execution times are considered
+//! — to probabilistic settings — e.g. where a probability distribution
+//! over execution times is known for each task". [`Pmf`] is that
+//! distribution: a finite map from integer durations to probabilities,
+//! with the arithmetic (convolution, quantiles, exceedance) probabilistic
+//! schedulability analysis is built from.
+
+use rand::Rng;
+
+/// Tolerance for "probabilities sum to one".
+const NORM_EPS: f64 = 1e-9;
+
+/// Errors building a [`Pmf`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// No support points given.
+    Empty,
+    /// A probability was negative or non-finite.
+    BadProbability(f64),
+    /// Probabilities summed to `sum`, not 1.
+    NotNormalized(f64),
+}
+
+impl std::fmt::Display for PmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmfError::Empty => write!(f, "empty support"),
+            PmfError::BadProbability(p) => write!(f, "bad probability {p}"),
+            PmfError::NotNormalized(s) => write!(f, "probabilities sum to {s}, expected 1"),
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+/// A probability mass function over `u64` values (execution times in
+/// ticks). Support is sorted, duplicate-free, and every stored probability
+/// is strictly positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    /// `(value, probability)` pairs, sorted by value.
+    points: Vec<(u64, f64)>,
+}
+
+impl Pmf {
+    /// Build from `(value, probability)` pairs. Duplicates are merged,
+    /// zero-probability points dropped; the result must normalize to 1.
+    pub fn new(mut points: Vec<(u64, f64)>) -> Result<Pmf, PmfError> {
+        if points.is_empty() {
+            return Err(PmfError::Empty);
+        }
+        for &(_, p) in &points {
+            if !p.is_finite() || p < 0.0 {
+                return Err(PmfError::BadProbability(p));
+            }
+        }
+        points.sort_unstable_by_key(|&(v, _)| v);
+        let mut merged: Vec<(u64, f64)> = Vec::with_capacity(points.len());
+        for (v, p) in points {
+            match merged.last_mut() {
+                Some((lv, lp)) if *lv == v => *lp += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        merged.retain(|&(_, p)| p > 0.0);
+        let sum: f64 = merged.iter().map(|&(_, p)| p).sum();
+        if (sum - 1.0).abs() > NORM_EPS {
+            return Err(PmfError::NotNormalized(sum));
+        }
+        if merged.is_empty() {
+            return Err(PmfError::Empty);
+        }
+        Ok(Pmf { points: merged })
+    }
+
+    /// The deterministic distribution concentrated on `v`.
+    #[must_use]
+    pub fn delta(v: u64) -> Pmf {
+        Pmf {
+            points: vec![(v, 1.0)],
+        }
+    }
+
+    /// Uniform over the integer range `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics when `lo > hi`.
+    #[must_use]
+    pub fn uniform(lo: u64, hi: u64) -> Pmf {
+        assert!(lo <= hi, "uniform range reversed");
+        let n = (hi - lo + 1) as f64;
+        Pmf {
+            points: (lo..=hi).map(|v| (v, 1.0 / n)).collect(),
+        }
+    }
+
+    /// The support/probability pairs, sorted by value.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Smallest support value.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.points[0].0
+    }
+
+    /// Largest support value (the distribution's own worst case).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// `P(X = v)`.
+    #[must_use]
+    pub fn prob_of(&self, v: u64) -> f64 {
+        self.points
+            .binary_search_by_key(&v, |&(x, _)| x)
+            .map_or(0.0, |i| self.points[i].1)
+    }
+
+    /// `P(X ≤ v)`.
+    #[must_use]
+    pub fn cdf(&self, v: u64) -> f64 {
+        self.points
+            .iter()
+            .take_while(|&&(x, _)| x <= v)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// `P(X > v)` — the exceedance used for deadline-miss probabilities.
+    #[must_use]
+    pub fn exceedance(&self, v: u64) -> f64 {
+        (1.0 - self.cdf(v)).max(0.0)
+    }
+
+    /// Smallest `v` with `P(X ≤ v) ≥ q`. `q = 1.0` returns the maximum;
+    /// this is the probabilistic WCET at confidence `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q ≤ 1`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile level out of range");
+        let mut acc = 0.0;
+        for &(v, p) in &self.points {
+            acc += p;
+            if acc + NORM_EPS >= q {
+                return v;
+            }
+        }
+        self.max()
+    }
+
+    /// Expected value.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.points.iter().map(|&(v, p)| v as f64 * p).sum()
+    }
+
+    /// Variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.points
+            .iter()
+            .map(|&(v, p)| (v as f64 - mu).powi(2) * p)
+            .sum()
+    }
+
+    /// Distribution of `X + Y` for independent `X`, `Y` (convolution) —
+    /// the total demand of independent jobs.
+    #[must_use]
+    pub fn convolve(&self, other: &Pmf) -> Pmf {
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &(x, px) in &self.points {
+            for &(y, py) in &other.points {
+                *acc.entry(x + y).or_insert(0.0) += px * py;
+            }
+        }
+        Pmf {
+            points: acc.into_iter().collect(),
+        }
+    }
+
+    /// Distribution of `max(X, Y)` for independent `X`, `Y` — completion
+    /// of parallel branches.
+    #[must_use]
+    pub fn max_of(&self, other: &Pmf) -> Pmf {
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &(x, px) in &self.points {
+            for &(y, py) in &other.points {
+                *acc.entry(x.max(y)).or_insert(0.0) += px * py;
+            }
+        }
+        Pmf {
+            points: acc.into_iter().collect(),
+        }
+    }
+
+    /// Map values through `f`, merging collisions (e.g. clamping).
+    #[must_use]
+    pub fn map_values(&self, f: impl Fn(u64) -> u64) -> Pmf {
+        let mut acc: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for &(v, p) in &self.points {
+            *acc.entry(f(v)).or_insert(0.0) += p;
+        }
+        Pmf {
+            points: acc.into_iter().collect(),
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut u: f64 = rng.gen();
+        for &(v, p) in &self.points {
+            if u < p {
+                return v;
+            }
+            u -= p;
+        }
+        self.max() // guard against float residue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(Pmf::new(vec![]), Err(PmfError::Empty));
+        assert!(matches!(
+            Pmf::new(vec![(1, -0.5), (2, 1.5)]),
+            Err(PmfError::BadProbability(_))
+        ));
+        assert!(matches!(
+            Pmf::new(vec![(1, 0.3), (2, 0.3)]),
+            Err(PmfError::NotNormalized(_))
+        ));
+        // Duplicates merge.
+        let p = Pmf::new(vec![(2, 0.25), (2, 0.25), (1, 0.5)]).unwrap();
+        assert_eq!(p.points(), &[(1, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn delta_and_uniform() {
+        let d = Pmf::delta(3);
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.min(), 3);
+        assert_eq!(d.max(), 3);
+        let u = Pmf::uniform(1, 4);
+        assert!((u.mean() - 2.5).abs() < 1e-12);
+        assert!((u.prob_of(2) - 0.25).abs() < 1e-12);
+        assert_eq!(u.prob_of(5), 0.0);
+    }
+
+    #[test]
+    fn cdf_exceedance_quantile() {
+        let p = Pmf::new(vec![(1, 0.5), (2, 0.3), (4, 0.2)]).unwrap();
+        assert!((p.cdf(1) - 0.5).abs() < 1e-12);
+        assert!((p.cdf(3) - 0.8).abs() < 1e-12);
+        assert!((p.exceedance(2) - 0.2).abs() < 1e-12);
+        assert_eq!(p.exceedance(4), 0.0);
+        assert_eq!(p.quantile(0.5), 1);
+        assert_eq!(p.quantile(0.8), 2);
+        assert_eq!(p.quantile(0.81), 4);
+        assert_eq!(p.quantile(1.0), 4);
+    }
+
+    #[test]
+    fn convolution_is_sum_distribution() {
+        let a = Pmf::uniform(1, 2);
+        let b = Pmf::uniform(1, 2);
+        let s = a.convolve(&b);
+        assert_eq!(s.points().len(), 3); // 2, 3, 4
+        assert!((s.prob_of(2) - 0.25).abs() < 1e-12);
+        assert!((s.prob_of(3) - 0.5).abs() < 1e-12);
+        assert!((s.prob_of(4) - 0.25).abs() < 1e-12);
+        assert!((s.mean() - (a.mean() + b.mean())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_independent() {
+        let a = Pmf::uniform(1, 2);
+        let b = Pmf::uniform(1, 2);
+        let m = a.max_of(&b);
+        assert!((m.prob_of(1) - 0.25).abs() < 1e-12);
+        assert!((m.prob_of(2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_values_clamps() {
+        let p = Pmf::new(vec![(1, 0.5), (5, 0.5)]).unwrap();
+        let clamped = p.map_values(|v| v.min(3));
+        assert!((clamped.prob_of(3) - 0.5).abs() < 1e-12);
+        assert_eq!(clamped.max(), 3);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let p = Pmf::new(vec![(1, 0.7), (3, 0.3)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| p.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.7).abs() < 0.02, "sampled frequency {freq}");
+    }
+
+    #[test]
+    fn convolution_chain_mean_linear() {
+        // Mean of the sum of 5 uniforms = 5 × mean.
+        let u = Pmf::uniform(1, 3);
+        let total = (0..4).fold(u.clone(), |acc, _| acc.convolve(&u));
+        assert!((total.mean() - 5.0 * u.mean()).abs() < 1e-9);
+        assert_eq!(total.min(), 5);
+        assert_eq!(total.max(), 15);
+    }
+}

@@ -1,0 +1,264 @@
+//! Exact probabilistic response-time analysis of a CSP schedule table.
+//!
+//! The paper's remark after Theorem 1 fixes the runtime policy: "If any
+//! job of a task does not need the entire amount of time, then the
+//! processor is considered idled in order to avoid scheduling anomalies."
+//! Under that policy the table's allocation to each job is *deterministic*
+//! — only how much of it the job consumes is random. The response time of
+//! a job needing `X` units is therefore the offset of its `X`-th allocated
+//! slot, a direct transform of the execution-time distribution: no
+//! simulation and no convolution over interference is needed, which is
+//! what makes this analysis exact.
+
+use rt_task::{JobId, JobInstants, TaskError, TaskSet};
+
+use mgrts_core::Schedule;
+
+use crate::model::ExecModel;
+use crate::pmf::Pmf;
+
+/// Exact timing analysis of one job under a schedule table and a model.
+#[derive(Debug, Clone)]
+pub struct JobTiming {
+    /// The analyzed job.
+    pub job: JobId,
+    /// Offsets (ticks after release, 0-based) of the slots the table
+    /// allocates to this job, in chronological order.
+    pub allocation: Vec<u64>,
+    /// `(response, probability)` for each on-time completion: a job that
+    /// draws `X ≤ |allocation|` finishes at `allocation[X−1] + 1` ticks
+    /// after release.
+    pub on_time: Vec<(u64, f64)>,
+    /// Probability the drawn demand exceeds the allocation — under the
+    /// idling policy this is exactly the job's deadline-miss probability.
+    pub miss_prob: f64,
+}
+
+impl JobTiming {
+    /// Expected response time conditioned on completing on time, or `None`
+    /// when the job misses almost surely.
+    #[must_use]
+    pub fn mean_on_time_response(&self) -> Option<f64> {
+        let mass: f64 = self.on_time.iter().map(|&(_, p)| p).sum();
+        if mass <= 0.0 {
+            return None;
+        }
+        Some(
+            self.on_time
+                .iter()
+                .map(|&(r, p)| r as f64 * p)
+                .sum::<f64>()
+                / mass,
+        )
+    }
+
+    /// The conditional response-time distribution (renormalized on-time
+    /// part), or `None` when the job misses almost surely.
+    #[must_use]
+    pub fn response_pmf(&self) -> Option<Pmf> {
+        let mass: f64 = self.on_time.iter().map(|&(_, p)| p).sum();
+        if mass <= 0.0 {
+            return None;
+        }
+        Pmf::new(
+            self.on_time
+                .iter()
+                .map(|&(r, p)| (r, p / mass))
+                .collect(),
+        )
+        .ok()
+    }
+
+    /// Expected number of allocated slots left unused (idled under the
+    /// anomaly-avoidance policy), counting a missing job as using its full
+    /// allocation.
+    #[must_use]
+    pub fn expected_idle(&self, pmf: &Pmf) -> f64 {
+        let cap = self.allocation.len() as u64;
+        let e_used: f64 = pmf
+            .points()
+            .iter()
+            .map(|&(x, p)| x.min(cap) as f64 * p)
+            .sum();
+        cap as f64 - e_used
+    }
+}
+
+/// Offsets after release of the slots `schedule` gives to `job`.
+///
+/// Constrained deadlines make each task's job windows disjoint modulo the
+/// hyperperiod, so slot ownership is unambiguous.
+#[must_use]
+pub fn job_allocation(schedule: &Schedule, ji: &JobInstants, job: JobId) -> Vec<u64> {
+    let release = ji.release_mod(job);
+    let h = ji.hyperperiod();
+    let deadline_len = ji.instants_mod(job).len() as u64;
+    let mut offsets = Vec::new();
+    for p in 0..deadline_len {
+        let t = (release + p) % h;
+        if schedule.processor_of(job.task, t).is_some() {
+            offsets.push(p);
+        }
+    }
+    offsets
+}
+
+/// Analyze one job.
+#[must_use]
+pub fn analyze_job(
+    schedule: &Schedule,
+    ji: &JobInstants,
+    model: &ExecModel,
+    job: JobId,
+) -> JobTiming {
+    let allocation = job_allocation(schedule, ji, job);
+    let pmf = model.pmf(job.task);
+    let cap = allocation.len() as u64;
+    let mut on_time = Vec::new();
+    let mut miss = 0.0;
+    for &(x, p) in pmf.points() {
+        if x == 0 {
+            on_time.push((0, p));
+        } else if x <= cap {
+            on_time.push((allocation[(x - 1) as usize] + 1, p));
+        } else {
+            miss += p;
+        }
+    }
+    JobTiming {
+        job,
+        allocation,
+        on_time,
+        miss_prob: miss,
+    }
+}
+
+/// Analyze every job of every task over one hyperperiod.
+pub fn analyze_all(
+    ts: &TaskSet,
+    schedule: &Schedule,
+    model: &ExecModel,
+) -> Result<Vec<JobTiming>, TaskError> {
+    let ji = JobInstants::new(ts)?;
+    let mut out = Vec::new();
+    for i in 0..ts.len() {
+        for k in 0..ji.jobs_of(i) {
+            out.push(analyze_job(schedule, &ji, model, JobId { task: i, k }));
+        }
+    }
+    Ok(out)
+}
+
+/// Probability at least one job misses in one hyperperiod, assuming
+/// independent execution times across jobs:
+/// `1 − Π(1 − miss_j)`.
+#[must_use]
+pub fn hyperperiod_miss_probability(timings: &[JobTiming]) -> f64 {
+    1.0 - timings
+        .iter()
+        .map(|t| 1.0 - t.miss_prob)
+        .product::<f64>()
+}
+
+/// Expected idle slots per hyperperiod reclaimed by early completions.
+#[must_use]
+pub fn expected_idle_per_hyperperiod(timings: &[JobTiming], model: &ExecModel) -> f64 {
+    timings
+        .iter()
+        .map(|t| t.expected_idle(model.pmf(t.job.task)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgrts_core::csp2::Csp2Solver;
+
+    fn schedule_for(ts: &TaskSet, m: usize) -> Schedule {
+        Csp2Solver::new(ts, m)
+            .unwrap()
+            .solve()
+            .verdict
+            .schedule()
+            .expect("feasible")
+            .clone()
+    }
+
+    #[test]
+    fn deterministic_model_never_misses() {
+        let ts = TaskSet::running_example();
+        let s = schedule_for(&ts, 2);
+        let model = ExecModel::deterministic(&ts);
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        assert_eq!(timings.len(), 13); // 6 + 3 + 4 jobs in H = 12
+        for t in &timings {
+            assert_eq!(t.miss_prob, 0.0, "job {:?}", t.job);
+            assert_eq!(t.on_time.len(), 1);
+            // Allocation matches the WCET in a feasible schedule.
+            assert_eq!(
+                t.allocation.len() as u64,
+                ts.task(t.job.task).wcet,
+                "job {:?}",
+                t.job
+            );
+        }
+        assert_eq!(hyperperiod_miss_probability(&timings), 0.0);
+        // Deterministic = WCET ⇒ nothing reclaimed.
+        assert_eq!(expected_idle_per_hyperperiod(&timings, &model), 0.0);
+    }
+
+    #[test]
+    fn early_completion_shortens_response() {
+        // One task alone: (O=0, C=2, D=3, T=3) on 1 processor.
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3)]);
+        let s = schedule_for(&ts, 1);
+        let model = ExecModel::uniform_to_wcet(&ts); // X ∈ {1, 2}
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        for t in &timings {
+            assert_eq!(t.miss_prob, 0.0);
+            let m = t.mean_on_time_response().unwrap();
+            // Response with X=1 strictly below response with X=2.
+            let r_fast = t.allocation[0] + 1;
+            let r_slow = t.allocation[1] + 1;
+            assert!(m > r_fast as f64 - 1e-9 && m < r_slow as f64 + 1e-9);
+            assert!((t.expected_idle(model.pmf(0)) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overruns_yield_miss_probability() {
+        let ts = TaskSet::running_example();
+        let s = schedule_for(&ts, 2);
+        let model = ExecModel::with_overruns(&ts, 0.25, 2.0);
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        for t in &timings {
+            assert!((t.miss_prob - 0.25).abs() < 1e-12, "job {:?}", t.job);
+        }
+        let sys = hyperperiod_miss_probability(&timings);
+        let expect = 1.0 - 0.75f64.powi(13);
+        assert!((sys - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_pmf_renormalizes() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2)]);
+        let s = schedule_for(&ts, 1);
+        let model = ExecModel::with_overruns(&ts, 0.5, 3.0);
+        let timings = analyze_all(&ts, &s, &model).unwrap();
+        let pmf = timings[0].response_pmf().expect("half the mass on time");
+        let total: f64 = pmf.points().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_handles_wrapped_windows() {
+        // τ = (O=1, C=3, D=4, T=4), H = 4: the last job wraps past H.
+        let ts = TaskSet::from_ocdt(&[(1, 3, 4, 4)]);
+        let s = schedule_for(&ts, 1);
+        let ji = JobInstants::new(&ts).unwrap();
+        let timing = analyze_job(&s, &ji, &ExecModel::deterministic(&ts), JobId { task: 0, k: 0 });
+        assert_eq!(timing.allocation.len(), 3);
+        assert!(timing.allocation.iter().all(|&p| p < 4));
+        assert_eq!(timing.miss_prob, 0.0);
+    }
+}

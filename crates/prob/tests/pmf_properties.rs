@@ -1,0 +1,84 @@
+//! Property-based tests on the distribution arithmetic.
+
+use proptest::prelude::*;
+
+use rt_prob::Pmf;
+
+/// Random normalized PMFs over small supports.
+fn arb_pmf() -> impl Strategy<Value = Pmf> {
+    proptest::collection::vec((0u64..20, 1u32..100), 1..6).prop_map(|raw| {
+        let total: u32 = raw.iter().map(|&(_, w)| w).sum();
+        let points: Vec<(u64, f64)> = raw
+            .into_iter()
+            .map(|(v, w)| (v, f64::from(w) / f64::from(total)))
+            .collect();
+        Pmf::new(points).expect("normalized by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mass_is_one(p in arb_pmf()) {
+        let total: f64 = p.points().iter().map(|&(_, q)| q).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded(p in arb_pmf(), v in 0u64..25) {
+        let c = p.cdf(v);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        prop_assert!(p.cdf(v + 1) + 1e-12 >= c);
+        prop_assert!((p.cdf(v) + p.exceedance(v) - 1.0).abs() < 1e-9);
+        prop_assert!((p.cdf(p.max()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(p in arb_pmf(), q in 0.01f64..1.0) {
+        let v = p.quantile(q);
+        prop_assert!(p.cdf(v) + 1e-9 >= q);
+        if v > p.min() {
+            prop_assert!(p.cdf(v - 1) < q + 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_properties(a in arb_pmf(), b in arb_pmf()) {
+        let s = a.convolve(&b);
+        let sym = b.convolve(&a);
+        // Commutative up to float summation order, mean/support-additive.
+        prop_assert_eq!(s.points().len(), sym.points().len());
+        for (&(v1, p1), &(v2, p2)) in s.points().iter().zip(sym.points()) {
+            prop_assert_eq!(v1, v2);
+            prop_assert!((p1 - p2).abs() < 1e-12);
+        }
+        prop_assert!((s.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+        prop_assert_eq!(s.min(), a.min() + b.min());
+        prop_assert_eq!(s.max(), a.max() + b.max());
+        // Variance additive for independent sums.
+        prop_assert!((s.variance() - (a.variance() + b.variance())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_is_convolution_identity(a in arb_pmf()) {
+        let shifted = a.convolve(&Pmf::delta(0));
+        prop_assert_eq!(shifted.points(), a.points());
+    }
+
+    #[test]
+    fn max_of_dominates_components(a in arb_pmf(), b in arb_pmf()) {
+        let m = a.max_of(&b);
+        prop_assert_eq!(m.max(), a.max().max(b.max()));
+        prop_assert_eq!(m.min(), a.min().max(b.min()));
+        prop_assert!(m.mean() + 1e-9 >= a.mean().max(b.mean()));
+    }
+
+    #[test]
+    fn map_values_preserves_mass(a in arb_pmf(), cap in 0u64..25) {
+        let clamped = a.map_values(|v| v.min(cap));
+        let total: f64 = clamped.points().iter().map(|&(_, q)| q).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(clamped.max() <= cap.max(a.min().min(cap)));
+    }
+}

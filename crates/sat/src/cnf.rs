@@ -1,0 +1,315 @@
+//! CNF formula container with DIMACS import/export and reference
+//! evaluation / brute-force solving (the oracle the solver is tested
+//! against).
+
+use std::fmt::Write as _;
+
+use crate::types::{Clause, Lit, Var};
+
+/// A formula in conjunctive normal form.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+/// Errors from DIMACS parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as a literal.
+    BadLiteral(String),
+    /// A clause references a variable beyond the header's declaration.
+    VarOutOfRange {
+        /// The offending variable (1-based as in the file).
+        var: u64,
+        /// Declared variable count.
+        declared: u32,
+    },
+    /// The final clause is not `0`-terminated.
+    UnterminatedClause,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::BadHeader(l) => write!(f, "malformed DIMACS header: {l:?}"),
+            DimacsError::BadLiteral(t) => write!(f, "malformed DIMACS literal: {t:?}"),
+            DimacsError::VarOutOfRange { var, declared } => {
+                write!(f, "variable {var} out of declared range 1..={declared}")
+            }
+            DimacsError::UnterminatedClause => write!(f, "final clause not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl Cnf {
+    /// An empty formula over zero variables.
+    #[must_use]
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Allocate a fresh variable and return it.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocate `k` fresh variables, returning the first.
+    pub fn new_vars(&mut self, k: u32) -> Var {
+        let first = self.num_vars;
+        self.num_vars += k;
+        first
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Add a clause. Tautologies are silently dropped; variables referenced
+    /// beyond the current count grow the variable space.
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        let c = Clause::new(lits);
+        if c.is_tautology() {
+            return;
+        }
+        if let Some(max) = c.lits.iter().map(|l| l.var()).max() {
+            self.num_vars = self.num_vars.max(max + 1);
+        }
+        self.clauses.push(c);
+    }
+
+    /// Add a unit clause.
+    pub fn add_unit(&mut self, lit: Lit) {
+        self.add_clause(vec![lit]);
+    }
+
+    /// Add the binary clause `a ∨ b`.
+    pub fn add_binary(&mut self, a: Lit, b: Lit) {
+        self.add_clause(vec![a, b]);
+    }
+
+    /// Evaluate under a total assignment (`assignment[v]` is the value of
+    /// variable `v`). Returns true when every clause is satisfied.
+    ///
+    /// # Panics
+    /// Panics when the assignment is shorter than the variable count.
+    #[must_use]
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars as usize);
+        self.clauses.iter().all(|c| {
+            c.lits
+                .iter()
+                .any(|l| assignment[l.var() as usize] != l.is_neg())
+        })
+    }
+
+    /// Exhaustive satisfiability check — the test oracle. Returns a model
+    /// when one exists. Only usable for small variable counts.
+    ///
+    /// # Panics
+    /// Panics when `num_vars > 24` (2^24 assignments is the sanity bound).
+    #[must_use]
+    pub fn brute_force(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let n = self.num_vars as usize;
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Count models exhaustively — used to validate encodings preserve
+    /// solution counts. Same size restriction as [`Cnf::brute_force`].
+    ///
+    /// `project` restricts counting to distinct assignments of the given
+    /// variables (auxiliary encoding variables are then ignored): a
+    /// projected assignment is counted once if *some* completion satisfies
+    /// the formula.
+    #[must_use]
+    pub fn count_models_projected(&self, project: &[Var]) -> u64 {
+        assert!(self.num_vars <= 24, "brute force limited to 24 variables");
+        let n = self.num_vars as usize;
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0u64..(1u64 << n) {
+            let assignment: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            if self.eval(&assignment) {
+                let key: Vec<bool> = project.iter().map(|&v| assignment[v as usize]).collect();
+                seen.insert(key);
+            }
+        }
+        seen.len() as u64
+    }
+
+    /// Serialize to DIMACS CNF.
+    #[must_use]
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in &c.lits {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Parse DIMACS CNF text. Comment lines (`c …`) are skipped; `%`
+    /// end-markers (SATLIB convention) stop parsing.
+    pub fn from_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+        let mut declared: Option<(u32, usize)> = None;
+        let mut cnf = Cnf::new();
+        let mut current: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('%') {
+                break;
+            }
+            if line.starts_with('p') {
+                let mut it = line.split_whitespace();
+                let (_p, fmt) = (it.next(), it.next());
+                let nv = it.next().and_then(|s| s.parse::<u32>().ok());
+                let nc = it.next().and_then(|s| s.parse::<usize>().ok());
+                match (fmt, nv, nc) {
+                    (Some("cnf"), Some(nv), Some(nc)) => declared = Some((nv, nc)),
+                    _ => return Err(DimacsError::BadHeader(line.to_string())),
+                }
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let d: i64 = tok
+                    .parse()
+                    .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+                if d == 0 {
+                    cnf.add_clause(std::mem::take(&mut current));
+                } else {
+                    if let Some((nv, _)) = declared {
+                        let v = d.unsigned_abs();
+                        if v > u64::from(nv) {
+                            return Err(DimacsError::VarOutOfRange { var: v, declared: nv });
+                        }
+                    }
+                    current.push(Lit::from_dimacs(d));
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(DimacsError::UnterminatedClause);
+        }
+        if let Some((nv, _)) = declared {
+            cnf.num_vars = cnf.num_vars.max(nv);
+        }
+        Ok(cnf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn eval_and_brute_force() {
+        let mut f = Cnf::new();
+        f.add_clause(vec![l(1), l(2)]);
+        f.add_clause(vec![l(-1), l(2)]);
+        f.add_clause(vec![l(1), l(-2)]);
+        let m = f.brute_force().expect("sat");
+        assert!(f.eval(&m));
+        assert!(m[0] && m[1]);
+    }
+
+    #[test]
+    fn unsat_brute_force() {
+        let mut f = Cnf::new();
+        f.add_clause(vec![l(1)]);
+        f.add_clause(vec![l(-1)]);
+        assert!(f.brute_force().is_none());
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let mut f = Cnf::new();
+        f.add_clause(vec![l(1), l(-1)]);
+        assert_eq!(f.num_clauses(), 0);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let mut f = Cnf::new();
+        f.add_clause(vec![l(1), l(-3)]);
+        f.add_clause(vec![l(2)]);
+        let text = f.to_dimacs();
+        let g = Cnf::from_dimacs(&text).unwrap();
+        assert_eq!(g.num_vars(), 3);
+        assert_eq!(g.num_clauses(), 2);
+        assert_eq!(g.to_dimacs(), text);
+    }
+
+    #[test]
+    fn dimacs_comments_and_header() {
+        let text = "c a comment\np cnf 3 2\n1 -3 0\n2 0\n";
+        let f = Cnf::from_dimacs(text).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(matches!(
+            Cnf::from_dimacs("p cnf x 2\n"),
+            Err(DimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Cnf::from_dimacs("p cnf 2 1\n1 zz 0\n"),
+            Err(DimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            Cnf::from_dimacs("p cnf 2 1\n1 5 0\n"),
+            Err(DimacsError::VarOutOfRange { var: 5, declared: 2 })
+        ));
+        assert!(matches!(
+            Cnf::from_dimacs("p cnf 2 1\n1 2\n"),
+            Err(DimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn projected_counting() {
+        // x1 free, x2 forced true → 2 projected models over {x1}.
+        let mut f = Cnf::new();
+        f.add_clause(vec![l(2)]);
+        let _ = f.new_var(); // ensure both vars exist
+        assert_eq!(f.count_models_projected(&[0]), 2);
+        assert_eq!(f.count_models_projected(&[0, 1]), 2);
+    }
+}

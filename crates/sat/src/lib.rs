@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # rt-sat — a CDCL boolean satisfiability solver
+//!
+//! Section IV of the reproduced paper motivates CSP1's all-boolean shape:
+//! "focusing on boolean variables so that even boolean satisfiability (SAT)
+//! solvers could be used". This crate is that substrate — a self-contained
+//! conflict-driven clause-learning solver in the MiniSat lineage:
+//!
+//! * [`types`] — variables, literals (MiniSat packing), clauses;
+//! * [`cnf`] — CNF container, DIMACS import/export, and the brute-force
+//!   oracle the solver is validated against;
+//! * [`encodings`] — cardinality encodings (pairwise / ladder at-most-one,
+//!   Sinz sequential counter for at-most-k / exactly-k) used by the CSP1 →
+//!   CNF translation in `mgrts-core`;
+//! * [`solver`] — two-watched-literal propagation, first-UIP learning with
+//!   clause minimization, VSIDS + phase saving, Luby restarts,
+//!   activity-driven clause deletion, and conflict/time budgets reported as
+//!   a three-way outcome matching the scheduling experiments' overruns.
+//!
+//! ## Example
+//!
+//! ```
+//! use rt_sat::{Cnf, Lit, SatSolver, SatOutcome};
+//!
+//! let mut f = Cnf::new();
+//! let x = f.new_var();
+//! let y = f.new_var();
+//! f.add_clause(vec![Lit::pos(x), Lit::pos(y)]);
+//! f.add_clause(vec![Lit::neg(x), Lit::pos(y)]);
+//! match SatSolver::solve_cnf(&f) {
+//!     SatOutcome::Sat(model) => assert!(model[y as usize]),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+
+pub mod cnf;
+pub mod encodings;
+pub mod heap;
+pub mod solver;
+pub mod types;
+
+pub use cnf::{Cnf, DimacsError};
+pub use encodings::{
+    at_least_k, at_most_k, at_most_one, exactly_k, exactly_one, pb_exactly, AmoEncoding,
+};
+pub use solver::{SatConfig, SatLimit, SatOutcome, SatSolver, SatStats};
+pub use types::{Clause, LBool, Lit, Var};

@@ -1,0 +1,890 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! A MiniSat-family solver: two-watched-literal unit propagation, first-UIP
+//! conflict analysis with clause minimization, VSIDS variable ordering with
+//! phase saving, Luby restarts, and activity-based learned-clause deletion.
+//! Budgets (conflicts / wall clock) yield a three-way [`SatOutcome`] so the
+//! scheduling experiments can report overruns exactly like the CSP solvers.
+
+use std::time::{Duration, Instant};
+
+use crate::cnf::Cnf;
+use crate::heap::VarHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// Reference to a clause in the solver's arena.
+type ClauseRef = u32;
+
+const NO_REASON: ClauseRef = ClauseRef::MAX;
+
+/// A watcher: clause reference plus a *blocker* literal whose satisfaction
+/// lets propagation skip the clause without touching its memory.
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+#[derive(Debug)]
+struct DbClause {
+    lits: Vec<Lit>,
+    activity: f32,
+    learnt: bool,
+    deleted: bool,
+}
+
+/// Result of a solve call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatOutcome {
+    /// Satisfiable, with a total model (`model[v]` = value of variable `v`).
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// A budget ran out.
+    Unknown(SatLimit),
+}
+
+impl SatOutcome {
+    /// The model, when satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SatOutcome::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Which budget stopped the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatLimit {
+    /// Conflict budget exhausted.
+    Conflicts,
+    /// Wall-clock budget exhausted.
+    Time,
+}
+
+/// Search counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Decision count.
+    pub decisions: u64,
+    /// Propagated literals.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learned clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learned clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Wall-clock time of the last solve, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SatConfig {
+    /// VSIDS activity decay factor (activity increment grows by `1/decay`).
+    pub var_decay: f64,
+    /// Clause activity decay factor.
+    pub clause_decay: f32,
+    /// Luby restart unit (conflicts).
+    pub restart_unit: u64,
+    /// Initial learned-clause capacity as a fraction of problem clauses.
+    pub learntsize_factor: f64,
+    /// Conflict budget (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Wall-clock budget (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Default polarity assigned the first time a variable is decided
+    /// (phase saving takes over afterwards). `false` suits encodings where
+    /// most variables are false in any model, like CSP1's `x_{i,j}(t)`.
+    pub default_phase: bool,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_unit: 100,
+            learntsize_factor: 1.0 / 3.0,
+            max_conflicts: None,
+            time_limit: None,
+            default_phase: false,
+        }
+    }
+}
+
+/// The CDCL solver.
+#[derive(Debug)]
+pub struct SatSolver {
+    cfg: SatConfig,
+    clauses: Vec<DbClause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f32,
+    order: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    stats: SatStats,
+}
+
+impl SatSolver {
+    /// Build a solver from a formula.
+    #[must_use]
+    pub fn new(cnf: &Cnf, cfg: SatConfig) -> SatSolver {
+        let n = cnf.num_vars() as usize;
+        let mut s = SatSolver {
+            cfg,
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            watches: vec![Vec::new(); 2 * n],
+            assigns: vec![LBool::Undef; n],
+            level: vec![0; n],
+            reason: vec![NO_REASON; n],
+            trail: Vec::with_capacity(n),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; n],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(n),
+            phase: vec![cfg.default_phase; n],
+            seen: vec![false; n],
+            ok: true,
+            stats: SatStats::default(),
+        };
+        s.order.rebuild(0..cnf.num_vars(), &s.activity);
+        for c in cnf.clauses() {
+            s.add_clause(c.lits.clone());
+            if !s.ok {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Convenience: build with the default configuration and solve.
+    #[must_use]
+    pub fn solve_cnf(cnf: &Cnf) -> SatOutcome {
+        SatSolver::new(cnf, SatConfig::default()).solve()
+    }
+
+    /// Counters from the most recent [`SatSolver::solve`].
+    #[must_use]
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        self.assigns[l.var() as usize].under(l)
+    }
+
+    fn decision_level(&self) -> u32 {
+        u32::try_from(self.trail_lim.len()).expect("levels fit u32")
+    }
+
+    /// Add a problem clause at the root level. Returns false when the
+    /// formula became trivially unsatisfiable.
+    fn add_clause(&mut self, mut lits: Vec<Lit>) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        if lits.windows(2).any(|w| w[0] == !w[1]) {
+            return true; // tautology
+        }
+        // Drop root-false literals; a root-true literal satisfies the clause.
+        let mut kept = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            match self.value(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => kept.push(l),
+            }
+        }
+        match kept.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(kept[0], NO_REASON);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach(kept, false);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef::try_from(self.clauses.len()).expect("clause count fits u32");
+        self.watches[(!lits[0]).code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(DbClause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.value(l), LBool::Undef);
+        let v = l.var() as usize;
+        self.assigns[v] = LBool::from(!l.is_neg());
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.phase[v] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal unit propagation. Returns the conflicting clause
+    /// when one arises.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            // Take the watch list; re-insert survivors in place.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut j = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let c = &mut self.clauses[w.cref as usize];
+                if c.deleted {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                // Normalize: the false literal (¬p) at position 1.
+                if c.lits[0] == !p {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], !p);
+                let first = c.lits[0];
+                // Direct field access: `c` keeps `self.clauses` borrowed.
+                let first_val = self.assigns[first.var() as usize].under(first);
+                if first != w.blocker && first_val == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                let mut moved = false;
+                for k in 2..c.lits.len() {
+                    if self.assigns[c.lits[k].var() as usize].under(c.lits[k]) != LBool::False {
+                        c.lits.swap(1, k);
+                        let new_watch = c.lits[1];
+                        self.watches[(!new_watch).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting under the first literal.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value(first) == LBool::False {
+                    // Conflict: restore remaining watchers and bail out.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    ws.truncate(j);
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.cref);
+                }
+                self.enqueue(first, w.cref);
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v as usize] += self.var_inc;
+        if self.activity[v as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the level to backtrack to.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(0)]; // placeholder for the UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let skip_first = usize::from(p.is_some());
+            for &q in &lits[skip_first..] {
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail back to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var() as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var() as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            p = Some(lit);
+            confl = self.reason[lit.var() as usize];
+            debug_assert_ne!(confl, NO_REASON, "non-UIP literal must have a reason");
+        }
+
+        // Mark the kept literals for the redundancy check, then minimize.
+        for &l in &learnt[1..] {
+            self.seen[l.var() as usize] = true;
+        }
+        let mut minimized = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.literal_redundant(l) {
+                minimized.push(l);
+            }
+        }
+        for &l in &learnt[1..] {
+            self.seen[l.var() as usize] = false;
+        }
+        self.seen[learnt[0].var() as usize] = false;
+
+        // Backtrack level: highest level among the non-asserting literals;
+        // put a literal of that level at index 1 (second watch).
+        let mut bt = 0;
+        if minimized.len() > 1 {
+            let mut max_i = 1;
+            for (i, &l) in minimized.iter().enumerate().skip(1) {
+                if self.level[l.var() as usize] > self.level[minimized[max_i].var() as usize] {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            bt = self.level[minimized[1].var() as usize];
+        }
+        (minimized, bt)
+    }
+
+    /// Local redundancy check: `l` is redundant when it was propagated and
+    /// every antecedent literal is already in the learned clause (seen) or
+    /// fixed at the root level.
+    fn literal_redundant(&self, l: Lit) -> bool {
+        let reason = self.reason[l.var() as usize];
+        if reason == NO_REASON {
+            return false;
+        }
+        self.clauses[reason as usize].lits.iter().all(|&q| {
+            q.var() == l.var() || self.seen[q.var() as usize] || self.level[q.var() as usize] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for &l in &self.trail[lim..] {
+            let v = l.var();
+            self.assigns[v as usize] = LBool::Undef;
+            self.reason[v as usize] = NO_REASON;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v as usize] == LBool::Undef {
+                self.stats.decisions += 1;
+                return Some(Lit::new(v, !self.phase[v as usize]));
+            }
+        }
+        None
+    }
+
+    /// Delete the least active half of the learned clauses (reason clauses
+    /// and binaries are kept), then rebuild the watch lists.
+    fn reduce_db(&mut self) {
+        let locked: std::collections::HashSet<ClauseRef> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var() as usize])
+            .filter(|&r| r != NO_REASON)
+            .collect();
+        let mut acts: Vec<f32> = self
+            .clauses
+            .iter()
+            .filter(|c| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|c| c.activity)
+            .collect();
+        if acts.len() < 2 {
+            return;
+        }
+        acts.sort_by(f32::total_cmp);
+        let threshold = acts[acts.len() / 2];
+        for (i, c) in self.clauses.iter_mut().enumerate() {
+            let cref = ClauseRef::try_from(i).expect("index fits");
+            if c.learnt
+                && !c.deleted
+                && c.lits.len() > 2
+                && c.activity < threshold
+                && !locked.contains(&cref)
+            {
+                c.deleted = true;
+                self.stats.learnt_clauses -= 1;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+        // Rebuild watches from surviving clauses.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            let cref = ClauseRef::try_from(i).expect("index fits");
+            self.watches[(!c.lits[0]).code()].push(Watcher {
+                cref,
+                blocker: c.lits[1],
+            });
+            self.watches[(!c.lits[1]).code()].push(Watcher {
+                cref,
+                blocker: c.lits[0],
+            });
+        }
+    }
+
+    /// The reluctant-doubling (Luby) sequence: 1, 1, 2, 1, 1, 2, 4, …
+    fn luby(i: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut i = i;
+        let mut sz = size;
+        let mut sq = seq;
+        while sz - 1 != i {
+            sz = (sz - 1) >> 1;
+            sq -= 1;
+            i %= sz;
+        }
+        1u64 << sq
+    }
+
+    /// Run the CDCL loop to a verdict or budget exhaustion.
+    pub fn solve(&mut self) -> SatOutcome {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solve under temporary assumptions: the given literals are forced as
+    /// pseudo-decisions for this call only. `Unsat` then means
+    /// *unsatisfiable under the assumptions* (the formula itself may be
+    /// satisfiable). The solver backtracks to the root afterwards and
+    /// keeps its learned clauses, so repeated calls are incremental.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
+        let start = Instant::now();
+        let result = self.search(start, assumptions);
+        self.backtrack_to(0);
+        self.stats.elapsed_us =
+            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        result
+    }
+
+    fn search(&mut self, start: Instant, assumptions: &[Lit]) -> SatOutcome {
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatOutcome::Unsat;
+        }
+        let mut max_learnts = (self.clauses.len() as f64 * self.cfg.learntsize_factor)
+            .max(100.0);
+        let mut restart = 0u64;
+        loop {
+            let budget = self.cfg.restart_unit * Self::luby(restart);
+            restart += 1;
+            self.stats.restarts += 1;
+            let mut conflicts_here = 0u64;
+            loop {
+                if let Some(confl) = self.propagate() {
+                    self.stats.conflicts += 1;
+                    conflicts_here += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SatOutcome::Unsat;
+                    }
+                    let (learnt, bt) = self.analyze(confl);
+                    self.backtrack_to(bt);
+                    if learnt.len() == 1 {
+                        self.enqueue(learnt[0], NO_REASON);
+                    } else {
+                        let cref = self.attach(learnt.clone(), true);
+                        self.bump_clause(cref);
+                        self.enqueue(learnt[0], cref);
+                    }
+                    self.var_inc /= self.cfg.var_decay;
+                    self.cla_inc /= self.cfg.clause_decay;
+
+                    if let Some(max) = self.cfg.max_conflicts {
+                        if self.stats.conflicts >= max {
+                            return SatOutcome::Unknown(SatLimit::Conflicts);
+                        }
+                    }
+                    if self.stats.conflicts.is_multiple_of(1024) {
+                        if let Some(limit) = self.cfg.time_limit {
+                            if start.elapsed() >= limit {
+                                return SatOutcome::Unknown(SatLimit::Time);
+                            }
+                        }
+                    }
+                } else {
+                    if conflicts_here >= budget {
+                        self.backtrack_to(0);
+                        break; // restart
+                    }
+                    if self.stats.learnt_clauses as f64 >= max_learnts {
+                        self.reduce_db();
+                        max_learnts *= 1.1;
+                    }
+                    // Deep instances can make conflicts rare relative to
+                    // decisions, so the wall clock is polled here too.
+                    if self.stats.decisions.is_multiple_of(8192) {
+                        if let Some(limit) = self.cfg.time_limit {
+                            if start.elapsed() >= limit {
+                                return SatOutcome::Unknown(SatLimit::Time);
+                            }
+                        }
+                    }
+                    // Re-establish assumptions as pseudo-decisions; one
+                    // decision level per assumption keeps the mapping
+                    // stable across restarts.
+                    let mut pending: Option<Lit> = None;
+                    while (self.decision_level() as usize) < assumptions.len() {
+                        let a = assumptions[self.decision_level() as usize];
+                        match self.value(a) {
+                            LBool::True => self.trail_lim.push(self.trail.len()),
+                            LBool::False => return SatOutcome::Unsat,
+                            LBool::Undef => {
+                                pending = Some(a);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(a) = pending {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, NO_REASON);
+                        continue; // propagate the assumption first
+                    }
+                    match self.decide() {
+                        None => {
+                            let model: Vec<bool> = self
+                                .assigns
+                                .iter()
+                                .map(|&a| a.expect_bool())
+                                .collect();
+                            return SatOutcome::Sat(model);
+                        }
+                        Some(l) => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(l, NO_REASON);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Lit;
+
+    fn l(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn solve(clauses: &[&[i64]]) -> SatOutcome {
+        let mut cnf = Cnf::new();
+        for c in clauses {
+            cnf.add_clause(c.iter().map(|&d| l(d)).collect());
+        }
+        SatSolver::solve_cnf(&cnf)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let out = solve(&[&[1, 2], &[-1, 2], &[1, -2]]);
+        let m = out.model().expect("sat");
+        assert!(m[0] && m[1]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        assert_eq!(solve(&[&[1], &[-1]]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new();
+        assert!(matches!(SatSolver::solve_cnf(&cnf), SatOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn all_binary_implications() {
+        // Chain 1→2→3→4, plus unit 1: all forced true.
+        let out = solve(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        let m = out.model().expect("sat");
+        assert_eq!(m, vec![true; 4]);
+    }
+
+    #[test]
+    fn unsat_chain() {
+        assert_eq!(
+            solve(&[&[1], &[-1, 2], &[-2, 3], &[-3], &[3, -2]]),
+            SatOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{h,p}: pigeon p in hole h. Vars 1..=6 (2 holes × 3 pigeons).
+        let var = |hole: i64, pigeon: i64| hole * 3 + pigeon + 1;
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        for p in 0..3 {
+            clauses.push((0..2).map(|h| var(h, p)).collect());
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in p1 + 1..3 {
+                    clauses.push(vec![-var(h, p1), -var(h, p2)]);
+                }
+            }
+        }
+        let refs: Vec<&[i64]> = clauses.iter().map(Vec::as_slice).collect();
+        assert_eq!(solve(&refs), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_reported() {
+        // PHP(5,4) is hard enough to exceed one conflict.
+        let holes = 4i64;
+        let pigeons = 5i64;
+        let var = |h: i64, p: i64| h * pigeons + p + 1;
+        let mut cnf = Cnf::new();
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| l(var(h, p))).collect());
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause(vec![l(-var(h, p1)), l(-var(h, p2))]);
+                }
+            }
+        }
+        let cfg = SatConfig {
+            max_conflicts: Some(1),
+            ..SatConfig::default()
+        };
+        let out = SatSolver::new(&cnf, cfg).solve();
+        assert_eq!(out, SatOutcome::Unknown(SatLimit::Conflicts));
+        // And without the budget it is proven unsat.
+        assert_eq!(SatSolver::solve_cnf(&cnf), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let prefix: Vec<u64> = (0..15).map(SatSolver::luby).collect();
+        assert_eq!(prefix, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        // A small structured instance: parity-ish constraints.
+        let clauses: Vec<Vec<i64>> = vec![
+            vec![1, 2, 3],
+            vec![-1, -2, 3],
+            vec![-1, 2, -3],
+            vec![1, -2, -3],
+            vec![4, 5],
+            vec![-4, -5],
+            vec![3, 4],
+        ];
+        let mut cnf = Cnf::new();
+        for c in &clauses {
+            cnf.add_clause(c.iter().map(|&d| l(d)).collect());
+        }
+        match SatSolver::solve_cnf(&cnf) {
+            SatOutcome::Sat(m) => assert!(cnf.eval(&m)),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_restrict_without_committing() {
+        // x1 ∨ x2; assuming ¬x1 forces x2, assuming ¬x1 ∧ ¬x2 is UNSAT,
+        // and the formula itself stays satisfiable afterwards.
+        let mut cnf = Cnf::new();
+        cnf.add_clause(vec![l(1), l(2)]);
+        let mut s = SatSolver::new(&cnf, SatConfig::default());
+        match s.solve_with_assumptions(&[l(-1)]) {
+            SatOutcome::Sat(m) => {
+                assert!(!m[0]);
+                assert!(m[1]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        assert_eq!(s.solve_with_assumptions(&[l(-1), l(-2)]), SatOutcome::Unsat);
+        // Incremental reuse: plain solve still succeeds.
+        assert!(matches!(s.solve(), SatOutcome::Sat(_)));
+        // And the opposite assumption also works.
+        match s.solve_with_assumptions(&[l(1), l(-2)]) {
+            SatOutcome::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[1]);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assumptions_vs_unit_conflict() {
+        // Formula forces x1; assuming ¬x1 must be UNSAT, assuming x1 SAT.
+        let mut cnf = Cnf::new();
+        cnf.add_clause(vec![l(1)]);
+        cnf.add_clause(vec![l(2), l(3)]);
+        let mut s = SatSolver::new(&cnf, SatConfig::default());
+        assert_eq!(s.solve_with_assumptions(&[l(-1)]), SatOutcome::Unsat);
+        assert!(matches!(
+            s.solve_with_assumptions(&[l(1)]),
+            SatOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn incremental_scan_over_switches() {
+        // Pigeonhole with "hole enabled" switches: PHP(3 pigeons) needs 3
+        // enabled holes; scan k = 1, 2, 3 with one solver instance.
+        // Variables: p_{h,pigeon} = hole*3+pigeon+1 (h<3), switch e_h = 10+h.
+        let var = |h: i64, p: i64| h * 3 + p + 1;
+        let e = |h: i64| 10 + h;
+        let mut cnf = Cnf::new();
+        for p in 0..3 {
+            cnf.add_clause((0..3).map(|h| l(var(h, p))).collect());
+        }
+        for h in 0..3 {
+            for p1 in 0..3 {
+                for p2 in p1 + 1..3 {
+                    cnf.add_clause(vec![l(-var(h, p1)), l(-var(h, p2))]);
+                }
+                // Using hole h requires its switch.
+                cnf.add_clause(vec![l(-var(h, p1)), l(e(h))]);
+            }
+        }
+        let mut s = SatSolver::new(&cnf, SatConfig::default());
+        let disabled =
+            |k: i64| -> Vec<Lit> { (k..3).map(|h| l(-e(h))).collect() };
+        assert_eq!(s.solve_with_assumptions(&disabled(1)), SatOutcome::Unsat);
+        assert_eq!(s.solve_with_assumptions(&disabled(2)), SatOutcome::Unsat);
+        assert!(matches!(
+            s.solve_with_assumptions(&disabled(3)),
+            SatOutcome::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut cnf = Cnf::new();
+        for d in 1..=6i64 {
+            cnf.add_clause(vec![l(d), l(-(d % 6 + 1))]);
+        }
+        let mut s = SatSolver::new(&cnf, SatConfig::default());
+        let _ = s.solve();
+        assert!(s.stats().restarts >= 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Dhall effect (Dhall & Liu 1978, reference \[4\] of the paper): the
+//! classic multiprocessor scheduling anomaly showing why "straightforward
+//! extensions of techniques used for solving similar uniprocessor problems"
+//! fail (Section I).
+//!
+//! Original form: on `m` processors, `m` light tasks `(C = 2ε, T = 1)` and
+//! one heavy task `(C = 1, T = 1 + ε)`. Global RM/EDF give the light tasks
+//! priority (earlier deadlines), delaying the heavy task just enough to
+//! miss — at total utilization arbitrarily close to 1 (of `m`). An exact
+//! method schedules the instance trivially: heavy task on its own
+//! processor, lights packed on the rest.
+//!
+//! [`dhall_instance`] is the integer-scaled rendition: `m` light tasks
+//! `(O=0, C=2, D=s-1, T=s+1)` and one heavy `(O=0, C=s, D=s, T=s+1)`.
+//! Light deadlines are strictly earlier, so every deadline-driven policy
+//! runs all lights first; the heavy task then owns only `s-2 < s` instants
+//! before its deadline. Utilization is `(4m + 2s)/(2s + 2) → 1` of `m`
+//! as `s` grows.
+
+use rt_task::{Task, TaskSet};
+
+/// Build the discrete Dhall instance for `m ≥ 2` processors, scale `s ≥ 5`.
+/// Task ids `0..m` are the light tasks, id `m` is the heavy task.
+#[must_use]
+pub fn dhall_instance(m: usize, s: u64) -> TaskSet {
+    assert!(m >= 2, "the effect needs at least two processors");
+    assert!(s >= 5, "scale must be at least 5");
+    let mut tasks = Vec::with_capacity(m + 1);
+    for _ in 0..m {
+        tasks.push(Task::ocdt(0, 2, s - 1, s + 1));
+    }
+    tasks.push(Task::ocdt(0, s, s, s + 1));
+    TaskSet::new(tasks).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{simulate, Policy};
+    use mgrts_core::csp2::Csp2Solver;
+    use mgrts_core::heuristics::TaskOrder;
+    use mgrts_core::verify::check_identical;
+
+    #[test]
+    fn edf_suffers_the_dhall_effect() {
+        let ts = dhall_instance(2, 8);
+        // Lights (deadline 7) outrank the heavy task (deadline 8) at t = 0;
+        // the heavy job then has 8 units due in the 6 remaining instants.
+        let res = simulate(&ts, 2, &Policy::Edf, None);
+        assert!(!res.schedulable(), "EDF should miss on the Dhall instance");
+        assert_eq!(res.misses[0].task, 2, "the heavy task misses");
+    }
+
+    #[test]
+    fn deadline_monotonic_also_fails() {
+        let ts = dhall_instance(2, 8);
+        let order = TaskOrder::DeadlineMonotonic.priorities(&ts);
+        assert_eq!(order, vec![0, 1, 2], "lights first under DM");
+        let res = simulate(&ts, 2, &Policy::FixedPriority(order), None);
+        assert!(!res.schedulable());
+    }
+
+    #[test]
+    fn csp_schedules_the_same_instance() {
+        // The exact approach is immune: heavy task continuously on one
+        // processor, lights on the other.
+        let ts = dhall_instance(2, 8);
+        let res = Csp2Solver::new(&ts, 2)
+            .unwrap()
+            .with_order(TaskOrder::DeadlineMinusWcet)
+            .solve();
+        let s = res.verdict.schedule().expect("CSP finds the schedule");
+        check_identical(&ts, 2, s).unwrap();
+    }
+
+    #[test]
+    fn utilization_stays_modest() {
+        // (4·2 + 2·8)/(2·8 + 2) = 24/18 = 4/3 of 2 processors → r = 2/3.
+        let ts = dhall_instance(2, 8);
+        let r = ts.utilization_ratio(2);
+        assert!(r < 0.7, "r = {r}");
+    }
+
+    #[test]
+    fn effect_scales_with_m() {
+        for m in 2..=4 {
+            let ts = dhall_instance(m, 9);
+            let res = simulate(&ts, m, &Policy::Edf, None);
+            assert!(!res.schedulable(), "m = {m} should still miss");
+        }
+    }
+
+    #[test]
+    fn reverse_priority_fixes_fixed_priority() {
+        // Heavy task first: the priority-assignment viewpoint of
+        // Section VIII repairs the anomaly for fixed priorities.
+        let ts = dhall_instance(2, 8);
+        let res = simulate(&ts, 2, &Policy::FixedPriority(vec![2, 0, 1]), None);
+        assert!(res.schedulable(), "misses: {:?}", res.misses);
+    }
+
+    #[test]
+    fn dc_seeded_priority_search_repairs_the_anomaly() {
+        // The (D-C) seed orders by slack: lights have D−C = 5, heavy has 0
+        // → the heavy task is already first; the seed itself succeeds.
+        let ts = dhall_instance(2, 8);
+        let seed = mgrts_core::priority::dc_seed(&ts);
+        assert_eq!(seed[0], 2, "heavy task has the least slack");
+        let (found, tested) = mgrts_core::priority::dc_seeded_assignment(&ts, |order| {
+            crate::global::fp_schedulable(&ts, 2, order)
+        });
+        assert!(found.is_some());
+        assert_eq!(tested, 1, "the (D-C) seed works immediately");
+    }
+}

@@ -1,0 +1,118 @@
+//! ASCII rendering: availability intervals (the paper's Figure 1) and
+//! schedules.
+
+use rt_task::{JobInstants, TaskSet, Time};
+
+use mgrts_core::schedule::Schedule;
+
+/// Render the availability-interval pattern of one hyperperiod — the
+/// reproduction of Figure 1. Each task row marks available instants with
+/// `█` and unavailable ones with `·`; releases are annotated below by the
+/// time axis.
+///
+/// ```
+/// let ts = rt_task::TaskSet::running_example();
+/// let s = rt_sim::render_intervals(&ts).unwrap();
+/// assert!(s.contains("τ1"));
+/// ```
+pub fn render_intervals(ts: &TaskSet) -> Result<String, rt_task::TaskError> {
+    let ji = JobInstants::new(ts)?;
+    let h = ji.hyperperiod();
+    let mut out = String::new();
+    out.push_str(&format!("hyperperiod T = {h}\n"));
+    for (i, task) in ts.iter() {
+        out.push_str(&format!(
+            "τ{:<2} (O={}, C={}, D={}, T={}) ",
+            i + 1,
+            task.offset,
+            task.wcet,
+            task.deadline,
+            task.period
+        ));
+        for t in 0..h {
+            out.push(if ji.job_at(i, t).is_some() { '█' } else { '·' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&time_axis(h, 28));
+    Ok(out)
+}
+
+/// Render a schedule: one row per processor, task indices as digits (shown
+/// 1-based like the paper, `.` = idle). Tasks beyond index 8 print as `#`.
+#[must_use]
+pub fn render_schedule(s: &Schedule) -> String {
+    let mut out = String::new();
+    for j in 0..s.num_processors() {
+        out.push_str(&format!("P{:<2} ", j + 1));
+        for t in 0..s.horizon() {
+            out.push(match s.at(j, t) {
+                None => '.',
+                Some(i) if i < 9 => char::from(b'1' + i as u8),
+                Some(_) => '#',
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&time_axis(s.horizon(), 4));
+    out
+}
+
+/// A `0----5----10…` axis under a row of `h` cells indented by `pad`.
+fn time_axis(h: Time, pad: usize) -> String {
+    let mut axis = " ".repeat(pad);
+    let mut t = 0;
+    while t < h {
+        let label = if t % 5 == 0 { t.to_string() } else { "-".into() };
+        axis.push_str(&label);
+        t += label.len() as Time;
+    }
+    axis.push('\n');
+    axis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_pattern_matches_paper() {
+        let ts = TaskSet::running_example();
+        let out = render_intervals(&ts).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("T = 12"));
+        // τ1 available everywhere.
+        assert!(lines[1].ends_with("████████████"));
+        // τ2: unavailable nowhere except … intervals [1,5),[5,9),[9,13)→
+        // all 12 instants covered (0 is the wrapped head).
+        assert!(lines[2].ends_with("████████████"));
+        // τ3: gaps at t = 2, 5, 8, 11.
+        assert!(lines[3].ends_with("██·██·██·██·"));
+    }
+
+    #[test]
+    fn schedule_rendering_shows_tasks_and_idles() {
+        let mut s = Schedule::idle(2, 4);
+        s.set(0, 0, Some(0));
+        s.set(1, 2, Some(2));
+        let out = render_schedule(&s);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("P1  1..."));
+        assert!(lines[1].starts_with("P2  ..3."));
+    }
+
+    #[test]
+    fn large_task_ids_render_as_hash() {
+        let mut s = Schedule::idle(1, 1);
+        s.set(0, 0, Some(42));
+        assert!(render_schedule(&s).contains('#'));
+    }
+
+    #[test]
+    fn axis_has_labels() {
+        let axis = time_axis(12, 0);
+        assert!(axis.starts_with('0'));
+        assert!(axis.contains('5'));
+        assert!(axis.contains("10"));
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # rt-sim — discrete-time global scheduling simulators and rendering
+//!
+//! The baselines and visual tooling around the CSP solvers:
+//!
+//! * [`global`] — work-conserving priority-driven global schedulers
+//!   (global EDF, global fixed-priority, global least-laxity-first)
+//!   simulated tick by tick, with deadline-miss auditing over the standard
+//!   feasibility interval `[0, Omax + 2H)`;
+//! * [`gantt`] — ASCII rendering of availability intervals (the paper's
+//!   Figure 1) and of schedules;
+//! * [`dhall`] — the Dhall-effect instance family: priority-driven global
+//!   schedulers fail at arbitrarily low utilization while the CSP approach
+//!   finds the feasible schedule, motivating the paper's exact method
+//!   (Section I: "scheduling anomalies");
+//! * [`fp_schedulable`] — the glue predicate handed to
+//!   `mgrts_core::priority` for the priority-assignment viewpoint.
+
+pub mod dhall;
+pub mod gantt;
+pub mod global;
+pub mod metrics;
+pub mod partitioned;
+
+pub use dhall::dhall_instance;
+pub use gantt::{render_intervals, render_schedule};
+pub use global::{fp_schedulable, simulate, DeadlineMiss, Policy, SimResult};
+pub use metrics::{reduce_migrations, schedule_metrics, ScheduleMetrics};
+pub use partitioned::{exhaustive_partition, partition, PackingStrategy, Partition};

@@ -1,0 +1,197 @@
+//! Schedule metrics: migrations, preemptions, idle time.
+//!
+//! Global scheduling buys feasibility (see [`crate::partitioned`]) at the
+//! price of task/job migrations and preemptions (Section I of the paper
+//! defines both degrees of freedom). These metrics quantify that price for
+//! any [`Schedule`] — CSP-produced or simulator-produced — over its
+//! periodic extension, i.e. the instant `H-1 → 0` wrap counts like any
+//! other boundary.
+
+use rt_task::TaskId;
+
+use mgrts_core::schedule::Schedule;
+
+/// Aggregate cost metrics of one hyperperiod of a periodic schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleMetrics {
+    /// Times a task continues executing at the next instant on a
+    /// *different* processor (job/task migration events).
+    pub migrations: u64,
+    /// Times a running task stops while still having work in the same
+    /// availability window at the next instant (preemption events).
+    /// Requires availability knowledge, so it is only counted when the
+    /// task runs again later within the window; conservatively this counts
+    /// run→not-run transitions followed by a later run of the same task.
+    pub preemptions: u64,
+    /// Idle processor-instants.
+    pub idle_slots: u64,
+    /// Busy processor-instants.
+    pub busy_slots: u64,
+}
+
+impl ScheduleMetrics {
+    /// Fraction of processor capacity left idle, in `[0, 1]`.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.idle_slots + self.busy_slots;
+        if total == 0 {
+            0.0
+        } else {
+            self.idle_slots as f64 / total as f64
+        }
+    }
+}
+
+/// Compute metrics over one hyperperiod of the periodic extension.
+#[must_use]
+pub fn schedule_metrics(s: &Schedule) -> ScheduleMetrics {
+    let h = s.horizon();
+    let m = s.num_processors();
+    let mut out = ScheduleMetrics::default();
+    out.busy_slots = s.busy_slots() as u64;
+    out.idle_slots = (m as u64) * h - out.busy_slots;
+
+    // Per instant transition t → t+1 (mod H).
+    for t in 0..h {
+        let next = (t + 1) % h;
+        let running_now: Vec<(TaskId, usize)> = (0..m)
+            .filter_map(|j| s.at(j, t).map(|i| (i, j)))
+            .collect();
+        for &(i, j) in &running_now {
+            match s.processor_of(i, next) {
+                Some(j2) if j2 != j => out.migrations += 1,
+                Some(_) => {}
+                None => {
+                    // Stopped: preemption if the task runs again before it
+                    // next *starts fresh* — approximation: it runs again
+                    // within the next H-1 instants (same periodic pattern).
+                    let resumes = (1..h).any(|d| s.processor_of(i, (next + d) % h).is_some());
+                    if resumes {
+                        out.preemptions += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedy migration reduction: within each instant, permute the processor
+/// assignment so tasks keep the processor they ran on at the previous
+/// instant when possible. Permuting within an instant never violates
+/// C1–C4 on identical platforms (it is exactly the paper's eq. (10)
+/// symmetry), so the result schedules the same system with fewer or equal
+/// migrations.
+#[must_use]
+pub fn reduce_migrations(s: &Schedule) -> Schedule {
+    let h = s.horizon();
+    let m = s.num_processors();
+    let mut out = Schedule::idle(m, h);
+    // Copy instant 0 as-is.
+    for j in 0..m {
+        out.set(j, 0, s.at(j, 0));
+    }
+    for t in 1..h {
+        let mut tasks: Vec<TaskId> = (0..m).filter_map(|j| s.at(j, t)).collect();
+        let mut row: Vec<Option<TaskId>> = vec![None; m];
+        // First pass: sticky placement.
+        tasks.retain(|&i| {
+            if let Some(j_prev) = (0..m).find(|&j| out.at(j, t - 1) == Some(i)) {
+                if row[j_prev].is_none() {
+                    row[j_prev] = Some(i);
+                    return false;
+                }
+            }
+            true
+        });
+        // Second pass: fill remaining tasks into free processors.
+        for i in tasks {
+            let j = (0..m).find(|&j| row[j].is_none()).expect("capacity");
+            row[j] = Some(i);
+        }
+        for (j, e) in row.into_iter().enumerate() {
+            out.set(j, t, e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgrts_core::csp2::Csp2Solver;
+    use mgrts_core::verify::check_identical;
+    use rt_task::TaskSet;
+
+    #[test]
+    fn idle_schedule_metrics() {
+        let s = Schedule::idle(2, 3);
+        let m = schedule_metrics(&s);
+        assert_eq!(m.idle_slots, 6);
+        assert_eq!(m.busy_slots, 0);
+        assert_eq!(m.migrations, 0);
+        assert!((m.idle_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_counted_across_processors() {
+        let mut s = Schedule::idle(2, 2);
+        s.set(0, 0, Some(0));
+        s.set(1, 1, Some(0)); // same task hops P0 → P1, then wraps P1 → P0
+        let m = schedule_metrics(&s);
+        assert_eq!(m.migrations, 2);
+    }
+
+    #[test]
+    fn steady_task_has_no_migrations() {
+        let mut s = Schedule::idle(1, 4);
+        for t in 0..4 {
+            s.set(0, t, Some(0));
+        }
+        let m = schedule_metrics(&s);
+        assert_eq!(m.migrations, 0);
+        assert_eq!(m.preemptions, 0);
+        assert_eq!(m.busy_slots, 4);
+    }
+
+    #[test]
+    fn preemption_detected() {
+        // Task runs at t=0 and t=2, pausing at t=1 while another runs.
+        let mut s = Schedule::idle(1, 3);
+        s.set(0, 0, Some(0));
+        s.set(0, 1, Some(1));
+        s.set(0, 2, Some(0));
+        let m = schedule_metrics(&s);
+        assert!(m.preemptions >= 1);
+    }
+
+    #[test]
+    fn reduce_migrations_preserves_validity_and_helps() {
+        let ts = TaskSet::running_example();
+        let res = Csp2Solver::new(&ts, 2).unwrap().solve();
+        let s = res.verdict.schedule().unwrap();
+        let before = schedule_metrics(s);
+        let reduced = reduce_migrations(s);
+        check_identical(&ts, 2, &reduced).unwrap();
+        let after = schedule_metrics(&reduced);
+        assert!(
+            after.migrations <= before.migrations,
+            "{} → {}",
+            before.migrations,
+            after.migrations
+        );
+        // Busy/idle totals are permutation-invariant.
+        assert_eq!(after.busy_slots, before.busy_slots);
+    }
+
+    #[test]
+    fn reduce_migrations_is_idempotent_on_sticky_schedules() {
+        let mut s = Schedule::idle(2, 3);
+        for t in 0..3 {
+            s.set(0, t, Some(0));
+            s.set(1, t, Some(1));
+        }
+        let out = reduce_migrations(&s);
+        assert_eq!(out, s);
+    }
+}

@@ -1,0 +1,234 @@
+//! Partitioned scheduling baseline (Section VIII: "looking at partitioning
+//! or mixed approaches").
+//!
+//! Under partitioned scheduling every task is pinned to one processor and
+//! each processor runs uniprocessor EDF (optimal there). Feasibility of an
+//! assignment is decided exactly by simulating EDF per processor over the
+//! feasibility interval. Bin-packing heuristics assign tasks to processors;
+//! the global-vs-partitioned gap — instances the paper's global CSP
+//! schedules that *no* partition can — is what makes global scheduling
+//! worth its migration cost.
+
+use rt_task::{Task, TaskId, TaskSet};
+
+use crate::global::{simulate, Policy};
+
+/// Bin-packing heuristic for the task→processor assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackingStrategy {
+    /// First processor whose EDF schedule stays feasible.
+    FirstFit,
+    /// Like first-fit, after sorting tasks by decreasing utilization (the
+    /// classic FFD).
+    FirstFitDecreasing,
+    /// Processor with the lowest current utilization that stays feasible.
+    WorstFit,
+}
+
+/// A successful partition: `assignment[j]` lists the tasks of processor `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Task ids per processor.
+    pub assignment: Vec<Vec<TaskId>>,
+}
+
+impl Partition {
+    /// Processor of a task, if assigned.
+    #[must_use]
+    pub fn processor_of(&self, task: TaskId) -> Option<usize> {
+        self.assignment.iter().position(|p| p.contains(&task))
+    }
+}
+
+/// Exact uniprocessor EDF feasibility of a subset of tasks (EDF is optimal
+/// on one processor, so this decides feasibility of the subset).
+#[must_use]
+pub fn edf_feasible_on_one(tasks: &[(TaskId, Task)]) -> bool {
+    if tasks.is_empty() {
+        return true;
+    }
+    let ts = TaskSet::new(tasks.iter().map(|&(_, t)| t).collect()).expect("non-empty");
+    if ts.utilization_exceeds(1) {
+        return false;
+    }
+    simulate(&ts, 1, &Policy::Edf, None).schedulable()
+}
+
+/// Try to partition `ts` onto `m` processors with the given strategy.
+/// Returns `None` when the heuristic fails to place some task (which does
+/// **not** prove that no partition exists — bin packing is NP-hard and
+/// these are heuristics; see [`exhaustive_partition`] for the exact check).
+#[must_use]
+pub fn partition(ts: &TaskSet, m: usize, strategy: PackingStrategy) -> Option<Partition> {
+    let mut order: Vec<TaskId> = (0..ts.len()).collect();
+    if strategy == PackingStrategy::FirstFitDecreasing {
+        order.sort_by(|&a, &b| {
+            ts.task(b)
+                .utilization()
+                .partial_cmp(&ts.task(a).utilization())
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+    }
+    let mut bins: Vec<Vec<(TaskId, Task)>> = vec![Vec::new(); m];
+    for &i in &order {
+        let candidate_order: Vec<usize> = match strategy {
+            PackingStrategy::FirstFit | PackingStrategy::FirstFitDecreasing => (0..m).collect(),
+            PackingStrategy::WorstFit => {
+                let mut procs: Vec<usize> = (0..m).collect();
+                let util = |j: &usize| -> f64 {
+                    bins[*j].iter().map(|(_, t)| t.utilization()).sum()
+                };
+                procs.sort_by(|a, b| util(a).partial_cmp(&util(b)).unwrap().then(a.cmp(b)));
+                procs
+            }
+        };
+        let mut placed = false;
+        for j in candidate_order {
+            bins[j].push((i, *ts.task(i)));
+            if edf_feasible_on_one(&bins[j]) {
+                placed = true;
+                break;
+            }
+            bins[j].pop();
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(Partition {
+        assignment: bins
+            .into_iter()
+            .map(|b| b.into_iter().map(|(i, _)| i).collect())
+            .collect(),
+    })
+}
+
+/// Exact partitioned feasibility by exhaustive assignment enumeration with
+/// symmetry pruning (a task may only open the first empty processor).
+/// Exponential; guarded to `n ≤ 12`.
+#[must_use]
+pub fn exhaustive_partition(ts: &TaskSet, m: usize) -> Option<Partition> {
+    assert!(ts.len() <= 12, "exhaustive search guarded to n ≤ 12");
+    let mut bins: Vec<Vec<(TaskId, Task)>> = vec![Vec::new(); m];
+    fn go(
+        ts: &TaskSet,
+        bins: &mut Vec<Vec<(TaskId, Task)>>,
+        next: TaskId,
+    ) -> Option<Vec<Vec<TaskId>>> {
+        if next == ts.len() {
+            return Some(
+                bins.iter()
+                    .map(|b| b.iter().map(|&(i, _)| i).collect())
+                    .collect(),
+            );
+        }
+        let mut opened_empty = false;
+        for j in 0..bins.len() {
+            if bins[j].is_empty() {
+                if opened_empty {
+                    continue; // empty bins are interchangeable
+                }
+                opened_empty = true;
+            }
+            bins[j].push((next, *ts.task(next)));
+            if edf_feasible_on_one(&bins[j]) {
+                if let Some(found) = go(ts, bins, next + 1) {
+                    return Some(found);
+                }
+            }
+            bins[j].pop();
+        }
+        None
+    }
+    go(ts, &mut bins, 0).map(|assignment| Partition { assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgrts_core::csp2::Csp2Solver;
+
+    #[test]
+    fn independent_tasks_partition_trivially() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 2, 2)]);
+        for strategy in [
+            PackingStrategy::FirstFit,
+            PackingStrategy::FirstFitDecreasing,
+            PackingStrategy::WorstFit,
+        ] {
+            let p = partition(&ts, 2, strategy).expect("easily partitioned");
+            assert!(p.processor_of(0).is_some());
+            assert!(p.processor_of(1).is_some());
+        }
+    }
+
+    #[test]
+    fn first_fit_packs_onto_one_processor() {
+        // Both tasks fit on P0 (U = 1/2 + 1/4 ≤ 1) → first-fit leaves P1
+        // empty; worst-fit spreads them.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 1, 4, 4)]);
+        let ff = partition(&ts, 2, PackingStrategy::FirstFit).unwrap();
+        assert_eq!(ff.assignment[0], vec![0, 1]);
+        assert!(ff.assignment[1].is_empty());
+        let wf = partition(&ts, 2, PackingStrategy::WorstFit).unwrap();
+        assert_eq!(wf.processor_of(0), Some(0));
+        assert_eq!(wf.processor_of(1), Some(1));
+    }
+
+    #[test]
+    fn global_beats_partitioned_on_the_classic_instance() {
+        // Three (C=2, D=T=3) tasks on two processors: globally feasible
+        // (the CSP finds a migrating schedule) but NOT partitionable — any
+        // processor holding two of them is overloaded (U = 4/3).
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3), (0, 2, 3, 3), (0, 2, 3, 3)]);
+        assert!(Csp2Solver::new(&ts, 2).unwrap().solve().verdict.is_feasible());
+        assert!(exhaustive_partition(&ts, 2).is_none());
+        for strategy in [
+            PackingStrategy::FirstFit,
+            PackingStrategy::FirstFitDecreasing,
+            PackingStrategy::WorstFit,
+        ] {
+            assert!(partition(&ts, 2, strategy).is_none(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn ffd_succeeds_where_first_fit_fails() {
+        // The classic bin-packing witness with utilizations
+        // [1/2, 1/3, 2/3, 1/2] on two unit bins: index-order first-fit
+        // greedily packs 1/2 + 1/3 onto P1 and then cannot place the two
+        // remaining tasks; decreasing order finds {2/3, 1/3} and
+        // {1/2, 1/2}.
+        let ts = TaskSet::from_ocdt(&[
+            (0, 1, 2, 2), // u = 1/2
+            (0, 1, 3, 3), // u = 1/3
+            (0, 2, 3, 3), // u = 2/3
+            (0, 1, 2, 2), // u = 1/2
+        ]);
+        let ff = partition(&ts, 2, PackingStrategy::FirstFit);
+        let ffd = partition(&ts, 2, PackingStrategy::FirstFitDecreasing);
+        assert!(ff.is_none(), "index-order first-fit should jam");
+        assert!(ffd.is_some(), "decreasing order should succeed");
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_heuristics_when_they_succeed() {
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 3, 3), (0, 1, 4, 4)]);
+        let exact = exhaustive_partition(&ts, 2);
+        assert!(exact.is_some());
+        let heuristic = partition(&ts, 2, PackingStrategy::FirstFitDecreasing);
+        assert!(heuristic.is_some());
+    }
+
+    #[test]
+    fn empty_bin_feasibility() {
+        assert!(edf_feasible_on_one(&[]));
+    }
+
+    #[test]
+    fn overloaded_subset_is_rejected_fast() {
+        let t = rt_task::Task::ocdt(0, 2, 2, 2);
+        assert!(!edf_feasible_on_one(&[(0, t), (1, t)]));
+    }
+}

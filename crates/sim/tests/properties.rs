@@ -1,0 +1,81 @@
+//! Property tests for the simulator crate: metrics invariants and the
+//! migration-reduction post-pass on solver-produced schedules.
+
+use proptest::prelude::*;
+
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::verify::check_identical;
+use rt_sim::{reduce_migrations, schedule_metrics, simulate, Policy};
+use rt_task::{checked_hyperperiod, Task, TaskSet};
+
+fn arb_instance() -> impl Strategy<Value = (TaskSet, usize)> {
+    let task = (1u64..=4)
+        .prop_flat_map(|t| (Just(t), 1u64..=t))
+        .prop_flat_map(|(t, d)| (Just(t), Just(d), 1u64..=d, 0u64..t))
+        .prop_map(|(t, d, c, o)| Task::new(o, c, d, t).unwrap());
+    (
+        proptest::collection::vec(task, 1..=4).prop_filter("H small", |tasks| {
+            checked_hyperperiod(&tasks.iter().map(|t| t.period).collect::<Vec<_>>())
+                .is_some_and(|h| h <= 12)
+        }),
+        1usize..=3,
+    )
+        .prop_map(|(tasks, m)| (TaskSet::new(tasks).unwrap(), m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn metrics_invariants((ts, m) in arb_instance()) {
+        let res = Csp2Solver::new(&ts, m).unwrap().solve();
+        let Some(s) = res.verdict.schedule() else { return Ok(()); };
+        let metrics = schedule_metrics(s);
+        let h = s.horizon();
+        prop_assert_eq!(metrics.busy_slots + metrics.idle_slots, m as u64 * h);
+        prop_assert_eq!(metrics.busy_slots, ts.demand_per_hyperperiod().unwrap());
+        prop_assert!(metrics.migrations <= metrics.busy_slots);
+        prop_assert!(metrics.idle_fraction() >= 0.0 && metrics.idle_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn reduce_migrations_is_sound_and_monotone((ts, m) in arb_instance()) {
+        let res = Csp2Solver::new(&ts, m).unwrap().solve();
+        let Some(s) = res.verdict.schedule() else { return Ok(()); };
+        let reduced = reduce_migrations(s);
+        // Still a valid schedule for the same system.
+        prop_assert!(check_identical(&ts, m, &reduced).is_ok());
+        // Never more migrations, same work.
+        let before = schedule_metrics(s);
+        let after = schedule_metrics(&reduced);
+        prop_assert!(after.migrations <= before.migrations);
+        prop_assert_eq!(after.busy_slots, before.busy_slots);
+        // Idempotent up to further improvement.
+        let twice = reduce_migrations(&reduced);
+        prop_assert!(schedule_metrics(&twice).migrations <= after.migrations);
+    }
+
+    #[test]
+    fn edf_schedulable_implies_csp_feasible((ts, m) in arb_instance()) {
+        // Any concrete schedule produced by the simulator witnesses
+        // feasibility, so the exact solver must agree. (The converse fails:
+        // see the Dhall and EDF-non-optimality instances.)
+        let sim = simulate(&ts, m, &Policy::Edf, None);
+        if sim.schedulable() {
+            let res = Csp2Solver::new(&ts, m).unwrap().solve();
+            prop_assert!(
+                res.verdict.is_feasible(),
+                "EDF schedules it but the CSP claims infeasible"
+            );
+        }
+    }
+
+    #[test]
+    fn llf_schedulable_implies_csp_feasible((ts, m) in arb_instance()) {
+        let sim = simulate(&ts, m, &Policy::Llf, None);
+        if sim.schedulable() {
+            let res = Csp2Solver::new(&ts, m).unwrap().solve();
+            prop_assert!(res.verdict.is_feasible());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Arbitrary-deadline task systems via clones (Section VI-B of the paper).
+//!
+//! When `Di > Ti`, up to `ki = ⌈Di/Ti⌉` jobs of τi can be simultaneously
+//! active, which the CSP encodings (one value per task) cannot express. The
+//! paper's fix is to split τi into `ki` *clones* `τi,i'` with
+//!
+//! ```text
+//! Oi,i' = Oi + (i'-1)·Ti     Ci,i' = Ci     Di,i' = Di     Ti,i' = ki·Ti
+//! ```
+//!
+//! Each clone is constrained-deadline with respect to its *new* period
+//! (`Di ≤ ki·Ti`), so the ordinary encodings apply unchanged — at the cost of
+//! more tasks and a potentially longer hyperperiod.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{Task, TaskId};
+use crate::taskset::TaskSet;
+use crate::TaskError;
+
+/// Mapping from clone tasks back to the original task set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloneInfo {
+    /// `origin[c]` = (original task id, clone index `i' ∈ [0, ki)`) for clone
+    /// task `c` of the transformed set.
+    pub origin: Vec<(TaskId, u64)>,
+    /// `ki` per original task.
+    pub clone_counts: Vec<u64>,
+}
+
+impl CloneInfo {
+    /// Original task of clone `c`.
+    #[must_use]
+    pub fn original_of(&self, clone: TaskId) -> TaskId {
+        self.origin[clone].0
+    }
+
+    /// Number of clones created for original task `i`.
+    #[must_use]
+    pub fn clones_of(&self, original: TaskId) -> u64 {
+        self.clone_counts[original]
+    }
+}
+
+/// Number of clones required for a task: `ki = ⌈Di/Ti⌉` (at least 1).
+#[must_use]
+pub fn clone_count(task: &Task) -> u64 {
+    task.deadline.div_ceil(task.period)
+}
+
+/// Apply the clone transform to a (possibly arbitrary-deadline) task set.
+///
+/// Constrained-deadline tasks have `ki = 1` and are passed through verbatim,
+/// so the transform is the identity on already-constrained sets. The
+/// resulting set is always constrained-deadline.
+pub fn clone_transform(ts: &TaskSet) -> Result<(TaskSet, CloneInfo), TaskError> {
+    let mut tasks = Vec::new();
+    let mut origin = Vec::new();
+    let mut clone_counts = Vec::with_capacity(ts.len());
+    for (id, task) in ts.iter() {
+        let k = clone_count(task);
+        clone_counts.push(k);
+        for i_prime in 0..k {
+            let clone = Task::new(
+                task.offset + i_prime * task.period,
+                task.wcet,
+                task.deadline,
+                k * task.period,
+            )?;
+            debug_assert!(clone.is_constrained(), "clone must be constrained");
+            tasks.push(clone);
+            origin.push((id, i_prime));
+        }
+    }
+    Ok((
+        TaskSet::new(tasks)?,
+        CloneInfo {
+            origin,
+            clone_counts,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_on_constrained_sets() {
+        let ts = TaskSet::running_example();
+        let (out, info) = clone_transform(&ts).unwrap();
+        assert_eq!(out, ts);
+        assert_eq!(info.clone_counts, vec![1, 1, 1]);
+        assert_eq!(info.origin, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn clone_count_formula() {
+        assert_eq!(clone_count(&Task::new(0, 1, 4, 4).unwrap()), 1); // D = T
+        assert_eq!(clone_count(&Task::new(0, 1, 5, 4).unwrap()), 2); // D = T+1
+        assert_eq!(clone_count(&Task::new(0, 1, 8, 4).unwrap()), 2); // D = 2T
+        assert_eq!(clone_count(&Task::new(0, 1, 9, 4).unwrap()), 3); // D = 2T+1
+    }
+
+    #[test]
+    fn clone_parameters_match_paper() {
+        // τ = (O=2, C=1, D=7, T=3) → k = ⌈7/3⌉ = 3 clones:
+        //   (2, 1, 7, 9), (5, 1, 7, 9), (8, 1, 7, 9)
+        let ts = TaskSet::new(vec![Task::new(2, 1, 7, 3).unwrap()]).unwrap();
+        let (out, info) = clone_transform(&ts).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(info.clones_of(0), 3);
+        for (i_prime, task) in out.tasks().iter().enumerate() {
+            assert_eq!(task.offset, 2 + 3 * i_prime as u64);
+            assert_eq!(task.wcet, 1);
+            assert_eq!(task.deadline, 7);
+            assert_eq!(task.period, 9);
+            assert!(task.is_constrained());
+            assert_eq!(info.original_of(i_prime), 0);
+        }
+    }
+
+    #[test]
+    fn transformed_set_is_always_constrained() {
+        let ts = TaskSet::new(vec![
+            Task::new(0, 2, 10, 3).unwrap(),
+            Task::new(1, 1, 2, 5).unwrap(),
+        ])
+        .unwrap();
+        let (out, _) = clone_transform(&ts).unwrap();
+        assert!(out.is_constrained());
+        // k1 = ⌈10/3⌉ = 4 clones + 1 original = 5 tasks.
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn utilization_is_preserved() {
+        // Clones have utilization Ci/(ki·Ti); ki of them sum to Ci/Ti.
+        let ts = TaskSet::new(vec![Task::new(0, 2, 10, 3).unwrap()]).unwrap();
+        let (out, _) = clone_transform(&ts).unwrap();
+        assert!((out.utilization() - ts.utilization()).abs() < 1e-12);
+    }
+}

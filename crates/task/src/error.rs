@@ -1,0 +1,71 @@
+//! Error types for task-model validation.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// Why a task or task set was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// `Ci` must satisfy `1 ≤ Ci`.
+    ZeroWcet,
+    /// `Ti` must satisfy `1 ≤ Ti`.
+    ZeroPeriod,
+    /// `Di` must satisfy `1 ≤ Di`.
+    ZeroDeadline,
+    /// The execution requirement exceeds the window: `Ci > Di`.
+    WcetExceedsDeadline {
+        /// The offending `Ci`.
+        wcet: Time,
+        /// The window `Di`.
+        deadline: Time,
+    },
+    /// A constrained-deadline context required `Di ≤ Ti`.
+    DeadlineExceedsPeriod {
+        /// The offending `Di`.
+        deadline: Time,
+        /// The period `Ti`.
+        period: Time,
+    },
+    /// The task set is empty.
+    EmptyTaskSet,
+    /// The hyperperiod `lcm(T1..Tn)` overflows `u64`.
+    HyperperiodOverflow,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::ZeroWcet => write!(f, "worst-case execution time must be at least 1"),
+            TaskError::ZeroPeriod => write!(f, "period must be at least 1"),
+            TaskError::ZeroDeadline => write!(f, "deadline must be at least 1"),
+            TaskError::WcetExceedsDeadline { wcet, deadline } => write!(
+                f,
+                "WCET {wcet} exceeds deadline {deadline}: job can never finish in its window"
+            ),
+            TaskError::DeadlineExceedsPeriod { deadline, period } => write!(
+                f,
+                "deadline {deadline} exceeds period {period} in a constrained-deadline context"
+            ),
+            TaskError::EmptyTaskSet => write!(f, "task set is empty"),
+            TaskError::HyperperiodOverflow => {
+                write!(f, "hyperperiod lcm(T1..Tn) overflows u64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TaskError::WcetExceedsDeadline { wcet: 5, deadline: 3 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+        assert!(TaskError::EmptyTaskSet.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # rt-task — periodic real-time task model
+//!
+//! This crate implements the task model of Section II of
+//! *Global Multiprocessor Real-Time Scheduling as a Constraint Satisfaction
+//! Problem* (Cucu-Grosjean & Buffet, ICPP 2009).
+//!
+//! A periodic task `τi = (Oi, Ci, Di, Ti)` releases a job every `Ti` ticks
+//! starting at offset `Oi`; each job needs `Ci` units of execution and must
+//! complete within `Di` ticks of its release. Time is discrete (`u64` ticks).
+//!
+//! The central objects are:
+//!
+//! * [`Task`] — a single validated periodic task;
+//! * [`TaskSet`] — a collection of tasks with hyperperiod / utilization
+//!   queries and job enumeration over one hyperperiod;
+//! * [`intervals::JobInstants`] — the mod-H instant machinery used by the CSP
+//!   encodings (handles availability intervals that straddle the hyperperiod
+//!   boundary);
+//! * [`clones::clone_transform`] — the arbitrary-deadline clone transform of
+//!   Section VI-B.
+
+pub mod clones;
+pub mod demand;
+pub mod error;
+pub mod intervals;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+pub use clones::{clone_count, clone_transform, CloneInfo};
+pub use error::TaskError;
+pub use intervals::{AvailabilityInterval, JobId, JobInstants};
+pub use task::{Task, TaskBuilder, TaskId};
+pub use taskset::TaskSet;
+pub use time::{checked_hyperperiod, gcd, lcm, Time};

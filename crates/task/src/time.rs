@@ -1,0 +1,111 @@
+//! Discrete time arithmetic: ticks, gcd/lcm, hyperperiods.
+//!
+//! All task parameters are integers (the paper: "The time being discrete, all
+//! these parameters take integer values"). We use `u64` ticks throughout; the
+//! hyperperiod of a task set is the least common multiple of the periods and
+//! can overflow for adversarial inputs, so [`checked_hyperperiod`] reports
+//! overflow instead of panicking.
+
+/// A discrete time instant or duration, in ticks.
+pub type Time = u64;
+
+/// Greatest common divisor (Euclid). `gcd(0, x) == x`.
+#[must_use]
+pub fn gcd(mut a: Time, mut b: Time) -> Time {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple. Panics on overflow; use [`checked_lcm`] when the
+/// inputs are untrusted.
+#[must_use]
+pub fn lcm(a: Time, b: Time) -> Time {
+    checked_lcm(a, b).expect("lcm overflow")
+}
+
+/// Least common multiple, `None` on `u64` overflow. `lcm(0, x) == 0`.
+#[must_use]
+pub fn checked_lcm(a: Time, b: Time) -> Option<Time> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// Hyperperiod of a list of periods: `lcm(T1, …, Tn)`.
+///
+/// Returns `None` if the list is empty, any period is zero, or the lcm
+/// overflows `u64`.
+#[must_use]
+pub fn checked_hyperperiod(periods: &[Time]) -> Option<Time> {
+    if periods.is_empty() || periods.contains(&0) {
+        return None;
+    }
+    periods
+        .iter()
+        .try_fold(1u64, |acc, &p| checked_lcm(acc, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(8, 12), 4);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 1), 1);
+        assert_eq!(checked_lcm(0, 4), Some(0));
+    }
+
+    #[test]
+    fn lcm_overflow_detected() {
+        let big = u64::MAX - 1;
+        assert_eq!(checked_lcm(big, big - 1), None);
+    }
+
+    #[test]
+    fn hyperperiod_running_example() {
+        // Example 1 of the paper: T = lcm(2, 4, 3) = 12.
+        assert_eq!(checked_hyperperiod(&[2, 4, 3]), Some(12));
+    }
+
+    #[test]
+    fn hyperperiod_paper_tmax15() {
+        // Section VII-E: lcm(1..=15) = 360360.
+        let periods: Vec<Time> = (1..=15).collect();
+        assert_eq!(checked_hyperperiod(&periods), Some(360_360));
+    }
+
+    #[test]
+    fn hyperperiod_degenerate() {
+        assert_eq!(checked_hyperperiod(&[]), None);
+        assert_eq!(checked_hyperperiod(&[0, 3]), None);
+        assert_eq!(checked_hyperperiod(&[5]), Some(5));
+    }
+
+    #[test]
+    fn hyperperiod_overflow() {
+        // Large coprime periods overflow u64.
+        let primes: Vec<Time> = vec![
+            4_294_967_311, // > 2^32, prime
+            4_294_967_357,
+            4_294_967_371,
+        ];
+        assert_eq!(checked_hyperperiod(&primes), None);
+    }
+}

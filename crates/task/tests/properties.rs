@@ -1,0 +1,146 @@
+//! Property tests for the task-model substrate: the O(1) mod-H interval
+//! arithmetic must agree with explicit enumeration, and the clone transform
+//! must preserve the quantities Section VI-B relies on.
+
+use proptest::prelude::*;
+use rt_task::{
+    checked_hyperperiod, clone_count, clone_transform, gcd, JobId, JobInstants, Task, TaskSet,
+};
+
+fn arb_constrained_task() -> impl Strategy<Value = Task> {
+    // T ∈ [1, 12], D ∈ [1, T], C ∈ [1, D], O ∈ [0, 2T).
+    (1u64..=12)
+        .prop_flat_map(|t| (Just(t), 1u64..=t))
+        .prop_flat_map(|(t, d)| (Just(t), Just(d), 1u64..=d, 0u64..(2 * t)))
+        .prop_map(|(t, d, c, o)| Task::new(o, c, d, t).unwrap())
+}
+
+fn arb_arbitrary_task() -> impl Strategy<Value = Task> {
+    // D may exceed T: D ∈ [1, 3T].
+    (1u64..=8)
+        .prop_flat_map(|t| (Just(t), 1u64..=3 * t))
+        .prop_flat_map(|(t, d)| (Just(t), Just(d), 1u64..=d, 0u64..t))
+        .prop_map(|(t, d, c, o)| Task::new(o, c, d, t).unwrap())
+}
+
+fn arb_constrained_set() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec(arb_constrained_task(), 1..=5)
+        .prop_filter("hyperperiod fits", |tasks| {
+            checked_hyperperiod(&tasks.iter().map(|t| t.period).collect::<Vec<_>>())
+                .is_some_and(|h| h <= 4000)
+        })
+        .prop_map(|tasks| TaskSet::new(tasks).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn job_at_agrees_with_enumerated_instants(ts in arb_constrained_set()) {
+        let ji = JobInstants::new(&ts).unwrap();
+        let h = ji.hyperperiod();
+        for i in 0..ts.len() {
+            let mut owner = vec![None; h as usize];
+            for k in 0..ji.jobs_of(i) {
+                for t in ji.instants_mod(JobId { task: i, k }) {
+                    prop_assert!(owner[t as usize].is_none(),
+                        "jobs of one constrained task never overlap mod H");
+                    owner[t as usize] = Some(k);
+                }
+            }
+            for t in 0..h {
+                prop_assert_eq!(ji.job_at(i, t).map(|j| j.k), owner[t as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn slots_at_or_after_counts_suffix(ts in arb_constrained_set()) {
+        let ji = JobInstants::new(&ts).unwrap();
+        let h = ji.hyperperiod();
+        for i in 0..ts.len() {
+            for k in 0..ji.jobs_of(i) {
+                let job = JobId { task: i, k };
+                let inst = ji.instants_mod(job);
+                prop_assert_eq!(inst.len() as u64, ts.task(i).deadline);
+                for t in 0..h {
+                    let expect = inst.iter().filter(|&&x| x >= t).count() as u64;
+                    prop_assert_eq!(ji.slots_at_or_after(job, t), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_jobs_equals_demand_accounting(ts in arb_constrained_set()) {
+        let ji = JobInstants::new(&ts).unwrap();
+        let h = ji.hyperperiod();
+        let total: u64 = (0..ts.len()).map(|i| ji.jobs_of(i)).sum();
+        prop_assert_eq!(total, ji.total_jobs());
+        let demand: u64 = ts.iter().map(|(_, t)| t.wcet * (h / t.period)).sum();
+        prop_assert_eq!(ts.demand_per_hyperperiod().unwrap(), demand);
+    }
+
+    #[test]
+    fn clone_transform_invariants(tasks in proptest::collection::vec(arb_arbitrary_task(), 1..=4)) {
+        let ts = TaskSet::new(tasks).unwrap();
+        let (clones, info) = clone_transform(&ts).unwrap();
+        // Always constrained afterwards.
+        prop_assert!(clones.is_constrained());
+        // Clone counts follow ⌈D/T⌉ and sum to the output size.
+        let mut expected = 0u64;
+        for (i, t) in ts.iter() {
+            prop_assert_eq!(info.clones_of(i), clone_count(t));
+            expected += clone_count(t);
+        }
+        prop_assert_eq!(clones.len() as u64, expected);
+        // Utilization is preserved (each task splits into ki pieces of
+        // utilization C/(ki·T)).
+        prop_assert!((clones.utilization() - ts.utilization()).abs() < 1e-9);
+        // Every clone inherits C and D and stretches T to ki·T.
+        for (c, clone) in clones.iter() {
+            let (orig, i_prime) = (info.origin[c].0, info.origin[c].1);
+            let t = ts.task(orig);
+            prop_assert_eq!(clone.wcet, t.wcet);
+            prop_assert_eq!(clone.deadline, t.deadline);
+            prop_assert_eq!(clone.period, clone_count(t) * t.period);
+            prop_assert_eq!(clone.offset, t.offset + i_prime * t.period);
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_algebra(a in 1u64..10_000, b in 1u64..10_000) {
+        let g = gcd(a, b);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        let l = rt_task::lcm(a, b);
+        prop_assert_eq!(l % a, 0);
+        prop_assert_eq!(l % b, 0);
+        prop_assert_eq!(g as u128 * l as u128, a as u128 * b as u128);
+    }
+
+    #[test]
+    fn min_processors_is_a_sound_lower_bound(ts in arb_constrained_set()) {
+        let mmin = ts.min_processors();
+        prop_assert!(mmin >= 1);
+        // U ≤ mmin and U > mmin - 1.
+        prop_assert!(!ts.utilization_exceeds(mmin));
+        if mmin > 1 {
+            prop_assert!(ts.utilization_exceeds(mmin - 1));
+        }
+    }
+
+    #[test]
+    fn offset_normalization_is_sound(task in arb_constrained_task()) {
+        // Offsets ≥ T behave identically mod H to their reduction.
+        let reduced = Task::new(task.offset % task.period, task.wcet,
+                                task.deadline, task.period).unwrap();
+        let a = TaskSet::new(vec![task]).unwrap();
+        let b = TaskSet::new(vec![reduced]).unwrap();
+        let ja = JobInstants::new(&a).unwrap();
+        let jb = JobInstants::new(&b).unwrap();
+        for t in 0..ja.hyperperiod() {
+            prop_assert_eq!(ja.job_at(0, t).is_some(), jb.job_at(0, t).is_some());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+//! Facade crate re-exporting the full MGRTS public API.
+pub use csp_engine;
+pub use mgrts_core;
+pub use rt_analysis;
+pub use rt_gen;
+pub use rt_platform;
+pub use rt_prob;
+pub use rt_sat;
+pub use rt_sim;
+pub use rt_task;
