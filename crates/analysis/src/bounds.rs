@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn gfb_inapplicable_on_constrained() {
-        assert_eq!(gfb_test(&TaskSet::running_example(), 2), TestOutcome::Inapplicable);
+        assert_eq!(
+            gfb_test(&TaskSet::running_example(), 2),
+            TestOutcome::Inapplicable
+        );
     }
 
     #[test]

@@ -76,11 +76,7 @@ pub fn opa_da(ts: &TaskSet, m: usize) -> Option<Vec<TaskId>> {
     // passes with all other unassigned tasks as higher-priority.
     while !unassigned.is_empty() {
         let found = unassigned.iter().position(|&cand| {
-            let higher: Vec<TaskId> = unassigned
-                .iter()
-                .copied()
-                .filter(|&i| i != cand)
-                .collect();
+            let higher: Vec<TaskId> = unassigned.iter().copied().filter(|&i| i != cand).collect();
             da_task_schedulable(ts, m, cand, &higher)
         });
         match found {

@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn all_inconclusive() {
         let report = AnalysisReport {
-            records: vec![rec("a", TestOutcome::Inconclusive), rec("b", TestOutcome::Inapplicable)],
+            records: vec![
+                rec("a", TestOutcome::Inconclusive),
+                rec("b", TestOutcome::Inapplicable),
+            ],
         };
         assert_eq!(report.verdict(), TestOutcome::Inconclusive);
         assert_eq!(report.decided_by(), None);
@@ -129,7 +132,10 @@ mod tests {
     #[test]
     fn contradiction_detected() {
         let report = AnalysisReport {
-            records: vec![rec("a", TestOutcome::Feasible), rec("b", TestOutcome::Infeasible)],
+            records: vec![
+                rec("a", TestOutcome::Feasible),
+                rec("b", TestOutcome::Infeasible),
+            ],
         };
         assert!(!report.is_consistent());
     }

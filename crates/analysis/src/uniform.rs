@@ -72,14 +72,20 @@ mod tests {
         // U = 1.5, capacity 1 + 0.?? — speeds are integers: {1}, U > 1.
         let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (0, 2, 2, 2)]);
         assert_eq!(uniform_necessary_test(&ts, &[1]), TestOutcome::Infeasible);
-        assert_eq!(uniform_necessary_test(&ts, &[1, 1]), TestOutcome::Inconclusive);
+        assert_eq!(
+            uniform_necessary_test(&ts, &[1, 1]),
+            TestOutcome::Inconclusive
+        );
     }
 
     #[test]
     fn prefix_violation_caught() {
         let three = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
         // Three full-utilization tasks: total 3 exceeds two unit speeds.
-        assert_eq!(uniform_necessary_test(&three, &[1, 1]), TestOutcome::Infeasible);
+        assert_eq!(
+            uniform_necessary_test(&three, &[1, 1]),
+            TestOutcome::Infeasible
+        );
         assert_eq!(
             uniform_necessary_test(&three, &[1, 1, 1]),
             TestOutcome::Inconclusive
@@ -87,28 +93,38 @@ mod tests {
         // Two such tasks fit one speed-2 processor in the fluid sense
         // (prefix k=1: 1 ≤ 2, k=2: 2 ≤ 2) — not rejected.
         let two = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2)]);
-        assert_eq!(uniform_necessary_test(&two, &[2]), TestOutcome::Inconclusive);
+        assert_eq!(
+            uniform_necessary_test(&two, &[2]),
+            TestOutcome::Inconclusive
+        );
         // Three of them exceed it: 3 > 2 at k = 3.
-        assert_eq!(uniform_necessary_test(&three, &[2]), TestOutcome::Infeasible);
+        assert_eq!(
+            uniform_necessary_test(&three, &[2]),
+            TestOutcome::Infeasible
+        );
     }
 
     #[test]
     fn constrained_inapplicable() {
         let ts = TaskSet::running_example();
-        assert_eq!(uniform_necessary_test(&ts, &[1, 1]), TestOutcome::Inapplicable);
+        assert_eq!(
+            uniform_necessary_test(&ts, &[1, 1]),
+            TestOutcome::Inapplicable
+        );
     }
 
     #[test]
     fn platform_extraction() {
         let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
         let uni = Platform::uniform(3, &[1, 1]).unwrap();
-        assert_eq!(uniform_necessary_on_platform(&ts, &uni), TestOutcome::Infeasible);
-        let het = Platform::heterogeneous(vec![
-            vec![1, 2],
-            vec![2, 1],
-            vec![1, 1],
-        ])
-        .unwrap();
-        assert_eq!(uniform_necessary_on_platform(&ts, &het), TestOutcome::Inapplicable);
+        assert_eq!(
+            uniform_necessary_on_platform(&ts, &uni),
+            TestOutcome::Infeasible
+        );
+        let het = Platform::heterogeneous(vec![vec![1, 2], vec![2, 1], vec![1, 1]]).unwrap();
+        assert_eq!(
+            uniform_necessary_on_platform(&ts, &het),
+            TestOutcome::Inapplicable
+        );
     }
 }

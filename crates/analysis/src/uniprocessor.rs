@@ -49,11 +49,7 @@ pub fn rm_hyperbolic(ts: &TaskSet) -> TestOutcome {
     if !ts.tasks().iter().all(rt_task::Task::is_implicit) {
         return TestOutcome::Inapplicable;
     }
-    let product: f64 = ts
-        .tasks()
-        .iter()
-        .map(|t| t.utilization() + 1.0)
-        .product();
+    let product: f64 = ts.tasks().iter().map(|t| t.utilization() + 1.0).product();
     if product <= 2.0 + 1e-9 {
         TestOutcome::Feasible
     } else {

@@ -141,5 +141,10 @@ fn bench_infeasible_proof(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_encoding_cost, bench_infeasible_proof);
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_encoding_cost,
+    bench_infeasible_proof
+);
 criterion_main!(benches);

@@ -43,8 +43,10 @@ fn bench_encode(c: &mut Criterion) {
     let corpus = feasible_corpus(6, 4);
     let mut group = c.benchmark_group("cnf_encode_n6");
     for (i, (ts, m)) in corpus.iter().enumerate() {
-        for (label, amo) in [("pairwise", AmoEncoding::Pairwise), ("ladder", AmoEncoding::Ladder)]
-        {
+        for (label, amo) in [
+            ("pairwise", AmoEncoding::Pairwise),
+            ("ladder", AmoEncoding::Ladder),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, i), ts, |b, ts| {
                 b.iter(|| black_box(encode_cnf(ts, *m, amo).unwrap()));
             });

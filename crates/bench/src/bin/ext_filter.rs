@@ -81,5 +81,8 @@ fn main() {
         undecided
     );
     println!("audited against CSP2+(D-C): {audited} decided instances, {audit_failures} failures");
-    assert_eq!(audit_failures, 0, "analytic battery contradicted the exact solver");
+    assert_eq!(
+        audit_failures, 0,
+        "analytic battery contradicted the exact solver"
+    );
 }

@@ -52,7 +52,10 @@ fn main() {
         ),
     ];
 
-    println!("\nLOCAL-SEARCH ABLATION on {} feasible instances\n", feasible.len());
+    println!(
+        "\nLOCAL-SEARCH ABLATION on {} feasible instances\n",
+        feasible.len()
+    );
     println!(
         "{:<14} {:>7} {:>10} {:>16}",
         "strategy", "solved", "solve %", "mean moves"
@@ -75,7 +78,11 @@ fn main() {
             }
         }
         let pct = 100.0 * solved as f64 / feasible.len().max(1) as f64;
-        let mean = if solved == 0 { 0.0 } else { moves as f64 / solved as f64 };
+        let mean = if solved == 0 {
+            0.0
+        } else {
+            moves as f64 / solved as f64
+        };
         println!("{label:<14} {solved:>7} {pct:>9.1}% {mean:>16.0}");
     }
 }

@@ -83,7 +83,10 @@ fn main() {
         let model = ExecModel::uniform_to_wcet(ts);
         let timings = analyze_all(ts, schedule, &model).expect("constrained");
         idle_sum += rt_prob::expected_idle_per_hyperperiod(&timings, &model);
-        slots_sum += timings.iter().map(|t| t.allocation.len() as f64).sum::<f64>();
+        slots_sum += timings
+            .iter()
+            .map(|t| t.allocation.len() as f64)
+            .sum::<f64>();
     }
     println!(
         "\nuniform(1,WCET) model: expected reclaimable idle = {:.1}% of allocated slots",

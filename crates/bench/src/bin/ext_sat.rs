@@ -78,7 +78,10 @@ fn main() {
             of(SolverKind::Csp1Sat),
         ) {
             let dec = |o: InstanceOutcome| {
-                matches!(o, InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible)
+                matches!(
+                    o,
+                    InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible
+                )
             };
             if dec(a) && dec(b) {
                 both += 1;

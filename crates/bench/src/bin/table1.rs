@@ -35,7 +35,10 @@ fn main() {
     }
 
     println!("\nTABLE I — number of runs reaching the time limit\n");
-    println!("{}", tables::table1(&records, &SolverKind::ROSTER, args.instances));
+    println!(
+        "{}",
+        tables::table1(&records, &SolverKind::ROSTER, args.instances)
+    );
     println!("\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n");
     println!("{}", tables::table2(&records, &SolverKind::ROSTER));
 }

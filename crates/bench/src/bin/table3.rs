@@ -26,8 +26,6 @@ fn main() {
         mgrts_bench::runner::save_records(&records, path).expect("write records");
         eprintln!("raw records written to {}", path.display());
     }
-    println!(
-        "\nTABLE III — instance distribution and mean resolution time by r\n"
-    );
+    println!("\nTABLE III — instance distribution and mean resolution time by r\n");
     println!("{}", tables::table3(&records));
 }

@@ -46,10 +46,9 @@ fn main() {
         };
         let records = run_corpus(&problems, &roster, args.time_limit, threads, false);
 
-        let mean =
-            |f: &dyn Fn(&rt_gen::Problem) -> f64| -> f64 {
-                problems.iter().map(f).sum::<f64>() / problems.len() as f64
-            };
+        let mean = |f: &dyn Fn(&rt_gen::Problem) -> f64| -> f64 {
+            problems.iter().map(f).sum::<f64>() / problems.len() as f64
+        };
         let per_solver = roster
             .iter()
             .map(|&s| {
@@ -59,12 +58,9 @@ fn main() {
                     .filter(|r| r.outcome == InstanceOutcome::Solved)
                     .count() as f64
                     / runs.len() as f64;
-                let t_ms = runs.iter().map(|r| r.time_us as f64).sum::<f64>()
-                    / runs.len() as f64
-                    / 1000.0;
-                let all_too_large = runs
-                    .iter()
-                    .all(|r| r.outcome == InstanceOutcome::TooLarge);
+                let t_ms =
+                    runs.iter().map(|r| r.time_us as f64).sum::<f64>() / runs.len() as f64 / 1000.0;
+                let all_too_large = runs.iter().all(|r| r.outcome == InstanceOutcome::TooLarge);
                 (solved, t_ms, all_too_large)
             })
             .collect();

@@ -92,9 +92,18 @@ mod tests {
     #[test]
     fn overrides() {
         let a = Args::parse_from(
-            ["--instances", "10", "--time-limit-ms", "50", "--seed", "7", "--threads", "2"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--instances",
+                "10",
+                "--time-limit-ms",
+                "50",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(a.instances, 10);
         assert_eq!(a.time_limit, Duration::from_millis(50));

@@ -5,9 +5,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use mgrts_core::csp1::{solve_csp1, Csp1Config};
-use mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
-use mgrts_core::csp2::{Csp2Budget, Csp2Solver};
+use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, SolverSpec};
 use mgrts_core::heuristics::TaskOrder;
 use mgrts_core::solve::{StopReason, Verdict};
 use mgrts_core::verify::check_identical;
@@ -44,6 +42,25 @@ impl SolverKind {
             SolverKind::Csp2(order) => order.label(),
             SolverKind::Csp1Sat => "SAT",
         }
+    }
+
+    /// The engine spec this column reduces to — `SolverKind` is now a thin
+    /// factory over [`mgrts_core::engine`].
+    #[must_use]
+    pub fn spec(self) -> SolverSpec {
+        match self {
+            SolverKind::Csp1 => SolverSpec::Csp1,
+            SolverKind::Csp2(order) => SolverSpec::Csp2(order),
+            SolverKind::Csp1Sat => SolverSpec::Csp1Sat,
+        }
+    }
+
+    /// Build the boxed engine for this column; `seed` feeds the randomized
+    /// backends (CSP1's generic strategy), matching the paper's
+    /// per-instance reseeding.
+    #[must_use]
+    pub fn build(self, seed: u64) -> Box<dyn FeasibilitySolver> {
+        self.spec().build_seeded(seed)
     }
 }
 
@@ -82,36 +99,16 @@ pub struct RunRecord {
 /// verification failure is a bug and panics loudly.
 #[must_use]
 pub fn run_one(p: &Problem, solver: SolverKind, time_limit: Duration) -> (InstanceOutcome, u64) {
-    let (verdict, elapsed) = match solver {
-        SolverKind::Csp1 => {
-            let cfg = Csp1Config {
-                seed: p.seed,
-                time: Some(time_limit),
-                ..Csp1Config::default()
-            };
-            let res = solve_csp1(&p.taskset, p.m, &cfg).expect("valid constrained instance");
-            (res.verdict, res.stats.elapsed_us)
-        }
-        SolverKind::Csp2(order) => {
-            let res = Csp2Solver::new(&p.taskset, p.m)
-                .expect("valid constrained instance")
-                .with_order(order)
-                .with_budget(Csp2Budget {
-                    time: Some(time_limit),
-                    max_decisions: None,
-                })
-                .solve();
-            (res.verdict, res.stats.elapsed_us)
-        }
-        SolverKind::Csp1Sat => {
-            let cfg = Csp1SatConfig {
-                time: Some(time_limit),
-                ..Csp1SatConfig::default()
-            };
-            let res = solve_csp1_sat(&p.taskset, p.m, &cfg).expect("valid constrained instance");
-            (res.verdict, res.stats.elapsed_us)
-        }
-    };
+    let engine = solver.build(p.seed);
+    let res = engine
+        .solve(
+            &p.taskset,
+            p.m,
+            &Budget::time_limit(time_limit),
+            &CancelToken::new(),
+        )
+        .expect("valid constrained instance");
+    let (verdict, elapsed) = (res.verdict, res.stats.elapsed_us);
     let outcome = match &verdict {
         Verdict::Feasible(s) => {
             check_identical(&p.taskset, p.m, s)
@@ -177,7 +174,7 @@ pub fn run_corpus(
                 if progress {
                     let mut d = done.lock();
                     *d += 1;
-                    if *d % 100 == 0 {
+                    if (*d).is_multiple_of(100) {
                         eprintln!("  … {}/{} runs", *d, jobs.len());
                     }
                 }
@@ -200,7 +197,10 @@ mod tests {
     #[test]
     fn roster_matches_paper_columns() {
         let labels: Vec<_> = SolverKind::ROSTER.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["CSP1", "CSP2", "+RM", "+DM", "+(T-C)", "+(D-C)"]);
+        assert_eq!(
+            labels,
+            vec!["CSP1", "CSP2", "+RM", "+DM", "+(T-C)", "+(D-C)"]
+        );
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl Args {
                 if SWITCHES.contains(&name.as_str()) {
                     args.switches.push(name);
                 } else {
-                    let value = it.next().ok_or_else(|| ArgError::MissingValue(name.clone()))?;
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError::MissingValue(name.clone()))?;
                     if args.options.insert(name.clone(), value).is_some() {
                         return Err(ArgError::Duplicate(name));
                     }

@@ -4,13 +4,11 @@
 
 use std::time::Duration;
 
-use mgrts_core::csp1::{solve_csp1, Csp1Config};
-use mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
-use mgrts_core::csp2::{Csp2Budget, Csp2Solver};
-use mgrts_core::csp2_generic::{solve_csp2_generic, Csp2GenericConfig};
+use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, SolverSpec};
 use mgrts_core::heuristics::TaskOrder;
-use mgrts_core::local_search::{solve_local_search, LocalSearchConfig, LsStrategy};
 use mgrts_core::minimal_m::minimal_processors;
+use mgrts_core::portfolio;
 use mgrts_core::verify::check_identical;
 use mgrts_core::{SolveResult, Verdict};
 use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
@@ -55,6 +53,17 @@ fn time_budget(args: &Args) -> Result<Option<Duration>, CliError> {
         .map(Duration::from_millis))
 }
 
+/// Resolve a `--solver` name to an engine. `csp2` honours the separate
+/// `--order` flag, so the historical `--solver csp2 --order rm` spelling
+/// keeps working next to the explicit `csp2-rm`.
+fn resolve_engine(name: &str, order: TaskOrder) -> Result<Box<dyn FeasibilitySolver>, CliError> {
+    if name == "csp2" {
+        return Ok(SolverSpec::Csp2(order).build());
+    }
+    let spec: SolverSpec = name.parse().map_err(CliError::Other)?;
+    Ok(spec.build())
+}
+
 fn run_solver(
     name: &str,
     ts: &TaskSet,
@@ -62,65 +71,12 @@ fn run_solver(
     order: TaskOrder,
     time: Option<Duration>,
 ) -> Result<SolveResult, CliError> {
-    match name {
-        "csp2" => {
-            let mut s = Csp2Solver::new(ts, m)?.with_order(order);
-            if time.is_some() {
-                s = s.with_budget(Csp2Budget {
-                    time,
-                    max_decisions: None,
-                });
-            }
-            Ok(s.solve())
-        }
-        "csp1" => Ok(solve_csp1(
-            ts,
-            m,
-            &Csp1Config {
-                time,
-                ..Csp1Config::default()
-            },
-        )?),
-        "csp2-generic" => Ok(solve_csp2_generic(
-            ts,
-            m,
-            &Csp2GenericConfig {
-                time,
-                ..Csp2GenericConfig::default()
-            },
-        )?),
-        "sat" => Ok(solve_csp1_sat(
-            ts,
-            m,
-            &Csp1SatConfig {
-                time,
-                ..Csp1SatConfig::default()
-            },
-        )?),
-        "local" => Ok(solve_local_search(ts, m, &LocalSearchConfig::default())?),
-        "local-tabu" => Ok(solve_local_search(
-            ts,
-            m,
-            &LocalSearchConfig {
-                strategy: LsStrategy::Tabu { tenure: 10 },
-                ..LocalSearchConfig::default()
-            },
-        )?),
-        "local-sa" => Ok(solve_local_search(
-            ts,
-            m,
-            &LocalSearchConfig {
-                strategy: LsStrategy::Annealing {
-                    t0: 2.0,
-                    cooling: 0.9995,
-                },
-                ..LocalSearchConfig::default()
-            },
-        )?),
-        other => Err(CliError::Other(format!(
-            "unknown --solver {other} (expected csp1|csp2|csp2-generic|sat|local|local-tabu|local-sa)"
-        ))),
-    }
+    let engine = resolve_engine(name, order)?;
+    let budget = Budget {
+        time,
+        ..Budget::unlimited()
+    };
+    Ok(engine.solve(ts, m, &budget, &CancelToken::new())?)
 }
 
 /// `mgrts solve <instance> [--m N] [--solver S] [--order O] [--time-ms T]
@@ -178,9 +134,10 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
     let m = match args.opt_str("m") {
         None => MSpec::UniformBelowN,
         Some("auto") => MSpec::MinUtilization,
-        Some(v) => MSpec::Fixed(v.parse().map_err(|_| {
-            CliError::Other(format!("--m {v}: expected an integer or 'auto'"))
-        })?),
+        Some(v) => MSpec::Fixed(
+            v.parse()
+                .map_err(|_| CliError::Other(format!("--m {v}: expected an integer or 'auto'")))?,
+        ),
     };
     let cfg = GeneratorConfig {
         n,
@@ -201,7 +158,11 @@ pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
 /// `mgrts min-m <instance> [--time-ms T]`
 pub fn cmd_min_m(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args.positional(0, "instance")?)?;
-    let result = minimal_processors(&inst.taskset, TaskOrder::DeadlineMinusWcet, time_budget(args)?)?;
+    let result = minimal_processors(
+        &inst.taskset,
+        TaskOrder::DeadlineMinusWcet,
+        time_budget(args)?,
+    )?;
     let mut out = String::new();
     for (m, res) in &result.probes {
         out.push_str(&format!(
@@ -225,9 +186,7 @@ pub fn cmd_min_m(args: &Args) -> Result<String, CliError> {
 pub fn cmd_gantt(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args.positional(0, "instance")?)?;
     let mut out = rt_sim::render_intervals(&inst.taskset)?;
-    let m = args
-        .opt::<usize>("m", "a processor count")?
-        .or(inst.file_m);
+    let m = args.opt::<usize>("m", "a processor count")?.or(inst.file_m);
     if let Some(m) = m {
         let res = Csp2Solver::new(&inst.taskset, m)?
             .with_order(TaskOrder::DeadlineMinusWcet)
@@ -301,13 +260,84 @@ pub fn cmd_prob(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mgrts portfolio <instance> [--m N] [--solvers a,b,c] [--time-ms T]
+/// [--gantt] [--json]` — race a roster of engines with cooperative
+/// cancellation; report the winner and per-backend stats.
+pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args.positional(0, "instance")?)?;
+    let m = resolve_m(args, inst.file_m)?;
+    let order = parse_order(args)?;
+    let roster: Vec<Box<dyn FeasibilitySolver>> = match args.opt_str("solvers") {
+        None => SolverSpec::DEFAULT_PORTFOLIO
+            .iter()
+            .map(|s| s.build())
+            .collect(),
+        Some(list) => {
+            let mut roster = Vec::new();
+            for name in list.split(',').filter(|s| !s.is_empty()) {
+                // `csp2` honours --order, exactly like `solve --solver csp2`.
+                roster.push(resolve_engine(name, order)?);
+            }
+            if roster.is_empty() {
+                return Err(CliError::Other("--solvers lists no solver".into()));
+            }
+            roster
+        }
+    };
+    let budget = Budget {
+        time: time_budget(args)?,
+        ..Budget::unlimited()
+    };
+    let race = portfolio::race(&roster, &inst.taskset, m, &budget)?;
+
+    let mut out = String::new();
+    match &race.result.verdict {
+        Verdict::Feasible(s) => {
+            out.push_str("FEASIBLE\n");
+            if args.switch("json") {
+                out.push_str(&serde_json::to_string(s).expect("schedule serializes"));
+                out.push('\n');
+            }
+            if args.switch("gantt") {
+                out.push_str(&rt_sim::render_schedule(s));
+            }
+        }
+        Verdict::Infeasible => out.push_str("INFEASIBLE\n"),
+        Verdict::Unknown(r) => out.push_str(&format!("UNKNOWN ({r:?})\n")),
+    }
+    match race.winner_name() {
+        Some(name) => out.push_str(&format!("winner: {name}\n")),
+        None => out.push_str("winner: none (no definitive verdict)\n"),
+    }
+    out.push_str(&format!(
+        "race wall-clock: {:?}\n",
+        Duration::from_micros(race.elapsed_us)
+    ));
+    out.push_str(&format!(
+        "{:<14} {:<22} {:>10} {:>10} {:>12}\n",
+        "backend", "outcome", "decisions", "failures", "elapsed"
+    ));
+    for b in &race.backends {
+        let stats = b.stats();
+        out.push_str(&format!(
+            "{:<14} {:<22} {:>10} {:>10} {:>12}\n",
+            format!("{}{}", b.name, if b.winner { " *" } else { "" }),
+            b.outcome_label(),
+            stats.decisions,
+            stats.failures,
+            format!("{:?}", stats.elapsed()),
+        ));
+    }
+    Ok(out)
+}
+
 /// `mgrts verify <instance> --schedule <schedule.json> [--m N]`
 pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args.positional(0, "instance")?)?;
     let sched_path: String = args.req("schedule", "a schedule file")?;
     let text = std::fs::read_to_string(&sched_path)?;
-    let schedule: mgrts_core::Schedule = serde_json::from_str(&text)
-        .map_err(|e| CliError::Parse(format!("schedule file: {e}")))?;
+    let schedule: mgrts_core::Schedule =
+        serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("schedule file: {e}")))?;
     let m = args
         .opt::<usize>("m", "a processor count")?
         .or(inst.file_m)
@@ -337,6 +367,9 @@ pub fn usage() -> String {
        prob <instance>      probabilistic execution-time analysis [--m N]\n\
                             [--overrun-p P] [--overrun-factor F] [--rounds R]\n\
        verify <instance>    check a schedule file against C1-C4 --schedule FILE\n\
+       portfolio <instance> race engines in parallel; first definitive verdict wins\n\
+                            [--m N] [--solvers csp1,csp2-dc,sat,...] [--time-ms T]\n\
+                            [--gantt] [--json]\n\
      \n\
      Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
      or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"
@@ -365,6 +398,7 @@ pub fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "min-m" => cmd_min_m(args),
         "gantt" => cmd_gantt(args),
         "prob" => cmd_prob(args),
+        "portfolio" => cmd_portfolio(args),
         "verify" => cmd_verify(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Other(format!(

@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(parse_instance("[1,2,3]"), Err(CliError::Parse(_))));
-        assert!(matches!(parse_instance("not json"), Err(CliError::Parse(_))));
+        assert!(matches!(
+            parse_instance("not json"),
+            Err(CliError::Parse(_))
+        ));
     }
 
     #[test]

@@ -36,7 +36,15 @@ fn solve_every_solver_on_the_running_example() {
     let dir = tmpdir("solve");
     let file = example_file(&dir);
     let path = file.to_str().unwrap();
-    for solver in ["csp1", "csp2", "csp2-generic", "sat", "local", "local-tabu", "local-sa"] {
+    for solver in [
+        "csp1",
+        "csp2",
+        "csp2-generic",
+        "sat",
+        "local",
+        "local-tabu",
+        "local-sa",
+    ] {
         let out = run_command("solve", &args(&[path, "--m", "2", "--solver", solver])).unwrap();
         assert!(out.starts_with("FEASIBLE"), "{solver}: {out}");
     }
@@ -83,7 +91,9 @@ fn analyze_prints_report() {
 fn generate_then_solve_roundtrip() {
     let generated = run_command(
         "generate",
-        &args(&["--n", "4", "--tmax", "4", "--count", "3", "--seed", "9", "--m", "2"]),
+        &args(&[
+            "--n", "4", "--tmax", "4", "--count", "3", "--seed", "9", "--m", "2",
+        ]),
     )
     .unwrap();
     let lines: Vec<&str> = generated.trim().lines().collect();
@@ -105,7 +115,9 @@ fn generate_then_solve_roundtrip() {
 fn generate_auto_m_uses_utilization_bound() {
     let out = run_command(
         "generate",
-        &args(&["--n", "5", "--tmax", "5", "--m", "auto", "--count", "4", "--seed", "2"]),
+        &args(&[
+            "--n", "5", "--tmax", "5", "--m", "auto", "--count", "4", "--seed", "2",
+        ]),
     )
     .unwrap();
     for line in out.trim().lines() {
@@ -147,7 +159,10 @@ fn gantt_shows_intervals() {
     let file = example_file(&dir);
     let out = run_command("gantt", &args(&[file.to_str().unwrap()])).unwrap();
     // Figure 1 content: three task rows over H = 12.
-    assert!(out.contains("τ1") || out.contains("t1") || out.contains("T1"), "{out}");
+    assert!(
+        out.contains("τ1") || out.contains("t1") || out.contains("T1"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -215,4 +230,59 @@ fn missing_m_is_a_clear_error() {
     let file = example_file(&dir);
     let err = run_command("solve", &args(&[file.to_str().unwrap()])).unwrap_err();
     assert!(err.to_string().contains("--m"), "{err}");
+}
+
+#[test]
+fn portfolio_races_default_roster() {
+    let dir = tmpdir("portfolio");
+    let file = example_file(&dir);
+    let path = file.to_str().unwrap();
+    let out = run_command("portfolio", &args(&[path, "--m", "2"])).unwrap();
+    assert!(out.starts_with("FEASIBLE"), "{out}");
+    assert!(out.contains("winner: "), "{out}");
+    // Per-backend stats table lists the whole default roster.
+    for name in ["csp2-dc", "csp1", "sat", "csp2-generic", "local"] {
+        assert!(out.contains(name), "missing backend {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn portfolio_with_explicit_roster_and_infeasible_instance() {
+    let dir = tmpdir("portfolio-roster");
+    let path = dir.join("overload.json");
+    std::fs::write(
+        &path,
+        r#"{"tasks":[
+            {"offset":0,"wcet":1,"deadline":1,"period":2},
+            {"offset":0,"wcet":1,"deadline":1,"period":2},
+            {"offset":0,"wcet":1,"deadline":1,"period":2}
+        ]}"#,
+    )
+    .unwrap();
+    let out = run_command(
+        "portfolio",
+        &args(&[
+            path.to_str().unwrap(),
+            "--m",
+            "2",
+            "--solvers",
+            "csp1,csp2-dc,sat",
+        ]),
+    )
+    .unwrap();
+    assert!(out.starts_with("INFEASIBLE"), "{out}");
+    assert!(out.contains("winner: "), "{out}");
+    assert!(out.contains("csp2-dc"), "{out}");
+}
+
+#[test]
+fn portfolio_rejects_unknown_solver_name() {
+    let dir = tmpdir("portfolio-bad");
+    let file = example_file(&dir);
+    let err = run_command(
+        "portfolio",
+        &args(&[file.to_str().unwrap(), "--m", "2", "--solvers", "quantum"]),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CliError::Other(_)), "{err:?}");
 }

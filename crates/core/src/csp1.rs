@@ -21,11 +21,21 @@
 
 use std::time::Duration;
 
-use csp_engine::{Budget, Constraint, Model, Outcome, SolverConfig, VarId};
+use csp_engine::{Budget, Constraint, LimitReason, Model, Outcome, SolverConfig, VarId};
 use rt_task::{JobId, JobInstants, TaskError, TaskId, TaskSet, Time};
 
+use crate::engine::CancelToken;
 use crate::schedule::Schedule;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
+
+/// Map a generic-engine stop reason onto the solver-facing one.
+pub(crate) fn stop_reason(limit: LimitReason) -> StopReason {
+    match limit {
+        LimitReason::Time => StopReason::TimeLimit,
+        LimitReason::Decisions | LimitReason::Failures => StopReason::DecisionLimit,
+        LimitReason::Interrupted => StopReason::Cancelled,
+    }
+}
 
 /// Default refusal threshold: models beyond this many boolean cells are not
 /// built (≈ a few hundred MB of solver state, the regime where the paper's
@@ -39,6 +49,8 @@ pub struct Csp1Config {
     pub seed: u64,
     /// Wall-clock budget.
     pub time: Option<Duration>,
+    /// Decision budget for the generic search.
+    pub max_decisions: Option<u64>,
     /// Encoding size guard (boolean cell count `n·m·H`).
     pub max_cells: u64,
 }
@@ -48,6 +60,7 @@ impl Default for Csp1Config {
         Csp1Config {
             seed: 1,
             time: None,
+            max_decisions: None,
             max_cells: DEFAULT_MAX_CELLS,
         }
     }
@@ -155,6 +168,17 @@ pub fn decode(layout: &Csp1Layout, solution: &[i32]) -> Schedule {
 /// Encode and solve with the generic randomized engine — the full CSP1
 /// pipeline of the paper's experiments.
 pub fn solve_csp1(ts: &TaskSet, m: usize, cfg: &Csp1Config) -> Result<SolveResult, TaskError> {
+    solve_csp1_cancellable(ts, m, cfg, &CancelToken::new())
+}
+
+/// [`solve_csp1`] with cooperative cancellation: `cancel` is polled at the
+/// engine's budget checkpoints.
+pub fn solve_csp1_cancellable(
+    ts: &TaskSet,
+    m: usize,
+    cfg: &Csp1Config,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     // Size guard first, so huge instances fail fast and cleanly.
     let ji = JobInstants::new(ts)?;
     let cells = ts.len() as u64 * m as u64 * ji.hyperperiod();
@@ -166,10 +190,13 @@ pub fn solve_csp1(ts: &TaskSet, m: usize, cfg: &Csp1Config) -> Result<SolveResul
     }
     let (model, layout) = encode(ts, m)?;
     let mut solver_cfg = SolverConfig::generic_randomized(cfg.seed);
-    if let Some(t) = cfg.time {
-        solver_cfg = solver_cfg.with_budget(Budget::time_limit(t));
-    }
+    solver_cfg = solver_cfg.with_budget(Budget {
+        time: cfg.time,
+        max_decisions: cfg.max_decisions,
+        max_failures: None,
+    });
     let mut solver = model.into_solver(solver_cfg);
+    solver.set_interrupt(cancel.as_flag());
     let outcome = solver.solve();
     let engine_stats = solver.stats();
     let stats = SolveStats {
@@ -180,7 +207,7 @@ pub fn solve_csp1(ts: &TaskSet, m: usize, cfg: &Csp1Config) -> Result<SolveResul
     let verdict = match outcome {
         Outcome::Sat(sol) => Verdict::Feasible(decode(&layout, &sol)),
         Outcome::Unsat => Verdict::Infeasible,
-        Outcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+        Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
     Ok(SolveResult { verdict, stats })
 }
@@ -239,10 +266,7 @@ mod tests {
             ..Csp1Config::default()
         };
         let res = solve_csp1(&ts, 2, &cfg).unwrap();
-        assert_eq!(
-            res.verdict,
-            Verdict::Unknown(StopReason::EncodingTooLarge)
-        );
+        assert_eq!(res.verdict, Verdict::Unknown(StopReason::EncodingTooLarge));
     }
 
     #[test]

@@ -31,12 +31,24 @@
 
 use std::time::Duration;
 
-use rt_sat::{at_most_one, exactly_k, AmoEncoding, Cnf, Lit, SatConfig, SatOutcome, SatSolver};
+use rt_sat::{
+    at_most_one, exactly_k, AmoEncoding, Cnf, Lit, SatConfig, SatLimit, SatOutcome, SatSolver,
+};
 use rt_task::{JobId, JobInstants, TaskError, TaskSet};
 
 use crate::csp1::{Csp1Layout, DEFAULT_MAX_CELLS};
+use crate::engine::CancelToken;
 use crate::schedule::Schedule;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
+
+/// Map a CDCL stop reason onto the solver-facing one.
+pub(crate) fn sat_stop_reason(limit: SatLimit) -> StopReason {
+    match limit {
+        SatLimit::Time => StopReason::TimeLimit,
+        SatLimit::Conflicts => StopReason::DecisionLimit,
+        SatLimit::Interrupted => StopReason::Cancelled,
+    }
+}
 
 /// Configuration for the SAT route.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +79,11 @@ impl Default for Csp1SatConfig {
 /// Returns the formula and the variable layout shared with the engine
 /// route; the formula's variables `0..layout.cells()` are exactly the
 /// `x_{i,j}(t)` grid (auxiliaries follow).
-pub fn encode_cnf(ts: &TaskSet, m: usize, amo: AmoEncoding) -> Result<(Cnf, Csp1Layout), TaskError> {
+pub fn encode_cnf(
+    ts: &TaskSet,
+    m: usize,
+    amo: AmoEncoding,
+) -> Result<(Cnf, Csp1Layout), TaskError> {
     let ji = JobInstants::new(ts)?;
     let h = ji.hyperperiod();
     let n = ts.len();
@@ -156,6 +172,17 @@ pub fn solve_csp1_sat(
     m: usize,
     cfg: &Csp1SatConfig,
 ) -> Result<SolveResult, TaskError> {
+    solve_csp1_sat_cancellable(ts, m, cfg, &CancelToken::new())
+}
+
+/// [`solve_csp1_sat`] with cooperative cancellation: `cancel` is polled in
+/// the CDCL propagation loop.
+pub fn solve_csp1_sat_cancellable(
+    ts: &TaskSet,
+    m: usize,
+    cfg: &Csp1SatConfig,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     let ji = JobInstants::new(ts)?;
     let cells = ts.len() as u64 * m as u64 * ji.hyperperiod();
     if cells > cfg.max_cells {
@@ -175,6 +202,7 @@ pub fn solve_csp1_sat(
         ..SatConfig::default()
     };
     let mut solver = SatSolver::new(&cnf, sat_cfg);
+    solver.set_interrupt(cancel.as_flag());
     let outcome = solver.solve();
     let st = solver.stats();
     let stats = SolveStats {
@@ -185,7 +213,7 @@ pub fn solve_csp1_sat(
     let verdict = match outcome {
         SatOutcome::Sat(model) => Verdict::Feasible(decode_model(&layout, &model)),
         SatOutcome::Unsat => Verdict::Infeasible,
-        SatOutcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+        SatOutcome::Unknown(limit) => Verdict::Unknown(sat_stop_reason(limit)),
     };
     Ok(SolveResult { verdict, stats })
 }

@@ -20,7 +20,8 @@ use rt_sat::{at_most_one, pb_exactly, AmoEncoding, Cnf, Lit, SatConfig, SatOutco
 use rt_task::{JobId, JobInstants, TaskError, TaskSet};
 
 use crate::csp1::{Csp1Layout, DEFAULT_MAX_CELLS};
-use crate::csp1_sat::decode_model;
+use crate::csp1_sat::{decode_model, sat_stop_reason};
+use crate::engine::CancelToken;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
 
 /// Configuration for the heterogeneous SAT route.
@@ -128,6 +129,16 @@ pub fn solve_hetero_sat(
     platform: &Platform,
     cfg: &HeteroSatConfig,
 ) -> Result<SolveResult, TaskError> {
+    solve_hetero_sat_cancellable(ts, platform, cfg, &CancelToken::new())
+}
+
+/// [`solve_hetero_sat`] with cooperative cancellation.
+pub fn solve_hetero_sat_cancellable(
+    ts: &TaskSet,
+    platform: &Platform,
+    cfg: &HeteroSatConfig,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     let ji = JobInstants::new(ts)?;
     let cells = ts.len() as u64 * platform.num_processors() as u64 * ji.hyperperiod();
     if cells > cfg.max_cells {
@@ -144,6 +155,7 @@ pub fn solve_hetero_sat(
         ..SatConfig::default()
     };
     let mut solver = SatSolver::new(&cnf, sat_cfg);
+    solver.set_interrupt(cancel.as_flag());
     let outcome = solver.solve();
     let st = solver.stats();
     let stats = SolveStats {
@@ -154,7 +166,7 @@ pub fn solve_hetero_sat(
     let verdict = match outcome {
         SatOutcome::Sat(model) => Verdict::Feasible(decode_model(&layout, &model)),
         SatOutcome::Unsat => Verdict::Infeasible,
-        SatOutcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+        SatOutcome::Unknown(limit) => Verdict::Unknown(sat_stop_reason(limit)),
     };
     Ok(SolveResult { verdict, stats })
 }

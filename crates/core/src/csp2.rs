@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use rt_task::{JobId, JobInstants, TaskError, TaskId, TaskSet, Time};
 
+use crate::engine::CancelToken;
 use crate::heuristics::TaskOrder;
 use crate::schedule::Schedule;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
@@ -47,6 +48,7 @@ pub struct Csp2Solver<'a> {
     ji: JobInstants,
     order: TaskOrder,
     budget: Csp2Budget,
+    cancel: CancelToken,
 }
 
 impl<'a> Csp2Solver<'a> {
@@ -62,6 +64,7 @@ impl<'a> Csp2Solver<'a> {
             ji,
             order: TaskOrder::default(),
             budget: Csp2Budget::default(),
+            cancel: CancelToken::new(),
         })
     }
 
@@ -76,6 +79,14 @@ impl<'a> Csp2Solver<'a> {
     #[must_use]
     pub fn with_budget(mut self, budget: Csp2Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Install a cooperative cancellation token (builder style), polled at
+    /// the same amortized cadence as the wall-clock budget.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -292,6 +303,9 @@ impl<'s, 'a> Search<'s, 'a> {
             // Budget checks: the time syscall is amortized over iterations.
             iter += 1;
             if iter % 1024 == 1 {
+                if self.solver.cancel.is_cancelled() {
+                    break Verdict::Unknown(StopReason::Cancelled);
+                }
                 if let Some(limit) = self.solver.budget.time {
                     if start.elapsed() >= limit {
                         break Verdict::Unknown(StopReason::TimeLimit);
@@ -469,12 +483,7 @@ mod tests {
     #[test]
     fn decision_budget_reports_unknown() {
         // A moderately hard instance with a 1-decision budget.
-        let ts = TaskSet::from_ocdt(&[
-            (0, 1, 2, 2),
-            (1, 3, 4, 4),
-            (0, 2, 2, 3),
-            (0, 1, 3, 4),
-        ]);
+        let ts = TaskSet::from_ocdt(&[(0, 1, 2, 2), (1, 3, 4, 4), (0, 2, 2, 3), (0, 1, 3, 4)]);
         let res = Csp2Solver::new(&ts, 2)
             .unwrap()
             .with_budget(Csp2Budget {

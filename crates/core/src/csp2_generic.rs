@@ -29,8 +29,10 @@ use std::time::Duration;
 use csp_engine::{Budget, Constraint, Model, Outcome, SolverConfig, VarId, VarOrder};
 use rt_task::{JobId, JobInstants, TaskError, TaskId, TaskSet, Time};
 
+use crate::csp1::stop_reason;
+use crate::engine::CancelToken;
 use crate::schedule::Schedule;
-use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
+use crate::solve::{SolveResult, SolveStats, Verdict};
 
 /// Configuration for the generic CSP2 solve.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,8 @@ pub struct Csp2GenericConfig {
     pub chronological: bool,
     /// Wall-clock budget.
     pub time: Option<Duration>,
+    /// Decision budget.
+    pub max_decisions: Option<u64>,
     /// RNG seed (only relevant without `chronological`).
     pub seed: u64,
 }
@@ -52,6 +56,7 @@ impl Default for Csp2GenericConfig {
             symmetry_breaking: true,
             chronological: true,
             time: None,
+            max_decisions: None,
             seed: 1,
         }
     }
@@ -161,6 +166,16 @@ pub fn solve_csp2_generic(
     m: usize,
     cfg: &Csp2GenericConfig,
 ) -> Result<SolveResult, TaskError> {
+    solve_csp2_generic_cancellable(ts, m, cfg, &CancelToken::new())
+}
+
+/// [`solve_csp2_generic`] with cooperative cancellation.
+pub fn solve_csp2_generic_cancellable(
+    ts: &TaskSet,
+    m: usize,
+    cfg: &Csp2GenericConfig,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     let (model, layout) = encode(ts, m, cfg.symmetry_breaking)?;
     let mut solver_cfg = if cfg.chronological {
         SolverConfig {
@@ -170,10 +185,13 @@ pub fn solve_csp2_generic(
     } else {
         SolverConfig::generic_randomized(cfg.seed)
     };
-    if let Some(t) = cfg.time {
-        solver_cfg = solver_cfg.with_budget(Budget::time_limit(t));
-    }
+    solver_cfg = solver_cfg.with_budget(Budget {
+        time: cfg.time,
+        max_decisions: cfg.max_decisions,
+        max_failures: None,
+    });
     let mut solver = model.into_solver(solver_cfg);
+    solver.set_interrupt(cancel.as_flag());
     let outcome = solver.solve();
     let st = solver.stats();
     let stats = SolveStats {
@@ -184,7 +202,7 @@ pub fn solve_csp2_generic(
     let verdict = match outcome {
         Outcome::Sat(sol) => Verdict::Feasible(decode(&layout, &sol)),
         Outcome::Unsat => Verdict::Infeasible,
-        Outcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+        Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
     Ok(SolveResult { verdict, stats })
 }

@@ -31,7 +31,8 @@ use csp_engine::{Budget, Constraint, Model, Outcome, SolverConfig};
 use rt_platform::{identical_groups, quality_order, Platform};
 use rt_task::{JobId, JobInstants, TaskError, TaskId, TaskSet, Time};
 
-use crate::csp1::Csp1Layout;
+use crate::csp1::{stop_reason, Csp1Layout};
+use crate::engine::CancelToken;
 use crate::heuristics::TaskOrder;
 use crate::schedule::Schedule;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
@@ -102,12 +103,24 @@ pub fn solve_csp1_hetero(
     time: Option<Duration>,
     seed: u64,
 ) -> Result<SolveResult, TaskError> {
+    solve_csp1_hetero_cancellable(ts, platform, time, seed, &CancelToken::new())
+}
+
+/// [`solve_csp1_hetero`] with cooperative cancellation.
+pub fn solve_csp1_hetero_cancellable(
+    ts: &TaskSet,
+    platform: &Platform,
+    time: Option<Duration>,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     let (model, layout) = encode_csp1(ts, platform)?;
     let mut cfg = SolverConfig::generic_randomized(seed);
     if let Some(t) = time {
         cfg = cfg.with_budget(Budget::time_limit(t));
     }
     let mut solver = model.into_solver(cfg);
+    solver.set_interrupt(cancel.as_flag());
     let outcome = solver.solve();
     let st = solver.stats();
     let stats = SolveStats {
@@ -118,7 +131,7 @@ pub fn solve_csp1_hetero(
     let verdict = match outcome {
         Outcome::Sat(sol) => Verdict::Feasible(crate::csp1::decode(&layout, &sol)),
         Outcome::Unsat => Verdict::Infeasible,
-        Outcome::Unknown(_) => Verdict::Unknown(StopReason::TimeLimit),
+        Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
     Ok(SolveResult { verdict, stats })
 }
@@ -157,9 +170,19 @@ pub fn solve_csp2_hetero(
     platform: &Platform,
     cfg: &Csp2HeteroConfig,
 ) -> Result<SolveResult, TaskError> {
+    solve_csp2_hetero_cancellable(ts, platform, cfg, &CancelToken::new())
+}
+
+/// [`solve_csp2_hetero`] with cooperative cancellation.
+pub fn solve_csp2_hetero_cancellable(
+    ts: &TaskSet,
+    platform: &Platform,
+    cfg: &Csp2HeteroConfig,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     assert_eq!(platform.num_tasks(), ts.len(), "rate matrix row count");
     let ji = JobInstants::new(ts)?;
-    Ok(HeteroSearch::new(ts, platform, ji, cfg).run())
+    Ok(HeteroSearch::new(ts, platform, ji, cfg, cancel.clone()).run())
 }
 
 struct HeteroSearch<'a> {
@@ -186,6 +209,7 @@ struct HeteroSearch<'a> {
     stack: Vec<HChoice>,
     cur_slot: usize,
     stats: SolveStats,
+    cancel: CancelToken,
 }
 
 struct HChoice {
@@ -198,7 +222,13 @@ struct HChoice {
 const IDLE_CAND: usize = usize::MAX;
 
 impl<'a> HeteroSearch<'a> {
-    fn new(ts: &TaskSet, platform: &'a Platform, ji: JobInstants, cfg: &Csp2HeteroConfig) -> Self {
+    fn new(
+        ts: &TaskSet,
+        platform: &'a Platform,
+        ji: JobInstants,
+        cfg: &Csp2HeteroConfig,
+        cancel: CancelToken,
+    ) -> Self {
         let n = ts.len();
         let m = platform.num_processors();
         let h = ji.hyperperiod();
@@ -241,6 +271,7 @@ impl<'a> HeteroSearch<'a> {
             stack: Vec::new(),
             cur_slot: 0,
             stats: SolveStats::default(),
+            cancel,
             ji,
         }
     }
@@ -280,14 +311,14 @@ impl<'a> HeteroSearch<'a> {
         // eq. (13): lower bound on rank within an identical group.
         let group_floor: Option<usize> = (visit_j > 0
             && self.group_of_visit[visit_j] == self.group_of_visit[visit_j - 1])
-        .then(|| {
-            let prev = self.grid[slot - 1];
-            if prev < 0 {
-                usize::MAX // previous identical processor idles → so do we
-            } else {
-                self.rank[prev as usize]
-            }
-        });
+            .then(|| {
+                let prev = self.grid[slot - 1];
+                if prev < 0 {
+                    usize::MAX // previous identical processor idles → so do we
+                } else {
+                    self.rank[prev as usize]
+                }
+            });
         if group_floor == Some(usize::MAX) {
             return Some(vec![IDLE_CAND]);
         }
@@ -395,6 +426,9 @@ impl<'a> HeteroSearch<'a> {
         let verdict = loop {
             iter += 1;
             if iter % 1024 == 1 {
+                if self.cancel.is_cancelled() {
+                    break Verdict::Unknown(StopReason::Cancelled);
+                }
                 if let Some(limit) = self.cfg.time {
                     if start.elapsed() >= limit {
                         break Verdict::Unknown(StopReason::TimeLimit);

@@ -108,13 +108,19 @@ mod tests {
     #[test]
     fn deadline_monotonic_breaks_ties_by_id() {
         // deadlines 2, 4, 2 → tasks 0 and 2 tie → 0, 2, 1.
-        assert_eq!(TaskOrder::DeadlineMonotonic.priorities(&ts()), vec![0, 2, 1]);
+        assert_eq!(
+            TaskOrder::DeadlineMonotonic.priorities(&ts()),
+            vec![0, 2, 1]
+        );
     }
 
     #[test]
     fn slack_heuristics() {
         // D−C = 1, 1, 0 → task 2 first, then 0, 1 (tie by id).
-        assert_eq!(TaskOrder::DeadlineMinusWcet.priorities(&ts()), vec![2, 0, 1]);
+        assert_eq!(
+            TaskOrder::DeadlineMinusWcet.priorities(&ts()),
+            vec![2, 0, 1]
+        );
         // T−C = 1, 5, 1 → 0, 2 (tie), then 1.
         assert_eq!(TaskOrder::PeriodMinusWcet.priorities(&ts()), vec![0, 2, 1]);
     }

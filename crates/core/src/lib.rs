@@ -27,6 +27,11 @@
 //!   [`solve::solve_arbitrary_deadline`].
 //! * [`schedule`] / [`verify`] — the periodic schedule object of Theorem 1
 //!   and an independent checker of feasibility conditions C1–C4.
+//! * [`engine`] — the [`FeasibilitySolver`] trait unifying every backend
+//!   behind one `solve(ts, m, budget, cancel)` shape, with
+//!   [`engine::SolverSpec`] as the parseable factory.
+//! * [`portfolio`] — parallel racing of any solver roster with cooperative
+//!   cancellation: first definitive verdict wins, the rest are preempted.
 //! * [`minimal_m`] — the incremental minimum-processor search suggested in
 //!   Section VII-E.
 //! * [`minimal_m_sat`] — the same search made *incremental in the CDCL
@@ -57,16 +62,20 @@ pub mod csp1_sat;
 pub mod csp1_sat_hetero;
 pub mod csp2;
 pub mod csp2_generic;
+pub mod engine;
 pub mod hetero;
 pub mod heuristics;
 pub mod local_search;
 pub mod minimal_m;
 pub mod minimal_m_sat;
+pub mod portfolio;
 pub mod priority;
 pub mod schedule;
 pub mod solve;
 pub mod verify;
 
+pub use engine::{Budget, CancelToken, FeasibilitySolver, PlatformSpec, SolverSpec};
+pub use portfolio::{race, race_on, BackendReport, PortfolioResult};
 pub use schedule::Schedule;
 pub use solve::{SolveResult, SolveStats, Verdict};
 pub use verify::VerifyError;

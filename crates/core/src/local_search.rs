@@ -25,13 +25,14 @@
 //! [`Verdict::Unknown`] when the iteration budget runs out, never
 //! `Infeasible`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use rt_task::{JobId, JobInstants, TaskError, TaskSet, Time};
 
+use crate::engine::CancelToken;
 use crate::schedule::Schedule;
 use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
 
@@ -68,6 +69,8 @@ pub struct LocalSearchConfig {
     pub seed: u64,
     /// Neighbourhood strategy.
     pub strategy: LsStrategy,
+    /// Wall-clock budget (`None` = unlimited).
+    pub time: Option<Duration>,
 }
 
 impl Default for LocalSearchConfig {
@@ -77,6 +80,7 @@ impl Default for LocalSearchConfig {
             restart_after: 5_000,
             seed: 1,
             strategy: LsStrategy::MinConflicts,
+            time: None,
         }
     }
 }
@@ -178,7 +182,11 @@ impl State {
         let u = self.units[idx];
         self.occ[u.t as usize * self.m + u.proc] -= 1;
         self.par[self.jobs[u.job].task * self.h as usize + u.t as usize] -= 1;
-        let nu = Unit { job: u.job, t, proc };
+        let nu = Unit {
+            job: u.job,
+            t,
+            proc,
+        };
         self.occ[t as usize * self.m + proc] += 1;
         self.par[self.jobs[u.job].task * self.h as usize + t as usize] += 1;
         self.units[idx] = nu;
@@ -235,6 +243,17 @@ pub fn solve_local_search(
     m: usize,
     cfg: &LocalSearchConfig,
 ) -> Result<SolveResult, TaskError> {
+    solve_local_search_cancellable(ts, m, cfg, &CancelToken::new())
+}
+
+/// [`solve_local_search`] with cooperative cancellation (polled every 512
+/// moves, alongside the wall-clock budget).
+pub fn solve_local_search_cancellable(
+    ts: &TaskSet,
+    m: usize,
+    cfg: &LocalSearchConfig,
+    cancel: &CancelToken,
+) -> Result<SolveResult, TaskError> {
     let ji = JobInstants::new(ts)?;
     let start = Instant::now();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -251,6 +270,24 @@ pub fn solve_local_search(
     };
 
     for it in 0..cfg.max_iters {
+        if it % 512 == 0 {
+            if cancel.is_cancelled() {
+                stats.decisions = it;
+                stats.elapsed_us = start.elapsed().as_micros() as u64;
+                return Ok(SolveResult {
+                    verdict: Verdict::Unknown(StopReason::Cancelled),
+                    stats,
+                });
+            }
+            if cfg.time.is_some_and(|limit| start.elapsed() >= limit) {
+                stats.decisions = it;
+                stats.elapsed_us = start.elapsed().as_micros() as u64;
+                return Ok(SolveResult {
+                    verdict: Verdict::Unknown(StopReason::TimeLimit),
+                    stats,
+                });
+            }
+        }
         let total = state.total_conflicts();
         if total == 0 {
             stats.decisions = it;
@@ -296,9 +333,7 @@ pub fn solve_local_search(
                 for (t, proc) in candidate_targets(&state, u) {
                     let cost = target_cost(&state, u, t, proc);
                     if tenure > 0 {
-                        let is_tabu = tabu
-                            .get(&(u.job, t, proc))
-                            .is_some_and(|&until| it < until);
+                        let is_tabu = tabu.get(&(u.job, t, proc)).is_some_and(|&until| it < until);
                         // Aspiration: a move that reaches a new global
                         // best overrides its tabu status.
                         let aspires = u64::from(cost) < best;
@@ -335,8 +370,7 @@ pub fn solve_local_search(
                     let new = target_cost(&state, u, t, proc);
                     let delta = f64::from(new) - f64::from(old);
                     let accept = delta <= 0.0
-                        || (temperature > 0.0
-                            && rng.gen::<f64>() < (-delta / temperature).exp());
+                        || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
                     if accept {
                         state.move_unit(idx, t, proc);
                     }

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use rt_task::{TaskError, TaskSet};
 
-use crate::csp2::{Csp2Budget, Csp2Solver};
+use crate::engine::{Budget, CancelToken, Csp2Engine, FeasibilitySolver};
 use crate::heuristics::TaskOrder;
 use crate::solve::{SolveResult, Verdict};
 
@@ -27,27 +27,39 @@ pub struct MinimalMResult {
     pub probes: Vec<(usize, SolveResult)>,
 }
 
-/// Scan `m = mmin, mmin+1, …, n` with the CSP2 solver until feasible.
-///
-/// `per_probe_time` bounds each individual solve; a probe that times out
-/// aborts the scan with `minimal_m = None` (monotonicity cannot be invoked
-/// on an unknown verdict).
+/// Scan `m = mmin, mmin+1, …, n` with the CSP2 solver (under `order`)
+/// until feasible — the historical entry point, now a thin wrapper over
+/// [`minimal_processors_with`].
 pub fn minimal_processors(
     ts: &TaskSet,
     order: TaskOrder,
     per_probe_time: Option<Duration>,
 ) -> Result<MinimalMResult, TaskError> {
+    minimal_processors_with(ts, &Csp2Engine { order }, per_probe_time)
+}
+
+/// Scan `m = mmin, mmin+1, …, n` with **any** engine until feasible.
+///
+/// `per_probe_time` bounds each individual solve; a probe that stops
+/// without a verdict aborts the scan with `minimal_m = None` (monotonicity
+/// cannot be invoked on an unknown verdict). Incomplete engines
+/// ([`FeasibilitySolver::is_exact`] `== false`) therefore abort at the
+/// first infeasible-looking probe, which the caller opted into.
+pub fn minimal_processors_with(
+    ts: &TaskSet,
+    solver: &dyn FeasibilitySolver,
+    per_probe_time: Option<Duration>,
+) -> Result<MinimalMResult, TaskError> {
     let mut probes = Vec::new();
     let lo = ts.min_processors();
     let hi = ts.len().max(lo);
+    let budget = Budget {
+        time: per_probe_time,
+        ..Budget::unlimited()
+    };
+    let cancel = CancelToken::new();
     for m in lo..=hi {
-        let res = Csp2Solver::new(ts, m)?
-            .with_order(order)
-            .with_budget(Csp2Budget {
-                time: per_probe_time,
-                max_decisions: None,
-            })
-            .solve();
+        let res = solver.solve(ts, m, &budget, &cancel)?;
         let verdict = res.verdict.clone();
         probes.push((m, res));
         match verdict {

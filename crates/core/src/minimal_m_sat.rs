@@ -158,8 +158,7 @@ mod tests {
         );
         for p in gen.batch(40) {
             let sat = minimal_m_sat(&p.taskset, SatConfig::default()).unwrap();
-            let csp2 =
-                minimal_processors(&p.taskset, TaskOrder::DeadlineMinusWcet, None).unwrap();
+            let csp2 = minimal_processors(&p.taskset, TaskOrder::DeadlineMinusWcet, None).unwrap();
             assert_eq!(
                 sat.minimal_m, csp2.minimal_m,
                 "SAT vs CSP2 minimal-m disagree on seed {}",

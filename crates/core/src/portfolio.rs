@@ -1,0 +1,370 @@
+//! Parallel solver portfolio: race backends, first definitive verdict wins.
+//!
+//! The paper's Table I compares six solver configurations *sequentially*;
+//! on a multicore host the natural production shape is to race them. This
+//! module runs any roster of [`FeasibilitySolver`]s on scoped threads over
+//! the same instance:
+//!
+//! * every backend polls one shared [`CancelToken`]; the first thread to
+//!   deliver a **definitive** verdict (`Feasible` or `Infeasible`) raises
+//!   it, and the others stop at their next poll with
+//!   [`StopReason::Cancelled`];
+//! * any feasible schedule is re-verified against the independent C1–C4
+//!   checker before it can win — an invalid schedule is a solver bug and
+//!   panics loudly, exactly like the bench runner;
+//! * definitive verdicts are cross-checked: one backend proving `Feasible`
+//!   while another proves `Infeasible` is unsound and panics;
+//! * the reported winner is the backend whose verdict was *accepted
+//!   first* (arrival order, the portfolio semantics); the final verdict
+//!   itself is deterministic for exact backends because they must agree.
+//!
+//! Per-backend stats survive in [`PortfolioResult::backends`], so the racer
+//! doubles as a comparative measurement harness (`mgrts portfolio`,
+//! `benches/portfolio.rs`).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rt_task::{TaskError, TaskSet};
+
+use crate::engine::{Budget, CancelToken, FeasibilitySolver, PlatformSpec};
+use crate::solve::{SolveResult, SolveStats, StopReason, Verdict};
+use crate::verify::{check_heterogeneous, check_identical};
+
+/// One backend's contribution to a race.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Backend name ([`FeasibilitySolver::name`]).
+    pub name: String,
+    /// The backend's own result (`Unknown(Cancelled)` when preempted), or
+    /// the task-model error it raised.
+    pub result: Result<SolveResult, TaskError>,
+    /// Did this backend's verdict win the race?
+    pub winner: bool,
+}
+
+impl BackendReport {
+    /// Search counters (zeros when the backend errored out).
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.result.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
+    /// Compact outcome label for tables.
+    #[must_use]
+    pub fn outcome_label(&self) -> String {
+        match &self.result {
+            Ok(r) => match &r.verdict {
+                Verdict::Feasible(_) => "feasible".to_string(),
+                Verdict::Infeasible => "infeasible".to_string(),
+                Verdict::Unknown(StopReason::Cancelled) => "cancelled".to_string(),
+                Verdict::Unknown(reason) => format!("unknown ({reason:?})"),
+            },
+            Err(e) => format!("error ({e})"),
+        }
+    }
+}
+
+/// Outcome of a portfolio race.
+#[derive(Debug)]
+pub struct PortfolioResult {
+    /// Index into [`PortfolioResult::backends`] of the winning backend,
+    /// when some backend reached a definitive verdict.
+    pub winner: Option<usize>,
+    /// The race's overall result: the winner's, or the deterministically
+    /// first non-definitive result when nobody finished.
+    pub result: SolveResult,
+    /// Every backend's report, in roster order.
+    pub backends: Vec<BackendReport>,
+    /// Wall-clock time of the whole race, microseconds.
+    pub elapsed_us: u64,
+}
+
+impl PortfolioResult {
+    /// Name of the winning backend, if any.
+    #[must_use]
+    pub fn winner_name(&self) -> Option<&str> {
+        self.winner.map(|i| self.backends[i].name.as_str())
+    }
+}
+
+/// Race `roster` on `m` identical processors. See the module docs for the
+/// winning/cancellation semantics.
+pub fn race(
+    roster: &[Box<dyn FeasibilitySolver>],
+    ts: &TaskSet,
+    m: usize,
+    budget: &Budget,
+) -> Result<PortfolioResult, TaskError> {
+    race_on(roster, ts, &PlatformSpec::identical(m), budget)
+}
+
+/// Race `roster` on an arbitrary [`PlatformSpec`].
+pub fn race_on(
+    roster: &[Box<dyn FeasibilitySolver>],
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    budget: &Budget,
+) -> Result<PortfolioResult, TaskError> {
+    assert!(!roster.is_empty(), "portfolio roster must not be empty");
+    let start = Instant::now();
+    let cancel = CancelToken::new();
+    // Winner slot: first definitive verdict to arrive claims it under the
+    // lock and raises the shared token.
+    let winner: Mutex<Option<usize>> = Mutex::new(None);
+    let mut slots: Vec<Option<Result<SolveResult, TaskError>>> =
+        (0..roster.len()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for (i, (solver, slot)) in roster.iter().zip(slots.iter_mut()).enumerate() {
+            let cancel = cancel.clone();
+            let winner = &winner;
+            scope.spawn(move || {
+                let res = solver.solve_on(ts, spec, budget, &cancel);
+                if let Ok(r) = &res {
+                    let definitive = match &r.verdict {
+                        Verdict::Feasible(s) => {
+                            // Verify before the verdict may cancel others.
+                            match spec {
+                                PlatformSpec::Identical { m } => {
+                                    check_identical(ts, *m, s).unwrap_or_else(|e| {
+                                        panic!(
+                                            "portfolio backend {} returned invalid schedule: {e}",
+                                            solver.name()
+                                        )
+                                    });
+                                }
+                                PlatformSpec::Heterogeneous(p) => {
+                                    check_heterogeneous(ts, p, s).unwrap_or_else(|e| {
+                                        panic!(
+                                            "portfolio backend {} returned invalid schedule: {e}",
+                                            solver.name()
+                                        )
+                                    });
+                                }
+                            }
+                            true
+                        }
+                        Verdict::Infeasible => true,
+                        Verdict::Unknown(_) => false,
+                    };
+                    if definitive {
+                        let mut w = winner.lock().unwrap_or_else(|e| e.into_inner());
+                        if w.is_none() {
+                            *w = Some(i);
+                            cancel.cancel();
+                        }
+                    }
+                }
+                *slot = Some(res);
+            });
+        }
+    });
+
+    let mut backends: Vec<BackendReport> = roster
+        .iter()
+        .zip(slots)
+        .map(|(solver, slot)| BackendReport {
+            name: solver.name(),
+            result: slot.expect("every worker stores its result"),
+            winner: false,
+        })
+        .collect();
+
+    // Soundness cross-check: exact backends may never disagree.
+    let feasible_by = backends
+        .iter()
+        .position(|b| matches!(&b.result, Ok(r) if r.verdict.is_feasible()));
+    let infeasible_by = backends
+        .iter()
+        .position(|b| matches!(&b.result, Ok(r) if r.verdict.is_infeasible()));
+    if let (Some(f), Some(i)) = (feasible_by, infeasible_by) {
+        panic!(
+            "portfolio disagreement: {} proved feasible while {} proved infeasible",
+            backends[f].name, backends[i].name
+        );
+    }
+
+    let winner = *winner.lock().unwrap_or_else(|e| e.into_inner());
+    let result = match winner {
+        Some(i) => {
+            backends[i].winner = true;
+            backends[i]
+                .result
+                .clone()
+                .expect("winner stored a successful result")
+        }
+        None => {
+            // Nobody concluded. Propagate a task-model error if one
+            // occurred (it would have hit every backend identically);
+            // otherwise surface the first Unknown that actually *tried*
+            // (skipping Unsupported so a capable backend's TimeLimit is
+            // not masked), deterministically in roster order.
+            if let Some(err) = backends.iter().find_map(|b| b.result.as_ref().err()) {
+                return Err(err.clone());
+            }
+            let tried = backends.iter().find(|b| {
+                !matches!(
+                    &b.result,
+                    Ok(r) if r.verdict == Verdict::Unknown(StopReason::Unsupported)
+                )
+            });
+            tried
+                .unwrap_or(&backends[0])
+                .result
+                .clone()
+                .expect("no errors implies a result")
+        }
+    };
+
+    Ok(PortfolioResult {
+        winner,
+        result,
+        backends,
+        elapsed_us: start.elapsed().as_micros() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SolverSpec;
+    use std::time::Duration;
+
+    fn roster(specs: &[SolverSpec]) -> Vec<Box<dyn FeasibilitySolver>> {
+        specs.iter().map(|s| s.build()).collect()
+    }
+
+    #[test]
+    fn race_finds_the_running_example_feasible() {
+        let ts = TaskSet::running_example();
+        let r = race(
+            &roster(&SolverSpec::DEFAULT_PORTFOLIO),
+            &ts,
+            2,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(r.result.verdict.is_feasible());
+        let w = r.winner.expect("someone wins");
+        assert!(r.backends[w].winner);
+        assert_eq!(r.winner_name().unwrap(), r.backends[w].name);
+        assert_eq!(r.backends.len(), SolverSpec::DEFAULT_PORTFOLIO.len());
+    }
+
+    #[test]
+    fn race_proves_infeasibility() {
+        // Local search cannot prove it; the exact backends must.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let r = race(
+            &roster(&SolverSpec::DEFAULT_PORTFOLIO),
+            &ts,
+            2,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(r.result.verdict.is_infeasible());
+        let name = r.winner_name().unwrap();
+        assert!(
+            !name.starts_with("local"),
+            "{name} cannot prove infeasibility"
+        );
+    }
+
+    #[test]
+    fn cancellation_preempts_slow_backends() {
+        // A harder instance: whoever wins, every loser must have stopped —
+        // either with its own verdict or as Cancelled — and the race's
+        // elapsed time must stay near the winner's, not the sum.
+        let ts = TaskSet::from_ocdt(&[
+            (0, 1, 2, 2),
+            (1, 3, 4, 4),
+            (0, 2, 3, 3),
+            (0, 1, 3, 4),
+            (2, 1, 2, 6),
+        ]);
+        let r = race(
+            &roster(&SolverSpec::DEFAULT_PORTFOLIO),
+            &ts,
+            3,
+            &Budget::time_limit(Duration::from_secs(30)),
+        )
+        .unwrap();
+        assert!(r.winner.is_some());
+        for b in &r.backends {
+            let res = b.result.as_ref().unwrap();
+            match &res.verdict {
+                Verdict::Feasible(_) | Verdict::Infeasible => {}
+                Verdict::Unknown(reason) => {
+                    assert!(
+                        matches!(reason, StopReason::Cancelled | StopReason::DecisionLimit),
+                        "{}: unexpected stop {reason:?}",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_backend_roster_degenerates_to_plain_solve() {
+        let ts = TaskSet::running_example();
+        let r = race(
+            &roster(&[SolverSpec::Csp2(
+                crate::heuristics::TaskOrder::DeadlineMinusWcet,
+            )]),
+            &ts,
+            2,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(r.winner, Some(0));
+        assert!(r.result.verdict.is_feasible());
+    }
+
+    #[test]
+    fn hetero_race_through_platform_spec() {
+        let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3), (0, 2, 3, 3)]);
+        let platform = rt_platform::Platform::heterogeneous(vec![vec![2, 1], vec![1, 1]]).unwrap();
+        let spec = PlatformSpec::Heterogeneous(platform);
+        // Roster mixes hetero-capable and non-capable backends; the latter
+        // report Unsupported and cannot win.
+        let r = race_on(
+            &roster(&[
+                SolverSpec::Csp2(crate::heuristics::TaskOrder::DeadlineMinusWcet),
+                SolverSpec::Csp1,
+                SolverSpec::Csp1Sat,
+                SolverSpec::Csp2Generic,
+            ]),
+            &ts,
+            &spec,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert!(r.result.verdict.is_feasible());
+        assert_ne!(r.winner_name().unwrap(), "csp2-generic");
+        let generic = r
+            .backends
+            .iter()
+            .find(|b| b.name == "csp2-generic")
+            .unwrap();
+        assert_eq!(
+            generic.result.as_ref().unwrap().verdict,
+            Verdict::Unknown(StopReason::Unsupported)
+        );
+    }
+
+    #[test]
+    fn all_unknown_roster_reports_no_winner() {
+        // Infeasible instance + only an incomplete backend: no definitive
+        // verdict exists.
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let budget = Budget {
+            max_decisions: Some(2_000),
+            ..Budget::unlimited()
+        };
+        let r = race(&roster(&[SolverSpec::Local]), &ts, 2, &budget).unwrap();
+        assert_eq!(r.winner, None);
+        assert!(r.result.verdict.is_unknown());
+    }
+}

@@ -56,10 +56,7 @@ where
 /// Incomplete but cheap — the paper's suggested starting point made
 /// concrete. Returns the ordering and how many candidate orderings were
 /// tested.
-pub fn dc_seeded_assignment<F>(
-    ts: &TaskSet,
-    mut is_schedulable: F,
-) -> (Option<Vec<TaskId>>, u64)
+pub fn dc_seeded_assignment<F>(ts: &TaskSet, mut is_schedulable: F) -> (Option<Vec<TaskId>>, u64)
 where
     F: FnMut(&[TaskId]) -> bool,
 {

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use rt_task::{clone_transform, TaskError, TaskSet};
 
+use crate::engine::{Budget, CancelToken, FeasibilitySolver};
 use crate::schedule::Schedule;
 
 /// Three-way verdict on an MGRTS instance.
@@ -60,6 +61,12 @@ pub enum StopReason {
     /// analogue of the paper's CSP1 runs that "ran out of memory on large
     /// instances" (Section VII-E).
     EncodingTooLarge,
+    /// A portfolio [`crate::engine::CancelToken`] preempted the solver
+    /// (another backend reached a definitive verdict first).
+    Cancelled,
+    /// The backend has no decision procedure for the requested platform
+    /// (e.g. CSP2-on-generic-engine on a heterogeneous machine).
+    Unsupported,
 }
 
 /// Search counters common to both encodings.
@@ -92,21 +99,22 @@ pub struct SolveResult {
 
 /// Solve an *arbitrary-deadline* system on identical processors by clone
 /// transformation (Section VI-B) followed by any constrained-deadline
-/// solver: `solver` receives the transformed (always constrained) set.
+/// [`FeasibilitySolver`]: the engine receives the transformed (always
+/// constrained) set on the same processor count.
 ///
 /// The returned schedule is expressed over the **clone** task ids together
 /// with the [`rt_task::CloneInfo`] mapping back to the original tasks; a
 /// schedule of the original system is obtained by relabelling every clone to
 /// its origin, which [`relabel_clones`] does.
-pub fn solve_arbitrary_deadline<F>(
+pub fn solve_arbitrary_deadline(
     ts: &TaskSet,
-    solver: F,
-) -> Result<(SolveResult, rt_task::CloneInfo), TaskError>
-where
-    F: FnOnce(&TaskSet) -> SolveResult,
-{
+    m: usize,
+    solver: &dyn FeasibilitySolver,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Result<(SolveResult, rt_task::CloneInfo), TaskError> {
     let (clones, info) = clone_transform(ts)?;
-    Ok((solver(&clones), info))
+    Ok((solver.solve(&clones, m, budget, cancel)?, info))
 }
 
 /// Relabel a schedule over clone ids into a schedule over original task

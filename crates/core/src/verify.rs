@@ -67,13 +67,18 @@ impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::ShapeMismatch { expected } => write!(f, "shape mismatch: {expected}"),
-            VerifyError::OutsideInterval { task, t } =>
-
-                write!(f, "C1 violated: task {task} runs at {t} outside its window"),
+            VerifyError::OutsideInterval { task, t } => {
+                write!(f, "C1 violated: task {task} runs at {t} outside its window")
+            }
             VerifyError::Parallelism { task, t } => {
                 write!(f, "C3 violated: task {task} runs on two processors at {t}")
             }
-            VerifyError::WrongExecution { task, job, got, want } => write!(
+            VerifyError::WrongExecution {
+                task,
+                job,
+                got,
+                want,
+            } => write!(
                 f,
                 "C4 violated: task {task} job {job} received {got} units, needs exactly {want}"
             ),
@@ -141,7 +146,11 @@ pub fn check_heterogeneous(
         for (j, entry) in s.row(t).into_iter().enumerate() {
             if let Some(i) = entry {
                 if !platform.can_run(i, j) {
-                    return Err(VerifyError::ForbiddenProcessor { task: i, proc: j, t });
+                    return Err(VerifyError::ForbiddenProcessor {
+                        task: i,
+                        proc: j,
+                        t,
+                    });
                 }
             }
         }
@@ -167,12 +176,7 @@ pub fn check_heterogeneous(
     Ok(())
 }
 
-fn check_shape(
-    ts: &TaskSet,
-    m: usize,
-    ji: &JobInstants,
-    s: &Schedule,
-) -> Result<(), VerifyError> {
+fn check_shape(ts: &TaskSet, m: usize, ji: &JobInstants, s: &Schedule) -> Result<(), VerifyError> {
     if s.num_processors() != m || s.horizon() != ji.hyperperiod() {
         return Err(VerifyError::ShapeMismatch {
             expected: format!(
@@ -256,7 +260,12 @@ mod tests {
         // Steal one unit of τ1's job at t = 4.
         s.set(0, 4, None);
         match check_identical(&ts, 2, &s) {
-            Err(VerifyError::WrongExecution { task: 0, got: 0, want: 1, .. }) => {}
+            Err(VerifyError::WrongExecution {
+                task: 0,
+                got: 0,
+                want: 1,
+                ..
+            }) => {}
             other => panic!("expected WrongExecution, got {other:?}"),
         }
     }
@@ -270,7 +279,12 @@ mod tests {
         assert_eq!(s.at(1, 5), None);
         s.set(1, 5, Some(0));
         match check_identical(&ts, 2, &s) {
-            Err(VerifyError::WrongExecution { task: 0, got: 2, want: 1, .. }) => {}
+            Err(VerifyError::WrongExecution {
+                task: 0,
+                got: 2,
+                want: 1,
+                ..
+            }) => {}
             other => panic!("expected WrongExecution, got {other:?}"),
         }
     }
@@ -336,7 +350,11 @@ mod tests {
         s.set(0, 1, Some(0));
         assert!(matches!(
             check_heterogeneous(&ts, &platform, &s),
-            Err(VerifyError::WrongExecution { got: 4, want: 2, .. })
+            Err(VerifyError::WrongExecution {
+                got: 4,
+                want: 2,
+                ..
+            })
         ));
     }
 
@@ -350,13 +368,22 @@ mod tests {
         s.set(0, 0, Some(1));
         assert!(matches!(
             check_heterogeneous(&ts, &platform, &s),
-            Err(VerifyError::ForbiddenProcessor { task: 0, proc: 1, t: 0 })
+            Err(VerifyError::ForbiddenProcessor {
+                task: 0,
+                proc: 1,
+                t: 0
+            })
         ));
     }
 
     #[test]
     fn error_display() {
-        let e = VerifyError::WrongExecution { task: 1, job: 2, got: 3, want: 4 };
+        let e = VerifyError::WrongExecution {
+            task: 1,
+            job: 2,
+            got: 3,
+            want: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("C4") && msg.contains('3') && msg.contains('4'));
     }

@@ -59,7 +59,10 @@ fn encodings_agree_on_random_heterogeneous_instances() {
             infeasible += 1;
         }
     }
-    assert!(feasible >= 10, "only {feasible} feasible — workload too hard");
+    assert!(
+        feasible >= 10,
+        "only {feasible} feasible — workload too hard"
+    );
     assert!(
         infeasible >= 10,
         "only {infeasible} infeasible — workload too easy"

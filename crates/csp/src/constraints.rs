@@ -188,9 +188,11 @@ impl Constraint {
             Constraint::AllDifferentExcept { vars, except } => {
                 propagate_all_different_except(store, vars, *except)
             }
-            Constraint::Element { index, array, value } => {
-                propagate_element(store, *index, array, *value)
-            }
+            Constraint::Element {
+                index,
+                array,
+                value,
+            } => propagate_element(store, *index, array, *value),
             Constraint::Table { vars, rows } => propagate_table(store, vars, rows),
             Constraint::Or { lits } => propagate_or(store, lits),
             Constraint::ReifiedLeq { b, x, c } => propagate_reified_leq(store, *b, *x, *c),
@@ -241,21 +243,19 @@ impl Constraint {
                 vars.iter()
                     .all(|&v| assignment[v] == *except || seen.insert(assignment[v]))
             }
-            Constraint::Element { index, array, value } => {
-                usize::try_from(assignment[*index])
-                    .ok()
-                    .and_then(|i| array.get(i))
-                    .is_some_and(|&a| a == assignment[*value])
-            }
+            Constraint::Element {
+                index,
+                array,
+                value,
+            } => usize::try_from(assignment[*index])
+                .ok()
+                .and_then(|i| array.get(i))
+                .is_some_and(|&a| a == assignment[*value]),
             Constraint::Table { vars, rows } => rows
                 .iter()
                 .any(|row| vars.iter().zip(row).all(|(&v, &r)| assignment[v] == r)),
-            Constraint::Or { lits } => lits
-                .iter()
-                .any(|&(v, pol)| (assignment[v] == 1) == pol),
-            Constraint::ReifiedLeq { b, x, c } => {
-                (assignment[*b] == 1) == (assignment[*x] <= *c)
-            }
+            Constraint::Or { lits } => lits.iter().any(|&(v, pol)| (assignment[v] == 1) == pol),
+            Constraint::ReifiedLeq { b, x, c } => (assignment[*b] == 1) == (assignment[*x] <= *c),
         }
     }
 }
@@ -315,7 +315,11 @@ fn propagate_linear(
                 continue;
             }
             let (lo, hi) = (i64::from(store.min(v)), i64::from(store.max(v)));
-            let (term_min, term_max) = if c >= 0 { (c * lo, c * hi) } else { (c * hi, c * lo) };
+            let (term_min, term_max) = if c >= 0 {
+                (c * lo, c * hi)
+            } else {
+                (c * hi, c * lo)
+            };
             // Upper side (always active): c·x ≤ rhs - (sum_min - term_min)
             let ub_term = rhs - (sum_min - term_min);
             // Lower side (equality only): c·x ≥ rhs - (sum_max - term_max)
@@ -569,22 +573,28 @@ fn propagate_element(
     Ok(())
 }
 
-fn propagate_table(store: &mut Store, vars: &[VarId], rows: &[Vec<Val>]) -> Result<(), EmptyDomain> {
+fn propagate_table(
+    store: &mut Store,
+    vars: &[VarId],
+    rows: &[Vec<Val>],
+) -> Result<(), EmptyDomain> {
     // Generalized arc consistency by support scanning: a value survives
     // only if some row using it is fully supported by the current domains.
     let live: Vec<&Vec<Val>> = rows
         .iter()
         .filter(|row| {
             row.len() == vars.len()
-                && vars.iter().zip(row.iter()).all(|(&v, &r)| store.contains(v, r))
+                && vars
+                    .iter()
+                    .zip(row.iter())
+                    .all(|(&v, &r)| store.contains(v, r))
         })
         .collect();
     if live.is_empty() {
         return Err(EmptyDomain(*vars.first().unwrap_or(&0)));
     }
     for (col, &v) in vars.iter().enumerate() {
-        let supported: std::collections::HashSet<Val> =
-            live.iter().map(|row| row[col]).collect();
+        let supported: std::collections::HashSet<Val> = live.iter().map(|row| row[col]).collect();
         let dead: Vec<Val> = store
             .iter(v)
             .filter(|val| !supported.contains(val))
@@ -748,12 +758,18 @@ mod tests {
     fn bool_sum_eq_forces_both_directions() {
         // 3 booleans summing to 3 → all true.
         let (mut s, v) = fresh(3, 0, 1);
-        let c = Constraint::BoolSumEq { vars: v.clone(), rhs: 3 };
+        let c = Constraint::BoolSumEq {
+            vars: v.clone(),
+            rhs: 3,
+        };
         c.propagate(&mut s).unwrap();
         assert!(v.iter().all(|&x| s.value(x) == 1));
         // Sum to 0 → all false.
         let (mut s, v) = fresh(3, 0, 1);
-        let c = Constraint::BoolSumEq { vars: v.clone(), rhs: 0 };
+        let c = Constraint::BoolSumEq {
+            vars: v.clone(),
+            rhs: 0,
+        };
         c.propagate(&mut s).unwrap();
         assert!(v.iter().all(|&x| s.value(x) == 0));
     }
@@ -777,7 +793,11 @@ mod tests {
         let (mut s, v) = fresh(3, 0, 2);
         s.assign(v[0], 1).unwrap();
         s.assign(v[1], 1).unwrap();
-        let c = Constraint::CountEq { vars: v.clone(), value: 1, rhs: 2 };
+        let c = Constraint::CountEq {
+            vars: v.clone(),
+            value: 1,
+            rhs: 2,
+        };
         c.propagate(&mut s).unwrap();
         assert!(!s.contains(v[2], 1));
     }
@@ -786,7 +806,11 @@ mod tests {
     fn count_eq_forcing() {
         // 3 vars; exactly 3 must equal 1 → all assigned 1.
         let (mut s, v) = fresh(3, 0, 2);
-        let c = Constraint::CountEq { vars: v.clone(), value: 1, rhs: 3 };
+        let c = Constraint::CountEq {
+            vars: v.clone(),
+            value: 1,
+            rhs: 3,
+        };
         c.propagate(&mut s).unwrap();
         assert!(v.iter().all(|&x| s.value(x) == 1));
     }
@@ -796,7 +820,11 @@ mod tests {
         let (mut s, v) = fresh(2, 0, 2);
         s.remove(v[0], 1).unwrap();
         s.remove(v[1], 1).unwrap();
-        let c = Constraint::CountEq { vars: v, value: 1, rhs: 1 };
+        let c = Constraint::CountEq {
+            vars: v,
+            value: 1,
+            rhs: 1,
+        };
         assert!(c.propagate(&mut s).is_err());
     }
 
@@ -824,13 +852,21 @@ mod tests {
     fn not_equal_unless_spares_exception() {
         let (mut s, v) = fresh(2, -1, 3);
         s.assign(v[0], -1).unwrap();
-        let c = Constraint::NotEqualUnless { a: v[0], b: v[1], except: -1 };
+        let c = Constraint::NotEqualUnless {
+            a: v[0],
+            b: v[1],
+            except: -1,
+        };
         c.propagate(&mut s).unwrap();
         assert!(s.contains(v[1], -1), "-1 = idle stays allowed");
         // But a real task value is propagated.
         let (mut s, v) = fresh(2, -1, 3);
         s.assign(v[0], 2).unwrap();
-        let c = Constraint::NotEqualUnless { a: v[0], b: v[1], except: -1 };
+        let c = Constraint::NotEqualUnless {
+            a: v[0],
+            b: v[1],
+            except: -1,
+        };
         c.propagate(&mut s).unwrap();
         assert!(!s.contains(v[1], 2));
     }
@@ -851,13 +887,19 @@ mod tests {
         let (mut s, v) = fresh(3, -1, 2);
         s.assign(v[0], -1).unwrap();
         s.assign(v[1], -1).unwrap();
-        let c = Constraint::AllDifferentExcept { vars: v.clone(), except: -1 };
+        let c = Constraint::AllDifferentExcept {
+            vars: v.clone(),
+            except: -1,
+        };
         c.propagate(&mut s).unwrap();
         assert!(s.contains(v[2], -1), "two idles must not forbid a third");
         // A real value still propagates.
         let (mut s, v) = fresh(3, -1, 2);
         s.assign(v[0], 1).unwrap();
-        let c = Constraint::AllDifferentExcept { vars: v.clone(), except: -1 };
+        let c = Constraint::AllDifferentExcept {
+            vars: v.clone(),
+            except: -1,
+        };
         c.propagate(&mut s).unwrap();
         assert!(!s.contains(v[1], 1));
         assert!(!s.contains(v[2], 1));
@@ -868,7 +910,10 @@ mod tests {
         let (mut s, v) = fresh(2, 0, 3);
         s.assign(v[0], 2).unwrap();
         s.assign(v[1], 2).unwrap();
-        let c = Constraint::AllDifferentExcept { vars: v, except: -1 };
+        let c = Constraint::AllDifferentExcept {
+            vars: v,
+            except: -1,
+        };
         assert!(c.propagate(&mut s).is_err());
     }
 
@@ -882,7 +927,11 @@ mod tests {
         s.remove(value, 6).unwrap();
         s.remove(value, 7).unwrap();
         s.remove(value, 8).unwrap();
-        let c = Constraint::Element { index, array: vec![5, 7, 5, 9], value };
+        let c = Constraint::Element {
+            index,
+            array: vec![5, 7, 5, 9],
+            value,
+        };
         c.propagate(&mut s).unwrap();
         assert!(!s.contains(index, 1), "array[1]=7 unsupported");
         assert!(s.contains(index, 0) && s.contains(index, 2) && s.contains(index, 3));
@@ -897,7 +946,11 @@ mod tests {
         let mut s = Store::new();
         let index = s.new_var(-2, 5);
         let value = s.new_var(0, 10);
-        let c = Constraint::Element { index, array: vec![1, 2], value };
+        let c = Constraint::Element {
+            index,
+            array: vec![1, 2],
+            value,
+        };
         c.propagate(&mut s).unwrap();
         assert_eq!(s.min(index), 0);
         assert_eq!(s.max(index), 1);
@@ -1003,10 +1056,16 @@ mod tests {
         let c = Constraint::linear_eq(vec![0, 1], vec![1, 2], 5);
         assert!(c.is_satisfied(&[1, 2]));
         assert!(!c.is_satisfied(&[1, 1]));
-        let c = Constraint::AllDifferent { vars: vec![0, 1, 2] };
+        let c = Constraint::AllDifferent {
+            vars: vec![0, 1, 2],
+        };
         assert!(c.is_satisfied(&[3, 1, 2]));
         assert!(!c.is_satisfied(&[3, 1, 3]));
-        let c = Constraint::NotEqualUnless { a: 0, b: 1, except: -1 };
+        let c = Constraint::NotEqualUnless {
+            a: 0,
+            b: 1,
+            except: -1,
+        };
         assert!(c.is_satisfied(&[-1, -1]));
         assert!(!c.is_satisfied(&[2, 2]));
         let c = Constraint::LeqVar { a: 0, b: 1 };

@@ -64,10 +64,7 @@ impl Model {
     /// used by encoders to refuse absurdly large models gracefully.
     #[must_use]
     pub fn domain_mass(&self) -> u64 {
-        self.domains
-            .iter()
-            .map(|&(lb, ub)| (ub - lb) as u64)
-            .sum()
+        self.domains.iter().map(|&(lb, ub)| (ub - lb) as u64).sum()
     }
 
     /// Freeze the model into a solver.

@@ -1,6 +1,8 @@
 //! Systematic search: DFS with propagation, heuristics, restarts, budgets.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -87,6 +89,8 @@ pub enum LimitReason {
     Decisions,
     /// Failure budget exhausted.
     Failures,
+    /// An external interrupt flag was raised (portfolio cancellation).
+    Interrupted,
 }
 
 /// Verdict of a solve.
@@ -206,6 +210,7 @@ pub struct Solver {
     rng: SmallRng,
     stats: SolveStats,
     initially_inconsistent: bool,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Solver {
@@ -234,7 +239,15 @@ impl Solver {
             config,
             stats: SolveStats::default(),
             initially_inconsistent,
+            interrupt: None,
         }
+    }
+
+    /// Install a cooperative interrupt flag: when another thread sets it,
+    /// the search stops at its next budget check with
+    /// [`LimitReason::Interrupted`]. Used by portfolio racing.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
     }
 
     /// Statistics of the last [`Solver::solve`] call.
@@ -435,6 +448,11 @@ impl Solver {
     }
 
     fn check_budget(&self, start: Instant) -> Option<LimitReason> {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Some(LimitReason::Interrupted);
+            }
+        }
         if let Some(t) = self.config.budget.time {
             if start.elapsed() >= t {
                 return Some(LimitReason::Time);

@@ -32,8 +32,16 @@ struct VarMeta {
 
 #[derive(Debug, Clone, Copy)]
 enum TrailEntry {
-    Word { idx: u32, old: u64 },
-    Meta { var: u32, size: u32, min: Val, max: Val },
+    Word {
+        idx: u32,
+        old: u64,
+    },
+    Meta {
+        var: u32,
+        size: u32,
+        min: Val,
+        max: Val,
+    },
 }
 
 /// The store of all variable domains plus the backtracking trail.
@@ -199,7 +207,12 @@ impl Store {
         while self.trail.len() > mark {
             match self.trail.pop().unwrap() {
                 TrailEntry::Word { idx, old } => self.words[idx as usize] = old,
-                TrailEntry::Meta { var, size, min, max } => {
+                TrailEntry::Meta {
+                    var,
+                    size,
+                    min,
+                    max,
+                } => {
                     let m = &mut self.vars[var as usize];
                     m.size = size;
                     m.min = min;
@@ -320,7 +333,11 @@ impl Store {
         let target_w = (bit / 64) as u32;
         for wi in 0..meta.nwords {
             let idx = (meta.offset + wi) as usize;
-            let desired = if wi == target_w { 1u64 << (bit % 64) } else { 0 };
+            let desired = if wi == target_w {
+                1u64 << (bit % 64)
+            } else {
+                0
+            };
             if self.words[idx] != desired {
                 self.save_word(idx);
                 self.words[idx] = desired;

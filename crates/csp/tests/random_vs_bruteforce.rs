@@ -51,23 +51,30 @@ fn arb_constraint(n_vars: usize) -> impl Strategy<Value = Constraint> {
     let var = 0..n_vars;
     let vars = proptest::collection::vec(0..n_vars, 1..=n_vars.min(4));
     prop_oneof![
-        (vars.clone(), proptest::collection::vec(-3i64..=3, 4), -8i64..=8).prop_map(
-            |(vs, cs, rhs)| {
+        (
+            vars.clone(),
+            proptest::collection::vec(-3i64..=3, 4),
+            -8i64..=8
+        )
+            .prop_map(|(vs, cs, rhs)| {
                 let coeffs = cs.into_iter().take(vs.len()).collect::<Vec<_>>();
                 let vs = vs.into_iter().take(coeffs.len()).collect::<Vec<_>>();
                 let coeffs = coeffs.into_iter().take(vs.len()).collect();
                 Constraint::linear_eq(vs, coeffs, rhs)
-            }
-        ),
-        (vars.clone(), proptest::collection::vec(-3i64..=3, 4), -8i64..=8).prop_map(
-            |(vs, cs, rhs)| {
+            }),
+        (
+            vars.clone(),
+            proptest::collection::vec(-3i64..=3, 4),
+            -8i64..=8
+        )
+            .prop_map(|(vs, cs, rhs)| {
                 let coeffs = cs.into_iter().take(vs.len()).collect::<Vec<_>>();
                 let vs = vs.into_iter().take(coeffs.len()).collect::<Vec<_>>();
                 let coeffs = coeffs.into_iter().take(vs.len()).collect();
                 Constraint::linear_leq(vs, coeffs, rhs)
-            }
-        ),
-        vars.clone().prop_map(|vs| Constraint::AllDifferent { vars: vs }),
+            }),
+        vars.clone()
+            .prop_map(|vs| Constraint::AllDifferent { vars: vs }),
         (vars.clone(), 0u32..=3).prop_map(|(vs, rhs)| Constraint::CountEq {
             vars: vs,
             value: 1,
@@ -75,15 +82,25 @@ fn arb_constraint(n_vars: usize) -> impl Strategy<Value = Constraint> {
         }),
         (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::NotEqual { a, b }),
         (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::LeqVar { a, b }),
-        (var.clone(), var.clone())
-            .prop_map(|(a, b)| Constraint::NotEqualUnless { a, b, except: 0 }),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::NotEqualUnless {
+            a,
+            b,
+            except: 0
+        }),
         vars.clone().prop_map(|vs| Constraint::AllDifferentExcept {
             vars: vs,
             except: 0,
         }),
-        (var.clone(), var.clone(), proptest::collection::vec(-2i32..=2, 1..=5)).prop_map(
-            |(index, value, array)| Constraint::Element { index, array, value }
-        ),
+        (
+            var.clone(),
+            var.clone(),
+            proptest::collection::vec(-2i32..=2, 1..=5)
+        )
+            .prop_map(|(index, value, array)| Constraint::Element {
+                index,
+                array,
+                value
+            }),
         (
             vars.clone(),
             proptest::collection::vec(proptest::collection::vec(-2i32..=2, 4), 1..=6)

@@ -126,10 +126,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("garbage.json");
         std::fs::write(&path, b"not json").unwrap();
-        assert!(matches!(
-            Corpus::load(&path),
-            Err(CorpusError::Format(_))
-        ));
+        assert!(matches!(Corpus::load(&path), Err(CorpusError::Format(_))));
         std::fs::remove_file(&path).ok();
         assert!(matches!(
             Corpus::load(Path::new("/nonexistent/x.json")),

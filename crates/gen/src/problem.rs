@@ -151,7 +151,11 @@ mod tests {
         // Table III: for the paper's parameters the instance mass centres
         // around r ∈ [0.8, 1.1]. Check the bulk falls in a generous band.
         let g = ProblemGenerator::new(GeneratorConfig::table1(), 2009);
-        let rs: Vec<f64> = g.batch(500).iter().map(Problem::utilization_ratio).collect();
+        let rs: Vec<f64> = g
+            .batch(500)
+            .iter()
+            .map(Problem::utilization_ratio)
+            .collect();
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
         assert!(
             (0.7..1.2).contains(&mean),

@@ -196,10 +196,7 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(
-            Platform::heterogeneous(vec![]),
-            Err(PlatformError::NoTasks)
-        );
+        assert_eq!(Platform::heterogeneous(vec![]), Err(PlatformError::NoTasks));
         assert_eq!(
             Platform::heterogeneous(vec![vec![]]),
             Err(PlatformError::NoProcessors)

@@ -75,11 +75,7 @@ impl ExecModel {
     #[must_use]
     pub fn uniform_to_wcet(ts: &TaskSet) -> ExecModel {
         ExecModel {
-            pmfs: ts
-                .tasks()
-                .iter()
-                .map(|t| Pmf::uniform(1, t.wcet))
-                .collect(),
+            pmfs: ts.tasks().iter().map(|t| Pmf::uniform(1, t.wcet)).collect(),
         }
     }
 
@@ -169,6 +165,9 @@ mod tests {
     fn length_mismatch_rejected() {
         let ts = TaskSet::running_example();
         let err = ExecModel::new(vec![Pmf::delta(1)], &ts).unwrap_err();
-        assert!(matches!(err, ModelError::LengthMismatch { pmfs: 1, tasks: 3 }));
+        assert!(matches!(
+            err,
+            ModelError::LengthMismatch { pmfs: 1, tasks: 3 }
+        ));
     }
 }

@@ -137,7 +137,11 @@ pub fn run(
                 round_missed = true;
             } else {
                 stats.on_time += 1;
-                let response = if x == 0 { 0 } else { alloc[(x - 1) as usize] + 1 };
+                let response = if x == 0 {
+                    0
+                } else {
+                    alloc[(x - 1) as usize] + 1
+                };
                 stats.response_sum += response;
                 idle_slots += cap - x;
             }
@@ -175,7 +179,16 @@ mod tests {
         let ts = TaskSet::running_example();
         let s = schedule_for(&ts, 2);
         let model = ExecModel::deterministic(&ts);
-        let sum = run(&ts, &s, &model, &McConfig { rounds: 50, seed: 3 }).unwrap();
+        let sum = run(
+            &ts,
+            &s,
+            &model,
+            &McConfig {
+                rounds: 50,
+                seed: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(sum.rounds_with_miss, 0);
         assert_eq!(sum.idle_slots, 0);
         for st in &sum.per_task {
@@ -202,7 +215,11 @@ mod tests {
         .unwrap();
         // Per-task miss rates ≈ 0.2.
         for st in &sum.per_task {
-            assert!((st.miss_rate() - 0.2).abs() < 0.02, "rate {}", st.miss_rate());
+            assert!(
+                (st.miss_rate() - 0.2).abs() < 0.02,
+                "rate {}",
+                st.miss_rate()
+            );
         }
         // System-level miss rate matches the independence formula.
         assert!(
@@ -269,7 +286,10 @@ mod tests {
         let ts = TaskSet::running_example();
         let s = schedule_for(&ts, 2);
         let model = ExecModel::with_overruns(&ts, 0.3, 2.0);
-        let cfg = McConfig { rounds: 500, seed: 42 };
+        let cfg = McConfig {
+            rounds: 500,
+            seed: 42,
+        };
         let a = run(&ts, &s, &model, &cfg).unwrap();
         let b = run(&ts, &s, &model, &cfg).unwrap();
         assert_eq!(a.rounds_with_miss, b.rounds_with_miss);

@@ -43,13 +43,7 @@ impl JobTiming {
         if mass <= 0.0 {
             return None;
         }
-        Some(
-            self.on_time
-                .iter()
-                .map(|&(r, p)| r as f64 * p)
-                .sum::<f64>()
-                / mass,
-        )
+        Some(self.on_time.iter().map(|&(r, p)| r as f64 * p).sum::<f64>() / mass)
     }
 
     /// The conditional response-time distribution (renormalized on-time
@@ -60,13 +54,7 @@ impl JobTiming {
         if mass <= 0.0 {
             return None;
         }
-        Pmf::new(
-            self.on_time
-                .iter()
-                .map(|&(r, p)| (r, p / mass))
-                .collect(),
-        )
-        .ok()
+        Pmf::new(self.on_time.iter().map(|&(r, p)| (r, p / mass)).collect()).ok()
     }
 
     /// Expected number of allocated slots left unused (idled under the
@@ -154,10 +142,7 @@ pub fn analyze_all(
 /// `1 − Π(1 − miss_j)`.
 #[must_use]
 pub fn hyperperiod_miss_probability(timings: &[JobTiming]) -> f64 {
-    1.0 - timings
-        .iter()
-        .map(|t| 1.0 - t.miss_prob)
-        .product::<f64>()
+    1.0 - timings.iter().map(|t| 1.0 - t.miss_prob).product::<f64>()
 }
 
 /// Expected idle slots per hyperperiod reclaimed by early completions.
@@ -256,7 +241,12 @@ mod tests {
         let ts = TaskSet::from_ocdt(&[(1, 3, 4, 4)]);
         let s = schedule_for(&ts, 1);
         let ji = JobInstants::new(&ts).unwrap();
-        let timing = analyze_job(&s, &ji, &ExecModel::deterministic(&ts), JobId { task: 0, k: 0 });
+        let timing = analyze_job(
+            &s,
+            &ji,
+            &ExecModel::deterministic(&ts),
+            JobId { task: 0, k: 0 },
+        );
         assert_eq!(timing.allocation.len(), 3);
         assert!(timing.allocation.iter().all(|&p| p < 4));
         assert_eq!(timing.miss_prob, 0.0);

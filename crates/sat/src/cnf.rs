@@ -212,7 +212,10 @@ impl Cnf {
                     if let Some((nv, _)) = declared {
                         let v = d.unsigned_abs();
                         if v > u64::from(nv) {
-                            return Err(DimacsError::VarOutOfRange { var: v, declared: nv });
+                            return Err(DimacsError::VarOutOfRange {
+                                var: v,
+                                declared: nv,
+                            });
                         }
                     }
                     current.push(Lit::from_dimacs(d));
@@ -295,7 +298,10 @@ mod tests {
         ));
         assert!(matches!(
             Cnf::from_dimacs("p cnf 2 1\n1 5 0\n"),
-            Err(DimacsError::VarOutOfRange { var: 5, declared: 2 })
+            Err(DimacsError::VarOutOfRange {
+                var: 5,
+                declared: 2
+            })
         ));
         assert!(matches!(
             Cnf::from_dimacs("p cnf 2 1\n1 2\n"),

@@ -275,7 +275,9 @@ mod tests {
     fn at_most_k_counts_match() {
         for n in 1..=5usize {
             for k in 0..=n as u32 + 1 {
-                let expected: u64 = (0..=k.min(n as u32) as u64).map(|j| binom(n as u64, j)).sum();
+                let expected: u64 = (0..=k.min(n as u32) as u64)
+                    .map(|j| binom(n as u64, j))
+                    .sum();
                 assert_counts(n, |c, l| at_most_k(c, l, k), expected);
             }
         }

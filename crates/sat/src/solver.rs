@@ -6,6 +6,8 @@
 //! Budgets (conflicts / wall clock) yield a three-way [`SatOutcome`] so the
 //! scheduling experiments can report overruns exactly like the CSP solvers.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cnf::Cnf;
@@ -62,6 +64,8 @@ pub enum SatLimit {
     Conflicts,
     /// Wall-clock budget exhausted.
     Time,
+    /// An external interrupt flag was raised (portfolio cancellation).
+    Interrupted,
 }
 
 /// Search counters.
@@ -138,6 +142,7 @@ pub struct SatSolver {
     seen: Vec<bool>,
     ok: bool,
     stats: SatStats,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl SatSolver {
@@ -163,6 +168,7 @@ impl SatSolver {
             seen: vec![false; n],
             ok: true,
             stats: SatStats::default(),
+            interrupt: None,
         };
         s.order.rebuild(0..cnf.num_vars(), &s.activity);
         for c in cnf.clauses() {
@@ -184,6 +190,22 @@ impl SatSolver {
     #[must_use]
     pub fn stats(&self) -> SatStats {
         self.stats
+    }
+
+    /// Install a cooperative interrupt flag: when another thread sets it,
+    /// the search returns [`SatOutcome::Unknown`]([`SatLimit::Interrupted`])
+    /// at its next propagation-loop poll. Used by portfolio racing to
+    /// preempt the SAT route, which time/conflict budgets alone cannot do
+    /// promptly.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Poll the interrupt flag (cheap relaxed load; `None` ⇒ never).
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_deref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -569,8 +591,7 @@ impl SatSolver {
         let start = Instant::now();
         let result = self.search(start, assumptions);
         self.backtrack_to(0);
-        self.stats.elapsed_us =
-            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.stats.elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         result
     }
 
@@ -582,8 +603,7 @@ impl SatSolver {
             self.ok = false;
             return SatOutcome::Unsat;
         }
-        let mut max_learnts = (self.clauses.len() as f64 * self.cfg.learntsize_factor)
-            .max(100.0);
+        let mut max_learnts = (self.clauses.len() as f64 * self.cfg.learntsize_factor).max(100.0);
         let mut restart = 0u64;
         loop {
             let budget = self.cfg.restart_unit * Self::luby(restart);
@@ -591,6 +611,12 @@ impl SatSolver {
             self.stats.restarts += 1;
             let mut conflicts_here = 0u64;
             loop {
+                // Cooperative cancellation: polled every propagation round
+                // so a portfolio winner preempts this solver within one
+                // propagation fixpoint, not one restart.
+                if self.interrupted() {
+                    return SatOutcome::Unknown(SatLimit::Interrupted);
+                }
                 if let Some(confl) = self.propagate() {
                     self.stats.conflicts += 1;
                     conflicts_here += 1;
@@ -662,11 +688,8 @@ impl SatSolver {
                     }
                     match self.decide() {
                         None => {
-                            let model: Vec<bool> = self
-                                .assigns
-                                .iter()
-                                .map(|&a| a.expect_bool())
-                                .collect();
+                            let model: Vec<bool> =
+                                self.assigns.iter().map(|&a| a.expect_bool()).collect();
                             return SatOutcome::Sat(model);
                         }
                         Some(l) => {
@@ -867,8 +890,7 @@ mod tests {
             }
         }
         let mut s = SatSolver::new(&cnf, SatConfig::default());
-        let disabled =
-            |k: i64| -> Vec<Lit> { (k..3).map(|h| l(-e(h))).collect() };
+        let disabled = |k: i64| -> Vec<Lit> { (k..3).map(|h| l(-e(h))).collect() };
         assert_eq!(s.solve_with_assumptions(&disabled(1)), SatOutcome::Unsat);
         assert_eq!(s.solve_with_assumptions(&disabled(2)), SatOutcome::Unsat);
         assert!(matches!(

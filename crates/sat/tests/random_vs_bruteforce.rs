@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use rt_sat::{
-    at_most_k, exactly_k, AmoEncoding, Cnf, Lit, SatConfig, SatOutcome, SatSolver,
-};
+use rt_sat::{at_most_k, exactly_k, AmoEncoding, Cnf, Lit, SatConfig, SatOutcome, SatSolver};
 
 /// A random clause set over `n` vars: each clause 1–4 literals.
 fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {

@@ -30,7 +30,11 @@ pub fn render_intervals(ts: &TaskSet) -> Result<String, rt_task::TaskError> {
             task.period
         ));
         for t in 0..h {
-            out.push(if ji.job_at(i, t).is_some() { '█' } else { '·' });
+            out.push(if ji.job_at(i, t).is_some() {
+                '█'
+            } else {
+                '·'
+            });
         }
         out.push('\n');
     }
@@ -63,7 +67,11 @@ fn time_axis(h: Time, pad: usize) -> String {
     let mut axis = " ".repeat(pad);
     let mut t = 0;
     while t < h {
-        let label = if t % 5 == 0 { t.to_string() } else { "-".into() };
+        let label = if t % 5 == 0 {
+            t.to_string()
+        } else {
+            "-".into()
+        };
         axis.push_str(&label);
         t += label.len() as Time;
     }

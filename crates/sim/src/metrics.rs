@@ -54,9 +54,8 @@ pub fn schedule_metrics(s: &Schedule) -> ScheduleMetrics {
     // Per instant transition t → t+1 (mod H).
     for t in 0..h {
         let next = (t + 1) % h;
-        let running_now: Vec<(TaskId, usize)> = (0..m)
-            .filter_map(|j| s.at(j, t).map(|i| (i, j)))
-            .collect();
+        let running_now: Vec<(TaskId, usize)> =
+            (0..m).filter_map(|j| s.at(j, t).map(|i| (i, j))).collect();
         for &(i, j) in &running_now {
             match s.processor_of(i, next) {
                 Some(j2) if j2 != j => out.migrations += 1,

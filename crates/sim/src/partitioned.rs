@@ -76,9 +76,8 @@ pub fn partition(ts: &TaskSet, m: usize, strategy: PackingStrategy) -> Option<Pa
             PackingStrategy::FirstFit | PackingStrategy::FirstFitDecreasing => (0..m).collect(),
             PackingStrategy::WorstFit => {
                 let mut procs: Vec<usize> = (0..m).collect();
-                let util = |j: &usize| -> f64 {
-                    bins[*j].iter().map(|(_, t)| t.utilization()).sum()
-                };
+                let util =
+                    |j: &usize| -> f64 { bins[*j].iter().map(|(_, t)| t.utilization()).sum() };
                 procs.sort_by(|a, b| util(a).partial_cmp(&util(b)).unwrap().then(a.cmp(b)));
                 procs
             }
@@ -182,7 +181,11 @@ mod tests {
         // (the CSP finds a migrating schedule) but NOT partitionable — any
         // processor holding two of them is overloaded (U = 4/3).
         let ts = TaskSet::from_ocdt(&[(0, 2, 3, 3), (0, 2, 3, 3), (0, 2, 3, 3)]);
-        assert!(Csp2Solver::new(&ts, 2).unwrap().solve().verdict.is_feasible());
+        assert!(Csp2Solver::new(&ts, 2)
+            .unwrap()
+            .solve()
+            .verdict
+            .is_feasible());
         assert!(exhaustive_partition(&ts, 2).is_none());
         for strategy in [
             PackingStrategy::FirstFit,

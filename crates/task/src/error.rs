@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = TaskError::WcetExceedsDeadline { wcet: 5, deadline: 3 };
+        let e = TaskError::WcetExceedsDeadline {
+            wcet: 5,
+            deadline: 3,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('3'));
         assert!(TaskError::EmptyTaskSet.to_string().contains("empty"));

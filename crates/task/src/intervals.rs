@@ -106,7 +106,10 @@ impl JobInstants {
                 jobs: h / task.period,
             });
         }
-        Ok(JobInstants { hyperperiod: h, geo })
+        Ok(JobInstants {
+            hyperperiod: h,
+            geo,
+        })
     }
 
     /// The hyperperiod `H`.

@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(Task::new(0, 1, 0, 1), Err(TaskError::ZeroDeadline));
         assert_eq!(
             Task::new(0, 3, 2, 5),
-            Err(TaskError::WcetExceedsDeadline { wcet: 3, deadline: 2 })
+            Err(TaskError::WcetExceedsDeadline {
+                wcet: 3,
+                deadline: 2
+            })
         );
     }
 

@@ -45,9 +45,7 @@ pub fn checked_hyperperiod(periods: &[Time]) -> Option<Time> {
     if periods.is_empty() || periods.contains(&0) {
         return None;
     }
-    periods
-        .iter()
-        .try_fold(1u64, |acc, &p| checked_lcm(acc, p))
+    periods.iter().try_fold(1u64, |acc, &p| checked_lcm(acc, p))
 }
 
 #[cfg(test)]

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --example arbitrary_deadline`
 
-use mgrts::mgrts_core::csp2::Csp2Solver;
+use mgrts::mgrts_core::engine::{Budget, CancelToken, Csp2Engine};
 use mgrts::mgrts_core::heuristics::TaskOrder;
 use mgrts::mgrts_core::solve::{relabel_clones, solve_arbitrary_deadline};
 use mgrts::rt_sim::render_schedule;
-use mgrts::rt_task::{clone_count, Task, TaskSet};
+use mgrts::rt_task::{clone_count, clone_transform, Task, TaskSet};
 
 fn main() {
     // τ1 = (O=0, C=2, D=7, T=3): D > T → k1 = ⌈7/3⌉ = 3 clones.
@@ -37,28 +37,28 @@ fn main() {
     }
 
     let m = 2;
-    let (result, info) = solve_arbitrary_deadline(&ts, |clones| {
+    let (clones, _) = clone_transform(&ts).unwrap();
+    println!(
+        "\ntransformed system: {} constrained-deadline clone tasks, H = {}",
+        clones.len(),
+        clones.hyperperiod().unwrap()
+    );
+    for (c, t) in clones.iter() {
         println!(
-            "\ntransformed system: {} constrained-deadline clone tasks, H = {}",
-            clones.len(),
-            clones.hyperperiod().unwrap()
+            "  clone {} = (O={}, C={}, D={}, T={})",
+            c + 1,
+            t.offset,
+            t.wcet,
+            t.deadline,
+            t.period
         );
-        for (c, t) in clones.iter() {
-            println!(
-                "  clone {} = (O={}, C={}, D={}, T={})",
-                c + 1,
-                t.offset,
-                t.wcet,
-                t.deadline,
-                t.period
-            );
-        }
-        Csp2Solver::new(clones, m)
-            .unwrap()
-            .with_order(TaskOrder::DeadlineMinusWcet)
-            .solve()
-    })
-    .unwrap();
+    }
+    let engine = Csp2Engine {
+        order: TaskOrder::DeadlineMinusWcet,
+    };
+    let (result, info) =
+        solve_arbitrary_deadline(&ts, m, &engine, &Budget::unlimited(), &CancelToken::new())
+            .unwrap();
 
     match result.verdict.schedule() {
         Some(clone_schedule) => {

@@ -67,9 +67,7 @@ fn main() {
             ),
         }
     }
-    println!(
-        "\nutilization bound ⌈U⌉ was exact on {tight}/{decided} decided instances"
-    );
+    println!("\nutilization bound ⌈U⌉ was exact on {tight}/{decided} decided instances");
 
     // Cross-check the CDCL-incremental scan on the same instances.
     let mut agreements = 0;

@@ -10,7 +10,7 @@
 //! τi at instant t ≤ number of overlapping availability windows of τi
 //! at t".
 
-use mgrts::mgrts_core::csp2::Csp2Solver;
+use mgrts::mgrts_core::engine::{Budget, CancelToken, Csp2Engine, SolverSpec};
 use mgrts::mgrts_core::heuristics::TaskOrder;
 use mgrts::mgrts_core::solve::{relabel_clones, solve_arbitrary_deadline};
 use mgrts::mgrts_core::verify::check_identical;
@@ -26,13 +26,12 @@ struct Solved {
 
 fn solve(ts: &TaskSet, m: usize) -> Option<Solved> {
     let (clones, _) = clone_transform(ts).unwrap();
-    let (result, info) = solve_arbitrary_deadline(ts, |c| {
-        Csp2Solver::new(c, m)
-            .unwrap()
-            .with_order(TaskOrder::DeadlineMinusWcet)
-            .solve()
-    })
-    .unwrap();
+    let engine = Csp2Engine {
+        order: TaskOrder::DeadlineMinusWcet,
+    };
+    let (result, info) =
+        solve_arbitrary_deadline(ts, m, &engine, &Budget::unlimited(), &CancelToken::new())
+            .unwrap();
     let clone_schedule = result.verdict.schedule()?.clone();
     let relabelled = relabel_clones(&clone_schedule, &info);
     Some(Solved {
@@ -59,11 +58,7 @@ fn audit(ts: &TaskSet, m: usize, s: &Solved) {
             .map(|(_, clone)| clone.wcet * (h / clone.period))
             .sum();
         let got: u64 = (0..h)
-            .map(|t| {
-                (0..m)
-                    .filter(|&j| s.relabelled.at(j, t) == Some(i))
-                    .count() as u64
-            })
+            .map(|t| (0..m).filter(|&j| s.relabelled.at(j, t) == Some(i)).count() as u64)
             .sum();
         assert_eq!(got, expected, "task {i} total service");
         // Sanity: the per-hyperperiod demand matches (H/Ti)·Ci.
@@ -73,9 +68,7 @@ fn audit(ts: &TaskSet, m: usize, s: &Solved) {
     // availability windows of the original task.
     for t in 0..h {
         for (i, task) in ts.iter() {
-            let parallel = (0..m)
-                .filter(|&j| s.relabelled.at(j, t) == Some(i))
-                .count() as u64;
+            let parallel = (0..m).filter(|&j| s.relabelled.at(j, t) == Some(i)).count() as u64;
             // Windows of τi open at absolute instant t (mod the clone
             // hyperperiod the pattern repeats): releases r ≤ t < r + Di.
             let mut open = 0u64;
@@ -135,9 +128,13 @@ fn infeasible_arbitrary_instance_is_detected() {
         Task::new(0, 1, 1, 2).unwrap(),
     ])
     .unwrap();
-    let (result, _) = solve_arbitrary_deadline(&ts, |clones| {
-        Csp2Solver::new(clones, 1).unwrap().solve()
-    })
+    let (result, _) = solve_arbitrary_deadline(
+        &ts,
+        1,
+        &Csp2Engine::default(),
+        &Budget::unlimited(),
+        &CancelToken::new(),
+    )
     .unwrap();
     assert!(result.verdict.is_infeasible());
 }
@@ -165,12 +162,8 @@ fn parallel_instances_actually_occur() {
     let s = solve(&ts, 2).expect("feasible");
     audit(&ts, 2, &s);
     let h = s.clone_schedule.horizon();
-    let saw_parallel = (0..h).any(|t| {
-        (0..2)
-            .filter(|&j| s.relabelled.at(j, t) == Some(0))
-            .count()
-            == 2
-    });
+    let saw_parallel =
+        (0..h).any(|t| (0..2).filter(|&j| s.relabelled.at(j, t) == Some(0)).count() == 2);
     assert!(saw_parallel, "expected two instances of τ1 in parallel");
 }
 
@@ -178,8 +171,6 @@ fn parallel_instances_actually_occur() {
 /// and check it agrees with the CSP2 route instance by instance.
 #[test]
 fn clone_pipeline_through_the_sat_route() {
-    use mgrts::mgrts_core::csp1_sat::{solve_csp1_sat, Csp1SatConfig};
-
     // Arbitrary-deadline systems: D > T on at least one task.
     let systems = [
         vec![(0u64, 1u64, 4u64, 2u64), (0, 1, 2, 2)],
@@ -193,16 +184,23 @@ fn clone_pipeline_through_the_sat_route() {
             .collect();
         let ts = TaskSet::new(tasks).unwrap();
         for m in 1..=2 {
-            let (sat, info_a) = solve_arbitrary_deadline(&ts, |c| {
-                solve_csp1_sat(c, m, &Csp1SatConfig::default()).unwrap()
-            })
+            let (sat, info_a) = solve_arbitrary_deadline(
+                &ts,
+                m,
+                SolverSpec::Csp1Sat.build().as_ref(),
+                &Budget::unlimited(),
+                &CancelToken::new(),
+            )
             .unwrap();
-            let (csp2, _info_b) = solve_arbitrary_deadline(&ts, |c| {
-                Csp2Solver::new(c, m)
-                    .unwrap()
-                    .with_order(TaskOrder::DeadlineMinusWcet)
-                    .solve()
-            })
+            let (csp2, _info_b) = solve_arbitrary_deadline(
+                &ts,
+                m,
+                SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet)
+                    .build()
+                    .as_ref(),
+                &Budget::unlimited(),
+                &CancelToken::new(),
+            )
             .unwrap();
             assert_eq!(
                 sat.verdict.is_feasible(),

@@ -94,8 +94,14 @@ fn generate_analyze_solve_verify_probabilize() {
             );
         }
     }
-    assert!(feasible_seen >= 10, "only {feasible_seen} feasible instances");
-    assert!(analytic_decided >= 10, "battery decided only {analytic_decided}");
+    assert!(
+        feasible_seen >= 10,
+        "only {feasible_seen} feasible instances"
+    );
+    assert!(
+        analytic_decided >= 10,
+        "battery decided only {analytic_decided}"
+    );
 }
 
 #[test]
@@ -105,7 +111,11 @@ fn quantile_budgets_integrate_with_exact_search() {
 
     // WCET-infeasible, quantile-recoverable.
     let ts = TaskSet::from_ocdt(&[(0, 2, 2, 2), (0, 2, 2, 2), (0, 2, 2, 2)]);
-    assert!(Csp2Solver::new(&ts, 2).unwrap().solve().verdict.is_infeasible());
+    assert!(Csp2Solver::new(&ts, 2)
+        .unwrap()
+        .solve()
+        .verdict
+        .is_infeasible());
 
     let model = ExecModel::uniform_to_wcet(&ts); // X ∈ {1, 2} uniformly
     let budgets = quantile_budgets(&model, 0.5);

@@ -1,0 +1,70 @@
+//! Vendored stub of `crossbeam`'s scoped threads backed by
+//! `std::thread::scope`.
+//!
+//! Only the `crossbeam::scope(|s| { s.spawn(|_| …) })` entry point used by
+//! this workspace is provided. Panics in worker threads surface as an `Err`
+//! from `scope`, matching crossbeam's contract.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle passed to [`scope`]'s closure; `spawn` launches a worker
+/// joined before `scope` returns.
+#[repr(transparent)]
+pub struct Scope<'scope, 'env: 'scope>(std::thread::Scope<'scope, 'env>);
+
+fn wrap<'a, 'scope, 'env>(s: &'a std::thread::Scope<'scope, 'env>) -> &'a Scope<'scope, 'env> {
+    // SAFETY: `Scope` is a `#[repr(transparent)]` wrapper around
+    // `std::thread::Scope`, so the reference cast is layout- and
+    // lifetime-preserving.
+    unsafe { &*(std::ptr::from_ref(s).cast::<Scope<'scope, 'env>>()) }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope again so
+    /// workers can spawn further workers (crossbeam's signature).
+    pub fn spawn<F, T>(&'scope self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&'scope Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.0.spawn(move || f(self))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before this returns. A worker panic is
+/// reported as `Err` (crossbeam semantics) instead of resuming the unwind.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(wrap(s)))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_share_borrowed_state() {
+        let data = std::sync::Mutex::new(0u64);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    *data.lock().unwrap() += 1;
+                });
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(*data.lock().unwrap(), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

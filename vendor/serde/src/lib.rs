@@ -1,0 +1,276 @@
+//! Vendored subset of the `serde` API (offline build).
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the serialization surface the workspace uses: the `Serialize` /
+//! `Deserialize` traits and derives, routed through a self-describing
+//! [`Value`] tree (the JSON data model) instead of serde's
+//! serializer/deserializer visitors. `serde_json` renders and parses that
+//! tree. The derives mirror serde's default representations: structs as
+//! objects, unit enum variants as strings, data-carrying variants as
+//! single-key objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{DeError, Value};
+
+/// Types convertible into the self-describing [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from a [`Value`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Fallback when a struct field is absent. Errors by default;
+    /// `Option<T>` overrides it to `None` (serde's optional-field
+    /// behaviour).
+    fn missing_field(name: &str) -> Result<Self, DeError> {
+        Err(DeError::new(format!("missing field `{name}`")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", v))?;
+                <$t>::try_from(n).map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+ ; $len:expr)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)), other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!(
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support machinery the derive macro expands against. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Fetch and parse a struct field, applying the `Option`-aware
+    /// missing-field fallback.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v {
+            Value::Object(pairs) => match pairs.iter().find(|(k, _)| k == name) {
+                Some((_, fv)) => {
+                    T::from_value(fv).map_err(|e| DeError::new(format!("field `{name}`: {e}")))
+                }
+                None => T::missing_field(name),
+            },
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+
+    /// Expect an object with exactly one key (enum data-variant form) and
+    /// return `(key, value)`.
+    pub fn single_key(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+            other => Err(DeError::expected("single-key variant object", other)),
+        }
+    }
+
+    /// Element `i` of an array (tuple-variant payload).
+    pub fn element<T: Deserialize>(v: &Value, i: usize, len: usize) -> Result<T, DeError> {
+        match v {
+            Value::Array(items) if items.len() == len => T::from_value(&items[i]),
+            other => Err(DeError::expected("tuple-variant array", other)),
+        }
+    }
+}

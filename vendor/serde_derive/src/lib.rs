@@ -1,0 +1,366 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build environment cannot fetch `syn`/`quote`, so the item is
+//! parsed directly from the raw `proc_macro` token stream. Supported
+//! shapes — the ones this workspace uses — are non-generic structs (named,
+//! tuple, unit) and enums with unit / tuple / struct variants, mapped to
+//! serde's default (externally tagged) representation. `#[serde(...)]`
+//! attributes are not supported and produce a compile error rather than
+//! being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; error on `#[serde(...)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner = g.stream().to_string();
+            assert!(
+                !inner.starts_with("serde"),
+                "vendored serde_derive does not support #[serde(...)] attributes: {inner}"
+            );
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token sequence on top-level commas (`<>` depth tracked; `()`,
+/// `[]`, `{}` arrive as single `Group` trees so need no tracking).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if is_punct(t, '<') {
+            angle += 1;
+        } else if is_punct(t, '>') {
+            angle -= 1;
+        } else if angle == 0 && is_punct(t, ',') {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_commas(group_tokens)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let i = skip_vis(&part, skip_attrs(&part, 0));
+            ident_of(&part[i]).unwrap_or_else(|| panic!("expected field name in {part:?}"))
+        })
+        .collect()
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match g.delimiter() {
+        Delimiter::Brace => Fields::Named(parse_named_fields(&toks)),
+        Delimiter::Parenthesis => Fields::Tuple(
+            split_top_commas(&toks)
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .count(),
+        ),
+        other => panic!("unexpected field delimiter {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = ident_of(&tokens[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("type name");
+    i += 1;
+    assert!(
+        !(i < tokens.len() && is_punct(&tokens[i], '<')),
+        "vendored serde_derive does not support generic types (deriving on `{name}`)"
+    );
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) => parse_fields_group(g),
+                Some(t) if is_punct(t, ';') => Fields::Unit,
+                other => panic!("unexpected token after struct name: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let TokenTree::Group(g) = &tokens[i] else {
+                panic!("expected enum body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_commas(&body)
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .map(|part| {
+                    let j = skip_attrs(&part, 0);
+                    let vname = ident_of(&part[j]).expect("variant name");
+                    let fields = match part.get(j + 1) {
+                        Some(TokenTree::Group(g)) => parse_fields_group(g),
+                        None => Fields::Unit,
+                        Some(t) if is_punct(t, '=') => {
+                            panic!("explicit discriminants unsupported on `{vname}`")
+                        }
+                        Some(other) => panic!("unexpected token in variant: {other:?}"),
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let pairs: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("x{k}")).collect();
+                            let vals: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(x{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__private::field(v, \"{f}\")?,"))
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::__private::element(v, {k}, {n})?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!(
+                                    "::serde::__private::element(payload, {k}, {n})?"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| format!(
+                                    "{f}: ::serde::__private::field(payload, \"{f}\")?,"
+                                ))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                       }},\n\
+                       _ => {{\n\
+                         let (key, payload) = ::serde::__private::single_key(v)?;\n\
+                         let _ = payload;\n\
+                         match key {{\n\
+                           {datas}\n\
+                           other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                               format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
