@@ -8,16 +8,16 @@
 //!
 //! Run with: `cargo run --release -p mgrts-bench --bin ext_sat -- [flags]`
 
-use mgrts_bench::{run_corpus, Args, InstanceOutcome, SolverKind};
+use mgrts_bench::{run_corpus, Args, InstanceOutcome, SolverSpec};
 use mgrts_core::heuristics::TaskOrder;
 use rt_gen::{GeneratorConfig, ProblemGenerator};
 
 fn main() {
     let args = Args::parse();
     let roster = [
-        SolverKind::Csp1,
-        SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
-        SolverKind::Csp1Sat,
+        SolverSpec::Csp1,
+        SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
+        SolverSpec::Csp1Sat,
     ];
     eprintln!(
         "EXT-SAT: {} instances (m=5, n=10, Tmax=7), limit {:?}, seed {}",
@@ -67,15 +67,15 @@ fn main() {
     let mut agree = 0u64;
     let mut both = 0u64;
     for i in 0..problems.len() as u64 {
-        let of = |s: SolverKind| {
+        let of = |s: SolverSpec| {
             records
                 .iter()
                 .find(|r| r.instance == i && r.solver == s)
                 .map(|r| r.outcome)
         };
         if let (Some(a), Some(b)) = (
-            of(SolverKind::Csp2(TaskOrder::DeadlineMinusWcet)),
-            of(SolverKind::Csp1Sat),
+            of(SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet)),
+            of(SolverSpec::Csp1Sat),
         ) {
             let dec = |o: InstanceOutcome| {
                 matches!(

@@ -1,10 +1,11 @@
 //! Figure 1 reproduction: the availability-interval pattern of the running
 //! example over one hyperperiod, plus a feasible schedule found by
-//! CSP2+(D-C).
+//! CSP2+(D-C) — obtained through the same engine seam the campaign
+//! executor uses (no bespoke solver construction).
 //!
 //! Run with: `cargo run -p mgrts-bench --bin figure1`
 
-use mgrts_core::csp2::Csp2Solver;
+use mgrts_core::engine::{Budget, CancelToken, SolverSpec};
 use mgrts_core::heuristics::TaskOrder;
 use rt_sim::{render_intervals, render_schedule};
 use rt_task::TaskSet;
@@ -13,10 +14,10 @@ fn main() {
     let ts = TaskSet::running_example();
     println!("Figure 1 — availability intervals of Example 1 (m = 2, H = 12)\n");
     println!("{}", render_intervals(&ts).unwrap());
-    let res = Csp2Solver::new(&ts, 2)
-        .unwrap()
-        .with_order(TaskOrder::DeadlineMinusWcet)
-        .solve();
+    let res = SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet)
+        .build()
+        .solve(&ts, 2, &Budget::unlimited(), &CancelToken::new())
+        .expect("running example is a valid task set");
     println!("A feasible schedule (CSP2 + (D-C)):\n");
     println!("{}", render_schedule(res.verdict.schedule().unwrap()));
 }

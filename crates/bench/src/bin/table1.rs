@@ -1,9 +1,16 @@
-//! Tables I and II reproduction (Section VII-C).
+//! Tables I and II reproduction (Section VII-C), rebased on the campaign
+//! engine.
 //!
 //! 500 random problems with m = 5, n = 10, Tmax = 7, solved by all six
 //! solver columns under a wall-clock limit; reports the number of runs
 //! reaching the limit, split by solved-by-someone (Table I) and, for
-//! unsolved instances, by the r > 1 filter (Table II).
+//! unsolved instances, by the r > 1 filter (Table II). The run streams its
+//! records to a record store (`--out`, default `target/campaigns/table1`)
+//! and emits `BENCH_table1.json` there; the printed tables are reports
+//! over that store, byte-identical to `mgrts bench campaign run` +
+//! `report table1` on the same manifest. The binary always starts fresh
+//! (clearing the store) — to continue an interrupted run instead, use
+//! `mgrts bench campaign resume --out <store>`.
 //!
 //! Paper defaults: `--instances 500 --time-limit-ms 30000`. The binary's
 //! default time limit is 1 s — modern hardware classification of "hard"
@@ -11,8 +18,9 @@
 //!
 //! Run with: `cargo run --release -p mgrts-bench --bin table1 -- [flags]`
 
-use mgrts_bench::{run_corpus, tables, Args, SolverKind};
-use rt_gen::{GeneratorConfig, ProblemGenerator};
+use mgrts_bench::campaign::{self, CampaignOptions, Manifest};
+use mgrts_bench::Args;
+use mgrts_core::engine::CancelGroup;
 
 fn main() {
     let args = Args::parse();
@@ -20,25 +28,26 @@ fn main() {
         "Tables I & II: {} instances (m=5, n=10, Tmax=7), limit {:?}, seed {}",
         args.instances, args.time_limit, args.seed
     );
-    let gen = ProblemGenerator::new(GeneratorConfig::table1(), args.seed);
-    let problems = gen.batch(args.instances);
-    let records = run_corpus(
-        &problems,
-        &SolverKind::ROSTER,
-        args.time_limit,
-        args.threads,
-        true,
-    );
+    let m = Manifest::table1("table1", args.instances, args.seed, args.time_limit);
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/campaigns/table1".into());
+    let opts = CampaignOptions {
+        threads: args.threads,
+        progress: true,
+        max_shards: None,
+    };
+    campaign::run_fresh(&m, &out_dir, &opts, &CancelGroup::new()).expect("campaign run");
+    let records = mgrts_bench::sink::load_records(&out_dir).expect("load records");
     if let Some(path) = &args.json {
-        mgrts_bench::runner::save_records(&records, path).expect("write records");
+        let runs: Vec<_> = records
+            .iter()
+            .map(mgrts_bench::sink::CampaignRecord::to_run_record)
+            .collect();
+        mgrts_bench::runner::save_records(&runs, path).expect("write records");
         eprintln!("raw records written to {}", path.display());
     }
-
-    println!("\nTABLE I — number of runs reaching the time limit\n");
-    println!(
-        "{}",
-        tables::table1(&records, &SolverKind::ROSTER, args.instances)
-    );
-    println!("\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n");
-    println!("{}", tables::table2(&records, &SolverKind::ROSTER));
+    print!("{}", campaign::report_table1(&m, &records));
+    eprintln!("record store: {}", out_dir.display());
 }

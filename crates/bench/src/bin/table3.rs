@@ -1,11 +1,15 @@
-//! Table III reproduction (Section VII-D): distribution of the 500
-//! generated instances over utilization-ratio buckets and the mean
-//! resolution time (over all six solvers) per bucket.
+//! Table III reproduction (Section VII-D), rebased on the campaign engine:
+//! distribution of the 500 generated instances over utilization-ratio
+//! buckets and the mean resolution time (over all six solvers) per bucket.
+//! Streams records to a store (`--out`, default `target/campaigns/table3`)
+//! and emits `BENCH_table3.json`. Always starts fresh; use
+//! `mgrts bench campaign resume --out <store>` to continue a killed run.
 //!
 //! Run with: `cargo run --release -p mgrts-bench --bin table3 -- [flags]`
 
-use mgrts_bench::{run_corpus, tables, Args, SolverKind};
-use rt_gen::{GeneratorConfig, ProblemGenerator};
+use mgrts_bench::campaign::{self, CampaignOptions, Manifest};
+use mgrts_bench::Args;
+use mgrts_core::engine::CancelGroup;
 
 fn main() {
     let args = Args::parse();
@@ -13,19 +17,26 @@ fn main() {
         "Table III: {} instances (m=5, n=10, Tmax=7), limit {:?}, seed {}",
         args.instances, args.time_limit, args.seed
     );
-    let gen = ProblemGenerator::new(GeneratorConfig::table1(), args.seed);
-    let problems = gen.batch(args.instances);
-    let records = run_corpus(
-        &problems,
-        &SolverKind::ROSTER,
-        args.time_limit,
-        args.threads,
-        true,
-    );
+    let m = Manifest::table1("table3", args.instances, args.seed, args.time_limit);
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/campaigns/table3".into());
+    let opts = CampaignOptions {
+        threads: args.threads,
+        progress: true,
+        max_shards: None,
+    };
+    campaign::run_fresh(&m, &out_dir, &opts, &CancelGroup::new()).expect("campaign run");
+    let records = mgrts_bench::sink::load_records(&out_dir).expect("load records");
     if let Some(path) = &args.json {
-        mgrts_bench::runner::save_records(&records, path).expect("write records");
+        let runs: Vec<_> = records
+            .iter()
+            .map(mgrts_bench::sink::CampaignRecord::to_run_record)
+            .collect();
+        mgrts_bench::runner::save_records(&runs, path).expect("write records");
         eprintln!("raw records written to {}", path.display());
     }
-    println!("\nTABLE III — instance distribution and mean resolution time by r\n");
-    println!("{}", tables::table3(&records));
+    print!("{}", campaign::report_table3(&m, &records));
+    eprintln!("record store: {}", out_dir.display());
 }

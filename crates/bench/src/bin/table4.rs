@@ -1,9 +1,13 @@
-//! Table IV reproduction (Section VII-E): scaling with the number of tasks.
+//! Table IV reproduction (Section VII-E), rebased on the campaign engine:
+//! scaling with the number of tasks.
 //!
-//! For each n ∈ {4, 8, 16, 32, 64, 128, 256}: random problems with
-//! Tmax = 15 and m = ⌈Σ Ci/Ti⌉ (the minimum passing the utilization
-//! filter), solved by CSP1 and CSP2+(D-C). Reports mean r, m, hyperperiod,
-//! and per solver the solved fraction and mean resolution time. CSP1 rows
+//! One grid cell per n ∈ {4, 8, 16, 32, 64, 128, 256} with Tmax = 15 and
+//! m = ⌈Σ Ci/Ti⌉ (the minimum passing the utilization filter), solved by
+//! CSP1 and CSP2+(D-C). The old per-n generation loop is gone — the
+//! campaign grid *is* the loop, and the printed table is a report over the
+//! record store (`--out`, default `target/campaigns/table4`; the binary
+//! always starts fresh — `mgrts bench campaign resume` continues a killed
+//! run). CSP1 rows
 //! show `–` where every run hit the encoding size guard — the paper's
 //! "runs out of memory on large instances".
 //!
@@ -11,9 +15,9 @@
 //!
 //! Run with: `cargo run --release -p mgrts-bench --bin table4 -- [flags]`
 
-use mgrts_bench::{run_corpus, tables, Args, InstanceOutcome, SolverKind};
-use mgrts_core::heuristics::TaskOrder;
-use rt_gen::{GeneratorConfig, ProblemGenerator};
+use mgrts_bench::campaign::{self, CampaignOptions, Manifest};
+use mgrts_bench::Args;
+use mgrts_core::engine::CancelGroup;
 
 const NS: [usize; 7] = [4, 8, 16, 32, 64, 128, 256];
 
@@ -26,52 +30,30 @@ fn main() {
         "Table IV: {} instances per n, Tmax=15, m=⌈U⌉, limit {:?}, seed {}",
         args.instances, args.time_limit, args.seed
     );
-    let roster = [
-        SolverKind::Csp1,
-        SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
-    ];
-    let mut rows = Vec::new();
-    for n in NS {
-        eprintln!("n = {n} …");
-        let gen = ProblemGenerator::new(GeneratorConfig::table4(n), args.seed);
-        let problems = gen.batch(args.instances);
-        // Large-n instances allocate hundreds of MB of search state each;
-        // cap the parallelism so peak memory stays bounded.
-        let threads = if n >= 64 {
-            2
-        } else if n >= 32 {
-            4
-        } else {
-            args.threads
-        };
-        let records = run_corpus(&problems, &roster, args.time_limit, threads, false);
-
-        let mean = |f: &dyn Fn(&rt_gen::Problem) -> f64| -> f64 {
-            problems.iter().map(f).sum::<f64>() / problems.len() as f64
-        };
-        let per_solver = roster
+    let m = Manifest::table4(&NS, args.instances, args.seed, args.time_limit);
+    let out_dir = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "target/campaigns/table4".into());
+    // Large-n instances allocate hundreds of MB of search state each, and
+    // the flat shard queue reaches the n ≥ 64 cells with every worker
+    // active — cap at 2 workers (the old per-n ladder's large-n limit) so
+    // peak memory stays bounded.
+    let opts = CampaignOptions {
+        threads: args.threads.min(2),
+        progress: true,
+        max_shards: None,
+    };
+    campaign::run_fresh(&m, &out_dir, &opts, &CancelGroup::new()).expect("campaign run");
+    let records = mgrts_bench::sink::load_records(&out_dir).expect("load records");
+    if let Some(path) = &args.json {
+        let runs: Vec<_> = records
             .iter()
-            .map(|&s| {
-                let runs: Vec<_> = records.iter().filter(|r| r.solver == s).collect();
-                let solved = runs
-                    .iter()
-                    .filter(|r| r.outcome == InstanceOutcome::Solved)
-                    .count() as f64
-                    / runs.len() as f64;
-                let t_ms =
-                    runs.iter().map(|r| r.time_us as f64).sum::<f64>() / runs.len() as f64 / 1000.0;
-                let all_too_large = runs.iter().all(|r| r.outcome == InstanceOutcome::TooLarge);
-                (solved, t_ms, all_too_large)
-            })
+            .map(mgrts_bench::sink::CampaignRecord::to_run_record)
             .collect();
-        rows.push(tables::Table4Row {
-            n,
-            mean_r: mean(&|p| p.utilization_ratio()),
-            mean_m: mean(&|p| p.m as f64),
-            mean_h: mean(&|p| p.taskset.hyperperiod().unwrap_or(0) as f64),
-            per_solver,
-        });
+        mgrts_bench::runner::save_records(&runs, path).expect("write records");
+        eprintln!("raw records written to {}", path.display());
     }
-    println!("\nTABLE IV — experiments with a growing number of tasks\n");
-    println!("{}", tables::table4(&rows, &roster));
+    print!("{}", campaign::report_table4(&m, &records));
+    eprintln!("record store: {}", out_dir.display());
 }

@@ -1,0 +1,1537 @@
+//! The experiment-campaign engine: declarative manifests, sharded
+//! resumable execution, and table reports over the record store.
+//!
+//! The paper's evaluation is a set of *campaigns* — thousands of generated
+//! instances swept over utilization × task-count × processor-count grids
+//! and reduced to Tables I–IV. This module turns that from bespoke
+//! per-binary loops into one engine:
+//!
+//! 1. a [`Manifest`] (TOML subset) declares the scenario grid and budgets;
+//! 2. [`crate::shard::plan_shards`] splits the grid into content-hashed
+//!    work units;
+//! 3. [`run_fresh`]/[`resume`] execute shards on a self-scheduling worker
+//!    pool (workers pull the next pending shard, so load balances without
+//!    a coordinator) with per-shard budgets and cooperative cancellation
+//!    via [`CancelGroup`];
+//! 4. completed shards stream to the JSONL record store
+//!    ([`crate::sink`]); a killed campaign resumes exactly where it
+//!    stopped, deduping replayed shards by hash;
+//! 5. [`report`] reduces the record store to the paper's tables, and every
+//!    invocation emits a machine-readable `BENCH_<name>.json` [`Summary`]
+//!    that seeds the perf trajectory ([`gate`] compares two of them in
+//!    CI).
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mgrts_core::engine::{Budget, CancelGroup, SolverSpec};
+use rt_gen::{derive_stream_seed, ProblemGenerator, RateMatrixGen};
+
+use crate::runner::{run_one_budgeted, run_one_hetero, InstanceOutcome};
+use crate::shard::{plan_shards, Cell, CellM, Shard};
+use crate::sink::{
+    canonical_export, load_done_shards, load_records, CampaignRecord, RecordSink, CHECKPOINT_FILE,
+    MANIFEST_FILE, RECORDS_FILE,
+};
+use crate::tables;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Campaign-level failures.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Manifest syntax or semantics.
+    Manifest(String),
+    /// Record-store inconsistency (wrong manifest, impossible band, …).
+    Store(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign I/O: {e}"),
+            CampaignError::Manifest(e) => write!(f, "manifest: {e}"),
+            CampaignError::Store(e) => write!(f, "record store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// A declarative campaign: scenario grid × budgets × solver roster.
+///
+/// The on-disk format is a TOML subset (two tables, scalar and single-line
+/// array values, `#` comments):
+///
+/// ```toml
+/// [campaign]
+/// name = "smoke"
+/// seed = 2009
+/// time_limit_ms = 250        # per-run wall-clock budget
+/// instances_per_cell = 40
+/// shard_size = 12            # runs per shard (checkpoint granularity)
+/// # max_shard_ms = 60000     # optional per-shard wall allowance
+///
+/// [grid]
+/// n = [10]
+/// m = [5]                    # integers or "auto" (m = ⌈U⌉)
+/// t_max = [7]
+/// utilization = ["*"]        # "*" or "lo..hi" bands
+/// hetero = [false]
+/// solvers = ["csp1", "csp2", "csp2-rm", "csp2-dm", "csp2-tc", "csp2-dc"]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Master seed; every cell samples its instance stream from it.
+    pub seed: u64,
+    /// Per-run wall-clock budget.
+    pub time_limit: Duration,
+    /// Instances per grid cell.
+    pub instances_per_cell: u64,
+    /// Runs per shard — the checkpoint granularity.
+    pub shard_size: usize,
+    /// Optional per-shard wall allowance; runs beyond it are classified as
+    /// overruns (trades canonical-export determinism for bounded shards).
+    pub max_shard: Option<Duration>,
+    /// Rejection-sampling scan cap for utilization bands.
+    pub band_scan_limit: u64,
+    /// The expanded scenario grid, in canonical (n, m, t_max, band,
+    /// hetero) nesting order.
+    pub cells: Vec<Cell>,
+    /// Solver roster; every instance runs once per entry.
+    pub roster: Vec<SolverSpec>,
+}
+
+/// Parsed value of the TOML subset.
+#[derive(Debug, Clone, PartialEq)]
+enum TomlVal {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    Array(Vec<TomlVal>),
+}
+
+fn parse_scalar(s: &str) -> Result<TomlVal, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(format!("unterminated string: {s}"));
+        };
+        if inner.contains('"') {
+            return Err(format!("embedded quote in string: {s}"));
+        }
+        return Ok(TomlVal::Str(inner.to_string()));
+    }
+    match s {
+        "true" => return Ok(TomlVal::Bool(true)),
+        "false" => return Ok(TomlVal::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(TomlVal::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(TomlVal::Float(f));
+    }
+    Err(format!("unparseable value: {s}"))
+}
+
+fn parse_value(s: &str) -> Result<TomlVal, String> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(format!("unterminated array: {s}"));
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(TomlVal::Array(Vec::new()));
+        }
+        let items = inner
+            .split(',')
+            .map(parse_scalar)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(TomlVal::Array(items));
+    }
+    parse_scalar(s)
+}
+
+/// Strip a trailing comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+impl Manifest {
+    /// Parse a manifest from TOML-subset text.
+    pub fn parse(text: &str) -> Result<Manifest, CampaignError> {
+        let err = |m: String| CampaignError::Manifest(m);
+        let mut section = String::new();
+        let mut entries: Vec<(String, TomlVal)> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(err(format!("line {}: malformed section", ln + 1)));
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!("line {}: expected `key = value`", ln + 1)));
+            };
+            let key = format!("{section}.{}", key.trim());
+            let value = parse_value(value).map_err(|e| err(format!("line {}: {e}", ln + 1)))?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(err(format!("line {}: duplicate key {key}", ln + 1)));
+            }
+            entries.push((key, value));
+        }
+        let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let req = |key: &str| get(key).ok_or_else(|| err(format!("missing key {key}")));
+        let as_u64 = |key: &str, v: &TomlVal| match v {
+            TomlVal::Int(i) if *i >= 0 => Ok(*i as u64),
+            _ => Err(err(format!("{key}: expected a non-negative integer"))),
+        };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, CampaignError> {
+            get(key).map(|v| as_u64(key, v)).transpose()
+        };
+        let arr = |key: &str| -> Result<&[TomlVal], CampaignError> {
+            match req(key)? {
+                TomlVal::Array(items) if !items.is_empty() => Ok(items),
+                TomlVal::Array(_) => Err(err(format!("{key}: must not be empty"))),
+                _ => Err(err(format!("{key}: expected an array"))),
+            }
+        };
+
+        let name = match req("campaign.name")? {
+            TomlVal::Str(s)
+                if !s.is_empty()
+                    && s.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') =>
+            {
+                s.clone()
+            }
+            _ => return Err(err("campaign.name: expected a [A-Za-z0-9_-]+ string".into())),
+        };
+        let seed = opt_u64("campaign.seed")?.unwrap_or(2009);
+        let time_limit = Duration::from_millis(opt_u64("campaign.time_limit_ms")?.unwrap_or(1000));
+        let instances_per_cell = opt_u64("campaign.instances_per_cell")?
+            .filter(|&c| c > 0)
+            .ok_or_else(|| err("campaign.instances_per_cell: required, > 0".into()))?;
+        let shard_size = opt_u64("campaign.shard_size")?.unwrap_or(32).max(1) as usize;
+        let max_shard = opt_u64("campaign.max_shard_ms")?.map(Duration::from_millis);
+        let band_scan_limit = opt_u64("campaign.band_scan_limit")?.unwrap_or(200_000);
+
+        let ns = arr("grid.n")?
+            .iter()
+            .map(|v| as_u64("grid.n", v).map(|n| n as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ms = arr("grid.m")?
+            .iter()
+            .map(|v| match v {
+                TomlVal::Int(i) if *i > 0 => Ok(CellM::Fixed(*i as usize)),
+                TomlVal::Str(s) if s == "auto" => Ok(CellM::Auto),
+                _ => Err(err(
+                    "grid.m: entries are positive integers or \"auto\"".into()
+                )),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let t_maxes = arr("grid.t_max")?
+            .iter()
+            .map(|v| as_u64("grid.t_max", v))
+            .collect::<Result<Vec<_>, _>>()?;
+        let bands = match get("grid.utilization") {
+            None => vec![None],
+            Some(TomlVal::Array(items)) if !items.is_empty() => items
+                .iter()
+                .map(|v| match v {
+                    TomlVal::Str(s) if s == "*" => Ok(None),
+                    TomlVal::Str(s) => {
+                        let (lo, hi) = s.split_once("..").ok_or_else(|| {
+                            err(format!("grid.utilization: `{s}` is not `lo..hi`"))
+                        })?;
+                        let lo: f64 = lo.trim().parse().map_err(|_| {
+                            err(format!("grid.utilization: bad lower bound in `{s}`"))
+                        })?;
+                        let hi: f64 = hi.trim().parse().map_err(|_| {
+                            err(format!("grid.utilization: bad upper bound in `{s}`"))
+                        })?;
+                        if lo >= hi || lo.is_nan() || hi.is_nan() {
+                            return Err(err(format!("grid.utilization: empty band `{s}`")));
+                        }
+                        Ok(Some((lo, hi)))
+                    }
+                    _ => Err(err("grid.utilization: entries are strings".into())),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(err("grid.utilization: expected an array".into())),
+        };
+        let heteros = match get("grid.hetero") {
+            None => vec![false],
+            Some(TomlVal::Array(items)) if !items.is_empty() => items
+                .iter()
+                .map(|v| match v {
+                    TomlVal::Bool(b) => Ok(*b),
+                    _ => Err(err("grid.hetero: entries are booleans".into())),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(err("grid.hetero: expected an array".into())),
+        };
+        let roster = arr("grid.solvers")?
+            .iter()
+            .map(|v| match v {
+                TomlVal::Str(s) => s.parse::<SolverSpec>().map_err(err),
+                _ => Err(err("grid.solvers: entries are strings".into())),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // Records are keyed by (cell, instance, solver); a duplicated
+        // roster entry would run twice but collapse to one record.
+        if let Some(dup) = roster
+            .iter()
+            .enumerate()
+            .find(|(i, s)| roster[..*i].contains(s))
+        {
+            return Err(err(format!("grid.solvers: duplicate entry `{}`", *dup.1)));
+        }
+
+        let mut cells = Vec::new();
+        for &n in &ns {
+            for &m in &ms {
+                for &t_max in &t_maxes {
+                    for &band in &bands {
+                        for &hetero in &heteros {
+                            if let CellM::Fixed(m) = m {
+                                if m == 0 {
+                                    return Err(err("grid.m: m must be ≥ 1".into()));
+                                }
+                            }
+                            if n == 0 || t_max == 0 {
+                                return Err(err("grid.n/t_max: must be ≥ 1".into()));
+                            }
+                            cells.push(Cell {
+                                n,
+                                m,
+                                t_max,
+                                band,
+                                hetero,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Manifest {
+            name,
+            seed,
+            time_limit,
+            instances_per_cell,
+            shard_size,
+            max_shard,
+            band_scan_limit,
+            cells,
+            roster,
+        })
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Manifest, CampaignError> {
+        Manifest::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Canonical TOML re-serialization — what `run` stores in the record
+    /// store so `resume`/`report` are self-contained. Note the grid is
+    /// stored in expanded per-cell form: parsing it back yields the same
+    /// cells (expansion is idempotent for single-value axes, so the
+    /// canonical form lists one axis entry per original combination only
+    /// when axes were singletons; to stay exact we store each axis's
+    /// de-duplicated values, which regenerate the identical product).
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        fn uniq<T: PartialEq + Clone>(items: impl Iterator<Item = T>) -> Vec<T> {
+            let mut out = Vec::new();
+            for x in items {
+                if !out.contains(&x) {
+                    out.push(x);
+                }
+            }
+            out
+        }
+        let ns = uniq(self.cells.iter().map(|c| c.n));
+        let ms = uniq(self.cells.iter().map(|c| c.m));
+        let t_maxes = uniq(self.cells.iter().map(|c| c.t_max));
+        let bands = uniq(self.cells.iter().map(|c| c.band));
+        let heteros = uniq(self.cells.iter().map(|c| c.hetero));
+        let join = |items: Vec<String>| items.join(", ");
+        let mut out = String::from("[campaign]\n");
+        out.push_str(&format!("name = \"{}\"\n", self.name));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!(
+            "time_limit_ms = {}\n",
+            self.time_limit.as_millis()
+        ));
+        out.push_str(&format!(
+            "instances_per_cell = {}\n",
+            self.instances_per_cell
+        ));
+        out.push_str(&format!("shard_size = {}\n", self.shard_size));
+        if let Some(d) = self.max_shard {
+            out.push_str(&format!("max_shard_ms = {}\n", d.as_millis()));
+        }
+        out.push_str(&format!("band_scan_limit = {}\n", self.band_scan_limit));
+        out.push_str("\n[grid]\n");
+        out.push_str(&format!(
+            "n = [{}]\n",
+            join(ns.iter().map(ToString::to_string).collect())
+        ));
+        out.push_str(&format!(
+            "m = [{}]\n",
+            join(
+                ms.iter()
+                    .map(|m| match m {
+                        CellM::Fixed(m) => m.to_string(),
+                        CellM::Auto => "\"auto\"".to_string(),
+                    })
+                    .collect()
+            )
+        ));
+        out.push_str(&format!(
+            "t_max = [{}]\n",
+            join(t_maxes.iter().map(ToString::to_string).collect())
+        ));
+        out.push_str(&format!(
+            "utilization = [{}]\n",
+            join(
+                bands
+                    .iter()
+                    .map(|b| match b {
+                        None => "\"*\"".to_string(),
+                        Some((lo, hi)) => format!("\"{lo}..{hi}\""),
+                    })
+                    .collect()
+            )
+        ));
+        out.push_str(&format!(
+            "hetero = [{}]\n",
+            join(heteros.iter().map(ToString::to_string).collect())
+        ));
+        out.push_str(&format!(
+            "solvers = [{}]\n",
+            join(self.roster.iter().map(|s| format!("\"{s}\"")).collect())
+        ));
+        out
+    }
+
+    /// Canonical fingerprint over everything that determines the work —
+    /// the prefix of every shard's content hash. The campaign *name* is
+    /// deliberately excluded: two differently-named campaigns over the
+    /// same grid do the same work, share shard hashes, and gate against
+    /// each other.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let cells: Vec<String> = self.cells.iter().map(|c| c.tag()).collect();
+        let roster: Vec<&str> = self.roster.iter().map(|s| s.name()).collect();
+        format!(
+            "seed={};limit_ms={};per_cell={};shard={};max_shard_ms={};scan={};cells=[{}];roster=[{}]",
+            self.seed,
+            self.time_limit.as_millis(),
+            self.instances_per_cell,
+            self.shard_size,
+            self.max_shard.map_or("none".to_string(), |d| d.as_millis().to_string()),
+            self.band_scan_limit,
+            cells.join(","),
+            roster.join(","),
+        )
+    }
+
+    /// The Tables I–III workload as a campaign: one cell with the paper's
+    /// m = 5, n = 10, Tmax = 7 and the six-solver roster. Both the
+    /// `table1`/`table3` binaries and the committed smoke manifest reduce
+    /// to this constructor, which is what makes `mgrts bench campaign run`
+    /// + `report table1` reproduce the binary byte-for-byte.
+    #[must_use]
+    pub fn table1(name: &str, instances: u64, seed: u64, time_limit: Duration) -> Manifest {
+        Manifest {
+            name: name.to_string(),
+            seed,
+            time_limit,
+            instances_per_cell: instances,
+            shard_size: 24,
+            max_shard: None,
+            band_scan_limit: 200_000,
+            cells: vec![Cell {
+                n: 10,
+                m: CellM::Fixed(5),
+                t_max: 7,
+                band: None,
+                hetero: false,
+            }],
+            roster: SolverSpec::TABLE1_ROSTER.to_vec(),
+        }
+    }
+
+    /// The Table IV workload as a campaign: one cell per n with Tmax = 15,
+    /// m = ⌈U⌉, solved by CSP1 and CSP2+(D-C).
+    #[must_use]
+    pub fn table4(ns: &[usize], instances: u64, seed: u64, time_limit: Duration) -> Manifest {
+        Manifest {
+            name: "table4".to_string(),
+            seed,
+            time_limit,
+            instances_per_cell: instances,
+            shard_size: 4,
+            max_shard: None,
+            band_scan_limit: 200_000,
+            cells: ns
+                .iter()
+                .map(|&n| Cell {
+                    n,
+                    m: CellM::Auto,
+                    t_max: 15,
+                    band: None,
+                    hetero: false,
+                })
+                .collect(),
+            roster: vec![
+                SolverSpec::Csp1,
+                SolverSpec::Csp2(mgrts_core::heuristics::TaskOrder::DeadlineMinusWcet),
+            ],
+        }
+    }
+
+    /// The campaign's deterministic shard plan.
+    #[must_use]
+    pub fn plan(&self) -> Vec<Shard> {
+        plan_shards(
+            &self.cells,
+            self.instances_per_cell,
+            &self.roster,
+            self.shard_size,
+            &self.fingerprint(),
+        )
+    }
+
+    /// Total run units in the campaign.
+    #[must_use]
+    pub fn total_runs(&self) -> u64 {
+        self.cells.len() as u64 * self.instances_per_cell * self.roster.len() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Execution knobs orthogonal to the manifest (they do not change the
+/// work, only how fast / how much of it runs this invocation).
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads.
+    pub threads: usize,
+    /// Progress lines on stderr.
+    pub progress: bool,
+    /// Stop (resumably) after committing this many shards this invocation.
+    pub max_shards: Option<u64>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            progress: false,
+            max_shards: None,
+        }
+    }
+}
+
+/// What one `run`/`resume` invocation accomplished.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The emitted summary (also written to `BENCH_<name>.json`).
+    pub summary: Summary,
+    /// Shards committed by this invocation.
+    pub shards_committed: u64,
+}
+
+/// Start a campaign from scratch in `out_dir`: clears any previous record
+/// store, writes the canonical manifest, executes every shard.
+pub fn run_fresh(
+    manifest: &Manifest,
+    out_dir: &Path,
+    opts: &CampaignOptions,
+    cancel: &CancelGroup,
+) -> Result<CampaignOutcome, CampaignError> {
+    // The store must be self-contained: the canonical manifest it carries
+    // has to regenerate *this* campaign, or `resume`/`report` would
+    // operate on different work. A programmatic Manifest whose cells are
+    // not a full axis product cannot round-trip — reject it up front
+    // rather than strand the store.
+    let round_trip = Manifest::parse(&manifest.to_toml())?;
+    if round_trip != *manifest {
+        return Err(CampaignError::Manifest(
+            "manifest does not survive canonical re-serialization (the cell list \
+             must be the full cartesian product of its axis values)"
+                .into(),
+        ));
+    }
+    std::fs::create_dir_all(out_dir)?;
+    for name in [RECORDS_FILE, CHECKPOINT_FILE] {
+        let p = out_dir.join(name);
+        if p.exists() {
+            std::fs::remove_file(&p)?;
+        }
+    }
+    std::fs::write(out_dir.join(MANIFEST_FILE), manifest.to_toml())?;
+    execute(manifest, out_dir, opts, cancel, HashSet::new())
+}
+
+/// Resume the campaign recorded in `out_dir`: reload its manifest, skip
+/// every checkpointed shard, run the rest.
+pub fn resume(
+    out_dir: &Path,
+    opts: &CampaignOptions,
+    cancel: &CancelGroup,
+) -> Result<CampaignOutcome, CampaignError> {
+    let manifest = Manifest::load(&out_dir.join(MANIFEST_FILE))?;
+    let done = load_done_shards(out_dir)?;
+    let planned: HashSet<String> = manifest.plan().into_iter().map(|s| s.hash).collect();
+    if let Some(stranger) = done.iter().find(|h| !planned.contains(*h)) {
+        return Err(CampaignError::Store(format!(
+            "checkpointed shard {stranger} is not part of this manifest's plan \
+             (the store was produced by a different manifest); use `run` to start fresh"
+        )));
+    }
+    execute(&manifest, out_dir, opts, cancel, done)
+}
+
+fn execute(
+    manifest: &Manifest,
+    out_dir: &Path,
+    opts: &CampaignOptions,
+    cancel: &CancelGroup,
+    done: HashSet<String>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let started = Instant::now();
+    let shards = manifest.plan();
+    let pending: Vec<&Shard> = shards.iter().filter(|s| !done.contains(&s.hash)).collect();
+    let todo: &[&Shard] = match opts.max_shards {
+        Some(k) => &pending[..(k as usize).min(pending.len())],
+        None => &pending,
+    };
+
+    let sink = Mutex::new(RecordSink::open(out_dir)?);
+    let next = Mutex::new(0usize);
+    let committed = Mutex::new(0u64);
+    let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..opts.threads.max(1) {
+            scope.spawn(|_| loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let idx = {
+                    let mut n = next.lock();
+                    if *n >= todo.len() {
+                        break;
+                    }
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let shard = todo[idx];
+                match run_shard(manifest, shard, cancel) {
+                    Ok(Some(records)) => {
+                        if let Err(e) = sink.lock().commit_shard(shard, &records) {
+                            *failure.lock() = Some(CampaignError::Io(e));
+                            cancel.cancel_all();
+                            break;
+                        }
+                        let mut c = committed.lock();
+                        *c += 1;
+                        if opts.progress {
+                            eprintln!(
+                                "  shard {}/{} committed ({} this run, {} units)",
+                                done.len() as u64 + *c,
+                                shards.len(),
+                                *c,
+                                records.len(),
+                            );
+                        }
+                    }
+                    Ok(None) => break, // cancelled mid-shard: leave it for resume
+                    Err(e) => {
+                        *failure.lock() = Some(e);
+                        cancel.cancel_all();
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+
+    let shards_committed = committed.into_inner();
+    let done_after = load_done_shards(out_dir)?;
+    let records = load_records(out_dir)?;
+    let summary = summarize(
+        manifest,
+        &records,
+        shards.len() as u64,
+        done_after.len() as u64,
+        started.elapsed().as_millis() as u64,
+    );
+    std::fs::write(
+        out_dir.join(format!("BENCH_{}.json", manifest.name)),
+        serde_json::to_string_pretty(&summary).map_err(std::io::Error::other)?,
+    )?;
+    Ok(CampaignOutcome {
+        summary,
+        shards_committed,
+    })
+}
+
+/// Run every unit of one shard. Returns `Ok(None)` when cancellation
+/// preempted the shard (nothing is committed; resume re-runs it whole).
+fn run_shard(
+    manifest: &Manifest,
+    shard: &Shard,
+    cancel: &CancelGroup,
+) -> Result<Option<Vec<CampaignRecord>>, CampaignError> {
+    let token = cancel.register();
+    let deadline = manifest.max_shard.map(|d| Instant::now() + d);
+    let mut records = Vec::with_capacity(shard.units.len());
+    // Units are ordered (cell, instance, solver), so the whole roster of
+    // one instance is consecutive — generate the instance once and reuse
+    // it (for banded cells generation is a rejection *scan*, not a lookup).
+    let mut cached: Option<((usize, u64), rt_gen::Problem)> = None;
+    for unit in &shard.units {
+        if token.is_cancelled() {
+            return Ok(None);
+        }
+        let cell = &manifest.cells[unit.cell];
+        let solver = manifest.roster[unit.solver];
+        let p = match &cached {
+            Some((key, p)) if *key == (unit.cell, unit.instance) => p.clone(),
+            _ => {
+                let gen = ProblemGenerator::new(cell.generator_config(), manifest.seed);
+                let p = match cell.band {
+                    None => gen.nth(unit.instance),
+                    Some((lo, hi)) => gen
+                        .nth_in_band(unit.instance, lo, hi, manifest.band_scan_limit)
+                        .ok_or_else(|| {
+                            CampaignError::Store(format!(
+                                "cell {}: fewer than {} instances in utilization band \
+                                 [{lo}, {hi}) within the first {} samples",
+                                cell.tag(),
+                                unit.instance + 1,
+                                manifest.band_scan_limit
+                            ))
+                        })?,
+                };
+                cached = Some(((unit.cell, unit.instance), p.clone()));
+                p
+            }
+        };
+        let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        let budget = Budget::time_limit(manifest.time_limit).capped(remaining);
+        let (outcome, time_us) = if cell.hetero {
+            let platform = RateMatrixGen::default().generate(
+                p.taskset.len(),
+                p.m,
+                derive_stream_seed(p.seed, "platform"),
+            );
+            run_one_hetero(&p, &platform, solver, &budget, &token)
+        } else {
+            run_one_budgeted(&p, solver, &budget, &token)
+        };
+        if outcome == InstanceOutcome::Cancelled {
+            // Don't commit half-truths: a cancelled unit means the shard
+            // must re-run on resume.
+            return Ok(None);
+        }
+        records.push(CampaignRecord {
+            shard: shard.hash.clone(),
+            cell: unit.cell,
+            instance: unit.instance,
+            global_instance: unit.cell as u64 * manifest.instances_per_cell + unit.instance,
+            solver,
+            outcome,
+            time_us,
+            ratio: p.utilization_ratio(),
+            filtered: p.filtered_out(),
+            m: p.m,
+            n: cell.n,
+            t_max: cell.t_max,
+            hetero: cell.hetero,
+            hyperperiod: p.taskset.hyperperiod().unwrap_or(0),
+            seed: p.seed,
+        });
+    }
+    Ok(Some(records))
+}
+
+// ---------------------------------------------------------------------------
+// Summary + perf gate
+// ---------------------------------------------------------------------------
+
+/// Per-solver aggregate of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverSummary {
+    /// Total runs.
+    pub runs: u64,
+    /// Feasible schedules found (verified).
+    pub solved: u64,
+    /// Infeasibility proofs.
+    pub infeasible: u64,
+    /// Wall-clock overruns.
+    pub overrun: u64,
+    /// Encoding-size-guard hits.
+    pub too_large: u64,
+    /// Runs without a decision procedure for the cell's platform.
+    pub unsupported: u64,
+    /// Overruns / runs.
+    pub timeout_rate: f64,
+    /// Mean wall-clock per run, microseconds.
+    pub mean_time_us: u64,
+}
+
+/// The machine-readable `BENCH_<name>.json` artifact: the perf-trajectory
+/// sample a campaign invocation leaves behind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Campaign name.
+    pub campaign: String,
+    /// Manifest fingerprint (ties the summary to the exact work).
+    pub fingerprint: String,
+    /// Did every shard commit?
+    pub completed: bool,
+    /// Shards in the plan.
+    pub shards_total: u64,
+    /// Shards committed so far (across invocations).
+    pub shards_done: u64,
+    /// Believable records in the store.
+    pub records: u64,
+    /// Wall-clock of this invocation, milliseconds.
+    pub wall_ms: u64,
+    /// Per-solver aggregates, in roster order.
+    pub solvers: Vec<(String, SolverSummary)>,
+}
+
+/// Reduce a record set to its [`Summary`].
+#[must_use]
+pub fn summarize(
+    manifest: &Manifest,
+    records: &[CampaignRecord],
+    shards_total: u64,
+    shards_done: u64,
+    wall_ms: u64,
+) -> Summary {
+    let solvers = manifest
+        .roster
+        .iter()
+        .map(|&spec| {
+            let runs: Vec<&CampaignRecord> = records.iter().filter(|r| r.solver == spec).collect();
+            let count = |o: InstanceOutcome| runs.iter().filter(|r| r.outcome == o).count() as u64;
+            let total = runs.len() as u64;
+            let overrun = count(InstanceOutcome::Overrun);
+            let mean_time_us = if runs.is_empty() {
+                0
+            } else {
+                runs.iter().map(|r| r.time_us).sum::<u64>() / total
+            };
+            (
+                spec.name().to_string(),
+                SolverSummary {
+                    runs: total,
+                    solved: count(InstanceOutcome::Solved),
+                    infeasible: count(InstanceOutcome::ProvedInfeasible),
+                    overrun,
+                    too_large: count(InstanceOutcome::TooLarge),
+                    unsupported: count(InstanceOutcome::Unsupported),
+                    timeout_rate: if total == 0 {
+                        0.0
+                    } else {
+                        overrun as f64 / total as f64
+                    },
+                    mean_time_us,
+                },
+            )
+        })
+        .collect();
+    Summary {
+        campaign: manifest.name.clone(),
+        fingerprint: manifest.fingerprint(),
+        completed: shards_done == shards_total,
+        shards_total,
+        shards_done,
+        records: records.len() as u64,
+        wall_ms,
+        solvers,
+    }
+}
+
+/// Outcome of a perf-gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Did the summary pass the gate?
+    pub ok: bool,
+    /// Human-readable findings, failures first.
+    pub lines: Vec<String>,
+}
+
+/// Compare a fresh summary against a committed baseline: fail on a
+/// wall-time regression beyond `tolerance` (0.25 = +25%) or on any solver
+/// *verdict drift* — decided-count movement not explainable by budget
+/// straddles, plus any too-large / unsupported / run-count change. Runs
+/// trading places between a decided verdict and Overrun are timing noise
+/// and only warn.
+#[must_use]
+pub fn gate(current: &Summary, baseline: &Summary, tolerance: f64) -> GateReport {
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+    if current.fingerprint != baseline.fingerprint {
+        failures.push(format!(
+            "fingerprint mismatch: current `{}` vs baseline `{}` — the gate \
+             compares different campaigns",
+            current.fingerprint, baseline.fingerprint
+        ));
+    }
+    if !current.completed {
+        failures.push("current campaign is incomplete".to_string());
+    }
+    let allowed = baseline.wall_ms as f64 * (1.0 + tolerance);
+    if (current.wall_ms as f64) > allowed {
+        failures.push(format!(
+            "wall-time regression: {} ms vs baseline {} ms (> +{:.0}%)",
+            current.wall_ms,
+            baseline.wall_ms,
+            tolerance * 100.0
+        ));
+    } else {
+        notes.push(format!(
+            "wall time {} ms within budget ({} ms baseline, +{:.0}% allowed)",
+            current.wall_ms,
+            baseline.wall_ms,
+            tolerance * 100.0
+        ));
+    }
+    for (name, base) in &baseline.solvers {
+        match current.solvers.iter().find(|(n, _)| n == name) {
+            None => failures.push(format!("solver {name} missing from current summary")),
+            Some((_, cur)) => {
+                // A run whose solve time straddles the budget flips between
+                // a decided verdict and Overrun across machines, so raw
+                // solved/infeasible counts are timing-dependent. What no
+                // amount of timing noise can produce is decided-count
+                // movement *beyond* the overrun exchange: every budget
+                // straddle moves one decided count and the overrun count by
+                // one each, so |Δsolved| + |Δinfeasible| ≤ |Δoverrun|
+                // always holds under timing noise, while a genuine verdict
+                // flip (Solved↔Infeasible — a soundness bug) violates it.
+                let d = |b: u64, c: u64| b.abs_diff(c);
+                if d(base.solved, cur.solved) + d(base.infeasible, cur.infeasible)
+                    > d(base.overrun, cur.overrun)
+                {
+                    failures.push(format!(
+                        "verdict drift: {name} solved {} → {}, infeasible {} → {} is not \
+                         explainable by overrun movement ({} → {})",
+                        base.solved,
+                        cur.solved,
+                        base.infeasible,
+                        cur.infeasible,
+                        base.overrun,
+                        cur.overrun
+                    ));
+                }
+                for (what, b, c) in [
+                    ("too_large", base.too_large, cur.too_large),
+                    ("unsupported", base.unsupported, cur.unsupported),
+                    ("runs", base.runs, cur.runs),
+                ] {
+                    if b != c {
+                        failures.push(format!("verdict drift: {name}.{what} {b} → {c}"));
+                    }
+                }
+                if base.overrun != cur.overrun {
+                    notes.push(format!(
+                        "note: {name}.overrun {} → {} (timing-dependent, not gated)",
+                        base.overrun, cur.overrun
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _) in &current.solvers {
+        if !baseline.solvers.iter().any(|(n, _)| n == name) {
+            failures.push(format!("solver {name} absent from baseline"));
+        }
+    }
+    let ok = failures.is_empty();
+    let mut lines = failures;
+    lines.extend(notes);
+    GateReport { ok, lines }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// Which report to render from a record store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// Tables I & II (overruns by solved partition and by filter).
+    Table1,
+    /// Table III (instance distribution / mean time by utilization bucket).
+    Table3,
+    /// Table IV (scaling rows, one per grid cell).
+    Table4,
+    /// The `BENCH_<name>.json` summary, as text.
+    Summary,
+}
+
+impl std::str::FromStr for ReportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "table1" | "table2" => ReportKind::Table1,
+            "table3" => ReportKind::Table3,
+            "table4" => ReportKind::Table4,
+            "summary" => ReportKind::Summary,
+            other => {
+                return Err(format!(
+                    "unknown report `{other}` (expected table1|table3|table4|summary)"
+                ))
+            }
+        })
+    }
+}
+
+/// Render a report over a record store directory.
+pub fn report(out_dir: &Path, kind: ReportKind) -> Result<String, CampaignError> {
+    let manifest = Manifest::load(&out_dir.join(MANIFEST_FILE))?;
+    let records = load_records(out_dir)?;
+    Ok(match kind {
+        ReportKind::Table1 => report_table1(&manifest, &records),
+        ReportKind::Table3 => report_table3(&manifest, &records),
+        ReportKind::Table4 => report_table4(&manifest, &records),
+        ReportKind::Summary => {
+            let done = load_done_shards(out_dir)?;
+            let shards = manifest.plan().len() as u64;
+            let summary = summarize(&manifest, &records, shards, done.len() as u64, 0);
+            render_summary(&summary)
+        }
+    })
+}
+
+/// Tables I & II over campaign records — byte-identical to the `table1`
+/// binary's stdout for an equivalent manifest.
+#[must_use]
+pub fn report_table1(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
+    let total = manifest.cells.len() as u64 * manifest.instances_per_cell;
+    format!(
+        "\nTABLE I — number of runs reaching the time limit\n\n{}\n\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n\n{}",
+        tables::table1(&runs, &manifest.roster, total),
+        tables::table2(&runs, &manifest.roster)
+    )
+}
+
+/// Table III over campaign records.
+#[must_use]
+pub fn report_table3(_manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
+    format!(
+        "\nTABLE III — instance distribution and mean resolution time by r\n\n{}",
+        tables::table3(&runs)
+    )
+}
+
+/// Table IV over campaign records: one row per grid cell, in manifest
+/// order.
+#[must_use]
+pub fn report_table4(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let mut rows = Vec::new();
+    for (ci, cell) in manifest.cells.iter().enumerate() {
+        let cell_records: Vec<&CampaignRecord> = records.iter().filter(|r| r.cell == ci).collect();
+        // Per-instance means: each instance appears once per solver; dedup
+        // on the instance index.
+        let mut seen = HashSet::new();
+        let instances: Vec<&&CampaignRecord> = cell_records
+            .iter()
+            .filter(|r| seen.insert(r.instance))
+            .collect();
+        if instances.is_empty() {
+            continue;
+        }
+        let mean = |f: &dyn Fn(&CampaignRecord) -> f64| -> f64 {
+            instances.iter().map(|r| f(r)).sum::<f64>() / instances.len() as f64
+        };
+        let per_solver = manifest
+            .roster
+            .iter()
+            .map(|&s| {
+                let runs: Vec<&&CampaignRecord> =
+                    cell_records.iter().filter(|r| r.solver == s).collect();
+                if runs.is_empty() {
+                    return (0.0, 0.0, false);
+                }
+                let solved = runs
+                    .iter()
+                    .filter(|r| r.outcome == InstanceOutcome::Solved)
+                    .count() as f64
+                    / runs.len() as f64;
+                let t_ms =
+                    runs.iter().map(|r| r.time_us as f64).sum::<f64>() / runs.len() as f64 / 1000.0;
+                let all_too_large = runs.iter().all(|r| r.outcome == InstanceOutcome::TooLarge);
+                (solved, t_ms, all_too_large)
+            })
+            .collect();
+        rows.push(tables::Table4Row {
+            n: cell.n,
+            mean_r: mean(&|r| r.ratio),
+            mean_m: mean(&|r| r.m as f64),
+            mean_h: mean(&|r| r.hyperperiod as f64),
+            per_solver,
+        });
+    }
+    format!(
+        "\nTABLE IV — experiments with a growing number of tasks\n\n{}",
+        tables::table4(&rows, &manifest.roster)
+    )
+}
+
+/// Text rendering of a [`Summary`].
+#[must_use]
+pub fn render_summary(s: &Summary) -> String {
+    let mut out = format!(
+        "campaign {} — {} records, shards {}/{}{}, wall {} ms\n",
+        s.campaign,
+        s.records,
+        s.shards_done,
+        s.shards_total,
+        if s.completed { " (complete)" } else { "" },
+        s.wall_ms,
+    );
+    out.push_str(&format!(
+        "{:<14} {:>7} {:>7} {:>10} {:>8} {:>9} {:>11} {:>13}\n",
+        "solver",
+        "runs",
+        "solved",
+        "infeasible",
+        "overrun",
+        "too-large",
+        "unsupported",
+        "mean t (µs)"
+    ));
+    for (name, sv) in &s.solvers {
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>7} {:>10} {:>8} {:>9} {:>11} {:>13}\n",
+            name,
+            sv.runs,
+            sv.solved,
+            sv.infeasible,
+            sv.overrun,
+            sv.too_large,
+            sv.unsupported,
+            sv.mean_time_us
+        ));
+    }
+    out
+}
+
+/// Canonical, replay-stable export of a store's record set (see
+/// [`crate::sink::canonical_export`]): the artifact the resume-determinism
+/// property is stated over.
+pub fn canonical_store_export(out_dir: &Path) -> Result<String, CampaignError> {
+    Ok(canonical_export(&load_records(out_dir)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = r#"
+# tiny but real
+[campaign]
+name = "unit"
+seed = 42
+time_limit_ms = 2000
+instances_per_cell = 3
+shard_size = 4
+
+[grid]
+n = [3, 4]
+m = [2]
+t_max = [4]
+utilization = ["*"]
+hetero = [false]
+solvers = ["csp2-dc", "sat"]
+"#;
+
+    #[test]
+    fn manifest_parses_and_round_trips_canonically() {
+        let m = Manifest::parse(SMOKE).unwrap();
+        assert_eq!(m.name, "unit");
+        assert_eq!(m.seed, 42);
+        assert_eq!(m.cells.len(), 2);
+        assert_eq!(m.roster.len(), 2);
+        assert_eq!(m.total_runs(), 12);
+        let back = Manifest::parse(&m.to_toml()).unwrap();
+        assert_eq!(m, back, "canonical form re-parses to the same manifest");
+        assert_eq!(m.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn smoke_manifest_is_the_table1_campaign() {
+        // The acceptance pin: the committed CI smoke manifest does exactly
+        // the work of `table1 --instances 24` (same fingerprint ⇒ same
+        // shard plan ⇒ same records ⇒ identical `report table1`).
+        let smoke = Manifest::load(Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../bench/manifests/smoke.toml"
+        )))
+        .unwrap();
+        let t1 = Manifest::table1(
+            "table1",
+            smoke.instances_per_cell,
+            smoke.seed,
+            smoke.time_limit,
+        );
+        assert_eq!(smoke.fingerprint(), t1.fingerprint());
+        assert_eq!(
+            smoke
+                .plan()
+                .iter()
+                .map(|s| s.hash.clone())
+                .collect::<Vec<_>>(),
+            t1.plan().iter().map(|s| s.hash.clone()).collect::<Vec<_>>(),
+        );
+        assert_eq!(smoke.roster.len(), 6, "all six roster solvers");
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_input() {
+        for (bad, why) in [
+            ("", "missing everything"),
+            ("[campaign]\nname = \"x\"\n", "missing grid"),
+            (
+                "[campaign]\nname = \"x\"\ninstances_per_cell = 1\n[grid]\nn = [2]\nm = [0]\nt_max = [3]\nsolvers = [\"csp1\"]",
+                "m = 0",
+            ),
+            (
+                "[campaign]\nname = \"x\"\ninstances_per_cell = 1\n[grid]\nn = [2]\nm = [2]\nt_max = [3]\nsolvers = [\"nonsense\"]",
+                "unknown solver",
+            ),
+            (
+                "[campaign]\nname = \"x\"\ninstances_per_cell = 1\n[grid]\nn = [2]\nm = [2]\nt_max = [3]\nutilization = [\"2.0..1.0\"]\nsolvers = [\"csp1\"]",
+                "empty band",
+            ),
+            (
+                "[campaign]\nname = \"x\"\nname = \"y\"\ninstances_per_cell = 1\n[grid]\nn = [2]\nm = [2]\nt_max = [3]\nsolvers = [\"csp1\"]",
+                "duplicate key",
+            ),
+            (
+                "[campaign]\nname = \"x\"\ninstances_per_cell = 1\n[grid]\nn = [2]\nm = [2]\nt_max = [3]\nsolvers = [\"csp1\", \"csp1\"]",
+                "duplicate roster entry",
+            ),
+        ] {
+            assert!(Manifest::parse(bad).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn comments_and_inline_comments_are_stripped() {
+        let m = Manifest::parse(
+            "[campaign]\nname = \"c\" # trailing\ninstances_per_cell = 2\n# full line\n[grid]\nn = [2]\nm = [2]\nt_max = [3]\nsolvers = [\"csp1\"]\n",
+        )
+        .unwrap();
+        assert_eq!(m.name, "c");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mgrts-campaign-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_run_completes_and_reports() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let dir = tmp("fresh");
+        let outcome = run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions {
+                threads: 2,
+                progress: false,
+                max_shards: None,
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        assert!(outcome.summary.completed);
+        assert_eq!(outcome.summary.records, 12);
+        assert_eq!(outcome.summary.shards_done, outcome.summary.shards_total);
+        assert!(dir.join("BENCH_unit.json").exists());
+        // Reports render over the store.
+        let t1 = report(&dir, ReportKind::Table1).unwrap();
+        assert!(t1.contains("TABLE I"));
+        assert!(t1.contains("TABLE II"));
+        let t4 = report(&dir, ReportKind::Table4).unwrap();
+        assert!(t4.contains("TABLE IV"));
+        let s = report(&dir, ReportKind::Summary).unwrap();
+        assert!(s.contains("campaign unit"));
+        // The summary verdicts balance: every run is accounted for.
+        for (_, sv) in &outcome.summary.solvers {
+            assert_eq!(
+                sv.runs,
+                sv.solved + sv.infeasible + sv.overrun + sv.too_large + sv.unsupported
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_the_same_canonical_records() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let a = tmp("uninterrupted");
+        let b = tmp("interrupted");
+        let opts = CampaignOptions {
+            threads: 2,
+            progress: false,
+            max_shards: None,
+        };
+        run_fresh(&manifest, &a, &opts, &CancelGroup::new()).unwrap();
+        // Stop after one shard, then resume.
+        let partial = run_fresh(
+            &manifest,
+            &b,
+            &CampaignOptions {
+                max_shards: Some(1),
+                ..opts.clone()
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        assert!(!partial.summary.completed);
+        assert_eq!(partial.shards_committed, 1);
+        let resumed = resume(&b, &opts, &CancelGroup::new()).unwrap();
+        assert!(resumed.summary.completed);
+        assert_eq!(
+            canonical_store_export(&a).unwrap(),
+            canonical_store_export(&b).unwrap(),
+            "resume must reconstruct the exact record set"
+        );
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_store_from_another_manifest() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let dir = tmp("reject");
+        run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions {
+                threads: 1,
+                progress: false,
+                max_shards: Some(1),
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        // Swap the stored manifest for a different campaign.
+        let other = SMOKE.replace("seed = 42", "seed = 43");
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            Manifest::parse(&other).unwrap().to_toml(),
+        )
+        .unwrap();
+        let err = resume(&dir, &CampaignOptions::default(), &CancelGroup::new());
+        assert!(matches!(err, Err(CampaignError::Store(_))), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_a_non_product_cell_list() {
+        // A programmatic manifest whose cells are not the full axis
+        // product cannot round-trip through the stored canonical TOML, so
+        // run_fresh must refuse before writing anything.
+        let mut manifest = Manifest::parse(SMOKE).unwrap();
+        manifest.cells = vec![
+            Cell {
+                n: 4,
+                m: CellM::Fixed(2),
+                t_max: 4,
+                band: None,
+                hetero: false,
+            },
+            Cell {
+                n: 6,
+                m: CellM::Fixed(3),
+                t_max: 5,
+                band: None,
+                hetero: false,
+            },
+        ];
+        let dir = tmp("nonproduct");
+        let err = run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions::default(),
+            &CancelGroup::new(),
+        );
+        assert!(matches!(err, Err(CampaignError::Manifest(_))), "{err:?}");
+        assert!(!dir.join(RECORDS_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_tolerates_budget_straddles_but_catches_verdict_flips() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let records: Vec<CampaignRecord> = Vec::new();
+        let mut base = summarize(&manifest, &records, 3, 3, 1000);
+        base.solvers[0].1.runs = 10;
+        base.solvers[0].1.solved = 6;
+        base.solvers[0].1.infeasible = 2;
+        base.solvers[0].1.overrun = 2;
+        // A run straddling the budget: Solved → Overrun. Timing noise, not
+        // drift — the gate must pass.
+        let mut straddle = base.clone();
+        straddle.solvers[0].1.solved = 5;
+        straddle.solvers[0].1.overrun = 3;
+        assert!(gate(&straddle, &base, 0.25).ok, "budget straddle gated");
+        // A genuine verdict flip: Solved → Infeasible. Soundness drift —
+        // the gate must fail.
+        let mut flip = base.clone();
+        flip.solvers[0].1.solved = 5;
+        flip.solvers[0].1.infeasible = 3;
+        let report = gate(&flip, &base, 0.25);
+        assert!(!report.ok, "verdict flip passed the gate");
+        assert!(report.lines.iter().any(|l| l.contains("verdict drift")));
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_early_and_is_resumable() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let dir = tmp("cancelled");
+        let cancel = CancelGroup::new();
+        cancel.cancel_all();
+        let outcome = run_fresh(&manifest, &dir, &CampaignOptions::default(), &cancel).unwrap();
+        assert_eq!(outcome.shards_committed, 0);
+        assert!(!outcome.summary.completed);
+        let resumed = resume(&dir, &CampaignOptions::default(), &CancelGroup::new()).unwrap();
+        assert!(resumed.summary.completed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_passes_identical_and_fails_drift_and_regression() {
+        let manifest = Manifest::parse(SMOKE).unwrap();
+        let records: Vec<CampaignRecord> = Vec::new();
+        let base = summarize(&manifest, &records, 3, 3, 1000);
+        let same = summarize(&manifest, &records, 3, 3, 1100);
+        assert!(gate(&same, &base, 0.25).ok, "10% slower is within +25%");
+        let slow = summarize(&manifest, &records, 3, 3, 1500);
+        assert!(!gate(&slow, &base, 0.25).ok, "50% slower must fail");
+        let mut drift = base.clone();
+        drift.wall_ms = 1000;
+        drift.solvers[0].1.solved += 1;
+        let report = gate(&drift, &base, 0.25);
+        assert!(!report.ok, "verdict drift must fail");
+        assert!(report.lines.iter().any(|l| l.contains("verdict drift")));
+        let incomplete = summarize(&manifest, &records, 3, 2, 1000);
+        assert!(!gate(&incomplete, &base, 0.25).ok);
+    }
+
+    #[test]
+    fn utilization_band_cells_only_contain_banded_instances() {
+        let text = SMOKE.replace("utilization = [\"*\"]", "utilization = [\"0.5..2.0\"]");
+        let manifest = Manifest::parse(&text).unwrap();
+        let dir = tmp("band");
+        run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions {
+                threads: 1,
+                progress: false,
+                max_shards: None,
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        let records = load_records(&dir).unwrap();
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(
+                (0.5..2.0).contains(&r.ratio),
+                "ratio {} out of band",
+                r.ratio
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hetero_cells_run_and_record() {
+        let text = SMOKE.replace("hetero = [false]", "hetero = [true]");
+        let manifest = Manifest::parse(&text).unwrap();
+        let dir = tmp("hetero");
+        let outcome = run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions {
+                threads: 1,
+                progress: false,
+                max_shards: None,
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        assert!(outcome.summary.completed);
+        let records = load_records(&dir).unwrap();
+        assert!(records.iter().all(|r| r.hetero));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

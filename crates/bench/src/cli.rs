@@ -21,6 +21,9 @@ pub struct Args {
     /// Optional path for the raw per-run records as JSON (re-aggregation
     /// without re-solving).
     pub json: Option<PathBuf>,
+    /// Record-store directory for the campaign engine (default
+    /// `target/campaigns/<name>`).
+    pub out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -33,6 +36,7 @@ impl Default for Args {
                 .map(|n| n.get())
                 .unwrap_or(4),
             json: None,
+            out: None,
         }
     }
 }
@@ -63,9 +67,10 @@ impl Args {
                 "--seed" => args.seed = value("--seed").parse().expect("u64"),
                 "--threads" => args.threads = value("--threads").parse().expect("usize"),
                 "--json" => args.json = Some(PathBuf::from(value("--json"))),
+                "--out" => args.out = Some(PathBuf::from(value("--out"))),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --instances N  --time-limit-ms MS  --seed S  --threads T  --json FILE"
+                        "flags: --instances N  --time-limit-ms MS  --seed S  --threads T  --json FILE  --out DIR"
                     );
                     std::process::exit(0);
                 }

@@ -1,7 +1,18 @@
 #![warn(missing_docs)]
 //! # mgrts-bench — experiment harness regenerating the paper's evaluation
 //!
-//! One binary per table/figure of Section VII:
+//! The heart of the crate is the **campaign engine** ([`campaign`]): a
+//! declarative manifest (scenario grid × budgets × solver roster) expands
+//! into content-hashed [`shard`]s, executed by a self-scheduling worker
+//! pool with per-shard budgets and cooperative cancellation, streaming
+//! JSONL records plus checkpoints to a record store ([`sink`]) so a killed
+//! campaign resumes exactly where it stopped. The paper's Tables I–IV are
+//! *reports* over that store; each run also emits a machine-readable
+//! `BENCH_<name>.json` summary that seeds the perf trajectory (and backs
+//! the CI perf gate).
+//!
+//! One binary per table/figure of Section VII, each a thin manifest +
+//! report pairing over the engine:
 //!
 //! * `figure1` — the availability-interval pattern of the running example;
 //! * `table1` — Tables I and II (overrun counts per solver, 500 random
@@ -11,15 +22,19 @@
 //! * `table4` — Table IV (scaling with n ∈ {4 … 256}, Tmax = 15,
 //!   m = ⌈U⌉).
 //!
-//! Shared machinery lives here: the solver roster ([`SolverKind`]), the
-//! per-instance runner, a crossbeam-based parallel executor with a
-//! parking_lot progress counter, and plain-text table formatting. All runs
-//! are deterministic given the CLI seed; wall-clock *classifications*
-//! (overrun vs solved) depend on the machine, exactly as in the paper.
+//! Shared machinery lives here: the solver roster ([`ROSTER`]), the
+//! per-instance runner, the campaign executor, and plain-text table
+//! formatting. All runs are deterministic given the manifest seed;
+//! wall-clock *classifications* (overrun vs solved) depend on the machine,
+//! exactly as in the paper.
 
+pub mod campaign;
 pub mod cli;
 pub mod runner;
+pub mod shard;
+pub mod sink;
 pub mod tables;
 
 pub use cli::Args;
-pub use runner::{run_corpus, InstanceOutcome, RunRecord, SolverKind};
+pub use mgrts_core::engine::SolverSpec;
+pub use runner::{run_corpus, InstanceOutcome, RunRecord, ROSTER};

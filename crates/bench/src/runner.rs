@@ -5,64 +5,16 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, SolverSpec};
-use mgrts_core::heuristics::TaskOrder;
+use mgrts_core::engine::{Budget, CancelToken, SolverSpec};
 use mgrts_core::solve::{StopReason, Verdict};
-use mgrts_core::verify::check_identical;
+use mgrts_core::verify::{check_heterogeneous, check_identical};
 use rt_gen::Problem;
+use rt_platform::Platform;
 
-/// One column of the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SolverKind {
-    /// CSP1 on the generic randomized solver (Choco stand-in).
-    Csp1,
-    /// The specialized CSP2 search with a value-ordering heuristic.
-    Csp2(TaskOrder),
-    /// CSP1 lowered to CNF and solved by the CDCL SAT solver — not a paper
-    /// column; used by the extension experiments.
-    Csp1Sat,
-}
-
-impl SolverKind {
-    /// The paper's six solver columns, in Table I order.
-    pub const ROSTER: [SolverKind; 6] = [
-        SolverKind::Csp1,
-        SolverKind::Csp2(TaskOrder::Lexicographic),
-        SolverKind::Csp2(TaskOrder::RateMonotonic),
-        SolverKind::Csp2(TaskOrder::DeadlineMonotonic),
-        SolverKind::Csp2(TaskOrder::PeriodMinusWcet),
-        SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
-    ];
-
-    /// Column header matching the paper.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            SolverKind::Csp1 => "CSP1",
-            SolverKind::Csp2(order) => order.label(),
-            SolverKind::Csp1Sat => "SAT",
-        }
-    }
-
-    /// The engine spec this column reduces to — `SolverKind` is now a thin
-    /// factory over [`mgrts_core::engine`].
-    #[must_use]
-    pub fn spec(self) -> SolverSpec {
-        match self {
-            SolverKind::Csp1 => SolverSpec::Csp1,
-            SolverKind::Csp2(order) => SolverSpec::Csp2(order),
-            SolverKind::Csp1Sat => SolverSpec::Csp1Sat,
-        }
-    }
-
-    /// Build the boxed engine for this column; `seed` feeds the randomized
-    /// backends (CSP1's generic strategy), matching the paper's
-    /// per-instance reseeding.
-    #[must_use]
-    pub fn build(self, seed: u64) -> Box<dyn FeasibilitySolver> {
-        self.spec().build_seeded(seed)
-    }
-}
+/// The paper's six solver columns, in Table I order. (Alias of
+/// [`SolverSpec::TABLE1_ROSTER`]; kept here because every experiment
+/// binary names it.)
+pub const ROSTER: [SolverSpec; 6] = SolverSpec::TABLE1_ROSTER;
 
 /// Classified outcome of one (instance, solver) run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,6 +27,11 @@ pub enum InstanceOutcome {
     Overrun,
     /// The encoding exceeded the size guard (CSP1 on large instances).
     TooLarge,
+    /// A campaign-level cancellation preempted the run before a verdict.
+    Cancelled,
+    /// The backend has no decision procedure for the cell's platform
+    /// (e.g. CSP2-on-generic-engine on a heterogeneous machine).
+    Unsupported,
 }
 
 /// One row of raw experimental data.
@@ -83,7 +40,7 @@ pub struct RunRecord {
     /// Instance index in the generator stream.
     pub instance: u64,
     /// Which solver ran.
-    pub solver: SolverKind,
+    pub solver: SolverSpec,
     /// Classified outcome.
     pub outcome: InstanceOutcome,
     /// Wall-clock solve time (µs). For overruns this is ≈ the time limit.
@@ -94,32 +51,71 @@ pub struct RunRecord {
     pub filtered: bool,
 }
 
-/// Run one solver on one instance with a wall-clock budget. Every produced
-/// schedule is verified against the independent C1–C4 checker; a
-/// verification failure is a bug and panics loudly.
-#[must_use]
-pub fn run_one(p: &Problem, solver: SolverKind, time_limit: Duration) -> (InstanceOutcome, u64) {
-    let engine = solver.build(p.seed);
-    let res = engine
-        .solve(
-            &p.taskset,
-            p.m,
-            &Budget::time_limit(time_limit),
-            &CancelToken::new(),
-        )
-        .expect("valid constrained instance");
-    let (verdict, elapsed) = (res.verdict, res.stats.elapsed_us);
-    let outcome = match &verdict {
-        Verdict::Feasible(s) => {
-            check_identical(&p.taskset, p.m, s)
-                .unwrap_or_else(|e| panic!("solver {solver:?} returned invalid schedule: {e}"));
-            InstanceOutcome::Solved
-        }
+fn classify(verdict: &Verdict) -> InstanceOutcome {
+    match verdict {
+        Verdict::Feasible(_) => InstanceOutcome::Solved,
         Verdict::Infeasible => InstanceOutcome::ProvedInfeasible,
         Verdict::Unknown(StopReason::EncodingTooLarge) => InstanceOutcome::TooLarge,
+        Verdict::Unknown(StopReason::Cancelled) => InstanceOutcome::Cancelled,
+        Verdict::Unknown(StopReason::Unsupported) => InstanceOutcome::Unsupported,
         Verdict::Unknown(_) => InstanceOutcome::Overrun,
-    };
-    (outcome, elapsed)
+    }
+}
+
+/// Run one solver on one instance under an explicit budget and cancellation
+/// token (the campaign executor's entry point). Every produced schedule is
+/// verified against the independent C1–C4 checker; a verification failure
+/// is a bug and panics loudly.
+#[must_use]
+pub fn run_one_budgeted(
+    p: &Problem,
+    solver: SolverSpec,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64) {
+    let engine = solver.build_seeded(p.seed);
+    let res = engine
+        .solve(&p.taskset, p.m, budget, cancel)
+        .expect("valid constrained instance");
+    if let Verdict::Feasible(s) = &res.verdict {
+        check_identical(&p.taskset, p.m, s)
+            .unwrap_or_else(|e| panic!("solver {solver} returned invalid schedule: {e}"));
+    }
+    (classify(&res.verdict), res.stats.elapsed_us)
+}
+
+/// Run one solver on one instance over a heterogeneous platform (the
+/// campaign grid's heterogeneity dimension). Schedules are verified with
+/// the heterogeneous C1–C4 checker.
+#[must_use]
+pub fn run_one_hetero(
+    p: &Problem,
+    platform: &Platform,
+    solver: SolverSpec,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64) {
+    let engine = solver.build_seeded(p.seed);
+    let res = engine
+        .solve_hetero(&p.taskset, platform, budget, cancel)
+        .expect("valid constrained instance");
+    if let Verdict::Feasible(s) = &res.verdict {
+        check_heterogeneous(&p.taskset, platform, s)
+            .unwrap_or_else(|e| panic!("solver {solver} returned invalid hetero schedule: {e}"));
+    }
+    (classify(&res.verdict), res.stats.elapsed_us)
+}
+
+/// Run one solver on one instance with a wall-clock budget (the historical
+/// single-run entry point).
+#[must_use]
+pub fn run_one(p: &Problem, solver: SolverSpec, time_limit: Duration) -> (InstanceOutcome, u64) {
+    run_one_budgeted(
+        p,
+        solver,
+        &Budget::time_limit(time_limit),
+        &CancelToken::new(),
+    )
 }
 
 /// Write raw records as JSON to `path` (the `--json` flag of the
@@ -136,12 +132,12 @@ pub fn save_records(records: &[RunRecord], path: &std::path::Path) -> std::io::R
 #[must_use]
 pub fn run_corpus(
     problems: &[Problem],
-    roster: &[SolverKind],
+    roster: &[SolverSpec],
     time_limit: Duration,
     threads: usize,
     progress: bool,
 ) -> Vec<RunRecord> {
-    let jobs: Vec<(u64, SolverKind)> = (0..problems.len() as u64)
+    let jobs: Vec<(u64, SolverSpec)> = (0..problems.len() as u64)
         .flat_map(|i| roster.iter().map(move |&s| (i, s)))
         .collect();
     let next = Mutex::new(0usize);
@@ -184,7 +180,7 @@ pub fn run_corpus(
     .expect("worker panicked");
 
     let mut out = records.into_inner();
-    let pos = |s: SolverKind| roster.iter().position(|&r| r == s).unwrap_or(usize::MAX);
+    let pos = |s: SolverSpec| roster.iter().position(|&r| r == s).unwrap_or(usize::MAX);
     out.sort_by_key(|r| (r.instance, pos(r.solver)));
     out
 }
@@ -192,11 +188,12 @@ pub fn run_corpus(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mgrts_core::heuristics::TaskOrder;
     use rt_gen::{GeneratorConfig, ProblemGenerator};
 
     #[test]
     fn roster_matches_paper_columns() {
-        let labels: Vec<_> = SolverKind::ROSTER.iter().map(|s| s.label()).collect();
+        let labels: Vec<_> = ROSTER.iter().map(|s| s.label()).collect();
         assert_eq!(
             labels,
             vec!["CSP1", "CSP2", "+RM", "+DM", "+(T-C)", "+(D-C)"]
@@ -210,10 +207,45 @@ mod tests {
             m: 2,
             seed: 0,
         };
-        for solver in SolverKind::ROSTER {
+        for solver in ROSTER {
             let (outcome, _) = run_one(&p, solver, Duration::from_secs(5));
             assert_eq!(outcome, InstanceOutcome::Solved, "{solver:?}");
         }
+    }
+
+    #[test]
+    fn pre_cancelled_run_reports_cancelled() {
+        // A dense instance that needs real search: a raised token classifies
+        // as Cancelled, never as a (wrong) verdict.
+        let p = Problem {
+            taskset: rt_task::TaskSet::from_ocdt(&[
+                (0, 2, 3, 4),
+                (0, 3, 4, 4),
+                (1, 2, 3, 4),
+                (0, 1, 2, 2),
+                (0, 2, 4, 4),
+                (0, 1, 3, 3),
+            ]),
+            m: 2,
+            seed: 0,
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (outcome, _) = run_one_budgeted(
+            &p,
+            SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
+            &Budget::unlimited(),
+            &cancel,
+        );
+        assert!(
+            matches!(
+                outcome,
+                InstanceOutcome::Cancelled
+                    | InstanceOutcome::Solved
+                    | InstanceOutcome::ProvedInfeasible
+            ),
+            "{outcome:?}"
+        );
     }
 
     #[test]
@@ -228,8 +260,8 @@ mod tests {
         );
         let problems = gen.batch(6);
         let roster = [
-            SolverKind::Csp2(TaskOrder::Lexicographic),
-            SolverKind::Csp2(TaskOrder::DeadlineMinusWcet),
+            SolverSpec::Csp2(TaskOrder::Lexicographic),
+            SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
         ];
         let a = run_corpus(&problems, &roster, Duration::from_secs(1), 4, false);
         let b = run_corpus(&problems, &roster, Duration::from_secs(1), 2, false);

@@ -1,0 +1,361 @@
+//! Streaming JSONL record sink with shard checkpoints.
+//!
+//! A campaign's record store is a directory:
+//!
+//! * `records.jsonl` — one [`CampaignRecord`] per line, appended shard by
+//!   shard under a lock (a shard's lines are contiguous);
+//! * `checkpoint.jsonl` — one line per **committed** shard, appended and
+//!   flushed *after* that shard's records hit the record file;
+//! * `manifest.toml` — the canonical manifest, so `resume` and `report`
+//!   need no external input.
+//!
+//! Crash safety is append-only ordering: a shard is only believed once its
+//! checkpoint line exists, so a SIGKILL can at worst leave (a) a truncated
+//! trailing record line and (b) record lines of an uncheckpointed shard.
+//! The loader drops both, and the resumed campaign re-runs exactly the
+//! shards without checkpoint lines; a shard that ends up recorded twice
+//! (killed between record flush and checkpoint write, then re-run) is
+//! deduplicated by unit key, keeping the later, checkpointed copy.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use mgrts_core::engine::SolverSpec;
+
+use crate::runner::{InstanceOutcome, RunRecord};
+use crate::shard::Shard;
+
+/// One campaign run record: a [`RunRecord`] plus full scenario provenance,
+/// so reports never need to re-derive which grid cell a line came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRecord {
+    /// Content hash of the shard that produced this record.
+    pub shard: String,
+    /// Index of the grid cell in manifest order.
+    pub cell: usize,
+    /// Instance index within the cell's stream.
+    pub instance: u64,
+    /// Campaign-wide instance number (`cell × instances_per_cell +
+    /// instance`) — the instance key table reports aggregate on.
+    pub global_instance: u64,
+    /// Which solver ran.
+    pub solver: SolverSpec,
+    /// Classified outcome.
+    pub outcome: InstanceOutcome,
+    /// Wall-clock solve time (µs) — the only field that varies between
+    /// replays of the same shard.
+    pub time_us: u64,
+    /// Utilization ratio r = U/m.
+    pub ratio: f64,
+    /// Pruned by the r > 1 filter?
+    pub filtered: bool,
+    /// Resolved processor count.
+    pub m: usize,
+    /// Task count of the cell.
+    pub n: usize,
+    /// Maximum period of the cell.
+    pub t_max: u64,
+    /// Heterogeneous platform?
+    pub hetero: bool,
+    /// Hyperperiod of the instance (0 when it overflows).
+    pub hyperperiod: u64,
+    /// The instance's derived seed (replay handle).
+    pub seed: u64,
+}
+
+impl CampaignRecord {
+    /// Project onto the classic bench [`RunRecord`] shape the table
+    /// formatters consume.
+    #[must_use]
+    pub fn to_run_record(&self) -> RunRecord {
+        RunRecord {
+            instance: self.global_instance,
+            solver: self.solver,
+            outcome: self.outcome,
+            time_us: self.time_us,
+            ratio: self.ratio,
+            filtered: self.filtered,
+        }
+    }
+
+    /// The unit key a resumed campaign dedupes on.
+    #[must_use]
+    pub fn unit_key(&self) -> (usize, u64, SolverSpec) {
+        (self.cell, self.instance, self.solver)
+    }
+}
+
+/// One checkpoint line: shard `hash` committed with `records` record lines.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointLine {
+    /// Shard content hash.
+    pub shard: String,
+    /// Number of records the shard contributed.
+    pub records: u64,
+}
+
+/// File names inside a record-store directory.
+pub const RECORDS_FILE: &str = "records.jsonl";
+/// Checkpoint file name.
+pub const CHECKPOINT_FILE: &str = "checkpoint.jsonl";
+/// Canonical manifest copy.
+pub const MANIFEST_FILE: &str = "manifest.toml";
+
+/// Append-only writer half of a record store. One per campaign run; shared
+/// behind a lock by the executor's workers.
+#[derive(Debug)]
+pub struct RecordSink {
+    dir: PathBuf,
+    records: BufWriter<File>,
+    checkpoint: BufWriter<File>,
+}
+
+impl RecordSink {
+    /// Open (creating the directory if needed) for appending. A SIGKILL
+    /// can leave either file ending in a truncated line; new appends must
+    /// not concatenate onto it, so a missing trailing newline is healed
+    /// first (the half-line itself stays and is dropped by the loader).
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let append = |name: &str| -> std::io::Result<File> {
+            let path = dir.join(name);
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            let len = file.metadata()?.len();
+            if len > 0 {
+                use std::io::{Read, Seek, SeekFrom};
+                let mut last = [0u8; 1];
+                let mut reader = File::open(&path)?;
+                reader.seek(SeekFrom::End(-1))?;
+                reader.read_exact(&mut last)?;
+                if last[0] != b'\n' {
+                    file.write_all(b"\n")?;
+                    file.flush()?;
+                }
+            }
+            Ok(file)
+        };
+        Ok(RecordSink {
+            dir: dir.to_path_buf(),
+            records: BufWriter::new(append(RECORDS_FILE)?),
+            checkpoint: BufWriter::new(append(CHECKPOINT_FILE)?),
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Commit one completed shard: stream its records, flush them to disk,
+    /// then append + flush the checkpoint line. The ordering is the crash
+    /// guarantee — a checkpoint line never precedes its records.
+    pub fn commit_shard(
+        &mut self,
+        shard: &Shard,
+        records: &[CampaignRecord],
+    ) -> std::io::Result<()> {
+        for r in records {
+            let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
+            self.records.write_all(line.as_bytes())?;
+            self.records.write_all(b"\n")?;
+        }
+        self.records.flush()?;
+        self.records.get_ref().sync_data()?;
+        let line = serde_json::to_string(&CheckpointLine {
+            shard: shard.hash.clone(),
+            records: records.len() as u64,
+        })
+        .map_err(std::io::Error::other)?;
+        self.checkpoint.write_all(line.as_bytes())?;
+        self.checkpoint.write_all(b"\n")?;
+        self.checkpoint.flush()?;
+        self.checkpoint.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Shard hashes with a committed checkpoint line. Tolerates a truncated
+/// trailing line (the SIGKILL case).
+pub fn load_done_shards(dir: &Path) -> std::io::Result<HashSet<String>> {
+    let path = dir.join(CHECKPOINT_FILE);
+    if !path.exists() {
+        return Ok(HashSet::new());
+    }
+    let mut done = HashSet::new();
+    for line in BufReader::new(File::open(path)?).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Ok(cp) = serde_json::from_str::<CheckpointLine>(&line) {
+            done.insert(cp.shard);
+        }
+    }
+    Ok(done)
+}
+
+/// Load the believable records of a store: lines that parse, belong to a
+/// checkpointed shard, deduplicated by unit key (last write wins — the
+/// re-run of a half-committed shard supersedes the stale copy).
+pub fn load_records(dir: &Path) -> std::io::Result<Vec<CampaignRecord>> {
+    let done = load_done_shards(dir)?;
+    let path = dir.join(RECORDS_FILE);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let mut records: Vec<CampaignRecord> = Vec::new();
+    for line in BufReader::new(File::open(path)?).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(rec) = serde_json::from_str::<CampaignRecord>(&line) else {
+            continue; // truncated tail or foreign garbage
+        };
+        if done.contains(&rec.shard) {
+            records.push(rec);
+        }
+    }
+    // Last occurrence per unit wins; then restore deterministic order.
+    let mut seen = HashSet::new();
+    let mut deduped: Vec<CampaignRecord> = Vec::with_capacity(records.len());
+    for rec in records.into_iter().rev() {
+        if seen.insert(rec.unit_key()) {
+            deduped.push(rec);
+        }
+    }
+    deduped.sort_by(|a, b| {
+        a.unit_key()
+            .0
+            .cmp(&b.unit_key().0)
+            .then(a.instance.cmp(&b.instance))
+            .then(a.solver.name().cmp(b.solver.name()))
+    });
+    Ok(deduped)
+}
+
+/// Canonical, replay-stable serialization of a record set: sorted unit
+/// order (as produced by [`load_records`]) with the wall-clock field — the
+/// only nondeterministic one — zeroed. Two campaigns over the same manifest
+/// produce byte-identical canonical exports regardless of interruption,
+/// resumption or thread schedule.
+#[must_use]
+pub fn canonical_export(records: &[CampaignRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let mut norm = r.clone();
+        norm.time_us = 0;
+        out.push_str(&serde_json::to_string(&norm).expect("record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::RunUnit;
+
+    fn rec(shard: &str, cell: usize, instance: u64, time_us: u64) -> CampaignRecord {
+        CampaignRecord {
+            shard: shard.to_string(),
+            cell,
+            instance,
+            global_instance: cell as u64 * 10 + instance,
+            solver: SolverSpec::Csp1,
+            outcome: InstanceOutcome::Solved,
+            time_us,
+            ratio: 0.9,
+            filtered: false,
+            m: 2,
+            n: 4,
+            t_max: 5,
+            hetero: false,
+            hyperperiod: 60,
+            seed: 7,
+        }
+    }
+
+    fn shard(hash: &str) -> Shard {
+        Shard {
+            index: 0,
+            hash: hash.to_string(),
+            units: vec![RunUnit {
+                cell: 0,
+                instance: 0,
+                solver: 0,
+            }],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mgrts-sink-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn commit_then_load_round_trips() {
+        let dir = tmp("roundtrip");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5), rec("aa", 0, 1, 6)])
+            .unwrap();
+        let loaded = load_records(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].instance, 0);
+        assert_eq!(load_done_shards(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncheckpointed_and_truncated_lines_are_dropped() {
+        let dir = tmp("partial");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5)])
+            .unwrap();
+        // Simulate a SIGKILL mid-shard: records of an uncheckpointed shard
+        // plus a truncated trailing line.
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(RECORDS_FILE))
+            .unwrap();
+        let stale = serde_json::to_string(&rec("bb", 1, 0, 9)).unwrap();
+        writeln!(raw, "{stale}").unwrap();
+        write!(raw, "{}", &stale[..stale.len() / 2]).unwrap();
+        drop(raw);
+        let loaded = load_records(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].shard, "aa");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replayed_shard_dedupes_by_unit_key() {
+        let dir = tmp("dedupe");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        // Stale copy: records written but imagine the process died before
+        // the checkpoint... then the shard was re-run and committed. Both
+        // copies end up in the file; only one survives loading.
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 111)])
+            .unwrap();
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 222)])
+            .unwrap();
+        let loaded = load_records(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].time_us, 222, "later copy wins");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn canonical_export_zeroes_time_and_is_stable() {
+        let a = canonical_export(&[rec("aa", 0, 0, 111)]);
+        let b = canonical_export(&[rec("aa", 0, 0, 999)]);
+        assert_eq!(a, b, "wall-clock noise must not leak into the export");
+        assert!(a.contains("\"time_us\":0"));
+    }
+}

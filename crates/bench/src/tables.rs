@@ -3,7 +3,9 @@
 
 use std::collections::HashSet;
 
-use crate::runner::{InstanceOutcome, RunRecord, SolverKind};
+use mgrts_core::engine::SolverSpec;
+
+use crate::runner::{InstanceOutcome, RunRecord};
 
 /// Instances solved (feasible schedule found) by at least one solver.
 #[must_use]
@@ -15,7 +17,7 @@ pub fn solved_by_someone(records: &[RunRecord]) -> HashSet<u64> {
         .collect()
 }
 
-fn overruns(records: &[RunRecord], solver: SolverKind, pred: impl Fn(&RunRecord) -> bool) -> usize {
+fn overruns(records: &[RunRecord], solver: SolverSpec, pred: impl Fn(&RunRecord) -> bool) -> usize {
     records
         .iter()
         .filter(|r| r.solver == solver && r.outcome == InstanceOutcome::Overrun && pred(r))
@@ -25,7 +27,7 @@ fn overruns(records: &[RunRecord], solver: SolverKind, pred: impl Fn(&RunRecord)
 /// Table I: per solver, the number of runs reaching the time limit, split
 /// by whether the instance was solved by at least one solver.
 #[must_use]
-pub fn table1(records: &[RunRecord], roster: &[SolverKind], total_instances: u64) -> String {
+pub fn table1(records: &[RunRecord], roster: &[SolverSpec], total_instances: u64) -> String {
     let solved = solved_by_someone(records);
     let mut out = String::from("# overruns |");
     for s in roster {
@@ -53,7 +55,7 @@ pub fn table1(records: &[RunRecord], roster: &[SolverKind], total_instances: u64
 /// Table II: the unsolved-instance overruns of Table I split by the
 /// `r > 1` utilization filter.
 #[must_use]
-pub fn table2(records: &[RunRecord], roster: &[SolverKind]) -> String {
+pub fn table2(records: &[RunRecord], roster: &[SolverSpec]) -> String {
     let solved = solved_by_someone(records);
     let unsolved_instances: HashSet<u64> = records
         .iter()
@@ -160,7 +162,7 @@ pub struct Table4Row {
 
 /// Format Table IV rows with the paper's column layout.
 #[must_use]
-pub fn table4(rows: &[Table4Row], roster: &[SolverKind]) -> String {
+pub fn table4(rows: &[Table4Row], roster: &[SolverSpec]) -> String {
     let mut out = String::from("   n |    r  |     m  |  H(1000) |");
     for s in roster {
         out.push_str(&format!(" {:>8} solved  t(ms) |", s.label()));
@@ -200,7 +202,7 @@ mod tests {
 
     fn rec(
         instance: u64,
-        solver: SolverKind,
+        solver: SolverSpec,
         outcome: InstanceOutcome,
         ratio: f64,
         filtered: bool,
@@ -215,8 +217,8 @@ mod tests {
         }
     }
 
-    const CSP1: SolverKind = SolverKind::Csp1;
-    const DC: SolverKind = SolverKind::Csp2(TaskOrder::DeadlineMinusWcet);
+    const CSP1: SolverSpec = SolverSpec::Csp1;
+    const DC: SolverSpec = SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet);
 
     #[test]
     fn table1_counts_overruns_by_solved_partition() {

@@ -331,6 +331,111 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mgrts bench campaign <run|resume|report|gate> …` — the sharded,
+/// resumable experiment-campaign engine.
+///
+/// * `run --manifest FILE [--out DIR] [--threads N] [--max-shards K]
+///   [--quiet]` — start fresh (clears the store), stream JSONL records +
+///   checkpoints, emit `BENCH_<name>.json`;
+/// * `resume [--out DIR] [--threads N] [--max-shards K] [--quiet]` —
+///   continue a killed campaign exactly where it stopped (committed
+///   shards are deduped by content hash);
+/// * `report <table1|table3|table4|summary> [--out DIR]` — render a paper
+///   table over the record store;
+/// * `gate --summary FILE --baseline FILE [--tolerance F]` — CI perf
+///   gate: fail on > F wall-time regression (default 0.25) or any solver
+///   verdict drift.
+pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    use mgrts_bench::campaign::{self, CampaignOptions, Manifest, ReportKind, Summary};
+    use mgrts_core::engine::CancelGroup;
+    use std::path::PathBuf;
+
+    if args.positional(0, "campaign")? != "campaign" {
+        return Err(CliError::Other(
+            "usage: mgrts bench campaign <run|resume|report|gate> …".into(),
+        ));
+    }
+    let verb = args.positional(1, "run|resume|report|gate")?;
+    let out_dir = |manifest: Option<&Manifest>| -> Result<PathBuf, CliError> {
+        if let Some(dir) = args.opt_str("out") {
+            return Ok(PathBuf::from(dir));
+        }
+        match manifest {
+            Some(m) => Ok(PathBuf::from(format!("target/campaigns/{}", m.name))),
+            None => Err(CliError::Other(
+                "no --out and no manifest to derive it from".into(),
+            )),
+        }
+    };
+    let opts = CampaignOptions {
+        threads: args.opt_or::<usize>(
+            "threads",
+            "a thread count",
+            CampaignOptions::default().threads,
+        )?,
+        progress: !args.switch("quiet"),
+        max_shards: args.opt::<u64>("max-shards", "a shard count")?,
+    };
+    let campaign_err = |e: campaign::CampaignError| CliError::Other(e.to_string());
+
+    match verb {
+        "run" => {
+            let path: String = args.req("manifest", "a manifest file")?;
+            let manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            let dir = out_dir(Some(&manifest))?;
+            let outcome = campaign::run_fresh(&manifest, &dir, &opts, &CancelGroup::new())
+                .map_err(campaign_err)?;
+            Ok(format!(
+                "{}record store: {}\n",
+                campaign::render_summary(&outcome.summary),
+                dir.display()
+            ))
+        }
+        "resume" => {
+            let dir = out_dir(None)?;
+            let outcome =
+                campaign::resume(&dir, &opts, &CancelGroup::new()).map_err(campaign_err)?;
+            Ok(format!(
+                "{}resumed: {} shard(s) committed this invocation\n",
+                campaign::render_summary(&outcome.summary),
+                outcome.shards_committed
+            ))
+        }
+        "report" => {
+            let kind: ReportKind = args
+                .positional(2, "table1|table3|table4|summary")?
+                .parse()
+                .map_err(CliError::Other)?;
+            let dir = out_dir(None)?;
+            campaign::report(&dir, kind).map_err(campaign_err)
+        }
+        "gate" => {
+            let load = |key: &str| -> Result<Summary, CliError> {
+                let path: String = args.req(key, "a BENCH_*.json file")?;
+                let text = std::fs::read_to_string(&path)?;
+                serde_json::from_str(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+            };
+            let current = load("summary")?;
+            let baseline = load("baseline")?;
+            let tolerance = args.opt_or::<f64>("tolerance", "a fraction", 0.25)?;
+            let report = campaign::gate(&current, &baseline, tolerance);
+            let body = report
+                .lines
+                .iter()
+                .map(|l| format!("  {l}\n"))
+                .collect::<String>();
+            if report.ok {
+                Ok(format!("PERF GATE PASS\n{body}"))
+            } else {
+                Err(CliError::Other(format!("PERF GATE FAIL\n{body}")))
+            }
+        }
+        other => Err(CliError::Other(format!(
+            "unknown campaign verb {other:?} (expected run|resume|report|gate)"
+        ))),
+    }
+}
+
 /// `mgrts verify <instance> --schedule <schedule.json> [--m N]`
 pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args.positional(0, "instance")?)?;
@@ -370,6 +475,13 @@ pub fn usage() -> String {
        portfolio <instance> race engines in parallel; first definitive verdict wins\n\
                             [--m N] [--solvers csp1,csp2-dc,sat,...] [--time-ms T]\n\
                             [--gantt] [--json]\n\
+       bench campaign run   execute a campaign manifest (sharded, resumable)\n\
+                            --manifest FILE [--out DIR] [--threads N]\n\
+                            [--max-shards K] [--quiet]\n\
+       bench campaign resume  continue a killed campaign --out DIR\n\
+       bench campaign report  <table1|table3|table4|summary> --out DIR\n\
+       bench campaign gate  compare BENCH summaries (CI perf gate)\n\
+                            --summary FILE --baseline FILE [--tolerance F]\n\
      \n\
      Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
      or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"
@@ -399,6 +511,7 @@ pub fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "gantt" => cmd_gantt(args),
         "prob" => cmd_prob(args),
         "portfolio" => cmd_portfolio(args),
+        "bench" => cmd_bench(args),
         "verify" => cmd_verify(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Other(format!(

@@ -275,6 +275,158 @@ fn portfolio_with_explicit_roster_and_infeasible_instance() {
     assert!(out.contains("csp2-dc"), "{out}");
 }
 
+/// A tiny campaign manifest for the bench-command tests.
+fn campaign_manifest(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("mini.toml");
+    std::fs::write(
+        &path,
+        r#"
+[campaign]
+name = "mini"
+seed = 7
+time_limit_ms = 2000
+instances_per_cell = 3
+shard_size = 2
+
+[grid]
+n = [3]
+m = [2]
+t_max = [4]
+solvers = ["csp2-dc", "sat"]
+"#,
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn bench_campaign_run_report_and_resume() {
+    let dir = tmpdir("bench-campaign");
+    let manifest = campaign_manifest(&dir);
+    let store = dir.join("store");
+    let out = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "run",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--quiet",
+        ]),
+    )
+    .unwrap();
+    assert!(out.contains("campaign mini"), "{out}");
+    assert!(out.contains("(complete)"), "{out}");
+    assert!(store.join("records.jsonl").exists());
+    assert!(store.join("BENCH_mini.json").exists());
+
+    let report = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "report",
+            "table1",
+            "--out",
+            store.to_str().unwrap(),
+        ]),
+    )
+    .unwrap();
+    assert!(report.contains("TABLE I"), "{report}");
+    assert!(report.contains("TABLE II"), "{report}");
+
+    // Resuming a complete campaign is a no-op.
+    let resumed = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "resume",
+            "--out",
+            store.to_str().unwrap(),
+            "--quiet",
+        ]),
+    )
+    .unwrap();
+    assert!(resumed.contains("0 shard(s) committed"), "{resumed}");
+}
+
+#[test]
+fn bench_campaign_gate_passes_self_and_fails_regression() {
+    let dir = tmpdir("bench-gate");
+    let manifest = campaign_manifest(&dir);
+    let store = dir.join("store");
+    run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "run",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--quiet",
+        ]),
+    )
+    .unwrap();
+    let summary = store.join("BENCH_mini.json");
+    let ok = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "gate",
+            "--summary",
+            summary.to_str().unwrap(),
+            "--baseline",
+            summary.to_str().unwrap(),
+        ]),
+    )
+    .unwrap();
+    assert!(ok.starts_with("PERF GATE PASS"), "{ok}");
+
+    // A baseline claiming everything ran instantly must fail the gate.
+    let text = std::fs::read_to_string(&summary).unwrap();
+    let tampered_text: String = text
+        .lines()
+        .map(|l| {
+            if l.contains("\"wall_ms\"") {
+                "  \"wall_ms\": 0,".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tampered = dir.join("tampered.json");
+    std::fs::write(&tampered, tampered_text).unwrap();
+    let err = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "gate",
+            "--summary",
+            summary.to_str().unwrap(),
+            "--baseline",
+            tampered.to_str().unwrap(),
+        ]),
+    );
+    // Fails only if this invocation took any measurable time; the verdict
+    // path is what we assert on either way.
+    if let Err(e) = err {
+        assert!(e.to_string().contains("PERF GATE FAIL"), "{e}");
+    }
+}
+
+#[test]
+fn bench_rejects_malformed_invocations() {
+    let err = run_command("bench", &args(&["campaign", "frobnicate"])).unwrap_err();
+    assert!(err.to_string().contains("unknown campaign verb"), "{err}");
+    let err = run_command("bench", &args(&["portfolio"])).unwrap_err();
+    assert!(matches!(err, CliError::Other(_)));
+    let err = run_command("bench", &args(&["campaign", "run"])).unwrap_err();
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
 #[test]
 fn portfolio_rejects_unknown_solver_name() {
     let dir = tmpdir("portfolio-bad");

@@ -26,8 +26,10 @@
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 use rt_platform::Platform;
 use rt_sat::AmoEncoding;
@@ -86,6 +88,62 @@ impl CancelToken {
 }
 
 // ---------------------------------------------------------------------------
+// CancelGroup
+// ---------------------------------------------------------------------------
+
+/// A group of [`CancelToken`]s with one master switch — the shard-scoped
+/// cancellation plumbing of the campaign executor.
+///
+/// Each shard registers its own token; cancelling the group raises every
+/// registered token (and every token registered afterwards), so a whole
+/// campaign stops cooperatively at the next solver checkpoint while shards
+/// keep independent tokens for their own budgets.
+#[derive(Debug, Default)]
+pub struct CancelGroup {
+    cancelled: AtomicBool,
+    members: Mutex<Vec<CancelToken>>,
+}
+
+impl CancelGroup {
+    /// A fresh, un-cancelled group.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new member token. If the group is already cancelled the
+    /// returned token comes back pre-raised, so late registrants stop at
+    /// their first checkpoint.
+    #[must_use]
+    pub fn register(&self) -> CancelToken {
+        let token = CancelToken::new();
+        let mut members = self.members.lock().unwrap_or_else(|e| e.into_inner());
+        if self.cancelled.load(Ordering::Relaxed) {
+            token.cancel();
+        }
+        members.push(token.clone());
+        token
+    }
+
+    /// Raise every member token, current and future. Idempotent.
+    pub fn cancel_all(&self) {
+        // Set the sticky flag under the lock so a concurrent `register`
+        // either sees the flag or is visible in `members` here.
+        let members = self.members.lock().unwrap_or_else(|e| e.into_inner());
+        self.cancelled.store(true, Ordering::Relaxed);
+        for t in members.iter() {
+            t.cancel();
+        }
+    }
+
+    /// Has the group been cancelled?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Budget
 // ---------------------------------------------------------------------------
 
@@ -120,6 +178,18 @@ impl Budget {
             time: Some(d),
             ..Budget::default()
         }
+    }
+
+    /// This budget with its wall-clock allowance capped by `remaining`
+    /// (`None` leaves it unchanged). The campaign executor derives each
+    /// run's budget from the per-run limit capped by what is left of the
+    /// shard's overall allowance.
+    #[must_use]
+    pub fn capped(mut self, remaining: Option<Duration>) -> Self {
+        if let Some(rem) = remaining {
+            self.time = Some(self.time.map_or(rem, |t| t.min(rem)));
+        }
+        self
     }
 }
 
@@ -507,8 +577,9 @@ impl FeasibilitySolver for LocalSearchEngine {
 // ---------------------------------------------------------------------------
 
 /// A parseable, serializable description of one engine configuration; the
-/// factory behind CLI `--solver` flags and bench/portfolio rosters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// factory behind CLI `--solver` flags and bench/portfolio/campaign
+/// rosters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SolverSpec {
     /// CSP1 on the generic randomized engine.
     Csp1,
@@ -597,6 +668,18 @@ impl SolverSpec {
             SolverSpec::Local => "local",
             SolverSpec::LocalTabu => "local-tabu",
             SolverSpec::LocalSa => "local-sa",
+        }
+    }
+
+    /// The paper's table column label (`CSP1`, `CSP2`, `+RM`, …); backends
+    /// outside the paper's evaluation reuse their stable name.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolverSpec::Csp1 => "CSP1",
+            SolverSpec::Csp1Sat => "SAT",
+            SolverSpec::Csp2(order) => order.label(),
+            other => other.name(),
         }
     }
 }
@@ -757,6 +840,49 @@ mod tests {
             .solve_on(&ts, &spec, &Budget::unlimited(), &CancelToken::new())
             .unwrap();
         assert_eq!(res.verdict, Verdict::Unknown(StopReason::Unsupported));
+    }
+
+    #[test]
+    fn cancel_group_raises_members_and_late_registrants() {
+        let group = CancelGroup::new();
+        let early = group.register();
+        assert!(!early.is_cancelled());
+        group.cancel_all();
+        assert!(group.is_cancelled());
+        assert!(early.is_cancelled());
+        // Tokens registered after cancellation come back pre-raised.
+        let late = group.register();
+        assert!(late.is_cancelled());
+    }
+
+    #[test]
+    fn budget_capped_takes_the_minimum_time() {
+        let b = Budget::time_limit(Duration::from_millis(500));
+        assert_eq!(
+            b.capped(Some(Duration::from_millis(100))).time,
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(
+            b.capped(Some(Duration::from_secs(5))).time,
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(b.capped(None).time, Some(Duration::from_millis(500)));
+        // An unlimited budget capped by a shard allowance becomes bounded.
+        assert_eq!(
+            Budget::unlimited()
+                .capped(Some(Duration::from_millis(7)))
+                .time,
+            Some(Duration::from_millis(7))
+        );
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        for spec in ALL_SPECS {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: SolverSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use rt_task::{TaskId, TaskSet, Time};
 
 /// Which task attribute orders the values (paper Section V-C2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum TaskOrder {
     /// Plain task-index order (the baseline "CSP2" column of Table I).
     #[default]

@@ -24,5 +24,5 @@ pub mod sampler;
 
 pub use corpus::{Corpus, CorpusError};
 pub use hetero::RateMatrixGen;
-pub use problem::{Problem, ProblemGenerator};
+pub use problem::{derive_stream_seed, Problem, ProblemGenerator};
 pub use sampler::{GeneratorConfig, MSpec, ParamOrder};

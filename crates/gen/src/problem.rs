@@ -79,6 +79,43 @@ impl ProblemGenerator {
     pub fn batch(&self, count: u64) -> Vec<Problem> {
         (0..count).map(|i| self.nth(i)).collect()
     }
+
+    /// The `index`-th instance of the stream whose utilization ratio falls
+    /// in `[lo, hi)` — deterministic rejection sampling over the underlying
+    /// stream, so campaign shards can ask for "the k-th instance of this
+    /// utilization band" independently and in any order.
+    ///
+    /// Scans at most `max_scan` raw instances; returns `None` when the band
+    /// is too rare (the caller treats this as a manifest error).
+    #[must_use]
+    pub fn nth_in_band(&self, index: u64, lo: f64, hi: f64, max_scan: u64) -> Option<Problem> {
+        let mut seen = 0u64;
+        for raw in 0..max_scan {
+            let p = self.nth(raw);
+            let r = p.utilization_ratio();
+            if r >= lo && r < hi {
+                if seen == index {
+                    return Some(p);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+}
+
+/// Derive a sub-stream seed for a named slice of a campaign grid (a cell,
+/// a shard) from the campaign's master seed: FNV-1a over the tag, mixed
+/// with the master seed through the SplitMix64 finalizer. Deterministic,
+/// stable across platforms, and independent for distinct tags.
+#[must_use]
+pub fn derive_stream_seed(master_seed: u64, tag: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in tag.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(master_seed ^ h)
 }
 
 fn mix(mut z: u64) -> u64 {
@@ -161,6 +198,34 @@ mod tests {
             (0.7..1.2).contains(&mean),
             "mean utilization ratio {mean} out of expected band"
         );
+    }
+
+    #[test]
+    fn nth_in_band_is_deterministic_and_random_access() {
+        let g = ProblemGenerator::new(GeneratorConfig::table1(), 11);
+        let a = g.nth_in_band(3, 0.8, 1.2, 10_000).unwrap();
+        let b = g.nth_in_band(3, 0.8, 1.2, 10_000).unwrap();
+        assert_eq!(a, b);
+        assert!((0.8..1.2).contains(&a.utilization_ratio()));
+        // Band members appear in raw stream order: index k+1 sits later in
+        // the stream than index k.
+        let later = g.nth_in_band(4, 0.8, 1.2, 10_000).unwrap();
+        assert_ne!(a, later);
+    }
+
+    #[test]
+    fn nth_in_band_rejects_impossible_bands() {
+        let g = ProblemGenerator::new(GeneratorConfig::table1(), 11);
+        assert!(g.nth_in_band(0, 5.0, 6.0, 500).is_none());
+    }
+
+    #[test]
+    fn stream_seed_derivation_separates_tags() {
+        let a = derive_stream_seed(2009, "cell/0");
+        let b = derive_stream_seed(2009, "cell/1");
+        assert_ne!(a, b);
+        assert_eq!(a, derive_stream_seed(2009, "cell/0"));
+        assert_ne!(a, derive_stream_seed(2010, "cell/0"));
     }
 
     #[test]

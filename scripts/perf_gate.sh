@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI perf-regression gate: compare a fresh campaign summary against the
+# committed baseline. Fails (non-zero exit) on a wall-time regression
+# beyond the tolerance or on any solver verdict drift — decided-count
+# movement not explainable by budget straddles (Solved/Infeasible runs
+# trading places with Overrun are timing noise and only reported; a
+# Solved↔Infeasible flip or any too-large/unsupported change fails).
+#
+# Usage: scripts/perf_gate.sh <current BENCH_*.json> [<baseline json>]
+#
+# Environment:
+#   PERF_GATE_TOLERANCE  allowed fractional wall-time regression
+#                        (default 0.25 = +25%)
+#   MGRTS_BIN            prebuilt mgrts binary (default: cargo run)
+#
+# To refresh the baseline after an intentional perf or workload change:
+#   mgrts bench campaign run --manifest bench/manifests/smoke.toml \
+#     --out target/campaigns/smoke
+#   cp target/campaigns/smoke/BENCH_smoke.json bench/baselines/smoke.json
+set -euo pipefail
+
+current="${1:?usage: perf_gate.sh <current BENCH_*.json> [<baseline json>]}"
+baseline="${2:-bench/baselines/smoke.json}"
+tolerance="${PERF_GATE_TOLERANCE:-0.25}"
+
+if [[ -n "${MGRTS_BIN:-}" ]]; then
+  exec "$MGRTS_BIN" bench campaign gate \
+    --summary "$current" --baseline "$baseline" --tolerance "$tolerance"
+fi
+exec cargo run --release --quiet -p mgrts-cli --bin mgrts -- bench campaign gate \
+  --summary "$current" --baseline "$baseline" --tolerance "$tolerance"
