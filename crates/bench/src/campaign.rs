@@ -34,8 +34,8 @@ use rt_gen::{derive_stream_seed, ProblemGenerator, RateMatrixGen};
 use crate::runner::{run_one_budgeted, run_one_hetero, InstanceOutcome};
 use crate::shard::{plan_shards, Cell, CellM, Shard};
 use crate::sink::{
-    canonical_export, load_done_shards, load_records, CampaignRecord, RecordSink, CHECKPOINT_FILE,
-    MANIFEST_FILE, RECORDS_FILE,
+    canonical_export, load_records, CampaignRecord, LocalStore, RecordStore, CANONICAL_FILE,
+    CHECKPOINT_FILE, RECORDS_FILE,
 };
 use crate::tables;
 
@@ -607,15 +607,12 @@ pub fn run_fresh(
                 .into(),
         ));
     }
-    std::fs::create_dir_all(out_dir)?;
-    for name in [RECORDS_FILE, CHECKPOINT_FILE] {
-        let p = out_dir.join(name);
-        if p.exists() {
-            std::fs::remove_file(&p)?;
-        }
-    }
-    std::fs::write(out_dir.join(MANIFEST_FILE), manifest.to_toml())?;
-    execute(manifest, out_dir, opts, cancel, HashSet::new())
+    // Clearing unlinks segment files attached workers hold open.
+    crate::queue::ensure_quiesced(out_dir, "run fresh")?;
+    let store = LocalStore::open(out_dir)?;
+    store.clear()?;
+    store.write_manifest(&manifest.to_toml())?;
+    execute(manifest, &store, opts, cancel, HashSet::new())
 }
 
 /// Resume the campaign recorded in `out_dir`: reload its manifest, skip
@@ -625,8 +622,9 @@ pub fn resume(
     opts: &CampaignOptions,
     cancel: &CancelGroup,
 ) -> Result<CampaignOutcome, CampaignError> {
-    let manifest = Manifest::load(&out_dir.join(MANIFEST_FILE))?;
-    let done = load_done_shards(out_dir)?;
+    let store = LocalStore::open(out_dir)?;
+    let manifest = Manifest::parse(&store.read_manifest()?)?;
+    let done = store.done_shards()?;
     let planned: HashSet<String> = manifest.plan().into_iter().map(|s| s.hash).collect();
     if let Some(stranger) = done.iter().find(|h| !planned.contains(*h)) {
         return Err(CampaignError::Store(format!(
@@ -634,12 +632,16 @@ pub fn resume(
              (the store was produced by a different manifest); use `run` to start fresh"
         )));
     }
-    execute(&manifest, out_dir, opts, cancel, done)
+    execute(&manifest, &store, opts, cancel, done)
 }
 
+/// The in-process executor, written against the [`RecordStore`] seam: the
+/// distributed queue ([`crate::queue`]) drives the very same
+/// [`run_shard`] + commit path, it only replaces the self-scheduling pool
+/// with lease claims.
 fn execute(
     manifest: &Manifest,
-    out_dir: &Path,
+    store: &dyn RecordStore,
     opts: &CampaignOptions,
     cancel: &CancelGroup,
     done: HashSet<String>,
@@ -652,7 +654,7 @@ fn execute(
         None => &pending,
     };
 
-    let sink = Mutex::new(RecordSink::open(out_dir)?);
+    let sink = Mutex::new(store.open_writer("")?);
     let next = Mutex::new(0usize);
     let committed = Mutex::new(0u64);
     let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
@@ -709,8 +711,8 @@ fn execute(
     }
 
     let shards_committed = committed.into_inner();
-    let done_after = load_done_shards(out_dir)?;
-    let records = load_records(out_dir)?;
+    let done_after = store.done_shards()?;
+    let records = store.load_records()?;
     let summary = summarize(
         manifest,
         &records,
@@ -718,9 +720,9 @@ fn execute(
         done_after.len() as u64,
         started.elapsed().as_millis() as u64,
     );
-    std::fs::write(
-        out_dir.join(format!("BENCH_{}.json", manifest.name)),
-        serde_json::to_string_pretty(&summary).map_err(std::io::Error::other)?,
+    store.put_artifact(
+        &format!("BENCH_{}.json", manifest.name),
+        &serde_json::to_string_pretty(&summary).map_err(std::io::Error::other)?,
     )?;
     Ok(CampaignOutcome {
         summary,
@@ -730,7 +732,10 @@ fn execute(
 
 /// Run every unit of one shard. Returns `Ok(None)` when cancellation
 /// preempted the shard (nothing is committed; resume re-runs it whole).
-fn run_shard(
+/// Shared verbatim by the in-process executor and the distributed queue
+/// workers — a shard's records depend only on the manifest, never on who
+/// runs it.
+pub(crate) fn run_shard(
     manifest: &Manifest,
     shard: &Shard,
     cancel: &CancelGroup,
@@ -1023,6 +1028,9 @@ pub enum ReportKind {
     Table3,
     /// Table IV (scaling rows, one per grid cell).
     Table4,
+    /// The heterogeneity dimension: per-backend support/verdict counts on
+    /// the grid's heterogeneous cells.
+    Hetero,
     /// The `BENCH_<name>.json` summary, as text.
     Summary,
 }
@@ -1035,10 +1043,11 @@ impl std::str::FromStr for ReportKind {
             "table1" | "table2" => ReportKind::Table1,
             "table3" => ReportKind::Table3,
             "table4" => ReportKind::Table4,
+            "hetero" => ReportKind::Hetero,
             "summary" => ReportKind::Summary,
             other => {
                 return Err(format!(
-                    "unknown report `{other}` (expected table1|table3|table4|summary)"
+                    "unknown report `{other}` (expected table1|table3|table4|hetero|summary)"
                 ))
             }
         })
@@ -1047,14 +1056,20 @@ impl std::str::FromStr for ReportKind {
 
 /// Render a report over a record store directory.
 pub fn report(out_dir: &Path, kind: ReportKind) -> Result<String, CampaignError> {
-    let manifest = Manifest::load(&out_dir.join(MANIFEST_FILE))?;
-    let records = load_records(out_dir)?;
+    report_store(&LocalStore::open(out_dir)?, kind)
+}
+
+/// Render a report over any [`RecordStore`].
+pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String, CampaignError> {
+    let manifest = Manifest::parse(&store.read_manifest()?)?;
+    let records = store.load_records()?;
     Ok(match kind {
         ReportKind::Table1 => report_table1(&manifest, &records),
         ReportKind::Table3 => report_table3(&manifest, &records),
         ReportKind::Table4 => report_table4(&manifest, &records),
+        ReportKind::Hetero => report_hetero(&manifest, &records),
         ReportKind::Summary => {
-            let done = load_done_shards(out_dir)?;
+            let done = store.done_shards()?;
             let shards = manifest.plan().len() as u64;
             let summary = summarize(&manifest, &records, shards, done.len() as u64, 0);
             render_summary(&summary)
@@ -1139,6 +1154,46 @@ pub fn report_table4(manifest: &Manifest, records: &[CampaignRecord]) -> String 
     )
 }
 
+/// The heterogeneity dimension: per-backend verdict counts — including
+/// the `unsupported` column the summary records but no paper table
+/// shows — for every heterogeneous grid cell.
+#[must_use]
+pub fn report_hetero(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let mut rows = Vec::new();
+    for (ci, cell) in manifest.cells.iter().enumerate() {
+        if !cell.hetero {
+            continue;
+        }
+        let per_solver = manifest
+            .roster
+            .iter()
+            .map(|&s| {
+                let runs: Vec<&CampaignRecord> = records
+                    .iter()
+                    .filter(|r| r.cell == ci && r.solver == s)
+                    .collect();
+                let count =
+                    |o: InstanceOutcome| runs.iter().filter(|r| r.outcome == o).count() as u64;
+                tables::HeteroCounts {
+                    runs: runs.len() as u64,
+                    solved: count(InstanceOutcome::Solved),
+                    infeasible: count(InstanceOutcome::ProvedInfeasible),
+                    overrun: count(InstanceOutcome::Overrun),
+                    unsupported: count(InstanceOutcome::Unsupported),
+                }
+            })
+            .collect();
+        rows.push(tables::HeteroRow {
+            cell: cell.tag(),
+            per_solver,
+        });
+    }
+    format!(
+        "\nHETERO — per-backend support on heterogeneous cells\n\n{}",
+        tables::hetero(&rows, &manifest.roster)
+    )
+}
+
 /// Text rendering of a [`Summary`].
 #[must_use]
 pub fn render_summary(s: &Summary) -> String {
@@ -1185,9 +1240,116 @@ pub fn canonical_store_export(out_dir: &Path) -> Result<String, CampaignError> {
     Ok(canonical_export(&load_records(out_dir)?))
 }
 
+/// What [`compact`] accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Record lines across all segments before compaction (including
+    /// superseded and uncheckpointed copies).
+    pub lines_before: u64,
+    /// Believable records after compaction.
+    pub records: u64,
+    /// Committed shards carried over.
+    pub shards: u64,
+    /// Worker segments merged into the canonical pair.
+    pub segments_merged: u64,
+}
+
+/// Rewrite a record store without superseded / stale shard copies: merge
+/// every worker segment into the canonical `records.jsonl` +
+/// `checkpoint.jsonl` pair (believable records only, deduped by unit key,
+/// deterministic unit order), drop everything the loader would ignore,
+/// and snapshot the canonical export to `canonical.jsonl`. Refuses while
+/// workers are active (live leases); expired leases are swept.
+///
+/// Idempotent: compacting a compacted store changes nothing, and
+/// [`crate::sink::load_records`] returns the same record set before and
+/// after.
+pub fn compact(out_dir: &Path) -> Result<CompactReport, CampaignError> {
+    let store = LocalStore::open(out_dir)?;
+    // The manifest must parse — compaction must not silently bless a
+    // foreign directory.
+    let _ = Manifest::parse(&store.read_manifest()?)?;
+    // Merging unlinks segment files other processes may hold open, so the
+    // store must be quiesced: no in-flight shard leases and no attached
+    // workers (presence leases). Expired debris is swept first. (A
+    // concurrent single-process `run`/`resume` takes no leases — don't
+    // compact a store one of those is writing, same as you wouldn't run
+    // two `campaign run`s into one directory.)
+    crate::queue::reclaim_expired(out_dir)?;
+    crate::queue::ensure_quiesced(out_dir, "compact")?;
+
+    let mut lines_before = 0u64;
+    let mut segments = 0u64;
+    for entry in std::fs::read_dir(out_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let is_default = name == RECORDS_FILE;
+        let is_segment = name.starts_with("records-") && name.ends_with(".jsonl");
+        if is_default || is_segment {
+            lines_before += std::fs::read_to_string(entry.path())?.lines().count() as u64;
+            if is_segment {
+                segments += 1;
+            }
+        }
+    }
+
+    let records = store.load_records()?;
+    let done = store.done_shards()?;
+    let mut done: Vec<String> = done.into_iter().collect();
+    done.sort();
+    let mut per_shard: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for r in &records {
+        *per_shard.entry(r.shard.as_str()).or_default() += 1;
+    }
+
+    // Stage the canonical pair, then swap both in and drop the merged
+    // segments. A crash between the renames and the removals leaves
+    // duplicate copies — which the loader dedupes, so a re-run of
+    // `compact` heals the store.
+    let mut records_text = String::new();
+    for r in &records {
+        records_text.push_str(&serde_json::to_string(r).map_err(std::io::Error::other)?);
+        records_text.push('\n');
+    }
+    let mut checkpoint_text = String::new();
+    for hash in &done {
+        checkpoint_text.push_str(
+            &serde_json::to_string(&crate::sink::CheckpointLine {
+                shard: hash.clone(),
+                records: per_shard.get(hash.as_str()).copied().unwrap_or(0),
+            })
+            .map_err(std::io::Error::other)?,
+        );
+        checkpoint_text.push('\n');
+    }
+    store.put_artifact(RECORDS_FILE, &records_text)?;
+    store.put_artifact(CHECKPOINT_FILE, &checkpoint_text)?;
+    for stem in ["records", "checkpoint"] {
+        let prefix = format!("{stem}-");
+        for entry in std::fs::read_dir(out_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(&prefix) && name.ends_with(".jsonl") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+    }
+    store.put_artifact(CANONICAL_FILE, &canonical_export(&records))?;
+
+    Ok(CompactReport {
+        lines_before,
+        records: records.len() as u64,
+        shards: done.len() as u64,
+        segments_merged: segments,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::MANIFEST_FILE;
 
     const SMOKE: &str = r#"
 # tiny but real

@@ -11,6 +11,14 @@
 //! `BENCH_<name>.json` summary that seeds the perf trajectory (and backs
 //! the CI perf gate).
 //!
+//! On top of the single-process executor, the [`queue`] module turns one
+//! campaign into a *distributed* job: the [`sink::RecordStore`] trait
+//! abstracts the store behind append-only per-writer segments (local
+//! directory today, the seam for an object store), and a lease-based work
+//! queue lets any number of worker processes — or machines sharing a
+//! mount — cooperatively drain one manifest with crash-safe reclaim of
+//! dead workers' shards (`mgrts bench campaign dispatch|worker|status`).
+//!
 //! One binary per table/figure of Section VII, each a thin manifest +
 //! report pairing over the engine:
 //!
@@ -30,6 +38,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod queue;
 pub mod runner;
 pub mod shard;
 pub mod sink;

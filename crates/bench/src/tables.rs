@@ -195,6 +195,60 @@ pub fn table4(rows: &[Table4Row], roster: &[SolverSpec]) -> String {
     out
 }
 
+/// Per-solver verdict counts of one heterogeneous cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeteroCounts {
+    /// Total runs.
+    pub runs: u64,
+    /// Verified feasible schedules.
+    pub solved: u64,
+    /// Infeasibility proofs.
+    pub infeasible: u64,
+    /// Budget overruns.
+    pub overrun: u64,
+    /// Runs where the backend has no decision procedure for the cell's
+    /// heterogeneous platform.
+    pub unsupported: u64,
+}
+
+/// One heterogeneous grid cell with its per-roster-solver counts.
+#[derive(Debug, Clone)]
+pub struct HeteroRow {
+    /// Canonical cell tag.
+    pub cell: String,
+    /// Counts per roster solver, in roster order.
+    pub per_solver: Vec<HeteroCounts>,
+}
+
+/// Format the heterogeneity report: one block per hetero cell, one line
+/// per solver, making the per-backend `unsupported` counts visible.
+#[must_use]
+pub fn hetero(rows: &[HeteroRow], roster: &[SolverSpec]) -> String {
+    if rows.is_empty() {
+        return "no heterogeneous cells in this campaign\n".to_string();
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&format!("cell {}\n", row.cell));
+        out.push_str(&format!(
+            "  {:<14} {:>6} {:>7} {:>10} {:>8} {:>11}\n",
+            "solver", "runs", "solved", "infeasible", "overrun", "unsupported"
+        ));
+        for (s, c) in roster.iter().zip(&row.per_solver) {
+            out.push_str(&format!(
+                "  {:<14} {:>6} {:>7} {:>10} {:>8} {:>11}\n",
+                s.name(),
+                c.runs,
+                c.solved,
+                c.infeasible,
+                c.overrun,
+                c.unsupported
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +337,35 @@ mod tests {
         assert!(out.contains('–'));
         assert!(out.contains("25%"));
         assert!(out.contains("345.95"));
+    }
+
+    #[test]
+    fn hetero_renders_unsupported_counts_per_cell() {
+        let rows = vec![HeteroRow {
+            cell: "n=6/m=auto/tmax=5/u=*/hetero=true".to_string(),
+            per_solver: vec![
+                HeteroCounts {
+                    runs: 4,
+                    solved: 1,
+                    infeasible: 0,
+                    overrun: 0,
+                    unsupported: 3,
+                },
+                HeteroCounts {
+                    runs: 4,
+                    solved: 2,
+                    infeasible: 2,
+                    overrun: 0,
+                    unsupported: 0,
+                },
+            ],
+        }];
+        let out = hetero(&rows, &[CSP1, DC]);
+        assert!(out.contains("unsupported"));
+        assert!(out.contains("hetero=true"));
+        let csp1_line = out.lines().find(|l| l.trim().starts_with("csp1")).unwrap();
+        assert!(csp1_line.trim().ends_with('3'), "{csp1_line}");
+        assert!(hetero(&[], &[CSP1]).contains("no heterogeneous cells"));
     }
 
     #[test]

@@ -52,7 +52,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that take no value.
-const SWITCHES: &[&str] = &["gantt", "json", "quiet", "synchronous", "help"];
+const SWITCHES: &[&str] = &["gantt", "json", "quiet", "synchronous", "help", "fresh"];
 
 impl Args {
     /// Parse raw arguments (without the program/subcommand names).

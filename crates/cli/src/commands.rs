@@ -331,8 +331,11 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `mgrts bench campaign <run|resume|report|gate> …` — the sharded,
-/// resumable experiment-campaign engine.
+/// `mgrts bench campaign <run|resume|dispatch|worker|status|compact|report|gate>`
+/// — the sharded, resumable (and distributable) experiment-campaign
+/// engine.
+///
+/// Single-process verbs:
 ///
 /// * `run --manifest FILE [--out DIR] [--threads N] [--max-shards K]
 ///   [--quiet]` — start fresh (clears the store), stream JSONL records +
@@ -340,22 +343,39 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
 /// * `resume [--out DIR] [--threads N] [--max-shards K] [--quiet]` —
 ///   continue a killed campaign exactly where it stopped (committed
 ///   shards are deduped by content hash);
-/// * `report <table1|table3|table4|summary> [--out DIR]` — render a paper
-///   table over the record store;
+///
+/// Distributed verbs (N processes / machines sharing one store):
+///
+/// * `dispatch --manifest FILE [--out DIR] [--fresh]` — prepare (or
+///   idempotently join) a shared store and sweep expired leases;
+/// * `worker [--out DIR] [--id ID] [--threads N] [--lease-ttl-ms MS]
+///   [--poll-ms MS] [--max-shards K] [--quiet]` — claim shards via
+///   leases, heartbeat while solving, drain until the campaign completes;
+/// * `status [--out DIR]` — per-worker progress, in-flight and stale
+///   leases, completion;
+/// * `compact [--out DIR]` — merge worker segments, drop superseded
+///   copies, snapshot `canonical.jsonl`;
+///
+/// Reporting:
+///
+/// * `report <table1|table3|table4|hetero|summary> [--out DIR]` — render
+///   a table over the record store;
 /// * `gate --summary FILE --baseline FILE [--tolerance F]` — CI perf
 ///   gate: fail on > F wall-time regression (default 0.25) or any solver
 ///   verdict drift.
 pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
     use mgrts_bench::campaign::{self, CampaignOptions, Manifest, ReportKind, Summary};
+    use mgrts_bench::queue::{self, WorkerOptions};
     use mgrts_core::engine::CancelGroup;
     use std::path::PathBuf;
 
     if args.positional(0, "campaign")? != "campaign" {
         return Err(CliError::Other(
-            "usage: mgrts bench campaign <run|resume|report|gate> …".into(),
+            "usage: mgrts bench campaign <run|resume|dispatch|worker|status|compact|report|gate> …"
+                .into(),
         ));
     }
-    let verb = args.positional(1, "run|resume|report|gate")?;
+    let verb = args.positional(1, "run|resume|dispatch|worker|status|compact|report|gate")?;
     let out_dir = |manifest: Option<&Manifest>| -> Result<PathBuf, CliError> {
         if let Some(dir) = args.opt_str("out") {
             return Ok(PathBuf::from(dir));
@@ -401,9 +421,74 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
                 outcome.shards_committed
             ))
         }
+        "dispatch" => {
+            let path: String = args.req("manifest", "a manifest file")?;
+            let manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            let dir = out_dir(Some(&manifest))?;
+            let report =
+                queue::dispatch(&manifest, &dir, args.switch("fresh")).map_err(campaign_err)?;
+            Ok(format!(
+                "{} store {}: {} shard(s) planned, {} done, {} expired lease(s) reclaimed\n\
+                 workers join with: mgrts bench campaign worker --out {}\n",
+                if report.initialized {
+                    "initialized"
+                } else {
+                    "joined"
+                },
+                dir.display(),
+                report.shards_total,
+                report.shards_done,
+                report.leases_reclaimed,
+                dir.display(),
+            ))
+        }
+        "worker" => {
+            let dir = out_dir(None)?;
+            let defaults = WorkerOptions::default();
+            let wopts = WorkerOptions {
+                id: args
+                    .opt_str("id")
+                    .map_or_else(|| defaults.id.clone(), ToString::to_string),
+                threads: args.opt_or::<usize>("threads", "a thread count", defaults.threads)?,
+                lease_ttl: args
+                    .opt::<u64>("lease-ttl-ms", "milliseconds")?
+                    .map_or(defaults.lease_ttl, Duration::from_millis),
+                poll: args
+                    .opt::<u64>("poll-ms", "milliseconds")?
+                    .map_or(defaults.poll, Duration::from_millis),
+                max_shards: args.opt::<u64>("max-shards", "a shard count")?,
+                progress: !args.switch("quiet"),
+            };
+            let outcome =
+                queue::run_worker(&dir, &wopts, &CancelGroup::new()).map_err(campaign_err)?;
+            Ok(format!(
+                "{}worker {}: {} shard(s) committed this invocation\n",
+                campaign::render_summary(&outcome.summary),
+                wopts.id,
+                outcome.shards_committed
+            ))
+        }
+        "status" => {
+            let dir = out_dir(None)?;
+            let report = queue::status(&dir).map_err(campaign_err)?;
+            Ok(queue::render_status(&report))
+        }
+        "compact" => {
+            let dir = out_dir(None)?;
+            let report = campaign::compact(&dir).map_err(campaign_err)?;
+            Ok(format!(
+                "compacted {}: {} record line(s) -> {} record(s) over {} shard(s); \
+                 {} worker segment(s) merged; canonical export snapshotted\n",
+                dir.display(),
+                report.lines_before,
+                report.records,
+                report.shards,
+                report.segments_merged
+            ))
+        }
         "report" => {
             let kind: ReportKind = args
-                .positional(2, "table1|table3|table4|summary")?
+                .positional(2, "table1|table3|table4|hetero|summary")?
                 .parse()
                 .map_err(CliError::Other)?;
             let dir = out_dir(None)?;
@@ -431,7 +516,8 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
             }
         }
         other => Err(CliError::Other(format!(
-            "unknown campaign verb {other:?} (expected run|resume|report|gate)"
+            "unknown campaign verb {other:?} \
+             (expected run|resume|dispatch|worker|status|compact|report|gate)"
         ))),
     }
 }
@@ -479,7 +565,15 @@ pub fn usage() -> String {
                             --manifest FILE [--out DIR] [--threads N]\n\
                             [--max-shards K] [--quiet]\n\
        bench campaign resume  continue a killed campaign --out DIR\n\
-       bench campaign report  <table1|table3|table4|summary> --out DIR\n\
+       bench campaign dispatch  prepare/join a shared store for workers\n\
+                            --manifest FILE [--out DIR] [--fresh]\n\
+       bench campaign worker  claim + solve shards via leases until done\n\
+                            --out DIR [--id ID] [--threads N]\n\
+                            [--lease-ttl-ms MS] [--poll-ms MS]\n\
+                            [--max-shards K] [--quiet]\n\
+       bench campaign status  per-worker progress and (stale) leases --out DIR\n\
+       bench campaign compact  merge segments, drop stale copies --out DIR\n\
+       bench campaign report  <table1|table3|table4|hetero|summary> --out DIR\n\
        bench campaign gate  compare BENCH summaries (CI perf gate)\n\
                             --summary FILE --baseline FILE [--tolerance F]\n\
      \n\

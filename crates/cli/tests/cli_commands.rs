@@ -352,6 +352,111 @@ fn bench_campaign_run_report_and_resume() {
 }
 
 #[test]
+fn bench_campaign_dispatch_worker_status_compact() {
+    let dir = tmpdir("bench-queue");
+    let manifest = campaign_manifest(&dir);
+    let store = dir.join("shared");
+    let dispatched = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "dispatch",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+        ]),
+    )
+    .unwrap();
+    assert!(dispatched.contains("initialized"), "{dispatched}");
+    assert!(dispatched.contains("shard(s) planned"), "{dispatched}");
+
+    // Before any worker: incomplete, no leases.
+    let idle = run_command(
+        "bench",
+        &args(&["campaign", "status", "--out", store.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(idle.contains("shards 0/"), "{idle}");
+    assert!(idle.contains("0 lease(s) in flight"), "{idle}");
+
+    // One worker drains the whole campaign.
+    let worked = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "worker",
+            "--out",
+            store.to_str().unwrap(),
+            "--id",
+            "cli-w1",
+            "--threads",
+            "2",
+            "--poll-ms",
+            "20",
+            "--quiet",
+        ]),
+    )
+    .unwrap();
+    assert!(worked.contains("(complete)"), "{worked}");
+    assert!(worked.contains("worker cli-w1"), "{worked}");
+    assert!(store.join("records-cli-w1.jsonl").exists());
+    assert!(store.join("BENCH_mini.json").exists());
+
+    let status = run_command(
+        "bench",
+        &args(&["campaign", "status", "--out", store.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(status.contains("(complete)"), "{status}");
+    assert!(status.contains("cli-w1"), "{status}");
+
+    // A second dispatch of the same manifest joins without clearing.
+    let joined = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "dispatch",
+            "--manifest",
+            manifest.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+        ]),
+    )
+    .unwrap();
+    assert!(joined.contains("joined"), "{joined}");
+
+    // Compact merges the worker segment into the canonical pair.
+    let compacted = run_command(
+        "bench",
+        &args(&["campaign", "compact", "--out", store.to_str().unwrap()]),
+    )
+    .unwrap();
+    assert!(
+        compacted.contains("1 worker segment(s) merged"),
+        "{compacted}"
+    );
+    assert!(!store.join("records-cli-w1.jsonl").exists());
+    assert!(store.join("records.jsonl").exists());
+    assert!(store.join("canonical.jsonl").exists());
+
+    // Reports still render over the compacted store, including hetero
+    // (this grid has no hetero cells — the report must say so).
+    let hetero = run_command(
+        "bench",
+        &args(&[
+            "campaign",
+            "report",
+            "hetero",
+            "--out",
+            store.to_str().unwrap(),
+        ]),
+    )
+    .unwrap();
+    assert!(hetero.contains("no heterogeneous cells"), "{hetero}");
+}
+
+#[test]
 fn bench_campaign_gate_passes_self_and_fails_regression() {
     let dir = tmpdir("bench-gate");
     let manifest = campaign_manifest(&dir);

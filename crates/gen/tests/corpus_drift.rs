@@ -1,0 +1,55 @@
+//! Seed-corpus drift guard: the committed corpus under `bench/corpus/`
+//! pins the generator's instance stream. Any change to the samplers that
+//! silently alters generated instances — which would desynchronize every
+//! campaign record store, shard hash and baseline out there — fails this
+//! test loudly instead.
+//!
+//! After an *intentional* generator change, regenerate the pin:
+//!
+//! ```console
+//! MGRTS_REGEN_SEED_CORPUS=1 cargo test -p rt-gen --test corpus_drift
+//! ```
+//!
+//! and commit the new `bench/corpus/seed_corpus.json` together with fresh
+//! campaign baselines (`bench/baselines/`).
+
+use std::path::PathBuf;
+
+use rt_gen::{Corpus, GeneratorConfig};
+
+const MASTER_SEED: u64 = 2009;
+const COUNT: u64 = 16;
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench/corpus/seed_corpus.json"
+    ))
+}
+
+#[test]
+fn committed_seed_corpus_is_reproducible() {
+    let path = corpus_path();
+    if std::env::var_os("MGRTS_REGEN_SEED_CORPUS").is_some() {
+        let corpus = Corpus::generate(GeneratorConfig::table1(), MASTER_SEED, COUNT);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        corpus.save(&path).unwrap();
+        eprintln!("regenerated {}", path.display());
+    }
+    let corpus = Corpus::load(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing/broken {} ({e}); regenerate with MGRTS_REGEN_SEED_CORPUS=1",
+            path.display()
+        )
+    });
+    // The pin must cover the workload the campaigns actually draw from.
+    assert_eq!(corpus.config, GeneratorConfig::table1());
+    assert_eq!(corpus.master_seed, MASTER_SEED);
+    assert_eq!(corpus.problems.len() as u64, COUNT);
+    assert!(
+        corpus.is_reproducible(),
+        "generator drift: the sampler no longer reproduces the committed \
+         instance stream. If the change is intentional, regenerate the \
+         corpus (MGRTS_REGEN_SEED_CORPUS=1) and refresh bench/baselines/."
+    );
+}

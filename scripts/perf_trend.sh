@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Perf trajectory: aggregate accumulated BENCH_*.json campaign summaries
+# (one per commit, downloaded from CI artifacts or collected locally)
+# into a time-series table, oldest first, so trends are visible instead
+# of only the single-baseline gate.
+#
+# Usage:
+#   scripts/perf_trend.sh <dir-with-BENCH_*.json> [more dirs/files...]
+#
+# Files are ordered by modification time (a downloaded artifact keeps the
+# run's timestamp; rename files to NNN-BENCH_x.json to force an order —
+# name order breaks mtime ties).
+#
+# Output: one row per summary — wall-clock, record count, total solved /
+# infeasible / overrun across solvers — plus a trend verdict comparing
+# the newest wall time against the median of the rest.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: scripts/perf_trend.sh <dir-or-BENCH_*.json>..." >&2
+  exit 2
+fi
+
+files=()
+for arg in "$@"; do
+  if [[ -d "$arg" ]]; then
+    while IFS= read -r f; do files+=("$f"); done \
+      < <(find "$arg" -maxdepth 2 -name '*BENCH_*.json' | sort)
+  else
+    files+=("$arg")
+  fi
+done
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "perf_trend: no BENCH_*.json found" >&2
+  exit 2
+fi
+
+python3 - "${files[@]}" <<'PY'
+import json, os, statistics, sys
+
+rows = []
+for path in sys.argv[1:]:
+    try:
+        with open(path) as fh:
+            s = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_trend: skipping {path}: {e}", file=sys.stderr)
+        continue
+    totals = {"solved": 0, "infeasible": 0, "overrun": 0}
+    for _, sv in s.get("solvers", []):
+        for k in totals:
+            totals[k] += sv.get(k, 0)
+    rows.append((os.path.getmtime(path), os.path.basename(path), s, totals))
+
+if not rows:
+    print("perf_trend: no parseable summaries", file=sys.stderr)
+    sys.exit(2)
+rows.sort(key=lambda r: (r[0], r[1]))
+
+print(f"{'file':<32} {'campaign':<12} {'wall_ms':>9} {'records':>8} "
+      f"{'solved':>7} {'infeas':>7} {'overrun':>8}")
+for _, name, s, t in rows:
+    print(f"{name:<32} {s.get('campaign', '?'):<12} {s.get('wall_ms', 0):>9} "
+          f"{s.get('records', 0):>8} {t['solved']:>7} {t['infeasible']:>7} "
+          f"{t['overrun']:>8}")
+
+walls = [s.get("wall_ms", 0) for _, _, s, _ in rows]
+if len(walls) >= 3:
+    newest, history = walls[-1], walls[:-1]
+    median = statistics.median(history)
+    delta = (newest - median) / median * 100 if median else 0.0
+    print(f"\ntrend: newest {newest} ms vs median {median:.0f} ms "
+          f"over {len(history)} prior run(s) ({delta:+.1f}%)")
+    if median and newest > median * 1.5:
+        print("trend: WARNING — newest wall time is >1.5x the historical median")
+        sys.exit(1)
+else:
+    print("\ntrend: need >= 3 summaries for a median comparison")
+PY
