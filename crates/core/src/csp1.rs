@@ -99,7 +99,10 @@ pub fn encode(ts: &TaskSet, m: usize) -> Result<(Model, Csp1Layout), TaskError> 
     let h = ji.hyperperiod();
     let n = ts.len();
     let layout = Csp1Layout { n, m, h };
-    let mut model = Model::new();
+    // Arity hints: n·m·H boolean cells, one (3) row per processor-instant,
+    // at most one (4) row per task-instant plus one (5) sum per job.
+    let mut model =
+        Model::with_capacity(layout.cells() as usize, (m + n) * h as usize + ts.len() * 2);
 
     // Variables with constraint (2) folded into the domains.
     for i in 0..n {

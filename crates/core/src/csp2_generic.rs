@@ -90,7 +90,9 @@ pub fn encode(
     let h = ji.hyperperiod();
     let n = ts.len() as i32;
     let layout = Csp2Layout { m, h };
-    let mut model = Model::new();
+    // Arity hints: m·H processor-instant variables; one (8) all-different
+    // per instant, at most one (9) count per job, H·(m−1) (10) orderings.
+    let mut model = Model::with_capacity(m * h as usize, h as usize * m + ts.len() * h as usize);
 
     // Variables x_j(t) ∈ {-1 .. n-1}, time-major.
     for _t in 0..h {

@@ -144,23 +144,24 @@ impl Constraint {
     }
 
     /// The variables this constraint watches (it is re-run whenever any of
-    /// them changes).
-    pub fn watched(&self) -> Vec<VarId> {
+    /// them changes), as a borrowed view — no per-call allocation.
+    #[must_use]
+    pub fn watched(&self) -> Watched<'_> {
         match self {
             Constraint::LinearEq { vars, .. }
             | Constraint::LinearLeq { vars, .. }
             | Constraint::AtMostOneTrue { vars }
             | Constraint::BoolSumEq { vars, .. }
             | Constraint::CountEq { vars, .. }
-            | Constraint::AllDifferent { vars } => vars.clone(),
+            | Constraint::AllDifferent { vars } => Watched::Vars(vars),
             Constraint::NotEqual { a, b }
             | Constraint::NotEqualUnless { a, b, .. }
-            | Constraint::LeqVar { a, b } => vec![*a, *b],
-            Constraint::AllDifferentExcept { vars, .. } => vars.clone(),
-            Constraint::Element { index, value, .. } => vec![*index, *value],
-            Constraint::Table { vars, .. } => vars.clone(),
-            Constraint::Or { lits } => lits.iter().map(|&(v, _)| v).collect(),
-            Constraint::ReifiedLeq { b, x, .. } => vec![*b, *x],
+            | Constraint::LeqVar { a, b } => Watched::Pair([*a, *b]),
+            Constraint::AllDifferentExcept { vars, .. } => Watched::Vars(vars),
+            Constraint::Element { index, value, .. } => Watched::Pair([*index, *value]),
+            Constraint::Table { vars, .. } => Watched::Vars(vars),
+            Constraint::Or { lits } => Watched::Lits(lits),
+            Constraint::ReifiedLeq { b, x, .. } => Watched::Pair([*b, *x]),
         }
     }
 
@@ -229,19 +230,14 @@ impl Constraint {
             Constraint::CountEq { vars, value, rhs } => {
                 vars.iter().filter(|&&v| assignment[v] == *value).count() == *rhs as usize
             }
-            Constraint::AllDifferent { vars } => {
-                let mut seen = std::collections::HashSet::new();
-                vars.iter().all(|&v| seen.insert(assignment[v]))
-            }
+            Constraint::AllDifferent { vars } => all_distinct(vars, assignment, None),
             Constraint::NotEqual { a, b } => assignment[*a] != assignment[*b],
             Constraint::NotEqualUnless { a, b, except } => {
                 assignment[*a] != assignment[*b] || assignment[*a] == *except
             }
             Constraint::LeqVar { a, b } => assignment[*a] <= assignment[*b],
             Constraint::AllDifferentExcept { vars, except } => {
-                let mut seen = std::collections::HashSet::new();
-                vars.iter()
-                    .all(|&v| assignment[v] == *except || seen.insert(assignment[v]))
+                all_distinct(vars, assignment, Some(*except))
             }
             Constraint::Element {
                 index,
@@ -260,9 +256,96 @@ impl Constraint {
     }
 }
 
+/// Borrowed view of the variables a constraint watches, returned by
+/// [`Constraint::watched`]. Iterate it directly (`for v in c.watched()`)
+/// or via [`Watched::iter`].
+#[derive(Debug, Clone, Copy)]
+pub enum Watched<'a> {
+    /// The constraint watches a slice of variables.
+    Vars(&'a [VarId]),
+    /// The constraint watches exactly two variables.
+    Pair([VarId; 2]),
+    /// The constraint watches the variables of a literal list.
+    Lits(&'a [(VarId, bool)]),
+}
+
+impl Watched<'_> {
+    /// Number of watched entries (with multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Watched::Vars(v) => v.len(),
+            Watched::Pair(_) => 2,
+            Watched::Lits(l) => l.len(),
+        }
+    }
+
+    /// Is the watch list empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the watched variable ids.
+    #[must_use]
+    pub fn iter(&self) -> WatchedIter<'_> {
+        (*self).into_iter()
+    }
+}
+
+impl<'a> IntoIterator for Watched<'a> {
+    type Item = VarId;
+    type IntoIter = WatchedIter<'a>;
+    fn into_iter(self) -> WatchedIter<'a> {
+        WatchedIter {
+            inner: match self {
+                Watched::Vars(v) => WatchedInner::Slice(v.iter()),
+                Watched::Pair(p) => WatchedInner::Pair(p.into_iter()),
+                Watched::Lits(l) => WatchedInner::Lits(l.iter()),
+            },
+        }
+    }
+}
+
+/// Iterator over watched variable ids (see [`Watched`]).
+#[derive(Debug)]
+pub struct WatchedIter<'a> {
+    inner: WatchedInner<'a>,
+}
+
+#[derive(Debug)]
+enum WatchedInner<'a> {
+    Slice(std::slice::Iter<'a, VarId>),
+    Pair(std::array::IntoIter<VarId, 2>),
+    Lits(std::slice::Iter<'a, (VarId, bool)>),
+}
+
+impl Iterator for WatchedIter<'_> {
+    type Item = VarId;
+    fn next(&mut self) -> Option<VarId> {
+        match &mut self.inner {
+            WatchedInner::Slice(it) => it.next().copied(),
+            WatchedInner::Pair(it) => it.next(),
+            WatchedInner::Lits(it) => it.next().map(|&(v, _)| v),
+        }
+    }
+}
+
+/// Pairwise-distinct check over a complete assignment via sort-and-scan —
+/// no hash set allocation on the solution-validation path.
+fn all_distinct(vars: &[VarId], assignment: &[Val], except: Option<Val>) -> bool {
+    let mut vals: Vec<Val> = vars
+        .iter()
+        .map(|&v| assignment[v])
+        .filter(|&x| except != Some(x))
+        .collect();
+    vals.sort_unstable();
+    vals.windows(2).all(|w| w[0] != w[1])
+}
+
 /// `⌊a/b⌋` for any sign of `b ≠ 0` (Euclidean division is the floor only
 /// for positive divisors).
-fn div_floor(a: i64, b: i64) -> i64 {
+pub(crate) fn div_floor(a: i64, b: i64) -> i64 {
     let q = a.div_euclid(b);
     if b < 0 && a.rem_euclid(b) != 0 {
         q - 1
@@ -272,7 +355,7 @@ fn div_floor(a: i64, b: i64) -> i64 {
 }
 
 /// `⌈a/b⌉` for any sign of `b ≠ 0`.
-fn div_ceil(a: i64, b: i64) -> i64 {
+pub(crate) fn div_ceil(a: i64, b: i64) -> i64 {
     let q = a.div_euclid(b);
     if b > 0 && a.rem_euclid(b) != 0 {
         q + 1
@@ -282,7 +365,7 @@ fn div_ceil(a: i64, b: i64) -> i64 {
 }
 
 /// Bounds consistency for `Σ c_k·x_k (= | ≤) rhs`.
-fn propagate_linear(
+pub(crate) fn propagate_linear(
     store: &mut Store,
     vars: &[VarId],
     coeffs: &[i64],
@@ -370,10 +453,13 @@ fn propagate_linear(
     Ok(())
 }
 
-fn propagate_at_most_one(store: &mut Store, vars: &[VarId]) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_at_most_one(store: &mut Store, vars: &[VarId]) -> Result<(), EmptyDomain> {
+    // "Is 1" means fixed to 1. (On the documented 0/1 domains this equals
+    // the cheaper `min == 1` test, but only the fixed-value form stays
+    // sound when the constraint is posted on wider domains.)
     let mut first_true: Option<VarId> = None;
     for &v in vars {
-        if store.min(v) == 1 {
+        if store.is_fixed(v) && store.value(v) == 1 {
             if first_true.is_some() {
                 return Err(EmptyDomain(v));
             }
@@ -383,14 +469,20 @@ fn propagate_at_most_one(store: &mut Store, vars: &[VarId]) -> Result<(), EmptyD
     if let Some(t) = first_true {
         for &v in vars {
             if v != t {
-                store.assign(v, 0)?;
+                // "Must be false" is the removal of value 1 — equivalent to
+                // assigning 0 on 0/1 domains, but sound on wider ones.
+                store.remove(v, 1)?;
             }
         }
     }
     Ok(())
 }
 
-fn propagate_bool_sum_eq(store: &mut Store, vars: &[VarId], rhs: u32) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_bool_sum_eq(
+    store: &mut Store,
+    vars: &[VarId],
+    rhs: u32,
+) -> Result<(), EmptyDomain> {
     let mut fixed_true = 0u32;
     let mut unfixed = 0u32;
     for &v in vars {
@@ -406,7 +498,9 @@ fn propagate_bool_sum_eq(store: &mut Store, vars: &[VarId], rhs: u32) -> Result<
     if fixed_true == rhs {
         for &v in vars {
             if !store.is_fixed(v) {
-                store.assign(v, 0)?;
+                // Saturated: the rest must avoid 1 (not "equal 0", which
+                // would overprune non-boolean domains).
+                store.remove(v, 1)?;
             }
         }
     } else if fixed_true + unfixed == rhs {
@@ -419,7 +513,7 @@ fn propagate_bool_sum_eq(store: &mut Store, vars: &[VarId], rhs: u32) -> Result<
     Ok(())
 }
 
-fn propagate_count_eq(
+pub(crate) fn propagate_count_eq(
     store: &mut Store,
     vars: &[VarId],
     value: Val,
@@ -453,7 +547,10 @@ fn propagate_count_eq(
     Ok(())
 }
 
-fn propagate_all_different(store: &mut Store, vars: &[VarId]) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_all_different(
+    store: &mut Store,
+    vars: &[VarId],
+) -> Result<(), EmptyDomain> {
     // Forward checking: each fixed value is removed from all other domains.
     // Iterate until stable because removals can fix further variables.
     let mut changed = true;
@@ -479,7 +576,7 @@ fn propagate_all_different(store: &mut Store, vars: &[VarId]) -> Result<(), Empt
     Ok(())
 }
 
-fn propagate_not_equal(
+pub(crate) fn propagate_not_equal(
     store: &mut Store,
     a: VarId,
     b: VarId,
@@ -506,7 +603,7 @@ fn propagate_not_equal(
     Ok(())
 }
 
-fn propagate_all_different_except(
+pub(crate) fn propagate_all_different_except(
     store: &mut Store,
     vars: &[VarId],
     except: Val,
@@ -539,7 +636,7 @@ fn propagate_all_different_except(
     Ok(())
 }
 
-fn propagate_element(
+pub(crate) fn propagate_element(
     store: &mut Store,
     index: VarId,
     array: &[Val],
@@ -573,7 +670,7 @@ fn propagate_element(
     Ok(())
 }
 
-fn propagate_table(
+pub(crate) fn propagate_table(
     store: &mut Store,
     vars: &[VarId],
     rows: &[Vec<Val>],
@@ -609,7 +706,7 @@ fn propagate_table(
 /// A positive literal holds iff the variable equals 1; a negative literal
 /// holds iff it differs from 1. This generalizes cleanly from 0/1 domains
 /// to arbitrary ones.
-fn propagate_or(store: &mut Store, lits: &[(VarId, bool)]) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_or(store: &mut Store, lits: &[(VarId, bool)]) -> Result<(), EmptyDomain> {
     let mut pending: Option<(VarId, bool)> = None;
     let mut pending_count = 0;
     for &(v, pol) in lits {
@@ -641,7 +738,12 @@ fn propagate_or(store: &mut Store, lits: &[(VarId, bool)]) -> Result<(), EmptyDo
     }
 }
 
-fn propagate_reified_leq(store: &mut Store, b: VarId, x: VarId, c: Val) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_reified_leq(
+    store: &mut Store,
+    b: VarId,
+    x: VarId,
+    c: Val,
+) -> Result<(), EmptyDomain> {
     // "b is true" means b = 1; any other value is false (general domains).
     let b_must_one = store.is_fixed(b) && store.value(b) == 1;
     let b_can_one = store.contains(b, 1);
@@ -667,7 +769,7 @@ fn propagate_reified_leq(store: &mut Store, b: VarId, x: VarId, c: Val) -> Resul
     Ok(())
 }
 
-fn propagate_leq_var(store: &mut Store, a: VarId, b: VarId) -> Result<(), EmptyDomain> {
+pub(crate) fn propagate_leq_var(store: &mut Store, a: VarId, b: VarId) -> Result<(), EmptyDomain> {
     // a ≤ b: max(a) ≤ max(b), min(b) ≥ min(a).
     store.remove_above(a, store.max(b))?;
     store.remove_below(b, store.min(a))?;

@@ -6,15 +6,23 @@
 //! sense of Section III-B:
 //!
 //! * finite integer domains stored as bitsets with trail-based backtracking
-//!   ([`store::Store`]);
-//! * constraint propagation to fixpoint through a watcher queue
-//!   ([`constraints::Constraint`] — linear (in)equalities, boolean cardinality,
-//!   occurrence counting, pairwise difference, ordering);
+//!   ([`store::Store`]), which also hosts trailed *state cells* and the
+//!   unfixed-variable sparse set the incremental machinery relies on;
+//! * **incremental** constraint propagation to fixpoint through an
+//!   event-filtered watcher queue: each posted [`constraints::Constraint`]
+//!   (linear (in)equalities, boolean cardinality, occurrence counting,
+//!   pairwise difference, ordering) is compiled into a
+//!   [`propagators::Propagator`] that subscribes to the event kinds
+//!   ([`store::EventMask`]) it can react to and keeps running sums /
+//!   counters in trailed cells, updated by per-variable deltas instead of
+//!   rescanning its scope on every wake (the pre-incremental engine is
+//!   retained as [`reference::RefSolver`] for differential testing);
 //! * depth-first search with pluggable variable/value ordering heuristics,
 //!   seeded randomization and geometric restarts ([`solver::Solver`]), so the
 //!   randomized behaviour the paper observed with Choco ("multiple executions
 //!   … may return different outcomes", Section VII-B) is reproducible here
-//!   under an explicit seed;
+//!   under an explicit seed; no heuristic rescans fixed variables, and
+//!   dom/wdeg weights are cached per variable;
 //! * node / failure / wall-clock budgets with a three-way verdict
 //!   ([`solver::Outcome`]): `Sat`, `Unsat` (search space exhausted), or
 //!   `Unknown` (budget exceeded — the paper's "overrun").
@@ -45,12 +53,15 @@
 
 pub mod constraints;
 pub mod model;
+pub mod propagators;
+pub mod reference;
 pub mod solver;
 pub mod store;
 
-pub use constraints::Constraint;
+pub use constraints::{Constraint, Watched};
 pub use model::Model;
+pub use propagators::Propagator;
 pub use solver::{
     Budget, LimitReason, Outcome, SolveStats, Solver, SolverConfig, ValOrder, VarOrder,
 };
-pub use store::{Store, VarId};
+pub use store::{EventMask, StateId, Store, VarId};

@@ -6,7 +6,7 @@ use crate::solver::{Solver, SolverConfig};
 use crate::store::{Store, Val, VarId};
 
 /// A CSP under construction.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Model {
     domains: Vec<(Val, Val)>,
     removals: Vec<(VarId, Val)>,
@@ -18,6 +18,19 @@ impl Model {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty model with capacity hints — encoders that know their size
+    /// up front (`n·m·H` cells, one constraint family per instant) pass the
+    /// expected variable and constraint counts to avoid reallocation while
+    /// building paper-scale models.
+    #[must_use]
+    pub fn with_capacity(vars: usize, constraints: usize) -> Self {
+        Model {
+            domains: Vec::with_capacity(vars),
+            removals: Vec::new(),
+            constraints: Vec::with_capacity(constraints),
+        }
     }
 
     /// Declare a variable with inclusive domain `[lb, ub]`.
@@ -67,9 +80,16 @@ impl Model {
         self.domains.iter().map(|&(lb, ub)| (ub - lb) as u64).sum()
     }
 
-    /// Freeze the model into a solver.
+    /// The constraints posted so far.
     #[must_use]
-    pub fn into_solver(self, config: SolverConfig) -> Solver {
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Materialize the declared domains (with initial removals applied)
+    /// into a fresh store. The boolean is true when a removal already
+    /// wiped a domain out.
+    pub(crate) fn build_store(&self) -> (Store, bool) {
         let mut store = Store::new();
         for &(lb, ub) in &self.domains {
             store.new_var(lb, ub);
@@ -80,6 +100,13 @@ impl Model {
                 initially_inconsistent = true;
             }
         }
+        (store, initially_inconsistent)
+    }
+
+    /// Freeze the model into a solver.
+    #[must_use]
+    pub fn into_solver(self, config: SolverConfig) -> Solver {
+        let (store, initially_inconsistent) = self.build_store();
         Solver::from_parts(store, self.constraints, config, initially_inconsistent)
     }
 }

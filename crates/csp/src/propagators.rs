@@ -1,0 +1,928 @@
+//! Stateful propagator objects with trailed incremental state.
+//!
+//! A [`Propagator`] is the runtime form of a posted
+//! [`Constraint`]: where the constraint is a passive
+//! description, the propagator owns everything needed to run *incrementally*
+//! — running sums, occurrence counters and caches kept in the store's
+//! trailed state cells ([`Store::new_state_cell`]), plus per-variable event
+//! subscriptions so it only wakes on changes it can react to.
+//!
+//! The contract with the solver:
+//!
+//! * [`Propagator::watches`] declares `(variable, event-filter)` pairs. The
+//!   solver wakes the propagator only when a watched variable changes with
+//!   an event intersecting the filter, and hands it the changed variables
+//!   (`pending`) at the next run.
+//! * [`Propagator::propagate_incremental`] may assume its trailed state is
+//!   consistent with the store *except* for the `pending` variables, whose
+//!   cached contribution it re-derives by diffing against the store (an
+//!   idempotent operation, so duplicate or spurious pending entries are
+//!   harmless).
+//! * [`Propagator::propagate_full`] rebuilds all state from scratch and
+//!   prunes. The solver calls it on the first run and whenever the
+//!   propagator's trailed *stale* flag is raised (set when a propagation
+//!   fixpoint is aborted mid-flight by a conflict or a budget check, the
+//!   one situation where pending events can be lost or span decision
+//!   levels).
+//!
+//! Because all incremental state lives in trailed cells, backtracking
+//! rewinds it in lockstep with the domains — no explicit re-synchronization
+//! on backtrack is ever needed.
+
+use crate::constraints::{
+    div_ceil, div_floor, propagate_all_different, propagate_all_different_except,
+    propagate_element, propagate_leq_var, propagate_not_equal, propagate_or, propagate_reified_leq,
+    propagate_table, Constraint,
+};
+use crate::store::{EmptyDomain, EventMask, StateId, Store, Val, VarId};
+
+/// A constraint's runtime form: event subscriptions plus (optionally
+/// stateful) pruning. See the module docs for the solver contract.
+pub trait Propagator: std::fmt::Debug + Send {
+    /// The `(variable, event-filter)` subscriptions. Variables may repeat
+    /// (a variable occurring twice in a sum is watched twice); filters must
+    /// be wide enough that any event they exclude provably cannot change
+    /// this propagator's output or cached state.
+    fn watches(&self) -> Vec<(VarId, EventMask)>;
+
+    /// Rebuild all trailed state from the current domains, then prune.
+    /// `Err` means the constraint is violated under every completion.
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain>;
+
+    /// Prune after re-deriving the cached contribution of each variable in
+    /// `pending` (watched variables whose domain changed since the last
+    /// run). Stateless propagators simply defer to
+    /// [`Propagator::propagate_full`].
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        let _ = pending;
+        self.propagate_full(store)
+    }
+
+    /// A trailed cell that is non-zero while the constraint is *entailed*
+    /// on the current branch (satisfied by every completion of the current
+    /// domains). The solver skips waking an entailed propagator altogether;
+    /// backtracking rewinds the flag like any other trailed state. `None`
+    /// when the propagator does not track entailment.
+    fn entailed_flag(&self) -> Option<StateId> {
+        None
+    }
+}
+
+/// Build the propagator for a posted constraint, allocating its trailed
+/// state cells in `store`.
+pub(crate) fn build(c: &Constraint, store: &mut Store) -> Box<dyn Propagator> {
+    match c {
+        Constraint::LinearEq { vars, coeffs, rhs } => Box::new(LinearProp::new(
+            vars.clone(),
+            coeffs.clone(),
+            *rhs,
+            true,
+            store,
+        )),
+        Constraint::LinearLeq { vars, coeffs, rhs } => Box::new(LinearProp::new(
+            vars.clone(),
+            coeffs.clone(),
+            *rhs,
+            false,
+            store,
+        )),
+        Constraint::AtMostOneTrue { vars } => Box::new(AtMostOneProp::new(vars.clone(), store)),
+        Constraint::BoolSumEq { vars, rhs } => {
+            Box::new(BoolSumProp::new(vars.clone(), *rhs, store))
+        }
+        Constraint::CountEq { vars, value, rhs } => {
+            Box::new(CountProp::new(vars.clone(), *value, *rhs, store))
+        }
+        Constraint::AllDifferent { vars } => Box::new(AllDiffProp {
+            vars: vars.clone(),
+            except: None,
+        }),
+        Constraint::AllDifferentExcept { vars, except } => Box::new(AllDiffProp {
+            vars: vars.clone(),
+            except: Some(*except),
+        }),
+        Constraint::NotEqual { a, b } => Box::new(NotEqualProp {
+            a: *a,
+            b: *b,
+            except: None,
+        }),
+        Constraint::NotEqualUnless { a, b, except } => Box::new(NotEqualProp {
+            a: *a,
+            b: *b,
+            except: Some(*except),
+        }),
+        Constraint::LeqVar { a, b } => Box::new(LeqVarProp { a: *a, b: *b }),
+        Constraint::Element {
+            index,
+            array,
+            value,
+        } => Box::new(ElementProp {
+            index: *index,
+            array: array.clone(),
+            value: *value,
+        }),
+        Constraint::Table { vars, rows } => Box::new(TableProp {
+            vars: vars.clone(),
+            rows: rows.clone(),
+        }),
+        Constraint::Or { lits } => Box::new(OrProp { lits: lits.clone() }),
+        Constraint::ReifiedLeq { b, x, c } => Box::new(ReifiedLeqProp {
+            b: *b,
+            x: *x,
+            c: *c,
+        }),
+    }
+}
+
+/// Variable → occurrence-positions index for one constraint scope. Compact
+/// sorted arrays with binary search — this sits on the per-event hot path,
+/// where a hash map's per-lookup cost dominates the small scopes involved.
+#[derive(Debug)]
+struct PosIndex {
+    /// Sorted distinct variable ids.
+    vars: Vec<VarId>,
+    /// Prefix offsets into `idxs`, one per entry of `vars` plus a final
+    /// end marker.
+    starts: Vec<u32>,
+    /// Occurrence positions grouped by variable.
+    idxs: Vec<u32>,
+}
+
+impl PosIndex {
+    fn new(scope: &[VarId]) -> Self {
+        let mut order: Vec<u32> = (0..scope.len() as u32).collect();
+        order.sort_unstable_by_key(|&k| scope[k as usize]);
+        let mut vars = Vec::new();
+        let mut starts = Vec::new();
+        let mut idxs = Vec::with_capacity(scope.len());
+        for &k in &order {
+            let v = scope[k as usize];
+            if vars.last() != Some(&v) {
+                vars.push(v);
+                starts.push(idxs.len() as u32);
+            }
+            idxs.push(k);
+        }
+        starts.push(idxs.len() as u32);
+        PosIndex { vars, starts, idxs }
+    }
+
+    /// Positions at which `v` occurs (empty if unwatched).
+    fn get(&self, v: VarId) -> &[u32] {
+        match self.vars.binary_search(&v) {
+            Ok(i) => &self.idxs[self.starts[i] as usize..self.starts[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LinearProp: Σ c_k·x_k (= | ≤) rhs with incremental running bounds
+// ---------------------------------------------------------------------------
+
+/// Bounds consistency for linear (in)equalities, keeping `Σ c·min` and
+/// `Σ c·max` as trailed running sums updated by per-variable bound deltas
+/// instead of re-summing the whole arity on every wake.
+#[derive(Debug)]
+struct LinearProp {
+    vars: Vec<VarId>,
+    coeffs: Vec<i64>,
+    rhs: i64,
+    equality: bool,
+    /// Running `Σ` of per-term lower contributions.
+    sum_lo: StateId,
+    /// Running `Σ` of per-term upper contributions.
+    sum_hi: StateId,
+    /// Cached per-position term bounds (what `sum_lo`/`sum_hi` were built
+    /// from).
+    term_lo: Vec<StateId>,
+    term_hi: Vec<StateId>,
+    positions: PosIndex,
+}
+
+impl LinearProp {
+    fn new(
+        vars: Vec<VarId>,
+        coeffs: Vec<i64>,
+        rhs: i64,
+        equality: bool,
+        store: &mut Store,
+    ) -> Self {
+        let sum_lo = store.new_state_cell(0);
+        let sum_hi = store.new_state_cell(0);
+        let term_lo = vars.iter().map(|_| store.new_state_cell(0)).collect();
+        let term_hi = vars.iter().map(|_| store.new_state_cell(0)).collect();
+        let positions = PosIndex::new(&vars);
+        LinearProp {
+            vars,
+            coeffs,
+            rhs,
+            equality,
+            sum_lo,
+            sum_hi,
+            term_lo,
+            term_hi,
+            positions,
+        }
+    }
+
+    /// Contribution bounds of position `k` under the current domains.
+    fn term_bounds(&self, store: &Store, k: usize) -> (i64, i64) {
+        let v = self.vars[k];
+        let c = self.coeffs[k];
+        let (lo, hi) = (i64::from(store.min(v)), i64::from(store.max(v)));
+        if c >= 0 {
+            (c * lo, c * hi)
+        } else {
+            (c * hi, c * lo)
+        }
+    }
+
+    /// Fold position `k`'s current bounds into the running sums by delta.
+    fn sync_position(&self, store: &mut Store, k: usize) {
+        let (lo, hi) = self.term_bounds(store, k);
+        let old_lo = store.state(self.term_lo[k]);
+        if lo != old_lo {
+            let s = store.state(self.sum_lo);
+            store.set_state(self.sum_lo, s + lo - old_lo);
+            store.set_state(self.term_lo[k], lo);
+        }
+        let old_hi = store.state(self.term_hi[k]);
+        if hi != old_hi {
+            let s = store.state(self.sum_hi);
+            store.set_state(self.sum_hi, s + hi - old_hi);
+            store.set_state(self.term_hi[k], hi);
+        }
+    }
+
+    fn prune(&self, store: &mut Store) -> Result<(), EmptyDomain> {
+        if store.state(self.sum_lo) > self.rhs
+            || (self.equality && store.state(self.sum_hi) < self.rhs)
+        {
+            return Err(EmptyDomain(self.vars[0]));
+        }
+        // Fixpoint within this constraint: tighten each variable against the
+        // residual slack, repeating while something moves. The running sums
+        // are updated by delta after every tightening.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for k in 0..self.vars.len() {
+                let c = self.coeffs[k];
+                if c == 0 {
+                    continue;
+                }
+                let v = self.vars[k];
+                let (lo, hi) = (i64::from(store.min(v)), i64::from(store.max(v)));
+                let t_lo = store.state(self.term_lo[k]);
+                let t_hi = store.state(self.term_hi[k]);
+                // Upper side (always active): c·x ≤ rhs - (sum_lo - t_lo)
+                let ub_term = self.rhs - (store.state(self.sum_lo) - t_lo);
+                // Lower side (equality only): c·x ≥ rhs - (sum_hi - t_hi)
+                let lb_term = self.rhs - (store.state(self.sum_hi) - t_hi);
+                let (new_lo, new_hi) = if c > 0 {
+                    // c·x ≤ U ⇔ x ≤ ⌊U/c⌋; c·x ≥ L ⇔ x ≥ ⌈L/c⌉.
+                    let hi_v = div_floor(ub_term, c);
+                    let lo_v = if self.equality {
+                        div_ceil(lb_term, c)
+                    } else {
+                        lo
+                    };
+                    (lo_v, hi_v)
+                } else {
+                    // c < 0: c·x ≤ U ⇔ x ≥ ⌈U/c⌉; c·x ≥ L ⇔ x ≤ ⌊L/c⌋.
+                    let lo_v = div_ceil(ub_term, c);
+                    let hi_v = if self.equality {
+                        div_floor(lb_term, c)
+                    } else {
+                        hi
+                    };
+                    (lo_v, hi_v)
+                };
+                let mut moved = false;
+                if new_lo > lo {
+                    let val = Val::try_from(new_lo.min(i64::from(Val::MAX))).unwrap_or(Val::MAX);
+                    if store.remove_below(v, val)? {
+                        moved = true;
+                    }
+                }
+                if new_hi < hi {
+                    let val = Val::try_from(new_hi.max(i64::from(Val::MIN))).unwrap_or(Val::MIN);
+                    if store.remove_above(v, val)? {
+                        moved = true;
+                    }
+                }
+                if moved {
+                    changed = true;
+                    // This variable may occur at several positions; refresh
+                    // them all so the sums stay exact.
+                    for &k2 in self.positions.get(v) {
+                        self.sync_position(store, k2 as usize);
+                    }
+                    if store.state(self.sum_lo) > self.rhs
+                        || (self.equality && store.state(self.sum_hi) < self.rhs)
+                    {
+                        return Err(EmptyDomain(v));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for LinearProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        self.vars.iter().map(|&v| (v, EventMask::BOUNDS)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        let mut total_lo = 0i64;
+        let mut total_hi = 0i64;
+        for k in 0..self.vars.len() {
+            let (lo, hi) = self.term_bounds(store, k);
+            store.set_state(self.term_lo[k], lo);
+            store.set_state(self.term_hi[k], hi);
+            total_lo += lo;
+            total_hi += hi;
+        }
+        store.set_state(self.sum_lo, total_lo);
+        store.set_state(self.sum_hi, total_hi);
+        self.prune(store)
+    }
+
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        for &v in pending {
+            for &k in self.positions.get(v) {
+                self.sync_position(store, k as usize);
+            }
+        }
+        self.prune(store)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BoolSumProp: exactly rhs of the 0/1 variables are 1
+// ---------------------------------------------------------------------------
+
+/// Cardinality on 0/1 variables with trailed `#fixed` / `#fixed-to-1`
+/// counters: each fixing event is folded in once (a per-position `counted`
+/// flag makes the fold idempotent under duplicate events).
+#[derive(Debug)]
+struct BoolSumProp {
+    vars: Vec<VarId>,
+    rhs: u32,
+    n_fixed: StateId,
+    n_true: StateId,
+    /// 1 once the constraint is entailed on this branch (saturated and the
+    /// value 1 swept from every other domain) — later wakes are O(1).
+    swept: StateId,
+    counted: Vec<StateId>,
+    positions: PosIndex,
+}
+
+impl BoolSumProp {
+    fn new(vars: Vec<VarId>, rhs: u32, store: &mut Store) -> Self {
+        let n_fixed = store.new_state_cell(0);
+        let n_true = store.new_state_cell(0);
+        let swept = store.new_state_cell(0);
+        let counted = vars.iter().map(|_| store.new_state_cell(0)).collect();
+        let positions = PosIndex::new(&vars);
+        BoolSumProp {
+            vars,
+            rhs,
+            n_fixed,
+            n_true,
+            swept,
+            counted,
+            positions,
+        }
+    }
+
+    fn count_position(&self, store: &mut Store, k: usize) {
+        let v = self.vars[k];
+        if store.state(self.counted[k]) == 0 && store.is_fixed(v) {
+            store.set_state(self.counted[k], 1);
+            store.set_state(self.n_fixed, store.state(self.n_fixed) + 1);
+            if store.value(v) == 1 {
+                store.set_state(self.n_true, store.state(self.n_true) + 1);
+            }
+        }
+    }
+
+    fn prune(&self, store: &mut Store) -> Result<(), EmptyDomain> {
+        if store.state(self.swept) != 0 {
+            // Entailed: exactly rhs ones and 1 removed everywhere else.
+            return Ok(());
+        }
+        let fixed_true = store.state(self.n_true);
+        let unfixed = self.vars.len() as i64 - store.state(self.n_fixed);
+        let rhs = i64::from(self.rhs);
+        if fixed_true > rhs || fixed_true + unfixed < rhs {
+            return Err(EmptyDomain(self.vars[0]));
+        }
+        if fixed_true == rhs {
+            for &v in &self.vars {
+                if !store.is_fixed(v) {
+                    // Saturated: the rest must avoid 1 (removal, not
+                    // assignment of 0 — sound beyond 0/1 domains).
+                    store.remove(v, 1)?;
+                }
+            }
+            store.set_state(self.swept, 1);
+        } else if fixed_true + unfixed == rhs {
+            for &v in &self.vars {
+                if !store.is_fixed(v) {
+                    store.assign(v, 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for BoolSumProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        let mut n_fixed = 0i64;
+        let mut n_true = 0i64;
+        for (k, &v) in self.vars.iter().enumerate() {
+            if store.is_fixed(v) {
+                store.set_state(self.counted[k], 1);
+                n_fixed += 1;
+                if store.value(v) == 1 {
+                    n_true += 1;
+                }
+            } else {
+                store.set_state(self.counted[k], 0);
+            }
+        }
+        store.set_state(self.n_fixed, n_fixed);
+        store.set_state(self.n_true, n_true);
+        store.set_state(self.swept, 0);
+        self.prune(store)
+    }
+
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        if store.state(self.swept) != 0 {
+            // Entailed: skipped events concern levels at or above the
+            // sweep, which backtracking rewinds together with the flag.
+            return Ok(());
+        }
+        for &v in pending {
+            for &k in self.positions.get(v) {
+                self.count_position(store, k as usize);
+            }
+        }
+        self.prune(store)
+    }
+
+    fn entailed_flag(&self) -> Option<StateId> {
+        Some(self.swept)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CountProp: exactly rhs of the variables take `value`
+// ---------------------------------------------------------------------------
+
+/// Per-position category for [`CountProp`].
+const CAT_POSSIBLE: i64 = 0; // unfixed and still contains the counted value
+const CAT_FIXED_TO: i64 = 1; // fixed to the counted value
+const CAT_OUT: i64 = 2; // cannot take the counted value (or fixed elsewhere)
+
+/// Occurrence counting with trailed `#fixed-to` / `#possible` counters,
+/// updated per changed variable instead of rescanning the whole scope.
+#[derive(Debug)]
+struct CountProp {
+    vars: Vec<VarId>,
+    value: Val,
+    rhs: u32,
+    n_fixed_to: StateId,
+    n_possible: StateId,
+    /// 1 once the constraint is entailed on this branch (saturated and the
+    /// counted value swept from every other domain) — later wakes are O(1).
+    swept: StateId,
+    cat: Vec<StateId>,
+    positions: PosIndex,
+}
+
+impl CountProp {
+    fn new(vars: Vec<VarId>, value: Val, rhs: u32, store: &mut Store) -> Self {
+        let n_fixed_to = store.new_state_cell(0);
+        let n_possible = store.new_state_cell(0);
+        let swept = store.new_state_cell(0);
+        let cat = vars.iter().map(|_| store.new_state_cell(CAT_OUT)).collect();
+        let positions = PosIndex::new(&vars);
+        CountProp {
+            vars,
+            value,
+            rhs,
+            n_fixed_to,
+            n_possible,
+            swept,
+            cat,
+            positions,
+        }
+    }
+
+    fn category(&self, store: &Store, v: VarId) -> i64 {
+        if store.is_fixed(v) {
+            if store.value(v) == self.value {
+                CAT_FIXED_TO
+            } else {
+                CAT_OUT
+            }
+        } else if store.contains(v, self.value) {
+            CAT_POSSIBLE
+        } else {
+            CAT_OUT
+        }
+    }
+
+    fn bucket(&self, cat: i64) -> Option<StateId> {
+        match cat {
+            CAT_POSSIBLE => Some(self.n_possible),
+            CAT_FIXED_TO => Some(self.n_fixed_to),
+            _ => None,
+        }
+    }
+
+    fn sync_position(&self, store: &mut Store, k: usize) {
+        let new = self.category(store, self.vars[k]);
+        let old = store.state(self.cat[k]);
+        if new == old {
+            return;
+        }
+        if let Some(b) = self.bucket(old) {
+            store.set_state(b, store.state(b) - 1);
+        }
+        if let Some(b) = self.bucket(new) {
+            store.set_state(b, store.state(b) + 1);
+        }
+        store.set_state(self.cat[k], new);
+    }
+
+    fn prune(&self, store: &mut Store) -> Result<(), EmptyDomain> {
+        if store.state(self.swept) != 0 {
+            // Entailed: exactly rhs occurrences and the value removed from
+            // every other domain.
+            return Ok(());
+        }
+        let fixed_to = store.state(self.n_fixed_to);
+        let possible = store.state(self.n_possible);
+        let rhs = i64::from(self.rhs);
+        if fixed_to > rhs || fixed_to + possible < rhs {
+            return Err(EmptyDomain(self.vars[0]));
+        }
+        if fixed_to == rhs {
+            for &v in &self.vars {
+                if !store.is_fixed(v) {
+                    store.remove(v, self.value)?;
+                }
+            }
+            store.set_state(self.swept, 1);
+        } else if fixed_to + possible == rhs {
+            for &v in &self.vars {
+                if !store.is_fixed(v) && store.contains(v, self.value) {
+                    store.assign(v, self.value)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for CountProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        // Any removal can take the counted value out of a domain, so no
+        // event kind can be filtered.
+        self.vars.iter().map(|&v| (v, EventMask::ANY)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        let mut fixed_to = 0i64;
+        let mut possible = 0i64;
+        for (k, &v) in self.vars.iter().enumerate() {
+            let cat = self.category(store, v);
+            store.set_state(self.cat[k], cat);
+            match cat {
+                CAT_FIXED_TO => fixed_to += 1,
+                CAT_POSSIBLE => possible += 1,
+                _ => {}
+            }
+        }
+        store.set_state(self.n_fixed_to, fixed_to);
+        store.set_state(self.n_possible, possible);
+        store.set_state(self.swept, 0);
+        self.prune(store)
+    }
+
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        if store.state(self.swept) != 0 {
+            // Entailed: skipped events concern levels at or above the
+            // sweep, which backtracking rewinds together with the flag.
+            return Ok(());
+        }
+        for &v in pending {
+            for &k in self.positions.get(v) {
+                self.sync_position(store, k as usize);
+            }
+        }
+        self.prune(store)
+    }
+
+    fn entailed_flag(&self) -> Option<StateId> {
+        Some(self.swept)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AtMostOneProp: at most one of the 0/1 variables is 1
+// ---------------------------------------------------------------------------
+
+/// At-most-one with a trailed "who is true" register: wakes only on fixing
+/// events and does the O(arity) zero-out sweep exactly once per branch.
+#[derive(Debug)]
+struct AtMostOneProp {
+    vars: Vec<VarId>,
+    /// Occurrence positions (a duplicated variable fixed to 1 violates the
+    /// constraint on its own).
+    occurrences: PosIndex,
+    /// Variable id fixed to 1, or -1 while none is.
+    true_var: StateId,
+    /// 1 once all other variables have been zeroed for the current
+    /// `true_var`.
+    cleared: StateId,
+}
+
+impl AtMostOneProp {
+    fn new(vars: Vec<VarId>, store: &mut Store) -> Self {
+        let true_var = store.new_state_cell(-1);
+        let cleared = store.new_state_cell(0);
+        let occurrences = PosIndex::new(&vars);
+        AtMostOneProp {
+            vars,
+            occurrences,
+            true_var,
+            cleared,
+        }
+    }
+
+    fn zero_others(&self, store: &mut Store) -> Result<(), EmptyDomain> {
+        let t = store.state(self.true_var);
+        if t >= 0 && store.state(self.cleared) == 0 {
+            let t = t as VarId;
+            for &w in &self.vars {
+                if w != t {
+                    // Removal of 1, not assignment of 0: sound on domains
+                    // wider than 0/1.
+                    store.remove(w, 1)?;
+                }
+            }
+            store.set_state(self.cleared, 1);
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for AtMostOneProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        store.set_state(self.true_var, -1);
+        store.set_state(self.cleared, 0);
+        for &v in &self.vars {
+            // Position-based: a second fixed-true occurrence is a conflict
+            // even when it is the same variable listed twice.
+            if store.is_fixed(v) && store.value(v) == 1 {
+                if store.state(self.true_var) >= 0 {
+                    return Err(EmptyDomain(v));
+                }
+                store.set_state(self.true_var, v as i64);
+            }
+        }
+        self.zero_others(store)
+    }
+
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        for &v in pending {
+            if store.is_fixed(v) && store.value(v) == 1 {
+                if self.occurrences.get(v).len() > 1 {
+                    return Err(EmptyDomain(v));
+                }
+                let t = store.state(self.true_var);
+                if t >= 0 && t != v as i64 {
+                    return Err(EmptyDomain(v));
+                }
+                store.set_state(self.true_var, v as i64);
+            }
+        }
+        self.zero_others(store)
+    }
+
+    fn entailed_flag(&self) -> Option<StateId> {
+        // `cleared` is entailment: some variable is 1 and the value 1 has
+        // been removed from every other scope variable.
+        Some(self.cleared)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AllDiffProp: pairwise difference by forward checking, fix-filtered
+// ---------------------------------------------------------------------------
+
+/// Forward-checking all-different (optionally sparing one exempt value).
+/// Stateless, but subscribed to fixing events only — interior removals in
+/// other variables can never trigger new forward checks, so the propagator
+/// no longer wakes on them. Incremental runs forward-check only the newly
+/// fixed variables; chains (a removal fixing a further variable) re-wake it
+/// through its own events.
+#[derive(Debug)]
+struct AllDiffProp {
+    vars: Vec<VarId>,
+    except: Option<Val>,
+}
+
+impl Propagator for AllDiffProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        match self.except {
+            None => propagate_all_different(store, &self.vars),
+            Some(e) => propagate_all_different_except(store, &self.vars, e),
+        }
+    }
+
+    fn propagate_incremental(
+        &mut self,
+        store: &mut Store,
+        pending: &[VarId],
+    ) -> Result<(), EmptyDomain> {
+        for &v in pending {
+            if !store.is_fixed(v) {
+                continue;
+            }
+            let val = store.value(v);
+            if self.except == Some(val) {
+                continue;
+            }
+            // Remove `val` everywhere else; skip exactly one occurrence of
+            // `v` itself (a duplicated variable is a genuine conflict).
+            let mut skipped_self = false;
+            for &w in &self.vars {
+                if w == v && !skipped_self {
+                    skipped_self = true;
+                    continue;
+                }
+                if store.contains(w, val) {
+                    if store.is_fixed(w) {
+                        return Err(EmptyDomain(w));
+                    }
+                    store.remove(w, val)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thin stateless wrappers (already O(1) or value-based GAC scans)
+// ---------------------------------------------------------------------------
+
+/// `a ≠ b`, optionally sparing an exempt value. O(1) per run.
+#[derive(Debug)]
+struct NotEqualProp {
+    a: VarId,
+    b: VarId,
+    except: Option<Val>,
+}
+
+impl Propagator for NotEqualProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        vec![(self.a, EventMask::FIX), (self.b, EventMask::FIX)]
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_not_equal(store, self.a, self.b, self.except)
+    }
+}
+
+/// `a ≤ b`. Wakes only when `min(a)` rises or `max(b)` falls.
+#[derive(Debug)]
+struct LeqVarProp {
+    a: VarId,
+    b: VarId,
+}
+
+impl Propagator for LeqVarProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        vec![(self.a, EventMask::MIN), (self.b, EventMask::MAX)]
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_leq_var(store, self.a, self.b)
+    }
+}
+
+/// `array[index] = value` (element constraint, value-based GAC).
+#[derive(Debug)]
+struct ElementProp {
+    index: VarId,
+    array: Vec<Val>,
+    value: VarId,
+}
+
+impl Propagator for ElementProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        vec![(self.index, EventMask::ANY), (self.value, EventMask::ANY)]
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_element(store, self.index, &self.array, self.value)
+    }
+}
+
+/// Positive table constraint (generalized arc consistency).
+#[derive(Debug)]
+struct TableProp {
+    vars: Vec<VarId>,
+    rows: Vec<Vec<Val>>,
+}
+
+impl Propagator for TableProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        self.vars.iter().map(|&v| (v, EventMask::ANY)).collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_table(store, &self.vars, &self.rows)
+    }
+}
+
+/// Boolean clause with unit propagation.
+#[derive(Debug)]
+struct OrProp {
+    lits: Vec<(VarId, bool)>,
+}
+
+impl Propagator for OrProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        // Literal truth is membership of value 1, which any removal can
+        // change on general domains.
+        self.lits
+            .iter()
+            .map(|&(v, _)| (v, EventMask::ANY))
+            .collect()
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_or(store, &self.lits)
+    }
+}
+
+/// Reified bound `b = 1 ⇔ x ≤ c`.
+#[derive(Debug)]
+struct ReifiedLeqProp {
+    b: VarId,
+    x: VarId,
+    c: Val,
+}
+
+impl Propagator for ReifiedLeqProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        vec![(self.b, EventMask::ANY), (self.x, EventMask::BOUNDS)]
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        propagate_reified_leq(store, self.b, self.x, self.c)
+    }
+}

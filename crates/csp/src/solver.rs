@@ -1,4 +1,16 @@
-//! Systematic search: DFS with propagation, heuristics, restarts, budgets.
+//! Systematic search: DFS with incremental propagation, heuristics,
+//! restarts, budgets.
+//!
+//! The search core is event-driven: the store records *which* variables
+//! changed and *how* ([`crate::EventMask`]), the solver wakes only the
+//! propagators subscribed to those event kinds and hands each one its
+//! changed variables, and the propagators ([`crate::Propagator`]) keep
+//! trailed incremental state (running sums, counters) instead of rescanning
+//! their whole scope on every wake. Variable selection never rescans fixed
+//! variables (the store maintains an unfixed sparse set) and dom/wdeg
+//! weights are cached per variable, maintained at weight-bump time.
+//! Wall-clock budget checks are amortized: `Instant::now()` is consulted
+//! every ~1024 search steps rather than on every node and failure.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -9,7 +21,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::constraints::Constraint;
-use crate::store::{Store, Val, VarId};
+use crate::propagators::{build, Propagator};
+use crate::store::{EventMask, StateId, Store, Val, VarId};
 
 /// Variable-ordering heuristics (Section III-B: "ordering the variables to
 /// prune the search space more efficiently").
@@ -196,13 +209,36 @@ pub struct SolveStats {
     pub elapsed_us: u64,
 }
 
+/// Interval (in budget-check calls) between actual `Instant::now()` polls.
+/// SAT-solver style: the clock is read once per ~1024 nodes/failures
+/// instead of on every one.
+const BUDGET_CHECK_MASK: u64 = 1023;
+
 /// A frozen CSP ready to solve.
 #[derive(Debug)]
 pub struct Solver {
     store: Store,
+    /// Original constraint descriptions, retained for final solution
+    /// checking ([`Constraint::is_satisfied`]).
     constraints: Vec<Constraint>,
-    watchers: Vec<Vec<u32>>,
+    /// Runtime propagators, index-aligned with `constraints`.
+    props: Vec<Box<dyn Propagator>>,
+    /// Watched vars per propagator (with multiplicity) for wdeg bumps.
+    prop_vars: Vec<Vec<VarId>>,
+    /// Trailed per-propagator stale flags: non-zero forces a full
+    /// re-propagation on the next run (see `abort_fixpoint`).
+    stale: Vec<StateId>,
+    /// Trailed per-propagator entailment flags (where supported): while
+    /// raised, events do not wake the propagator at all.
+    entailed: Vec<Option<StateId>>,
+    /// Per-propagator changed-variable queues consumed on each run.
+    pending: Vec<Vec<VarId>>,
+    /// Per-variable watcher lists with event filters.
+    watchers: Vec<Vec<(u32, EventMask)>>,
+    /// dom/wdeg constraint failure weights.
     weights: Vec<u64>,
+    /// Cached per-variable Σ of watcher weights, maintained at bump time.
+    var_weight: Vec<u64>,
     queue: VecDeque<u32>,
     in_queue: Vec<bool>,
     decisions: Vec<(VarId, Val)>,
@@ -211,27 +247,59 @@ pub struct Solver {
     stats: SolveStats,
     initially_inconsistent: bool,
     interrupt: Option<Arc<AtomicBool>>,
+    budget_ticks: u64,
+    /// Set when a propagation fixpoint was aborted by a budget/interrupt
+    /// check; forces the next `check_budget` to poll immediately instead of
+    /// waiting out the amortization window (the domains may not be at
+    /// fixpoint, so the search must not extract a solution first).
+    abort_pending: bool,
+    dirty_buf: Vec<(VarId, EventMask)>,
+    /// Trailed cursor for `VarOrder::Input`: everything below it is fixed.
+    /// Advances monotonically within a branch (amortized O(1) per node) and
+    /// rewinds with the trail on backtrack.
+    input_cursor: StateId,
 }
 
 impl Solver {
     pub(crate) fn from_parts(
-        store: Store,
+        mut store: Store,
         constraints: Vec<Constraint>,
         config: SolverConfig,
         initially_inconsistent: bool,
     ) -> Self {
+        // Model-building removals precede propagator construction; their
+        // events are subsumed by the initial full propagation of every
+        // propagator (all start stale).
+        store.clear_dirty();
+        let props: Vec<Box<dyn Propagator>> =
+            constraints.iter().map(|c| build(c, &mut store)).collect();
+        let stale: Vec<StateId> = props.iter().map(|_| store.new_state_cell(1)).collect();
+        let entailed: Vec<Option<StateId>> = props.iter().map(|p| p.entailed_flag()).collect();
+        let input_cursor = store.new_state_cell(0);
         let mut watchers = vec![Vec::new(); store.num_vars()];
-        for (ci, c) in constraints.iter().enumerate() {
-            for v in c.watched() {
-                watchers[v].push(ci as u32);
+        let mut prop_vars = Vec::with_capacity(props.len());
+        for (ci, p) in props.iter().enumerate() {
+            let ws = p.watches();
+            let mut vars = Vec::with_capacity(ws.len());
+            for (v, mask) in ws {
+                watchers[v].push((ci as u32, mask));
+                vars.push(v);
             }
+            prop_vars.push(vars);
         }
+        let var_weight = watchers.iter().map(|l| l.len() as u64).collect();
         let n_constraints = constraints.len();
         Solver {
             store,
             constraints,
+            props,
+            prop_vars,
+            stale,
+            entailed,
+            pending: vec![Vec::new(); n_constraints],
             watchers,
             weights: vec![1; n_constraints],
+            var_weight,
             queue: VecDeque::new(),
             in_queue: vec![false; n_constraints],
             decisions: Vec::new(),
@@ -240,6 +308,10 @@ impl Solver {
             stats: SolveStats::default(),
             initially_inconsistent,
             interrupt: None,
+            budget_ticks: 0,
+            abort_pending: false,
+            dirty_buf: Vec::new(),
+            input_cursor,
         }
     }
 
@@ -250,10 +322,49 @@ impl Solver {
         self.interrupt = Some(flag);
     }
 
+    /// Replace the resource budget for subsequent [`Solver::solve`] /
+    /// [`Solver::enumerate`] calls — the hook for adaptive budgeting and
+    /// for retrying a timed-out solver with a larger allowance (its
+    /// trailed state recovers automatically).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
     /// Statistics of the last [`Solver::solve`] call.
     #[must_use]
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Run root propagation to fixpoint and return every variable's domain,
+    /// or `None` when the model is already inconsistent at the root.
+    ///
+    /// Introspection hook for differential testing (the incremental engine
+    /// and the [`crate::reference`] engine must agree on root fixpoints) and
+    /// for diagnostics; [`Solver::solve`] may still be called afterwards.
+    pub fn root_fixpoint(&mut self) -> Option<Vec<Vec<Val>>> {
+        if self.initially_inconsistent {
+            return None;
+        }
+        // Diagnostics must return a true fixpoint: a time/interrupt abort
+        // mid-propagation would silently yield half-propagated domains, so
+        // both are suspended for this call.
+        let saved_time = self.config.budget.time.take();
+        let saved_interrupt = self.interrupt.take();
+        for ci in 0..self.constraints.len() {
+            self.enqueue(ci as u32);
+        }
+        let consistent = self.propagate(Instant::now());
+        self.config.budget.time = saved_time;
+        self.interrupt = saved_interrupt;
+        if !consistent {
+            return None;
+        }
+        Some(
+            (0..self.store.num_vars())
+                .map(|v| self.store.iter(v).collect())
+                .collect(),
+        )
     }
 
     /// Run the search to a verdict or a budget limit.
@@ -275,6 +386,8 @@ impl Solver {
 
     fn solve_inner(&mut self, start: Instant) -> Outcome {
         self.stats = SolveStats::default();
+        self.budget_ticks = 0;
+        self.abort_pending = false;
         if self.initially_inconsistent {
             return Outcome::Unsat;
         }
@@ -309,8 +422,9 @@ impl Solver {
                 if let Some(p) = self.config.restarts {
                     restart_quota = ((restart_quota as f64) * p.growth).ceil() as u64;
                 }
-                // Re-propagate from the root (permanent refutations may now
-                // trigger further pruning chains).
+                // Re-propagate from the root (cheap now: propagators with no
+                // pending events are no-ops, but permanent refutations may
+                // have left stale flags behind).
                 for ci in 0..self.constraints.len() {
                     self.enqueue(ci as u32);
                 }
@@ -360,7 +474,7 @@ impl Solver {
                 ok = match self.store.remove(v, val) {
                     Err(_) => false,
                     Ok(_) => {
-                        self.wake_watchers_of(v);
+                        self.dispatch_dirty();
                         self.propagate(start)
                     }
                 };
@@ -378,6 +492,8 @@ impl Solver {
     pub fn enumerate<F: FnMut(&[Val])>(&mut self, limit: u64, mut on_solution: F) -> (u64, bool) {
         let start = Instant::now();
         self.stats = SolveStats::default();
+        self.budget_ticks = 0;
+        self.abort_pending = false;
         if self.initially_inconsistent {
             return (0, true);
         }
@@ -430,7 +546,7 @@ impl Solver {
                 let ok = match self.store.remove(v, val) {
                     Err(_) => false,
                     Ok(_) => {
-                        self.wake_watchers_of(v);
+                        self.dispatch_dirty();
                         self.propagate(start)
                     }
                 };
@@ -447,7 +563,37 @@ impl Solver {
         self.enumerate(limit, |_| {})
     }
 
-    fn check_budget(&self, start: Instant) -> Option<LimitReason> {
+    /// Amortized budget check: the interrupt flag (an atomic load) is
+    /// polled on every call, but `Instant::now()` only every
+    /// ~[`BUDGET_CHECK_MASK`]+1 calls.
+    fn check_budget(&mut self, start: Instant) -> Option<LimitReason> {
+        if self.abort_pending {
+            // A fixpoint was abandoned mid-flight: the domains are not
+            // propagated, so the limit must be confirmed before the search
+            // is allowed to extract anything from them.
+            self.abort_pending = false;
+            if let Some(r) = self.check_budget_now(start) {
+                return Some(r);
+            }
+        }
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return Some(LimitReason::Interrupted);
+            }
+        }
+        if let Some(t) = self.config.budget.time {
+            let tick = self.budget_ticks;
+            self.budget_ticks += 1;
+            if tick & BUDGET_CHECK_MASK == 0 && start.elapsed() >= t {
+                return Some(LimitReason::Time);
+            }
+        }
+        None
+    }
+
+    /// Unamortized budget check, for the coarse-grained call sites that are
+    /// already rate-limited by their caller.
+    fn check_budget_now(&self, start: Instant) -> Option<LimitReason> {
         if let Some(flag) = &self.interrupt {
             if flag.load(Ordering::Relaxed) {
                 return Some(LimitReason::Interrupted);
@@ -468,98 +614,183 @@ impl Solver {
         }
     }
 
-    fn wake_watchers_of(&mut self, v: VarId) {
-        // Swap the list out to appease the borrow checker without cloning
-        // per wake-up.
-        let list = std::mem::take(&mut self.watchers[v]);
-        for &ci in &list {
-            self.enqueue(ci);
+    /// Route the store's accumulated change events to subscribed
+    /// propagators: enqueue them and record the changed variable in their
+    /// pending lists.
+    fn dispatch_dirty(&mut self) {
+        let mut buf = std::mem::take(&mut self.dirty_buf);
+        buf.clear();
+        self.store.drain_dirty(&mut buf);
+        for &(v, mask) in &buf {
+            for &(ci, filter) in &self.watchers[v] {
+                if mask.intersects(filter) {
+                    let ci_us = ci as usize;
+                    // Entailed propagators sleep through events; their
+                    // trailed state rewinds with the flag on backtrack.
+                    if self.entailed[ci_us].is_some_and(|cell| self.store.state(cell) != 0) {
+                        continue;
+                    }
+                    self.pending[ci_us].push(v);
+                    if !self.in_queue[ci_us] {
+                        self.in_queue[ci_us] = true;
+                        self.queue.push_back(ci);
+                    }
+                }
+            }
         }
-        self.watchers[v] = list;
+        self.dirty_buf = buf;
+    }
+
+    /// Abandon the current fixpoint after a *conflict*: flush the queue,
+    /// pending lists and undelivered events without any stale marking.
+    ///
+    /// This is sound because every conflict is followed either by
+    /// termination or by a backtrack past the conflict level, and all the
+    /// discarded events (plus any partial trailed-state updates of the
+    /// erroring propagator) belong to exactly that level — the backtrack
+    /// rewinds domains and cached state together, leaving every propagator
+    /// consistent again.
+    fn abort_fixpoint_on_conflict(&mut self) {
+        while let Some(ci) = self.queue.pop_front() {
+            let ci = ci as usize;
+            self.in_queue[ci] = false;
+            self.pending[ci].clear();
+        }
+        self.store.clear_dirty();
+    }
+
+    /// Abandon the current fixpoint on a budget/interrupt check: flush the
+    /// queue and mark every propagator with undelivered events *stale*
+    /// (trailed), forcing a full re-propagation on its next run. Unlike the
+    /// conflict path the search may continue from the current level, so
+    /// lost events must be compensated; staleness is trailed because the
+    /// events belong to the current level — backtracking past it restores
+    /// both the domains and the flags, keeping cached state consistent.
+    fn abort_fixpoint(&mut self) {
+        while let Some(ci) = self.queue.pop_front() {
+            let ci = ci as usize;
+            self.in_queue[ci] = false;
+            self.store.set_state(self.stale[ci], 1);
+            self.pending[ci].clear();
+        }
+        let mut buf = std::mem::take(&mut self.dirty_buf);
+        buf.clear();
+        self.store.drain_dirty(&mut buf);
+        for &(v, mask) in &buf {
+            for &(ci, filter) in &self.watchers[v] {
+                if mask.intersects(filter) {
+                    let ci = ci as usize;
+                    self.store.set_state(self.stale[ci], 1);
+                    self.pending[ci].clear();
+                }
+            }
+        }
+        self.dirty_buf = buf;
+    }
+
+    fn bump_weight(&mut self, ci: usize) {
+        self.weights[ci] += 1;
+        for &v in &self.prop_vars[ci] {
+            self.var_weight[v] += 1;
+        }
     }
 
     /// Run the propagation queue to fixpoint. Returns false on conflict.
     fn propagate(&mut self, start: Instant) -> bool {
         while let Some(ci) = self.queue.pop_front() {
-            self.in_queue[ci as usize] = false;
+            let ci_us = ci as usize;
+            self.in_queue[ci_us] = false;
             self.stats.propagations += 1;
             // Periodic time check: huge models can spend long in one
             // fixpoint (the paper's CSP1 instances do).
-            if self.stats.propagations.is_multiple_of(4096) && self.check_budget(start).is_some() {
-                // Leave the queue dirty; the caller notices the time limit.
-                self.drain_queue();
-                self.store.take_dirty();
+            if self.stats.propagations.is_multiple_of(4096)
+                && self.check_budget_now(start).is_some()
+            {
+                // Leave the fixpoint unfinished; the caller notices the
+                // limit at its next budget check. The popped propagator
+                // never ran, so its pending events would otherwise survive
+                // into deeper levels — stale-mark it like the queue rest.
+                self.store.set_state(self.stale[ci_us], 1);
+                self.pending[ci_us].clear();
+                self.abort_fixpoint();
+                self.abort_pending = true;
                 return true;
             }
-            match self.constraints[ci as usize].propagate(&mut self.store) {
+            let result = if self.store.state(self.stale[ci_us]) != 0 {
+                self.store.set_state(self.stale[ci_us], 0);
+                self.pending[ci_us].clear();
+                self.props[ci_us].propagate_full(&mut self.store)
+            } else {
+                let pend = std::mem::take(&mut self.pending[ci_us]);
+                let r = self.props[ci_us].propagate_incremental(&mut self.store, &pend);
+                let mut pend = pend;
+                pend.clear();
+                self.pending[ci_us] = pend; // keep the allocation
+                r
+            };
+            match result {
                 Err(_) => {
-                    self.weights[ci as usize] += 1;
-                    self.drain_queue();
-                    self.store.take_dirty();
+                    self.bump_weight(ci_us);
+                    if self.store.depth() == 0 {
+                        // Root conflicts are never rewound (root writes are
+                        // permanent) and the solver stays usable afterwards
+                        // (`root_fixpoint`, repeated `solve`), so dropped
+                        // events must be compensated by stale marks here.
+                        self.store.set_state(self.stale[ci_us], 1);
+                        self.abort_fixpoint();
+                    } else {
+                        self.abort_fixpoint_on_conflict();
+                    }
                     return false;
                 }
-                Ok(()) => {
-                    for v in self.store.take_dirty() {
-                        self.wake_watchers_of(v);
-                    }
-                }
+                Ok(()) => self.dispatch_dirty(),
             }
         }
         true
-    }
-
-    fn drain_queue(&mut self) {
-        while let Some(ci) = self.queue.pop_front() {
-            self.in_queue[ci as usize] = false;
-        }
     }
 
     fn enact(&mut self, var: VarId, val: Val, start: Instant) -> bool {
         match self.store.assign(var, val) {
             Err(_) => false,
             Ok(_) => {
-                self.store.take_dirty();
-                self.wake_watchers_of(var);
+                self.dispatch_dirty();
                 self.propagate(start)
             }
         }
     }
 
     fn select_var(&mut self) -> Option<VarId> {
-        let n = self.store.num_vars();
         match self.config.var_order {
-            VarOrder::Input => (0..n).find(|&v| !self.store.is_fixed(v)),
-            VarOrder::MinDomain => {
-                let mut best: Option<(u32, VarId)> = None;
-                for v in 0..n {
-                    if !self.store.is_fixed(v) {
-                        let s = self.store.size(v);
-                        if best.is_none_or(|(bs, _)| s < bs) {
-                            best = Some((s, v));
-                        }
-                    }
+            VarOrder::Input => {
+                // Advance the trailed cursor over fixed variables; since
+                // unfixing only happens by backtracking (which also rewinds
+                // the cursor), everything below it stays fixed.
+                let n = self.store.num_vars();
+                let mut cur = self.store.state(self.input_cursor) as usize;
+                while cur < n && self.store.is_fixed(cur) {
+                    cur += 1;
                 }
-                best.map(|(_, v)| v)
+                self.store.set_state(self.input_cursor, cur as i64);
+                (cur < n).then_some(cur)
+            }
+            VarOrder::MinDomain => {
+                let store = &self.store;
+                store.unfixed_vars().min_by_key(|&v| (store.size(v), v))
             }
             VarOrder::DomOverWDeg => {
-                // Minimize size/weight ⇔ minimize size·w_best vs size_best·w
-                // in exact integer arithmetic.
-                let mut best: Option<(u64, u64, VarId)> = None; // (size, weight, var)
-                for v in 0..n {
-                    if self.store.is_fixed(v) {
-                        continue;
-                    }
+                // Minimize size/weight ⇔ compare size·w_best vs size_best·w
+                // in exact integer arithmetic; ties break on the smaller id
+                // (matching an ascending scan over all variables).
+                let mut best: Option<(u64, u64, VarId)> = None;
+                for v in self.store.unfixed_vars() {
                     let size = u64::from(self.store.size(v));
-                    let weight: u64 = self.watchers[v]
-                        .iter()
-                        .map(|&ci| self.weights[ci as usize])
-                        .sum::<u64>()
-                        .max(1);
+                    let weight = self.var_weight[v].max(1);
                     let better = match best {
                         None => true,
-                        Some((bs, bw, _)) => {
-                            (u128::from(size) * u128::from(bw))
-                                < (u128::from(bs) * u128::from(weight))
+                        Some((bs, bw, bv)) => {
+                            let lhs = u128::from(size) * u128::from(bw);
+                            let rhs = u128::from(bs) * u128::from(weight);
+                            lhs < rhs || (lhs == rhs && v < bv)
                         }
                     };
                     if better {
@@ -569,14 +800,12 @@ impl Solver {
                 best.map(|(_, _, v)| v)
             }
             VarOrder::Random => {
+                // Reservoir sampling over the unfixed sparse set: uniform,
+                // and one RNG draw per unfixed variable.
                 let mut chosen = None;
-                let mut seen = 0u64;
-                for v in 0..n {
-                    if !self.store.is_fixed(v) {
-                        seen += 1;
-                        if self.rng.gen_range(0..seen) == 0 {
-                            chosen = Some(v);
-                        }
+                for (seen, v) in self.store.unfixed_vars().enumerate() {
+                    if self.rng.gen_range(0..=seen as u64) == 0 {
+                        chosen = Some(v);
                     }
                 }
                 chosen
@@ -736,6 +965,69 @@ mod tests {
         let cfg = SolverConfig::default().with_budget(Budget::time_limit(Duration::ZERO));
         let mut s = m.into_solver(cfg);
         assert_eq!(s.solve(), Outcome::Unknown(LimitReason::Time));
+    }
+
+    #[test]
+    fn timed_out_solve_leaves_state_reusable() {
+        // The same solver, retried with a larger budget after a timeout,
+        // must still reach the correct verdict from its recovered state.
+        let mut m = Model::new();
+        let v = m.new_vars(8, 0, 6);
+        m.post(Constraint::AllDifferent { vars: v.clone() });
+        m.post(Constraint::linear_eq(v, vec![1; 8], 21));
+        let cfg = SolverConfig::default().with_budget(Budget::time_limit(Duration::ZERO));
+        let mut s = m.into_solver(cfg);
+        assert_eq!(s.solve(), Outcome::Unknown(LimitReason::Time));
+        s.set_budget(Budget::default());
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn mid_fixpoint_abort_recovers_via_stale_flags() {
+        // A propagation chain long enough that the root fixpoint passes
+        // the 4096-propagation budget checkpoint mid-flight: with a zero
+        // time budget the fixpoint is abandoned (stale-marking the queue)
+        // strictly before the chain's contradiction is reached, and the
+        // solve must report the limit rather than trust the unfinished
+        // domains. Retried with an unlimited budget, the stale flags force
+        // full re-propagation and the contradiction must be found.
+        let n = 5000;
+        let mut m = Model::new();
+        let v = m.new_vars(n, 0, 10);
+        m.post(Constraint::linear_eq(vec![v[0]], vec![1], 5));
+        for i in 0..n - 1 {
+            m.post(Constraint::LeqVar {
+                a: v[i],
+                b: v[i + 1],
+            });
+        }
+        // Contradiction only reachable after the ≥5 bound ripples down
+        // the whole chain (~n propagator runs, > 4096).
+        m.post(Constraint::linear_eq(vec![v[n - 1]], vec![1], 0));
+        let cfg = SolverConfig {
+            var_order: VarOrder::Input,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 0,
+            budget: Budget::time_limit(Duration::ZERO),
+        };
+        let mut s = m.into_solver(cfg);
+        let first = s.solve();
+        assert_eq!(
+            first,
+            Outcome::Unknown(LimitReason::Time),
+            "zero budget must abort the fixpoint, not mis-decide"
+        );
+        assert!(
+            s.stats().propagations >= 4096,
+            "abort must have happened mid-fixpoint (got {} runs)",
+            s.stats().propagations
+        );
+        s.set_budget(Budget::default());
+        assert!(
+            s.solve().is_unsat(),
+            "stale recovery must re-derive the contradiction"
+        );
     }
 
     #[test]

@@ -6,6 +6,21 @@
 //! current decision level; [`Store::backtrack`] replays the trail in reverse.
 //! "First time this level" is detected with monotonically increasing stamps,
 //! so stale level markers can never alias after deep backtracking.
+//!
+//! Beyond domains, the store owns two further pieces of trailed state that
+//! the incremental propagation engine is built on:
+//!
+//! * **state cells** ([`Store::new_state_cell`]) — `i64` scratch registers
+//!   that propagators use for running sums and counters. Writes go through
+//!   the same stamp/trail machinery as domain words, so cached propagator
+//!   state is rewound in lockstep with the domains it mirrors;
+//! * an **unfixed-variable sparse set** ([`Store::unfixed_vars`]) maintained
+//!   on every fixing operation and restored by the trail, so variable-
+//!   selection heuristics never rescan already-fixed variables.
+//!
+//! Every domain change also records *what kind* of change it was (an
+//! [`EventMask`]), letting the solver wake only the propagators that
+//! subscribed to that event kind.
 
 /// Index of a decision variable.
 pub type VarId = usize;
@@ -13,6 +28,64 @@ pub type VarId = usize;
 /// Domain values. `i32` is wide enough for every client in this workspace
 /// (booleans, task indices, small integers).
 pub type Val = i32;
+
+/// A bitmask of domain-change kinds, used both to describe what happened to
+/// a variable (the store side) and to filter which changes wake a
+/// propagator (the solver side).
+///
+/// Any change removes at least one value, so [`EventMask::REMOVE`] is set
+/// on every event; the other bits refine it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EventMask(u8);
+
+impl EventMask {
+    /// The empty mask (no events).
+    pub const NONE: EventMask = EventMask(0);
+    /// At least one value was removed (set on every change).
+    pub const REMOVE: EventMask = EventMask(1);
+    /// The minimum increased.
+    pub const MIN: EventMask = EventMask(2);
+    /// The maximum decreased.
+    pub const MAX: EventMask = EventMask(4);
+    /// The domain became a singleton.
+    pub const FIX: EventMask = EventMask(8);
+    /// A bound moved or the variable was fixed — the subscription used by
+    /// bounds-consistency propagators.
+    pub const BOUNDS: EventMask = EventMask(2 | 4 | 8);
+    /// Any change at all.
+    pub const ANY: EventMask = EventMask(0xf);
+
+    /// Do the two masks share an event kind?
+    #[must_use]
+    pub fn intersects(self, other: EventMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Is this the empty mask?
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for EventMask {
+    type Output = EventMask;
+    fn bitor(self, rhs: EventMask) -> EventMask {
+        EventMask(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for EventMask {
+    fn bitor_assign(&mut self, rhs: EventMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// Handle to a trailed `i64` state cell allocated with
+/// [`Store::new_state_cell`]. Propagators keep these for running sums,
+/// counters and flags that must rewind together with the domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateId(u32);
 
 #[derive(Debug, Clone, Copy)]
 struct VarMeta {
@@ -42,6 +115,13 @@ enum TrailEntry {
         min: Val,
         max: Val,
     },
+    State {
+        idx: u32,
+        old: i64,
+    },
+    UnfixedLen {
+        len: u32,
+    },
 }
 
 /// The store of all variable domains plus the backtracking trail.
@@ -54,9 +134,22 @@ pub struct Store {
     trail: Vec<TrailEntry>,
     level_marks: Vec<usize>,
     stamp: u64,
-    /// Variables modified since the queue was last drained; consumed by the
-    /// solver to wake watching constraints.
+    /// Variables modified since the queue was last drained (paired with the
+    /// accumulated event kinds in `dirty_mask`); consumed by the solver to
+    /// wake watching propagators.
     dirty: Vec<VarId>,
+    dirty_mask: Vec<u8>,
+    /// Trailed propagator state cells.
+    state: Vec<i64>,
+    state_stamp: Vec<u64>,
+    /// Sparse set of unfixed variables: the active prefix
+    /// `unfixed[..unfixed_len]` holds exactly the variables with domain
+    /// size > 1. Only the length needs trailing — detached elements stay in
+    /// place past the boundary, so restoring the length re-activates them.
+    unfixed: Vec<u32>,
+    unfixed_pos: Vec<u32>,
+    unfixed_len: usize,
+    unfixed_stamp: u64,
 }
 
 /// Raised by a pruning operation that wipes a domain out.
@@ -82,11 +175,19 @@ impl Store {
             level_marks: Vec::new(),
             stamp: 1,
             dirty: Vec::new(),
+            dirty_mask: Vec::new(),
+            state: Vec::new(),
+            state_stamp: Vec::new(),
+            unfixed: Vec::new(),
+            unfixed_pos: Vec::new(),
+            unfixed_len: 0,
+            unfixed_stamp: 0,
         }
     }
 
     /// Create a variable with domain `[lb, ub]` (inclusive). Panics if
-    /// `lb > ub`.
+    /// `lb > ub`. Variables should be created at the root level, before any
+    /// [`Store::push_level`].
     pub fn new_var(&mut self, lb: Val, ub: Val) -> VarId {
         assert!(lb <= ub, "empty initial domain");
         let span = (ub - lb) as u64 + 1;
@@ -112,7 +213,24 @@ impl Store {
             max: ub,
         });
         self.var_stamp.push(0);
-        self.vars.len() - 1
+        self.dirty_mask.push(0);
+        let v = self.vars.len() - 1;
+        // Insert into the unfixed sparse set at the active boundary (the
+        // tail may hold detached variables).
+        let end = self.unfixed.len();
+        self.unfixed.push(v as u32);
+        self.unfixed_pos.push(end as u32);
+        if end != self.unfixed_len {
+            self.unfixed.swap(self.unfixed_len, end);
+            let moved = self.unfixed[end] as usize;
+            self.unfixed_pos[moved] = end as u32;
+            self.unfixed_pos[v] = self.unfixed_len as u32;
+        }
+        self.unfixed_len += 1;
+        if span == 1 {
+            self.detach_unfixed(v);
+        }
+        v
     }
 
     /// Number of variables.
@@ -195,6 +313,83 @@ impl Store {
         panic!("nth_value out of range");
     }
 
+    // -- trailed state cells -------------------------------------------------
+
+    /// Allocate a trailed `i64` state cell holding `init`. Writes after the
+    /// root level are undone by [`Store::backtrack`] exactly like domain
+    /// changes, which is what keeps incremental propagator state consistent
+    /// with the domains across backtracking.
+    pub fn new_state_cell(&mut self, init: i64) -> StateId {
+        self.state.push(init);
+        self.state_stamp.push(0);
+        StateId((self.state.len() - 1) as u32)
+    }
+
+    /// Current value of a state cell.
+    #[must_use]
+    pub fn state(&self, id: StateId) -> i64 {
+        self.state[id.0 as usize]
+    }
+
+    /// Write a state cell (trailed; a no-op when the value is unchanged).
+    pub fn set_state(&mut self, id: StateId, value: i64) {
+        let idx = id.0 as usize;
+        if self.state[idx] == value {
+            return;
+        }
+        if !self.level_marks.is_empty() && self.state_stamp[idx] != self.stamp {
+            self.state_stamp[idx] = self.stamp;
+            self.trail.push(TrailEntry::State {
+                idx: id.0,
+                old: self.state[idx],
+            });
+        }
+        self.state[idx] = value;
+    }
+
+    // -- unfixed sparse set --------------------------------------------------
+
+    /// The variables whose domain currently has more than one value, in
+    /// arbitrary order. Heuristics iterate this instead of rescanning all
+    /// variables.
+    pub fn unfixed_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.unfixed[..self.unfixed_len].iter().map(|&v| v as usize)
+    }
+
+    /// Number of unfixed variables.
+    #[must_use]
+    pub fn num_unfixed(&self) -> usize {
+        self.unfixed_len
+    }
+
+    fn save_unfixed_len(&mut self) {
+        if self.level_marks.is_empty() {
+            return;
+        }
+        if self.unfixed_stamp != self.stamp {
+            self.unfixed_stamp = self.stamp;
+            self.trail.push(TrailEntry::UnfixedLen {
+                len: self.unfixed_len as u32,
+            });
+        }
+    }
+
+    /// Remove `v` from the active prefix (called exactly when its domain
+    /// transitions to a singleton).
+    fn detach_unfixed(&mut self, v: VarId) {
+        let p = self.unfixed_pos[v] as usize;
+        debug_assert!(p < self.unfixed_len, "detach of already-fixed var");
+        self.save_unfixed_len();
+        let last = self.unfixed_len - 1;
+        let w = self.unfixed[last] as usize;
+        self.unfixed.swap(p, last);
+        self.unfixed_pos[w] = p as u32;
+        self.unfixed_pos[v] = last as u32;
+        self.unfixed_len = last;
+    }
+
+    // -- levels and trail ----------------------------------------------------
+
     /// Open a new decision level.
     pub fn push_level(&mut self) {
         self.level_marks.push(self.trail.len());
@@ -218,10 +413,12 @@ impl Store {
                     m.min = min;
                     m.max = max;
                 }
+                TrailEntry::State { idx, old } => self.state[idx as usize] = old,
+                TrailEntry::UnfixedLen { len } => self.unfixed_len = len as usize,
             }
         }
         self.stamp += 1;
-        self.dirty.clear();
+        self.clear_dirty();
     }
 
     /// Undo everything back to the root level.
@@ -231,9 +428,24 @@ impl Store {
         }
     }
 
-    /// Drain the modified-variable set (solver wakes watchers from this).
-    pub fn take_dirty(&mut self) -> Vec<VarId> {
-        std::mem::take(&mut self.dirty)
+    /// Move the modified-variable set, with the accumulated [`EventMask`]
+    /// per variable, into `out` (appending). The solver wakes watching
+    /// propagators from this.
+    pub fn drain_dirty(&mut self, out: &mut Vec<(VarId, EventMask)>) {
+        for &v in &self.dirty {
+            out.push((v, EventMask(self.dirty_mask[v])));
+            self.dirty_mask[v] = 0;
+        }
+        self.dirty.clear();
+    }
+
+    /// Discard any pending dirty events.
+    pub fn clear_dirty(&mut self) {
+        for i in 0..self.dirty.len() {
+            let v = self.dirty[i];
+            self.dirty_mask[v] = 0;
+        }
+        self.dirty.clear();
     }
 
     fn save_meta(&mut self, v: VarId) {
@@ -290,8 +502,11 @@ impl Store {
         unreachable!("recompute_max on empty domain");
     }
 
-    fn mark_dirty(&mut self, v: VarId) {
-        self.dirty.push(v);
+    fn mark_dirty(&mut self, v: VarId, ev: EventMask) {
+        if self.dirty_mask[v] == 0 {
+            self.dirty.push(v);
+        }
+        self.dirty_mask[v] |= ev.0;
     }
 
     /// Remove `val` from `v`. Returns `Ok(true)` if the domain changed.
@@ -309,13 +524,20 @@ impl Store {
         self.save_word(idx);
         self.words[idx] &= !(1u64 << (bit % 64));
         self.vars[v].size -= 1;
+        let mut ev = EventMask::REMOVE;
         if val == meta.min {
             self.recompute_min(v);
+            ev |= EventMask::MIN;
         }
         if val == meta.max {
             self.recompute_max(v);
+            ev |= EventMask::MAX;
         }
-        self.mark_dirty(v);
+        if self.vars[v].size == 1 {
+            ev |= EventMask::FIX;
+            self.detach_unfixed(v);
+        }
+        self.mark_dirty(v, ev);
         Ok(true)
     }
 
@@ -343,11 +565,19 @@ impl Store {
                 self.words[idx] = desired;
             }
         }
+        let mut ev = EventMask::REMOVE | EventMask::FIX;
+        if meta.min != val {
+            ev |= EventMask::MIN;
+        }
+        if meta.max != val {
+            ev |= EventMask::MAX;
+        }
         let m = &mut self.vars[v];
         m.size = 1;
         m.min = val;
         m.max = val;
-        self.mark_dirty(v);
+        self.detach_unfixed(v);
+        self.mark_dirty(v, ev);
         Ok(true)
     }
 
@@ -385,7 +615,12 @@ impl Store {
         m.size -= removed;
         debug_assert!(m.size > 0);
         self.recompute_min(v);
-        self.mark_dirty(v);
+        let mut ev = EventMask::REMOVE | EventMask::MIN;
+        if self.vars[v].size == 1 {
+            ev |= EventMask::FIX;
+            self.detach_unfixed(v);
+        }
+        self.mark_dirty(v, ev);
         Ok(true)
     }
 
@@ -427,7 +662,12 @@ impl Store {
         m.size -= removed;
         debug_assert!(m.size > 0);
         self.recompute_max(v);
-        self.mark_dirty(v);
+        let mut ev = EventMask::REMOVE | EventMask::MAX;
+        if self.vars[v].size == 1 {
+            ev |= EventMask::FIX;
+            self.detach_unfixed(v);
+        }
+        self.mark_dirty(v, ev);
         Ok(true)
     }
 }
@@ -460,6 +700,12 @@ fn select_bit(mut word: u64, n: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn drained(s: &mut Store) -> Vec<(VarId, EventMask)> {
+        let mut out = Vec::new();
+        s.drain_dirty(&mut out);
+        out
+    }
 
     #[test]
     fn new_var_spans_words() {
@@ -601,15 +847,45 @@ mod tests {
     }
 
     #[test]
-    fn dirty_tracking() {
+    fn dirty_tracking_with_events() {
         let mut s = Store::new();
         let v = s.new_var(0, 5);
         let w = s.new_var(0, 5);
-        s.remove(v, 1).unwrap();
-        s.assign(w, 0).unwrap();
-        let d = s.take_dirty();
-        assert_eq!(d, vec![v, w]);
-        assert!(s.take_dirty().is_empty());
+        s.remove(v, 1).unwrap(); // interior removal: REMOVE only
+        s.assign(w, 0).unwrap(); // fix at the min: REMOVE | FIX | MAX
+        let d = drained(&mut s);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, v);
+        assert_eq!(d[0].1, EventMask::REMOVE);
+        assert_eq!(d[1].0, w);
+        assert_eq!(d[1].1, EventMask::REMOVE | EventMask::FIX | EventMask::MAX);
+        assert!(drained(&mut s).is_empty());
+    }
+
+    #[test]
+    fn dirty_masks_accumulate() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 5);
+        s.remove(v, 0).unwrap(); // MIN
+        s.remove(v, 5).unwrap(); // MAX
+        let d = drained(&mut s);
+        assert_eq!(d.len(), 1, "one entry per var, masks merged");
+        assert!(d[0].1.intersects(EventMask::MIN));
+        assert!(d[0].1.intersects(EventMask::MAX));
+        assert!(!d[0].1.intersects(EventMask::FIX));
+    }
+
+    #[test]
+    fn bound_removal_events() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 9);
+        s.remove_below(v, 3).unwrap();
+        s.remove_above(v, 3).unwrap(); // fixes v
+        let d = drained(&mut s);
+        assert_eq!(
+            d[0].1,
+            EventMask::REMOVE | EventMask::MIN | EventMask::MAX | EventMask::FIX
+        );
     }
 
     #[test]
@@ -622,5 +898,64 @@ mod tests {
         s.remove_above(v, -1).unwrap();
         assert_eq!(s.max(v), -1);
         assert_eq!(s.iter(v).collect::<Vec<_>>(), vec![-4, -3, -2, -1]);
+    }
+
+    #[test]
+    fn state_cells_trail_with_levels() {
+        let mut s = Store::new();
+        let c = s.new_state_cell(10);
+        assert_eq!(s.state(c), 10);
+        s.set_state(c, 20); // root: permanent
+        s.push_level();
+        s.set_state(c, 30);
+        s.set_state(c, 40); // second write in the level: one trail entry
+        assert_eq!(s.state(c), 40);
+        s.push_level();
+        s.set_state(c, 50);
+        s.backtrack();
+        assert_eq!(s.state(c), 40);
+        s.backtrack();
+        assert_eq!(s.state(c), 20, "root write survives, level writes undone");
+    }
+
+    #[test]
+    fn unfixed_set_tracks_fixing_and_backtracking() {
+        let mut s = Store::new();
+        let a = s.new_var(0, 3);
+        let b = s.new_var(5, 5); // born fixed
+        let c = s.new_var(0, 3);
+        let active = |s: &Store| {
+            let mut v: Vec<VarId> = s.unfixed_vars().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(active(&s), vec![a, c]);
+        assert_eq!(s.num_unfixed(), 2);
+        let _ = b;
+        s.push_level();
+        s.assign(a, 1).unwrap();
+        assert_eq!(active(&s), vec![c]);
+        s.push_level();
+        s.remove_below(c, 3).unwrap(); // fixes c via bound pruning
+        assert_eq!(active(&s), Vec::<VarId>::new());
+        s.backtrack();
+        assert_eq!(active(&s), vec![c]);
+        s.backtrack();
+        assert_eq!(active(&s), vec![a, c]);
+        // Root-level fixes are permanent.
+        s.assign(c, 0).unwrap();
+        assert_eq!(active(&s), vec![a]);
+    }
+
+    #[test]
+    fn unfixed_set_handles_remove_to_singleton() {
+        let mut s = Store::new();
+        let v = s.new_var(0, 1);
+        s.push_level();
+        s.remove(v, 0).unwrap();
+        assert_eq!(s.num_unfixed(), 0);
+        s.backtrack();
+        assert_eq!(s.num_unfixed(), 1);
+        assert_eq!(s.unfixed_vars().next(), Some(v));
     }
 }

@@ -1,0 +1,256 @@
+//! Differential property tests: the incremental propagation engine
+//! ([`csp_engine::Solver`]) against the retained stateless reference
+//! ([`csp_engine::reference::RefSolver`]).
+//!
+//! Three levels of agreement are asserted on random models:
+//!
+//! 1. **Identical root fixpoints.** Event-filtered, incremental propagation
+//!    must land on exactly the same domains as exhaustive stateless
+//!    re-propagation (propagation is monotone, so the fixpoint is unique —
+//!    any deviation is a bug in the delta bookkeeping).
+//! 2. **Identical outcomes** — byte-for-byte, including the found solution
+//!    — for the search-deterministic heuristics (`Input`, `MinDomain` with
+//!    `Min`/`Max` values), whose decisions depend only on the propagated
+//!    fixpoints. (`DomOverWDeg` breaks ties by failure weights, which
+//!    legitimately depend on *which* constraint trips over an inevitable
+//!    conflict first, and `Random` consumes the RNG in a different order —
+//!    for those only the verdict must agree.)
+//! 3. **Identical solution counts** under exhaustive enumeration for every
+//!    heuristic, which is path-independent and therefore must agree
+//!    everywhere.
+
+use csp_engine::reference::RefSolver;
+use csp_engine::{Constraint, Model, Outcome, SolverConfig, ValOrder, VarOrder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomCsp {
+    domains: Vec<(i32, i32)>,
+    constraints: Vec<Constraint>,
+}
+
+fn build_model(csp: &RandomCsp) -> Model {
+    let mut m = Model::with_capacity(csp.domains.len(), csp.constraints.len());
+    for &(lb, ub) in &csp.domains {
+        m.new_var(lb, ub);
+    }
+    for c in &csp.constraints {
+        m.post(c.clone());
+    }
+    m
+}
+
+/// Constraint generator biased toward the stateful propagators (linear
+/// sums, cardinality, counting, at-most-one) whose incremental state is
+/// what this test exists to validate.
+fn arb_constraint(n_vars: usize) -> impl Strategy<Value = Constraint> {
+    let var = 0..n_vars;
+    let vars = proptest::collection::vec(0..n_vars, 1..=n_vars.min(4));
+    prop_oneof![
+        (
+            vars.clone(),
+            proptest::collection::vec(-3i64..=3, 4),
+            -8i64..=8
+        )
+            .prop_map(|(vs, cs, rhs)| {
+                let coeffs: Vec<i64> = cs.into_iter().take(vs.len()).collect();
+                let vs: Vec<usize> = vs.into_iter().take(coeffs.len()).collect();
+                Constraint::linear_eq(vs, coeffs, rhs)
+            }),
+        (
+            vars.clone(),
+            proptest::collection::vec(-3i64..=3, 4),
+            -8i64..=8
+        )
+            .prop_map(|(vs, cs, rhs)| {
+                let coeffs: Vec<i64> = cs.into_iter().take(vs.len()).collect();
+                let vs: Vec<usize> = vs.into_iter().take(coeffs.len()).collect();
+                Constraint::linear_leq(vs, coeffs, rhs)
+            }),
+        (vars.clone(), 0u32..=3).prop_map(|(vs, rhs)| Constraint::CountEq {
+            vars: vs,
+            value: 1,
+            rhs,
+        }),
+        (vars.clone(), 0u32..=3).prop_map(|(vs, rhs)| Constraint::BoolSumEq { vars: vs, rhs }),
+        vars.clone()
+            .prop_map(|vs| Constraint::AtMostOneTrue { vars: vs }),
+        vars.clone()
+            .prop_map(|vs| Constraint::AllDifferent { vars: vs }),
+        vars.clone().prop_map(|vs| Constraint::AllDifferentExcept {
+            vars: vs,
+            except: 0,
+        }),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::NotEqual { a, b }),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::NotEqualUnless {
+            a,
+            b,
+            except: 0
+        }),
+        (var.clone(), var.clone()).prop_map(|(a, b)| Constraint::LeqVar { a, b }),
+        (
+            var.clone(),
+            var.clone(),
+            proptest::collection::vec(-2i32..=2, 1..=5)
+        )
+            .prop_map(|(index, value, array)| Constraint::Element {
+                index,
+                array,
+                value
+            }),
+        (
+            vars.clone(),
+            proptest::collection::vec(proptest::collection::vec(-2i32..=2, 4), 1..=6)
+        )
+            .prop_map(|(vs, rows)| {
+                let width = vs.len();
+                Constraint::Table {
+                    vars: vs,
+                    rows: rows.into_iter().map(|r| r[..width].to_vec()).collect(),
+                }
+            }),
+        (vars, proptest::collection::vec(any::<bool>(), 4)).prop_map(|(vs, pols)| {
+            Constraint::Or {
+                lits: vs.into_iter().zip(pols).collect(),
+            }
+        }),
+        (var.clone(), var, -2i32..=2).prop_map(|(b, x, c)| Constraint::ReifiedLeq { b, x, c }),
+    ]
+}
+
+fn arb_csp() -> impl Strategy<Value = RandomCsp> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec((-2i32..=1).prop_map(|lb| (lb, lb + 4)), n..=n),
+                proptest::collection::vec(arb_constraint(n), 1..=6),
+            )
+        })
+        .prop_map(|(domains, constraints)| RandomCsp {
+            domains,
+            constraints,
+        })
+}
+
+/// Every heuristic pairing exercised below.
+const ALL_ORDERS: [(VarOrder, ValOrder); 8] = [
+    (VarOrder::Input, ValOrder::Min),
+    (VarOrder::Input, ValOrder::Max),
+    (VarOrder::MinDomain, ValOrder::Min),
+    (VarOrder::MinDomain, ValOrder::Max),
+    (VarOrder::DomOverWDeg, ValOrder::Min),
+    (VarOrder::DomOverWDeg, ValOrder::Max),
+    (VarOrder::Random, ValOrder::Random),
+    (VarOrder::Random, ValOrder::Min),
+];
+
+/// The pairings whose search path is a pure function of the propagation
+/// fixpoints, for which outcomes must match byte-for-byte.
+const DETERMINISTIC_ORDERS: [(VarOrder, ValOrder); 4] = [
+    (VarOrder::Input, ValOrder::Min),
+    (VarOrder::Input, ValOrder::Max),
+    (VarOrder::MinDomain, ValOrder::Min),
+    (VarOrder::MinDomain, ValOrder::Max),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Level 1: identical fixpoints at the root.
+    #[test]
+    fn root_fixpoints_are_identical(csp in arb_csp()) {
+        let model = build_model(&csp);
+        let mut incremental = model.clone().into_solver(SolverConfig::default());
+        let mut reference = RefSolver::from_model(&model, SolverConfig::default());
+        prop_assert_eq!(
+            incremental.root_fixpoint(),
+            reference.root_fixpoint(),
+            "incremental and stateless propagation disagree on the root fixpoint"
+        );
+    }
+
+    /// Level 2a: byte-identical outcomes for fixpoint-deterministic
+    /// heuristics.
+    #[test]
+    fn deterministic_outcomes_are_identical(csp in arb_csp()) {
+        let model = build_model(&csp);
+        for (var_order, val_order) in DETERMINISTIC_ORDERS {
+            let cfg = SolverConfig {
+                var_order,
+                val_order,
+                seed: 7,
+                ..SolverConfig::default()
+            };
+            let new = model.clone().into_solver(cfg).solve();
+            let old = RefSolver::from_model(&model, cfg).solve();
+            prop_assert_eq!(
+                &new, &old,
+                "outcome drift under {:?}/{:?}", var_order, val_order
+            );
+        }
+    }
+
+    /// Level 2b: identical verdicts (and only valid solutions) everywhere,
+    /// including the weight- and RNG-sensitive heuristics and the
+    /// restart-driven randomized configuration.
+    #[test]
+    fn verdicts_agree_under_every_heuristic(csp in arb_csp(), seed in 0u64..500) {
+        let model = build_model(&csp);
+        let mut configs: Vec<SolverConfig> = ALL_ORDERS
+            .iter()
+            .map(|&(var_order, val_order)| SolverConfig {
+                var_order,
+                val_order,
+                seed,
+                ..SolverConfig::default()
+            })
+            .collect();
+        configs.push(SolverConfig::generic_randomized(seed));
+        for cfg in configs {
+            let new = model.clone().into_solver(cfg).solve();
+            let old = RefSolver::from_model(&model, cfg).solve();
+            prop_assert_eq!(
+                new.is_sat(), old.is_sat(),
+                "SAT drift under {:?}: new={:?} old={:?}", cfg, new, old
+            );
+            prop_assert_eq!(
+                new.is_unsat(), old.is_unsat(),
+                "UNSAT drift under {:?}", cfg
+            );
+            if let Outcome::Sat(sol) = &new {
+                for c in &csp.constraints {
+                    prop_assert!(c.is_satisfied(sol), "incremental solution violates {c:?}");
+                }
+            }
+        }
+    }
+
+    /// Level 3: identical exhaustive solution counts (path-independent, so
+    /// they must agree under every heuristic).
+    #[test]
+    fn solution_counts_are_identical(csp in arb_csp()) {
+        let model = build_model(&csp);
+        for (var_order, val_order) in [
+            (VarOrder::Input, ValOrder::Min),
+            (VarOrder::MinDomain, ValOrder::Max),
+            (VarOrder::DomOverWDeg, ValOrder::Min),
+            (VarOrder::Random, ValOrder::Random),
+        ] {
+            let cfg = SolverConfig {
+                var_order,
+                val_order,
+                seed: 13,
+                ..SolverConfig::default()
+            };
+            let (new_count, new_complete) =
+                model.clone().into_solver(cfg).count_solutions(100_000);
+            let (old_count, old_complete) =
+                RefSolver::from_model(&model, cfg).count_solutions(100_000);
+            prop_assert!(new_complete && old_complete);
+            prop_assert_eq!(
+                new_count, old_count,
+                "count drift under {:?}/{:?}", var_order, val_order
+            );
+        }
+    }
+}

@@ -143,6 +143,9 @@ pub struct SatSolver {
     ok: bool,
     stats: SatStats,
     interrupt: Option<Arc<AtomicBool>>,
+    /// Counter gating wall-clock polls (`Instant::now()` once per ~1024
+    /// budget checks, SAT-solver style — same scheme as the CSP engine).
+    budget_ticks: u64,
 }
 
 impl SatSolver {
@@ -169,6 +172,7 @@ impl SatSolver {
             ok: true,
             stats: SatStats::default(),
             interrupt: None,
+            budget_ticks: 0,
         };
         s.order.rebuild(0..cnf.num_vars(), &s.activity);
         for c in cnf.clauses() {
@@ -206,6 +210,18 @@ impl SatSolver {
         self.interrupt
             .as_deref()
             .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Amortized wall-clock check: counts invocations and reads
+    /// `Instant::now()` only once per ~1024 of them, so the conflict and
+    /// decision loops can call it unconditionally.
+    fn time_exhausted(&mut self, start: Instant) -> bool {
+        let Some(limit) = self.cfg.time_limit else {
+            return false;
+        };
+        let tick = self.budget_ticks;
+        self.budget_ticks += 1;
+        tick & 1023 == 0 && start.elapsed() >= limit
     }
 
     fn value(&self, l: Lit) -> LBool {
@@ -589,6 +605,7 @@ impl SatSolver {
     /// keeps its learned clauses, so repeated calls are incremental.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatOutcome {
         let start = Instant::now();
+        self.budget_ticks = 0;
         let result = self.search(start, assumptions);
         self.backtrack_to(0);
         self.stats.elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -641,12 +658,8 @@ impl SatSolver {
                             return SatOutcome::Unknown(SatLimit::Conflicts);
                         }
                     }
-                    if self.stats.conflicts.is_multiple_of(1024) {
-                        if let Some(limit) = self.cfg.time_limit {
-                            if start.elapsed() >= limit {
-                                return SatOutcome::Unknown(SatLimit::Time);
-                            }
-                        }
+                    if self.time_exhausted(start) {
+                        return SatOutcome::Unknown(SatLimit::Time);
                     }
                 } else {
                     if conflicts_here >= budget {
@@ -659,12 +672,8 @@ impl SatSolver {
                     }
                     // Deep instances can make conflicts rare relative to
                     // decisions, so the wall clock is polled here too.
-                    if self.stats.decisions.is_multiple_of(8192) {
-                        if let Some(limit) = self.cfg.time_limit {
-                            if start.elapsed() >= limit {
-                                return SatOutcome::Unknown(SatLimit::Time);
-                            }
-                        }
+                    if self.time_exhausted(start) {
+                        return SatOutcome::Unknown(SatLimit::Time);
                     }
                     // Re-establish assumptions as pseudo-decisions; one
                     // decision level per assumption keeps the mapping
