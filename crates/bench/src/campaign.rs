@@ -28,11 +28,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use mgrts_core::engine::{Budget, CancelGroup, SolverSpec};
+use mgrts_core::engine::{CancelGroup, SolverSpec};
 use rt_gen::{derive_stream_seed, ProblemGenerator, RateMatrixGen};
 
-use crate::runner::{run_one_budgeted, run_one_hetero, InstanceOutcome};
-use crate::shard::{plan_shards, Cell, CellM, Shard};
+use crate::policy::{AdaptiveSpec, ExecutionPolicy, PolicyMode, PolicySpec};
+use crate::runner::InstanceOutcome;
+use crate::shard::{plan_shards, Cell, CellM, PlanShape, Shard};
 use crate::sink::{
     canonical_export, load_records, CampaignRecord, LocalStore, RecordStore, CANONICAL_FILE,
     CHECKPOINT_FILE, RECORDS_FILE,
@@ -97,6 +98,11 @@ impl From<std::io::Error> for CampaignError {
 /// utilization = ["*"]        # "*" or "lo..hi" bands
 /// hetero = [false]
 /// solvers = ["csp1", "csp2", "csp2-rm", "csp2-dm", "csp2-tc", "csp2-dc"]
+///
+/// [policy]                   # optional; defaults to mode = "single"
+/// mode = "portfolio-race"    # race the roster per instance
+/// adaptive_quantile = 0.9    # cap budgets at the p90 of recorded times
+/// adaptive_min_samples = 8   # decided samples per cell before it engages
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
@@ -118,8 +124,13 @@ pub struct Manifest {
     /// The expanded scenario grid, in canonical (n, m, t_max, band,
     /// hetero) nesting order.
     pub cells: Vec<Cell>,
-    /// Solver roster; every instance runs once per entry.
+    /// Solver roster; every instance runs once per entry (`single`
+    /// policy) or races the whole roster once (`portfolio-race`).
     pub roster: Vec<SolverSpec>,
+    /// Execution policy (the optional `[policy]` manifest section): what
+    /// runs per unit, and with what budget. The default — single solver,
+    /// manifest budgets — keeps pre-policy fingerprints byte-identical.
+    pub policy: PolicySpec,
 }
 
 /// Parsed value of the TOML subset.
@@ -325,6 +336,36 @@ impl Manifest {
             return Err(err(format!("grid.solvers: duplicate entry `{}`", *dup.1)));
         }
 
+        let mode = match get("policy.mode") {
+            None => PolicyMode::Single,
+            Some(TomlVal::Str(s)) => s.parse::<PolicyMode>().map_err(err)?,
+            Some(_) => return Err(err("policy.mode: expected a string".into())),
+        };
+        let adaptive = match get("policy.adaptive_quantile") {
+            None => {
+                if get("policy.adaptive_min_samples").is_some() {
+                    return Err(err(
+                        "policy.adaptive_min_samples requires policy.adaptive_quantile".into(),
+                    ));
+                }
+                None
+            }
+            Some(v) => {
+                let quantile = match v {
+                    TomlVal::Float(f) => *f,
+                    TomlVal::Int(i) => *i as f64,
+                    _ => return Err(err("policy.adaptive_quantile: expected a number".into())),
+                };
+                let min_samples = opt_u64("policy.adaptive_min_samples")?
+                    .unwrap_or(AdaptiveSpec::DEFAULT_MIN_SAMPLES);
+                Some(
+                    AdaptiveSpec::new(quantile, min_samples)
+                        .map_err(|e| err(format!("policy.adaptive_quantile: {e}")))?,
+                )
+            }
+        };
+        let policy = PolicySpec { mode, adaptive };
+
         let mut cells = Vec::new();
         for &n in &ns {
             for &m in &ms {
@@ -362,6 +403,7 @@ impl Manifest {
             band_scan_limit,
             cells,
             roster,
+            policy,
         })
     }
 
@@ -450,6 +492,14 @@ impl Manifest {
             "solvers = [{}]\n",
             join(self.roster.iter().map(|s| format!("\"{s}\"")).collect())
         ));
+        if !self.policy.is_default() {
+            out.push_str("\n[policy]\n");
+            out.push_str(&format!("mode = \"{}\"\n", self.policy.mode));
+            if let Some(a) = &self.policy.adaptive {
+                out.push_str(&format!("adaptive_quantile = {}\n", a.quantile));
+                out.push_str(&format!("adaptive_min_samples = {}\n", a.min_samples));
+            }
+        }
         out
     }
 
@@ -457,9 +507,24 @@ impl Manifest {
     /// the prefix of every shard's content hash. The campaign *name* is
     /// deliberately excluded: two differently-named campaigns over the
     /// same grid do the same work, share shard hashes, and gate against
-    /// each other.
+    /// each other. A non-default `[policy]` appends its tag, so changing
+    /// the policy re-shards; the default appends nothing, keeping
+    /// pre-policy stores and committed baselines valid.
     #[must_use]
     pub fn fingerprint(&self) -> String {
+        let mut fp = self.workload_fingerprint();
+        if !self.policy.is_default() {
+            fp.push_str(&format!(";policy={}", self.policy.tag()));
+        }
+        fp
+    }
+
+    /// The policy-independent part of the fingerprint: the generated
+    /// workload itself. Two campaigns with equal workload fingerprints
+    /// solve the same instances under the same roster and global limit —
+    /// the precondition of the cross-policy [`parity`] comparison.
+    #[must_use]
+    pub fn workload_fingerprint(&self) -> String {
         let cells: Vec<String> = self.cells.iter().map(|c| c.tag()).collect();
         let roster: Vec<&str> = self.roster.iter().map(|s| s.name()).collect();
         format!(
@@ -498,6 +563,7 @@ impl Manifest {
                 hetero: false,
             }],
             roster: SolverSpec::TABLE1_ROSTER.to_vec(),
+            policy: PolicySpec::default(),
         }
     }
 
@@ -527,6 +593,16 @@ impl Manifest {
                 SolverSpec::Csp1,
                 SolverSpec::Csp2(mgrts_core::heuristics::TaskOrder::DeadlineMinusWcet),
             ],
+            policy: PolicySpec::default(),
+        }
+    }
+
+    /// The unit-stream shape of this campaign's policy.
+    #[must_use]
+    pub fn plan_shape(&self) -> PlanShape {
+        match self.policy.mode {
+            PolicyMode::Single => PlanShape::PerSolver,
+            PolicyMode::PortfolioRace => PlanShape::PerInstance,
         }
     }
 
@@ -539,13 +615,25 @@ impl Manifest {
             &self.roster,
             self.shard_size,
             &self.fingerprint(),
+            self.plan_shape(),
         )
     }
 
-    /// Total run units in the campaign.
+    /// Total run units in the campaign (racing policies collapse the
+    /// solver axis into one unit per instance).
     #[must_use]
     pub fn total_runs(&self) -> u64 {
-        self.cells.len() as u64 * self.instances_per_cell * self.roster.len() as u64
+        self.cells.len() as u64
+            * self.instances_per_cell
+            * self.policy.units_per_instance(self.roster.len()) as u64
+    }
+
+    /// Build this campaign's execution policy over a snapshot of `store`.
+    pub fn build_policy(
+        &self,
+        store: &dyn RecordStore,
+    ) -> Result<Box<dyn ExecutionPolicy>, CampaignError> {
+        self.policy.build(self, store)
     }
 }
 
@@ -647,6 +735,11 @@ fn execute(
     done: HashSet<String>,
 ) -> Result<CampaignOutcome, CampaignError> {
     let started = Instant::now();
+    // The policy snapshot: single/race need only the manifest; the
+    // adaptive wrapper additionally reads recorded solve times (empty
+    // after run_fresh's clear ⇒ manifest fallback; populated on resume ⇒
+    // quantile allowances engage).
+    let policy = manifest.build_policy(store)?;
     let shards = manifest.plan();
     let pending: Vec<&Shard> = shards.iter().filter(|s| !done.contains(&s.hash)).collect();
     let todo: &[&Shard] = match opts.max_shards {
@@ -675,7 +768,7 @@ fn execute(
                     i
                 };
                 let shard = todo[idx];
-                match run_shard(manifest, shard, cancel) {
+                match run_shard(manifest, &*policy, shard, cancel) {
                     Ok(Some(records)) => {
                         if let Err(e) = sink.lock().commit_shard(shard, &records) {
                             *failure.lock() = Some(CampaignError::Io(e));
@@ -730,13 +823,14 @@ fn execute(
     })
 }
 
-/// Run every unit of one shard. Returns `Ok(None)` when cancellation
-/// preempted the shard (nothing is committed; resume re-runs it whole).
-/// Shared verbatim by the in-process executor and the distributed queue
-/// workers — a shard's records depend only on the manifest, never on who
-/// runs it.
+/// Run every unit of one shard through the campaign's execution policy.
+/// Returns `Ok(None)` when cancellation preempted the shard (nothing is
+/// committed; resume re-runs it whole). Shared verbatim by the in-process
+/// executor and the distributed queue workers — a shard's records depend
+/// only on the manifest + policy, never on who runs it.
 pub(crate) fn run_shard(
     manifest: &Manifest,
+    policy: &dyn ExecutionPolicy,
     shard: &Shard,
     cancel: &CancelGroup,
 ) -> Result<Option<Vec<CampaignRecord>>, CampaignError> {
@@ -752,6 +846,8 @@ pub(crate) fn run_shard(
             return Ok(None);
         }
         let cell = &manifest.cells[unit.cell];
+        // For racing policies the plan pins unit.solver to 0, so this is
+        // the deterministic roster-head placeholder race records carry.
         let solver = manifest.roster[unit.solver];
         let p = match &cached {
             Some((key, p)) if *key == (unit.cell, unit.instance) => p.clone(),
@@ -776,18 +872,17 @@ pub(crate) fn run_shard(
             }
         };
         let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
-        let budget = Budget::time_limit(manifest.time_limit).capped(remaining);
-        let (outcome, time_us) = if cell.hetero {
-            let platform = RateMatrixGen::default().generate(
+        let (budget, budget_source) = policy.unit_budget(unit.cell);
+        let budget = budget.capped(remaining);
+        let platform = cell.hetero.then(|| {
+            RateMatrixGen::default().generate(
                 p.taskset.len(),
                 p.m,
                 derive_stream_seed(p.seed, "platform"),
-            );
-            run_one_hetero(&p, &platform, solver, &budget, &token)
-        } else {
-            run_one_budgeted(&p, solver, &budget, &token)
-        };
-        if outcome == InstanceOutcome::Cancelled {
+            )
+        });
+        let exec = policy.execute(&p, platform.as_ref(), unit.solver, &budget, &token);
+        if exec.outcome == InstanceOutcome::Cancelled {
             // Don't commit half-truths: a cancelled unit means the shard
             // must re-run on resume.
             return Ok(None);
@@ -798,8 +893,8 @@ pub(crate) fn run_shard(
             instance: unit.instance,
             global_instance: unit.cell as u64 * manifest.instances_per_cell + unit.instance,
             solver,
-            outcome,
-            time_us,
+            outcome: exec.outcome,
+            time_us: exec.time_us,
             ratio: p.utilization_ratio(),
             filtered: p.filtered_out(),
             m: p.m,
@@ -808,6 +903,11 @@ pub(crate) fn run_shard(
             hetero: cell.hetero,
             hyperperiod: p.taskset.hyperperiod().unwrap_or(0),
             seed: p.seed,
+            policy: Some(policy.kind()),
+            winner: exec.winner,
+            budget_source: Some(budget_source),
+            cancel_latency_us: exec.cancel_latency_us,
+            backends: exec.backends,
         });
     }
     Ok(Some(records))
@@ -860,7 +960,10 @@ pub struct Summary {
     pub solvers: Vec<(String, SolverSummary)>,
 }
 
-/// Reduce a record set to its [`Summary`].
+/// Reduce a record set to its [`Summary`]. Under the `single` policy the
+/// rows are the roster solvers; a racing campaign collapses to one
+/// `portfolio` row (each unit ran the whole roster — per-backend splits
+/// live in `report winners`, not the summary).
 #[must_use]
 pub fn summarize(
     manifest: &Manifest,
@@ -869,38 +972,45 @@ pub fn summarize(
     shards_done: u64,
     wall_ms: u64,
 ) -> Summary {
-    let solvers = manifest
-        .roster
-        .iter()
-        .map(|&spec| {
-            let runs: Vec<&CampaignRecord> = records.iter().filter(|r| r.solver == spec).collect();
-            let count = |o: InstanceOutcome| runs.iter().filter(|r| r.outcome == o).count() as u64;
-            let total = runs.len() as u64;
-            let overrun = count(InstanceOutcome::Overrun);
-            let mean_time_us = if runs.is_empty() {
-                0
+    let aggregate = |runs: &[&CampaignRecord]| {
+        let count = |o: InstanceOutcome| runs.iter().filter(|r| r.outcome == o).count() as u64;
+        let total = runs.len() as u64;
+        let overrun = count(InstanceOutcome::Overrun);
+        let mean_time_us = if runs.is_empty() {
+            0
+        } else {
+            runs.iter().map(|r| r.time_us).sum::<u64>() / total
+        };
+        SolverSummary {
+            runs: total,
+            solved: count(InstanceOutcome::Solved),
+            infeasible: count(InstanceOutcome::ProvedInfeasible),
+            overrun,
+            too_large: count(InstanceOutcome::TooLarge),
+            unsupported: count(InstanceOutcome::Unsupported),
+            timeout_rate: if total == 0 {
+                0.0
             } else {
-                runs.iter().map(|r| r.time_us).sum::<u64>() / total
-            };
-            (
-                spec.name().to_string(),
-                SolverSummary {
-                    runs: total,
-                    solved: count(InstanceOutcome::Solved),
-                    infeasible: count(InstanceOutcome::ProvedInfeasible),
-                    overrun,
-                    too_large: count(InstanceOutcome::TooLarge),
-                    unsupported: count(InstanceOutcome::Unsupported),
-                    timeout_rate: if total == 0 {
-                        0.0
-                    } else {
-                        overrun as f64 / total as f64
-                    },
-                    mean_time_us,
-                },
-            )
-        })
-        .collect();
+                overrun as f64 / total as f64
+            },
+            mean_time_us,
+        }
+    };
+    let solvers = match manifest.policy.mode {
+        PolicyMode::Single => manifest
+            .roster
+            .iter()
+            .map(|&spec| {
+                let runs: Vec<&CampaignRecord> =
+                    records.iter().filter(|r| r.solver == spec).collect();
+                (spec.name().to_string(), aggregate(&runs))
+            })
+            .collect(),
+        PolicyMode::PortfolioRace => {
+            let all: Vec<&CampaignRecord> = records.iter().collect();
+            vec![("portfolio".to_string(), aggregate(&all))]
+        }
+    };
     Summary {
         campaign: manifest.name.clone(),
         fingerprint: manifest.fingerprint(),
@@ -1031,6 +1141,9 @@ pub enum ReportKind {
     /// The heterogeneity dimension: per-backend support/verdict counts on
     /// the grid's heterogeneous cells.
     Hetero,
+    /// Per-cell winner counts of a portfolio-race campaign (the paper's
+    /// Table I as a single racing campaign).
+    Winners,
     /// The `BENCH_<name>.json` summary, as text.
     Summary,
 }
@@ -1044,11 +1157,12 @@ impl std::str::FromStr for ReportKind {
             "table3" => ReportKind::Table3,
             "table4" => ReportKind::Table4,
             "hetero" => ReportKind::Hetero,
+            "winners" => ReportKind::Winners,
             "summary" => ReportKind::Summary,
             other => {
                 return Err(format!(
-                    "unknown report `{other}` (expected table1|table3|table4|hetero|summary)"
-                ))
+                "unknown report `{other}` (expected table1|table3|table4|hetero|winners|summary)"
+            ))
             }
         })
     }
@@ -1068,6 +1182,7 @@ pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String,
         ReportKind::Table3 => report_table3(&manifest, &records),
         ReportKind::Table4 => report_table4(&manifest, &records),
         ReportKind::Hetero => report_hetero(&manifest, &records),
+        ReportKind::Winners => report_winners(&manifest, &records),
         ReportKind::Summary => {
             let done = store.done_shards()?;
             let shards = manifest.plan().len() as u64;
@@ -1077,6 +1192,21 @@ pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String,
     })
 }
 
+/// Warning prefix for the per-solver paper tables when the store was not
+/// produced by the single-solver policy: race units carry a deterministic
+/// placeholder in their `solver` field, so grouping by it would silently
+/// attribute every unit to the roster head.
+fn per_solver_report_note(manifest: &Manifest) -> &'static str {
+    match manifest.policy.mode {
+        PolicyMode::Single => "",
+        PolicyMode::PortfolioRace => {
+            "\nnote: this store was produced by a portfolio-race policy; race units \
+             carry a\nplaceholder solver, so per-solver columns are not meaningful — \
+             see `report winners`\n"
+        }
+    }
+}
+
 /// Tables I & II over campaign records — byte-identical to the `table1`
 /// binary's stdout for an equivalent manifest.
 #[must_use]
@@ -1084,7 +1214,8 @@ pub fn report_table1(manifest: &Manifest, records: &[CampaignRecord]) -> String 
     let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
     let total = manifest.cells.len() as u64 * manifest.instances_per_cell;
     format!(
-        "\nTABLE I — number of runs reaching the time limit\n\n{}\n\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n\n{}",
+        "{}\nTABLE I — number of runs reaching the time limit\n\n{}\n\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n\n{}",
+        per_solver_report_note(manifest),
         tables::table1(&runs, &manifest.roster, total),
         tables::table2(&runs, &manifest.roster)
     )
@@ -1092,10 +1223,11 @@ pub fn report_table1(manifest: &Manifest, records: &[CampaignRecord]) -> String 
 
 /// Table III over campaign records.
 #[must_use]
-pub fn report_table3(_manifest: &Manifest, records: &[CampaignRecord]) -> String {
+pub fn report_table3(manifest: &Manifest, records: &[CampaignRecord]) -> String {
     let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
     format!(
-        "\nTABLE III — instance distribution and mean resolution time by r\n\n{}",
+        "{}\nTABLE III — instance distribution and mean resolution time by r\n\n{}",
+        per_solver_report_note(manifest),
         tables::table3(&runs)
     )
 }
@@ -1149,7 +1281,8 @@ pub fn report_table4(manifest: &Manifest, records: &[CampaignRecord]) -> String 
         });
     }
     format!(
-        "\nTABLE IV — experiments with a growing number of tasks\n\n{}",
+        "{}\nTABLE IV — experiments with a growing number of tasks\n\n{}",
+        per_solver_report_note(manifest),
         tables::table4(&rows, &manifest.roster)
     )
 }
@@ -1192,6 +1325,167 @@ pub fn report_hetero(manifest: &Manifest, records: &[CampaignRecord]) -> String 
         "\nHETERO — per-backend support on heterogeneous cells\n\n{}",
         tables::hetero(&rows, &manifest.roster)
     )
+}
+
+/// Per-cell winner counts of a racing campaign — which backend won how
+/// many units, per grid cell, plus the units nobody decided. This is the
+/// paper's Table I comparison restated for a portfolio execution: instead
+/// of six sequential columns of overrun counts, one race per instance and
+/// a tally of whose verdict arrived first.
+#[must_use]
+pub fn report_winners(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let mut rows = Vec::new();
+    for (ci, cell) in manifest.cells.iter().enumerate() {
+        let cell_records: Vec<&CampaignRecord> = records.iter().filter(|r| r.cell == ci).collect();
+        if cell_records.is_empty() {
+            continue;
+        }
+        let wins = manifest
+            .roster
+            .iter()
+            .map(|s| {
+                cell_records
+                    .iter()
+                    .filter(|r| r.winner.as_deref() == Some(s.name()))
+                    .count() as u64
+            })
+            .collect();
+        let none = cell_records.iter().filter(|r| r.winner.is_none()).count() as u64;
+        rows.push(tables::WinnerRow {
+            cell: cell.tag(),
+            wins,
+            none,
+            units: cell_records.len() as u64,
+        });
+    }
+    let mut out = format!(
+        "\nWINNERS — per-cell race winners ({} campaign)\n\n{}",
+        manifest.policy.tag(),
+        tables::winners(&rows, &manifest.roster)
+    );
+    if manifest.policy.mode != PolicyMode::PortfolioRace {
+        out.push_str(
+            "\nnote: this store was produced by a non-racing policy; every unit \
+             reports no winner\n",
+        );
+    }
+    out
+}
+
+/// Cross-policy parity: compare a portfolio-race campaign's per-unit
+/// verdicts against a single-solver campaign over the *same workload*
+/// (equal [`Manifest::workload_fingerprint`]). The race must agree with
+/// the best single-solver verdict of each `(cell, instance)`; exchanges
+/// where either side ran out of wall clock are budget straddles and only
+/// warn, exactly like [`gate`]. A `Solved`-vs-`ProvedInfeasible` split is
+/// a soundness failure.
+pub fn parity(race_dir: &Path, single_dir: &Path) -> Result<GateReport, CampaignError> {
+    let race_store = LocalStore::open(race_dir)?;
+    let single_store = LocalStore::open(single_dir)?;
+    let race_manifest = Manifest::parse(&race_store.read_manifest()?)?;
+    let single_manifest = Manifest::parse(&single_store.read_manifest()?)?;
+    let mut failures = Vec::new();
+    let mut notes = Vec::new();
+    if race_manifest.workload_fingerprint() != single_manifest.workload_fingerprint() {
+        return Err(CampaignError::Store(format!(
+            "parity compares one workload under two policies, but the stores hold \
+             different workloads:\n  race:   {}\n  single: {}",
+            race_manifest.workload_fingerprint(),
+            single_manifest.workload_fingerprint()
+        )));
+    }
+    if race_manifest.policy.mode != PolicyMode::PortfolioRace {
+        return Err(CampaignError::Store(format!(
+            "parity: store {} was not produced by a portfolio-race policy",
+            race_dir.display()
+        )));
+    }
+    let race_records = race_store.load_records()?;
+    let single_records = single_store.load_records()?;
+    // One pass over the (large) single-solver set: per (cell, instance),
+    // did any run solve / prove infeasible? A unit with no entry at all
+    // is a coverage failure — comparing against a partially-drained
+    // single-solver store must not silently pass.
+    #[derive(Default, Clone, Copy)]
+    struct SingleBest {
+        solved: bool,
+        infeasible: bool,
+    }
+    let mut single_best: std::collections::HashMap<(usize, u64), SingleBest> =
+        std::collections::HashMap::new();
+    for r in &single_records {
+        let entry = single_best.entry((r.cell, r.instance)).or_default();
+        match r.outcome {
+            InstanceOutcome::Solved => entry.solved = true,
+            InstanceOutcome::ProvedInfeasible => entry.infeasible = true,
+            _ => {}
+        }
+    }
+    let mut straddles = 0u64;
+    for r in &race_records {
+        let key = format!("cell {} instance {}", r.cell, r.instance);
+        let Some(best) = single_best.get(&(r.cell, r.instance)).copied() else {
+            failures.push(format!("{key}: no single-solver record found"));
+            continue;
+        };
+        match r.outcome {
+            InstanceOutcome::Solved => {
+                if best.infeasible {
+                    failures.push(format!(
+                        "{key}: race Solved but a single-solver run proved infeasible"
+                    ));
+                } else if !best.solved {
+                    // The race decided something every sequential run
+                    // timed out on — a portfolio advantage, not drift.
+                    straddles += 1;
+                }
+            }
+            InstanceOutcome::ProvedInfeasible => {
+                if best.solved {
+                    failures.push(format!(
+                        "{key}: race ProvedInfeasible but a single-solver run solved it"
+                    ));
+                } else if !best.infeasible {
+                    straddles += 1;
+                }
+            }
+            _ => {
+                if best.solved || best.infeasible {
+                    // The race ran out of budget where a sequential run
+                    // decided: a budget straddle (races split cores
+                    // between backends).
+                    straddles += 1;
+                }
+            }
+        }
+    }
+    // Coverage must hold in *both* directions: per-unit lookups above
+    // catch single-solver gaps, and this catches a partially drained race
+    // store — a gate that only compared the few units a crashed worker
+    // managed to commit must not certify the whole workload.
+    let expected_units = race_manifest.total_runs();
+    if (race_records.len() as u64) < expected_units {
+        failures.push(format!(
+            "race store holds {} of {} expected units (campaign incomplete)",
+            race_records.len(),
+            expected_units
+        ));
+    }
+    if straddles > 0 {
+        notes.push(format!(
+            "note: {straddles} budget-straddle exchange(s) between the race and the \
+             sequential runs (timing-dependent, not gated)"
+        ));
+    }
+    notes.push(format!(
+        "{} race unit(s) compared against {} single-solver record(s)",
+        race_records.len(),
+        single_records.len()
+    ));
+    let ok = failures.is_empty();
+    let mut lines = failures;
+    lines.extend(notes);
+    Ok(GateReport { ok, lines })
 }
 
 /// Text rendering of a [`Summary`].
@@ -1318,6 +1612,10 @@ pub fn compact(out_dir: &Path) -> Result<CompactReport, CampaignError> {
             &serde_json::to_string(&crate::sink::CheckpointLine {
                 shard: hash.clone(),
                 records: per_shard.get(hash.as_str()).copied().unwrap_or(0),
+                // Compaction is not a commit: carrying a fresh timestamp
+                // would fabricate throughput, so the merged lines carry
+                // none.
+                unix_ms: None,
             })
             .map_err(std::io::Error::other)?,
         );

@@ -11,6 +11,13 @@
 //! `BENCH_<name>.json` summary that seeds the perf trajectory (and backs
 //! the CI perf gate).
 //!
+//! *What* each campaign unit runs is decided by a pluggable
+//! [`policy::ExecutionPolicy`] — the single roster solver per unit
+//! (historical default), a portfolio race of the whole roster per
+//! instance, or either wrapped in adaptive quantile-sized budgets — so
+//! the same manifest grid executes under any cell-execution strategy
+//! (`[policy]` manifest section / `--policy` CLI flag).
+//!
 //! On top of the single-process executor, the [`queue`] module turns one
 //! campaign into a *distributed* job: the [`sink::RecordStore`] trait
 //! abstracts the store behind append-only per-writer segments (local
@@ -38,6 +45,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod policy;
 pub mod queue;
 pub mod runner;
 pub mod shard;
@@ -46,4 +54,5 @@ pub mod tables;
 
 pub use cli::Args;
 pub use mgrts_core::engine::SolverSpec;
+pub use policy::{ExecutionPolicy, PolicyKind, PolicyMode, PolicySpec};
 pub use runner::{run_corpus, InstanceOutcome, RunRecord, ROSTER};

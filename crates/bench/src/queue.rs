@@ -44,6 +44,7 @@ use serde::{Deserialize, Serialize};
 use mgrts_core::engine::CancelGroup;
 
 use crate::campaign::{run_shard, summarize, CampaignError, Manifest, Summary};
+use crate::policy::ExecutionPolicy;
 use crate::shard::Shard;
 use crate::sink::{validate_writer_id, LocalStore, RecordStore};
 
@@ -515,6 +516,12 @@ pub fn run_worker(
              (the store was produced by a different manifest)"
         )));
     }
+    // The worker's policy snapshot: a joining or restarted worker sees
+    // whatever peers have committed so far, so an adaptive wrapper's
+    // quantile allowances engage as the shared store fills up. Budgets are
+    // measurement-domain — differing snapshots across workers never change
+    // what the record store dedupes on.
+    let policy = manifest.build_policy(&store)?;
 
     let board = LeaseBoard::open(store_dir, &opts.id, opts.lease_ttl)?;
     // Presence lease: held for the worker's whole lifetime, not per shard.
@@ -571,8 +578,8 @@ pub fn run_worker(
         for _ in 0..threads {
             scope.spawn(|_| {
                 worker_thread(
-                    &manifest, &shards, &store, &board, &writer, &held, &committed, &failure, opts,
-                    cancel,
+                    &manifest, &*policy, &shards, &store, &board, &writer, &held, &committed,
+                    &failure, opts, cancel,
                 );
                 if active.fetch_sub(1, Ordering::AcqRel) == 1 {
                     stop_heartbeat.store(true, Ordering::Relaxed);
@@ -610,6 +617,7 @@ pub fn run_worker(
 #[allow(clippy::too_many_arguments)]
 fn worker_thread(
     manifest: &Manifest,
+    policy: &dyn ExecutionPolicy,
     shards: &[Shard],
     store: &LocalStore,
     board: &LeaseBoard,
@@ -675,7 +683,7 @@ fn worker_thread(
             std::thread::sleep(opts.poll);
             continue;
         };
-        let result = run_shard(manifest, shard, cancel);
+        let result = run_shard(manifest, policy, shard, cancel);
         match result {
             Ok(Some(records)) => {
                 let commit = writer.lock().commit_shard(shard, &records);
@@ -714,8 +722,41 @@ fn worker_thread(
 // Status
 // ---------------------------------------------------------------------------
 
+/// One worker's committed-shard throughput, derived from the commit
+/// timestamps in its checkpoint segment.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerRate {
+    /// Worker id (segment name).
+    pub worker: String,
+    /// Timestamped shard commits.
+    pub shards: u64,
+    /// Commit rate in shards per minute, measured from the worker's first
+    /// commit to now.
+    pub shards_per_min: f64,
+    /// Does a live presence lease back this worker (dead workers are
+    /// excluded from the aggregate rate)?
+    pub live: bool,
+}
+
+/// Campaign ETA derived from per-worker throughput: `shards remaining /
+/// aggregate live-worker rate`. The machine-readable autoscaling hint —
+/// an orchestrator reading `status --json` scales workers until `eta_ms`
+/// fits its deadline.
+#[derive(Debug, Clone, Serialize)]
+pub struct EtaReport {
+    /// Shards not yet checkpointed.
+    pub shards_remaining: u64,
+    /// Workers with a live presence lease.
+    pub live_workers: u64,
+    /// Summed commit rate of the live workers, shards per minute.
+    pub aggregate_shards_per_min: f64,
+    /// Estimated milliseconds until the campaign completes; `None` when
+    /// nothing remains or no live worker has a measurable rate.
+    pub eta_ms: Option<u64>,
+}
+
 /// Queue-level progress of a shared store.
-#[derive(Debug)]
+#[derive(Debug, Serialize)]
 pub struct StatusReport {
     /// Campaign name.
     pub campaign: String,
@@ -727,6 +768,11 @@ pub struct StatusReport {
     pub records: u64,
     /// Committed-shard count per worker segment.
     pub workers: Vec<(String, u64)>,
+    /// Per-worker throughput (timestamped commits only; pre-policy
+    /// checkpoint lines carry no timestamp and are skipped).
+    pub rates: Vec<WorkerRate>,
+    /// The derived completion estimate.
+    pub eta: EtaReport,
     /// In-flight *shard* leases, each flagged `true` when expired (stale).
     pub leases: Vec<(Lease, bool)>,
     /// Worker-presence leases (live workers attached to the store), each
@@ -736,8 +782,8 @@ pub struct StatusReport {
     pub complete: bool,
 }
 
-/// Inspect a shared store: per-worker progress, live and stale leases,
-/// completion.
+/// Inspect a shared store: per-worker progress and throughput, live and
+/// stale leases, the completion ETA.
 pub fn status(store_dir: &Path) -> Result<StatusReport, CampaignError> {
     let store = LocalStore::open(store_dir)?;
     let manifest = Manifest::parse(&store.read_manifest().map_err(|e| {
@@ -757,12 +803,67 @@ pub fn status(store_dir: &Path) -> Result<StatusReport, CampaignError> {
             (l, expired)
         })
         .partition(|(l, _)| is_presence(l));
+    // strip_prefix, not trim_start_matches: the latter strips repeatedly,
+    // so a worker whose *id* itself starts with "worker-" would never
+    // match its own presence key.
+    let live_ids: HashSet<String> = presences
+        .iter()
+        .filter(|(_, expired)| !expired)
+        .filter_map(|(l, _)| l.shard.strip_prefix("worker-").map(ToString::to_string))
+        .collect();
+    let rates: Vec<WorkerRate> = store
+        .writer_checkpoints()?
+        .into_iter()
+        .map(|(worker, times)| {
+            let live = live_ids.contains(&worker);
+            let shards = times.len() as u64;
+            // Inter-commit rate over the window first-commit → now:
+            // (shards - 1) commits happened *after* the window opened, so
+            // counting all `shards` would inflate the rate unboundedly at
+            // low counts (1 shard / 1 s since it ≠ 60 shards/min). "To
+            // now", not "to last commit": an idle-but-alive worker's rate
+            // must decay instead of freezing at its historical best. One
+            // commit carries no interval information — rate 0 until the
+            // second.
+            let shards_per_min = match times.first() {
+                Some(&first) if shards >= 2 && now > first => {
+                    (shards - 1) as f64 / ((now - first) as f64 / 60_000.0)
+                }
+                _ => 0.0,
+            };
+            WorkerRate {
+                worker,
+                shards,
+                shards_per_min,
+                live,
+            }
+        })
+        .collect();
+    let shards_remaining = shards_total.saturating_sub(done.len() as u64);
+    // fold from +0.0, not sum(): std's empty f64 sum is -0.0, which would
+    // leak a confusing "-0.0" into the JSON surface.
+    let aggregate: f64 = rates
+        .iter()
+        .filter(|r| r.live)
+        .fold(0.0, |a, r| a + r.shards_per_min);
+    let eta = EtaReport {
+        shards_remaining,
+        live_workers: live_ids.len() as u64,
+        aggregate_shards_per_min: aggregate,
+        eta_ms: if shards_remaining == 0 || aggregate <= 0.0 {
+            None
+        } else {
+            Some((shards_remaining as f64 / aggregate * 60_000.0) as u64)
+        },
+    };
     Ok(StatusReport {
         campaign: manifest.name,
         shards_total,
         shards_done: done.len() as u64,
         records: records.len() as u64,
         workers: store.writer_progress()?,
+        rates,
+        eta,
         leases,
         presences,
         complete: done.len() as u64 >= shards_total,
@@ -783,10 +884,33 @@ pub fn render_status(s: &StatusReport) -> String {
     if s.workers.is_empty() {
         out.push_str("no worker has committed yet\n");
     } else {
-        out.push_str(&format!("{:<20} {:>10}\n", "worker", "shards"));
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>14}\n",
+            "worker", "shards", "shards/min"
+        ));
         for (id, shards) in &s.workers {
-            out.push_str(&format!("{id:<20} {shards:>10}\n"));
+            let rate = s
+                .rates
+                .iter()
+                .find(|r| r.worker == *id)
+                .map(|r| format!("{:.2}{}", r.shards_per_min, if r.live { "" } else { " †" }))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("{id:<20} {shards:>10} {rate:>14}\n"));
         }
+    }
+    match s.eta.eta_ms {
+        Some(ms) => out.push_str(&format!(
+            "eta: {} shard(s) remaining / {:.2} shards/min over {} live worker(s) ≈ {:.1} s\n",
+            s.eta.shards_remaining,
+            s.eta.aggregate_shards_per_min,
+            s.eta.live_workers,
+            ms as f64 / 1000.0
+        )),
+        None if s.eta.shards_remaining > 0 => out.push_str(&format!(
+            "eta: {} shard(s) remaining, no live worker rate to estimate from\n",
+            s.eta.shards_remaining
+        )),
+        None => {}
     }
     let now = now_unix_ms();
     let dead = s.presences.iter().filter(|(_, e)| *e).count();

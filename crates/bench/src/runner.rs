@@ -51,7 +51,9 @@ pub struct RunRecord {
     pub filtered: bool,
 }
 
-fn classify(verdict: &Verdict) -> InstanceOutcome {
+/// Map a solver verdict onto the recorded outcome taxonomy (shared by the
+/// single-solver runner and the portfolio-race policy).
+pub(crate) fn classify(verdict: &Verdict) -> InstanceOutcome {
     match verdict {
         Verdict::Feasible(_) => InstanceOutcome::Solved,
         Verdict::Infeasible => InstanceOutcome::ProvedInfeasible,

@@ -75,6 +75,17 @@ impl Cell {
     }
 }
 
+/// How the unit stream enumerates the solver axis — decided by the
+/// campaign's execution policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// One unit per `(cell, instance, solver)` (the `single` policy).
+    PerSolver,
+    /// One unit per `(cell, instance)`, solver index pinned to 0 (racing
+    /// policies: the whole roster runs inside the unit).
+    PerInstance,
+}
+
 /// One (cell, instance, solver) run — the atom of campaign work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunUnit {
@@ -112,8 +123,9 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Split a campaign into shards: enumerate run units in (cell, instance,
-/// solver) order, chunk into `shard_size` units, and hash each chunk
-/// together with the campaign `fingerprint`.
+/// solver) order — or (cell, instance) order with the solver axis
+/// collapsed for racing policies — chunk into `shard_size` units, and hash
+/// each chunk together with the campaign `fingerprint`.
 #[must_use]
 pub fn plan_shards(
     cells: &[Cell],
@@ -121,11 +133,16 @@ pub fn plan_shards(
     roster: &[SolverSpec],
     shard_size: usize,
     fingerprint: &str,
+    shape: PlanShape,
 ) -> Vec<Shard> {
+    let solver_slots = match shape {
+        PlanShape::PerSolver => roster.len(),
+        PlanShape::PerInstance => 1,
+    };
     let mut units = Vec::new();
     for (ci, _) in cells.iter().enumerate() {
         for i in 0..instances_per_cell {
-            for (si, _) in roster.iter().enumerate() {
+            for si in 0..solver_slots {
                 units.push(RunUnit {
                     cell: ci,
                     instance: i,
@@ -140,11 +157,15 @@ pub fn plan_shards(
         .map(|(index, chunk)| {
             let mut desc = format!("{fingerprint}\nshard {index}\n");
             for u in chunk {
+                let label = match shape {
+                    PlanShape::PerSolver => roster[u.solver].name(),
+                    PlanShape::PerInstance => "race",
+                };
                 desc.push_str(&format!(
                     "{}|{}|{}\n",
                     cells[u.cell].tag(),
                     u.instance,
-                    roster[u.solver].name()
+                    label
                 ));
             }
             Shard {
@@ -182,8 +203,8 @@ mod tests {
     #[test]
     fn planning_is_deterministic_and_covers_every_unit() {
         let roster = [SolverSpec::Csp1, SolverSpec::Csp1Sat];
-        let a = plan_shards(&cells(), 3, &roster, 4, "fp");
-        let b = plan_shards(&cells(), 3, &roster, 4, "fp");
+        let a = plan_shards(&cells(), 3, &roster, 4, "fp", PlanShape::PerSolver);
+        let b = plan_shards(&cells(), 3, &roster, 4, "fp", PlanShape::PerSolver);
         assert_eq!(a, b);
         let total: usize = a.iter().map(|s| s.units.len()).sum();
         assert_eq!(total, 2 * 3 * 2);
@@ -199,11 +220,35 @@ mod tests {
     #[test]
     fn hash_depends_on_fingerprint_and_content() {
         let roster = [SolverSpec::Csp1];
-        let a = plan_shards(&cells(), 2, &roster, 2, "fp-a");
-        let b = plan_shards(&cells(), 2, &roster, 2, "fp-b");
+        let a = plan_shards(&cells(), 2, &roster, 2, "fp-a", PlanShape::PerSolver);
+        let b = plan_shards(&cells(), 2, &roster, 2, "fp-b", PlanShape::PerSolver);
         assert_ne!(a[0].hash, b[0].hash);
-        let c = plan_shards(&cells(), 2, &[SolverSpec::Csp1Sat], 2, "fp-a");
+        let c = plan_shards(
+            &cells(),
+            2,
+            &[SolverSpec::Csp1Sat],
+            2,
+            "fp-a",
+            PlanShape::PerSolver,
+        );
         assert_ne!(a[0].hash, c[0].hash);
+    }
+
+    #[test]
+    fn per_instance_shape_collapses_the_solver_axis() {
+        let roster = [SolverSpec::Csp1, SolverSpec::Csp1Sat];
+        let per_solver = plan_shards(&cells(), 3, &roster, 4, "fp", PlanShape::PerSolver);
+        let per_instance = plan_shards(&cells(), 3, &roster, 4, "fp", PlanShape::PerInstance);
+        let total = |plan: &[Shard]| plan.iter().map(|s| s.units.len()).sum::<usize>();
+        assert_eq!(total(&per_solver), 2 * 3 * 2);
+        assert_eq!(total(&per_instance), 2 * 3);
+        assert!(per_instance
+            .iter()
+            .flat_map(|s| &s.units)
+            .all(|u| u.solver == 0));
+        // Same fingerprint, different shape ⇒ different hashes (a policy
+        // switch re-shards even before the fingerprint suffix kicks in).
+        assert_ne!(per_solver[0].hash, per_instance[0].hash);
     }
 
     #[test]

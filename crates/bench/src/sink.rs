@@ -37,7 +37,9 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use mgrts_core::engine::SolverSpec;
+use mgrts_core::portfolio::BackendStat;
 
+use crate::policy::{BudgetSource, PolicyKind};
 use crate::runner::{InstanceOutcome, RunRecord};
 use crate::shard::Shard;
 
@@ -77,6 +79,21 @@ pub struct CampaignRecord {
     pub hyperperiod: u64,
     /// The instance's derived seed (replay handle).
     pub seed: u64,
+    /// Which execution policy produced this record. `None` on pre-policy
+    /// segments (PR ≤ 4), which ran the single-solver path.
+    pub policy: Option<PolicyKind>,
+    /// Winning backend of a portfolio-race unit (a measurement: arrival
+    /// order, normalized away by [`canonical_export`]).
+    pub winner: Option<String>,
+    /// Where the unit's wall-clock allowance came from. `None` on
+    /// pre-policy segments (always the manifest limit back then).
+    pub budget_source: Option<BudgetSource>,
+    /// Race cancellation latency, microseconds (portfolio units with a
+    /// winner only).
+    pub cancel_latency_us: Option<u64>,
+    /// Per-backend race stats in roster order (portfolio units only —
+    /// the loser statistics the race would otherwise discard).
+    pub backends: Option<Vec<BackendStat>>,
 }
 
 impl CampaignRecord {
@@ -94,10 +111,25 @@ impl CampaignRecord {
         }
     }
 
-    /// The unit key a resumed campaign dedupes on.
+    /// The unit key a resumed campaign dedupes on. Race units carry a
+    /// deterministic placeholder in `solver` (the roster head), so the key
+    /// is replay-stable under every policy.
     #[must_use]
     pub fn unit_key(&self) -> (usize, u64, SolverSpec) {
         (self.cell, self.instance, self.solver)
+    }
+
+    /// The record's policy, defaulting pre-policy segments to `Single`.
+    #[must_use]
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.unwrap_or(PolicyKind::Single)
+    }
+
+    /// The record's budget provenance, defaulting pre-policy segments to
+    /// the manifest limit.
+    #[must_use]
+    pub fn budget_src(&self) -> BudgetSource {
+        self.budget_source.unwrap_or(BudgetSource::Manifest)
     }
 }
 
@@ -108,6 +140,10 @@ pub struct CheckpointLine {
     pub shard: String,
     /// Number of records the shard contributed.
     pub records: u64,
+    /// Commit wall-clock, milliseconds since the Unix epoch — the sample
+    /// `status` derives per-worker throughput (and the campaign ETA) from.
+    /// `None` on pre-policy segments.
+    pub unix_ms: Option<u64>,
 }
 
 /// File names inside a record-store directory.
@@ -121,6 +157,14 @@ pub const CANONICAL_FILE: &str = "canonical.jsonl";
 
 /// Display name of the default (unsuffixed) writer segment.
 pub const LOCAL_WRITER: &str = "local";
+
+/// Milliseconds since the Unix epoch (the commit-timestamp clock).
+pub(crate) fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 // ---------------------------------------------------------------------------
 // The RecordStore abstraction
@@ -174,6 +218,11 @@ pub trait RecordStore: Send + Sync {
     /// Committed-shard count per writer, sorted by writer id (status
     /// reporting; the default segment reports as [`LOCAL_WRITER`]).
     fn writer_progress(&self) -> std::io::Result<Vec<(String, u64)>>;
+
+    /// Per-writer commit timestamps (ascending ms since the Unix epoch,
+    /// untimestamped pre-policy lines skipped), sorted by writer id — the
+    /// raw series behind per-worker throughput and the `status` ETA.
+    fn writer_checkpoints(&self) -> std::io::Result<Vec<(String, Vec<u64>)>>;
 
     /// Atomically publish a derived artifact (e.g. `BENCH_<name>.json`):
     /// concurrent writers may race, but readers never observe a torn
@@ -358,6 +407,29 @@ impl RecordStore for LocalStore {
         Ok(out)
     }
 
+    fn writer_checkpoints(&self) -> std::io::Result<Vec<(String, Vec<u64>)>> {
+        let mut out = Vec::new();
+        for (id, path) in self.segments("checkpoint")? {
+            let mut times = Vec::new();
+            for line in BufReader::new(File::open(path)?).lines() {
+                let line = line?;
+                if let Ok(cp) = serde_json::from_str::<CheckpointLine>(&line) {
+                    if let Some(ms) = cp.unix_ms {
+                        times.push(ms);
+                    }
+                }
+            }
+            times.sort_unstable();
+            let id = if id.is_empty() {
+                LOCAL_WRITER.to_string()
+            } else {
+                id
+            };
+            out.push((id, times));
+        }
+        Ok(out)
+    }
+
     fn put_artifact(&self, name: &str, contents: &str) -> std::io::Result<()> {
         // The tmp name must be unique per *writer*, not just per process:
         // concurrent worker threads publishing the same artifact would
@@ -449,6 +521,7 @@ impl ShardWriter for RecordSink {
         let line = serde_json::to_string(&CheckpointLine {
             shard: shard.hash.clone(),
             records: records.len() as u64,
+            unix_ms: Some(unix_ms_now()),
         })
         .map_err(std::io::Error::other)?;
         self.checkpoint.write_all(line.as_bytes())?;
@@ -481,17 +554,23 @@ pub fn load_records(dir: &Path) -> std::io::Result<Vec<CampaignRecord>> {
 }
 
 /// Canonical, replay-stable serialization of a record set: sorted unit
-/// order (as produced by [`RecordStore::load_records`]) with the
-/// wall-clock field — the only nondeterministic one — zeroed. Two
-/// campaigns over the same manifest produce byte-identical canonical
-/// exports regardless of interruption, resumption, thread schedule or how
-/// many workers drained the queue.
+/// order (as produced by [`RecordStore::load_records`]) with every
+/// measurement-domain field normalized — wall clock zeroed, and the race /
+/// budget measurements (`winner` is arrival order, `backends` carry
+/// per-backend timings, `budget_source` depends on which samples a worker
+/// had seen) cleared. Two campaigns over the same manifest produce
+/// byte-identical canonical exports regardless of interruption,
+/// resumption, thread schedule or how many workers drained the queue.
 #[must_use]
 pub fn canonical_export(records: &[CampaignRecord]) -> String {
     let mut out = String::new();
     for r in records {
         let mut norm = r.clone();
         norm.time_us = 0;
+        norm.winner = None;
+        norm.budget_source = None;
+        norm.cancel_latency_us = None;
+        norm.backends = None;
         out.push_str(&serde_json::to_string(&norm).expect("record serializes"));
         out.push('\n');
     }
@@ -520,6 +599,11 @@ mod tests {
             hetero: false,
             hyperperiod: 60,
             seed: 7,
+            policy: Some(PolicyKind::Single),
+            winner: None,
+            budget_source: Some(BudgetSource::Manifest),
+            cancel_latency_us: None,
+            backends: None,
         }
     }
 

@@ -195,6 +195,56 @@ pub fn table4(rows: &[Table4Row], roster: &[SolverSpec]) -> String {
     out
 }
 
+/// One grid cell's race-winner tally (the `report winners` row shape).
+#[derive(Debug, Clone)]
+pub struct WinnerRow {
+    /// Canonical cell tag.
+    pub cell: String,
+    /// Units won per roster backend, in roster order.
+    pub wins: Vec<u64>,
+    /// Units nobody won (no definitive verdict within budget).
+    pub none: u64,
+    /// Total race units of the cell.
+    pub units: u64,
+}
+
+/// Format per-cell winner counts of a racing campaign: one line per cell,
+/// one column per roster backend, plus the undecided tally.
+#[must_use]
+pub fn winners(rows: &[WinnerRow], roster: &[SolverSpec]) -> String {
+    if rows.is_empty() {
+        return "no records in this campaign\n".to_string();
+    }
+    let cell_width = rows.iter().map(|r| r.cell.len()).max().unwrap_or(4).max(4);
+    let mut out = format!("{:<cell_width$} |", "cell");
+    for s in roster {
+        out.push_str(&format!(" {:>7}", s.label()));
+    }
+    out.push_str(" |    none   units\n");
+    let width = out.lines().next().unwrap().chars().count();
+    out.push_str(&format!("{}\n", "-".repeat(width)));
+    let mut totals = vec![0u64; roster.len()];
+    let (mut total_none, mut total_units) = (0u64, 0u64);
+    for row in rows {
+        out.push_str(&format!("{:<cell_width$} |", row.cell));
+        for (i, n) in row.wins.iter().enumerate() {
+            out.push_str(&format!(" {n:>7}"));
+            totals[i] += n;
+        }
+        out.push_str(&format!(" | {:>7} {:>7}\n", row.none, row.units));
+        total_none += row.none;
+        total_units += row.units;
+    }
+    if rows.len() > 1 {
+        out.push_str(&format!("{:<cell_width$} |", "total"));
+        for n in &totals {
+            out.push_str(&format!(" {n:>7}"));
+        }
+        out.push_str(&format!(" | {total_none:>7} {total_units:>7}\n"));
+    }
+    out
+}
+
 /// Per-solver verdict counts of one heterogeneous cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeteroCounts {
@@ -366,6 +416,33 @@ mod tests {
         let csp1_line = out.lines().find(|l| l.trim().starts_with("csp1")).unwrap();
         assert!(csp1_line.trim().ends_with('3'), "{csp1_line}");
         assert!(hetero(&[], &[CSP1]).contains("no heterogeneous cells"));
+    }
+
+    #[test]
+    fn winners_tallies_per_cell_and_totals() {
+        let rows = vec![
+            WinnerRow {
+                cell: "n=10/m=5/tmax=7/u=*/hetero=false".to_string(),
+                wins: vec![3, 15],
+                none: 6,
+                units: 24,
+            },
+            WinnerRow {
+                cell: "n=12/m=5/tmax=7/u=*/hetero=false".to_string(),
+                wins: vec![1, 2],
+                none: 0,
+                units: 3,
+            },
+        ];
+        let out = winners(&rows, &[CSP1, DC]);
+        assert!(out.contains("CSP1"), "{out}");
+        assert!(out.contains("+(D-C)"), "{out}");
+        assert!(out.contains("none"), "{out}");
+        let total = out.lines().find(|l| l.starts_with("total")).unwrap();
+        assert!(total.contains("4"), "{total}");
+        assert!(total.contains("17"), "{total}");
+        assert!(total.contains("27"), "{total}");
+        assert!(winners(&[], &[CSP1]).contains("no records"));
     }
 
     #[test]

@@ -8,7 +8,6 @@ use mgrts_core::csp2::Csp2Solver;
 use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, SolverSpec};
 use mgrts_core::heuristics::TaskOrder;
 use mgrts_core::minimal_m::minimal_processors;
-use mgrts_core::portfolio;
 use mgrts_core::verify::check_identical;
 use mgrts_core::{SolveResult, Verdict};
 use rt_gen::{GeneratorConfig, MSpec, ParamOrder, ProblemGenerator};
@@ -263,7 +262,14 @@ pub fn cmd_prob(args: &Args) -> Result<String, CliError> {
 /// `mgrts portfolio <instance> [--m N] [--solvers a,b,c] [--time-ms T]
 /// [--gantt] [--json]` — race a roster of engines with cooperative
 /// cancellation; report the winner and per-backend stats.
+///
+/// Routed through [`mgrts_bench::policy::race_roster`] — the same code
+/// path the campaign engine's `portfolio-race` execution policy runs, so
+/// this subcommand owns no race loop of its own.
 pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
+    use mgrts_bench::policy::{race_roster, render_race};
+    use mgrts_core::engine::PlatformSpec;
+
     let inst = load_instance(args.positional(0, "instance")?)?;
     let m = resolve_m(args, inst.file_m)?;
     let order = parse_order(args)?;
@@ -288,10 +294,16 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
         time: time_budget(args)?,
         ..Budget::unlimited()
     };
-    let race = portfolio::race(&roster, &inst.taskset, m, &budget)?;
+    let race = race_roster(
+        &roster,
+        &inst.taskset,
+        &PlatformSpec::identical(m),
+        &budget,
+        &CancelToken::new(),
+    )?;
 
     let mut out = String::new();
-    match &race.result.verdict {
+    match &race.verdict {
         Verdict::Feasible(s) => {
             out.push_str("FEASIBLE\n");
             if args.switch("json") {
@@ -305,35 +317,23 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
         Verdict::Infeasible => out.push_str("INFEASIBLE\n"),
         Verdict::Unknown(r) => out.push_str(&format!("UNKNOWN ({r:?})\n")),
     }
-    match race.winner_name() {
-        Some(name) => out.push_str(&format!("winner: {name}\n")),
-        None => out.push_str("winner: none (no definitive verdict)\n"),
-    }
-    out.push_str(&format!(
-        "race wall-clock: {:?}\n",
-        Duration::from_micros(race.elapsed_us)
-    ));
-    out.push_str(&format!(
-        "{:<14} {:<22} {:>10} {:>10} {:>12}\n",
-        "backend", "outcome", "decisions", "failures", "elapsed"
-    ));
-    for b in &race.backends {
-        let stats = b.stats();
-        out.push_str(&format!(
-            "{:<14} {:<22} {:>10} {:>10} {:>12}\n",
-            format!("{}{}", b.name, if b.winner { " *" } else { "" }),
-            b.outcome_label(),
-            stats.decisions,
-            stats.failures,
-            format!("{:?}", stats.elapsed()),
-        ));
-    }
+    out.push_str(&render_race(&race));
     Ok(out)
 }
 
-/// `mgrts bench campaign <run|resume|dispatch|worker|status|compact|report|gate>`
-/// — the sharded, resumable (and distributable) experiment-campaign
-/// engine.
+/// `mgrts bench campaign
+/// <run|resume|dispatch|worker|status|compact|report|gate|parity>` — the
+/// sharded, resumable (and distributable) experiment-campaign engine.
+///
+/// Execution-policy flags (on `run` and `dispatch`; override the
+/// manifest's `[policy]` section before planning, and therefore re-shard):
+///
+/// * `--policy single|portfolio-race` — what runs per campaign unit: one
+///   roster solver, or the whole roster raced with cooperative
+///   cancellation;
+/// * `--adaptive-quantile Q [--adaptive-min-samples N]` — wrap the policy
+///   in adaptive budgets: cap each unit's wall clock at the cell's
+///   recorded solve-time quantile once N decided samples exist.
 ///
 /// Single-process verbs:
 ///
@@ -349,39 +349,93 @@ pub fn cmd_portfolio(args: &Args) -> Result<String, CliError> {
 /// * `dispatch --manifest FILE [--out DIR] [--fresh]` — prepare (or
 ///   idempotently join) a shared store and sweep expired leases;
 /// * `worker [--out DIR] [--id ID] [--threads N] [--lease-ttl-ms MS]
-///   [--poll-ms MS] [--max-shards K] [--quiet]` — claim shards via
-///   leases, heartbeat while solving, drain until the campaign completes;
-/// * `status [--out DIR]` — per-worker progress, in-flight and stale
-///   leases, completion;
+///   [--poll-ms MS] [--max-shards K] [--policy P] [--quiet]` — claim
+///   shards via leases, heartbeat while solving, drain until the campaign
+///   completes (`--policy` is a guard: refuse a store whose manifest
+///   declares a different policy);
+/// * `status [--out DIR] [--json]` — per-worker progress and throughput,
+///   in-flight and stale leases, completion ETA (`--json` for
+///   orchestrators / autoscalers);
 /// * `compact [--out DIR]` — merge worker segments, drop superseded
 ///   copies, snapshot `canonical.jsonl`;
 ///
 /// Reporting:
 ///
-/// * `report <table1|table3|table4|hetero|summary> [--out DIR]` — render
-///   a table over the record store;
+/// * `report <table1|table3|table4|hetero|winners|summary> [--out DIR]` —
+///   render a table over the record store (`winners`: per-cell race
+///   winner counts of a portfolio campaign);
 /// * `gate --summary FILE --baseline FILE [--tolerance F]` — CI perf
 ///   gate: fail on > F wall-time regression (default 0.25) or any solver
-///   verdict drift.
+///   verdict drift;
+/// * `parity --race DIR --single DIR` — cross-policy gate: a
+///   portfolio-race store's per-unit verdicts must match the best
+///   single-solver verdict of the same workload (budget straddles warn).
 pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
     use mgrts_bench::campaign::{self, CampaignOptions, Manifest, ReportKind, Summary};
+    use mgrts_bench::policy::{AdaptiveSpec, PolicyMode};
     use mgrts_bench::queue::{self, WorkerOptions};
     use mgrts_core::engine::CancelGroup;
     use std::path::PathBuf;
 
     if args.positional(0, "campaign")? != "campaign" {
         return Err(CliError::Other(
-            "usage: mgrts bench campaign <run|resume|dispatch|worker|status|compact|report|gate> …"
+            "usage: mgrts bench campaign \
+             <run|resume|dispatch|worker|status|compact|report|gate|parity> …"
                 .into(),
         ));
     }
-    let verb = args.positional(1, "run|resume|dispatch|worker|status|compact|report|gate")?;
+    let verb = args.positional(
+        1,
+        "run|resume|dispatch|worker|status|compact|report|gate|parity",
+    )?;
+    // Apply the policy-selection flags on top of a loaded manifest.
+    let apply_policy = |manifest: &mut Manifest| -> Result<(), CliError> {
+        if let Some(mode) = args.opt_str("policy") {
+            manifest.policy.mode = mode.parse::<PolicyMode>().map_err(CliError::Other)?;
+        }
+        match args.opt::<f64>("adaptive-quantile", "a quantile in (0, 1]")? {
+            Some(q) => {
+                let min_samples = args.opt_or::<u64>(
+                    "adaptive-min-samples",
+                    "a sample count",
+                    AdaptiveSpec::DEFAULT_MIN_SAMPLES,
+                )?;
+                manifest.policy.adaptive = Some(
+                    AdaptiveSpec::new(q, min_samples)
+                        .map_err(|e| CliError::Other(format!("--adaptive-quantile: {e}")))?,
+                );
+            }
+            None => {
+                if args.opt_str("adaptive-min-samples").is_some() {
+                    return Err(CliError::Other(
+                        "--adaptive-min-samples requires --adaptive-quantile".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
     let out_dir = |manifest: Option<&Manifest>| -> Result<PathBuf, CliError> {
         if let Some(dir) = args.opt_str("out") {
             return Ok(PathBuf::from(dir));
         }
         match manifest {
-            Some(m) => Ok(PathBuf::from(format!("target/campaigns/{}", m.name))),
+            Some(m) => {
+                // The default store is keyed by campaign name *and* policy:
+                // one manifest now yields different campaigns per policy,
+                // and `run`'s fresh start clears the target directory — a
+                // race re-run of the smoke manifest must not silently wipe
+                // the single-solver store it will be compared against.
+                let mut name = m.name.clone();
+                if !m.policy.is_default() {
+                    name.push('-');
+                    name.push_str(m.policy.mode.name());
+                    if m.policy.adaptive.is_some() {
+                        name.push_str("-adaptive");
+                    }
+                }
+                Ok(PathBuf::from(format!("target/campaigns/{name}")))
+            }
             None => Err(CliError::Other(
                 "no --out and no manifest to derive it from".into(),
             )),
@@ -401,7 +455,8 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
     match verb {
         "run" => {
             let path: String = args.req("manifest", "a manifest file")?;
-            let manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            let mut manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            apply_policy(&mut manifest)?;
             let dir = out_dir(Some(&manifest))?;
             let outcome = campaign::run_fresh(&manifest, &dir, &opts, &CancelGroup::new())
                 .map_err(campaign_err)?;
@@ -423,7 +478,8 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         "dispatch" => {
             let path: String = args.req("manifest", "a manifest file")?;
-            let manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            let mut manifest = Manifest::load(std::path::Path::new(&path)).map_err(campaign_err)?;
+            apply_policy(&mut manifest)?;
             let dir = out_dir(Some(&manifest))?;
             let report =
                 queue::dispatch(&manifest, &dir, args.switch("fresh")).map_err(campaign_err)?;
@@ -444,6 +500,28 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         "worker" => {
             let dir = out_dir(None)?;
+            // --policy on a worker is a guard, not an override: the policy
+            // lives in the dispatched manifest (it shapes the shard plan),
+            // so a worker started for the wrong policy must refuse early
+            // rather than silently run whatever the store declares.
+            if let Some(expect) = args.opt_str("policy") {
+                use mgrts_bench::sink::{LocalStore, RecordStore};
+                let expect = expect.parse::<PolicyMode>().map_err(CliError::Other)?;
+                let store = LocalStore::open(&dir)?;
+                let stored = Manifest::parse(
+                    &store
+                        .read_manifest()
+                        .map_err(|e| CliError::Other(format!("store has no manifest: {e}")))?,
+                )
+                .map_err(campaign_err)?;
+                if stored.policy.mode != expect {
+                    return Err(CliError::Other(format!(
+                        "store {} was dispatched with policy `{}`, worker expects `{expect}`",
+                        dir.display(),
+                        stored.policy.mode
+                    )));
+                }
+            }
             let defaults = WorkerOptions::default();
             let wopts = WorkerOptions {
                 id: args
@@ -471,7 +549,31 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         "status" => {
             let dir = out_dir(None)?;
             let report = queue::status(&dir).map_err(campaign_err)?;
-            Ok(queue::render_status(&report))
+            if args.switch("json") {
+                let mut out = serde_json::to_string_pretty(&report)
+                    .map_err(|e| CliError::Other(e.to_string()))?;
+                out.push('\n');
+                Ok(out)
+            } else {
+                Ok(queue::render_status(&report))
+            }
+        }
+        "parity" => {
+            let race: String = args.req("race", "a portfolio-race store directory")?;
+            let single: String = args.req("single", "a single-solver store directory")?;
+            let report =
+                campaign::parity(std::path::Path::new(&race), std::path::Path::new(&single))
+                    .map_err(campaign_err)?;
+            let body = report
+                .lines
+                .iter()
+                .map(|l| format!("  {l}\n"))
+                .collect::<String>();
+            if report.ok {
+                Ok(format!("POLICY PARITY PASS\n{body}"))
+            } else {
+                Err(CliError::Other(format!("POLICY PARITY FAIL\n{body}")))
+            }
         }
         "compact" => {
             let dir = out_dir(None)?;
@@ -488,7 +590,7 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         "report" => {
             let kind: ReportKind = args
-                .positional(2, "table1|table3|table4|hetero|summary")?
+                .positional(2, "table1|table3|table4|hetero|winners|summary")?
                 .parse()
                 .map_err(CliError::Other)?;
             let dir = out_dir(None)?;
@@ -517,7 +619,7 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         other => Err(CliError::Other(format!(
             "unknown campaign verb {other:?} \
-             (expected run|resume|dispatch|worker|status|compact|report|gate)"
+             (expected run|resume|dispatch|worker|status|compact|report|gate|parity)"
         ))),
     }
 }
@@ -564,18 +666,25 @@ pub fn usage() -> String {
        bench campaign run   execute a campaign manifest (sharded, resumable)\n\
                             --manifest FILE [--out DIR] [--threads N]\n\
                             [--max-shards K] [--quiet]\n\
+                            [--policy single|portfolio-race]\n\
+                            [--adaptive-quantile Q [--adaptive-min-samples N]]\n\
        bench campaign resume  continue a killed campaign --out DIR\n\
        bench campaign dispatch  prepare/join a shared store for workers\n\
                             --manifest FILE [--out DIR] [--fresh]\n\
+                            [--policy P] [--adaptive-quantile Q]\n\
        bench campaign worker  claim + solve shards via leases until done\n\
                             --out DIR [--id ID] [--threads N]\n\
                             [--lease-ttl-ms MS] [--poll-ms MS]\n\
-                            [--max-shards K] [--quiet]\n\
-       bench campaign status  per-worker progress and (stale) leases --out DIR\n\
+                            [--max-shards K] [--policy P] [--quiet]\n\
+       bench campaign status  per-worker progress, throughput + ETA\n\
+                            --out DIR [--json]\n\
        bench campaign compact  merge segments, drop stale copies --out DIR\n\
-       bench campaign report  <table1|table3|table4|hetero|summary> --out DIR\n\
+       bench campaign report  <table1|table3|table4|hetero|winners|summary>\n\
+                            --out DIR\n\
        bench campaign gate  compare BENCH summaries (CI perf gate)\n\
                             --summary FILE --baseline FILE [--tolerance F]\n\
+       bench campaign parity  portfolio-race verdicts vs single-solver runs\n\
+                            --race DIR --single DIR\n\
      \n\
      Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
      or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"

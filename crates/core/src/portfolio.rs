@@ -22,8 +22,11 @@
 //! doubles as a comparative measurement harness (`mgrts portfolio`,
 //! `benches/portfolio.rs`).
 
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 
 use rt_task::{TaskError, TaskSet};
 
@@ -43,11 +46,44 @@ pub struct BackendReport {
     pub winner: bool,
 }
 
+/// Serializable per-backend race statistics — the shape campaign records
+/// and bench tables persist (a [`BackendReport`] without the unserializable
+/// schedule / error payloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendStat {
+    /// Backend name ([`FeasibilitySolver::name`]).
+    pub name: String,
+    /// Compact outcome label ([`BackendReport::outcome_label`]).
+    pub outcome: String,
+    /// Wall-clock of this backend's own solve, microseconds.
+    pub time_us: u64,
+    /// Decisions (assignment choice points).
+    pub decisions: u64,
+    /// Failures / backtracks.
+    pub failures: u64,
+    /// Did this backend's verdict win the race?
+    pub winner: bool,
+}
+
 impl BackendReport {
     /// Search counters (zeros when the backend errored out).
     #[must_use]
     pub fn stats(&self) -> SolveStats {
         self.result.as_ref().map(|r| r.stats).unwrap_or_default()
+    }
+
+    /// Project onto the serializable [`BackendStat`] shape.
+    #[must_use]
+    pub fn stat(&self) -> BackendStat {
+        let stats = self.stats();
+        BackendStat {
+            name: self.name.clone(),
+            outcome: self.outcome_label(),
+            time_us: stats.elapsed_us,
+            decisions: stats.decisions,
+            failures: stats.failures,
+            winner: self.winner,
+        }
     }
 
     /// Compact outcome label for tables.
@@ -86,6 +122,23 @@ impl PortfolioResult {
     pub fn winner_name(&self) -> Option<&str> {
         self.winner.map(|i| self.backends[i].name.as_str())
     }
+
+    /// Serializable per-backend stats, in roster order.
+    #[must_use]
+    pub fn backend_stats(&self) -> Vec<BackendStat> {
+        self.backends.iter().map(BackendReport::stat).collect()
+    }
+
+    /// Cancellation latency: wall-clock between the winner's own verdict
+    /// and the whole race returning (i.e. how long the losers took to
+    /// notice the raised token and stop). `None` when nobody won.
+    #[must_use]
+    pub fn cancel_latency_us(&self) -> Option<u64> {
+        self.winner.map(|i| {
+            self.elapsed_us
+                .saturating_sub(self.backends[i].stats().elapsed_us)
+        })
+    }
 }
 
 /// Race `roster` on `m` identical processors. See the module docs for the
@@ -106,6 +159,58 @@ pub fn race_on(
     spec: &PlatformSpec,
     budget: &Budget,
 ) -> Result<PortfolioResult, TaskError> {
+    race_inner(roster, ts, spec, budget, None)
+}
+
+/// Race `roster` under an *external* cancellation token — the entry point
+/// execution policies build on. The race keeps its own internal token
+/// (raised by the first definitive verdict), and a monitor propagates the
+/// external token into it, so a campaign-level cancellation preempts every
+/// backend at its next checkpoint; the overall verdict then comes back
+/// `Unknown(Cancelled)` and the caller can requeue the unit.
+pub fn race_cancellable(
+    roster: &[Box<dyn FeasibilitySolver>],
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    budget: &Budget,
+    external: &CancelToken,
+) -> Result<PortfolioResult, TaskError> {
+    race_inner(roster, ts, spec, budget, Some(external))
+}
+
+/// Decrement the race's running-backend count when dropped and wake the
+/// cancellation monitor once it reaches zero. Drop-based so the count
+/// stays honest even when a backend thread panics (a soundness panic must
+/// propagate out of the scope, not hang the monitor), and notify-based so
+/// the monitor exits the moment the last backend returns instead of
+/// serving out a poll tick — the monitor is joined inside the measured
+/// window, so a sleep tail would inflate every race's `elapsed_us` (and
+/// through it the recorded cancellation latency and adaptive-budget
+/// samples).
+struct RunningGuard<'a> {
+    running: &'a AtomicUsize,
+    wake: &'a (Mutex<()>, Condvar),
+}
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        if self.running.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Acquire the monitor's mutex before notifying: the monitor
+            // re-checks the count under this lock before waiting, so the
+            // notify can never land in the gap between its check and wait.
+            drop(self.wake.0.lock().unwrap_or_else(|e| e.into_inner()));
+            self.wake.1.notify_all();
+        }
+    }
+}
+
+fn race_inner(
+    roster: &[Box<dyn FeasibilitySolver>],
+    ts: &TaskSet,
+    spec: &PlatformSpec,
+    budget: &Budget,
+    external: Option<&CancelToken>,
+) -> Result<PortfolioResult, TaskError> {
     assert!(!roster.is_empty(), "portfolio roster must not be empty");
     let start = Instant::now();
     let cancel = CancelToken::new();
@@ -114,12 +219,50 @@ pub fn race_on(
     let winner: Mutex<Option<usize>> = Mutex::new(None);
     let mut slots: Vec<Option<Result<SolveResult, TaskError>>> =
         (0..roster.len()).map(|_| None).collect();
+    let running = AtomicUsize::new(roster.len());
+    let wake = (Mutex::new(()), Condvar::new());
 
     std::thread::scope(|scope| {
+        // External-cancellation monitor: polls the caller's token and
+        // propagates it into the race's internal one, then exits as soon
+        // as either fires or every backend has returned (the last
+        // backend's [`RunningGuard`] wakes it immediately — no sleep tail
+        // on the measured wall clock). Only spawned when an external token
+        // exists; `race`/`race_on` callers pay nothing.
+        if let Some(external) = external {
+            let cancel = cancel.clone();
+            let running = &running;
+            let wake = &wake;
+            let external = external.clone();
+            scope.spawn(move || {
+                // Exponential poll backoff (50 µs → 2 ms) for the
+                // external-token checks; backend completion interrupts the
+                // wait via the condvar instead of waiting out a tick.
+                let mut tick = Duration::from_micros(50);
+                loop {
+                    if running.load(Ordering::Acquire) == 0 || cancel.is_cancelled() {
+                        break;
+                    }
+                    if external.is_cancelled() {
+                        cancel.cancel();
+                        break;
+                    }
+                    let guard = wake.0.lock().unwrap_or_else(|e| e.into_inner());
+                    if running.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let _ = wake.1.wait_timeout(guard, tick);
+                    tick = (tick * 2).min(Duration::from_millis(2));
+                }
+            });
+        }
         for (i, (solver, slot)) in roster.iter().zip(slots.iter_mut()).enumerate() {
             let cancel = cancel.clone();
             let winner = &winner;
+            let running = &running;
+            let wake = &wake;
             scope.spawn(move || {
+                let _running_guard = RunningGuard { running, wake };
                 let res = solver.solve_on(ts, spec, budget, &cancel);
                 if let Ok(r) = &res {
                     let definitive = match &r.verdict {
@@ -352,6 +495,67 @@ mod tests {
             generic.result.as_ref().unwrap().verdict,
             Verdict::Unknown(StopReason::Unsupported)
         );
+    }
+
+    #[test]
+    fn external_token_preempts_and_stats_serialize() {
+        // A dense instance that needs real search: a pre-raised external
+        // token must stop every backend without producing a verdict (fast
+        // instances may still decide inside the first checkpoint window —
+        // what is forbidden is a *wrong* verdict).
+        let ts = TaskSet::from_ocdt(&[
+            (0, 2, 3, 4),
+            (0, 3, 4, 4),
+            (1, 2, 3, 4),
+            (0, 1, 2, 2),
+            (0, 2, 4, 4),
+            (0, 1, 3, 3),
+        ]);
+        let external = CancelToken::new();
+        external.cancel();
+        let r = race_cancellable(
+            &roster(&[
+                SolverSpec::Csp2(crate::heuristics::TaskOrder::DeadlineMinusWcet),
+                SolverSpec::Csp1,
+            ]),
+            &ts,
+            &PlatformSpec::identical(2),
+            &Budget::unlimited(),
+            &external,
+        )
+        .unwrap();
+        if r.winner.is_none() {
+            assert_eq!(r.result.verdict, Verdict::Unknown(StopReason::Cancelled));
+            assert_eq!(r.cancel_latency_us(), None);
+        }
+        // Per-backend stats project to the serializable shape and
+        // round-trip through JSON.
+        let stats = r.backend_stats();
+        assert_eq!(stats.len(), 2);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: Vec<BackendStat> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn cancel_latency_is_race_minus_winner_time() {
+        let ts = TaskSet::running_example();
+        let r = race(
+            &roster(&SolverSpec::DEFAULT_PORTFOLIO),
+            &ts,
+            2,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let w = r.winner.expect("someone wins");
+        let lat = r.cancel_latency_us().expect("winner implies latency");
+        assert_eq!(
+            lat,
+            r.elapsed_us
+                .saturating_sub(r.backends[w].stats().elapsed_us)
+        );
+        // Exactly one backend carries the winner flag in the stats too.
+        assert_eq!(r.backend_stats().iter().filter(|s| s.winner).count(), 1);
     }
 
     #[test]

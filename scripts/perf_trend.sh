@@ -5,7 +5,7 @@
 # of only the single-baseline gate.
 #
 # Usage:
-#   scripts/perf_trend.sh <dir-with-BENCH_*.json> [more dirs/files...]
+#   scripts/perf_trend.sh [--fail-on-warn] <dir-with-BENCH_*.json> [more dirs/files...]
 #
 # Files are ordered by modification time (a downloaded artifact keeps the
 # run's timestamp; rename files to NNN-BENCH_x.json to force an order —
@@ -13,11 +13,19 @@
 #
 # Output: one row per summary — wall-clock, record count, total solved /
 # infeasible / overrun across solvers — plus a trend verdict comparing
-# the newest wall time against the median of the rest.
+# the newest wall time against the median of the rest. By default the
+# verdict is advisory (always exit 0); with --fail-on-warn a >1.5x-median
+# newest wall time exits 1, so CI can enforce the trend as a gate.
 set -euo pipefail
 
+fail_on_warn=0
+if [[ "${1:-}" == "--fail-on-warn" ]]; then
+  fail_on_warn=1
+  shift
+fi
+
 if [[ $# -lt 1 ]]; then
-  echo "usage: scripts/perf_trend.sh <dir-or-BENCH_*.json>..." >&2
+  echo "usage: scripts/perf_trend.sh [--fail-on-warn] <dir-or-BENCH_*.json>..." >&2
   exit 2
 fi
 
@@ -35,7 +43,7 @@ if [[ ${#files[@]} -eq 0 ]]; then
   exit 2
 fi
 
-python3 - "${files[@]}" <<'PY'
+FAIL_ON_WARN="$fail_on_warn" python3 - "${files[@]}" <<'PY'
 import json, os, statistics, sys
 
 rows = []
@@ -73,7 +81,9 @@ if len(walls) >= 3:
           f"over {len(history)} prior run(s) ({delta:+.1f}%)")
     if median and newest > median * 1.5:
         print("trend: WARNING — newest wall time is >1.5x the historical median")
-        sys.exit(1)
+        if os.environ.get("FAIL_ON_WARN") == "1":
+            sys.exit(1)
+        print("trend: advisory mode (pass --fail-on-warn to enforce)")
 else:
     print("\ntrend: need >= 3 summaries for a median comparison")
 PY
