@@ -1174,8 +1174,27 @@ pub fn report(out_dir: &Path, kind: ReportKind) -> Result<String, CampaignError>
 }
 
 /// Render a report over any [`RecordStore`].
+///
+/// The per-solver paper tables (`table1`/`table3`/`table4`) are refused
+/// over a portfolio-race store: race units carry a deterministic
+/// placeholder in their `solver` field, so grouping by it would silently
+/// attribute every unit to the roster head. `report winners` is the
+/// race-aware view.
 pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String, CampaignError> {
     let manifest = Manifest::parse(&store.read_manifest()?)?;
+    if manifest.policy.mode == PolicyMode::PortfolioRace
+        && matches!(
+            kind,
+            ReportKind::Table1 | ReportKind::Table3 | ReportKind::Table4
+        )
+    {
+        return Err(CampaignError::Store(format!(
+            "store {} was produced by a portfolio-race policy; race units carry a \
+             placeholder solver, so the per-solver paper tables would misattribute \
+             every unit to the roster head — use `report winners` instead",
+            manifest.name
+        )));
+    }
     let records = store.load_records()?;
     Ok(match kind {
         ReportKind::Table1 => report_table1(&manifest, &records),
@@ -1192,42 +1211,29 @@ pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String,
     })
 }
 
-/// Warning prefix for the per-solver paper tables when the store was not
-/// produced by the single-solver policy: race units carry a deterministic
-/// placeholder in their `solver` field, so grouping by it would silently
-/// attribute every unit to the roster head.
-fn per_solver_report_note(manifest: &Manifest) -> &'static str {
-    match manifest.policy.mode {
-        PolicyMode::Single => "",
-        PolicyMode::PortfolioRace => {
-            "\nnote: this store was produced by a portfolio-race policy; race units \
-             carry a\nplaceholder solver, so per-solver columns are not meaningful — \
-             see `report winners`\n"
-        }
-    }
-}
-
 /// Tables I & II over campaign records — byte-identical to the `table1`
-/// binary's stdout for an equivalent manifest.
+/// binary's stdout for an equivalent manifest. Callers going through
+/// [`report_store`] never reach this with a portfolio-race store (the
+/// per-solver grouping is meaningless there — see `report winners`).
 #[must_use]
 pub fn report_table1(manifest: &Manifest, records: &[CampaignRecord]) -> String {
     let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
     let total = manifest.cells.len() as u64 * manifest.instances_per_cell;
     format!(
-        "{}\nTABLE I — number of runs reaching the time limit\n\n{}\n\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n\n{}",
-        per_solver_report_note(manifest),
+        "\nTABLE I — number of runs reaching the time limit\n\n{}\n\nTABLE II — unsolved runs reaching the limit, by r > 1 filter\n\n{}",
         tables::table1(&runs, &manifest.roster, total),
         tables::table2(&runs, &manifest.roster)
     )
 }
 
-/// Table III over campaign records.
+/// Table III over campaign records. (`_manifest` kept for signature
+/// symmetry with the other table renderers; Table III has no per-solver
+/// columns.)
 #[must_use]
-pub fn report_table3(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+pub fn report_table3(_manifest: &Manifest, records: &[CampaignRecord]) -> String {
     let runs: Vec<_> = records.iter().map(CampaignRecord::to_run_record).collect();
     format!(
-        "{}\nTABLE III — instance distribution and mean resolution time by r\n\n{}",
-        per_solver_report_note(manifest),
+        "\nTABLE III — instance distribution and mean resolution time by r\n\n{}",
         tables::table3(&runs)
     )
 }
@@ -1281,8 +1287,7 @@ pub fn report_table4(manifest: &Manifest, records: &[CampaignRecord]) -> String 
         });
     }
     format!(
-        "{}\nTABLE IV — experiments with a growing number of tasks\n\n{}",
-        per_solver_report_note(manifest),
+        "\nTABLE IV — experiments with a growing number of tasks\n\n{}",
         tables::table4(&rows, &manifest.roster)
     )
 }
@@ -1788,6 +1793,36 @@ solvers = ["csp2-dc", "sat"]
                 sv.solved + sv.infeasible + sv.overrun + sv.too_large + sv.unsupported
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_solver_tables_refuse_a_portfolio_race_store() {
+        let mut manifest = Manifest::parse(SMOKE).unwrap();
+        manifest.policy.mode = PolicyMode::PortfolioRace;
+        let dir = tmp("race-report");
+        run_fresh(
+            &manifest,
+            &dir,
+            &CampaignOptions {
+                threads: 2,
+                progress: false,
+                max_shards: None,
+            },
+            &CancelGroup::new(),
+        )
+        .unwrap();
+        // The per-solver paper tables would misattribute race units to the
+        // roster head; the report layer refuses and points at `winners`.
+        for kind in [ReportKind::Table1, ReportKind::Table3, ReportKind::Table4] {
+            let err = report(&dir, kind).unwrap_err().to_string();
+            assert!(err.contains("`report winners`"), "unexpected error: {err}");
+        }
+        // The race-aware views still render.
+        assert!(report(&dir, ReportKind::Winners)
+            .unwrap()
+            .contains("WINNERS"));
+        report(&dir, ReportKind::Summary).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

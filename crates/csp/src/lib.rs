@@ -17,6 +17,12 @@
 //!   counters in trailed cells, updated by per-variable deltas instead of
 //!   rescanning its scope on every wake (the pre-incremental engine is
 //!   retained as [`reference::RefSolver`] for differential testing);
+//! * **domain-consistent global constraints**: `AllDifferent` /
+//!   `AllDifferentExcept` filter with Régin's algorithm — an incrementally
+//!   repaired maximum matching in trailed cells ([`matching::Matching`])
+//!   plus Tarjan SCC filtering of the residual value graph ([`graph::Scc`])
+//!   — while `Table` / `Element` use residual supports and `Or` two watched
+//!   literals with trailed entailment;
 //! * depth-first search with pluggable variable/value ordering heuristics,
 //!   seeded randomization and geometric restarts ([`solver::Solver`]), so the
 //!   randomized behaviour the paper observed with Choco ("multiple executions
@@ -52,6 +58,8 @@
 //! ```
 
 pub mod constraints;
+pub mod graph;
+pub mod matching;
 pub mod model;
 pub mod propagators;
 pub mod reference;

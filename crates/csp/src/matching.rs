@@ -1,0 +1,264 @@
+//! Incremental maximum bipartite matching with trailed repair, the flow
+//! half of Régin's GAC `AllDifferent` filter.
+//!
+//! # The matching-repair invariant
+//!
+//! The matching (`matched value per variable`, `owning variable per value`)
+//! lives in trailed [`Store`] state cells, so **backtracking rewinds the
+//! matching in lockstep with the domains it was computed against**. A
+//! matching that was maximum when it was stored can only be invalidated by
+//! *new* domain removals — never by backtracking past them — so repair work
+//! after a wakeup is proportional to the damage done since the last run on
+//! this branch:
+//!
+//! 1. **Revalidate**: every variable whose matched value fell out of its
+//!    domain is unmatched (and its value freed).
+//! 2. **Re-augment**: each now-free variable searches for an augmenting
+//!    alternating path (Kuhn's DFS with per-phase visit stamps). Matched
+//!    pairs that survived step 1 are reused as-is — this is what makes the
+//!    matching *incremental* rather than recomputed from scratch.
+//! 3. If some variable admits no augmenting path the matching cannot cover
+//!    all variables and the constraint is unsatisfiable (Hall violation) —
+//!    the repair reports the offending variable.
+//!
+//! # The `except` value
+//!
+//! `AllDifferentExcept` gives one value unlimited capacity: any number of
+//! variables may take it. In flow terms its value node has capacity `n`
+//! instead of 1, and since at most `n` variables exist it always has spare
+//! room — a free variable with the except value in its domain matches it
+//! immediately, and the DFS never needs to displace anything from it. The
+//! owner cell of the except value is unused; a trailed counter of how many
+//! variables currently match it drives the residual sink arcs instead.
+
+use crate::store::{EmptyDomain, StateId, Store, Val, VarId};
+
+/// Cell value meaning "unmatched" (no value / no owner).
+const FREE: i64 = -1;
+
+/// A maximum matching between the variables of one `AllDifferent` scope and
+/// their dense value universe `[lo, lo + num_values)`, stored in trailed
+/// state cells so it survives (and rewinds across) backtracking.
+#[derive(Debug)]
+pub struct Matching {
+    /// The (deduplicated) variable scope.
+    vars: Vec<VarId>,
+    /// Lowest value of the dense universe.
+    lo: Val,
+    /// Universe width: values are indexed `0..num_values` as `val - lo`.
+    num_values: usize,
+    /// Dense index of the unlimited-capacity value, if any.
+    except: Option<usize>,
+    /// Per variable position: dense index of its matched value, or `FREE`.
+    matched: Vec<StateId>,
+    /// Per real value index: position of the owning variable, or `FREE`.
+    /// Unused (stays `FREE`) for the except value.
+    owner: Vec<StateId>,
+    /// Number of variables currently matched to the except value (trailed;
+    /// meaningful only when `except` is set).
+    except_uses: StateId,
+    /// Kuhn DFS visit stamps per value index, versioned so clearing between
+    /// augmentation phases is O(1).
+    visited: Vec<u64>,
+    visit_stamp: u64,
+    /// Scratch list of variable positions needing augmentation.
+    pending: Vec<usize>,
+}
+
+impl Matching {
+    /// Allocate the trailed cells for a scope over the universe
+    /// `[lo, lo + num_values)`. `except` is the unlimited-capacity value
+    /// (dense-indexed), if the constraint has one. Must be called at the
+    /// root level, before search starts.
+    pub fn new(
+        store: &mut Store,
+        vars: Vec<VarId>,
+        lo: Val,
+        num_values: usize,
+        except: Option<usize>,
+    ) -> Self {
+        let matched = vars.iter().map(|_| store.new_state_cell(FREE)).collect();
+        let owner = (0..num_values)
+            .map(|_| store.new_state_cell(FREE))
+            .collect();
+        let except_uses = store.new_state_cell(0);
+        Matching {
+            vars,
+            lo,
+            num_values,
+            except,
+            matched,
+            owner,
+            except_uses,
+            visited: vec![0; num_values],
+            visit_stamp: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The deduplicated scope.
+    #[must_use]
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Lowest value of the universe.
+    #[must_use]
+    pub fn lo(&self) -> Val {
+        self.lo
+    }
+
+    /// Universe width.
+    #[must_use]
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// Dense index of the except value, if any.
+    #[must_use]
+    pub fn except(&self) -> Option<usize> {
+        self.except
+    }
+
+    /// Dense index of the value `vars[pos]` is matched to (`None` if the
+    /// matching is stale for that variable — call [`Matching::repair`]
+    /// first).
+    #[must_use]
+    pub fn matched_index(&self, store: &Store, pos: usize) -> Option<usize> {
+        let m = store.state(self.matched[pos]);
+        usize::try_from(m).ok()
+    }
+
+    /// How many variables are matched to the except value.
+    #[must_use]
+    pub fn except_uses(&self, store: &Store) -> i64 {
+        store.state(self.except_uses)
+    }
+
+    /// Position of the variable owning real value `vi`, if any. Always
+    /// `None` for the except value (its capacity is tracked by
+    /// [`Matching::except_uses`] instead).
+    #[must_use]
+    pub fn owner_pos(&self, store: &Store, vi: usize) -> Option<usize> {
+        usize::try_from(store.state(self.owner[vi])).ok()
+    }
+
+    /// Restore the matching to a maximum one under the current domains:
+    /// revalidate every pair, then re-augment freed variables. Returns the
+    /// variable that cannot be matched if the constraint is unsatisfiable.
+    pub fn repair(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        self.pending.clear();
+        for pos in 0..self.vars.len() {
+            let cell = self.matched[pos];
+            let m = store.state(cell);
+            if m == FREE {
+                self.pending.push(pos);
+                continue;
+            }
+            let vi = m as usize;
+            if store.contains(self.vars[pos], self.lo + vi as Val) {
+                continue;
+            }
+            // Matched value fell out of the domain: unmatch.
+            store.set_state(cell, FREE);
+            if Some(vi) == self.except {
+                let uses = store.state(self.except_uses);
+                store.set_state(self.except_uses, uses - 1);
+            } else {
+                store.set_state(self.owner[vi], FREE);
+            }
+            self.pending.push(pos);
+        }
+        for i in 0..self.pending.len() {
+            let pos = self.pending[i];
+            if store.state(self.matched[pos]) != FREE {
+                continue; // displaced and re-placed by an earlier augmentation
+            }
+            self.visit_stamp += 1;
+            if !self.augment(store, pos) {
+                return Err(EmptyDomain(self.vars[pos]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Kuhn DFS from the free variable at `pos`: try to match it to some
+    /// value, displacing current owners along an alternating path. The
+    /// except value (always spare capacity for a free variable) is tried
+    /// first because taking it never displaces anyone.
+    fn augment(&mut self, store: &mut Store, pos: usize) -> bool {
+        let var = self.vars[pos];
+        if let Some(e) = self.except {
+            let ev = self.lo + e as Val;
+            if store.contains(var, ev) {
+                store.set_state(self.matched[pos], e as i64);
+                let uses = store.state(self.except_uses);
+                store.set_state(self.except_uses, uses + 1);
+                return true;
+            }
+        }
+        let (base, words) = store.domain_words(var);
+        debug_assert!(base >= self.lo);
+        let shift = (base - self.lo) as usize;
+        // Snapshot the domain words onto this DFS frame: the search below
+        // mutates only state cells, never domains, so the copy stays valid,
+        // and a per-frame copy (rather than shared scratch) survives the
+        // recursive displacement calls. Domains wider than 512 values fall
+        // back to a heap copy.
+        let nwords = words.len();
+        let mut stack_words = [0u64; 8];
+        let heap_words: Vec<u64>;
+        let cand: &[u64] = if nwords <= stack_words.len() {
+            stack_words[..nwords].copy_from_slice(words);
+            &stack_words[..nwords]
+        } else {
+            heap_words = words.to_vec();
+            &heap_words
+        };
+        for (wi, &word) in cand.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let vi = shift + wi * 64 + b;
+                if Some(vi) == self.except || self.visited[vi] == self.visit_stamp {
+                    continue;
+                }
+                self.visited[vi] = self.visit_stamp;
+                if self.try_take(store, pos, vi) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Claim value `vi` for `vars[pos]`, recursively displacing its current
+    /// owner if it has one and the owner can re-augment elsewhere.
+    fn try_take(&mut self, store: &mut Store, pos: usize, vi: usize) -> bool {
+        let owner_cell = self.owner[vi];
+        let current = store.state(owner_cell);
+        if current == FREE || self.displace(store, current as usize) {
+            store.set_state(owner_cell, pos as i64);
+            store.set_state(self.matched[pos], vi as i64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-augment a displaced variable (its value is being claimed by the
+    /// caller; the displaced variable must find another one).
+    fn displace(&mut self, store: &mut Store, pos: usize) -> bool {
+        // Temporarily free it, then reuse the augment path. If it fails the
+        // caller leaves the original assignment in place.
+        let prev = store.state(self.matched[pos]);
+        store.set_state(self.matched[pos], FREE);
+        if self.augment(store, pos) {
+            true
+        } else {
+            store.set_state(self.matched[pos], prev);
+            false
+        }
+    }
+}

@@ -31,9 +31,10 @@
 
 use crate::constraints::{
     div_ceil, div_floor, propagate_all_different, propagate_all_different_except,
-    propagate_element, propagate_leq_var, propagate_not_equal, propagate_or, propagate_reified_leq,
-    propagate_table, Constraint,
+    propagate_leq_var, propagate_not_equal, propagate_reified_leq, Constraint,
 };
+use crate::graph::Scc;
+use crate::matching::Matching;
 use crate::store::{EmptyDomain, EventMask, StateId, Store, Val, VarId};
 
 /// A constraint's runtime form: event subscriptions plus (optionally
@@ -70,6 +71,15 @@ pub trait Propagator: std::fmt::Debug + Send {
     fn entailed_flag(&self) -> Option<StateId> {
         None
     }
+
+    /// Whether the propagator consumes the `pending` changed-variable list.
+    /// Propagators that re-derive everything from the domains (the GAC
+    /// all-different and the residual-support family) return `false`, and
+    /// the solver skips recording pending variables for them on the
+    /// event-dispatch hot path.
+    fn wants_pending(&self) -> bool {
+        true
+    }
 }
 
 /// Build the propagator for a posted constraint, allocating its trailed
@@ -97,14 +107,10 @@ pub(crate) fn build(c: &Constraint, store: &mut Store) -> Box<dyn Propagator> {
         Constraint::CountEq { vars, value, rhs } => {
             Box::new(CountProp::new(vars.clone(), *value, *rhs, store))
         }
-        Constraint::AllDifferent { vars } => Box::new(AllDiffProp {
-            vars: vars.clone(),
-            except: None,
-        }),
-        Constraint::AllDifferentExcept { vars, except } => Box::new(AllDiffProp {
-            vars: vars.clone(),
-            except: Some(*except),
-        }),
+        Constraint::AllDifferent { vars } => build_all_diff(vars.clone(), None, store),
+        Constraint::AllDifferentExcept { vars, except } => {
+            build_all_diff(vars.clone(), Some(*except), store)
+        }
         Constraint::NotEqual { a, b } => Box::new(NotEqualProp {
             a: *a,
             b: *b,
@@ -120,16 +126,9 @@ pub(crate) fn build(c: &Constraint, store: &mut Store) -> Box<dyn Propagator> {
             index,
             array,
             value,
-        } => Box::new(ElementProp {
-            index: *index,
-            array: array.clone(),
-            value: *value,
-        }),
-        Constraint::Table { vars, rows } => Box::new(TableProp {
-            vars: vars.clone(),
-            rows: rows.clone(),
-        }),
-        Constraint::Or { lits } => Box::new(OrProp { lits: lits.clone() }),
+        } => Box::new(ElementProp::new(*index, array.clone(), *value, store)),
+        Constraint::Table { vars, rows } => Box::new(TableProp::new(vars.clone(), rows, store)),
+        Constraint::Or { lits } => Box::new(OrProp::new(lits.clone(), store)),
         Constraint::ReifiedLeq { b, x, c } => Box::new(ReifiedLeqProp {
             b: *b,
             x: *x,
@@ -138,11 +137,58 @@ pub(crate) fn build(c: &Constraint, store: &mut Store) -> Box<dyn Propagator> {
     }
 }
 
+/// Pick the all-different implementation by root tightness.
+///
+/// Régin's GAC filter ([`AllDiffGacProp`]) pays when the value capacity
+/// barely covers the scope: Hall sets then form early and matching + SCC
+/// prunes them long before forward checking would bottom out. On *loose*
+/// scopes — few variables over many values, or an unlimited except value
+/// (the CSP2 alldiff-except-idle shape) — almost every GAC run reproduces
+/// exactly the forward-checking fixpoint, and repairing the matching plus
+/// an SCC pass on every domain event is pure overhead over the fix-filtered
+/// [`AllDiffProp`]. The capacity of the root value universe is its width,
+/// with an in-universe except value contributing one slot per scope
+/// variable instead of one; GAC is selected iff `capacity ≤ n + n/4 + 2`
+/// over the `n` distinct scope variables. Both implementations are sound
+/// and complete — the gate only decides how much pruning is bought per
+/// wake, so it needs no revisiting during search.
+fn build_all_diff(
+    scope: Vec<VarId>,
+    except: Option<Val>,
+    store: &mut Store,
+) -> Box<dyn Propagator> {
+    let mut distinct: Vec<VarId> = Vec::with_capacity(scope.len());
+    for &v in &scope {
+        if !distinct.contains(&v) {
+            distinct.push(v);
+        }
+    }
+    let n = distinct.len();
+    let (lo, hi) = distinct.iter().fold((Val::MAX, Val::MIN), |(lo, hi), &v| {
+        (lo.min(store.min(v)), hi.max(store.max(v)))
+    });
+    let m = if n == 0 { 0 } else { (hi - lo) as usize + 1 };
+    let except_in_universe = except.is_some_and(|e| n > 0 && e >= lo && e <= hi);
+    let capacity = m + if except_in_universe { n - 1 } else { 0 };
+    if capacity <= n + n / 4 + 2 {
+        Box::new(AllDiffGacProp::new(scope, except, store))
+    } else {
+        Box::new(AllDiffProp {
+            vars: scope,
+            except,
+        })
+    }
+}
+
 /// Variable → occurrence-positions index for one constraint scope. Compact
 /// sorted arrays with binary search — this sits on the per-event hot path,
 /// where a hash map's per-lookup cost dominates the small scopes involved.
 #[derive(Debug)]
 struct PosIndex {
+    /// When the scope is one contiguous run `base..base+n` (the common
+    /// shape for machine-built models — window and row scopes), position
+    /// lookup is a subtraction; the arrays below stay empty.
+    contiguous: Option<(VarId, u32)>,
     /// Sorted distinct variable ids.
     vars: Vec<VarId>,
     /// Prefix offsets into `idxs`, one per entry of `vars` plus a final
@@ -150,12 +196,30 @@ struct PosIndex {
     starts: Vec<u32>,
     /// Occurrence positions grouped by variable.
     idxs: Vec<u32>,
+    /// Identity positions for `get` answers on the contiguous fast path
+    /// (`get` returns a slice, so the positions must live somewhere).
+    units: Vec<u32>,
 }
 
 impl PosIndex {
     fn new(scope: &[VarId]) -> Self {
+        // Contiguous scopes need no sort, no grouping and no binary
+        // search: variable `base + k` sits at position `k`.
+        if !scope.is_empty() && scope.windows(2).all(|w| w[1] == w[0] + 1) {
+            return PosIndex {
+                contiguous: Some((scope[0], scope.len() as u32)),
+                vars: Vec::new(),
+                starts: Vec::new(),
+                idxs: Vec::new(),
+                units: (0..scope.len() as u32).collect(),
+            };
+        }
+        // Strictly increasing scopes still skip the sort: every variable
+        // occurs exactly once, already in order.
         let mut order: Vec<u32> = (0..scope.len() as u32).collect();
-        order.sort_unstable_by_key(|&k| scope[k as usize]);
+        if !scope.windows(2).all(|w| w[0] < w[1]) {
+            order.sort_unstable_by_key(|&k| scope[k as usize]);
+        }
         let mut vars = Vec::new();
         let mut starts = Vec::new();
         let mut idxs = Vec::with_capacity(scope.len());
@@ -168,11 +232,25 @@ impl PosIndex {
             idxs.push(k);
         }
         starts.push(idxs.len() as u32);
-        PosIndex { vars, starts, idxs }
+        PosIndex {
+            contiguous: None,
+            vars,
+            starts,
+            idxs,
+            units: Vec::new(),
+        }
     }
 
     /// Positions at which `v` occurs (empty if unwatched).
     fn get(&self, v: VarId) -> &[u32] {
+        if let Some((base, n)) = self.contiguous {
+            let k = v.wrapping_sub(base);
+            return if k < n as usize {
+                &self.units[k..=k]
+            } else {
+                &[]
+            };
+        }
         match self.vars.binary_search(&v) {
             Ok(i) => &self.idxs[self.starts[i] as usize..self.starts[i + 1] as usize],
             Err(_) => &[],
@@ -513,32 +591,56 @@ struct CountProp {
     vars: Vec<VarId>,
     value: Val,
     rhs: u32,
-    n_fixed_to: StateId,
-    n_possible: StateId,
+    /// `n_fixed_to · 2³² + n_possible` in one trailed cell: a category
+    /// flip adjusts both tallies with a single read-modify-write (and a
+    /// single trail entry per level) instead of two.
+    counts: StateId,
     /// 1 once the constraint is entailed on this branch (saturated and the
     /// counted value swept from every other domain) — later wakes are O(1).
     swept: StateId,
+    /// Per-position trailed category cells. (A 2-bit-packed variant —
+    /// 32 positions per cell — was tried here and measured slower on the
+    /// CSP2 bench: the read-modify-write on every category flip in the
+    /// `sync_position` hot path cost more than the saved cells and shared
+    /// trail entries bought back.)
     cat: Vec<StateId>,
     positions: PosIndex,
 }
 
 impl CountProp {
+    /// Per-category contribution to the packed `counts` word.
+    fn contribution(cat: i64) -> i64 {
+        match cat {
+            CAT_FIXED_TO => 1 << 32,
+            CAT_POSSIBLE => 1,
+            _ => 0,
+        }
+    }
+
     fn new(vars: Vec<VarId>, value: Val, rhs: u32, store: &mut Store) -> Self {
-        let n_fixed_to = store.new_state_cell(0);
-        let n_possible = store.new_state_cell(0);
+        let counts = store.new_state_cell(0);
         let swept = store.new_state_cell(0);
-        let cat = vars.iter().map(|_| store.new_state_cell(CAT_OUT)).collect();
+        // Initial contents are irrelevant: propagators start stale, and the
+        // first `propagate_full` rewrites every position.
+        let cat = (0..vars.len()).map(|_| store.new_state_cell(0)).collect();
         let positions = PosIndex::new(&vars);
         CountProp {
             vars,
             value,
             rhs,
-            n_fixed_to,
-            n_possible,
+            counts,
             swept,
             cat,
             positions,
         }
+    }
+
+    fn cat_get(&self, store: &Store, k: usize) -> i64 {
+        store.state(self.cat[k])
+    }
+
+    fn cat_set(&self, store: &mut Store, k: usize, cat: i64) {
+        store.set_state(self.cat[k], cat);
     }
 
     fn category(&self, store: &Store, v: VarId) -> i64 {
@@ -555,27 +657,21 @@ impl CountProp {
         }
     }
 
-    fn bucket(&self, cat: i64) -> Option<StateId> {
-        match cat {
-            CAT_POSSIBLE => Some(self.n_possible),
-            CAT_FIXED_TO => Some(self.n_fixed_to),
-            _ => None,
-        }
-    }
-
-    fn sync_position(&self, store: &mut Store, k: usize) {
+    /// Re-derive position `k`'s category; returns whether it changed.
+    fn sync_position(&self, store: &mut Store, k: usize) -> bool {
         let new = self.category(store, self.vars[k]);
-        let old = store.state(self.cat[k]);
+        let old = self.cat_get(store, k);
         if new == old {
-            return;
+            return false;
         }
-        if let Some(b) = self.bucket(old) {
-            store.set_state(b, store.state(b) - 1);
-        }
-        if let Some(b) = self.bucket(new) {
-            store.set_state(b, store.state(b) + 1);
-        }
-        store.set_state(self.cat[k], new);
+        // Distinct categories have distinct contributions, so any flip
+        // moves `counts`.
+        store.set_state(
+            self.counts,
+            store.state(self.counts) + Self::contribution(new) - Self::contribution(old),
+        );
+        self.cat_set(store, k, new);
+        true
     }
 
     fn prune(&self, store: &mut Store) -> Result<(), EmptyDomain> {
@@ -584,8 +680,9 @@ impl CountProp {
             // every other domain.
             return Ok(());
         }
-        let fixed_to = store.state(self.n_fixed_to);
-        let possible = store.state(self.n_possible);
+        let packed = store.state(self.counts);
+        let fixed_to = packed >> 32;
+        let possible = packed & 0xffff_ffff;
         let rhs = i64::from(self.rhs);
         if fixed_to > rhs || fixed_to + possible < rhs {
             return Err(EmptyDomain(self.vars[0]));
@@ -616,19 +713,13 @@ impl Propagator for CountProp {
     }
 
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
-        let mut fixed_to = 0i64;
-        let mut possible = 0i64;
-        for (k, &v) in self.vars.iter().enumerate() {
-            let cat = self.category(store, v);
-            store.set_state(self.cat[k], cat);
-            match cat {
-                CAT_FIXED_TO => fixed_to += 1,
-                CAT_POSSIBLE => possible += 1,
-                _ => {}
-            }
+        let mut packed = 0i64;
+        for k in 0..self.vars.len() {
+            let cat = self.category(store, self.vars[k]);
+            self.cat_set(store, k, cat);
+            packed += Self::contribution(cat);
         }
-        store.set_state(self.n_fixed_to, fixed_to);
-        store.set_state(self.n_possible, possible);
+        store.set_state(self.counts, packed);
         store.set_state(self.swept, 0);
         self.prune(store)
     }
@@ -643,10 +734,16 @@ impl Propagator for CountProp {
             // sweep, which backtracking rewinds together with the flag.
             return Ok(());
         }
+        let mut changed = false;
         for &v in pending {
             for &k in self.positions.get(v) {
-                self.sync_position(store, k as usize);
+                changed |= self.sync_position(store, k as usize);
             }
+        }
+        if !changed {
+            // No category flip ⇒ `counts` is exactly what the previous
+            // completed run pruned against ⇒ `prune` would repeat a no-op.
+            return Ok(());
         }
         self.prune(store)
     }
@@ -754,15 +851,19 @@ impl Propagator for AtMostOneProp {
 }
 
 // ---------------------------------------------------------------------------
-// AllDiffProp: pairwise difference by forward checking, fix-filtered
+// AllDiffGacProp: Régin's GAC all-different (matching + SCC filtering)
 // ---------------------------------------------------------------------------
 
-/// Forward-checking all-different (optionally sparing one exempt value).
-/// Stateless, but subscribed to fixing events only — interior removals in
-/// other variables can never trigger new forward checks, so the propagator
-/// no longer wakes on them. Incremental runs forward-check only the newly
-/// fixed variables; chains (a removal fixing a further variable) re-wake it
-/// through its own events.
+/// Sentinel for the [`AllDiffGacProp`] / residual-support version guards:
+/// "never ran" (a live [`Store::version`] can realistically never reach it).
+const NEVER_RAN: u64 = u64::MAX;
+
+/// Forward-checking all-different (optionally sparing one exempt value),
+/// the loose-scope arm of [`build_all_diff`]. Stateless, but subscribed to
+/// fixing events only — interior removals in other variables can never
+/// trigger new forward checks, so the propagator no longer wakes on them.
+/// Incremental runs forward-check only the newly fixed variables; chains
+/// (a removal fixing a further variable) re-wake it through its own events.
 #[derive(Debug)]
 struct AllDiffProp {
     vars: Vec<VarId>,
@@ -814,6 +915,208 @@ impl Propagator for AllDiffProp {
     }
 }
 
+/// Domain-consistent all-different (optionally with one unlimited-capacity
+/// *except* value), per Régin: maintain a maximum variable→value matching in
+/// trailed state cells ([`Matching`]), repair it incrementally on each wake,
+/// then run one Tarjan SCC pass over the residual value graph ([`Scc`]) and
+/// remove every `(variable, value)` edge that is neither matched nor inside
+/// a strongly connected component — exactly the edges in *no* maximum
+/// matching, so one pass prunes every arc-inconsistent value at once.
+///
+/// Free-capacity arcs are routed through a single sink node, which folds
+/// Berge's two cases (alternating cycle / even path from a free vertex)
+/// into plain SCC membership and makes the except value (capacity `n`
+/// instead of one) an ordinary node with residual sink arcs in both
+/// directions while it is partially used.
+///
+/// A duplicated variable in the scope must differ from itself: with no
+/// except value the constraint is plainly unsatisfiable, otherwise every
+/// duplicate is forced to the except value. The remaining (deduplicated)
+/// scope is what the matching runs on.
+///
+/// Pruning is a pure function of the domains plus the trailed matching, so
+/// an O(1) [`Store::version`] guard skips the re-run the solver triggers on
+/// the propagator's own removals.
+#[derive(Debug)]
+struct AllDiffGacProp {
+    matching: Matching,
+    scc: Scc,
+    /// Distinct variables occurring more than once in the original scope.
+    dup_vars: Vec<VarId>,
+    /// The original except *value* (needed for duplicate handling even when
+    /// it lies outside the value universe).
+    except_val: Option<Val>,
+    /// Store version at the end of the last completed run ([`NEVER_RAN`]
+    /// before the first).
+    last_seen: u64,
+    /// Scratch snapshot of one variable's domain words during pruning.
+    words_buf: Vec<u64>,
+}
+
+impl AllDiffGacProp {
+    fn new(scope: Vec<VarId>, except_val: Option<Val>, store: &mut Store) -> Self {
+        let mut vars: Vec<VarId> = Vec::with_capacity(scope.len());
+        let mut dup_vars = Vec::new();
+        for &v in &scope {
+            if vars.contains(&v) {
+                if !dup_vars.contains(&v) {
+                    dup_vars.push(v);
+                }
+            } else {
+                vars.push(v);
+            }
+        }
+        // Dense value universe from the root domains (supersets of every
+        // later domain, so all reachable values index into it).
+        let (lo, hi) = vars.iter().fold((Val::MAX, Val::MIN), |(lo, hi), &v| {
+            (lo.min(store.min(v)), hi.max(store.max(v)))
+        });
+        let (lo, num_values) = if vars.is_empty() {
+            (0, 0)
+        } else {
+            (lo, (hi - lo) as usize + 1)
+        };
+        // An except value outside the universe can never be taken; the
+        // constraint degenerates to a plain all-different over the scope.
+        let except = except_val
+            .filter(|&e| e >= lo && e < lo + num_values as Val)
+            .map(|e| (e - lo) as usize);
+        AllDiffGacProp {
+            matching: Matching::new(store, vars, lo, num_values, except),
+            scc: Scc::new(),
+            dup_vars,
+            except_val,
+            last_seen: NEVER_RAN,
+            words_buf: Vec::new(),
+        }
+    }
+
+    /// Node numbering in the residual graph: variables first, then the
+    /// dense value universe, then the sink.
+    fn val_node(&self, vi: usize) -> u32 {
+        (self.matching.vars().len() + vi) as u32
+    }
+
+    fn run(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        if self.last_seen == store.version() {
+            return Ok(()); // nothing changed since the last completed run
+        }
+        // A variable listed twice must equal itself *and* differ from
+        // itself — impossible unless the shared value is the except value.
+        for &d in &self.dup_vars {
+            match self.except_val {
+                None => return Err(EmptyDomain(d)),
+                Some(e) => {
+                    store.assign(d, e)?;
+                }
+            }
+        }
+        self.matching.repair(store)?;
+
+        let n = self.matching.vars().len();
+        let m = self.matching.num_values();
+        let sink = (n + m) as u32;
+        self.scc.reset(n + m + 1);
+        let lo = self.matching.lo();
+        for pos in 0..n {
+            let var = self.matching.vars()[pos];
+            let mi = self
+                .matching
+                .matched_index(store, pos)
+                .expect("repair left a variable unmatched");
+            let (base, words) = store.domain_words(var);
+            let shift = (base - lo) as usize;
+            for (wi, &word) in words.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let vi = shift + wi * 64 + b;
+                    if vi == mi {
+                        // Matched edge: residual arc value → variable.
+                        self.scc.add_arc(self.val_node(vi), pos as u32);
+                    } else {
+                        self.scc.add_arc(pos as u32, self.val_node(vi));
+                    }
+                }
+            }
+        }
+        // Sink arcs carry value-capacity residuals: used capacity flows
+        // back (sink → value), spare capacity flows forward (value → sink).
+        let except = self.matching.except();
+        let except_uses = self.matching.except_uses(store);
+        for vi in 0..m {
+            if Some(vi) == except {
+                if except_uses > 0 {
+                    self.scc.add_arc(sink, self.val_node(vi));
+                }
+                if except_uses < n as i64 {
+                    self.scc.add_arc(self.val_node(vi), sink);
+                }
+            } else if self.matching.owner_pos(store, vi).is_some() {
+                self.scc.add_arc(sink, self.val_node(vi));
+            } else {
+                self.scc.add_arc(self.val_node(vi), sink);
+            }
+        }
+        self.scc.run();
+
+        // Prune: an unmatched edge whose endpoints fall in different
+        // components is in no maximum matching (Berge via the sink).
+        for pos in 0..n {
+            let var = self.matching.vars()[pos];
+            if store.size(var) == 1 {
+                continue; // only the matched edge remains
+            }
+            let mi = self
+                .matching
+                .matched_index(store, pos)
+                .expect("repair left a variable unmatched");
+            let comp_var = self.scc.comp(pos as u32);
+            let (base, words) = store.domain_words(var);
+            let shift = (base - lo) as usize;
+            self.words_buf.clear();
+            self.words_buf.extend_from_slice(words);
+            for wi in 0..self.words_buf.len() {
+                let mut w = self.words_buf[wi];
+                while w != 0 {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let vi = shift + wi * 64 + b;
+                    if vi != mi && self.scc.comp(self.val_node(vi)) != comp_var {
+                        store.remove(var, lo + vi as Val)?;
+                    }
+                }
+            }
+        }
+        self.last_seen = store.version();
+        Ok(())
+    }
+}
+
+impl Propagator for AllDiffGacProp {
+    fn watches(&self) -> Vec<(VarId, EventMask)> {
+        // Every removal anywhere in the scope can break the matching or
+        // split a component, so no event kind can be filtered.
+        let mut ws: Vec<(VarId, EventMask)> = self
+            .matching
+            .vars()
+            .iter()
+            .map(|&v| (v, EventMask::ANY))
+            .collect();
+        ws.extend(self.dup_vars.iter().map(|&v| (v, EventMask::ANY)));
+        ws
+    }
+
+    fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
+        self.run(store)
+    }
+
+    fn wants_pending(&self) -> bool {
+        false
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Thin stateless wrappers (already O(1) or value-based GAC scans)
 // ---------------------------------------------------------------------------
@@ -836,7 +1139,10 @@ impl Propagator for NotEqualProp {
     }
 }
 
-/// `a ≤ b`. Wakes only when `min(a)` rises or `max(b)` falls.
+/// `a ≤ b`. Wakes only when `min(a)` rises or `max(b)` falls. (A trailed
+/// entailment flag was tried here and measured slower on the CSP2 bench:
+/// with 840 chain constraints the per-level trail writes and extra state
+/// cells cost more than the skipped wakes they buy.)
 #[derive(Debug)]
 struct LeqVarProp {
     a: VarId,
@@ -853,12 +1159,64 @@ impl Propagator for LeqVarProp {
     }
 }
 
-/// `array[index] = value` (element constraint, value-based GAC).
+// ---------------------------------------------------------------------------
+// ElementProp / TableProp: residual-support (GAC-3 with residues) pruning
+// ---------------------------------------------------------------------------
+
+/// `array[index] = value` with residual supports: per value of the `value`
+/// variable, a precomputed list of producing indices plus an *unresidued*
+/// cursor (`residue`) pointing at the support that worked last time.
+/// Revalidating the residue is O(1); only when it died does the scan
+/// continue forward (cyclically) through the list. Residues are untrailed
+/// on purpose — a stale residue after backtracking costs at most one extra
+/// scan and can never affect soundness, because a support is always
+/// re-checked against the current domains before being trusted.
 #[derive(Debug)]
 struct ElementProp {
     index: VarId,
     array: Vec<Val>,
     value: VarId,
+    /// Lowest array value of the support universe.
+    lo: Val,
+    /// Per dense value `w - lo`: indices `i` (valid at the root) with
+    /// `array[i] == w`.
+    supports: Vec<Vec<Val>>,
+    /// Cursor into the corresponding support list (untrailed).
+    residue: Vec<u32>,
+    /// Store version at the end of the last completed run.
+    last_seen: u64,
+    /// Scratch snapshot of domain words during pruning.
+    words_buf: Vec<u64>,
+}
+
+impl ElementProp {
+    fn new(index: VarId, array: Vec<Val>, value: VarId, store: &Store) -> Self {
+        let (lo, hi) = array
+            .iter()
+            .fold((Val::MAX, Val::MIN), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+        let width = if array.is_empty() {
+            0
+        } else {
+            (hi - lo) as usize + 1
+        };
+        let mut supports = vec![Vec::new(); width];
+        for (i, &a) in array.iter().enumerate() {
+            let i_val = i as Val;
+            if store.contains(index, i_val) {
+                supports[(a - lo) as usize].push(i_val);
+            }
+        }
+        ElementProp {
+            index,
+            array,
+            value,
+            lo,
+            residue: vec![0; width],
+            supports,
+            last_seen: NEVER_RAN,
+            words_buf: Vec::new(),
+        }
+    }
 }
 
 impl Propagator for ElementProp {
@@ -867,15 +1225,157 @@ impl Propagator for ElementProp {
     }
 
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
-        propagate_element(store, self.index, &self.array, self.value)
+        if self.last_seen == store.version() {
+            return Ok(());
+        }
+        // The index pass and the value pass feed each other (a removed
+        // value invalidates indices mapping to it and vice versa), so
+        // iterate both to a joint fixpoint before recording the guard.
+        loop {
+            let before = store.version();
+            // Index side: drop indices that are out of range or whose array
+            // entry left the value domain (direct membership tests, no sets).
+            let (base, words) = store.domain_words(self.index);
+            self.words_buf.clear();
+            self.words_buf.extend_from_slice(words);
+            for wi in 0..self.words_buf.len() {
+                let mut w = self.words_buf[wi];
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    let i = base + (wi * 64) as Val + b as Val;
+                    let alive = usize::try_from(i)
+                        .ok()
+                        .and_then(|i| self.array.get(i))
+                        .is_some_and(|&a| store.contains(self.value, a));
+                    if !alive {
+                        store.remove(self.index, i)?;
+                    }
+                }
+            }
+            // Value side: residual supports.
+            let (base, words) = store.domain_words(self.value);
+            self.words_buf.clear();
+            self.words_buf.extend_from_slice(words);
+            for wi in 0..self.words_buf.len() {
+                let mut w = self.words_buf[wi];
+                while w != 0 {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    let val = base + (wi * 64) as Val + b as Val;
+                    if val < self.lo || val >= self.lo + self.supports.len() as Val {
+                        store.remove(self.value, val)?;
+                        continue;
+                    }
+                    let vi = (val - self.lo) as usize;
+                    let list = &self.supports[vi];
+                    let start = self.residue[vi] as usize % list.len().max(1);
+                    let found = (0..list.len())
+                        .map(|k| (start + k) % list.len())
+                        .find(|&k| store.contains(self.index, list[k]));
+                    match found {
+                        Some(k) => self.residue[vi] = k as u32,
+                        None => {
+                            store.remove(self.value, val)?;
+                        }
+                    }
+                }
+            }
+            if store.version() == before {
+                break;
+            }
+        }
+        self.last_seen = store.version();
+        Ok(())
+    }
+
+    fn wants_pending(&self) -> bool {
+        false
     }
 }
 
-/// Positive table constraint (generalized arc consistency).
+/// Positive table constraint with residual supports: per `(column, value)`
+/// a precomputed list of rows using that value in that column, plus an
+/// untrailed last-supporting-row cursor. A value survives iff some row in
+/// its list is *live* (every column's cell still in-domain); the residue is
+/// revalidated first and the scan continues forward cyclically only when it
+/// died. Reaches the same fixpoint as exhaustive support scanning — one row
+/// check is O(arity), and in the common case the residue is still alive so
+/// a wake costs O(domain · arity) instead of O(rows · arity).
 #[derive(Debug)]
 struct TableProp {
     vars: Vec<VarId>,
-    rows: Vec<Vec<Val>>,
+    /// Live-at-root rows, flattened row-major with stride `vars.len()`.
+    cells: Vec<Val>,
+    /// Per column: lowest value of its root domain (dense support index 0).
+    col_lo: Vec<Val>,
+    /// Rows kept at construction (`cells.len() / arity`, tracked separately
+    /// because zero-arity tables have no cells but may have rows).
+    n_rows: u32,
+    /// Per column: support row-id lists, indexed `[col][val - col_lo[col]]`.
+    supports: Vec<Vec<Vec<u32>>>,
+    /// Untrailed residues, parallel to `supports`.
+    residue: Vec<Vec<u32>>,
+    /// Store version at the end of the last completed run.
+    last_seen: u64,
+    /// Scratch snapshot of domain words during pruning.
+    words_buf: Vec<u64>,
+}
+
+impl TableProp {
+    fn new(vars: Vec<VarId>, rows: &[Vec<Val>], store: &Store) -> Self {
+        let arity = vars.len();
+        let col_lo: Vec<Val> = vars.iter().map(|&v| store.min(v)).collect();
+        let widths: Vec<usize> = vars
+            .iter()
+            .map(|&v| (store.max(v) - store.min(v)) as usize + 1)
+            .collect();
+        let mut supports: Vec<Vec<Vec<u32>>> =
+            widths.iter().map(|&w| vec![Vec::new(); w]).collect();
+        let mut cells = Vec::new();
+        let mut row_id = 0u32;
+        for row in rows {
+            // Rows of the wrong width, or using a value no root domain
+            // holds, can never be live — drop them up front (exactly the
+            // rows the stateless scanner can never select either).
+            if row.len() != arity {
+                continue;
+            }
+            if !vars
+                .iter()
+                .zip(row.iter())
+                .all(|(&v, &r)| store.contains(v, r))
+            {
+                continue;
+            }
+            for (col, &r) in row.iter().enumerate() {
+                supports[col][(r - col_lo[col]) as usize].push(row_id);
+            }
+            cells.extend_from_slice(row);
+            row_id += 1;
+        }
+        let residue = supports.iter().map(|col| vec![0u32; col.len()]).collect();
+        TableProp {
+            vars,
+            cells,
+            col_lo,
+            n_rows: row_id,
+            supports,
+            residue,
+            last_seen: NEVER_RAN,
+            words_buf: Vec::new(),
+        }
+    }
+
+    /// Is row `row_id` still supported by every column's current domain?
+    fn row_live(&self, store: &Store, row_id: u32) -> bool {
+        let arity = self.vars.len();
+        let row = &self.cells[row_id as usize * arity..(row_id as usize + 1) * arity];
+        self.vars
+            .iter()
+            .zip(row.iter())
+            .all(|(&v, &r)| store.contains(v, r))
+    }
 }
 
 impl Propagator for TableProp {
@@ -884,14 +1384,132 @@ impl Propagator for TableProp {
     }
 
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
-        propagate_table(store, &self.vars, &self.rows)
+        if self.last_seen == store.version() {
+            return Ok(());
+        }
+        let arity = self.vars.len();
+        if self.n_rows == 0 {
+            // No row survived construction (dead at the root is dead
+            // forever): unsatisfiable outright, matching the stateless
+            // scanner's empty-live-set verdict.
+            return Err(EmptyDomain(self.vars.first().copied().unwrap_or(0)));
+        }
+        // One column pass is not idempotent (pruning column i can kill the
+        // rows supporting column j — most visibly when the same variable
+        // appears in two columns), so iterate to an internal fixpoint before
+        // recording the version guard.
+        loop {
+            let before = store.version();
+            for col in 0..arity {
+                let v = self.vars[col];
+                let lo = self.col_lo[col];
+                let width = self.supports[col].len() as Val;
+                let (base, words) = store.domain_words(v);
+                self.words_buf.clear();
+                self.words_buf.extend_from_slice(words);
+                for wi in 0..self.words_buf.len() {
+                    let mut w = self.words_buf[wi];
+                    while w != 0 {
+                        let b = w.trailing_zeros();
+                        w &= w - 1;
+                        let val = base + (wi * 64) as Val + b as Val;
+                        if val < lo || val >= lo + width {
+                            store.remove(v, val)?;
+                            continue;
+                        }
+                        let vi = (val - lo) as usize;
+                        let list = &self.supports[col][vi];
+                        if list.is_empty() {
+                            store.remove(v, val)?;
+                            continue;
+                        }
+                        let start = self.residue[col][vi] as usize % list.len();
+                        let found = (0..list.len())
+                            .map(|k| (start + k) % list.len())
+                            .find(|&k| self.row_live(store, list[k]));
+                        match found {
+                            Some(k) => self.residue[col][vi] = k as u32,
+                            None => {
+                                store.remove(v, val)?;
+                            }
+                        }
+                    }
+                }
+            }
+            if store.version() == before {
+                break;
+            }
+        }
+        self.last_seen = store.version();
+        Ok(())
+    }
+
+    fn wants_pending(&self) -> bool {
+        false
     }
 }
 
-/// Boolean clause with unit propagation.
+// ---------------------------------------------------------------------------
+// OrProp: boolean clause with two watched literals
+// ---------------------------------------------------------------------------
+
+/// Clause over literals `(v, true) ⇔ v = 1` / `(v, false) ⇔ v ≠ 1`, with
+/// two watched literals: as long as both watches are non-falsified the wake
+/// is O(1) and nothing is scanned. Only when a watch falsifies does the
+/// full scan run — finding a satisfied literal (→ trailed entailment, the
+/// solver stops waking the propagator), a replacement pair of watches, a
+/// unit to force, or a conflict. Watch positions are untrailed: backtracking
+/// only ever un-falsifies literals, so a stale watch is still non-falsified
+/// or triggers one harmless rescan.
 #[derive(Debug)]
 struct OrProp {
     lits: Vec<(VarId, bool)>,
+    /// Watched positions into `lits` (untrailed hints; equal only when the
+    /// clause has a single literal).
+    watch: [usize; 2],
+    /// Trailed entailment: non-zero once some literal is true.
+    entailed: StateId,
+}
+
+impl OrProp {
+    fn new(lits: Vec<(VarId, bool)>, store: &mut Store) -> Self {
+        let entailed = store.new_state_cell(0);
+        let watch = [0, 1.min(lits.len().saturating_sub(1))];
+        OrProp {
+            lits,
+            watch,
+            entailed,
+        }
+    }
+
+    fn lit_true(&self, store: &Store, k: usize) -> bool {
+        let (v, pol) = self.lits[k];
+        if pol {
+            store.is_fixed(v) && store.value(v) == 1
+        } else {
+            !store.contains(v, 1)
+        }
+    }
+
+    fn lit_false(&self, store: &Store, k: usize) -> bool {
+        let (v, pol) = self.lits[k];
+        if pol {
+            !store.contains(v, 1)
+        } else {
+            store.is_fixed(v) && store.value(v) == 1
+        }
+    }
+
+    /// Make a non-falsified literal true (unit propagation).
+    fn force(&self, store: &mut Store, k: usize) -> Result<(), EmptyDomain> {
+        let (v, pol) = self.lits[k];
+        if pol {
+            store.assign(v, 1)?;
+        } else {
+            store.remove(v, 1)?;
+        }
+        Ok(())
+    }
 }
 
 impl Propagator for OrProp {
@@ -905,7 +1523,59 @@ impl Propagator for OrProp {
     }
 
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
-        propagate_or(store, &self.lits)
+        if store.state(self.entailed) != 0 {
+            return Ok(());
+        }
+        if self.lits.is_empty() {
+            return Err(EmptyDomain(0));
+        }
+        let [w0, w1] = self.watch;
+        // Fast path: both watches undecided — the clause can still go
+        // either way and there is nothing to infer.
+        if w0 != w1
+            && !self.lit_false(store, w0)
+            && !self.lit_false(store, w1)
+            && !self.lit_true(store, w0)
+            && !self.lit_true(store, w1)
+        {
+            return Ok(());
+        }
+        // Slow path: full scan for a satisfied literal / new watches.
+        let mut open = [0usize; 2];
+        let mut n_open = 0;
+        for k in 0..self.lits.len() {
+            if self.lit_true(store, k) {
+                store.set_state(self.entailed, 1);
+                return Ok(());
+            }
+            if !self.lit_false(store, k) {
+                if n_open < 2 {
+                    open[n_open] = k;
+                }
+                n_open += 1;
+            }
+        }
+        match n_open {
+            0 => Err(EmptyDomain(self.lits[0].0)),
+            1 => {
+                // Unit: forcing it satisfies the clause on this branch.
+                self.force(store, open[0])?;
+                store.set_state(self.entailed, 1);
+                Ok(())
+            }
+            _ => {
+                self.watch = open;
+                Ok(())
+            }
+        }
+    }
+
+    fn entailed_flag(&self) -> Option<StateId> {
+        Some(self.entailed)
+    }
+
+    fn wants_pending(&self) -> bool {
+        false
     }
 }
 

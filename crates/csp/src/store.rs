@@ -150,6 +150,19 @@ pub struct Store {
     unfixed_pos: Vec<u32>,
     unfixed_len: usize,
     unfixed_stamp: u64,
+    /// Monotone counter bumped on every domain mutation *and* every
+    /// backtrack. Equality of two [`Store::version`] reads proves the
+    /// domains (and, because only backtracking rewinds them, all trailed
+    /// state cells not written in between) are bit-identical — the O(1)
+    /// fixpoint guard the residual-support propagators use to skip
+    /// self-triggered re-runs.
+    version: u64,
+    /// Per-variable union of the event kinds any propagator subscribed to
+    /// ([`Store::set_wake_masks`]). Events outside the mask are dropped at
+    /// the source instead of being queued, drained and then filtered by
+    /// the solver. Defaults to [`EventMask::ANY`] so a bare store (tests,
+    /// the reference engine) sees every event.
+    wake_mask: Vec<u8>,
 }
 
 /// Raised by a pruning operation that wipes a domain out.
@@ -182,6 +195,8 @@ impl Store {
             unfixed_pos: Vec::new(),
             unfixed_len: 0,
             unfixed_stamp: 0,
+            version: 0,
+            wake_mask: Vec::new(),
         }
     }
 
@@ -214,6 +229,7 @@ impl Store {
         });
         self.var_stamp.push(0);
         self.dirty_mask.push(0);
+        self.wake_mask.push(EventMask::ANY.0);
         let v = self.vars.len() - 1;
         // Insert into the unfixed sparse set at the active boundary (the
         // tail may hold detached variables).
@@ -274,6 +290,40 @@ impl Store {
     pub fn value(&self, v: VarId) -> Val {
         debug_assert!(self.is_fixed(v));
         self.vars[v].min
+    }
+
+    /// Monotone domain-state version: bumped on every successful domain
+    /// mutation and on every backtrack, never decremented. Two equal reads
+    /// bracket a window in which no domain changed at all — propagators
+    /// whose pruning is a pure function of the domains use this to skip
+    /// re-runs triggered by their own removals.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Install per-variable wake masks (the union, per variable, of every
+    /// watching propagator's event subscription). Events a variable's mask
+    /// does not cover are dropped at the source: they never enter the dirty
+    /// queue, so the backtracking hot path skips their bookkeeping
+    /// entirely. Called once by the solver after the watcher lists are
+    /// built; `masks` must have one entry per variable.
+    pub fn set_wake_masks(&mut self, masks: &[EventMask]) {
+        assert_eq!(masks.len(), self.vars.len());
+        for (slot, m) in self.wake_mask.iter_mut().zip(masks) {
+            *slot = m.0;
+        }
+    }
+
+    /// The raw domain bitset of `v`: the value represented by bit 0 of the
+    /// first word, and the words themselves (64 values per word, ascending).
+    /// This is the word-level access path the value-graph builders use to
+    /// walk domains without per-value bounds checks.
+    #[must_use]
+    pub fn domain_words(&self, v: VarId) -> (Val, &[u64]) {
+        let meta = &self.vars[v];
+        let lo = meta.offset as usize;
+        (meta.base, &self.words[lo..lo + meta.nwords as usize])
     }
 
     /// Does `v`'s domain contain `val`?
@@ -397,10 +447,15 @@ impl Store {
     }
 
     /// Undo all changes of the innermost decision level. Panics at root.
+    ///
+    /// The trail suffix is replayed in reverse as one batch (iterate, then a
+    /// single `truncate`) rather than entry-by-entry `pop`s — on the
+    /// conflict-dense chronological path this loop is hot and the batched
+    /// form keeps it a straight scan with one length write at the end.
     pub fn backtrack(&mut self) {
         let mark = self.level_marks.pop().expect("backtrack at root");
-        while self.trail.len() > mark {
-            match self.trail.pop().unwrap() {
+        for i in (mark..self.trail.len()).rev() {
+            match self.trail[i] {
                 TrailEntry::Word { idx, old } => self.words[idx as usize] = old,
                 TrailEntry::Meta {
                     var,
@@ -417,7 +472,9 @@ impl Store {
                 TrailEntry::UnfixedLen { len } => self.unfixed_len = len as usize,
             }
         }
+        self.trail.truncate(mark);
         self.stamp += 1;
+        self.version += 1;
         self.clear_dirty();
     }
 
@@ -503,10 +560,15 @@ impl Store {
     }
 
     fn mark_dirty(&mut self, v: VarId, ev: EventMask) {
+        self.version += 1;
+        let delivered = ev.0 & self.wake_mask[v];
+        if delivered == 0 {
+            return; // nobody subscribed to any of these event kinds
+        }
         if self.dirty_mask[v] == 0 {
             self.dirty.push(v);
         }
-        self.dirty_mask[v] |= ev.0;
+        self.dirty_mask[v] |= delivered;
     }
 
     /// Remove `val` from `v`. Returns `Ok(true)` if the domain changed.

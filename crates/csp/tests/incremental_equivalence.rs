@@ -2,22 +2,28 @@
 //! ([`csp_engine::Solver`]) against the retained stateless reference
 //! ([`csp_engine::reference::RefSolver`]).
 //!
-//! Three levels of agreement are asserted on random models:
+//! Since the GAC upgrade the incremental engine prunes *strictly more* than
+//! the stateless forms (Régin all-different, residual-support tables), so
+//! the agreement levels are:
 //!
-//! 1. **Identical root fixpoints.** Event-filtered, incremental propagation
-//!    must land on exactly the same domains as exhaustive stateless
-//!    re-propagation (propagation is monotone, so the fixpoint is unique —
-//!    any deviation is a bug in the delta bookkeeping).
+//! 1. **Root-fixpoint domination.** The incremental fixpoint must be a
+//!    subset of the reference fixpoint variable-by-variable (it may prune
+//!    more, never less), it must fail at the root whenever the reference
+//!    does, and it must never prune a *sound* value — verified directly by
+//!    checking that every reference-enumerated solution survives in the
+//!    incremental root fixpoint.
 //! 2. **Identical outcomes** — byte-for-byte, including the found solution
-//!    — for the search-deterministic heuristics (`Input`, `MinDomain` with
-//!    `Min`/`Max` values), whose decisions depend only on the propagated
-//!    fixpoints. (`DomOverWDeg` breaks ties by failure weights, which
-//!    legitimately depend on *which* constraint trips over an inevitable
-//!    conflict first, and `Random` consumes the RNG in a different order —
-//!    for those only the verdict must agree.)
+//!    — for the `Input` variable order with `Min`/`Max` values: DFS in
+//!    declaration order finds the lexicographically smallest (resp.
+//!    largest) solution *regardless of propagation strength*, so stronger
+//!    pruning cannot change the answer. (`MinDomain` ties its decisions to
+//!    domain sizes, which stronger pruning legitimately changes;
+//!    `DomOverWDeg`/`Random` depend on failure weights / RNG order — for
+//!    all of those only the verdict must agree.)
 //! 3. **Identical solution counts** under exhaustive enumeration for every
 //!    heuristic, which is path-independent and therefore must agree
-//!    everywhere.
+//!    everywhere — this is also what pins down GAC soundness exactly: one
+//!    unsoundly pruned value would drop a solution from the count.
 
 use csp_engine::reference::RefSolver;
 use csp_engine::{Constraint, Model, Outcome, SolverConfig, ValOrder, VarOrder};
@@ -132,6 +138,61 @@ fn arb_csp() -> impl Strategy<Value = RandomCsp> {
         })
 }
 
+/// Generator slanted at the GAC machinery: wide all-different scopes
+/// (optionally with an except value) over tight domains — the regime where
+/// Régin filtering visibly out-prunes forward checking — mixed with dense
+/// tables whose residual supports get churned.
+fn arb_global_csp() -> impl Strategy<Value = RandomCsp> {
+    (4usize..=7, any::<bool>()).prop_flat_map(|(n, tight)| {
+        // `tight` forces one shared narrow domain over the whole scope, the
+        // regime the build-time gate always routes to Régin GAC (for
+        // alldiff-except the capacity is then `width + n - 1`, within the
+        // gate for width ≤ 3) — without it the except arm of the GAC
+        // propagator would only be exercised when sampled lower bounds
+        // happen to coincide.
+        let domains: BoxedStrategy<Vec<(i32, i32)>> = if tight {
+            (2i32..=3).prop_map(move |w| vec![(0, w); n]).boxed()
+        } else {
+            proptest::collection::vec((-1i32..=1).prop_map(|lb| (lb, lb + 3)), n..=n).boxed()
+        };
+        let alldiff = prop_oneof![
+            Just(Constraint::AllDifferent {
+                vars: (0..n).collect()
+            }),
+            (-1i32..=2).prop_map(move |e| Constraint::AllDifferentExcept {
+                vars: (0..n).collect(),
+                except: e,
+            }),
+        ];
+        let extras = proptest::collection::vec(
+            prop_oneof![
+                (
+                    proptest::collection::vec(0..n, 2..=3),
+                    proptest::collection::vec(proptest::collection::vec(-1i32..=3, 3), 2..=8)
+                )
+                    .prop_map(|(vs, rows)| {
+                        let width = vs.len();
+                        Constraint::Table {
+                            vars: vs,
+                            rows: rows.into_iter().map(|r| r[..width].to_vec()).collect(),
+                        }
+                    }),
+                proptest::collection::vec(0..n, 2..=4)
+                    .prop_map(|vs| Constraint::AllDifferent { vars: vs }),
+                (0..n, 0..n).prop_map(|(a, b)| Constraint::LeqVar { a, b }),
+            ],
+            0..=3,
+        );
+        (domains, alldiff, extras).prop_map(|(domains, ad, mut extras)| {
+            extras.insert(0, ad);
+            RandomCsp {
+                domains,
+                constraints: extras,
+            }
+        })
+    })
+}
+
 /// Every heuristic pairing exercised below.
 const ALL_ORDERS: [(VarOrder, ValOrder); 8] = [
     (VarOrder::Input, ValOrder::Min),
@@ -144,37 +205,129 @@ const ALL_ORDERS: [(VarOrder, ValOrder); 8] = [
     (VarOrder::Random, ValOrder::Min),
 ];
 
-/// The pairings whose search path is a pure function of the propagation
-/// fixpoints, for which outcomes must match byte-for-byte.
-const DETERMINISTIC_ORDERS: [(VarOrder, ValOrder); 4] = [
+/// The pairings whose outcome is provably propagation-independent: DFS in
+/// declaration order with Min (Max) values returns the lexicographically
+/// smallest (largest) solution whatever the pruning strength, so the
+/// engines must agree byte-for-byte even though one prunes more.
+const LEX_DETERMINISTIC_ORDERS: [(VarOrder, ValOrder); 2] = [
     (VarOrder::Input, ValOrder::Min),
     (VarOrder::Input, ValOrder::Max),
-    (VarOrder::MinDomain, ValOrder::Min),
-    (VarOrder::MinDomain, ValOrder::Max),
 ];
+
+/// Root-fixpoint domination + soundness for one random model; shared by the
+/// generic and the GAC-slanted suites.
+fn check_root_domination(csp: &RandomCsp) -> Result<(), TestCaseError> {
+    let model = build_model(csp);
+    let mut incremental = model.clone().into_solver(SolverConfig::default());
+    let mut reference = RefSolver::from_model(&model, SolverConfig::default());
+    let inc = incremental.root_fixpoint();
+    let refr = reference.root_fixpoint();
+    match (&inc, &refr) {
+        (None, None) => {}
+        (Some(_), None) => {
+            return Err(TestCaseError::fail(
+                "reference refutes the root but the incremental engine does not",
+            ))
+        }
+        (None, Some(_)) => {
+            // GAC may legitimately refute a root the stateless forms cannot;
+            // soundness is covered by the count test below.
+        }
+        (Some(inc_doms), Some(ref_doms)) => {
+            prop_assert_eq!(inc_doms.len(), ref_doms.len());
+            for (v, (di, dr)) in inc_doms.iter().zip(ref_doms.iter()).enumerate() {
+                for val in di {
+                    prop_assert!(
+                        dr.contains(val),
+                        "var {}: incremental kept {} which the reference pruned; model: {:?}",
+                        v,
+                        val,
+                        csp
+                    );
+                }
+            }
+        }
+    }
+    // Soundness: no reference solution may lose a value in the incremental
+    // root fixpoint (a pruned solution value would be an unsound GAC prune).
+    let cfg = SolverConfig {
+        var_order: VarOrder::Input,
+        val_order: ValOrder::Min,
+        ..SolverConfig::default()
+    };
+    let mut sols = Vec::new();
+    let (_, complete) =
+        RefSolver::from_model(&model, cfg).enumerate(10_000, |s| sols.push(s.to_vec()));
+    if complete && !sols.is_empty() {
+        let inc_doms = inc
+            .as_ref()
+            .expect("solutions exist but GAC refuted the root");
+        for sol in &sols {
+            for (v, val) in sol.iter().enumerate() {
+                prop_assert!(
+                    inc_doms[v].contains(val),
+                    "GAC pruned sound value {} of var {}",
+                    val,
+                    v
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustive-count equality for one random model under several heuristics.
+fn check_counts(csp: &RandomCsp) -> Result<(), TestCaseError> {
+    let model = build_model(csp);
+    for (var_order, val_order) in [
+        (VarOrder::Input, ValOrder::Min),
+        (VarOrder::MinDomain, ValOrder::Max),
+        (VarOrder::DomOverWDeg, ValOrder::Min),
+        (VarOrder::Random, ValOrder::Random),
+    ] {
+        let cfg = SolverConfig {
+            var_order,
+            val_order,
+            seed: 13,
+            ..SolverConfig::default()
+        };
+        let (new_count, new_complete) = model.clone().into_solver(cfg).count_solutions(100_000);
+        let (old_count, old_complete) = RefSolver::from_model(&model, cfg).count_solutions(100_000);
+        prop_assert!(new_complete && old_complete);
+        prop_assert_eq!(
+            new_count,
+            old_count,
+            "count drift under {:?}/{:?}",
+            var_order,
+            val_order
+        );
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Level 1: identical fixpoints at the root.
+    /// Level 1: the incremental fixpoint dominates the stateless one and
+    /// never prunes a sound value.
     #[test]
-    fn root_fixpoints_are_identical(csp in arb_csp()) {
-        let model = build_model(&csp);
-        let mut incremental = model.clone().into_solver(SolverConfig::default());
-        let mut reference = RefSolver::from_model(&model, SolverConfig::default());
-        prop_assert_eq!(
-            incremental.root_fixpoint(),
-            reference.root_fixpoint(),
-            "incremental and stateless propagation disagree on the root fixpoint"
-        );
+    fn root_fixpoints_dominate(csp in arb_csp()) {
+        check_root_domination(&csp)?;
     }
 
-    /// Level 2a: byte-identical outcomes for fixpoint-deterministic
-    /// heuristics.
+    /// Level 1 (GAC-slanted models): wide all-different scopes and dense
+    /// tables, where Régin filtering visibly out-prunes forward checking.
     #[test]
-    fn deterministic_outcomes_are_identical(csp in arb_csp()) {
+    fn root_fixpoints_dominate_on_global_models(csp in arb_global_csp()) {
+        check_root_domination(&csp)?;
+    }
+
+    /// Level 2a: byte-identical outcomes for the lex-deterministic orders
+    /// (propagation-strength-independent by the lex argument above).
+    #[test]
+    fn lex_deterministic_outcomes_are_identical(csp in arb_csp()) {
         let model = build_model(&csp);
-        for (var_order, val_order) in DETERMINISTIC_ORDERS {
+        for (var_order, val_order) in LEX_DETERMINISTIC_ORDERS {
             let cfg = SolverConfig {
                 var_order,
                 val_order,
@@ -191,7 +344,7 @@ proptest! {
     }
 
     /// Level 2b: identical verdicts (and only valid solutions) everywhere,
-    /// including the weight- and RNG-sensitive heuristics and the
+    /// including the size-, weight- and RNG-sensitive heuristics and the
     /// restart-driven randomized configuration.
     #[test]
     fn verdicts_agree_under_every_heuristic(csp in arb_csp(), seed in 0u64..500) {
@@ -226,31 +379,16 @@ proptest! {
     }
 
     /// Level 3: identical exhaustive solution counts (path-independent, so
-    /// they must agree under every heuristic).
+    /// they must agree under every heuristic and pruning strength).
     #[test]
     fn solution_counts_are_identical(csp in arb_csp()) {
-        let model = build_model(&csp);
-        for (var_order, val_order) in [
-            (VarOrder::Input, ValOrder::Min),
-            (VarOrder::MinDomain, ValOrder::Max),
-            (VarOrder::DomOverWDeg, ValOrder::Min),
-            (VarOrder::Random, ValOrder::Random),
-        ] {
-            let cfg = SolverConfig {
-                var_order,
-                val_order,
-                seed: 13,
-                ..SolverConfig::default()
-            };
-            let (new_count, new_complete) =
-                model.clone().into_solver(cfg).count_solutions(100_000);
-            let (old_count, old_complete) =
-                RefSolver::from_model(&model, cfg).count_solutions(100_000);
-            prop_assert!(new_complete && old_complete);
-            prop_assert_eq!(
-                new_count, old_count,
-                "count drift under {:?}/{:?}", var_order, val_order
-            );
-        }
+        check_counts(&csp)?;
+    }
+
+    /// Level 3 on the GAC-slanted models: one unsound Régin/residual prune
+    /// would drop a solution here.
+    #[test]
+    fn solution_counts_are_identical_on_global_models(csp in arb_global_csp()) {
+        check_counts(&csp)?;
     }
 }

@@ -12,10 +12,13 @@
 # name order breaks mtime ties).
 #
 # Output: one row per summary — wall-clock, record count, total solved /
-# infeasible / overrun across solvers — plus a trend verdict comparing
-# the newest wall time against the median of the rest. By default the
-# verdict is advisory (always exit 0); with --fail-on-warn a >1.5x-median
-# newest wall time exits 1, so CI can enforce the trend as a gate.
+# infeasible / overrun across solvers — plus a trend verdict per campaign
+# comparing the newest wall time against the median of that campaign's
+# earlier runs (summaries of different campaigns measure different
+# workloads, so their wall times never share a median). By default the
+# verdicts are advisory (always exit 0); with --fail-on-warn any campaign
+# whose newest wall time is >1.5x its historical median exits 1, so CI
+# can enforce the trend as a gate.
 set -euo pipefail
 
 fail_on_warn=0
@@ -72,18 +75,30 @@ for _, name, s, t in rows:
           f"{s.get('records', 0):>8} {t['solved']:>7} {t['infeasible']:>7} "
           f"{t['overrun']:>8}")
 
-walls = [s.get("wall_ms", 0) for _, _, s, _ in rows]
-if len(walls) >= 3:
+by_campaign = {}
+for _, _, s, _ in rows:
+    by_campaign.setdefault(s.get("campaign", "?"), []).append(s.get("wall_ms", 0))
+
+warned = False
+verdicts = 0
+for campaign, walls in sorted(by_campaign.items()):
+    if len(walls) < 3:
+        continue
+    verdicts += 1
     newest, history = walls[-1], walls[:-1]
     median = statistics.median(history)
     delta = (newest - median) / median * 100 if median else 0.0
-    print(f"\ntrend: newest {newest} ms vs median {median:.0f} ms "
+    print(f"\ntrend[{campaign}]: newest {newest} ms vs median {median:.0f} ms "
           f"over {len(history)} prior run(s) ({delta:+.1f}%)")
     if median and newest > median * 1.5:
-        print("trend: WARNING — newest wall time is >1.5x the historical median")
-        if os.environ.get("FAIL_ON_WARN") == "1":
-            sys.exit(1)
-        print("trend: advisory mode (pass --fail-on-warn to enforce)")
-else:
-    print("\ntrend: need >= 3 summaries for a median comparison")
+        warned = True
+        print(f"trend[{campaign}]: WARNING — newest wall time is >1.5x the "
+              f"historical median")
+
+if verdicts == 0:
+    print("\ntrend: need >= 3 summaries of one campaign for a median comparison")
+if warned:
+    if os.environ.get("FAIL_ON_WARN") == "1":
+        sys.exit(1)
+    print("trend: advisory mode (pass --fail-on-warn to enforce)")
 PY
