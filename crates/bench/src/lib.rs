@@ -48,6 +48,7 @@ pub mod cli;
 pub mod policy;
 pub mod queue;
 pub mod runner;
+pub mod serve;
 pub mod shard;
 pub mod sink;
 pub mod tables;

@@ -35,7 +35,9 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, PlatformSpec, SolverSpec};
+use mgrts_core::engine::{
+    Budget, CancelToken, EnginePool, FeasibilitySolver, PlatformSpec, SolverSpec,
+};
 use mgrts_core::portfolio::{self, BackendStat};
 use mgrts_core::solve::Verdict;
 use rt_gen::Problem;
@@ -43,7 +45,7 @@ use rt_platform::Platform;
 use rt_task::TaskSet;
 
 use crate::campaign::{CampaignError, Manifest};
-use crate::runner::{classify, run_one_budgeted, run_one_hetero, InstanceOutcome};
+use crate::runner::{classify, run_one_engine, run_one_hetero_engine, InstanceOutcome};
 use crate::sink::RecordStore;
 
 // ---------------------------------------------------------------------------
@@ -214,10 +216,12 @@ impl PolicySpec {
             PolicyMode::Single => Box::new(SingleSolver {
                 roster: manifest.roster.clone(),
                 time_limit: manifest.time_limit,
+                pool: EnginePool::new(),
             }),
             PolicyMode::PortfolioRace => Box::new(PortfolioRace {
                 roster: manifest.roster.clone(),
                 time_limit: manifest.time_limit,
+                pool: EnginePool::new(),
             }),
         };
         match &self.adaptive {
@@ -328,12 +332,18 @@ pub trait ExecutionPolicy: Send + Sync {
 }
 
 /// The historical inline path, extracted: one roster solver per unit.
+///
+/// Engines are served from a shared [`EnginePool`], so a long-lived
+/// policy object (one per executor/worker process, or a resident server)
+/// builds each `(spec, seed)` engine once instead of once per unit.
 #[derive(Debug, Clone)]
 pub struct SingleSolver {
     /// Manifest roster (indexed by the unit's solver position).
     pub roster: Vec<SolverSpec>,
     /// Manifest per-run wall-clock limit.
     pub time_limit: Duration,
+    /// Engine cache shared across units (and across policy clones).
+    pub pool: EnginePool,
 }
 
 impl ExecutionPolicy for SingleSolver {
@@ -353,10 +363,10 @@ impl ExecutionPolicy for SingleSolver {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> UnitExecution {
-        let solver = self.roster[unit_solver];
+        let engine = self.pool.get(self.roster[unit_solver], p.seed);
         let (outcome, time_us) = match platform {
-            Some(platform) => run_one_hetero(p, platform, solver, budget, cancel),
-            None => run_one_budgeted(p, solver, budget, cancel),
+            Some(platform) => run_one_hetero_engine(p, platform, &*engine, budget, cancel),
+            None => run_one_engine(p, &*engine, budget, cancel),
         };
         UnitExecution {
             outcome,
@@ -376,6 +386,8 @@ pub struct PortfolioRace {
     pub roster: Vec<SolverSpec>,
     /// Manifest per-run wall-clock limit (bounds the whole race).
     pub time_limit: Duration,
+    /// Engine cache shared across units (and across policy clones).
+    pub pool: EnginePool,
 }
 
 impl ExecutionPolicy for PortfolioRace {
@@ -395,8 +407,9 @@ impl ExecutionPolicy for PortfolioRace {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> UnitExecution {
-        let roster: Vec<Box<dyn FeasibilitySolver>> =
-            self.roster.iter().map(|s| s.build_seeded(p.seed)).collect();
+        // Engines come from the shared pool — constructed once per
+        // (spec, seed), reused by every subsequent unit and request.
+        let roster = self.pool.roster(&self.roster, p.seed);
         let spec = match platform {
             Some(platform) => PlatformSpec::Heterogeneous(platform.clone()),
             None => PlatformSpec::identical(p.m),
@@ -479,14 +492,18 @@ pub struct RaceRun {
 }
 
 /// Race a prebuilt roster on one instance under an external cancellation
-/// token.
-pub fn race_roster(
-    roster: &[Box<dyn FeasibilitySolver>],
+/// token. Accepts any owning roster pointer (`Box` for one-shot callers,
+/// pooled `Arc`s for resident ones), like the underlying racer.
+pub fn race_roster<S>(
+    roster: &[S],
     ts: &TaskSet,
     spec: &PlatformSpec,
     budget: &Budget,
     cancel: &CancelToken,
-) -> Result<RaceRun, rt_task::TaskError> {
+) -> Result<RaceRun, rt_task::TaskError>
+where
+    S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
+{
     let race = portfolio::race_cancellable(roster, ts, spec, budget, cancel)?;
     Ok(RaceRun {
         verdict: race.result.verdict.clone(),

@@ -5,7 +5,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use mgrts_core::engine::{Budget, CancelToken, SolverSpec};
+use mgrts_core::engine::{Budget, CancelToken, FeasibilitySolver, SolverSpec};
 use mgrts_core::solve::{StopReason, Verdict};
 use mgrts_core::verify::{check_heterogeneous, check_identical};
 use rt_gen::Problem;
@@ -75,13 +75,27 @@ pub fn run_one_budgeted(
     budget: &Budget,
     cancel: &CancelToken,
 ) -> (InstanceOutcome, u64) {
-    let engine = solver.build_seeded(p.seed);
+    run_one_engine(p, &*solver.build_seeded(p.seed), budget, cancel)
+}
+
+/// Run a *prebuilt* engine on one instance — the hoisted-construction path
+/// resident callers ([`mgrts_core::engine::EnginePool`] users, the serve
+/// worker pool) take so solver construction stays out of the per-call
+/// path. Semantics are identical to [`run_one_budgeted`], including the
+/// independent C1–C4 verification of every produced schedule.
+#[must_use]
+pub fn run_one_engine(
+    p: &Problem,
+    engine: &dyn FeasibilitySolver,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64) {
     let res = engine
         .solve(&p.taskset, p.m, budget, cancel)
         .expect("valid constrained instance");
     if let Verdict::Feasible(s) = &res.verdict {
         check_identical(&p.taskset, p.m, s)
-            .unwrap_or_else(|e| panic!("solver {solver} returned invalid schedule: {e}"));
+            .unwrap_or_else(|e| panic!("solver {} returned invalid schedule: {e}", engine.name()));
     }
     (classify(&res.verdict), res.stats.elapsed_us)
 }
@@ -97,13 +111,29 @@ pub fn run_one_hetero(
     budget: &Budget,
     cancel: &CancelToken,
 ) -> (InstanceOutcome, u64) {
-    let engine = solver.build_seeded(p.seed);
+    run_one_hetero_engine(p, platform, &*solver.build_seeded(p.seed), budget, cancel)
+}
+
+/// Heterogeneous analogue of [`run_one_engine`]: a prebuilt engine, the
+/// heterogeneous C1–C4 checker.
+#[must_use]
+pub fn run_one_hetero_engine(
+    p: &Problem,
+    platform: &Platform,
+    engine: &dyn FeasibilitySolver,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64) {
     let res = engine
         .solve_hetero(&p.taskset, platform, budget, cancel)
         .expect("valid constrained instance");
     if let Verdict::Feasible(s) = &res.verdict {
-        check_heterogeneous(&p.taskset, platform, s)
-            .unwrap_or_else(|e| panic!("solver {solver} returned invalid hetero schedule: {e}"));
+        check_heterogeneous(&p.taskset, platform, s).unwrap_or_else(|e| {
+            panic!(
+                "solver {} returned invalid hetero schedule: {e}",
+                engine.name()
+            )
+        });
     }
     (classify(&res.verdict), res.stats.elapsed_us)
 }

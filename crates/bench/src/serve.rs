@@ -1,0 +1,1262 @@
+//! `mgrts serve` — the resident feasibility service.
+//!
+//! Turns the batch engine into a long-running server speaking
+//! line-delimited JSON over TCP: each request line is one JSON object,
+//! each response line is one JSON object, connections stay open for any
+//! number of exchanges. The server composes the pieces the batch stack
+//! already proved out:
+//!
+//! * **Engine reuse** — solvers come from a shared
+//!   [`EnginePool`], so construction happens once per `(spec, seed)`
+//!   instead of once per request (the hoist ROADMAP item 1 calls out).
+//! * **Response cache** — every settled solve is committed to the
+//!   [`RecordStore`] as a single-unit shard keyed by the request's
+//!   content hash; repeats are answered from the store (surviving
+//!   restarts) with `"cache":"hit"`.
+//! * **In-flight dedupe** — concurrent requests for the same instance
+//!   coalesce onto one solve; joiners report `"cache":"inflight"`.
+//! * **Admission control** — small requests run on a bounded worker
+//!   pool behind a bounded queue; a full queue is an explicit
+//!   `overloaded` rejection, never unbounded memory.
+//! * **Queue spill** — requests above a size/budget threshold are
+//!   published as store artifacts, claimed under PR-3 [`LeaseBoard`]
+//!   leases by background heavy workers, and resolved by `poll`
+//!   requests against the returned ticket.
+//!
+//! ## Protocol
+//!
+//! Requests (`type` selects the verb):
+//!
+//! ```json
+//! {"type":"solve","taskset":{"tasks":[...]},"m":2,
+//!  "solver":"csp2-dc","budget_ms":1000,"seed":1}
+//! {"type":"solve","taskset":{"tasks":[...]},"m":2,"policy":"portfolio-race"}
+//! {"type":"poll","ticket":"00f3ab..."}
+//! {"type":"stats"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Omitting both `solver` and `policy` races the default portfolio.
+//! Responses are `{"type":"result",...}` (with a `cache` field of
+//! `hit` / `miss` / `inflight`), `{"type":"ticket",...}` for spilled
+//! requests, `{"type":"poll",...}`, `{"type":"stats",...}`,
+//! `{"type":"overloaded",...}` on admission rejection and
+//! `{"type":"error",...}` for malformed input — a malformed line gets a
+//! structured error, not a disconnect.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use serde_json::Value;
+
+use mgrts_core::engine::{Budget, CancelToken, EnginePool, PlatformSpec, SolverSpec};
+use rt_gen::Problem;
+use rt_task::TaskSet;
+
+use crate::policy::{race_roster, BudgetSource, PolicyKind};
+use crate::queue::{list_leases, now_unix_ms, LeaseBoard, LEASE_DIR};
+use crate::runner::{classify, run_one_engine, InstanceOutcome};
+use crate::shard::{fnv1a, RunUnit, Shard};
+use crate::sink::{CampaignRecord, LocalStore, RecordStore, ShardWriter};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tunables of one server instance (the CLI flags of `mgrts serve`).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7077`. Port `0` binds an
+    /// ephemeral port (tests); [`Server::addr`] reports the real one.
+    pub addr: String,
+    /// Record-store directory used as the response cache and the spill
+    /// queue (created if missing).
+    pub data_dir: PathBuf,
+    /// Light worker pool size (small-request solvers).
+    pub workers: usize,
+    /// Admission control: pending small requests beyond this are
+    /// rejected with an `overloaded` response.
+    pub queue_cap: usize,
+    /// Per-request wall-clock budget (ms) when the request names none.
+    pub default_budget_ms: u64,
+    /// Requests with more tasks than this spill to the heavy queue.
+    pub spill_tasks: usize,
+    /// Requests with a budget above this (ms) spill to the heavy queue.
+    pub spill_budget_ms: u64,
+    /// Testing knob: artificial delay (ms) inserted before every actual
+    /// solve, so cache/inflight behaviour is deterministically
+    /// observable. `0` in production.
+    pub solve_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            data_dir: PathBuf::from("target/serve"),
+            workers: 4,
+            queue_cap: 64,
+            default_budget_ms: 1_000,
+            spill_tasks: 12,
+            spill_budget_ms: 10_000,
+            solve_delay_ms: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// How a solve request wants to be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestMode {
+    /// One named backend.
+    Single(SolverSpec),
+    /// Race [`SolverSpec::DEFAULT_PORTFOLIO`].
+    Race,
+}
+
+impl RequestMode {
+    /// Stable tag used in the content hash and in responses.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RequestMode::Single(spec) => spec.name(),
+            RequestMode::Race => "portfolio-race",
+        }
+    }
+}
+
+/// One parsed `solve` request.
+#[derive(Debug, Clone)]
+pub struct SolveRequest {
+    /// The instance to decide.
+    pub taskset: TaskSet,
+    /// Processor count.
+    pub m: usize,
+    /// Seed for the randomized backends.
+    pub seed: u64,
+    /// Single backend or portfolio race.
+    pub mode: RequestMode,
+    /// Per-request budget override (ms).
+    pub budget_ms: Option<u64>,
+}
+
+impl SolveRequest {
+    /// The request's effective wall-clock budget under `default_ms`.
+    #[must_use]
+    pub fn effective_budget_ms(&self, default_ms: u64) -> u64 {
+        self.budget_ms.unwrap_or(default_ms)
+    }
+
+    /// Serialize back to the wire shape (the spill artifact format).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        use serde::Serialize;
+        let mut fields = vec![
+            ("type".to_string(), Value::String("solve".to_string())),
+            ("taskset".to_string(), self.taskset.to_value()),
+            ("m".to_string(), Value::UInt(self.m as u64)),
+            ("seed".to_string(), Value::UInt(self.seed)),
+        ];
+        match &self.mode {
+            RequestMode::Single(spec) => {
+                fields.push(("solver".to_string(), Value::String(spec.name().to_string())))
+            }
+            RequestMode::Race => fields.push((
+                "policy".to_string(),
+                Value::String("portfolio-race".to_string()),
+            )),
+        }
+        if let Some(ms) = self.budget_ms {
+            fields.push(("budget_ms".to_string(), Value::UInt(ms)));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Decide an instance.
+    Solve(SolveRequest),
+    /// Resolve a spill ticket.
+    Poll {
+        /// The ticket string from an earlier `ticket` response.
+        ticket: String,
+    },
+    /// Server counters snapshot.
+    Stats,
+    /// Graceful shutdown.
+    Shutdown,
+}
+
+/// Parse one request line. Errors are protocol errors to send back as
+/// structured `error` responses — never a reason to drop the connection.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    use serde::Deserialize;
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let Some(kind) = v["type"].as_str() else {
+        return Err("missing request field `type`".to_string());
+    };
+    match kind {
+        "solve" => {
+            let taskset = match v.get("taskset") {
+                Some(ts) => TaskSet::from_value(ts).map_err(|e| format!("bad `taskset`: {e}"))?,
+                None => return Err("solve request needs a `taskset`".to_string()),
+            };
+            let Some(m) = v["m"].as_u64() else {
+                return Err("solve request needs a processor count `m`".to_string());
+            };
+            if m == 0 {
+                return Err("`m` must be positive".to_string());
+            }
+            let seed = v["seed"].as_u64().unwrap_or(1);
+            let budget_ms = v["budget_ms"].as_u64();
+            let solver = match v["solver"].as_str() {
+                Some(name) => Some(name.parse::<SolverSpec>()?),
+                None => None,
+            };
+            let mode = match v["policy"].as_str() {
+                Some("single") => {
+                    RequestMode::Single(solver.unwrap_or(SolverSpec::DEFAULT_PORTFOLIO[0]))
+                }
+                Some("portfolio-race" | "portfolio" | "race") => RequestMode::Race,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown policy `{other}` (expected single|portfolio-race)"
+                    ))
+                }
+                None => match solver {
+                    Some(spec) => RequestMode::Single(spec),
+                    None => RequestMode::Race,
+                },
+            };
+            Ok(Request::Solve(SolveRequest {
+                taskset,
+                m: m as usize,
+                seed,
+                mode,
+                budget_ms,
+            }))
+        }
+        "poll" => match v["ticket"].as_str() {
+            Some(t) => Ok(Request::Poll {
+                ticket: t.to_string(),
+            }),
+            None => Err("poll request needs a `ticket`".to_string()),
+        },
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown request type `{other}` (expected solve|poll|stats|shutdown)"
+        )),
+    }
+}
+
+/// Content hash of a solve request: the canonical task-set rendering plus
+/// every field that changes the answer (platform size, execution mode,
+/// effective budget, seed). Doubles as the cache key, the spill ticket
+/// and the stored record's instance id.
+#[must_use]
+pub fn request_key(req: &SolveRequest, default_budget_ms: u64) -> u64 {
+    use serde::Serialize;
+    let canon = serde_json::to_string(&req.taskset.to_value()).unwrap_or_default();
+    let tail = format!(
+        "|m={}|mode={}|budget_ms={}|seed={}",
+        req.m,
+        req.mode.tag(),
+        req.effective_budget_ms(default_budget_ms),
+        req.seed
+    );
+    fnv1a(format!("{canon}{tail}").as_bytes())
+}
+
+/// Render a request key as the wire ticket (16 hex digits — the same
+/// shape as a shard content hash).
+#[must_use]
+pub fn ticket_of(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+/// Parse a wire ticket back to the request key.
+pub fn parse_ticket(ticket: &str) -> Result<u64, String> {
+    if ticket.len() != 16 {
+        return Err(format!("bad ticket `{ticket}`: expected 16 hex digits"));
+    }
+    u64::from_str_radix(ticket, 16).map_err(|_| format!("bad ticket `{ticket}`: not hex"))
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+/// Structured protocol error (the response to malformed lines).
+#[must_use]
+pub fn error_response(msg: &str) -> Value {
+    obj(vec![("type", s("error")), ("error", s(msg))])
+}
+
+/// Render a response [`Value`] as one wire line (no trailing newline).
+#[must_use]
+pub fn render_response(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "{\"type\":\"error\"}".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Server state
+// ---------------------------------------------------------------------------
+
+/// One settled solve, as cached in memory and in the record store.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Classified outcome.
+    pub outcome: InstanceOutcome,
+    /// Solve wall-clock, microseconds.
+    pub time_us: u64,
+    /// Backend that produced the verdict (race winner, or the single
+    /// solver; the mode tag when nobody concluded).
+    pub solver: String,
+}
+
+impl CachedResult {
+    fn response(&self, key: u64, cache: &str) -> Value {
+        use serde::Serialize;
+        obj(vec![
+            ("type", s("result")),
+            ("ticket", s(ticket_of(key))),
+            ("outcome", self.outcome.to_value()),
+            ("time_us", Value::UInt(self.time_us)),
+            ("solver", s(self.solver.clone())),
+            ("cache", s(cache)),
+        ])
+    }
+}
+
+/// Monotonic serving counters (the `stats` response, and the
+/// machine-readable surface the serve-smoke CI job asserts against).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Request lines accepted (any verb).
+    pub requests: AtomicU64,
+    /// Actual engine executions (the dedupe instrumentation: coalesced
+    /// and cached requests do not increment this).
+    pub solves: AtomicU64,
+    /// Answers served from the record-store cache.
+    pub cache_hits: AtomicU64,
+    /// Solves actually performed for a requester (cache misses).
+    pub cache_misses: AtomicU64,
+    /// Requests coalesced onto an in-flight solve.
+    pub inflight_hits: AtomicU64,
+    /// Admission-control rejections.
+    pub rejected: AtomicU64,
+    /// Requests spilled to the heavy queue.
+    pub spilled: AtomicU64,
+    /// Poll requests answered.
+    pub polls: AtomicU64,
+    /// Malformed or invalid request lines.
+    pub errors: AtomicU64,
+}
+
+impl ServeStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn response(&self, queue_depth: usize, heavy_depth: usize, engines: usize) -> Value {
+        let g = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+        obj(vec![
+            ("type", s("stats")),
+            ("requests", g(&self.requests)),
+            ("solves", g(&self.solves)),
+            ("cache_hits", g(&self.cache_hits)),
+            ("cache_misses", g(&self.cache_misses)),
+            ("inflight_hits", g(&self.inflight_hits)),
+            ("rejected", g(&self.rejected)),
+            ("spilled", g(&self.spilled)),
+            ("polls", g(&self.polls)),
+            ("errors", g(&self.errors)),
+            ("queue_depth", Value::UInt(queue_depth as u64)),
+            ("heavy_depth", Value::UInt(heavy_depth as u64)),
+            ("engines_cached", Value::UInt(engines as u64)),
+        ])
+    }
+}
+
+/// One in-flight solve that waiters (the requester and any coalesced
+/// joiners) block on.
+struct Flight {
+    done: Mutex<Option<CachedResult>>,
+    cv: Condvar,
+}
+
+struct ServerState {
+    cfg: ServeConfig,
+    store: LocalStore,
+    pool: EnginePool,
+    cancel: CancelToken,
+    stats: ServeStats,
+    /// In-memory view of the record-store cache, keyed by request hash.
+    cache: Mutex<HashMap<u64, CachedResult>>,
+    /// Coalescing table: one [`Flight`] per distinct in-flight key.
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    /// Bounded small-request queue (admission control caps its length).
+    jobs: Mutex<VecDeque<(u64, SolveRequest)>>,
+    jobs_cv: Condvar,
+    /// Spilled requests awaiting a heavy worker.
+    heavy_jobs: Mutex<VecDeque<(u64, SolveRequest)>>,
+    heavy_cv: Condvar,
+    /// Keys with a published spill artifact not yet settled.
+    heavy_pending: Mutex<HashSet<u64>>,
+    /// Serialized append handle into the store ("serve" writer segment).
+    writer: Mutex<Box<dyn ShardWriter + Send>>,
+}
+
+impl ServerState {
+    fn cached(&self, key: u64) -> Option<CachedResult> {
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Run the request's engines (the only place solves happen). The
+    /// artificial delay precedes the solve so tests can observe the
+    /// in-flight window deterministically.
+    fn execute(&self, key: u64, req: &SolveRequest) -> CachedResult {
+        if self.cfg.solve_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.cfg.solve_delay_ms));
+        }
+        ServeStats::bump(&self.stats.solves);
+        let budget_ms = req.effective_budget_ms(self.cfg.default_budget_ms);
+        let budget = Budget::time_limit(Duration::from_millis(budget_ms));
+        let problem = Problem {
+            taskset: req.taskset.clone(),
+            m: req.m,
+            seed: req.seed,
+        };
+        match &req.mode {
+            RequestMode::Single(spec) => {
+                let engine = self.pool.get(*spec, req.seed);
+                let (outcome, time_us) = run_one_engine(&problem, &*engine, &budget, &self.cancel);
+                let record = self.record_for(key, req, outcome, time_us, *spec, None, None, None);
+                self.settle(key, req, record)
+            }
+            RequestMode::Race => {
+                let roster = self.pool.roster(&SolverSpec::DEFAULT_PORTFOLIO, req.seed);
+                let run = race_roster(
+                    &roster,
+                    &req.taskset,
+                    &PlatformSpec::identical(req.m),
+                    &budget,
+                    &self.cancel,
+                )
+                .expect("valid constrained instance");
+                let outcome = classify(&run.verdict);
+                let record = self.record_for(
+                    key,
+                    req,
+                    outcome,
+                    run.elapsed_us,
+                    SolverSpec::DEFAULT_PORTFOLIO[0],
+                    run.winner.clone(),
+                    run.cancel_latency_us,
+                    Some(run.backends),
+                );
+                self.settle(key, req, record)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_for(
+        &self,
+        key: u64,
+        req: &SolveRequest,
+        outcome: InstanceOutcome,
+        time_us: u64,
+        solver: SolverSpec,
+        winner: Option<String>,
+        cancel_latency_us: Option<u64>,
+        backends: Option<Vec<mgrts_core::portfolio::BackendStat>>,
+    ) -> CampaignRecord {
+        let (kind, src) = match req.mode {
+            RequestMode::Single(_) => (PolicyKind::Single, BudgetSource::Manifest),
+            RequestMode::Race => (PolicyKind::PortfolioRace, BudgetSource::Manifest),
+        };
+        CampaignRecord {
+            shard: ticket_of(key),
+            cell: 0,
+            instance: key,
+            global_instance: key,
+            solver,
+            outcome,
+            time_us,
+            ratio: req.taskset.utilization_ratio(req.m),
+            filtered: req.taskset.utilization_exceeds(req.m),
+            m: req.m,
+            n: req.taskset.len(),
+            t_max: req.taskset.max_period(),
+            hetero: false,
+            hyperperiod: req.taskset.hyperperiod().unwrap_or(0),
+            seed: req.seed,
+            policy: Some(kind),
+            winner,
+            budget_source: Some(src),
+            cancel_latency_us,
+            backends,
+        }
+    }
+
+    /// Commit a settled solve to the store (one single-unit shard per
+    /// request key) and publish it in the in-memory cache. Cancelled
+    /// outcomes (a shutdown mid-solve) are returned to their waiters but
+    /// never cached — a restarted server must re-decide them.
+    fn settle(&self, key: u64, req: &SolveRequest, record: CampaignRecord) -> CachedResult {
+        let result = CachedResult {
+            outcome: record.outcome,
+            time_us: record.time_us,
+            solver: record
+                .winner
+                .clone()
+                .unwrap_or_else(|| record.solver.name().to_string()),
+        };
+        if record.outcome == InstanceOutcome::Cancelled {
+            return result;
+        }
+        let shard = Shard {
+            index: 0,
+            hash: ticket_of(key),
+            units: vec![RunUnit {
+                cell: 0,
+                instance: key,
+                solver: 0,
+            }],
+        };
+        {
+            let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = writer.commit_shard(&shard, &[record]) {
+                eprintln!("serve: failed to commit record for {}: {e}", ticket_of(key));
+            }
+        }
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, result.clone());
+        let _ = req; // provenance lives in the record
+        result
+    }
+
+    /// Resolve a flight: publish the result to every waiter and retire
+    /// the coalescing entry. The cache insert (in [`settle`]) happens
+    /// before this, so a request can never miss both.
+    fn finish_flight(&self, key: u64, flight: &Arc<Flight>, result: CachedResult) {
+        *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+        flight.cv.notify_all();
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn heavy_depth(&self) -> usize {
+        self.heavy_jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
+    let key = request_key(&req, state.cfg.default_budget_ms);
+    // 1. Response cache (the record store).
+    if let Some(cached) = state.cached(key) {
+        ServeStats::bump(&state.stats.cache_hits);
+        return cached.response(key, "hit");
+    }
+    // 2. Heavy requests spill to the lease queue and get a ticket.
+    let budget_ms = req.effective_budget_ms(state.cfg.default_budget_ms);
+    if req.taskset.len() > state.cfg.spill_tasks || budget_ms > state.cfg.spill_budget_ms {
+        return handle_spill(state, key, req);
+    }
+    // 3. Coalesce onto an in-flight solve, or admit a new one.
+    let (flight, creator) = {
+        let mut inflight = state.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match inflight.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                if jobs.len() >= state.cfg.queue_cap {
+                    ServeStats::bump(&state.stats.rejected);
+                    return obj(vec![
+                        ("type", s("overloaded")),
+                        ("queue_depth", Value::UInt(jobs.len() as u64)),
+                        ("queue_cap", Value::UInt(state.cfg.queue_cap as u64)),
+                    ]);
+                }
+                let f = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                inflight.insert(key, Arc::clone(&f));
+                jobs.push_back((key, req.clone()));
+                state.jobs_cv.notify_one();
+                (f, true)
+            }
+        }
+    };
+    // 4. Wait for the solve (bounded by the budget plus slack).
+    let deadline = Duration::from_millis(
+        budget_ms
+            .saturating_add(state.cfg.solve_delay_ms)
+            .saturating_add(30_000),
+    );
+    let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
+    while done.is_none() {
+        let (guard, timeout) = flight
+            .cv
+            .wait_timeout(done, deadline)
+            .unwrap_or_else(|e| e.into_inner());
+        done = guard;
+        if done.is_some() {
+            break;
+        }
+        if timeout.timed_out() {
+            return error_response("solve timed out server-side");
+        }
+        if state.cancel.is_cancelled() {
+            return error_response("server shutting down");
+        }
+    }
+    let result = done.clone().expect("loop exits only with a result");
+    if creator {
+        ServeStats::bump(&state.stats.cache_misses);
+        result.response(key, "miss")
+    } else {
+        ServeStats::bump(&state.stats.inflight_hits);
+        result.response(key, "inflight")
+    }
+}
+
+fn handle_spill(state: &ServerState, key: u64, req: SolveRequest) -> Value {
+    let ticket = ticket_of(key);
+    let mut pending = state
+        .heavy_pending
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if pending.contains(&key) {
+        // A repeat of a still-queued heavy request coalesces onto the
+        // existing ticket.
+        ServeStats::bump(&state.stats.inflight_hits);
+        return obj(vec![
+            ("type", s("ticket")),
+            ("ticket", s(ticket)),
+            ("status", s("pending")),
+            ("cache", s("inflight")),
+        ]);
+    }
+    // Publish the job as a store artifact (crash-safe: a restarted server
+    // re-enqueues unresolved job artifacts), then queue it for the heavy
+    // workers.
+    let artifact = render_response(&req.to_value());
+    if let Err(e) = state
+        .store
+        .put_artifact(&format!("job-{ticket}.json"), &artifact)
+    {
+        return error_response(&format!("failed to persist spill job: {e}"));
+    }
+    pending.insert(key);
+    drop(pending);
+    ServeStats::bump(&state.stats.spilled);
+    state
+        .heavy_jobs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back((key, req));
+    state.heavy_cv.notify_one();
+    obj(vec![
+        ("type", s("ticket")),
+        ("ticket", s(ticket)),
+        ("status", s("queued")),
+        ("cache", s("miss")),
+    ])
+}
+
+fn handle_poll(state: &ServerState, ticket: &str) -> Value {
+    ServeStats::bump(&state.stats.polls);
+    let key = match parse_ticket(ticket) {
+        Ok(k) => k,
+        Err(e) => return error_response(&e),
+    };
+    if let Some(cached) = state.cached(key) {
+        use serde::Serialize;
+        return obj(vec![
+            ("type", s("poll")),
+            ("ticket", s(ticket)),
+            ("status", s("done")),
+            ("outcome", cached.outcome.to_value()),
+            ("time_us", Value::UInt(cached.time_us)),
+            ("solver", s(cached.solver)),
+        ]);
+    }
+    let pending = state
+        .heavy_pending
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .contains(&key);
+    if pending {
+        // Distinguish queued from running via the lease board.
+        let lease_name = format!("job-{}", ticket_of(key));
+        let now = now_unix_ms();
+        let running = list_leases(&state.store.dir().join(LEASE_DIR))
+            .unwrap_or_default()
+            .iter()
+            .any(|l| l.shard == lease_name && !l.is_expired(now));
+        return obj(vec![
+            ("type", s("poll")),
+            ("ticket", s(ticket)),
+            ("status", s("pending")),
+            ("phase", s(if running { "running" } else { "queued" })),
+        ]);
+    }
+    error_response(&format!("unknown ticket `{ticket}`"))
+}
+
+/// Handle one request line and produce the response line's [`Value`] —
+/// shared by the TCP handler and the protocol unit tests. `None` means
+/// "shutdown acknowledged": the caller sends the returned ack first.
+fn handle_line(state: &ServerState, line: &str) -> (Value, bool) {
+    ServeStats::bump(&state.stats.requests);
+    match parse_request(line) {
+        Ok(Request::Solve(req)) => (handle_solve(state, req), false),
+        Ok(Request::Poll { ticket }) => (handle_poll(state, &ticket), false),
+        Ok(Request::Stats) => (
+            state
+                .stats
+                .response(state.queue_depth(), state.heavy_depth(), state.pool.len()),
+            false,
+        ),
+        Ok(Request::Shutdown) => (
+            obj(vec![("type", s("ok")), ("msg", s("shutting down"))]),
+            true,
+        ),
+        Err(e) => {
+            ServeStats::bump(&state.stats.errors);
+            (error_response(&e), false)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pools
+// ---------------------------------------------------------------------------
+
+fn light_worker(state: &Arc<ServerState>) {
+    loop {
+        let job = {
+            let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.cancel.is_cancelled() {
+                    break None;
+                }
+                let (guard, _) = state
+                    .jobs_cv
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                jobs = guard;
+            }
+        };
+        let Some((key, req)) = job else { break };
+        // The key may have settled while queued (a racing flight that
+        // re-solved, or a heavy worker): serve from cache without a solve.
+        let result = match state.cached(key) {
+            Some(cached) => cached,
+            None => state.execute(key, &req),
+        };
+        let flight = state
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        if let Some(flight) = flight {
+            state.finish_flight(key, &flight, result);
+        }
+    }
+}
+
+/// Heavy worker: drains the spill queue under PR-3 leases, so the work
+/// is observable (`poll` reports `running`), crash-safe (an expired
+/// lease is reclaimable) and shareable with external drain processes.
+fn heavy_worker(state: &Arc<ServerState>, index: usize) {
+    let board = match LeaseBoard::open(
+        state.store.dir(),
+        &format!("serve-heavy-{index}"),
+        Duration::from_secs(60),
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("serve: heavy worker {index} failed to open lease board: {e}");
+            return;
+        }
+    };
+    loop {
+        let job = {
+            let mut jobs = state.heavy_jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.cancel.is_cancelled() {
+                    break None;
+                }
+                let (guard, _) = state
+                    .heavy_cv
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                jobs = guard;
+            }
+        };
+        let Some((key, req)) = job else { break };
+        let lease_name = format!("job-{}", ticket_of(key));
+        match board.try_claim(&lease_name) {
+            Ok(true) => {}
+            Ok(false) => continue, // an external worker holds it
+            Err(e) => {
+                eprintln!("serve: lease claim failed for {lease_name}: {e}");
+                continue;
+            }
+        }
+        let result = match state.cached(key) {
+            Some(cached) => cached,
+            None => state.execute(key, &req),
+        };
+        let _ = board.release(&lease_name);
+        if result.outcome != InstanceOutcome::Cancelled {
+            state
+                .heavy_pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&key);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Split a receive buffer into complete lines, leaving any trailing
+/// partial line in place — the framing the protocol tests pin down.
+pub fn drain_lines(buf: &mut Vec<u8>) -> Vec<String> {
+    let mut lines = Vec::new();
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = buf.drain(..=pos).collect();
+        let text = String::from_utf8_lossy(&line[..line.len() - 1])
+            .trim_end_matches('\r')
+            .to_string();
+        lines.push(text);
+    }
+    lines
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if state.cancel.is_cancelled() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        for line in drain_lines(&mut buf) {
+            if line.is_empty() {
+                continue;
+            }
+            let (response, shutdown) = handle_line(state, &line);
+            let mut text = render_response(&response);
+            text.push('\n');
+            if stream.write_all(text.as_bytes()).is_err() {
+                return;
+            }
+            let _ = stream.flush();
+            if shutdown {
+                state.cancel.cancel();
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// A running serve instance: the listener, its worker pools and shared
+/// state. Constructed by [`Server::start`], stopped by [`Server::shutdown`]
+/// (or by cancelling [`Server::cancel_token`], e.g. from a SIGTERM
+/// handler).
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind, reload the response cache from the store, recover any
+    /// unresolved spill jobs, and spawn the accept loop plus worker
+    /// pools.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let store = LocalStore::open(&cfg.data_dir)?;
+        let writer = store.open_writer("serve")?;
+        // Reload the cache: every believable record in the store is a
+        // servable response (`instance` is the request key).
+        let mut cache = HashMap::new();
+        for r in store.load_records()? {
+            cache.insert(
+                r.instance,
+                CachedResult {
+                    outcome: r.outcome,
+                    time_us: r.time_us,
+                    solver: r
+                        .winner
+                        .clone()
+                        .unwrap_or_else(|| r.solver.name().to_string()),
+                },
+            );
+        }
+        let state = Arc::new(ServerState {
+            store,
+            pool: EnginePool::new(),
+            cancel: CancelToken::new(),
+            stats: ServeStats::default(),
+            cache: Mutex::new(cache),
+            inflight: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            heavy_jobs: Mutex::new(VecDeque::new()),
+            heavy_cv: Condvar::new(),
+            heavy_pending: Mutex::new(HashSet::new()),
+            writer: Mutex::new(writer),
+            cfg,
+        });
+        Self::recover_spill_jobs(&state);
+        let mut threads = Vec::new();
+        for _ in 0..state.cfg.workers.max(1) {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || light_worker(&state)));
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || heavy_worker(&state, 0)));
+        }
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let state = Arc::clone(&state);
+            let conns = Arc::clone(&conns);
+            threads.push(std::thread::spawn(move || loop {
+                if state.cancel.is_cancelled() {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = Arc::clone(&state);
+                        let handle = std::thread::spawn(move || handle_connection(&state, stream));
+                        conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }));
+        }
+        Ok(Server {
+            state,
+            addr,
+            threads,
+            conns,
+        })
+    }
+
+    /// Re-enqueue spill artifacts with no settled record (a crashed or
+    /// SIGKILLed predecessor): the job files are the queue's durable
+    /// form.
+    fn recover_spill_jobs(state: &Arc<ServerState>) {
+        let Ok(entries) = std::fs::read_dir(state.store.dir()) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(ticket) = name
+                .strip_prefix("job-")
+                .and_then(|rest| rest.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            let Ok(key) = parse_ticket(ticket) else {
+                continue;
+            };
+            if state.cached(key).is_some() {
+                continue; // already settled in a previous life
+            }
+            let Ok(text) = std::fs::read_to_string(entry.path()) else {
+                continue;
+            };
+            let Ok(Request::Solve(req)) = parse_request(&text) else {
+                continue;
+            };
+            let mut pending = state
+                .heavy_pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if pending.insert(key) {
+                state
+                    .heavy_jobs
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back((key, req));
+            }
+        }
+    }
+
+    /// The bound address (resolves port `0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's cancellation token; cancelling it initiates a
+    /// graceful shutdown (stop accepting, preempt running solves,
+    /// release leases).
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancel.clone()
+    }
+
+    /// Stats counters (test instrumentation; the wire surface is the
+    /// `stats` request).
+    #[must_use]
+    pub fn stats(&self) -> &ServeStats {
+        &self.state.stats
+    }
+
+    /// Graceful shutdown: raise the token, join every worker and
+    /// connection thread, and return a human-readable summary.
+    pub fn shutdown(self) -> String {
+        self.state.cancel.cancel();
+        self.state.jobs_cv.notify_all();
+        self.state.heavy_cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for t in conns {
+            let _ = t.join();
+        }
+        let st = &self.state.stats;
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "served {} requests ({} solves, {} cache hits, {} coalesced, \
+             {} spilled, {} rejected, {} errors)",
+            g(&st.requests),
+            g(&st.solves),
+            g(&st.cache_hits),
+            g(&st.inflight_hits),
+            g(&st.spilled),
+            g(&st.rejected),
+            g(&st.errors),
+        )
+    }
+}
+
+/// Run a server until `external` is cancelled (SIGTERM/SIGINT via the
+/// CLI's signal handler, or a `shutdown` request), then shut down
+/// gracefully. Returns the serving summary. The "listening" line goes to
+/// stderr immediately so callers can synchronize on it.
+pub fn run(cfg: ServeConfig, external: &CancelToken) -> std::io::Result<String> {
+    let server = Server::start(cfg)?;
+    eprintln!("mgrts serve: listening on {}", server.addr());
+    let token = server.cancel_token();
+    while !external.is_cancelled() && !token.is_cancelled() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    token.cancel();
+    Ok(server.shutdown())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_example_json() -> String {
+        use serde::Serialize;
+        serde_json::to_string(&TaskSet::running_example().to_value()).unwrap()
+    }
+
+    fn solve_line(extra: &str) -> String {
+        format!(
+            "{{\"type\":\"solve\",\"taskset\":{},\"m\":2{extra}}}",
+            running_example_json()
+        )
+    }
+
+    #[test]
+    fn parses_solve_request_shapes() {
+        let req = parse_request(&solve_line("")).unwrap();
+        let Request::Solve(req) = req else {
+            panic!("expected solve")
+        };
+        assert_eq!(req.m, 2);
+        assert_eq!(req.mode, RequestMode::Race);
+        assert_eq!(req.budget_ms, None);
+
+        let req = parse_request(&solve_line(",\"solver\":\"csp2-dc\",\"budget_ms\":250")).unwrap();
+        let Request::Solve(req) = req else {
+            panic!("expected solve")
+        };
+        assert!(matches!(req.mode, RequestMode::Single(_)));
+        assert_eq!(req.budget_ms, Some(250));
+
+        let req = parse_request(&solve_line(",\"policy\":\"portfolio-race\"")).unwrap();
+        let Request::Solve(req) = req else {
+            panic!("expected solve")
+        };
+        assert_eq!(req.mode, RequestMode::Race);
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        for bad in [
+            "not json at all",
+            "{\"type\":\"conquer\"}",
+            "{\"no_type\":1}",
+            "{\"type\":\"solve\",\"m\":2}",
+            "{\"type\":\"solve\",\"taskset\":{\"tasks\":[]},\"m\":0}",
+            "{\"type\":\"poll\"}",
+        ] {
+            let err = match parse_request(bad) {
+                Err(e) => e,
+                Ok(r) => panic!("`{bad}` parsed as {r:?}"),
+            };
+            let resp = error_response(&err);
+            let text = render_response(&resp);
+            let back: Value = serde_json::from_str(&text).unwrap();
+            assert_eq!(back["type"].as_str(), Some("error"), "for `{bad}`");
+            assert!(back["error"].as_str().is_some(), "for `{bad}`");
+        }
+    }
+
+    #[test]
+    fn request_key_separates_what_matters() {
+        let base = match parse_request(&solve_line("")).unwrap() {
+            Request::Solve(r) => r,
+            _ => unreachable!(),
+        };
+        let k = request_key(&base, 1_000);
+        // Identical request → identical key.
+        assert_eq!(k, request_key(&base.clone(), 1_000));
+        // Platform size, mode, budget and seed all separate keys.
+        let mut other = base.clone();
+        other.m = 3;
+        assert_ne!(k, request_key(&other, 1_000));
+        let mut other = base.clone();
+        other.mode = RequestMode::Single(SolverSpec::Csp1);
+        assert_ne!(k, request_key(&other, 1_000));
+        let mut other = base.clone();
+        other.budget_ms = Some(2_000);
+        assert_ne!(k, request_key(&other, 1_000));
+        // An explicit budget equal to the default is the same request.
+        let mut other = base.clone();
+        other.budget_ms = Some(1_000);
+        assert_eq!(k, request_key(&other, 1_000));
+    }
+
+    #[test]
+    fn tickets_round_trip() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_ticket(&ticket_of(key)).unwrap(), key);
+        }
+        assert!(parse_ticket("xyz").is_err());
+        assert!(parse_ticket("123").is_err());
+        assert!(parse_ticket("zzzzzzzzzzzzzzzz").is_err());
+    }
+
+    #[test]
+    fn framing_splits_complete_lines_only() {
+        let mut buf = b"{\"a\":1}\n{\"b\":2}\r\n{\"part".to_vec();
+        let lines = drain_lines(&mut buf);
+        assert_eq!(
+            lines,
+            vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]
+        );
+        assert_eq!(buf, b"{\"part".to_vec());
+        buf.extend_from_slice(b"ial\":3}\n");
+        let lines = drain_lines(&mut buf);
+        assert_eq!(lines, vec!["{\"partial\":3}".to_string()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn spill_request_round_trips_through_artifact_shape() {
+        let req =
+            match parse_request(&solve_line(",\"solver\":\"csp2\",\"budget_ms\":123")).unwrap() {
+                Request::Solve(r) => r,
+                _ => unreachable!(),
+            };
+        let text = render_response(&req.to_value());
+        let back = match parse_request(&text).unwrap() {
+            Request::Solve(r) => r,
+            _ => unreachable!(),
+        };
+        assert_eq!(request_key(&req, 1_000), request_key(&back, 1_000));
+        assert_eq!(back.budget_ms, Some(123));
+        assert_eq!(back.mode, req.mode);
+    }
+}

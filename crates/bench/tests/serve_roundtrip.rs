@@ -1,0 +1,257 @@
+//! End-to-end tests of the resident serve loop over real TCP: in-flight
+//! dedupe (exactly one solve for concurrent identical requests),
+//! malformed-line resilience, admission control, the queue-spill + poll
+//! path, and cache persistence across a server restart.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mgrts_bench::serve::{ServeConfig, Server};
+use serde_json::Value;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mgrts-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        Instant::now()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(tag: &str) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: tmp_dir(tag),
+        workers: 2,
+        queue_cap: 16,
+        default_budget_ms: 2_000,
+        spill_tasks: 64,
+        spill_budget_ms: 60_000,
+        solve_delay_ms: 0,
+    }
+}
+
+fn taskset_json() -> String {
+    use serde::Serialize;
+    serde_json::to_string(&rt_task::TaskSet::running_example().to_value()).unwrap()
+}
+
+fn solve_line(extra: &str) -> String {
+    format!(
+        "{{\"type\":\"solve\",\"taskset\":{},\"m\":2,\"solver\":\"csp2-dc\"{extra}}}",
+        taskset_json()
+    )
+}
+
+/// One request/response exchange on a fresh connection.
+fn exchange(addr: std::net::SocketAddr, line: &str) -> Value {
+    let stream = TcpStream::connect(addr).expect("connect");
+    exchange_on(&stream, line)
+}
+
+/// One request/response exchange on an existing connection.
+fn exchange_on(stream: &TcpStream, line: &str) -> Value {
+    let mut out = stream.try_clone().expect("clone stream");
+    out.write_all(format!("{line}\n").as_bytes()).expect("send");
+    out.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response line");
+    serde_json::from_str(&response).expect("response parses")
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_onto_one_solve() {
+    let mut cfg = config("dedupe");
+    cfg.solve_delay_ms = 300; // hold the in-flight window open
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let line = solve_line("");
+            std::thread::spawn(move || exchange(addr, &line))
+        })
+        .collect();
+    let responses: Vec<Value> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let mut tags: Vec<String> = responses
+        .iter()
+        .map(|r| {
+            assert_eq!(r["type"].as_str(), Some("result"), "got {r:?}");
+            assert_eq!(r["outcome"].as_str(), Some("Solved"), "got {r:?}");
+            r["cache"].as_str().unwrap().to_string()
+        })
+        .collect();
+    tags.sort();
+    // One creator, two coalesced joiners — and exactly one engine run.
+    assert_eq!(tags, vec!["inflight", "inflight", "miss"]);
+    assert_eq!(
+        server
+            .stats()
+            .solves
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // A repeat after settling is a store hit, still without a new solve.
+    let repeat = exchange(addr, &solve_line(""));
+    assert_eq!(repeat["cache"].as_str(), Some("hit"));
+    assert_eq!(
+        server
+            .stats()
+            .solves
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_errors_without_disconnect() {
+    let server = Server::start(config("malformed")).unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+
+    let err = exchange_on(&stream, "this is not json");
+    assert_eq!(err["type"].as_str(), Some("error"));
+    let err = exchange_on(&stream, "{\"type\":\"solve\",\"m\":2}");
+    assert_eq!(err["type"].as_str(), Some("error"));
+
+    // The same connection still serves valid requests afterwards.
+    let ok = exchange_on(&stream, &solve_line(""));
+    assert_eq!(ok["type"].as_str(), Some("result"));
+    assert_eq!(ok["outcome"].as_str(), Some("Solved"));
+
+    let stats = exchange_on(&stream, "{\"type\":\"stats\"}");
+    assert_eq!(stats["type"].as_str(), Some("stats"));
+    assert_eq!(stats["errors"].as_u64(), Some(2));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_resolves_via_spill_and_poll() {
+    let mut cfg = config("spill");
+    cfg.spill_tasks = 1; // every instance is "oversized"
+    let data_dir = cfg.data_dir.clone();
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let ticket_resp = exchange(addr, &solve_line(""));
+    assert_eq!(
+        ticket_resp["type"].as_str(),
+        Some("ticket"),
+        "{ticket_resp:?}"
+    );
+    let ticket = ticket_resp["ticket"].as_str().unwrap().to_string();
+    assert_eq!(ticket_resp["status"].as_str(), Some("queued"));
+
+    // Poll until the heavy worker settles it.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let done = loop {
+        let poll = exchange(
+            addr,
+            &format!("{{\"type\":\"poll\",\"ticket\":\"{ticket}\"}}"),
+        );
+        assert_eq!(poll["type"].as_str(), Some("poll"), "{poll:?}");
+        if poll["status"].as_str() == Some("done") {
+            break poll;
+        }
+        assert!(Instant::now() < deadline, "spill job never settled");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(done["outcome"].as_str(), Some("Solved"));
+
+    // The settled spill is now an ordinary cache hit.
+    let repeat = exchange(addr, &solve_line(""));
+    assert_eq!(repeat["type"].as_str(), Some("result"));
+    assert_eq!(repeat["cache"].as_str(), Some("hit"));
+
+    // Unknown tickets are structured errors.
+    let unknown = exchange(addr, "{\"type\":\"poll\",\"ticket\":\"00000000000000aa\"}");
+    assert_eq!(unknown["type"].as_str(), Some("error"));
+
+    server.shutdown();
+    // Clean shutdown leaves no leases behind.
+    let leases = mgrts_bench::queue::list_leases(&data_dir.join("leases")).unwrap();
+    assert!(leases.is_empty(), "orphaned leases: {leases:?}");
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let mut cfg = config("overload");
+    cfg.workers = 1;
+    cfg.queue_cap = 1;
+    cfg.solve_delay_ms = 400;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // Four distinct requests (seed separates keys). Write them all before
+    // reading any response, so they contend for the single queue slot
+    // while the lone worker sits in its 400 ms delay.
+    let streams: Vec<TcpStream> = (0..4)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let line = solve_line(&format!(",\"seed\":{}", i + 1));
+            (&stream).write_all(format!("{line}\n").as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            stream
+        })
+        .collect();
+    let mut kinds: Vec<String> = streams
+        .iter()
+        .map(|s| {
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let v: Value = serde_json::from_str(&line).unwrap();
+            v["type"].as_str().unwrap().to_string()
+        })
+        .collect();
+    kinds.sort();
+    assert!(
+        kinds.iter().any(|k| k == "overloaded"),
+        "expected an admission rejection, got {kinds:?}"
+    );
+    assert!(
+        server
+            .stats()
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cache_survives_restart_and_shutdown_request_stops_server() {
+    let cfg = config("restart");
+    let data_dir = cfg.data_dir.clone();
+    let server = Server::start(cfg.clone()).unwrap();
+    let first = exchange(server.addr(), &solve_line(""));
+    assert_eq!(first["cache"].as_str(), Some("miss"));
+
+    // A `shutdown` request acknowledges, then stops the server.
+    let ack = exchange(server.addr(), "{\"type\":\"shutdown\"}");
+    assert_eq!(ack["type"].as_str(), Some("ok"));
+    let token = server.cancel_token();
+    server.shutdown();
+    assert!(token.is_cancelled());
+
+    // A fresh server over the same store answers from the cache.
+    let mut cfg2 = config("restart2");
+    cfg2.data_dir = data_dir;
+    let server = Server::start(cfg2).unwrap();
+    let hit = exchange(server.addr(), &solve_line(""));
+    assert_eq!(hit["cache"].as_str(), Some("hit"), "{hit:?}");
+    assert_eq!(
+        server
+            .stats()
+            .solves
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    server.shutdown();
+}

@@ -52,7 +52,15 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Option names that take no value.
-const SWITCHES: &[&str] = &["gantt", "json", "quiet", "synchronous", "help", "fresh"];
+const SWITCHES: &[&str] = &[
+    "gantt",
+    "json",
+    "quiet",
+    "synchronous",
+    "help",
+    "fresh",
+    "parallel",
+];
 
 impl Args {
     /// Parse raw arguments (without the program/subcommand names).

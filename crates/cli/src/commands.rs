@@ -641,6 +641,181 @@ pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// `mgrts serve [--addr A] [--data-dir DIR] [--workers N] [--queue-cap N]
+/// [--budget-ms MS] [--spill-tasks N] [--spill-budget-ms MS]
+/// [--solve-delay-ms MS]`
+///
+/// Runs until SIGTERM/SIGINT or a wire-level `shutdown` request.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let defaults = mgrts_bench::serve::ServeConfig::default();
+    let cfg = mgrts_bench::serve::ServeConfig {
+        addr: args.opt_str("addr").map_or(defaults.addr, str::to_string),
+        data_dir: args
+            .opt_str("data-dir")
+            .map_or(defaults.data_dir, std::path::PathBuf::from),
+        workers: args.opt_or("workers", "a worker count", defaults.workers)?,
+        queue_cap: args.opt_or("queue-cap", "a queue depth", defaults.queue_cap)?,
+        default_budget_ms: args.opt_or("budget-ms", "milliseconds", defaults.default_budget_ms)?,
+        spill_tasks: args.opt_or("spill-tasks", "a task count", defaults.spill_tasks)?,
+        spill_budget_ms: args.opt_or(
+            "spill-budget-ms",
+            "milliseconds",
+            defaults.spill_budget_ms,
+        )?,
+        solve_delay_ms: args.opt_or("solve-delay-ms", "milliseconds", defaults.solve_delay_ms)?,
+    };
+    let token = crate::signal::install();
+    let summary = mgrts_bench::serve::run(cfg, &token)?;
+    Ok(format!("{summary}\n"))
+}
+
+/// Connect to a serve endpoint, retrying until `wait_ms` elapses (the
+/// server may still be binding when CI fires the first client).
+fn client_connect(addr: &str, wait_ms: u64) -> Result<std::net::TcpStream, CliError> {
+    let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+    loop {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(CliError::Other(format!("cannot connect to {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// One line-delimited request/response exchange.
+fn client_exchange(stream: &std::net::TcpStream, line: &str) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut out = stream.try_clone()?;
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    if response.is_empty() {
+        return Err(CliError::Other("server closed the connection".into()));
+    }
+    Ok(response.trim_end().to_string())
+}
+
+/// Build the JSON `solve` request from client flags.
+fn client_solve_line(args: &Args) -> Result<String, CliError> {
+    use serde::Serialize;
+    use serde_json::Value;
+    let inst = load_instance(args.positional(1, "instance")?)?;
+    let m = resolve_m(args, inst.file_m)?;
+    let mut fields = vec![
+        ("type".to_string(), Value::String("solve".into())),
+        ("taskset".to_string(), inst.taskset.to_value()),
+        ("m".to_string(), Value::UInt(m as u64)),
+    ];
+    if let Some(solver) = args.opt_str("solver") {
+        fields.push(("solver".to_string(), Value::String(solver.to_string())));
+    }
+    if let Some(policy) = args.opt_str("policy") {
+        fields.push(("policy".to_string(), Value::String(policy.to_string())));
+    }
+    if let Some(budget) = args.opt::<u64>("budget-ms", "milliseconds")? {
+        fields.push(("budget_ms".to_string(), Value::UInt(budget)));
+    }
+    if let Some(seed) = args.opt::<u64>("seed", "a seed")? {
+        fields.push(("seed".to_string(), Value::UInt(seed)));
+    }
+    serde_json::to_string(&Value::Object(fields)).map_err(|e| CliError::Other(e.to_string()))
+}
+
+/// `mgrts client <solve|poll|stats> [...]` — a line-protocol client for
+/// `mgrts serve`. Prints the raw response JSON, one line per exchange.
+///
+/// * `client solve <instance> [--m N] [--solver S | --policy P]`
+///   `[--budget-ms MS] [--seed S] [--count K] [--parallel]`
+/// * `client poll --ticket T [--wait-ms MS]` — with `--wait-ms`, retries
+///   until the ticket settles or the wait elapses (then errors).
+/// * `client stats`
+///
+/// All verbs accept `--addr HOST:PORT` (default `127.0.0.1:7077`) and
+/// `--connect-ms MS` (connection-retry window, default 5000).
+pub fn cmd_client(args: &Args) -> Result<String, CliError> {
+    let addr = args.opt_str("addr").unwrap_or("127.0.0.1:7077").to_string();
+    let connect_ms: u64 = args.opt_or("connect-ms", "milliseconds", 5_000)?;
+    match args.positional(0, "verb")? {
+        "solve" => {
+            let line = client_solve_line(args)?;
+            let count: usize = args.opt_or("count", "a repeat count", 1)?;
+            if args.switch("parallel") && count > 1 {
+                let handles: Vec<_> = (0..count)
+                    .map(|_| {
+                        let addr = addr.clone();
+                        let line = line.clone();
+                        std::thread::spawn(move || -> Result<String, CliError> {
+                            let stream = client_connect(&addr, connect_ms)?;
+                            client_exchange(&stream, &line)
+                        })
+                    })
+                    .collect();
+                let mut out = String::new();
+                for handle in handles {
+                    let response = handle
+                        .join()
+                        .map_err(|_| CliError::Other("client thread panicked".into()))??;
+                    out.push_str(&response);
+                    out.push('\n');
+                }
+                Ok(out)
+            } else {
+                let stream = client_connect(&addr, connect_ms)?;
+                let mut out = String::new();
+                for _ in 0..count {
+                    out.push_str(&client_exchange(&stream, &line)?);
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+        }
+        "poll" => {
+            let ticket: String = args.req("ticket", "a ticket id")?;
+            let wait_ms: u64 = args.opt_or("wait-ms", "milliseconds", 0)?;
+            let line = format!("{{\"type\":\"poll\",\"ticket\":\"{ticket}\"}}");
+            let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+            loop {
+                let stream = client_connect(&addr, connect_ms)?;
+                let response = client_exchange(&stream, &line)?;
+                let v: serde_json::Value = serde_json::from_str(&response)
+                    .map_err(|e| CliError::Parse(format!("server response: {e}")))?;
+                let pending =
+                    v["type"].as_str() == Some("poll") && v["status"].as_str() != Some("done");
+                if !pending {
+                    return Ok(format!("{response}\n"));
+                }
+                if std::time::Instant::now() >= deadline {
+                    if wait_ms == 0 {
+                        // Single-shot poll: report the pending status as-is.
+                        return Ok(format!("{response}\n"));
+                    }
+                    return Err(CliError::Other(format!(
+                        "ticket {ticket} still pending after {wait_ms} ms"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+        "stats" => {
+            let stream = client_connect(&addr, connect_ms)?;
+            Ok(format!(
+                "{}\n",
+                client_exchange(&stream, "{\"type\":\"stats\"}")?
+            ))
+        }
+        other => Err(CliError::Other(format!(
+            "unknown client verb {other:?} (expected solve|poll|stats)"
+        ))),
+    }
+}
+
 /// Usage text.
 #[must_use]
 pub fn usage() -> String {
@@ -685,6 +860,15 @@ pub fn usage() -> String {
                             --summary FILE --baseline FILE [--tolerance F]\n\
        bench campaign parity  portfolio-race verdicts vs single-solver runs\n\
                             --race DIR --single DIR\n\
+       serve                resident feasibility service (JSON lines over TCP)\n\
+                            [--addr H:P] [--data-dir DIR] [--workers N]\n\
+                            [--queue-cap N] [--budget-ms MS] [--spill-tasks N]\n\
+                            [--spill-budget-ms MS]; SIGTERM shuts down cleanly\n\
+       client solve <instance>  send a solve request to a running server\n\
+                            [--addr H:P] [--m N] [--solver S | --policy P]\n\
+                            [--budget-ms MS] [--seed S] [--count K] [--parallel]\n\
+       client poll          resolve a spill ticket --ticket T [--wait-ms MS]\n\
+       client stats         server counters (cache hits, queue depth, ...)\n\
      \n\
      Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
      or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"
@@ -716,6 +900,8 @@ pub fn run_command(command: &str, args: &Args) -> Result<String, CliError> {
         "portfolio" => cmd_portfolio(args),
         "bench" => cmd_bench(args),
         "verify" => cmd_verify(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Other(format!(
             "unknown command {other:?}; run `mgrts help`"

@@ -13,6 +13,7 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod signal;
 
 pub use args::{ArgError, Args};
 pub use commands::{run_command, usage};

@@ -1,0 +1,80 @@
+//! Graceful-shutdown signals for the resident server: SIGTERM/SIGINT are
+//! bridged onto the engine's [`CancelToken`], so `mgrts serve` winds down
+//! through the same cooperative-cancellation path a `shutdown` request
+//! takes (stop accepting, preempt running solves, release leases).
+//!
+//! The workspace builds offline without the `libc` crate, so the POSIX
+//! `signal(2)` entry point is declared directly; `std` already links
+//! `libc` on every Unix target. Non-Unix builds install nothing and rely
+//! on the wire-level `shutdown` request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use mgrts_core::engine::CancelToken;
+
+/// Set by the signal handler; polled by the watcher thread. A handler
+/// may only do async-signal-safe work, which a relaxed store is.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_signal(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+fn install_raw_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: `note_signal` only performs an atomic store, which is
+    // async-signal-safe; `signal` itself is the POSIX entry point std's
+    // own ctrl-c handling builds on.
+    unsafe {
+        signal(SIGINT, note_signal);
+        signal(SIGTERM, note_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_raw_handlers() {}
+
+/// Install SIGTERM/SIGINT handlers and return a [`CancelToken`] that is
+/// cancelled when either arrives. The token is watched from a detached
+/// thread (signal handlers cannot touch locks), which also exits if the
+/// token is cancelled from elsewhere.
+pub fn install() -> CancelToken {
+    install_raw_handlers();
+    let token = CancelToken::new();
+    let watched = token.clone();
+    std::thread::spawn(move || loop {
+        if SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+            watched.cancel();
+            return;
+        }
+        if watched.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+    token
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_cancels_installed_token() {
+        let token = install();
+        assert!(!token.is_cancelled());
+        SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !token.is_cancelled() {
+            assert!(std::time::Instant::now() < deadline, "watcher never fired");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        SHUTDOWN_REQUESTED.store(false, Ordering::Relaxed);
+    }
+}

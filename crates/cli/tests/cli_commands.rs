@@ -543,3 +543,66 @@ fn portfolio_rejects_unknown_solver_name() {
     .unwrap_err();
     assert!(matches!(err, CliError::Other(_)), "{err:?}");
 }
+
+#[test]
+fn client_rejects_malformed_invocations() {
+    let err = run_command("client", &args(&[])).unwrap_err();
+    assert!(err.to_string().contains("verb"), "{err}");
+    let err = run_command("client", &args(&["frobnicate"])).unwrap_err();
+    assert!(err.to_string().contains("unknown client verb"), "{err}");
+    let err = run_command("client", &args(&["poll"])).unwrap_err();
+    assert!(err.to_string().contains("ticket"), "{err}");
+    let err = run_command("client", &args(&["solve"])).unwrap_err();
+    assert!(err.to_string().contains("instance"), "{err}");
+    // An unreachable server fails within the bounded retry window.
+    let err = run_command(
+        "client",
+        &args(&["stats", "--addr", "127.0.0.1:1", "--connect-ms", "1"]),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("cannot connect"), "{err}");
+}
+
+#[test]
+fn client_round_trips_against_in_process_server() {
+    let dir = tmpdir("client-serve");
+    let file = example_file(&dir);
+    let server = mgrts_bench::serve::Server::start(mgrts_bench::serve::ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: dir.join("serve-data"),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Two sequential requests on one connection: a miss, then a hit.
+    let out = run_command(
+        "client",
+        &args(&[
+            "solve",
+            file.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--m",
+            "2",
+            "--solver",
+            "csp2-dc",
+            "--count",
+            "2",
+        ]),
+    )
+    .unwrap();
+    let responses: Vec<serde_json::Value> = out
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(responses.len(), 2, "{out}");
+    assert_eq!(responses[0]["cache"].as_str(), Some("miss"), "{out}");
+    assert_eq!(responses[1]["cache"].as_str(), Some("hit"), "{out}");
+
+    let stats = run_command("client", &args(&["stats", "--addr", &addr])).unwrap();
+    let stats: serde_json::Value = serde_json::from_str(stats.trim()).unwrap();
+    assert_eq!(stats["type"].as_str(), Some("stats"));
+    assert_eq!(stats["cache_hits"].as_u64(), Some(1));
+    server.shutdown();
+}

@@ -653,6 +653,54 @@ impl SolverSpec {
         self.build_seeded(1)
     }
 
+    /// Build a shareable engine, with `seed` for the randomized backends —
+    /// the shape [`EnginePool`] caches and the portfolio racer accepts.
+    #[must_use]
+    pub fn build_shared(&self, seed: u64) -> Arc<dyn FeasibilitySolver> {
+        match self {
+            SolverSpec::Csp1 => Arc::new(Csp1Engine { seed }),
+            SolverSpec::Csp1Sat => Arc::new(Csp1SatEngine::default()),
+            SolverSpec::Csp2(order) => Arc::new(Csp2Engine { order: *order }),
+            SolverSpec::Csp2Generic => Arc::new(Csp2GenericEngine {
+                seed,
+                ..Csp2GenericEngine::default()
+            }),
+            SolverSpec::Local => Arc::new(LocalSearchEngine {
+                strategy: LsStrategy::MinConflicts,
+                seed,
+            }),
+            SolverSpec::LocalTabu => Arc::new(LocalSearchEngine {
+                strategy: LsStrategy::Tabu { tenure: 10 },
+                seed,
+            }),
+            SolverSpec::LocalSa => Arc::new(LocalSearchEngine {
+                strategy: LsStrategy::Annealing {
+                    t0: 2.0,
+                    cooling: 0.9995,
+                },
+                seed,
+            }),
+        }
+    }
+
+    /// Does the built engine's behaviour depend on the seed?
+    ///
+    /// `Csp1` (randomized restarts), `Csp2Generic` (randomized
+    /// tie-breaking) and the local-search family are seeded; the SAT and
+    /// specialized-CSP2 backends are deterministic, so [`EnginePool`] can
+    /// serve one cached instance for every seed.
+    #[must_use]
+    pub fn seed_sensitive(&self) -> bool {
+        match self {
+            SolverSpec::Csp1
+            | SolverSpec::Csp2Generic
+            | SolverSpec::Local
+            | SolverSpec::LocalTabu
+            | SolverSpec::LocalSa => true,
+            SolverSpec::Csp1Sat | SolverSpec::Csp2(_) => false,
+        }
+    }
+
     /// The engine's stable name (matches [`FeasibilitySolver::name`]).
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -713,6 +761,75 @@ impl FromStr for SolverSpec {
                 ))
             }
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EnginePool
+// ---------------------------------------------------------------------------
+
+/// A process-wide cache of built engines, keyed by `(spec, effective
+/// seed)` — the hoist that takes solver construction out of the per-call
+/// path for resident callers (`mgrts serve`, campaign policies).
+///
+/// Engines behind [`FeasibilitySolver`] are immutable and `Send + Sync`,
+/// so one instance can serve any number of concurrent solves; the pool
+/// hands out [`Arc`] clones instead of rebuilding per request. Seeds only
+/// reach the key for [`SolverSpec::seed_sensitive`] specs — deterministic
+/// backends share a single cached instance across all seeds.
+///
+/// The pool is cheaply cloneable (clones share one cache) and a clone is
+/// what long-lived components should hold.
+#[derive(Clone, Default)]
+pub struct EnginePool {
+    engines: Arc<Mutex<EngineMap>>,
+}
+
+type EngineMap = std::collections::HashMap<(SolverSpec, u64), Arc<dyn FeasibilitySolver>>;
+
+impl fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("cached", &self.len())
+            .finish()
+    }
+}
+
+impl EnginePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached engine for `(spec, seed)`, building it on first use.
+    #[must_use]
+    pub fn get(&self, spec: SolverSpec, seed: u64) -> Arc<dyn FeasibilitySolver> {
+        let key = (spec, if spec.seed_sensitive() { seed } else { 0 });
+        let mut engines = self.engines.lock().unwrap_or_else(|e| e.into_inner());
+        engines
+            .entry(key)
+            .or_insert_with(|| spec.build_shared(key.1))
+            .clone()
+    }
+
+    /// A racing roster over `specs`, every entry served from the cache —
+    /// the allocation-free analogue of mapping [`SolverSpec::build_seeded`].
+    #[must_use]
+    pub fn roster(&self, specs: &[SolverSpec], seed: u64) -> Vec<Arc<dyn FeasibilitySolver>> {
+        specs.iter().map(|s| self.get(*s, seed)).collect()
+    }
+
+    /// Number of distinct engines currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.engines.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -882,6 +999,48 @@ mod tests {
             let json = serde_json::to_string(&spec).unwrap();
             let back: SolverSpec = serde_json::from_str(&json).unwrap();
             assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn engine_pool_reuses_instances() {
+        let pool = EnginePool::new();
+        let a = pool.get(SolverSpec::Csp1Sat, 1);
+        let b = pool.get(SolverSpec::Csp1Sat, 99);
+        // Seed-insensitive backend: one cached engine serves every seed.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(pool.len(), 1);
+        // Seed-sensitive backend: distinct seeds get distinct engines,
+        // repeats of the same seed share one.
+        let c1 = pool.get(SolverSpec::Csp1, 1);
+        let c2 = pool.get(SolverSpec::Csp1, 2);
+        let c1_again = pool.get(SolverSpec::Csp1, 1);
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        assert!(Arc::ptr_eq(&c1, &c1_again));
+        assert_eq!(pool.len(), 3);
+        // Clones share the cache.
+        assert_eq!(pool.clone().len(), 3);
+    }
+
+    #[test]
+    fn pooled_engines_match_fresh_builds() {
+        let ts = TaskSet::running_example();
+        let pool = EnginePool::new();
+        for spec in ALL_SPECS {
+            let budget = Budget::time_limit(Duration::from_secs(5));
+            let fresh = spec
+                .build_seeded(7)
+                .solve(&ts, 2, &budget, &CancelToken::new())
+                .unwrap();
+            let pooled = pool
+                .get(spec, 7)
+                .solve(&ts, 2, &budget, &CancelToken::new())
+                .unwrap();
+            assert_eq!(
+                fresh.verdict.is_feasible(),
+                pooled.verdict.is_feasible(),
+                "{spec:?}: pooled engine diverged from a fresh build"
+            );
         }
     }
 

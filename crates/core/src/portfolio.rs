@@ -143,22 +143,32 @@ impl PortfolioResult {
 
 /// Race `roster` on `m` identical processors. See the module docs for the
 /// winning/cancellation semantics.
-pub fn race(
-    roster: &[Box<dyn FeasibilitySolver>],
+///
+/// The roster is any slice of owning solver pointers — `Box<dyn
+/// FeasibilitySolver>` for one-shot rosters, `Arc<dyn FeasibilitySolver>`
+/// for engines shared across calls (see [`crate::engine::EnginePool`]).
+pub fn race<S>(
+    roster: &[S],
     ts: &TaskSet,
     m: usize,
     budget: &Budget,
-) -> Result<PortfolioResult, TaskError> {
+) -> Result<PortfolioResult, TaskError>
+where
+    S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
+{
     race_on(roster, ts, &PlatformSpec::identical(m), budget)
 }
 
 /// Race `roster` on an arbitrary [`PlatformSpec`].
-pub fn race_on(
-    roster: &[Box<dyn FeasibilitySolver>],
+pub fn race_on<S>(
+    roster: &[S],
     ts: &TaskSet,
     spec: &PlatformSpec,
     budget: &Budget,
-) -> Result<PortfolioResult, TaskError> {
+) -> Result<PortfolioResult, TaskError>
+where
+    S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
+{
     race_inner(roster, ts, spec, budget, None)
 }
 
@@ -168,13 +178,16 @@ pub fn race_on(
 /// external token into it, so a campaign-level cancellation preempts every
 /// backend at its next checkpoint; the overall verdict then comes back
 /// `Unknown(Cancelled)` and the caller can requeue the unit.
-pub fn race_cancellable(
-    roster: &[Box<dyn FeasibilitySolver>],
+pub fn race_cancellable<S>(
+    roster: &[S],
     ts: &TaskSet,
     spec: &PlatformSpec,
     budget: &Budget,
     external: &CancelToken,
-) -> Result<PortfolioResult, TaskError> {
+) -> Result<PortfolioResult, TaskError>
+where
+    S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
+{
     race_inner(roster, ts, spec, budget, Some(external))
 }
 
@@ -204,13 +217,16 @@ impl Drop for RunningGuard<'_> {
     }
 }
 
-fn race_inner(
-    roster: &[Box<dyn FeasibilitySolver>],
+fn race_inner<S>(
+    roster: &[S],
     ts: &TaskSet,
     spec: &PlatformSpec,
     budget: &Budget,
     external: Option<&CancelToken>,
-) -> Result<PortfolioResult, TaskError> {
+) -> Result<PortfolioResult, TaskError>
+where
+    S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
+{
     assert!(!roster.is_empty(), "portfolio roster must not be empty");
     let start = Instant::now();
     let cancel = CancelToken::new();
@@ -376,6 +392,29 @@ mod tests {
 
     fn roster(specs: &[SolverSpec]) -> Vec<Box<dyn FeasibilitySolver>> {
         specs.iter().map(|s| s.build()).collect()
+    }
+
+    #[test]
+    fn arc_roster_races_like_boxed() {
+        // The race entry points are generic over the roster pointer type:
+        // a pooled Arc roster (the resident-server shape) must behave
+        // exactly like the one-shot boxed roster.
+        let ts = TaskSet::running_example();
+        let pool = crate::engine::EnginePool::new();
+        let specs = [SolverSpec::Csp2(
+            crate::heuristics::TaskOrder::Lexicographic,
+        )];
+        let shared = pool.roster(&specs, 1);
+        let budget = Budget::time_limit(Duration::from_secs(5));
+        let from_arc = race(&shared, &ts, 2, &budget).unwrap();
+        let from_box = race(&roster(&specs), &ts, 2, &budget).unwrap();
+        assert!(from_arc.result.verdict.is_feasible());
+        assert_eq!(
+            from_arc.result.verdict.is_feasible(),
+            from_box.result.verdict.is_feasible()
+        );
+        // The pool built (and kept) exactly one engine for the roster.
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Shared CI harness step: build the release CLI once and drive the smoke
+# campaign manifest into a record store. Both the bench-smoke and the
+# serve-smoke jobs start from this, so "can the binary execute the
+# canonical workload" is asserted identically in each before the
+# job-specific steps run.
+#
+# Usage: scripts/ci_smoke.sh [OUT_DIR]    (default target/campaigns/smoke)
+#
+# Environment:
+#   MGRTS_SKIP_CAMPAIGN=1  build only; skip the campaign run (used by
+#                          callers that just need ./target/release/mgrts)
+set -euo pipefail
+
+out="${1:-target/campaigns/smoke}"
+
+cargo build --release -p mgrts-cli
+bin=./target/release/mgrts
+
+if [ "${MGRTS_SKIP_CAMPAIGN:-0}" = "1" ]; then
+  echo "ci_smoke: built $bin (campaign skipped)"
+  exit 0
+fi
+
+"$bin" bench campaign run \
+  --manifest bench/manifests/smoke.toml \
+  --out "$out"
+echo "ci_smoke: smoke campaign complete in $out"
