@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use mgrts_core::engine::{CancelGroup, SolverSpec};
+use mgrts_obs::flight;
 use rt_gen::{derive_stream_seed, ProblemGenerator, RateMatrixGen};
 
 use crate::policy::{AdaptiveSpec, ExecutionPolicy, PolicyMode, PolicySpec};
@@ -751,53 +752,74 @@ fn execute(
     let next = Mutex::new(0usize);
     let committed = Mutex::new(0u64);
     let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
+    let recorder = mgrts_obs::FlightRecorder::new(256);
 
     crossbeam::scope(|scope| {
-        for _ in 0..opts.threads.max(1) {
-            scope.spawn(|_| loop {
-                if cancel.is_cancelled() {
-                    break;
-                }
-                let idx = {
-                    let mut n = next.lock();
-                    if *n >= todo.len() {
+        for w in 0..opts.threads.max(1) {
+            let recorder = &recorder;
+            let (next, sink, committed, failure) = (&next, &sink, &committed, &failure);
+            let (policy, shards, done) = (&policy, &shards, &done);
+            scope.spawn(move |_| {
+                let _ring = flight::install(recorder, &format!("campaign-worker-{w}"));
+                loop {
+                    if cancel.is_cancelled() {
                         break;
                     }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let shard = todo[idx];
-                match run_shard(manifest, &*policy, shard, cancel) {
-                    Ok(Some(records)) => {
-                        if let Err(e) = sink.lock().commit_shard(shard, &records) {
-                            *failure.lock() = Some(CampaignError::Io(e));
+                    let idx = {
+                        let mut n = next.lock();
+                        if *n >= todo.len() {
+                            break;
+                        }
+                        let i = *n;
+                        *n += 1;
+                        i
+                    };
+                    let shard = todo[idx];
+                    flight::event(
+                        "shard.claim",
+                        &shard.hash,
+                        &format!("shard {} of {}", shard.index, todo.len()),
+                    );
+                    match run_shard(manifest, &**policy, shard, cancel) {
+                        Ok(Some(records)) => {
+                            if let Err(e) = sink.lock().commit_shard(shard, &records) {
+                                *failure.lock() = Some(CampaignError::Io(e));
+                                cancel.cancel_all();
+                                break;
+                            }
+                            let mut c = committed.lock();
+                            *c += 1;
+                            if opts.progress {
+                                eprintln!(
+                                    "  shard {}/{} committed ({} this run, {} units)",
+                                    done.len() as u64 + *c,
+                                    shards.len(),
+                                    *c,
+                                    records.len(),
+                                );
+                            }
+                        }
+                        Ok(None) => break, // cancelled mid-shard: leave it for resume
+                        Err(e) => {
+                            *failure.lock() = Some(e);
                             cancel.cancel_all();
                             break;
                         }
-                        let mut c = committed.lock();
-                        *c += 1;
-                        if opts.progress {
-                            eprintln!(
-                                "  shard {}/{} committed ({} this run, {} units)",
-                                done.len() as u64 + *c,
-                                shards.len(),
-                                *c,
-                                records.len(),
-                            );
-                        }
-                    }
-                    Ok(None) => break, // cancelled mid-shard: leave it for resume
-                    Err(e) => {
-                        *failure.lock() = Some(e);
-                        cancel.cancel_all();
-                        break;
                     }
                 }
             });
         }
     })
     .expect("campaign worker panicked");
+
+    // A cancelled campaign leaves its merged timeline behind: which
+    // worker held which shard when the stop landed.
+    if cancel.is_cancelled() {
+        let dump = recorder.dump();
+        if !dump.is_empty() {
+            let _ = store.put_artifact("flight-campaign.jsonl", &dump);
+        }
+    }
 
     if let Some(e) = failure.into_inner() {
         return Err(e);
@@ -835,6 +857,7 @@ pub(crate) fn run_shard(
     cancel: &CancelGroup,
 ) -> Result<Option<Vec<CampaignRecord>>, CampaignError> {
     let token = cancel.register();
+    let mut sp = flight::span("shard.run", &shard.hash);
     let deadline = manifest.max_shard.map(|d| Instant::now() + d);
     let mut records = Vec::with_capacity(shard.units.len());
     // Units are ordered (cell, instance, solver), so the whole roster of
@@ -843,6 +866,7 @@ pub(crate) fn run_shard(
     let mut cached: Option<((usize, u64), rt_gen::Problem)> = None;
     for unit in &shard.units {
         if token.is_cancelled() {
+            sp.set_detail("cancelled");
             return Ok(None);
         }
         let cell = &manifest.cells[unit.cell];
@@ -885,6 +909,7 @@ pub(crate) fn run_shard(
         if exec.outcome == InstanceOutcome::Cancelled {
             // Don't commit half-truths: a cancelled unit means the shard
             // must re-run on resume.
+            sp.set_detail("cancelled");
             return Ok(None);
         }
         records.push(CampaignRecord {
@@ -908,8 +933,10 @@ pub(crate) fn run_shard(
             budget_source: Some(budget_source),
             cancel_latency_us: exec.cancel_latency_us,
             backends: exec.backends,
+            search: exec.search,
         });
     }
+    sp.set_detail(&format!("{} units", records.len()));
     Ok(Some(records))
 }
 
@@ -1144,6 +1171,9 @@ pub enum ReportKind {
     /// Per-cell winner counts of a portfolio-race campaign (the paper's
     /// Table I as a single racing campaign).
     Winners,
+    /// Per-cell aggregated search telemetry (decisions, backtracks,
+    /// propagator activity) from the records' `search` blocks.
+    Profile,
     /// The `BENCH_<name>.json` summary, as text.
     Summary,
 }
@@ -1158,10 +1188,11 @@ impl std::str::FromStr for ReportKind {
             "table4" => ReportKind::Table4,
             "hetero" => ReportKind::Hetero,
             "winners" => ReportKind::Winners,
+            "profile" => ReportKind::Profile,
             "summary" => ReportKind::Summary,
             other => {
                 return Err(format!(
-                "unknown report `{other}` (expected table1|table3|table4|hetero|winners|summary)"
+                "unknown report `{other}` (expected table1|table3|table4|hetero|winners|profile|summary)"
             ))
             }
         })
@@ -1202,6 +1233,7 @@ pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String,
         ReportKind::Table4 => report_table4(&manifest, &records),
         ReportKind::Hetero => report_hetero(&manifest, &records),
         ReportKind::Winners => report_winners(&manifest, &records),
+        ReportKind::Profile => report_profile(&manifest, &records),
         ReportKind::Summary => {
             let done = store.done_shards()?;
             let shards = manifest.plan().len() as u64;
@@ -1209,6 +1241,39 @@ pub fn report_store(store: &dyn RecordStore, kind: ReportKind) -> Result<String,
             render_summary(&summary)
         }
     })
+}
+
+/// Per-cell aggregated search telemetry: merge every record's `search`
+/// block within each grid cell. Works over any store — single, race
+/// (the winner's telemetry) and pre-telemetry segments (counted but
+/// excluded) alike.
+#[must_use]
+pub fn report_profile(manifest: &Manifest, records: &[CampaignRecord]) -> String {
+    let mut rows = Vec::new();
+    for (ci, cell) in manifest.cells.iter().enumerate() {
+        let mut row = tables::ProfileRow {
+            cell: cell.tag(),
+            with_stats: 0,
+            without_stats: 0,
+            stats: mgrts_obs::SearchStats::default(),
+        };
+        for r in records.iter().filter(|r| r.cell == ci) {
+            match &r.search {
+                Some(st) => {
+                    row.with_stats += 1;
+                    row.stats.merge(st);
+                }
+                None => row.without_stats += 1,
+            }
+        }
+        if row.with_stats + row.without_stats > 0 {
+            rows.push(row);
+        }
+    }
+    format!(
+        "\nPROFILE — aggregated search statistics per grid cell\n\n{}",
+        tables::profile(&rows)
+    )
 }
 
 /// Tables I & II over campaign records — byte-identical to the `table1`

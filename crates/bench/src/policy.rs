@@ -40,12 +40,13 @@ use mgrts_core::engine::{
 };
 use mgrts_core::portfolio::{self, BackendStat};
 use mgrts_core::solve::Verdict;
+use mgrts_obs::flight;
 use rt_gen::Problem;
 use rt_platform::Platform;
 use rt_task::TaskSet;
 
 use crate::campaign::{CampaignError, Manifest};
-use crate::runner::{classify, run_one_engine, run_one_hetero_engine, InstanceOutcome};
+use crate::runner::{classify, run_one_engine_full, run_one_hetero_engine_full, InstanceOutcome};
 use crate::sink::RecordStore;
 
 // ---------------------------------------------------------------------------
@@ -304,6 +305,9 @@ pub struct UnitExecution {
     pub cancel_latency_us: Option<u64>,
     /// Per-backend race stats, in roster order (`PortfolioRace` only).
     pub backends: Option<Vec<BackendStat>>,
+    /// Search telemetry of the unit's solve (the winner's, for races),
+    /// when the backend collects it.
+    pub search: Option<mgrts_obs::SearchStats>,
 }
 
 /// A pluggable cell executor: decides, per campaign unit, *what runs and
@@ -364,9 +368,9 @@ impl ExecutionPolicy for SingleSolver {
         cancel: &CancelToken,
     ) -> UnitExecution {
         let engine = self.pool.get(self.roster[unit_solver], p.seed);
-        let (outcome, time_us) = match platform {
-            Some(platform) => run_one_hetero_engine(p, platform, &*engine, budget, cancel),
-            None => run_one_engine(p, &*engine, budget, cancel),
+        let (outcome, time_us, search) = match platform {
+            Some(platform) => run_one_hetero_engine_full(p, platform, &*engine, budget, cancel),
+            None => run_one_engine_full(p, &*engine, budget, cancel),
         };
         UnitExecution {
             outcome,
@@ -374,6 +378,7 @@ impl ExecutionPolicy for SingleSolver {
             winner: None,
             cancel_latency_us: None,
             backends: None,
+            search,
         }
     }
 }
@@ -422,6 +427,7 @@ impl ExecutionPolicy for PortfolioRace {
             winner: run.winner,
             cancel_latency_us: run.cancel_latency_us,
             backends: Some(run.backends),
+            search: run.search,
         }
     }
 }
@@ -489,6 +495,8 @@ pub struct RaceRun {
     pub cancel_latency_us: Option<u64>,
     /// Per-backend stats, in roster order.
     pub backends: Vec<BackendStat>,
+    /// The winner's search telemetry, when its backend collects it.
+    pub search: Option<mgrts_obs::SearchStats>,
 }
 
 /// Race a prebuilt roster on one instance under an external cancellation
@@ -504,14 +512,37 @@ pub fn race_roster<S>(
 where
     S: std::ops::Deref<Target = dyn FeasibilitySolver> + Sync,
 {
+    let mut sp = flight::span("race", "");
     let race = portfolio::race_cancellable(roster, ts, spec, budget, cancel)?;
-    Ok(RaceRun {
+    let run = RaceRun {
         verdict: race.result.verdict.clone(),
         winner: race.winner_name().map(ToString::to_string),
         elapsed_us: race.elapsed_us,
         cancel_latency_us: race.cancel_latency_us(),
         backends: race.backend_stats(),
-    })
+        search: race.result.search.clone(),
+    };
+    // One lifecycle event per backend: how each contender ended (the
+    // winner's verdict, cancelled losers, budget overruns).
+    for b in &run.backends {
+        flight::event(
+            "race.backend",
+            "",
+            &format!(
+                "{}{} outcome={} elapsed_us={}",
+                b.name,
+                if b.winner { " (winner)" } else { "" },
+                b.outcome,
+                b.time_us
+            ),
+        );
+    }
+    sp.set_detail(&match (&run.winner, run.cancel_latency_us) {
+        (Some(w), Some(lat)) => format!("winner={w} cancel_latency_us={lat}"),
+        (Some(w), None) => format!("winner={w}"),
+        (None, _) => "winner=none".to_string(),
+    });
+    Ok(run)
 }
 
 /// Text rendering of a race: winner line, race wall-clock, per-backend

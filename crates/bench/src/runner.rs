@@ -90,6 +90,20 @@ pub fn run_one_engine(
     budget: &Budget,
     cancel: &CancelToken,
 ) -> (InstanceOutcome, u64) {
+    let (outcome, time_us, _) = run_one_engine_full(p, engine, budget, cancel);
+    (outcome, time_us)
+}
+
+/// [`run_one_engine`] that also returns the backend's per-solve search
+/// telemetry (`None` for backends without counters) — the shape campaign
+/// recording consumes.
+#[must_use]
+pub fn run_one_engine_full(
+    p: &Problem,
+    engine: &dyn FeasibilitySolver,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64, Option<mgrts_obs::SearchStats>) {
     let res = engine
         .solve(&p.taskset, p.m, budget, cancel)
         .expect("valid constrained instance");
@@ -97,7 +111,7 @@ pub fn run_one_engine(
         check_identical(&p.taskset, p.m, s)
             .unwrap_or_else(|e| panic!("solver {} returned invalid schedule: {e}", engine.name()));
     }
-    (classify(&res.verdict), res.stats.elapsed_us)
+    (classify(&res.verdict), res.stats.elapsed_us, res.search)
 }
 
 /// Run one solver on one instance over a heterogeneous platform (the
@@ -124,6 +138,20 @@ pub fn run_one_hetero_engine(
     budget: &Budget,
     cancel: &CancelToken,
 ) -> (InstanceOutcome, u64) {
+    let (outcome, time_us, _) = run_one_hetero_engine_full(p, platform, engine, budget, cancel);
+    (outcome, time_us)
+}
+
+/// [`run_one_hetero_engine`] that also returns the backend's per-solve
+/// search telemetry.
+#[must_use]
+pub fn run_one_hetero_engine_full(
+    p: &Problem,
+    platform: &Platform,
+    engine: &dyn FeasibilitySolver,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> (InstanceOutcome, u64, Option<mgrts_obs::SearchStats>) {
     let res = engine
         .solve_hetero(&p.taskset, platform, budget, cancel)
         .expect("valid constrained instance");
@@ -135,7 +163,7 @@ pub fn run_one_hetero_engine(
             )
         });
     }
-    (classify(&res.verdict), res.stats.elapsed_us)
+    (classify(&res.verdict), res.stats.elapsed_us, res.search)
 }
 
 /// Run one solver on one instance with a wall-clock budget (the historical

@@ -33,6 +33,7 @@
 //! {"type":"solve","taskset":{"tasks":[...]},"m":2,"policy":"portfolio-race"}
 //! {"type":"poll","ticket":"00f3ab..."}
 //! {"type":"stats"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! ```
 //!
@@ -42,25 +43,28 @@
 //! requests, `{"type":"poll",...}`, `{"type":"stats",...}`,
 //! `{"type":"overloaded",...}` on admission rejection and
 //! `{"type":"error",...}` for malformed input — a malformed line gets a
-//! structured error, not a disconnect.
+//! structured error, not a disconnect. A `metrics` request answers with
+//! the server's counters, queue gauges, solve-latency histograms and
+//! per-backend search telemetry in Prometheus text exposition format
+//! (in the `body` field).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde_json::Value;
 
 use mgrts_core::engine::{Budget, CancelToken, EnginePool, PlatformSpec, SolverSpec};
+use mgrts_obs::{flight, Counter, FlightRecorder, Gauge, Histogram, Registry};
 use rt_gen::Problem;
 use rt_task::TaskSet;
 
 use crate::policy::{race_roster, BudgetSource, PolicyKind};
 use crate::queue::{list_leases, now_unix_ms, LeaseBoard, LEASE_DIR};
-use crate::runner::{classify, run_one_engine, InstanceOutcome};
+use crate::runner::{classify, run_one_engine_full, InstanceOutcome};
 use crate::shard::{fnv1a, RunUnit, Shard};
 use crate::sink::{CampaignRecord, LocalStore, RecordStore, ShardWriter};
 
@@ -92,6 +96,10 @@ pub struct ServeConfig {
     /// solve, so cache/inflight behaviour is deterministically
     /// observable. `0` in production.
     pub solve_delay_ms: u64,
+    /// Slow-request threshold (ms): a solve at or above this logs one
+    /// diagnosable line to stdout and dumps the flight-recorder timeline
+    /// as a store artifact. `0` disables both.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +113,7 @@ impl Default for ServeConfig {
             spill_tasks: 12,
             spill_budget_ms: 10_000,
             solve_delay_ms: 0,
+            slow_ms: 0,
         }
     }
 }
@@ -193,6 +202,8 @@ pub enum Request {
     },
     /// Server counters snapshot.
     Stats,
+    /// Prometheus text exposition of the server's metrics.
+    Metrics,
     /// Graceful shutdown.
     Shutdown,
 }
@@ -253,9 +264,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             None => Err("poll request needs a `ticket`".to_string()),
         },
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown request type `{other}` (expected solve|poll|stats|shutdown)"
+            "unknown request type `{other}` (expected solve|poll|stats|metrics|shutdown)"
         )),
     }
 }
@@ -352,53 +364,190 @@ impl CachedResult {
     }
 }
 
-/// Monotonic serving counters (the `stats` response, and the
-/// machine-readable surface the serve-smoke CI job asserts against).
-#[derive(Debug, Default)]
-pub struct ServeStats {
+/// One consistent snapshot of the serving counters and queue gauges (the
+/// `stats` response, and the machine-readable surface the serve-smoke CI
+/// job asserts against).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
     /// Request lines accepted (any verb).
-    pub requests: AtomicU64,
+    pub requests: u64,
     /// Actual engine executions (the dedupe instrumentation: coalesced
     /// and cached requests do not increment this).
-    pub solves: AtomicU64,
+    pub solves: u64,
     /// Answers served from the record-store cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: u64,
     /// Solves actually performed for a requester (cache misses).
-    pub cache_misses: AtomicU64,
+    pub cache_misses: u64,
     /// Requests coalesced onto an in-flight solve.
-    pub inflight_hits: AtomicU64,
+    pub inflight_hits: u64,
     /// Admission-control rejections.
-    pub rejected: AtomicU64,
+    pub rejected: u64,
     /// Requests spilled to the heavy queue.
-    pub spilled: AtomicU64,
+    pub spilled: u64,
     /// Poll requests answered.
-    pub polls: AtomicU64,
+    pub polls: u64,
     /// Malformed or invalid request lines.
-    pub errors: AtomicU64,
+    pub errors: u64,
+    /// Current small-request queue length (gauge, tracked at push/pop).
+    pub queue_depth: u64,
+    /// Current heavy-queue length (gauge, tracked at push/pop).
+    pub heavy_depth: u64,
+}
+
+/// The server's counters behind one mutex, so a `stats` response reports
+/// counters and queue-depth gauges from a single consistent snapshot
+/// (they used to be separate atomics sampled at different instants: a
+/// rejection could be counted while the queue it rejected from still
+/// read as full-length, or vice versa). The lock is a leaf — it is taken
+/// for a handful of integer writes and never while waiting on another
+/// lock.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    inner: Mutex<ServeCounters>,
 }
 
 impl ServeStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn with(&self, f: impl FnOnce(&mut ServeCounters)) {
+        f(&mut self.inner.lock().unwrap_or_else(|e| e.into_inner()));
     }
 
-    fn response(&self, queue_depth: usize, heavy_depth: usize, engines: usize) -> Value {
-        let g = |c: &AtomicU64| Value::UInt(c.load(Ordering::Relaxed));
+    /// One consistent snapshot of every counter and gauge.
+    #[must_use]
+    pub fn snapshot(&self) -> ServeCounters {
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn response(&self, engines: usize) -> Value {
+        let c = self.snapshot();
         obj(vec![
             ("type", s("stats")),
-            ("requests", g(&self.requests)),
-            ("solves", g(&self.solves)),
-            ("cache_hits", g(&self.cache_hits)),
-            ("cache_misses", g(&self.cache_misses)),
-            ("inflight_hits", g(&self.inflight_hits)),
-            ("rejected", g(&self.rejected)),
-            ("spilled", g(&self.spilled)),
-            ("polls", g(&self.polls)),
-            ("errors", g(&self.errors)),
-            ("queue_depth", Value::UInt(queue_depth as u64)),
-            ("heavy_depth", Value::UInt(heavy_depth as u64)),
+            ("requests", Value::UInt(c.requests)),
+            ("solves", Value::UInt(c.solves)),
+            ("cache_hits", Value::UInt(c.cache_hits)),
+            ("cache_misses", Value::UInt(c.cache_misses)),
+            ("inflight_hits", Value::UInt(c.inflight_hits)),
+            ("rejected", Value::UInt(c.rejected)),
+            ("spilled", Value::UInt(c.spilled)),
+            ("polls", Value::UInt(c.polls)),
+            ("errors", Value::UInt(c.errors)),
+            ("queue_depth", Value::UInt(c.queue_depth)),
+            ("heavy_depth", Value::UInt(c.heavy_depth)),
             ("engines_cached", Value::UInt(engines as u64)),
         ])
+    }
+}
+
+/// The server's metrics-exposition surface: an [`mgrts_obs::Registry`]
+/// plus pre-registered handles for the hot instruments. Counters and
+/// gauges mirror a [`ServeCounters`] snapshot at scrape time (so the
+/// exposition inherits the snapshot's consistency); the latency
+/// histograms are observed live on the solve path.
+struct ServeMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    solves: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    inflight_hits: Arc<Counter>,
+    rejected: Arc<Counter>,
+    spilled: Arc<Counter>,
+    polls: Arc<Counter>,
+    errors: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    heavy_depth: Arc<Gauge>,
+    engines_cached: Arc<Gauge>,
+    solve_duration_us: Arc<Histogram>,
+    request_duration_us: Arc<Histogram>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let c = |name: &str, help: &str| registry.counter(name, help);
+        ServeMetrics {
+            requests: c("mgrts_serve_requests_total", "Request lines accepted"),
+            solves: c("mgrts_serve_solves_total", "Actual engine executions"),
+            cache_hits: c(
+                "mgrts_serve_cache_hits_total",
+                "Answers served from the record-store cache",
+            ),
+            cache_misses: c(
+                "mgrts_serve_cache_misses_total",
+                "Solves performed for a requester",
+            ),
+            inflight_hits: c(
+                "mgrts_serve_inflight_hits_total",
+                "Requests coalesced onto an in-flight solve",
+            ),
+            rejected: c("mgrts_serve_rejected_total", "Admission-control rejections"),
+            spilled: c(
+                "mgrts_serve_spilled_total",
+                "Requests spilled to the heavy queue",
+            ),
+            polls: c("mgrts_serve_polls_total", "Poll requests answered"),
+            errors: c(
+                "mgrts_serve_errors_total",
+                "Malformed or invalid request lines",
+            ),
+            queue_depth: registry.gauge(
+                "mgrts_serve_queue_depth",
+                "Current small-request queue length",
+            ),
+            heavy_depth: registry.gauge(
+                "mgrts_serve_heavy_queue_depth",
+                "Current heavy-queue length",
+            ),
+            engines_cached: registry.gauge(
+                "mgrts_serve_engines_cached",
+                "Distinct engines in the shared pool",
+            ),
+            solve_duration_us: registry.histogram(
+                "mgrts_serve_solve_duration_us",
+                "Wall-clock of actual engine executions, microseconds",
+            ),
+            request_duration_us: registry.histogram(
+                "mgrts_serve_request_duration_us",
+                "Wall-clock of request handling, microseconds",
+            ),
+            registry,
+        }
+    }
+
+    /// Mirror a counter snapshot and the pool's per-backend search
+    /// telemetry into the registry, then render the exposition text.
+    fn render(&self, counters: ServeCounters, pool: &EnginePool) -> String {
+        self.requests.set(counters.requests);
+        self.solves.set(counters.solves);
+        self.cache_hits.set(counters.cache_hits);
+        self.cache_misses.set(counters.cache_misses);
+        self.inflight_hits.set(counters.inflight_hits);
+        self.rejected.set(counters.rejected);
+        self.spilled.set(counters.spilled);
+        self.polls.set(counters.polls);
+        self.errors.set(counters.errors);
+        self.queue_depth.set(counters.queue_depth);
+        self.heavy_depth.set(counters.heavy_depth);
+        self.engines_cached.set(pool.len() as u64);
+        for (name, st) in pool.engine_stats() {
+            let labels: &[(&str, &str)] = &[("solver", name.as_str())];
+            let facets: [(&str, &str, u64); 5] = [
+                ("solves", "Solves served by this backend", st.solves),
+                ("decisions", "Search decisions", st.decisions),
+                ("backtracks", "Backtracks / conflicts", st.backtracks),
+                (
+                    "propagations",
+                    "Propagator or unit executions",
+                    st.propagations,
+                ),
+                ("restarts", "Search restarts", st.restarts),
+            ];
+            for (facet, help, value) in facets {
+                self.registry
+                    .counter_with(&format!("mgrts_solver_{facet}_total"), help, labels)
+                    .set(value);
+            }
+        }
+        self.registry.render()
     }
 }
 
@@ -429,6 +578,11 @@ struct ServerState {
     heavy_pending: Mutex<HashSet<u64>>,
     /// Serialized append handle into the store ("serve" writer segment).
     writer: Mutex<Box<dyn ShardWriter + Send>>,
+    /// Metrics-exposition surface (the `metrics` request).
+    metrics: ServeMetrics,
+    /// Flight recorder: every worker thread records request spans into
+    /// its ring; dumps happen on panic, cancellation and slow solves.
+    flight: Arc<FlightRecorder>,
 }
 
 impl ServerState {
@@ -444,10 +598,13 @@ impl ServerState {
     /// artificial delay precedes the solve so tests can observe the
     /// in-flight window deterministically.
     fn execute(&self, key: u64, req: &SolveRequest) -> CachedResult {
+        let started = Instant::now();
         if self.cfg.solve_delay_ms > 0 {
             std::thread::sleep(Duration::from_millis(self.cfg.solve_delay_ms));
         }
-        ServeStats::bump(&self.stats.solves);
+        self.stats.with(|c| c.solves += 1);
+        let ticket = ticket_of(key);
+        let sp = flight::span("request.solve", &ticket);
         let budget_ms = req.effective_budget_ms(self.cfg.default_budget_ms);
         let budget = Budget::time_limit(Duration::from_millis(budget_ms));
         let problem = Problem {
@@ -458,9 +615,13 @@ impl ServerState {
         match &req.mode {
             RequestMode::Single(spec) => {
                 let engine = self.pool.get(*spec, req.seed);
-                let (outcome, time_us) = run_one_engine(&problem, &*engine, &budget, &self.cancel);
-                let record = self.record_for(key, req, outcome, time_us, *spec, None, None, None);
-                self.settle(key, req, record)
+                let (outcome, time_us, search) =
+                    run_one_engine_full(&problem, &*engine, &budget, &self.cancel);
+                let record =
+                    self.record_for(key, req, outcome, time_us, *spec, None, None, None, search);
+                let result = self.settle(key, req, record);
+                self.finish_execute(&ticket, req, &result, started, sp);
+                result
             }
             RequestMode::Race => {
                 let roster = self.pool.roster(&SolverSpec::DEFAULT_PORTFOLIO, req.seed);
@@ -482,8 +643,64 @@ impl ServerState {
                     run.winner.clone(),
                     run.cancel_latency_us,
                     Some(run.backends),
+                    run.search,
                 );
-                self.settle(key, req, record)
+                let result = self.settle(key, req, record);
+                self.finish_execute(&ticket, req, &result, started, sp);
+                result
+            }
+        }
+    }
+
+    /// Post-solve observation: close the request span, feed the latency
+    /// histogram, and — past the slow threshold or on cancellation — log
+    /// one diagnosable stdout line and persist the flight-recorder
+    /// timeline as a store artifact.
+    fn finish_execute(
+        &self,
+        ticket: &str,
+        req: &SolveRequest,
+        result: &CachedResult,
+        started: Instant,
+        mut sp: flight::Span,
+    ) {
+        self.metrics.solve_duration_us.observe(result.time_us);
+        sp.set_detail(&format!(
+            "solver={} outcome={:?} elapsed_us={}",
+            result.solver, result.outcome, result.time_us
+        ));
+        // Close the span *before* any dump below: spans hit the ring on
+        // drop, and the slow-request timeline must include its own solve.
+        drop(sp);
+        // Wall clock of the whole execution, not the engine's own
+        // measurement: queueing artifacts and artificial delays count
+        // toward the user-visible latency this threshold guards.
+        let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let slow = self.cfg.slow_ms > 0 && elapsed_us >= self.cfg.slow_ms.saturating_mul(1_000);
+        let cancelled = result.outcome == InstanceOutcome::Cancelled;
+        if slow {
+            // Everything needed to reproduce and triage from stdout alone.
+            println!(
+                "serve: slow request ticket={ticket} solver={} policy={} elapsed_ms={} outcome={:?}",
+                result.solver,
+                req.mode.tag(),
+                elapsed_us / 1_000,
+                result.outcome
+            );
+        }
+        if (slow || cancelled) && self.cfg.slow_ms > 0 {
+            flight::event("request.slow", ticket, &format!("elapsed_us={elapsed_us}"));
+            let dump = self.flight.dump();
+            if dump.is_empty() {
+                return;
+            }
+            let name = format!("flight-{ticket}.jsonl");
+            match self.store.put_artifact(&name, &dump) {
+                Ok(()) => eprintln!(
+                    "serve: flight recorder dump ({}) -> {name}",
+                    if cancelled { "cancelled" } else { "slow" }
+                ),
+                Err(e) => eprintln!("serve: failed to write flight dump {name}: {e}"),
             }
         }
     }
@@ -499,6 +716,7 @@ impl ServerState {
         winner: Option<String>,
         cancel_latency_us: Option<u64>,
         backends: Option<Vec<mgrts_core::portfolio::BackendStat>>,
+        search: Option<mgrts_obs::SearchStats>,
     ) -> CampaignRecord {
         let (kind, src) = match req.mode {
             RequestMode::Single(_) => (PolicyKind::Single, BudgetSource::Manifest),
@@ -525,6 +743,7 @@ impl ServerState {
             budget_source: Some(src),
             cancel_latency_us,
             backends,
+            search,
         }
     }
 
@@ -578,17 +797,6 @@ impl ServerState {
             .unwrap_or_else(|e| e.into_inner())
             .remove(&key);
     }
-
-    fn queue_depth(&self) -> usize {
-        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).len()
-    }
-
-    fn heavy_depth(&self) -> usize {
-        self.heavy_jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -599,7 +807,7 @@ fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
     let key = request_key(&req, state.cfg.default_budget_ms);
     // 1. Response cache (the record store).
     if let Some(cached) = state.cached(key) {
-        ServeStats::bump(&state.stats.cache_hits);
+        state.stats.with(|c| c.cache_hits += 1);
         return cached.response(key, "hit");
     }
     // 2. Heavy requests spill to the lease queue and get a ticket.
@@ -615,7 +823,7 @@ fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
             None => {
                 let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
                 if jobs.len() >= state.cfg.queue_cap {
-                    ServeStats::bump(&state.stats.rejected);
+                    state.stats.with(|c| c.rejected += 1);
                     return obj(vec![
                         ("type", s("overloaded")),
                         ("queue_depth", Value::UInt(jobs.len() as u64)),
@@ -628,6 +836,7 @@ fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
                 });
                 inflight.insert(key, Arc::clone(&f));
                 jobs.push_back((key, req.clone()));
+                state.stats.with(|c| c.queue_depth = jobs.len() as u64);
                 state.jobs_cv.notify_one();
                 (f, true)
             }
@@ -658,10 +867,10 @@ fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
     }
     let result = done.clone().expect("loop exits only with a result");
     if creator {
-        ServeStats::bump(&state.stats.cache_misses);
+        state.stats.with(|c| c.cache_misses += 1);
         result.response(key, "miss")
     } else {
-        ServeStats::bump(&state.stats.inflight_hits);
+        state.stats.with(|c| c.inflight_hits += 1);
         result.response(key, "inflight")
     }
 }
@@ -675,7 +884,7 @@ fn handle_spill(state: &ServerState, key: u64, req: SolveRequest) -> Value {
     if pending.contains(&key) {
         // A repeat of a still-queued heavy request coalesces onto the
         // existing ticket.
-        ServeStats::bump(&state.stats.inflight_hits);
+        state.stats.with(|c| c.inflight_hits += 1);
         return obj(vec![
             ("type", s("ticket")),
             ("ticket", s(ticket)),
@@ -695,12 +904,12 @@ fn handle_spill(state: &ServerState, key: u64, req: SolveRequest) -> Value {
     }
     pending.insert(key);
     drop(pending);
-    ServeStats::bump(&state.stats.spilled);
-    state
-        .heavy_jobs
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push_back((key, req));
+    state.stats.with(|c| c.spilled += 1);
+    {
+        let mut heavy = state.heavy_jobs.lock().unwrap_or_else(|e| e.into_inner());
+        heavy.push_back((key, req));
+        state.stats.with(|c| c.heavy_depth = heavy.len() as u64);
+    }
     state.heavy_cv.notify_one();
     obj(vec![
         ("type", s("ticket")),
@@ -711,7 +920,7 @@ fn handle_spill(state: &ServerState, key: u64, req: SolveRequest) -> Value {
 }
 
 fn handle_poll(state: &ServerState, ticket: &str) -> Value {
-    ServeStats::bump(&state.stats.polls);
+    state.stats.with(|c| c.polls += 1);
     let key = match parse_ticket(ticket) {
         Ok(k) => k,
         Err(e) => return error_response(&e),
@@ -754,37 +963,53 @@ fn handle_poll(state: &ServerState, ticket: &str) -> Value {
 /// shared by the TCP handler and the protocol unit tests. `None` means
 /// "shutdown acknowledged": the caller sends the returned ack first.
 fn handle_line(state: &ServerState, line: &str) -> (Value, bool) {
-    ServeStats::bump(&state.stats.requests);
-    match parse_request(line) {
+    let start = std::time::Instant::now();
+    state.stats.with(|c| c.requests += 1);
+    let out = match parse_request(line) {
         Ok(Request::Solve(req)) => (handle_solve(state, req), false),
         Ok(Request::Poll { ticket }) => (handle_poll(state, &ticket), false),
-        Ok(Request::Stats) => (
-            state
-                .stats
-                .response(state.queue_depth(), state.heavy_depth(), state.pool.len()),
-            false,
-        ),
+        Ok(Request::Stats) => (state.stats.response(state.pool.len()), false),
+        Ok(Request::Metrics) => (handle_metrics(state), false),
         Ok(Request::Shutdown) => (
             obj(vec![("type", s("ok")), ("msg", s("shutting down"))]),
             true,
         ),
         Err(e) => {
-            ServeStats::bump(&state.stats.errors);
+            state.stats.with(|c| c.errors += 1);
             (error_response(&e), false)
         }
-    }
+    };
+    state
+        .metrics
+        .request_duration_us
+        .observe(start.elapsed().as_micros() as u64);
+    out
+}
+
+/// The `metrics` request: Prometheus text exposition of the counters
+/// (one consistent snapshot), queue gauges, latency histograms and
+/// per-backend search telemetry, carried in the response's `body` field.
+fn handle_metrics(state: &ServerState) -> Value {
+    let body = state.metrics.render(state.stats.snapshot(), &state.pool);
+    obj(vec![
+        ("type", s("metrics")),
+        ("content_type", s("text/plain; version=0.0.4")),
+        ("body", s(body)),
+    ])
 }
 
 // ---------------------------------------------------------------------------
 // Worker pools
 // ---------------------------------------------------------------------------
 
-fn light_worker(state: &Arc<ServerState>) {
+fn light_worker(state: &Arc<ServerState>, index: usize) {
+    let _ring = flight::install(&state.flight, &format!("serve-light-{index}"));
     loop {
         let job = {
             let mut jobs = state.jobs.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = jobs.pop_front() {
+                    state.stats.with(|c| c.queue_depth = jobs.len() as u64);
                     break Some(job);
                 }
                 if state.cancel.is_cancelled() {
@@ -820,6 +1045,7 @@ fn light_worker(state: &Arc<ServerState>) {
 /// is observable (`poll` reports `running`), crash-safe (an expired
 /// lease is reclaimable) and shareable with external drain processes.
 fn heavy_worker(state: &Arc<ServerState>, index: usize) {
+    let _ring = flight::install(&state.flight, &format!("serve-heavy-{index}"));
     let board = match LeaseBoard::open(
         state.store.dir(),
         &format!("serve-heavy-{index}"),
@@ -836,6 +1062,7 @@ fn heavy_worker(state: &Arc<ServerState>, index: usize) {
             let mut jobs = state.heavy_jobs.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = jobs.pop_front() {
+                    state.stats.with(|c| c.heavy_depth = jobs.len() as u64);
                     break Some(job);
                 }
                 if state.cancel.is_cancelled() {
@@ -970,11 +1197,15 @@ impl Server {
                 },
             );
         }
+        let flight_rec = FlightRecorder::new(512);
+        flight_rec.install_panic_hook();
         let state = Arc::new(ServerState {
             store,
             pool: EnginePool::new(),
             cancel: CancelToken::new(),
             stats: ServeStats::default(),
+            metrics: ServeMetrics::new(),
+            flight: flight_rec,
             cache: Mutex::new(cache),
             inflight: Mutex::new(HashMap::new()),
             jobs: Mutex::new(VecDeque::new()),
@@ -987,9 +1218,9 @@ impl Server {
         });
         Self::recover_spill_jobs(&state);
         let mut threads = Vec::new();
-        for _ in 0..state.cfg.workers.max(1) {
+        for i in 0..state.cfg.workers.max(1) {
             let state = Arc::clone(&state);
-            threads.push(std::thread::spawn(move || light_worker(&state)));
+            threads.push(std::thread::spawn(move || light_worker(&state, i)));
         }
         {
             let state = Arc::clone(&state);
@@ -1057,11 +1288,9 @@ impl Server {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner());
             if pending.insert(key) {
-                state
-                    .heavy_jobs
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push_back((key, req));
+                let mut heavy = state.heavy_jobs.lock().unwrap_or_else(|e| e.into_inner());
+                heavy.push_back((key, req));
+                state.stats.with(|c| c.heavy_depth = heavy.len() as u64);
             }
         }
     }
@@ -1080,11 +1309,11 @@ impl Server {
         self.state.cancel.clone()
     }
 
-    /// Stats counters (test instrumentation; the wire surface is the
-    /// `stats` request).
+    /// One consistent counter snapshot (test instrumentation; the wire
+    /// surfaces are the `stats` and `metrics` requests).
     #[must_use]
-    pub fn stats(&self) -> &ServeStats {
-        &self.state.stats
+    pub fn stats(&self) -> ServeCounters {
+        self.state.stats.snapshot()
     }
 
     /// Graceful shutdown: raise the token, join every worker and
@@ -1100,18 +1329,11 @@ impl Server {
         for t in conns {
             let _ = t.join();
         }
-        let st = &self.state.stats;
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let c = self.state.stats.snapshot();
         format!(
             "served {} requests ({} solves, {} cache hits, {} coalesced, \
              {} spilled, {} rejected, {} errors)",
-            g(&st.requests),
-            g(&st.solves),
-            g(&st.cache_hits),
-            g(&st.inflight_hits),
-            g(&st.spilled),
-            g(&st.rejected),
-            g(&st.errors),
+            c.requests, c.solves, c.cache_hits, c.inflight_hits, c.spilled, c.rejected, c.errors,
         )
     }
 }

@@ -94,6 +94,11 @@ pub struct CampaignRecord {
     /// Per-backend race stats in roster order (portfolio units only —
     /// the loser statistics the race would otherwise discard).
     pub backends: Option<Vec<BackendStat>>,
+    /// Search telemetry of the unit's solve (the winner's, for races).
+    /// `None` on pre-telemetry segments (PR ≤ 7) and for backends without
+    /// counters; absent keys deserialize as `None`, so old JSONL loads
+    /// unchanged.
+    pub search: Option<mgrts_obs::SearchStats>,
 }
 
 impl CampaignRecord {
@@ -571,6 +576,7 @@ pub fn canonical_export(records: &[CampaignRecord]) -> String {
         norm.budget_source = None;
         norm.cancel_latency_us = None;
         norm.backends = None;
+        norm.search = None;
         out.push_str(&serde_json::to_string(&norm).expect("record serializes"));
         out.push('\n');
     }
@@ -604,6 +610,7 @@ mod tests {
             budget_source: Some(BudgetSource::Manifest),
             cancel_latency_us: None,
             backends: None,
+            search: None,
         }
     }
 
@@ -623,6 +630,36 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("mgrts-sink-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn pre_telemetry_jsonl_still_deserializes() {
+        // A record line exactly as PR <= 7 builds wrote it: no `search`
+        // key anywhere. The telemetry field must load as `None`, not
+        // reject the segment.
+        let line = concat!(
+            r#"{"shard":"ab12","cell":3,"instance":1,"global_instance":31,"#,
+            r#""solver":"Csp1","outcome":"Solved","time_us":523,"ratio":0.9,"#,
+            r#""filtered":false,"m":2,"n":4,"t_max":5,"hetero":false,"#,
+            r#""hyperperiod":60,"seed":7,"policy":"Single","winner":null,"#,
+            r#""budget_source":"Manifest","cancel_latency_us":null,"backends":null}"#
+        );
+        let rec: CampaignRecord = serde_json::from_str(line).unwrap();
+        assert_eq!(rec.shard, "ab12");
+        assert_eq!(rec.cell, 3);
+        assert_eq!(rec.time_us, 523);
+        assert!(rec.search.is_none());
+
+        // And the modern writer round-trips a populated block.
+        let mut modern = rec.clone();
+        modern.search = Some(mgrts_obs::SearchStats {
+            solves: 1,
+            decisions: 42,
+            ..Default::default()
+        });
+        let json = serde_json::to_string(&modern).unwrap();
+        let back: CampaignRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.search.as_ref().map(|s| s.decisions), Some(42));
     }
 
     #[test]

@@ -245,6 +245,96 @@ pub fn winners(rows: &[WinnerRow], roster: &[SolverSpec]) -> String {
     out
 }
 
+/// One grid cell's aggregated search telemetry (the `report profile`
+/// row shape): every recorded [`mgrts_obs::SearchStats`] of the cell,
+/// merged.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Canonical cell tag.
+    pub cell: String,
+    /// Units of the cell that carried a `search` block.
+    pub with_stats: u64,
+    /// Units of the cell without one (pre-telemetry segments, backends
+    /// without counters).
+    pub without_stats: u64,
+    /// The cell's merged search telemetry.
+    pub stats: mgrts_obs::SearchStats,
+}
+
+/// Format per-cell aggregated search statistics: one line per cell with
+/// the merged throughput counters, then a per-propagator-kind breakdown
+/// summed over every cell.
+#[must_use]
+pub fn profile(rows: &[ProfileRow]) -> String {
+    if rows.iter().all(|r| r.with_stats == 0) {
+        return "no recorded search statistics in this campaign \
+                (records predate telemetry, or the backends carry no counters)\n"
+            .to_string();
+    }
+    let cell_width = rows.iter().map(|r| r.cell.len()).max().unwrap_or(4).max(4);
+    let mut out = format!(
+        "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>10} {:>10}\n",
+        "cell",
+        "solves",
+        "decisions",
+        "backtracks",
+        "propagations",
+        "restarts",
+        "gac_reb",
+        "peak_trail",
+        "peak_depth",
+    );
+    let width = out.lines().next().unwrap().chars().count();
+    out.push_str(&format!("{}\n", "-".repeat(width)));
+    let mut kinds = mgrts_obs::SearchStats::default();
+    for row in rows {
+        if row.with_stats == 0 {
+            continue;
+        }
+        let st = &row.stats;
+        out.push_str(&format!(
+            "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>10} {:>10}\n",
+            row.cell,
+            st.solves,
+            st.decisions,
+            st.backtracks,
+            st.propagations,
+            st.restarts,
+            st.gac_rebuilds,
+            st.peak_trail,
+            st.peak_depth,
+        ));
+        kinds.merge(st);
+    }
+    let uncounted: u64 = rows.iter().map(|r| r.without_stats).sum();
+    if uncounted > 0 {
+        out.push_str(&format!(
+            "({uncounted} units carry no search telemetry and are excluded)\n"
+        ));
+    }
+    if !kinds.kinds.is_empty() {
+        out.push_str("\npropagator kinds (all cells)\n");
+        let kw = kinds
+            .kinds
+            .iter()
+            .map(|k| k.kind.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "{:<kw$} | {:>12} {:>12} {:>12}\n",
+            "kind", "wakes", "prunes", "entailments"
+        ));
+        for k in &kinds.kinds {
+            out.push_str(&format!(
+                "{:<kw$} | {:>12} {:>12} {:>12}\n",
+                k.kind, k.wakes, k.prunes, k.entailments
+            ));
+        }
+    }
+    out
+}
+
 /// Per-solver verdict counts of one heterogeneous cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HeteroCounts {

@@ -31,6 +31,7 @@ fn config(tag: &str) -> ServeConfig {
         spill_tasks: 64,
         spill_budget_ms: 60_000,
         solve_delay_ms: 0,
+        slow_ms: 0,
     }
 }
 
@@ -89,24 +90,12 @@ fn concurrent_identical_requests_coalesce_onto_one_solve() {
     tags.sort();
     // One creator, two coalesced joiners — and exactly one engine run.
     assert_eq!(tags, vec!["inflight", "inflight", "miss"]);
-    assert_eq!(
-        server
-            .stats()
-            .solves
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.stats().solves, 1);
 
     // A repeat after settling is a store hit, still without a new solve.
     let repeat = exchange(addr, &solve_line(""));
     assert_eq!(repeat["cache"].as_str(), Some("hit"));
-    assert_eq!(
-        server
-            .stats()
-            .solves
-            .load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(server.stats().solves, 1);
     server.shutdown();
 }
 
@@ -215,14 +204,92 @@ fn full_queue_rejects_with_overloaded() {
         kinds.iter().any(|k| k == "overloaded"),
         "expected an admission rejection, got {kinds:?}"
     );
-    assert!(
-        server
-            .stats()
-            .rejected
-            .load(std::sync::atomic::Ordering::Relaxed)
-            >= 1
-    );
+    assert!(server.stats().rejected >= 1);
     server.shutdown();
+}
+
+#[test]
+fn metrics_request_returns_parseable_exposition() {
+    let server = Server::start(config("metrics")).unwrap();
+    let addr = server.addr();
+
+    // Drive some traffic first so the counters are non-zero: one solve
+    // (a cache miss) plus a stats probe.
+    let first = exchange(addr, &solve_line(""));
+    assert_eq!(first["type"].as_str(), Some("result"), "{first:?}");
+    exchange(addr, "{\"type\":\"stats\"}");
+
+    let resp = exchange(addr, "{\"type\":\"metrics\"}");
+    assert_eq!(resp["type"].as_str(), Some("metrics"), "{resp:?}");
+    assert_eq!(
+        resp["content_type"].as_str(),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = resp["body"].as_str().expect("metrics body");
+
+    // Structural checks of the exposition: every non-comment line is
+    // `name{labels} value` with a finite numeric value.
+    let mut names = std::collections::HashSet::new();
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect(line);
+        let v: f64 = value.parse().expect(line);
+        assert!(v.is_finite(), "{line}");
+        let name = name_part.split(['{', ' ']).next().unwrap();
+        names.insert(name.to_string());
+    }
+
+    // Request counter saw the traffic above.
+    let requests = body
+        .lines()
+        .find(|l| l.starts_with("mgrts_serve_requests_total "))
+        .expect("requests counter");
+    let count: f64 = requests.rsplit_once(' ').unwrap().1.parse().unwrap();
+    assert!(count >= 2.0, "{requests}");
+
+    // Queue gauges and at least one latency histogram are exposed.
+    assert!(names.contains("mgrts_serve_queue_depth"), "{names:?}");
+    assert!(names.contains("mgrts_serve_heavy_queue_depth"), "{names:?}");
+    assert!(
+        body.contains("# TYPE mgrts_serve_request_duration_us histogram"),
+        "{body}"
+    );
+    assert!(
+        body.lines()
+            .any(|l| l.starts_with("mgrts_serve_request_duration_us_bucket{le=\"+Inf\"}")),
+        "{body}"
+    );
+
+    // Per-solver search telemetry appears once an engine has run.
+    assert!(body.contains("mgrts_solver_solves_total{solver="), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_request_threshold_logs_and_dumps_flight_recording() {
+    let mut cfg = config("slowlog");
+    cfg.slow_ms = 1; // everything qualifies as slow
+    let data_dir = cfg.data_dir.clone();
+    cfg.solve_delay_ms = 5;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+    let resp = exchange(addr, &solve_line(""));
+    assert_eq!(resp["type"].as_str(), Some("result"), "{resp:?}");
+    let ticket = resp["ticket"].as_str().unwrap().to_string();
+    server.shutdown();
+
+    // The flight recording for the slow ticket was dumped as a store
+    // artifact, and each line is a well-formed event.
+    let artifact = data_dir.join(format!("flight-{ticket}.jsonl"));
+    let dump = std::fs::read_to_string(&artifact).expect("flight artifact");
+    assert!(!dump.trim().is_empty());
+    for line in dump.lines() {
+        let ev: Value = serde_json::from_str(line).expect(line);
+        assert!(ev["name"].as_str().is_some(), "{line}");
+    }
+    assert!(dump.lines().any(|l| l.contains("request.solve")), "{dump}");
 }
 
 #[test]
@@ -246,12 +313,6 @@ fn cache_survives_restart_and_shutdown_request_stops_server() {
     let server = Server::start(cfg2).unwrap();
     let hit = exchange(server.addr(), &solve_line(""));
     assert_eq!(hit["cache"].as_str(), Some("hit"), "{hit:?}");
-    assert_eq!(
-        server
-            .stats()
-            .solves
-            .load(std::sync::atomic::Ordering::Relaxed),
-        0
-    );
+    assert_eq!(server.stats().solves, 0);
     server.shutdown();
 }

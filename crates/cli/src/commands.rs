@@ -590,7 +590,7 @@ pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
         }
         "report" => {
             let kind: ReportKind = args
-                .positional(2, "table1|table3|table4|hetero|winners|summary")?
+                .positional(2, "table1|table3|table4|hetero|winners|profile|summary")?
                 .parse()
                 .map_err(CliError::Other)?;
             let dir = out_dir(None)?;
@@ -643,7 +643,7 @@ pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
 
 /// `mgrts serve [--addr A] [--data-dir DIR] [--workers N] [--queue-cap N]
 /// [--budget-ms MS] [--spill-tasks N] [--spill-budget-ms MS]
-/// [--solve-delay-ms MS]`
+/// [--solve-delay-ms MS] [--slow-ms MS]`
 ///
 /// Runs until SIGTERM/SIGINT or a wire-level `shutdown` request.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
@@ -663,6 +663,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
             defaults.spill_budget_ms,
         )?,
         solve_delay_ms: args.opt_or("solve-delay-ms", "milliseconds", defaults.solve_delay_ms)?,
+        slow_ms: args.opt_or("slow-ms", "milliseconds", defaults.slow_ms)?,
     };
     let token = crate::signal::install();
     let summary = mgrts_bench::serve::run(cfg, &token)?;
@@ -728,14 +729,49 @@ fn client_solve_line(args: &Args) -> Result<String, CliError> {
     serde_json::to_string(&Value::Object(fields)).map_err(|e| CliError::Other(e.to_string()))
 }
 
-/// `mgrts client <solve|poll|stats> [...]` — a line-protocol client for
-/// `mgrts serve`. Prints the raw response JSON, one line per exchange.
+/// Render a `stats` response as an aligned human-readable listing,
+/// preserving the server's field order.
+fn render_stats(response: &str) -> Result<String, CliError> {
+    let v: serde_json::Value = serde_json::from_str(response)
+        .map_err(|e| CliError::Parse(format!("server response: {e}")))?;
+    let serde_json::Value::Object(fields) = v else {
+        return Err(CliError::Parse(
+            "server response: expected an object".into(),
+        ));
+    };
+    let width = fields
+        .iter()
+        .filter(|(k, _)| k != "type")
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in &fields {
+        if k == "type" {
+            continue;
+        }
+        let rendered = match v {
+            serde_json::Value::UInt(n) => n.to_string(),
+            serde_json::Value::String(s) => s.clone(),
+            other => serde_json::to_string(other).unwrap_or_default(),
+        };
+        out.push_str(&format!("{k:width$}  {rendered}\n"));
+    }
+    Ok(out)
+}
+
+/// `mgrts client <solve|poll|stats|metrics> [...]` — a line-protocol
+/// client for `mgrts serve`. Prints the raw response JSON, one line per
+/// exchange (except `stats` without `--json`, which renders a listing,
+/// and `metrics`, which prints the exposition body).
 ///
 /// * `client solve <instance> [--m N] [--solver S | --policy P]`
 ///   `[--budget-ms MS] [--seed S] [--count K] [--parallel]`
 /// * `client poll --ticket T [--wait-ms MS]` — with `--wait-ms`, retries
 ///   until the ticket settles or the wait elapses (then errors).
-/// * `client stats`
+/// * `client stats [--json] [--watch SECS]` — `--watch` re-samples every
+///   `SECS` seconds until interrupted.
+/// * `client metrics` — Prometheus text exposition from the server.
 ///
 /// All verbs accept `--addr HOST:PORT` (default `127.0.0.1:7077`) and
 /// `--connect-ms MS` (connection-retry window, default 5000).
@@ -804,14 +840,47 @@ pub fn cmd_client(args: &Args) -> Result<String, CliError> {
             }
         }
         "stats" => {
+            let json = args.switch("json");
+            let watch: u64 = args.opt_or("watch", "seconds", 0)?;
+            loop {
+                let stream = client_connect(&addr, connect_ms)?;
+                let response = client_exchange(&stream, "{\"type\":\"stats\"}")?;
+                let rendered = if json {
+                    format!("{response}\n")
+                } else {
+                    render_stats(&response)?
+                };
+                if watch == 0 {
+                    return Ok(rendered);
+                }
+                // Write directly (not via print!) so a closed pipe — the
+                // consumer went away — ends the watch instead of panicking.
+                use std::io::Write as _;
+                let mut out = std::io::stdout();
+                let sep = if json { "" } else { "\n" };
+                if out
+                    .write_all(rendered.as_bytes())
+                    .and_then(|()| out.write_all(sep.as_bytes()))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    return Ok(String::new());
+                }
+                std::thread::sleep(Duration::from_secs(watch));
+            }
+        }
+        "metrics" => {
             let stream = client_connect(&addr, connect_ms)?;
-            Ok(format!(
-                "{}\n",
-                client_exchange(&stream, "{\"type\":\"stats\"}")?
-            ))
+            let response = client_exchange(&stream, "{\"type\":\"metrics\"}")?;
+            let v: serde_json::Value = serde_json::from_str(&response)
+                .map_err(|e| CliError::Parse(format!("server response: {e}")))?;
+            match v["body"].as_str() {
+                Some(body) => Ok(body.to_string()),
+                None => Ok(format!("{response}\n")),
+            }
         }
         other => Err(CliError::Other(format!(
-            "unknown client verb {other:?} (expected solve|poll|stats)"
+            "unknown client verb {other:?} (expected solve|poll|stats|metrics)"
         ))),
     }
 }
@@ -854,8 +923,8 @@ pub fn usage() -> String {
        bench campaign status  per-worker progress, throughput + ETA\n\
                             --out DIR [--json]\n\
        bench campaign compact  merge segments, drop stale copies --out DIR\n\
-       bench campaign report  <table1|table3|table4|hetero|winners|summary>\n\
-                            --out DIR\n\
+       bench campaign report  <table1|table3|table4|hetero|winners|profile\n\
+                            |summary> --out DIR\n\
        bench campaign gate  compare BENCH summaries (CI perf gate)\n\
                             --summary FILE --baseline FILE [--tolerance F]\n\
        bench campaign parity  portfolio-race verdicts vs single-solver runs\n\
@@ -869,6 +938,8 @@ pub fn usage() -> String {
                             [--budget-ms MS] [--seed S] [--count K] [--parallel]\n\
        client poll          resolve a spill ticket --ticket T [--wait-ms MS]\n\
        client stats         server counters (cache hits, queue depth, ...)\n\
+                            [--json] [--watch SECS]\n\
+       client metrics       Prometheus text exposition from the server\n\
      \n\
      Instances are JSON: {\"tasks\":[{\"offset\":0,\"wcet\":1,\"deadline\":2,\"period\":2},…]}\n\
      or the full problem objects produced by `mgrts generate`. `-` reads stdin.\n"

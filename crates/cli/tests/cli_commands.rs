@@ -600,9 +600,25 @@ fn client_round_trips_against_in_process_server() {
     assert_eq!(responses[0]["cache"].as_str(), Some("miss"), "{out}");
     assert_eq!(responses[1]["cache"].as_str(), Some("hit"), "{out}");
 
-    let stats = run_command("client", &args(&["stats", "--addr", &addr])).unwrap();
+    let stats = run_command("client", &args(&["stats", "--json", "--addr", &addr])).unwrap();
     let stats: serde_json::Value = serde_json::from_str(stats.trim()).unwrap();
     assert_eq!(stats["type"].as_str(), Some("stats"));
     assert_eq!(stats["cache_hits"].as_u64(), Some(1));
+
+    // Without --json the same counters render as an aligned listing.
+    let listing = run_command("client", &args(&["stats", "--addr", &addr])).unwrap();
+    assert!(listing.contains("cache_hits"), "{listing}");
+    assert!(!listing.contains('{'), "{listing}");
+
+    // The metrics verb prints the Prometheus exposition body directly.
+    let metrics = run_command("client", &args(&["metrics", "--addr", &addr])).unwrap();
+    assert!(
+        metrics.contains("# TYPE mgrts_serve_requests_total counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("mgrts_serve_cache_hits_total 1"),
+        "{metrics}"
+    );
     server.shutdown();
 }

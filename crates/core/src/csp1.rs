@@ -189,6 +189,7 @@ pub fn solve_csp1_cancellable(
         return Ok(SolveResult {
             verdict: Verdict::Unknown(StopReason::EncodingTooLarge),
             stats: SolveStats::default(),
+            search: None,
         });
     }
     let (model, layout) = encode(ts, m)?;
@@ -212,7 +213,11 @@ pub fn solve_csp1_cancellable(
         Outcome::Unsat => Verdict::Infeasible,
         Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
-    Ok(SolveResult { verdict, stats })
+    Ok(SolveResult {
+        verdict,
+        stats,
+        search: Some(crate::solve::search_from_csp(&engine_stats)),
+    })
 }
 
 #[cfg(test)]

@@ -145,6 +145,7 @@ pub fn solve_hetero_sat_cancellable(
         return Ok(SolveResult {
             verdict: Verdict::Unknown(StopReason::EncodingTooLarge),
             stats: SolveStats::default(),
+            search: None,
         });
     }
     let (cnf, layout) = encode_cnf_hetero(ts, platform, cfg.amo)?;
@@ -168,7 +169,11 @@ pub fn solve_hetero_sat_cancellable(
         SatOutcome::Unsat => Verdict::Infeasible,
         SatOutcome::Unknown(limit) => Verdict::Unknown(sat_stop_reason(limit)),
     };
-    Ok(SolveResult { verdict, stats })
+    Ok(SolveResult {
+        verdict,
+        stats,
+        search: Some(crate::solve::search_from_sat(&st)),
+    })
 }
 
 #[cfg(test)]

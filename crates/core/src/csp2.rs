@@ -362,6 +362,7 @@ impl<'s, 'a> Search<'s, 'a> {
         SolveResult {
             verdict,
             stats: self.stats,
+            search: Some(crate::solve::search_from_basic(&self.stats)),
         }
     }
 

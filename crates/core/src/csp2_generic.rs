@@ -206,7 +206,11 @@ pub fn solve_csp2_generic_cancellable(
         Outcome::Unsat => Verdict::Infeasible,
         Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
-    Ok(SolveResult { verdict, stats })
+    Ok(SolveResult {
+        verdict,
+        stats,
+        search: Some(crate::solve::search_from_csp(&st)),
+    })
 }
 
 #[cfg(test)]

@@ -263,6 +263,7 @@ pub trait FeasibilitySolver: Send + Sync {
         Ok(SolveResult {
             verdict: Verdict::Unknown(StopReason::Unsupported),
             stats: SolveStats::default(),
+            search: None,
         })
     }
 
@@ -290,6 +291,95 @@ pub trait FeasibilitySolver: Send + Sync {
             PlatformSpec::Identical { m } => self.solve(ts, *m, budget, cancel),
             PlatformSpec::Heterogeneous(p) => self.solve_hetero(ts, p, budget, cancel),
         }
+    }
+
+    /// Cumulative search telemetry over every solve served by this engine
+    /// instance. The base implementation reports nothing; engines built
+    /// through [`SolverSpec::build_seeded`] / [`SolverSpec::build_shared`]
+    /// are wrapped in [`Instrumented`], which accumulates it.
+    fn stats(&self) -> Option<mgrts_obs::SearchStats> {
+        None
+    }
+}
+
+/// Decorator accumulating per-solve [`mgrts_obs::SearchStats`] across the
+/// lifetime of an engine instance, surfaced via
+/// [`FeasibilitySolver::stats`]. Long-lived holders (the serve layer's
+/// [`EnginePool`]) read the running totals for exposition without touching
+/// the per-call path: accumulation is one short mutex acquisition per
+/// solve, nothing inside the search itself.
+pub struct Instrumented {
+    inner: Box<dyn FeasibilitySolver>,
+    total: Mutex<mgrts_obs::SearchStats>,
+}
+
+impl Instrumented {
+    /// Wrap `inner`, starting from zeroed totals.
+    #[must_use]
+    pub fn new(inner: Box<dyn FeasibilitySolver>) -> Self {
+        Instrumented {
+            inner,
+            total: Mutex::new(mgrts_obs::SearchStats::default()),
+        }
+    }
+
+    fn record(&self, res: &SolveResult) {
+        if let Some(search) = &res.search {
+            self.total
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(search);
+        }
+    }
+}
+
+impl fmt::Debug for Instrumented {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Instrumented")
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl FeasibilitySolver for Instrumented {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn solve(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<SolveResult, TaskError> {
+        let res = self.inner.solve(ts, m, budget, cancel)?;
+        self.record(&res);
+        Ok(res)
+    }
+
+    fn solve_hetero(
+        &self,
+        ts: &TaskSet,
+        platform: &Platform,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<SolveResult, TaskError> {
+        let res = self.inner.solve_hetero(ts, platform, budget, cancel)?;
+        self.record(&res);
+        Ok(res)
+    }
+
+    fn supports_hetero(&self) -> bool {
+        self.inner.supports_hetero()
+    }
+
+    fn is_exact(&self) -> bool {
+        self.inner.is_exact()
+    }
+
+    fn stats(&self) -> Option<mgrts_obs::SearchStats> {
+        Some(self.total.lock().unwrap_or_else(|e| e.into_inner()).clone())
     }
 }
 
@@ -619,8 +709,15 @@ impl SolverSpec {
     ];
 
     /// Build the boxed engine, with `seed` for the randomized backends.
+    /// The engine is wrapped in [`Instrumented`], so it accumulates
+    /// [`mgrts_obs::SearchStats`] across its lifetime.
     #[must_use]
     pub fn build_seeded(&self, seed: u64) -> Box<dyn FeasibilitySolver> {
+        Box::new(Instrumented::new(self.build_raw(seed)))
+    }
+
+    /// The bare backend, without the [`Instrumented`] wrapper.
+    fn build_raw(&self, seed: u64) -> Box<dyn FeasibilitySolver> {
         match self {
             SolverSpec::Csp1 => Box::new(Csp1Engine { seed }),
             SolverSpec::Csp1Sat => Box::new(Csp1SatEngine::default()),
@@ -655,32 +752,12 @@ impl SolverSpec {
 
     /// Build a shareable engine, with `seed` for the randomized backends —
     /// the shape [`EnginePool`] caches and the portfolio racer accepts.
+    /// Like [`SolverSpec::build_seeded`], the engine is wrapped in
+    /// [`Instrumented`]: the pool's cached instances accumulate search
+    /// telemetry across every request they serve.
     #[must_use]
     pub fn build_shared(&self, seed: u64) -> Arc<dyn FeasibilitySolver> {
-        match self {
-            SolverSpec::Csp1 => Arc::new(Csp1Engine { seed }),
-            SolverSpec::Csp1Sat => Arc::new(Csp1SatEngine::default()),
-            SolverSpec::Csp2(order) => Arc::new(Csp2Engine { order: *order }),
-            SolverSpec::Csp2Generic => Arc::new(Csp2GenericEngine {
-                seed,
-                ..Csp2GenericEngine::default()
-            }),
-            SolverSpec::Local => Arc::new(LocalSearchEngine {
-                strategy: LsStrategy::MinConflicts,
-                seed,
-            }),
-            SolverSpec::LocalTabu => Arc::new(LocalSearchEngine {
-                strategy: LsStrategy::Tabu { tenure: 10 },
-                seed,
-            }),
-            SolverSpec::LocalSa => Arc::new(LocalSearchEngine {
-                strategy: LsStrategy::Annealing {
-                    t0: 2.0,
-                    cooling: 0.9995,
-                },
-                seed,
-            }),
-        }
+        Arc::new(Instrumented::new(self.build_raw(seed)))
     }
 
     /// Does the built engine's behaviour depend on the seed?
@@ -818,6 +895,32 @@ impl EnginePool {
     #[must_use]
     pub fn roster(&self, specs: &[SolverSpec], seed: u64) -> Vec<Arc<dyn FeasibilitySolver>> {
         specs.iter().map(|s| self.get(*s, seed)).collect()
+    }
+
+    /// Per-backend cumulative search telemetry, merged across seeds and
+    /// sorted by engine name. Engines without telemetry are omitted.
+    #[must_use]
+    pub fn engine_stats(&self) -> Vec<(String, mgrts_obs::SearchStats)> {
+        let engines: Vec<Arc<dyn FeasibilitySolver>> = self
+            .engines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        let mut by_name: Vec<(String, mgrts_obs::SearchStats)> = Vec::new();
+        for engine in engines {
+            let Some(stats) = engine.stats() else {
+                continue;
+            };
+            let name = engine.name();
+            match by_name.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, acc)) => acc.merge(&stats),
+                None => by_name.push((name, stats)),
+            }
+        }
+        by_name.sort_by(|a, b| a.0.cmp(&b.0));
+        by_name
     }
 
     /// Number of distinct engines currently cached.

@@ -133,7 +133,11 @@ pub fn solve_csp1_hetero_cancellable(
         Outcome::Unsat => Verdict::Infeasible,
         Outcome::Unknown(limit) => Verdict::Unknown(stop_reason(limit)),
     };
-    Ok(SolveResult { verdict, stats })
+    Ok(SolveResult {
+        verdict,
+        stats,
+        search: Some(crate::solve::search_from_csp(&st)),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -496,6 +500,7 @@ impl<'a> HeteroSearch<'a> {
         SolveResult {
             verdict,
             stats: self.stats,
+            search: Some(crate::solve::search_from_basic(&self.stats)),
         }
     }
 

@@ -74,7 +74,9 @@ pub mod schedule;
 pub mod solve;
 pub mod verify;
 
-pub use engine::{Budget, CancelToken, EnginePool, FeasibilitySolver, PlatformSpec, SolverSpec};
+pub use engine::{
+    Budget, CancelToken, EnginePool, FeasibilitySolver, Instrumented, PlatformSpec, SolverSpec,
+};
 pub use portfolio::{race, race_on, BackendReport, PortfolioResult};
 pub use schedule::Schedule;
 pub use solve::{SolveResult, SolveStats, Verdict};

@@ -277,6 +277,7 @@ pub fn solve_local_search_cancellable(
                 return Ok(SolveResult {
                     verdict: Verdict::Unknown(StopReason::Cancelled),
                     stats,
+                    search: Some(crate::solve::search_from_basic(&stats)),
                 });
             }
             if cfg.time.is_some_and(|limit| start.elapsed() >= limit) {
@@ -285,6 +286,7 @@ pub fn solve_local_search_cancellable(
                 return Ok(SolveResult {
                     verdict: Verdict::Unknown(StopReason::TimeLimit),
                     stats,
+                    search: Some(crate::solve::search_from_basic(&stats)),
                 });
             }
         }
@@ -296,6 +298,7 @@ pub fn solve_local_search_cancellable(
             return Ok(SolveResult {
                 verdict: Verdict::Feasible(schedule),
                 stats,
+                search: Some(crate::solve::search_from_basic(&stats)),
             });
         }
         if total < best {
@@ -384,6 +387,7 @@ pub fn solve_local_search_cancellable(
     Ok(SolveResult {
         verdict: Verdict::Unknown(StopReason::DecisionLimit),
         stats,
+        search: Some(crate::solve::search_from_basic(&stats)),
     })
 }
 

@@ -95,6 +95,70 @@ pub struct SolveResult {
     pub verdict: Verdict,
     /// Search statistics.
     pub stats: SolveStats,
+    /// Detailed search telemetry for this solve, when the backend collects
+    /// it (`None` for backends without internal counters).
+    pub search: Option<mgrts_obs::SearchStats>,
+}
+
+/// Convert one CSP-engine solve's counters into portable
+/// [`mgrts_obs::SearchStats`] telemetry (one solve, so `solves == 1`).
+#[must_use]
+pub fn search_from_csp(st: &csp_engine::SolveStats) -> mgrts_obs::SearchStats {
+    let kinds = csp_engine::PropKind::ALL
+        .iter()
+        .zip(st.kinds.iter())
+        .filter(|(_, kc)| kc.wakes != 0 || kc.prunes != 0 || kc.entailments != 0)
+        .map(|(k, kc)| mgrts_obs::KindStats {
+            kind: k.name().to_string(),
+            wakes: kc.wakes,
+            prunes: kc.prunes,
+            entailments: kc.entailments,
+        })
+        .collect();
+    mgrts_obs::SearchStats {
+        solves: 1,
+        decisions: st.decisions,
+        backtracks: st.failures,
+        propagations: st.propagations,
+        conflicts: 0,
+        restarts: st.restarts,
+        learnt_clauses: 0,
+        gac_rebuilds: st.gac_rebuilds,
+        peak_trail: st.peak_trail as u64,
+        peak_depth: st.max_depth as u64,
+        kinds,
+    }
+}
+
+/// Telemetry for backends that only track the common counters (the
+/// specialized CSP2 searches, local search): decisions and backtracks.
+#[must_use]
+pub fn search_from_basic(st: &SolveStats) -> mgrts_obs::SearchStats {
+    mgrts_obs::SearchStats {
+        solves: 1,
+        decisions: st.decisions,
+        backtracks: st.failures,
+        ..Default::default()
+    }
+}
+
+/// Convert one SAT solve's counters into portable
+/// [`mgrts_obs::SearchStats`] telemetry.
+#[must_use]
+pub fn search_from_sat(st: &rt_sat::SatStats) -> mgrts_obs::SearchStats {
+    mgrts_obs::SearchStats {
+        solves: 1,
+        decisions: st.decisions,
+        backtracks: st.conflicts,
+        propagations: st.propagations,
+        conflicts: st.conflicts,
+        restarts: st.restarts,
+        learnt_clauses: st.learnt_clauses,
+        gac_rebuilds: 0,
+        peak_trail: 0,
+        peak_depth: 0,
+        kinds: Vec::new(),
+    }
 }
 
 /// Solve an *arbitrary-deadline* system on identical processors by clone

@@ -68,8 +68,9 @@ pub mod store;
 
 pub use constraints::{Constraint, Watched};
 pub use model::Model;
-pub use propagators::Propagator;
+pub use propagators::{PropKind, Propagator};
 pub use solver::{
-    Budget, LimitReason, Outcome, SolveStats, Solver, SolverConfig, ValOrder, VarOrder,
+    Budget, KindCounters, LimitReason, Outcome, SolveStats, Solver, SolverConfig, ValOrder,
+    VarOrder,
 };
 pub use store::{EventMask, StateId, Store, VarId};

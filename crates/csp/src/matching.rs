@@ -169,6 +169,9 @@ impl Matching {
             }
             self.pending.push(pos);
         }
+        if !self.pending.is_empty() {
+            store.note_gac_rebuild();
+        }
         for i in 0..self.pending.len() {
             let pos = self.pending[i];
             if store.state(self.matched[pos]) != FREE {

@@ -37,9 +37,96 @@ use crate::graph::Scc;
 use crate::matching::Matching;
 use crate::store::{EmptyDomain, EventMask, StateId, Store, Val, VarId};
 
+/// Discriminates the propagator implementations for the per-kind
+/// wake/prune/entailment telemetry ([`crate::SolveStats::kinds`]).
+///
+/// The two all-different variants are distinct kinds on purpose: which one
+/// [`build`] selected per scope (see `build_all_diff`) is exactly the sort
+/// of question the telemetry exists to answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropKind {
+    /// Linear equality (bounds consistency).
+    LinearEq,
+    /// Linear inequality (bounds consistency).
+    LinearLeq,
+    /// At-most-one-true over booleans.
+    AtMostOne,
+    /// Boolean sum equality.
+    BoolSum,
+    /// Occurrence count.
+    Count,
+    /// All-different, fix-filtered (forward checking).
+    AllDiffFc,
+    /// All-different, Régin GAC (matching + SCC).
+    AllDiffGac,
+    /// Binary disequality.
+    NotEqual,
+    /// Binary ≤ between variables.
+    LeqVar,
+    /// Element (array access).
+    Element,
+    /// Positive table (residual supports).
+    Table,
+    /// Clause over literals (residual supports).
+    Or,
+    /// Reified bound (`b ⇔ x ≤ c`).
+    ReifiedLeq,
+}
+
+impl PropKind {
+    /// Number of distinct kinds.
+    pub const COUNT: usize = 13;
+
+    /// Every kind, in [`PropKind::index`] order.
+    pub const ALL: [PropKind; Self::COUNT] = [
+        PropKind::LinearEq,
+        PropKind::LinearLeq,
+        PropKind::AtMostOne,
+        PropKind::BoolSum,
+        PropKind::Count,
+        PropKind::AllDiffFc,
+        PropKind::AllDiffGac,
+        PropKind::NotEqual,
+        PropKind::LeqVar,
+        PropKind::Element,
+        PropKind::Table,
+        PropKind::Or,
+        PropKind::ReifiedLeq,
+    ];
+
+    /// Dense index into per-kind counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in serialized telemetry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PropKind::LinearEq => "linear_eq",
+            PropKind::LinearLeq => "linear_leq",
+            PropKind::AtMostOne => "at_most_one",
+            PropKind::BoolSum => "bool_sum",
+            PropKind::Count => "count",
+            PropKind::AllDiffFc => "alldiff_fc",
+            PropKind::AllDiffGac => "alldiff_gac",
+            PropKind::NotEqual => "not_equal",
+            PropKind::LeqVar => "leq_var",
+            PropKind::Element => "element",
+            PropKind::Table => "table",
+            PropKind::Or => "or",
+            PropKind::ReifiedLeq => "reified_leq",
+        }
+    }
+}
+
 /// A constraint's runtime form: event subscriptions plus (optionally
 /// stateful) pruning. See the module docs for the solver contract.
 pub trait Propagator: std::fmt::Debug + Send {
+    /// Which implementation this is, for per-kind telemetry.
+    fn kind(&self) -> PropKind;
+
     /// The `(variable, event-filter)` subscriptions. Variables may repeat
     /// (a variable occurring twice in a sum is watched twice); filters must
     /// be wide enough that any event they exclude provably cannot change
@@ -414,6 +501,14 @@ impl LinearProp {
 }
 
 impl Propagator for LinearProp {
+    fn kind(&self) -> PropKind {
+        if self.equality {
+            PropKind::LinearEq
+        } else {
+            PropKind::LinearLeq
+        }
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         self.vars.iter().map(|&v| (v, EventMask::BOUNDS)).collect()
     }
@@ -528,6 +623,10 @@ impl BoolSumProp {
 }
 
 impl Propagator for BoolSumProp {
+    fn kind(&self) -> PropKind {
+        PropKind::BoolSum
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
     }
@@ -706,6 +805,10 @@ impl CountProp {
 }
 
 impl Propagator for CountProp {
+    fn kind(&self) -> PropKind {
+        PropKind::Count
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         // Any removal can take the counted value out of a domain, so no
         // event kind can be filtered.
@@ -803,6 +906,10 @@ impl AtMostOneProp {
 }
 
 impl Propagator for AtMostOneProp {
+    fn kind(&self) -> PropKind {
+        PropKind::AtMostOne
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
     }
@@ -871,6 +978,10 @@ struct AllDiffProp {
 }
 
 impl Propagator for AllDiffProp {
+    fn kind(&self) -> PropKind {
+        PropKind::AllDiffFc
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         self.vars.iter().map(|&v| (v, EventMask::FIX)).collect()
     }
@@ -1095,6 +1206,10 @@ impl AllDiffGacProp {
 }
 
 impl Propagator for AllDiffGacProp {
+    fn kind(&self) -> PropKind {
+        PropKind::AllDiffGac
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         // Every removal anywhere in the scope can break the matching or
         // split a component, so no event kind can be filtered.
@@ -1130,6 +1245,10 @@ struct NotEqualProp {
 }
 
 impl Propagator for NotEqualProp {
+    fn kind(&self) -> PropKind {
+        PropKind::NotEqual
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         vec![(self.a, EventMask::FIX), (self.b, EventMask::FIX)]
     }
@@ -1150,6 +1269,10 @@ struct LeqVarProp {
 }
 
 impl Propagator for LeqVarProp {
+    fn kind(&self) -> PropKind {
+        PropKind::LeqVar
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         vec![(self.a, EventMask::MIN), (self.b, EventMask::MAX)]
     }
@@ -1220,6 +1343,10 @@ impl ElementProp {
 }
 
 impl Propagator for ElementProp {
+    fn kind(&self) -> PropKind {
+        PropKind::Element
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         vec![(self.index, EventMask::ANY), (self.value, EventMask::ANY)]
     }
@@ -1379,6 +1506,10 @@ impl TableProp {
 }
 
 impl Propagator for TableProp {
+    fn kind(&self) -> PropKind {
+        PropKind::Table
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         self.vars.iter().map(|&v| (v, EventMask::ANY)).collect()
     }
@@ -1513,6 +1644,10 @@ impl OrProp {
 }
 
 impl Propagator for OrProp {
+    fn kind(&self) -> PropKind {
+        PropKind::Or
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         // Literal truth is membership of value 1, which any removal can
         // change on general domains.
@@ -1588,6 +1723,10 @@ struct ReifiedLeqProp {
 }
 
 impl Propagator for ReifiedLeqProp {
+    fn kind(&self) -> PropKind {
+        PropKind::ReifiedLeq
+    }
+
     fn watches(&self) -> Vec<(VarId, EventMask)> {
         vec![(self.b, EventMask::ANY), (self.x, EventMask::BOUNDS)]
     }

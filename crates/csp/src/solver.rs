@@ -21,7 +21,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::constraints::Constraint;
-use crate::propagators::{build, Propagator};
+use crate::propagators::{build, PropKind, Propagator};
 use crate::store::{EventMask, StateId, Store, Val, VarId};
 
 /// Variable-ordering heuristics (Section III-B: "ordering the variables to
@@ -192,6 +192,18 @@ impl SolverConfig {
     }
 }
 
+/// Per-propagator-kind counters (indexed by [`PropKind::index`] in
+/// [`SolveStats::kinds`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    /// Times a propagator of this kind was dequeued and run.
+    pub wakes: u64,
+    /// Domain values removed while a propagator of this kind ran.
+    pub prunes: u64,
+    /// Runs that newly raised this kind's entailment flag.
+    pub entailments: u64,
+}
+
 /// Counters reported after a solve.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
@@ -207,6 +219,13 @@ pub struct SolveStats {
     pub max_depth: usize,
     /// Wall-clock time of the last `solve` call, in microseconds.
     pub elapsed_us: u64,
+    /// Deepest trail length reached (sampled at each decision).
+    pub peak_trail: usize,
+    /// GAC all-different matching rebuilds.
+    pub gac_rebuilds: u64,
+    /// Per-propagator-kind wake/prune/entailment counters, indexed by
+    /// [`PropKind::index`].
+    pub kinds: [KindCounters; PropKind::COUNT],
 }
 
 /// Interval (in budget-check calls) between actual `Instant::now()` polls.
@@ -239,6 +258,9 @@ pub struct Solver {
     /// Per-propagator: does it consume `pending` at all? Propagators that
     /// re-derive from the domains skip the pending bookkeeping on dispatch.
     wants_pending: Vec<bool>,
+    /// Per-propagator kind index (cached so the telemetry hot path never
+    /// makes a virtual call).
+    kind_of: Vec<u8>,
     /// Per-variable watcher lists with event filters, in CSR layout:
     /// variable `v`'s watchers are
     /// `watch_entries[watch_starts[v]..watch_starts[v + 1]]`. The flat
@@ -260,6 +282,9 @@ pub struct Solver {
     initially_inconsistent: bool,
     interrupt: Option<Arc<AtomicBool>>,
     budget_ticks: u64,
+    /// Value of [`Store::gac_rebuild_count`] when the current solve
+    /// started; the stats report the difference.
+    gac_base: u64,
     /// Set when a propagation fixpoint was aborted by a budget/interrupt
     /// check; forces the next `check_budget` to poll immediately instead of
     /// waiting out the amortization window (the domains may not be at
@@ -337,6 +362,7 @@ impl Solver {
         // path skips their bookkeeping entirely.
         store.set_wake_masks(&wake_masks);
         let wants_pending = props.iter().map(|p| p.wants_pending()).collect();
+        let kind_of = props.iter().map(|p| p.kind().index() as u8).collect();
         let var_weight = counts.iter().map(|&c| u64::from(c)).collect();
         let n_constraints = constraints.len();
         Solver {
@@ -349,6 +375,7 @@ impl Solver {
             entailed,
             pending: vec![Vec::new(); n_constraints],
             wants_pending,
+            kind_of,
             watch_starts,
             watch_entries,
             weights: vec![1; n_constraints],
@@ -362,6 +389,7 @@ impl Solver {
             initially_inconsistent,
             interrupt: None,
             budget_ticks: 0,
+            gac_base: 0,
             abort_pending: false,
             dirty_buf: Vec::new(),
             input_cursor,
@@ -386,7 +414,12 @@ impl Solver {
     /// Statistics of the last [`Solver::solve`] call.
     #[must_use]
     pub fn stats(&self) -> SolveStats {
-        self.stats
+        let mut st = self.stats;
+        // Derived on read rather than maintained in the propagation loop:
+        // the store's rebuild counter is monotone, so the delta from the
+        // solve-start base is always current.
+        st.gac_rebuilds = self.store.gac_rebuild_count().saturating_sub(self.gac_base);
+        st
     }
 
     /// Run root propagation to fixpoint and return every variable's domain,
@@ -441,6 +474,7 @@ impl Solver {
         self.stats = SolveStats::default();
         self.budget_ticks = 0;
         self.abort_pending = false;
+        self.gac_base = self.store.gac_rebuild_count();
         if self.initially_inconsistent {
             return Outcome::Unsat;
         }
@@ -495,6 +529,7 @@ impl Solver {
             self.decisions.push((var, val));
             self.stats.decisions += 1;
             self.stats.max_depth = self.stats.max_depth.max(self.decisions.len());
+            self.stats.peak_trail = self.stats.peak_trail.max(self.store.trail_len());
             if self
                 .config
                 .budget
@@ -547,6 +582,7 @@ impl Solver {
         self.stats = SolveStats::default();
         self.budget_ticks = 0;
         self.abort_pending = false;
+        self.gac_base = self.store.gac_rebuild_count();
         if self.initially_inconsistent {
             return (0, true);
         }
@@ -567,6 +603,7 @@ impl Solver {
                 self.store.push_level();
                 self.decisions.push((var, val));
                 self.stats.decisions += 1;
+                self.stats.peak_trail = self.stats.peak_trail.max(self.store.trail_len());
                 if self
                     .config
                     .budget
@@ -783,6 +820,8 @@ impl Solver {
                 self.abort_pending = true;
                 return true;
             }
+            let ki = usize::from(self.kind_of[ci_us]);
+            let prunes_before = self.store.prune_count();
             let result = if self.store.state(self.stale[ci_us]) != 0 {
                 self.store.set_state(self.stale[ci_us], 0);
                 self.pending[ci_us].clear();
@@ -795,6 +834,15 @@ impl Solver {
                 self.pending[ci_us] = pend; // keep the allocation
                 r
             };
+            let kc = &mut self.stats.kinds[ki];
+            kc.wakes += 1;
+            kc.prunes += self.store.prune_count() - prunes_before;
+            // Entailed propagators never reach the queue (dispatch skips
+            // them, and the flag only rewinds together with a queue
+            // flush), so entailment after the run IS the transition.
+            if self.entailed[ci_us].is_some_and(|cell| self.store.state(cell) != 0) {
+                kc.entailments += 1;
+            }
             match result {
                 Err(_) => {
                     self.bump_weight(ci_us);

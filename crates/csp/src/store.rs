@@ -163,6 +163,14 @@ pub struct Store {
     /// the solver. Defaults to [`EventMask::ANY`] so a bare store (tests,
     /// the reference engine) sees every event.
     wake_mask: Vec<u8>,
+    /// Monotone count of domain values removed by narrowing operations
+    /// (never rewound by backtracking: un-done removals still happened).
+    /// The solver diffs this around each propagator run for the per-kind
+    /// prune telemetry.
+    prunes: u64,
+    /// Monotone count of GAC matching rebuilds
+    /// ([`Store::note_gac_rebuild`]).
+    gac_rebuilds: u64,
 }
 
 /// Raised by a pruning operation that wipes a domain out.
@@ -197,6 +205,8 @@ impl Store {
             unfixed_stamp: 0,
             version: 0,
             wake_mask: Vec::new(),
+            prunes: 0,
+            gac_rebuilds: 0,
         }
     }
 
@@ -259,6 +269,32 @@ impl Store {
     #[must_use]
     pub fn depth(&self) -> usize {
         self.level_marks.len()
+    }
+
+    /// Current trail length (entries pending undo). The solver samples
+    /// this at each decision for the peak-trail telemetry.
+    #[must_use]
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Monotone count of domain values removed so far (see the `prunes`
+    /// field; backtracking does not decrement it).
+    #[must_use]
+    pub fn prune_count(&self) -> u64 {
+        self.prunes
+    }
+
+    /// Monotone count of GAC matching rebuilds recorded so far.
+    #[must_use]
+    pub fn gac_rebuild_count(&self) -> u64 {
+        self.gac_rebuilds
+    }
+
+    /// Record one GAC matching rebuild (called by the Régin all-different
+    /// propagator when it recomputes its maximum matching).
+    pub fn note_gac_rebuild(&mut self) {
+        self.gac_rebuilds += 1;
     }
 
     /// Current minimum of `v`'s domain.
@@ -586,6 +622,7 @@ impl Store {
         self.save_word(idx);
         self.words[idx] &= !(1u64 << (bit % 64));
         self.vars[v].size -= 1;
+        self.prunes += 1;
         let mut ev = EventMask::REMOVE;
         if val == meta.min {
             self.recompute_min(v);
@@ -634,6 +671,7 @@ impl Store {
         if meta.max != val {
             ev |= EventMask::MAX;
         }
+        self.prunes += u64::from(meta.size - 1);
         let m = &mut self.vars[v];
         m.size = 1;
         m.min = val;
@@ -673,6 +711,7 @@ impl Store {
         if removed == 0 {
             return Ok(false);
         }
+        self.prunes += u64::from(removed);
         let m = &mut self.vars[v];
         m.size -= removed;
         debug_assert!(m.size > 0);
@@ -720,6 +759,7 @@ impl Store {
         if removed == 0 {
             return Ok(false);
         }
+        self.prunes += u64::from(removed);
         let m = &mut self.vars[v];
         m.size -= removed;
         debug_assert!(m.size > 0);

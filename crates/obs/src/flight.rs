@@ -1,0 +1,362 @@
+//! Spans, events and the per-thread flight recorder.
+//!
+//! A [`FlightRecorder`] owns one fixed-size ring buffer per registered
+//! worker thread ([`ThreadRing`]). Threads record instantaneous
+//! [`Event`]s and RAII [`Span`]s; old entries are overwritten once the
+//! ring is full, so recording costs O(1) and bounded memory no matter how
+//! long the process lives. [`FlightRecorder::dump`] merges every ring
+//! into one chronologically sorted JSONL timeline — the artifact written
+//! on panic (via [`FlightRecorder::install_panic_hook`]), on observed
+//! cancellation, or when a solve crosses a slow-threshold.
+//!
+//! The module-level [`install`] / [`event`] / [`span`] functions are the
+//! implicit thread-local API instrumentation sites use: they are no-ops
+//! until the owning component installs a ring for the current thread, so
+//! library code can record unconditionally.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// One timeline entry: an instantaneous event, or a completed span
+/// (`dur_us` set) stamped at its start time.
+#[derive(Debug, Clone, Serialize)]
+pub struct Event {
+    /// Label of the recording thread's ring.
+    pub thread: String,
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// What happened (e.g. `"race.start"`, `"shard.run"`).
+    pub name: String,
+    /// Correlation id tying entries of one logical operation together
+    /// (the serve layer uses the request content hash).
+    pub corr: String,
+    /// Span duration in microseconds; `None` for instantaneous events.
+    pub dur_us: Option<u64>,
+    /// Free-form detail (winner name, outcome, shard index, …).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct RingBuf {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Oldest slot once the buffer is full (next overwrite target).
+    next: usize,
+    dropped: u64,
+}
+
+impl RingBuf {
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// One worker thread's ring buffer. Handed out by
+/// [`FlightRecorder::ring`]; cheap to record into (one short mutex
+/// acquisition per entry, never contended in the steady state because
+/// each thread owns its ring).
+#[derive(Debug)]
+pub struct ThreadRing {
+    label: String,
+    epoch: Instant,
+    ring: Mutex<RingBuf>,
+}
+
+/// Survive lock poisoning: the flight recorder must still dump after a
+/// panic elsewhere — losing the timeline to poisoning would defeat its
+/// purpose.
+fn lock_ring<'a>(m: &'a Mutex<RingBuf>) -> MutexGuard<'a, RingBuf> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ThreadRing {
+    /// Microseconds since the owning recorder was created.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record an instantaneous event.
+    pub fn event(&self, name: &str, corr: &str, detail: &str) {
+        self.push(Event {
+            thread: self.label.clone(),
+            ts_us: self.now_us(),
+            name: name.to_string(),
+            corr: corr.to_string(),
+            dur_us: None,
+            detail: detail.to_string(),
+        });
+    }
+
+    fn push(&self, ev: Event) {
+        lock_ring(&self.ring).push(ev);
+    }
+
+    /// The entries currently retained, oldest first, plus how many older
+    /// entries were overwritten.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let g = lock_ring(&self.ring);
+        let mut out = Vec::with_capacity(g.buf.len());
+        out.extend_from_slice(&g.buf[g.next..]);
+        out.extend_from_slice(&g.buf[..g.next]);
+        (out, g.dropped)
+    }
+}
+
+/// The process-wide flight recorder: a registry of per-thread rings with
+/// one shared epoch, dumped as a merged JSONL timeline.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    cap: usize,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+impl FlightRecorder {
+    /// A recorder whose rings each retain up to `cap` entries.
+    #[must_use]
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            epoch: Instant::now(),
+            cap: cap.max(1),
+            rings: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Create and register a ring for one worker thread.
+    pub fn ring(&self, label: &str) -> Arc<ThreadRing> {
+        let ring = Arc::new(ThreadRing {
+            label: label.to_string(),
+            epoch: self.epoch,
+            ring: Mutex::new(RingBuf {
+                cap: self.cap,
+                buf: Vec::new(),
+                next: 0,
+                dropped: 0,
+            }),
+        });
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        ring
+    }
+
+    /// Merge every ring into one JSONL timeline sorted by timestamp. Rings
+    /// that overwrote entries contribute a synthetic `flight.dropped`
+    /// event so truncation is visible in the dump.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        let rings: Vec<Arc<ThreadRing>> = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let mut events: Vec<Event> = Vec::new();
+        for ring in &rings {
+            let (mut evs, dropped) = ring.snapshot();
+            if dropped > 0 {
+                events.push(Event {
+                    thread: ring.label.clone(),
+                    ts_us: evs.first().map_or(0, |e| e.ts_us),
+                    name: "flight.dropped".to_string(),
+                    corr: String::new(),
+                    dur_us: None,
+                    detail: format!("{dropped} older events overwritten"),
+                });
+            }
+            events.append(&mut evs);
+        }
+        events.sort_by_key(|e| e.ts_us);
+        let mut out = String::new();
+        for e in &events {
+            if let Ok(line) = serde_json::to_string(e) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Chain a panic hook that writes the merged timeline to stderr after
+    /// the default hook runs. Installs at most one hook per process (later
+    /// calls are no-ops), so repeated server construction in tests is
+    /// safe.
+    pub fn install_panic_hook(self: &Arc<Self>) {
+        static INSTALLED: AtomicBool = AtomicBool::new(false);
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let rec = Arc::clone(self);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            let dump = rec.dump();
+            if !dump.is_empty() {
+                eprintln!("--- flight recorder dump (panic) ---");
+                eprint!("{dump}");
+                eprintln!("--- end flight recorder dump ---");
+            }
+        }));
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<ThreadRing>>> = const { RefCell::new(None) };
+}
+
+/// Register a ring for the current thread and make it the implicit target
+/// of [`event`] / [`span`] on this thread. Returns the ring (also useful
+/// directly). Worker loops call this once at startup.
+pub fn install(recorder: &Arc<FlightRecorder>, label: &str) -> Arc<ThreadRing> {
+    let ring = recorder.ring(label);
+    CURRENT.with(|c| *c.borrow_mut() = Some(Arc::clone(&ring)));
+    ring
+}
+
+/// Drop the current thread's implicit ring (recording becomes a no-op
+/// again). The ring stays registered with its recorder.
+pub fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Record an instantaneous event on the current thread's ring, if one is
+/// installed; otherwise a no-op.
+pub fn event(name: &str, corr: &str, detail: &str) {
+    CURRENT.with(|c| {
+        if let Some(ring) = c.borrow().as_ref() {
+            ring.event(name, corr, detail);
+        }
+    });
+}
+
+/// Open a span on the current thread's ring. The span records itself
+/// (start timestamp + duration) when dropped; without an installed ring
+/// the returned guard is inert.
+#[must_use]
+pub fn span(name: &str, corr: &str) -> Span {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map_or(Span { inner: None }, |ring| Span {
+                inner: Some(SpanInner {
+                    ring: Arc::clone(ring),
+                    start_us: ring.now_us(),
+                    name: name.to_string(),
+                    corr: corr.to_string(),
+                    detail: String::new(),
+                }),
+            })
+    })
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    ring: Arc<ThreadRing>,
+    start_us: u64,
+    name: String,
+    corr: String,
+    detail: String,
+}
+
+/// RAII guard returned by [`span`]: records one [`Event`] covering its
+/// lifetime when dropped.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attach free-form detail reported with the span (e.g. the outcome,
+    /// known only at the end).
+    pub fn set_detail(&mut self, detail: &str) {
+        if let Some(inner) = &mut self.inner {
+            inner.detail = detail.to_string();
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = inner.ring.now_us();
+            inner.ring.push(Event {
+                thread: inner.ring.label.clone(),
+                ts_us: inner.start_us,
+                name: inner.name,
+                corr: inner.corr,
+                dur_us: Some(end.saturating_sub(inner.start_us)),
+                detail: inner.detail,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_counts_drops() {
+        let rec = FlightRecorder::new(4);
+        let ring = rec.ring("w0");
+        for i in 0..6 {
+            ring.event(&format!("e{i}"), "c", "");
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(dropped, 2);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["e2", "e3", "e4", "e5"], "oldest evicted first");
+        // Retained order stays chronological.
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn dump_merges_rings_and_flags_truncation() {
+        let rec = FlightRecorder::new(2);
+        let a = rec.ring("a");
+        let b = rec.ring("b");
+        a.event("a1", "x", "");
+        b.event("b1", "x", "");
+        a.event("a2", "x", "");
+        a.event("a3", "x", ""); // evicts a1
+        let dump = rec.dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines.iter().all(|l| l.starts_with('{')), "JSONL lines");
+        assert!(dump.contains("\"flight.dropped\""));
+        assert!(dump.contains("\"a3\"") && dump.contains("\"b1\""));
+        assert!(!dump.contains("\"a1\""), "evicted entry absent");
+    }
+
+    #[test]
+    fn implicit_api_is_noop_until_installed() {
+        // No ring installed on this thread: must not panic, must not record.
+        event("orphan", "c", "");
+        drop(span("orphan_span", "c"));
+        let rec = FlightRecorder::new(8);
+        let ring = install(&rec, "t");
+        event("seen", "c", "detail");
+        {
+            let mut sp = span("op", "c");
+            sp.set_detail("ok");
+        }
+        uninstall();
+        event("after", "c", "");
+        let (events, _) = ring.snapshot();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["seen", "op"]);
+        assert!(events[1].dur_us.is_some(), "span has a duration");
+        assert_eq!(events[1].detail, "ok");
+    }
+}

@@ -1,0 +1,29 @@
+//! Zero-dependency telemetry for the MGRTS stack.
+//!
+//! Three pillars, one per module:
+//!
+//! * [`stats`] — [`stats::SearchStats`]: plain-counter search statistics
+//!   (decisions, backtracks, per-propagator-kind wakes/prunes/entailments,
+//!   GAC matching rebuilds, peak trail depth, SAT conflicts/restarts)
+//!   accumulated by the solver backends, merged across runs, and recorded
+//!   into campaign records as an optional `search` block.
+//! * [`flight`] — a lightweight span/event API backed by a fixed-size
+//!   ring buffer per worker thread (the *flight recorder*). Recording is
+//!   a thread-local no-op until a recorder is installed; the accumulated
+//!   timeline is dumped as JSONL on panic, cancellation, or when a solve
+//!   crosses a slow-threshold.
+//! * [`metrics`] — a registry of counters, gauges and log-bucketed
+//!   latency histograms rendered in the Prometheus text exposition
+//!   format (the serve layer's `{"type":"metrics"}` response).
+//!
+//! The crate is hand-rolled against the vendored `serde` shim — no
+//! `tracing`, `prometheus` or `metrics` dependencies — mirroring how the
+//! workspace vendored its other infrastructure.
+
+pub mod flight;
+pub mod metrics;
+pub mod stats;
+
+pub use flight::{FlightRecorder, ThreadRing};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use stats::{KindStats, SearchStats};

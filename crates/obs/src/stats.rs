@@ -1,0 +1,163 @@
+//! Search-statistics counters shared by every solver backend.
+//!
+//! [`SearchStats`] is the lingua franca of the telemetry pipeline: the CSP
+//! and SAT engines fill one per solve, engines accumulate them across
+//! solves, campaign records persist them as an optional `search` block,
+//! and `report profile` merges them per experiment cell. All fields are
+//! plain saturating-free `u64` counters — cheap to bump, cheap to merge,
+//! loss-free to serialize.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one propagator kind (the CSP engine's per-kind telemetry).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindStats {
+    /// Propagator kind name (e.g. `"alldiff_gac"`, `"linear_eq"`).
+    pub kind: String,
+    /// Times a propagator of this kind was woken and run.
+    pub wakes: u64,
+    /// Domain values removed by propagators of this kind.
+    pub prunes: u64,
+    /// Times a propagator of this kind raised its entailment flag.
+    pub entailments: u64,
+}
+
+/// Aggregated search statistics for one or more solves.
+///
+/// A single solve from a CSP backend populates the decision/propagation
+/// counters plus the per-kind table; a SAT backend populates the
+/// conflict/restart/learnt counters. [`SearchStats::merge`] folds two
+/// blocks together (sums for throughput counters, maxima for peaks), so
+/// the same type serves per-run, per-engine-lifetime and per-cell roles.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Solver runs aggregated into this block.
+    pub solves: u64,
+    /// Decisions (search-tree nodes / SAT decisions).
+    pub decisions: u64,
+    /// Backtracks (CSP failures / SAT conflicts both count as dead ends).
+    pub backtracks: u64,
+    /// Propagator executions (CSP) or propagated literals (SAT).
+    pub propagations: u64,
+    /// SAT conflicts analyzed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// SAT clauses learned.
+    pub learnt_clauses: u64,
+    /// Régin all-different matching rebuilds (GAC propagator).
+    pub gac_rebuilds: u64,
+    /// Deepest trail length observed (CSP store entries).
+    pub peak_trail: u64,
+    /// Deepest decision stack observed.
+    pub peak_depth: u64,
+    /// Per-propagator-kind wake/prune/entailment counters, sorted by kind
+    /// name. Kinds that never woke are omitted.
+    pub kinds: Vec<KindStats>,
+}
+
+impl SearchStats {
+    /// True when every counter is zero (nothing was recorded).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == SearchStats::default()
+    }
+
+    /// Fold `other` into `self`: throughput counters add, peak counters
+    /// take the maximum, and per-kind rows merge by kind name (keeping the
+    /// table sorted for deterministic serialization).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.solves += other.solves;
+        self.decisions += other.decisions;
+        self.backtracks += other.backtracks;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.gac_rebuilds += other.gac_rebuilds;
+        self.peak_trail = self.peak_trail.max(other.peak_trail);
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        for k in &other.kinds {
+            match self.kinds.iter_mut().find(|mine| mine.kind == k.kind) {
+                Some(mine) => {
+                    mine.wakes += k.wakes;
+                    mine.prunes += k.prunes;
+                    mine.entailments += k.entailments;
+                }
+                None => self.kinds.push(k.clone()),
+            }
+        }
+        self.kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind(name: &str, wakes: u64, prunes: u64, entailments: u64) -> KindStats {
+        KindStats {
+            kind: name.to_string(),
+            wakes,
+            prunes,
+            entailments,
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = SearchStats {
+            solves: 1,
+            decisions: 10,
+            backtracks: 3,
+            peak_trail: 100,
+            peak_depth: 7,
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            solves: 2,
+            decisions: 5,
+            backtracks: 4,
+            peak_trail: 60,
+            peak_depth: 9,
+            ..SearchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.solves, 3);
+        assert_eq!(a.decisions, 15);
+        assert_eq!(a.backtracks, 7);
+        assert_eq!(a.peak_trail, 100);
+        assert_eq!(a.peak_depth, 9);
+    }
+
+    #[test]
+    fn merge_joins_kind_tables_by_name_sorted() {
+        let mut a = SearchStats {
+            kinds: vec![kind("linear_eq", 2, 1, 0), kind("alldiff_gac", 1, 5, 1)],
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            kinds: vec![kind("alldiff_gac", 3, 2, 0), kind("table", 1, 1, 1)],
+            ..SearchStats::default()
+        };
+        a.merge(&b);
+        let names: Vec<&str> = a.kinds.iter().map(|k| k.kind.as_str()).collect();
+        assert_eq!(names, vec!["alldiff_gac", "linear_eq", "table"]);
+        let gac = &a.kinds[0];
+        assert_eq!((gac.wakes, gac.prunes, gac.entailments), (4, 7, 1));
+    }
+
+    #[test]
+    fn empty_detection_and_json_round_trip() {
+        assert!(SearchStats::default().is_empty());
+        let mut s = SearchStats {
+            solves: 1,
+            ..SearchStats::default()
+        };
+        s.kinds.push(kind("or", 4, 2, 2));
+        assert!(!s.is_empty());
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: SearchStats = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, s);
+    }
+}

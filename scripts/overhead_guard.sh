@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Telemetry-overhead guard: the PR-8 search-statistics counters ride the
+# hot propagation loop, so this script proves they cost (close to)
+# nothing. It re-runs the paired propagation benchmark and compares the
+# *speedup ratios* — incremental-vs-reference, measured by the same
+# process on the same machine — against the committed baseline summary.
+#
+# Ratios, not nanoseconds: absolute timings vary by host, but the paired
+# design cancels machine speed, so the incremental/reference ratio is the
+# stable quantity. If instrumentation slowed the incremental propagation
+# path, its speedup over the (equally instrumented) reference would stay
+# flat — but the chronological head-to-head ratio would sag. A drift
+# beyond the tolerance in either ratio fails the guard.
+#
+# Usage: scripts/overhead_guard.sh [FRESH_SUMMARY] [BASELINE]
+#   FRESH_SUMMARY  default bench/baselines/BENCH_propagation.json
+#                  (rewritten by the bench run below)
+#   BASELINE       default `git show HEAD:bench/baselines/BENCH_propagation.json`
+#
+# Environment:
+#   OVERHEAD_TOLERANCE  relative drift allowed on each ratio (default 0.05)
+#   SKIP_BENCH          set to 1 to compare an existing FRESH_SUMMARY
+#                       without re-running the benchmark
+set -euo pipefail
+
+fresh="${1:-bench/baselines/BENCH_propagation.json}"
+baseline_path="${2:-}"
+tolerance="${OVERHEAD_TOLERANCE:-0.05}"
+
+baseline_json="$(mktemp)"
+trap 'rm -f "$baseline_json"' EXIT
+if [ -n "$baseline_path" ]; then
+  cp "$baseline_path" "$baseline_json"
+else
+  git show HEAD:bench/baselines/BENCH_propagation.json > "$baseline_json"
+fi
+
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+  echo "overhead_guard: running paired propagation benchmark..."
+  cargo bench -p csp-engine --bench propagation
+fi
+
+python3 - "$fresh" "$baseline_json" "$tolerance" <<'EOF'
+import json, sys
+
+fresh = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+failures = []
+for key in ("speedup", "chronological_speedup"):
+    f, b = fresh[key], base[key]
+    drift = abs(f - b) / b
+    status = "OK" if drift <= tol else "FAIL"
+    print(f"overhead_guard: {key}: fresh {f:.3f} vs baseline {b:.3f} "
+          f"(drift {drift * 100:.1f}%, tolerance {tol * 100:.0f}%) {status}")
+    if drift > tol:
+        failures.append(key)
+
+if failures:
+    print("overhead_guard: FAIL — paired-median ratio drifted beyond "
+          f"tolerance for: {', '.join(failures)}")
+    print("overhead_guard: if a deliberate solver change moved the ratio, "
+          "commit the refreshed bench/baselines/BENCH_propagation.json")
+    sys.exit(1)
+print("overhead_guard: telemetry overhead within tolerance")
+EOF

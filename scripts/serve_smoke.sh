@@ -7,7 +7,9 @@
 #   2. a repeat request is answered from the record store (`cache: hit`);
 #   3. an oversized request spills to the heavy queue, returns a ticket,
 #      and `client poll` resolves it to a settled outcome;
-#   4. SIGTERM shuts the server down cleanly: exit code 0 and no orphaned
+#   4. a `metrics` request answers with well-formed Prometheus text
+#      exposition reflecting the traffic above;
+#   5. SIGTERM shuts the server down cleanly: exit code 0 and no orphaned
 #      lease files in the store.
 #
 # Runs locally (`scripts/serve_smoke.sh`) and as the CI serve-smoke job.
@@ -85,7 +87,7 @@ EOF
 "$bin" client solve "$root/big.json" --addr "$addr" | grep -q '"hit"'
 
 # --- stats: the counters reflect everything above -----------------------
-"$bin" client stats --addr "$addr" > "$root/stats.json"
+"$bin" client stats --json --addr "$addr" > "$root/stats.json"
 cat "$root/stats.json"
 python3 - "$root/stats.json" <<'EOF'
 import json, sys
@@ -99,7 +101,39 @@ print("serve_smoke: stats OK", {k: s[k] for k in
       ("requests", "solves", "cache_hits", "inflight_hits", "spilled")})
 EOF
 
-# --- 4: SIGTERM -> clean shutdown, no orphaned leases -------------------
+# --- metrics: the exposition parses and reflects the same traffic -------
+"$bin" client metrics --addr "$addr" > "$root/metrics.txt"
+python3 - "$root/metrics.txt" <<'EOF'
+import sys
+samples = {}
+types = {}
+for raw in open(sys.argv[1]):
+    line = raw.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ", 3)
+        assert kind in ("counter", "gauge", "histogram"), line
+        types[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    body, _, value = line.rpartition(" ")
+    float(value)  # every sample value must parse
+    name = body.split("{", 1)[0]
+    samples[name] = float(value)
+assert samples["mgrts_serve_requests_total"] > 0, samples
+assert types.get("mgrts_serve_requests_total") == "counter", types
+assert types.get("mgrts_serve_queue_depth") == "gauge", types
+assert types.get("mgrts_serve_request_duration_us") == "histogram", types
+assert "mgrts_serve_request_duration_us_bucket" in samples, sorted(samples)
+assert samples["mgrts_serve_request_duration_us_count"] > 0, samples
+print("serve_smoke: metrics OK "
+      f"({int(samples['mgrts_serve_requests_total'])} requests scraped, "
+      f"{len(types)} series)")
+EOF
+
+# --- 5: SIGTERM -> clean shutdown, no orphaned leases -------------------
 kill -TERM "$pid"
 wait "$pid"
 trap - EXIT
