@@ -22,6 +22,7 @@
 //!    CI).
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -780,7 +781,46 @@ fn execute(
                         &shard.hash,
                         &format!("shard {} of {}", shard.index, todo.len()),
                     );
-                    match run_shard(manifest, &**policy, shard, cancel) {
+                    // Supervise the shard: a panicking solver is retried a
+                    // few times (transient chaos heals), then fails the
+                    // campaign with the shard named — never silently skips
+                    // units or takes the pool down mid-commit.
+                    let mut strikes = 0u32;
+                    let supervised = loop {
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            run_shard(manifest, &**policy, shard, cancel)
+                        })) {
+                            Ok(r) => break Ok(r),
+                            Err(payload) => {
+                                strikes += 1;
+                                let reason = panic_reason(payload.as_ref());
+                                mgrts_obs::global()
+                                    .counter(
+                                        "mgrts_worker_panics_total",
+                                        "Shard executions that panicked and were caught by \
+                                         the worker supervisor",
+                                    )
+                                    .inc();
+                                flight::event("shard.panic", &shard.hash, &reason);
+                                if strikes >= crate::queue::PARK_AFTER {
+                                    break Err(reason);
+                                }
+                            }
+                        }
+                    };
+                    let supervised = match supervised {
+                        Ok(r) => r,
+                        Err(reason) => {
+                            *failure.lock() = Some(CampaignError::Store(format!(
+                                "shard {} (index {}) panicked {strikes} times, giving up: \
+                                 {reason}",
+                                shard.hash, shard.index
+                            )));
+                            cancel.cancel_all();
+                            break;
+                        }
+                    };
+                    match supervised {
                         Ok(Some(records)) => {
                             if let Err(e) = sink.lock().commit_shard(shard, &records) {
                                 *failure.lock() = Some(CampaignError::Io(e));
@@ -843,6 +883,18 @@ fn execute(
         summary,
         shards_committed,
     })
+}
+
+/// Human-readable reason from a caught panic payload (`&str` / `String`
+/// payloads verbatim, anything else a placeholder).
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Run every unit of one shard through the campaign's execution policy.

@@ -34,6 +34,7 @@
 //! `mgrts bench campaign dispatch|worker|status` CLI verbs.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
@@ -42,14 +43,144 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use mgrts_core::engine::CancelGroup;
+use mgrts_fault::{backoff_delay, is_transient_io, FaultFs};
 
-use crate::campaign::{run_shard, summarize, CampaignError, Manifest, Summary};
+use crate::campaign::{panic_reason, run_shard, summarize, CampaignError, Manifest, Summary};
 use crate::policy::ExecutionPolicy;
 use crate::shard::Shard;
-use crate::sink::{validate_writer_id, LocalStore, RecordStore};
+use crate::sink::{fnv64, validate_writer_id, LocalStore, RecordStore};
 
 /// Lease subdirectory inside a record store.
 pub const LEASE_DIR: &str = "leases";
+
+/// Shard failures (panics) tolerated before a shard is *parked* as
+/// poison: workers stop re-claiming it, so one bad shard cannot wedge the
+/// whole campaign in a crash loop.
+pub const PARK_AFTER: u32 = 3;
+
+/// Transient-IO retry attempts before a lease operation is declared
+/// genuinely failed.
+const LEASE_RETRIES: u32 = 5;
+
+/// Run `op`, retrying transient IO errors (interruptions, timeouts, full
+/// disks — see [`mgrts_fault::is_transient_io`]) with jittered
+/// exponential backoff and a counted metric. Structural errors (missing
+/// store dir, permissions) fail immediately.
+pub(crate) fn retry_transient<T>(
+    salt: u64,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient_io(&e) && attempt < LEASE_RETRIES => {
+                mgrts_obs::global()
+                    .counter(
+                        "mgrts_lease_transient_errors_total",
+                        "Transient IO errors absorbed by lease-operation retries",
+                    )
+                    .inc();
+                std::thread::sleep(backoff_delay(attempt, 5, 200, salt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One parked (poison) shard: the marker workers consult before
+/// claiming.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParkedShard {
+    /// Shard content hash.
+    pub shard: String,
+    /// Recorded failures when the shard was parked.
+    pub fails: u32,
+    /// Last failure's panic message.
+    pub reason: String,
+    /// Park wall-clock, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
+fn fails_path(lease_dir: &Path, shard: &str) -> PathBuf {
+    lease_dir.join(format!("{shard}.fails"))
+}
+
+fn parked_path(lease_dir: &Path, shard: &str) -> PathBuf {
+    lease_dir.join(format!("{shard}.parked"))
+}
+
+/// Durably count one failure of `shard` (best-effort: racing workers may
+/// under-count, which only delays parking by a round). Returns the new
+/// count and parks the shard once it reaches [`PARK_AFTER`].
+pub(crate) fn note_shard_failure(lease_dir: &Path, shard: &str, reason: &str) -> u32 {
+    mgrts_obs::global()
+        .counter(
+            "mgrts_worker_panics_total",
+            "Shard executions that panicked and were caught by the worker supervisor",
+        )
+        .inc();
+    let path = fails_path(lease_dir, shard);
+    let fails = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(0)
+        .saturating_add(1);
+    // tmp + rename: a torn count would otherwise reset the tally.
+    let tmp = lease_dir.join(format!("{shard}.fails.tmp-{}", std::process::id()));
+    if std::fs::write(&tmp, fails.to_string()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    }
+    if fails >= PARK_AFTER {
+        mgrts_obs::global()
+            .counter(
+                "mgrts_shards_parked_total",
+                "Shards parked as poison after repeated failures",
+            )
+            .inc();
+        let entry = ParkedShard {
+            shard: shard.to_string(),
+            fails,
+            reason: reason.chars().take(512).collect(),
+            unix_ms: now_unix_ms(),
+        };
+        if let Ok(json) = serde_json::to_string(&entry) {
+            let tmp = lease_dir.join(format!("{shard}.parked.tmp-{}", std::process::id()));
+            if std::fs::write(&tmp, json).is_ok() {
+                let _ = std::fs::rename(&tmp, parked_path(lease_dir, shard));
+            }
+        }
+    }
+    fails
+}
+
+/// Every parked shard of a store, sorted by hash.
+pub fn parked_shards(store_dir: &Path) -> Vec<ParkedShard> {
+    parked_in(&store_dir.join(LEASE_DIR))
+}
+
+/// Parked shards read straight from a lease directory.
+pub(crate) fn parked_in(lease_dir: &Path) -> Vec<ParkedShard> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(lease_dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.ends_with(".parked") {
+            continue;
+        }
+        if let Ok(text) = std::fs::read_to_string(entry.path()) {
+            if let Ok(parked) = serde_json::from_str::<ParkedShard>(&text) {
+                out.push(parked);
+            }
+        }
+    }
+    out.sort_by(|a, b| a.shard.cmp(&b.shard));
+    out
+}
 
 /// Milliseconds since the Unix epoch — the heartbeat clock. Workers on
 /// different machines only compare this against TTLs (tens of seconds),
@@ -97,10 +228,27 @@ pub struct LeaseBoard {
 
 impl LeaseBoard {
     /// Open `store_dir/leases` for `worker` with lease TTL `ttl`.
+    ///
+    /// A missing store directory is *structural* (nothing was dispatched
+    /// here — retrying cannot help) and fails immediately with
+    /// `NotFound`; transient errors creating the lease directory are
+    /// retried with backoff.
     pub fn open(store_dir: &Path, worker: &str, ttl: Duration) -> std::io::Result<LeaseBoard> {
         validate_writer_id(worker)?;
+        if !store_dir.exists() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!(
+                    "store directory {} does not exist — run `dispatch` first",
+                    store_dir.display()
+                ),
+            ));
+        }
         let dir = store_dir.join(LEASE_DIR);
-        std::fs::create_dir_all(&dir)?;
+        retry_transient(fnv64(worker.as_bytes()), || {
+            FaultFs::check("lease.open")?;
+            std::fs::create_dir_all(&dir)
+        })?;
         // A per-process nonce: claim identity across a worker restart that
         // reuses the same id. Derived from the clock + pid, not security-
         // sensitive — it only disambiguates, mutual exclusion comes from
@@ -120,6 +268,11 @@ impl LeaseBoard {
         self.dir.join(format!("{shard}.lease"))
     }
 
+    /// The lease directory this board manages (`store_dir/leases`).
+    pub(crate) fn lease_dir(&self) -> &Path {
+        &self.dir
+    }
+
     fn fresh_lease(&self, shard: &str) -> Lease {
         Lease {
             shard: shard.to_string(),
@@ -133,6 +286,7 @@ impl LeaseBoard {
     /// Create-exclusive claim attempt; `false` means someone else holds a
     /// live lease (or won the race).
     pub fn try_claim(&self, shard: &str) -> std::io::Result<bool> {
+        FaultFs::check("lease.claim")?;
         let path = self.lease_path(shard);
         match std::fs::OpenOptions::new()
             .write(true)
@@ -214,6 +368,7 @@ impl LeaseBoard {
     /// ours (it expired and someone reclaimed it); the caller keeps
     /// running, because a double-run is deduped anyway.
     pub fn renew(&self, shard: &str) -> std::io::Result<bool> {
+        FaultFs::check("lease.renew")?;
         let path = self.lease_path(shard);
         match read_lease(&path) {
             Some(l) if l.worker == self.worker && l.nonce == self.nonce => {}
@@ -231,15 +386,20 @@ impl LeaseBoard {
     }
 
     /// Drop a lease we hold (after commit). Leaves foreign leases alone.
+    /// Transient IO errors are retried: a leaked lease costs a full TTL
+    /// of another worker's time, so releases try hard.
     pub fn release(&self, shard: &str) -> std::io::Result<()> {
         let path = self.lease_path(shard);
-        match read_lease(&path) {
-            Some(l) if l.worker == self.worker && l.nonce == self.nonce => {
-                let _ = std::fs::remove_file(&path);
+        retry_transient(fnv64(shard.as_bytes()), || {
+            FaultFs::check("lease.release")?;
+            match read_lease(&path) {
+                Some(l) if l.worker == self.worker && l.nonce == self.nonce => {
+                    let _ = std::fs::remove_file(&path);
+                }
+                _ => {}
             }
-            _ => {}
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Every parseable lease on the board.
@@ -357,11 +517,12 @@ fn clear_leases(store_dir: &Path) -> std::io::Result<()> {
     }
     for entry in std::fs::read_dir(&lease_dir)? {
         let entry = entry?;
-        if entry
-            .file_name()
-            .to_str()
-            .is_some_and(|n| n.ends_with(".lease"))
-        {
+        if entry.file_name().to_str().is_some_and(|n| {
+            n.ends_with(".lease")
+                || n.ends_with(".fails")
+                || n.ends_with(".parked")
+                || n.contains(".tmp-")
+        }) {
             std::fs::remove_file(entry.path())?;
         }
     }
@@ -487,6 +648,9 @@ pub struct WorkerOutcome {
     pub summary: Summary,
     /// Shards this worker committed.
     pub shards_committed: u64,
+    /// Shards parked as poison (repeated panics) at exit — the campaign
+    /// drained everything *else*; these need operator attention.
+    pub parked: Vec<ParkedShard>,
 }
 
 /// Drain shards from a dispatched store until the campaign completes (or
@@ -532,7 +696,7 @@ pub fn run_worker(
     // presence TTL here.
     let presence = presence_key(&opts.id);
     loop {
-        if board.try_claim(&presence)? {
+        if retry_transient(fnv64(presence.as_bytes()), || board.try_claim(&presence))? {
             break;
         }
         if cancel.is_cancelled() {
@@ -595,6 +759,15 @@ pub fn run_worker(
     }
 
     let shards_committed = committed.into_inner();
+    let parked = parked_shards(store_dir);
+    if opts.progress {
+        for p in &parked {
+            eprintln!(
+                "  [{}] shard {} is parked as poison after {} failures: {}",
+                opts.id, p.shard, p.fails, p.reason
+            );
+        }
+    }
     let done_after = store.done_shards()?;
     let records = store.load_records()?;
     let summary = summarize(
@@ -611,6 +784,7 @@ pub fn run_worker(
     Ok(WorkerOutcome {
         summary,
         shards_committed,
+        parked,
     })
 }
 
@@ -652,18 +826,33 @@ fn worker_thread(
                 return;
             }
         };
-        if shards.iter().all(|s| done.contains(&s.hash)) {
-            return; // campaign complete
+        // Parked (poison) shards are excluded from both the completion
+        // check and the claim scan: the campaign drains everything else
+        // and exits instead of crash-looping on one bad shard.
+        let parked: HashSet<String> = parked_in(board.lease_dir())
+            .into_iter()
+            .map(|p| p.shard)
+            .collect();
+        if shards
+            .iter()
+            .all(|s| done.contains(&s.hash) || parked.contains(&s.hash))
+        {
+            return; // campaign complete (modulo parked shards)
         }
         // Claim the first pending shard whose lease we can take. Workers
         // scan in plan order, so contention clusters at the frontier and
         // resolves by create_new exclusivity.
         let mut claimed: Option<&Shard> = None;
-        for shard in shards.iter().filter(|s| !done.contains(&s.hash)) {
+        for shard in shards
+            .iter()
+            .filter(|s| !done.contains(&s.hash) && !parked.contains(&s.hash))
+        {
             if held.lock().contains(&shard.hash) {
                 continue; // a sibling thread of this worker has it
             }
-            match board.try_claim(&shard.hash) {
+            match retry_transient(fnv64(shard.hash.as_bytes()), || {
+                board.try_claim(&shard.hash)
+            }) {
                 Ok(true) => {
                     held.lock().insert(shard.hash.clone());
                     claimed = Some(shard);
@@ -683,9 +872,16 @@ fn worker_thread(
             std::thread::sleep(opts.poll);
             continue;
         };
-        let result = run_shard(manifest, policy, shard, cancel);
+        // Supervise the shard execution: a panicking solver must not take
+        // the worker (and its held leases) down with it. The caught shard
+        // gets a durable failure count and is parked as poison after
+        // `PARK_AFTER` strikes; its lease is released immediately below,
+        // not after a TTL.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_shard(manifest, policy, shard, cancel)
+        }));
         match result {
-            Ok(Some(records)) => {
+            Ok(Ok(Some(records))) => {
                 let commit = writer.lock().commit_shard(shard, &records);
                 if let Err(e) = commit {
                     *failure.lock() = Some(CampaignError::Io(e));
@@ -704,10 +900,20 @@ fn worker_thread(
                     }
                 }
             }
-            Ok(None) => {} // cancelled mid-shard: lease released, shard re-runs later
-            Err(e) => {
+            Ok(Ok(None)) => {} // cancelled mid-shard: lease released, shard re-runs later
+            Ok(Err(e)) => {
                 *failure.lock() = Some(e);
                 cancel.cancel_all();
+            }
+            Err(payload) => {
+                let reason = panic_reason(payload.as_ref());
+                let fails = note_shard_failure(board.lease_dir(), &shard.hash, &reason);
+                if opts.progress {
+                    eprintln!(
+                        "  [{}] shard {} panicked (strike {fails}/{PARK_AFTER}): {reason}",
+                        opts.id, shard.index,
+                    );
+                }
             }
         }
         held.lock().remove(&shard.hash);
@@ -778,6 +984,8 @@ pub struct StatusReport {
     /// Worker-presence leases (live workers attached to the store), each
     /// flagged `true` when expired (a dead worker not yet swept).
     pub presences: Vec<(Lease, bool)>,
+    /// Shards parked as poison after repeated failures.
+    pub parked: Vec<ParkedShard>,
     /// All shards checkpointed?
     pub complete: bool,
 }
@@ -866,6 +1074,7 @@ pub fn status(store_dir: &Path) -> Result<StatusReport, CampaignError> {
         eta,
         leases,
         presences,
+        parked: parked_shards(store_dir),
         complete: done.len() as u64 >= shards_total,
     })
 }
@@ -939,6 +1148,15 @@ pub fn render_status(s: &StatusReport) -> String {
             lease.worker,
             if *expired { ", EXPIRED" } else { "" },
         ));
+    }
+    if !s.parked.is_empty() {
+        out.push_str(&format!("{} shard(s) PARKED as poison\n", s.parked.len()));
+        for p in &s.parked {
+            out.push_str(&format!(
+                "  shard {} parked after {} failure(s): {}\n",
+                p.shard, p.fails, p.reason
+            ));
+        }
     }
     out
 }
@@ -1037,6 +1255,68 @@ mod tests {
         assert!(LeaseBoard::open(&dir, "ok-id", Duration::from_secs(1)).is_ok());
         assert!(LeaseBoard::open(&dir, "bad/id", Duration::from_secs(1)).is_err());
         assert!(LeaseBoard::open(&dir, "", Duration::from_secs(1)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_on_missing_store_dir_is_structural_not_found() {
+        let missing =
+            std::env::temp_dir().join(format!("mgrts-queue-no-such-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&missing);
+        let err = LeaseBoard::open(&missing, "w", Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("dispatch"), "err: {err}");
+    }
+
+    #[test]
+    fn transient_claim_faults_are_retried_structural_are_not() {
+        let dir = tmp("transient");
+        // Occurrences 1 and 2 of lease.claim are interrupted — transient,
+        // absorbed by retry_transient — so the claim still lands.
+        let _guard = mgrts_fault::install_guarded(
+            mgrts_fault::FaultPlan::parse(
+                "seed=7;lease.claim:interrupted:n1;lease.claim:interrupted:n2",
+            )
+            .unwrap(),
+        );
+        let board = LeaseBoard::open(&dir, "w", Duration::from_secs(60)).unwrap();
+        let claimed =
+            retry_transient(fnv64(b"s1"), || board.try_claim("s1")).expect("transient absorbed");
+        assert!(claimed);
+        assert_eq!(mgrts_fault::injected_total(), 2);
+        drop(_guard);
+
+        // A structural fault (permission denied) fails without retry.
+        let _guard = mgrts_fault::install_guarded(
+            mgrts_fault::FaultPlan::parse("seed=7;lease.claim:denied:always").unwrap(),
+        );
+        let err = retry_transient(fnv64(b"s2"), || board.try_claim("s2")).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        assert_eq!(mgrts_fault::injected_total(), 1, "no retries on structural");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_failures_park_after_threshold_and_clear_leases_sweeps() {
+        let dir = tmp("park");
+        let lease_dir = dir.join(LEASE_DIR);
+        std::fs::create_dir_all(&lease_dir).unwrap();
+        for strike in 1..=PARK_AFTER {
+            let fails = note_shard_failure(&lease_dir, "abc123", "boom");
+            assert_eq!(fails, strike);
+        }
+        let parked = parked_shards(&dir);
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].shard, "abc123");
+        assert_eq!(parked[0].fails, PARK_AFTER);
+        assert_eq!(parked[0].reason, "boom");
+        // One strike on a different shard does not park it.
+        note_shard_failure(&lease_dir, "other", "meh");
+        assert_eq!(parked_shards(&dir).len(), 1);
+        // clear_leases sweeps fail counts and park markers with the leases.
+        clear_leases(&dir).unwrap();
+        assert!(parked_shards(&dir).is_empty());
+        assert!(std::fs::read_dir(&lease_dir).unwrap().next().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

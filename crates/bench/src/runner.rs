@@ -32,6 +32,11 @@ pub enum InstanceOutcome {
     /// The backend has no decision procedure for the cell's platform
     /// (e.g. CSP2-on-generic-engine on a heterogeneous machine).
     Unsupported,
+    /// The run failed outside the task model — the engine panicked or
+    /// errored past its retry limit. Recorded by the serve layer so
+    /// tickets settle instead of wedging; campaign shards park
+    /// themselves rather than record this.
+    Failed,
 }
 
 /// One row of raw experimental data.
@@ -106,7 +111,7 @@ pub fn run_one_engine_full(
 ) -> (InstanceOutcome, u64, Option<mgrts_obs::SearchStats>) {
     let res = engine
         .solve(&p.taskset, p.m, budget, cancel)
-        .expect("valid constrained instance");
+        .unwrap_or_else(|e| panic!("solver {} failed: {e}", engine.name()));
     if let Verdict::Feasible(s) = &res.verdict {
         check_identical(&p.taskset, p.m, s)
             .unwrap_or_else(|e| panic!("solver {} returned invalid schedule: {e}", engine.name()));

@@ -40,7 +40,9 @@
 //! Omitting both `solver` and `policy` races the default portfolio.
 //! Responses are `{"type":"result",...}` (with a `cache` field of
 //! `hit` / `miss` / `inflight`), `{"type":"ticket",...}` for spilled
-//! requests, `{"type":"poll",...}`, `{"type":"stats",...}`,
+//! requests, `{"type":"poll",...}` (status `done`, `pending`, or the
+//! terminal `failed` once a job exhausted its panic retries),
+//! `{"type":"stats",...}`,
 //! `{"type":"overloaded",...}` on admission rejection and
 //! `{"type":"error",...}` for malformed input — a malformed line gets a
 //! structured error, not a disconnect. A `metrics` request answers with
@@ -51,6 +53,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -62,6 +65,7 @@ use mgrts_obs::{flight, Counter, FlightRecorder, Gauge, Histogram, Registry};
 use rt_gen::Problem;
 use rt_task::TaskSet;
 
+use crate::campaign::panic_reason;
 use crate::policy::{race_roster, BudgetSource, PolicyKind};
 use crate::queue::{list_leases, now_unix_ms, LeaseBoard, LEASE_DIR};
 use crate::runner::{classify, run_one_engine_full, InstanceOutcome};
@@ -100,6 +104,12 @@ pub struct ServeConfig {
     /// diagnosable line to stdout and dumps the flight-recorder timeline
     /// as a store artifact. `0` disables both.
     pub slow_ms: u64,
+    /// Panicking or erroring solves retried this many times before the
+    /// ticket settles as `failed` (tickets never wedge on a poison job).
+    pub job_retries: u32,
+    /// Per-request deadline slack (ms): how long past its effective
+    /// budget a waiting connection holds on before giving up server-side.
+    pub deadline_slack_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +124,8 @@ impl Default for ServeConfig {
             spill_budget_ms: 10_000,
             solve_delay_ms: 0,
             slow_ms: 0,
+            job_retries: 2,
+            deadline_slack_ms: 30_000,
         }
     }
 }
@@ -388,6 +400,8 @@ pub struct ServeCounters {
     pub polls: u64,
     /// Malformed or invalid request lines.
     pub errors: u64,
+    /// Jobs settled as `failed` after exhausting their panic retries.
+    pub failed: u64,
     /// Current small-request queue length (gauge, tracked at push/pop).
     pub queue_depth: u64,
     /// Current heavy-queue length (gauge, tracked at push/pop).
@@ -430,6 +444,7 @@ impl ServeStats {
             ("spilled", Value::UInt(c.spilled)),
             ("polls", Value::UInt(c.polls)),
             ("errors", Value::UInt(c.errors)),
+            ("failed", Value::UInt(c.failed)),
             ("queue_depth", Value::UInt(c.queue_depth)),
             ("heavy_depth", Value::UInt(c.heavy_depth)),
             ("engines_cached", Value::UInt(engines as u64)),
@@ -453,6 +468,7 @@ struct ServeMetrics {
     spilled: Arc<Counter>,
     polls: Arc<Counter>,
     errors: Arc<Counter>,
+    failed: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     heavy_depth: Arc<Gauge>,
     engines_cached: Arc<Gauge>,
@@ -488,6 +504,10 @@ impl ServeMetrics {
             errors: c(
                 "mgrts_serve_errors_total",
                 "Malformed or invalid request lines",
+            ),
+            failed: c(
+                "mgrts_serve_failed_total",
+                "Jobs settled as failed after exhausting panic retries",
             ),
             queue_depth: registry.gauge(
                 "mgrts_serve_queue_depth",
@@ -525,6 +545,7 @@ impl ServeMetrics {
         self.spilled.set(counters.spilled);
         self.polls.set(counters.polls);
         self.errors.set(counters.errors);
+        self.failed.set(counters.failed);
         self.queue_depth.set(counters.queue_depth);
         self.heavy_depth.set(counters.heavy_depth);
         self.engines_cached.set(pool.len() as u64);
@@ -547,7 +568,23 @@ impl ServeMetrics {
                     .set(value);
             }
         }
-        self.registry.render()
+        // Fault-injection telemetry: which sites have fired, so a chaos
+        // run's scrape shows the injected load next to its effects.
+        for (site, n) in mgrts_fault::injected_counts() {
+            self.registry
+                .counter_with(
+                    "mgrts_fault_injections_total",
+                    "Faults injected by the active fault plan",
+                    &[("site", site.as_str())],
+                )
+                .set(n);
+        }
+        // The process-wide registry carries the robustness counters the
+        // store / lease / supervisor layers maintain (quarantined lines,
+        // commit retries, fail-overs, caught panics, parked shards).
+        let mut body = self.registry.render();
+        body.push_str(&mgrts_obs::global().render());
+        body
     }
 }
 
@@ -786,6 +823,67 @@ impl ServerState {
         result
     }
 
+    /// [`execute`](Self::execute) under a panic supervisor: a panicking
+    /// engine (injected chaos, a solver bug) is retried up to
+    /// `job_retries` times, then the ticket settles as `failed` — a
+    /// waiter always gets an answer and a poison job can never wedge its
+    /// ticket or take the worker thread down.
+    fn supervised_execute(&self, key: u64, req: &SolveRequest) -> CachedResult {
+        let mut strikes = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.execute(key, req))) {
+                Ok(result) => return result,
+                Err(payload) => {
+                    strikes += 1;
+                    mgrts_obs::global()
+                        .counter(
+                            "mgrts_worker_panics_total",
+                            "Shard executions that panicked and were caught by the worker \
+                             supervisor",
+                        )
+                        .inc();
+                    let reason = panic_reason(payload.as_ref());
+                    eprintln!(
+                        "serve: solve {} panicked (strike {strikes}/{}): {reason}",
+                        ticket_of(key),
+                        self.cfg.job_retries + 1
+                    );
+                    if strikes > self.cfg.job_retries {
+                        return self.settle_failed(key, req, &reason);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Terminal failure: record [`InstanceOutcome::Failed`] durably (a
+    /// restarted server sees the record and will not re-enqueue the
+    /// poison job) and publish it so pollers get a `failed` status.
+    fn settle_failed(&self, key: u64, req: &SolveRequest, reason: &str) -> CachedResult {
+        eprintln!(
+            "serve: job {} failed permanently after {} attempts: {reason}",
+            ticket_of(key),
+            self.cfg.job_retries + 1
+        );
+        self.stats.with(|c| c.failed += 1);
+        let spec = match &req.mode {
+            RequestMode::Single(spec) => *spec,
+            RequestMode::Race => SolverSpec::DEFAULT_PORTFOLIO[0],
+        };
+        let record = self.record_for(
+            key,
+            req,
+            InstanceOutcome::Failed,
+            0,
+            spec,
+            None,
+            None,
+            None,
+            None,
+        );
+        self.settle(key, req, record)
+    }
+
     /// Resolve a flight: publish the result to every waiter and retire
     /// the coalescing entry. The cache insert (in [`settle`]) happens
     /// before this, so a request can never miss both.
@@ -842,11 +940,12 @@ fn handle_solve(state: &ServerState, req: SolveRequest) -> Value {
             }
         }
     };
-    // 4. Wait for the solve (bounded by the budget plus slack).
+    // 4. Wait for the solve (bounded by the budget plus the configured
+    // per-request deadline slack).
     let deadline = Duration::from_millis(
         budget_ms
             .saturating_add(state.cfg.solve_delay_ms)
-            .saturating_add(30_000),
+            .saturating_add(state.cfg.deadline_slack_ms),
     );
     let mut done = flight.done.lock().unwrap_or_else(|e| e.into_inner());
     while done.is_none() {
@@ -927,10 +1026,18 @@ fn handle_poll(state: &ServerState, ticket: &str) -> Value {
     };
     if let Some(cached) = state.cached(key) {
         use serde::Serialize;
+        // `failed` is terminal, distinct from `done`: the job exhausted
+        // its retries and will not settle to a verdict. Pollers must
+        // stop waiting, not retry forever.
+        let status = if cached.outcome == InstanceOutcome::Failed {
+            "failed"
+        } else {
+            "done"
+        };
         return obj(vec![
             ("type", s("poll")),
             ("ticket", s(ticket)),
-            ("status", s("done")),
+            ("status", s(status)),
             ("outcome", cached.outcome.to_value()),
             ("time_us", Value::UInt(cached.time_us)),
             ("solver", s(cached.solver)),
@@ -1027,7 +1134,7 @@ fn light_worker(state: &Arc<ServerState>, index: usize) {
         // re-solved, or a heavy worker): serve from cache without a solve.
         let result = match state.cached(key) {
             Some(cached) => cached,
-            None => state.execute(key, &req),
+            None => state.supervised_execute(key, &req),
         };
         let flight = state
             .inflight
@@ -1085,9 +1192,12 @@ fn heavy_worker(state: &Arc<ServerState>, index: usize) {
                 continue;
             }
         }
+        // The supervisor below catches engine panics, so control always
+        // reaches the release: the `job-<ticket>` lease is dropped
+        // immediately, never stranded until its TTL.
         let result = match state.cached(key) {
             Some(cached) => cached,
-            None => state.execute(key, &req),
+            None => state.supervised_execute(key, &req),
         };
         let _ = board.release(&lease_name);
         if result.outcome != InstanceOutcome::Cancelled {

@@ -38,6 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use mgrts_core::engine::SolverSpec;
 use mgrts_core::portfolio::BackendStat;
+use mgrts_fault::FaultFs;
 
 use crate::policy::{BudgetSource, PolicyKind};
 use crate::runner::{InstanceOutcome, RunRecord};
@@ -159,9 +160,44 @@ pub const CHECKPOINT_FILE: &str = "checkpoint.jsonl";
 pub const MANIFEST_FILE: &str = "manifest.toml";
 /// Canonical-export snapshot written by `campaign compact`.
 pub const CANONICAL_FILE: &str = "canonical.jsonl";
+/// Quarantine ledger: one line per corrupt record/checkpoint line found
+/// by the loaders (deduplicated by content hash), instead of silently
+/// skipping them.
+pub const QUARANTINE_FILE: &str = "quarantine.jsonl";
+
+/// How many fresh segment pairs a [`RecordSink`] tries before giving up
+/// on a shard commit (the original pair plus two fail-overs).
+const COMMIT_ATTEMPTS: u32 = 3;
 
 /// Display name of the default (unsuffixed) writer segment.
 pub const LOCAL_WRITER: &str = "local";
+
+/// One line of the quarantine ledger: a record or checkpoint line that
+/// exists in a segment but does not parse — silent corruption, not the
+/// expected truncated-tail-after-SIGKILL case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Segment file name the corrupt line was found in.
+    pub segment: String,
+    /// 1-based line number at quarantine time.
+    pub line_no: usize,
+    /// FNV-1a hash of (segment, raw line) — the ledger's dedupe key, so
+    /// repeated loads do not grow the ledger.
+    pub hash: String,
+    /// The corrupt line, truncated to 512 bytes.
+    pub raw: String,
+    /// Wall-clock at quarantine time (ms since the Unix epoch).
+    pub unix_ms: u64,
+}
+
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Milliseconds since the Unix epoch (the commit-timestamp clock).
 pub(crate) fn unix_ms_now() -> u64 {
@@ -302,6 +338,98 @@ impl LocalStore {
         out.sort();
         Ok(out)
     }
+
+    /// Content hashes already present in the quarantine ledger.
+    fn quarantine_ledger(&self) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        let Ok(text) = std::fs::read_to_string(self.dir.join(QUARANTINE_FILE)) else {
+            return seen;
+        };
+        for line in text.lines() {
+            if let Ok(entry) = serde_json::from_str::<QuarantineEntry>(line) {
+                seen.insert(entry.hash);
+            }
+        }
+        seen
+    }
+
+    /// Record one corrupt line in the quarantine ledger (best-effort,
+    /// deduplicated by content hash) and bump the quarantine counter.
+    /// `seen` caches the ledger across one load pass.
+    fn quarantine_line(
+        &self,
+        seen: &mut Option<HashSet<String>>,
+        segment: &str,
+        line_no: usize,
+        raw: &str,
+    ) {
+        let seen = seen.get_or_insert_with(|| self.quarantine_ledger());
+        let hash = format!("{:016x}", fnv64(format!("{segment}\n{raw}").as_bytes()));
+        if !seen.insert(hash.clone()) {
+            return;
+        }
+        mgrts_obs::global()
+            .counter(
+                "mgrts_store_quarantined_total",
+                "Corrupt JSONL lines quarantined by the record store loaders",
+            )
+            .inc();
+        let entry = QuarantineEntry {
+            segment: segment.to_string(),
+            line_no,
+            hash,
+            raw: raw.chars().take(512).collect(),
+            unix_ms: unix_ms_now(),
+        };
+        // The ledger is diagnostic: failing to append must not fail the
+        // load that discovered the corruption.
+        if let Ok(mut f) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(QUARANTINE_FILE))
+        {
+            if let Ok(line) = serde_json::to_string(&entry) {
+                let _ = writeln!(f, "{line}");
+            }
+        }
+    }
+
+    /// Iterate the parseable `T` lines of every `stem` segment,
+    /// quarantining corrupt lines. A final unterminated line is the
+    /// expected SIGKILL truncation and is dropped silently; everything
+    /// else that fails to parse goes to the ledger.
+    fn scan_segments<T: serde::Deserialize>(
+        &self,
+        stem: &str,
+        mut visit: impl FnMut(&str, T),
+    ) -> std::io::Result<()> {
+        let mut ledger: Option<HashSet<String>> = None;
+        for (_, path) in self.segments(stem)? {
+            let text = std::fs::read_to_string(&path)?;
+            let terminated = text.ends_with('\n');
+            let total = text.lines().count();
+            let segment = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or(stem)
+                .to_string();
+            for (idx, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<T>(line) {
+                    Ok(value) => visit(&segment, value),
+                    Err(_) => {
+                        if idx + 1 == total && !terminated {
+                            continue; // truncated tail: expected after SIGKILL
+                        }
+                        self.quarantine_line(&mut ledger, &segment, idx + 1, line);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl RecordStore for LocalStore {
@@ -311,7 +439,11 @@ impl RecordStore for LocalStore {
 
     fn write_manifest(&self, toml: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
-        std::fs::write(self.dir.join(MANIFEST_FILE), toml)
+        FaultFs::write(
+            "store.manifest",
+            &self.dir.join(MANIFEST_FILE),
+            toml.as_bytes(),
+        )
     }
 
     fn clear(&self) -> std::io::Result<()> {
@@ -327,7 +459,10 @@ impl RecordStore for LocalStore {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if name == CANONICAL_FILE || (name.starts_with("BENCH_") && name.ends_with(".json")) {
+            if name == CANONICAL_FILE
+                || name == QUARANTINE_FILE
+                || (name.starts_with("BENCH_") && name.ends_with(".json"))
+            {
                 std::fs::remove_file(entry.path())?;
             }
         }
@@ -340,37 +475,20 @@ impl RecordStore for LocalStore {
 
     fn done_shards(&self) -> std::io::Result<HashSet<String>> {
         let mut done = HashSet::new();
-        for (_, path) in self.segments("checkpoint")? {
-            for line in BufReader::new(File::open(path)?).lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if let Ok(cp) = serde_json::from_str::<CheckpointLine>(&line) {
-                    done.insert(cp.shard);
-                }
-            }
-        }
+        self.scan_segments::<CheckpointLine>("checkpoint", |_, cp| {
+            done.insert(cp.shard);
+        })?;
         Ok(done)
     }
 
     fn load_records(&self) -> std::io::Result<Vec<CampaignRecord>> {
         let done = self.done_shards()?;
         let mut records: Vec<CampaignRecord> = Vec::new();
-        for (_, path) in self.segments("records")? {
-            for line in BufReader::new(File::open(path)?).lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let Ok(rec) = serde_json::from_str::<CampaignRecord>(&line) else {
-                    continue; // truncated tail or foreign garbage
-                };
-                if done.contains(&rec.shard) {
-                    records.push(rec);
-                }
+        self.scan_segments::<CampaignRecord>("records", |_, rec| {
+            if done.contains(&rec.shard) {
+                records.push(rec);
             }
-        }
+        })?;
         // Last occurrence per unit wins (within the deterministic segment
         // iteration order); then restore deterministic unit order. Replays
         // of one shard differ only in wall-clock, so which copy survives
@@ -444,8 +562,8 @@ impl RecordStore for LocalStore {
         let tmp = self
             .dir
             .join(format!(".{name}.tmp-{}-{seq}", std::process::id()));
-        std::fs::write(&tmp, contents)?;
-        std::fs::rename(&tmp, self.dir.join(name))
+        FaultFs::write("store.artifact", &tmp, contents.as_bytes())?;
+        FaultFs::rename("store.artifact", &tmp, &self.dir.join(name))
     }
 }
 
@@ -455,9 +573,18 @@ impl RecordStore for LocalStore {
 
 /// Append-only writer half of one segment pair. One per campaign
 /// run / worker process; shared behind a lock by the executor's threads.
+///
+/// Commits retry: when any step of a shard commit fails, the (possibly
+/// wedged) segment pair is abandoned and the whole shard is re-committed
+/// to a fresh *fail-over* pair (`records-<id>-f1.jsonl`, …). The loaders
+/// aggregate all segments and dedupe by unit key, so an abandoned pair's
+/// partial lines are harmless — either their shard's checkpoint never
+/// landed anywhere (dropped), or the fail-over copy wins the dedupe.
 #[derive(Debug)]
 pub struct RecordSink {
     dir: PathBuf,
+    writer_id: String,
+    failover: u32,
     records: BufWriter<File>,
     checkpoint: BufWriter<File>,
 }
@@ -472,8 +599,22 @@ impl RecordSink {
     /// appending. A SIGKILL can leave either file ending in a truncated
     /// line; new appends must not concatenate onto it, so a missing
     /// trailing newline is healed first (the half-line itself stays and is
-    /// dropped by the loader).
+    /// quarantined by the loader).
     pub fn open_segment(dir: &Path, writer_id: &str) -> std::io::Result<Self> {
+        let (records, checkpoint) = Self::open_pair(dir, writer_id)?;
+        Ok(RecordSink {
+            dir: dir.to_path_buf(),
+            writer_id: writer_id.to_string(),
+            failover: 0,
+            records,
+            checkpoint,
+        })
+    }
+
+    fn open_pair(
+        dir: &Path,
+        writer_id: &str,
+    ) -> std::io::Result<(BufWriter<File>, BufWriter<File>)> {
         if !writer_id.is_empty() {
             validate_writer_id(writer_id)?;
         }
@@ -484,6 +625,7 @@ impl RecordSink {
             format!("-{writer_id}")
         };
         let append = |stem: &str| -> std::io::Result<File> {
+            FaultFs::check("sink.open")?;
             let path = dir.join(format!("{stem}{suffix}.jsonl"));
             let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
             let len = file.metadata()?.len();
@@ -500,11 +642,10 @@ impl RecordSink {
             }
             Ok(file)
         };
-        Ok(RecordSink {
-            dir: dir.to_path_buf(),
-            records: BufWriter::new(append("records")?),
-            checkpoint: BufWriter::new(append("checkpoint")?),
-        })
+        Ok((
+            BufWriter::new(append("records")?),
+            BufWriter::new(append("checkpoint")?),
+        ))
     }
 
     /// The store directory.
@@ -512,28 +653,87 @@ impl RecordSink {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
-}
 
-impl ShardWriter for RecordSink {
-    fn commit_shard(&mut self, shard: &Shard, records: &[CampaignRecord]) -> std::io::Result<()> {
+    /// The writer id of the segment pair currently being appended to
+    /// (`<base>-f<n>` after `n` fail-overs).
+    #[must_use]
+    pub fn current_writer_id(&self) -> String {
+        if self.failover == 0 {
+            self.writer_id.clone()
+        } else if self.writer_id.is_empty() {
+            format!("f{}", self.failover)
+        } else {
+            // Keep the fail-over id within the 64-char writer-id limit.
+            let base: String = self.writer_id.chars().take(58).collect();
+            format!("{base}-f{}", self.failover)
+        }
+    }
+
+    /// Abandon the current segment pair and open the next fail-over pair.
+    fn fail_over(&mut self) -> std::io::Result<()> {
+        self.failover += 1;
+        let id = self.current_writer_id();
+        let (records, checkpoint) = Self::open_pair(&self.dir, &id)?;
+        self.records = records;
+        self.checkpoint = checkpoint;
+        mgrts_obs::global()
+            .counter(
+                "mgrts_store_segment_failovers_total",
+                "Segment pairs abandoned after a failed shard commit",
+            )
+            .inc();
+        Ok(())
+    }
+
+    /// One full commit attempt on the current segment pair: records,
+    /// flush, sync, checkpoint line, flush, sync — the crash-safety
+    /// ordering every loader relies on.
+    fn try_commit(&mut self, shard: &Shard, records: &[CampaignRecord]) -> std::io::Result<()> {
         for r in records {
             let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
-            self.records.write_all(line.as_bytes())?;
+            FaultFs::write_all("sink.append", &mut self.records, line.as_bytes())?;
             self.records.write_all(b"\n")?;
         }
-        self.records.flush()?;
-        self.records.get_ref().sync_data()?;
+        FaultFs::flush("sink.flush", &mut self.records)?;
+        FaultFs::sync_data("sink.sync", self.records.get_ref())?;
         let line = serde_json::to_string(&CheckpointLine {
             shard: shard.hash.clone(),
             records: records.len() as u64,
             unix_ms: Some(unix_ms_now()),
         })
         .map_err(std::io::Error::other)?;
-        self.checkpoint.write_all(line.as_bytes())?;
+        FaultFs::write_all("sink.checkpoint", &mut self.checkpoint, line.as_bytes())?;
         self.checkpoint.write_all(b"\n")?;
-        self.checkpoint.flush()?;
-        self.checkpoint.get_ref().sync_data()?;
+        FaultFs::flush("sink.flush", &mut self.checkpoint)?;
+        FaultFs::sync_data("sink.sync", self.checkpoint.get_ref())?;
         Ok(())
+    }
+}
+
+impl ShardWriter for RecordSink {
+    fn commit_shard(&mut self, shard: &Shard, records: &[CampaignRecord]) -> std::io::Result<()> {
+        let mut last_err = None;
+        for attempt in 0..COMMIT_ATTEMPTS {
+            if attempt > 0 {
+                mgrts_obs::global()
+                    .counter(
+                        "mgrts_store_commit_retries_total",
+                        "Shard commits retried on a fail-over segment pair",
+                    )
+                    .inc();
+            }
+            match self.try_commit(shard, records) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last_err = Some(e);
+                    // The pair may be wedged (failed sync, half-buffered
+                    // line): abandon it and retry on a fresh one. If even
+                    // opening the fail-over pair fails, give up now.
+                    self.fail_over()?;
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 }
 
@@ -776,6 +976,114 @@ mod tests {
             std::fs::read_to_string(dir.join("BENCH_x.json")).unwrap(),
             "{\"a\":1}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_fails_over_to_fresh_segment_on_io_fault() {
+        let dir = tmp("failover");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        // First sync attempt fails; the commit must retry on a fail-over
+        // pair and succeed overall.
+        let _guard = mgrts_fault::install_guarded(
+            mgrts_fault::FaultPlan::parse("sink.sync:full:n1").unwrap(),
+        );
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5)])
+            .unwrap();
+        assert_eq!(sink.current_writer_id(), "f1");
+        assert!(dir.join("records-f1.jsonl").exists(), "fail-over segment");
+        let loaded = load_records(&dir).unwrap();
+        assert_eq!(loaded.len(), 1, "shard committed despite the fault");
+        // Subsequent commits stay on the fail-over pair without drama.
+        sink.commit_shard(&shard("bb"), &[rec("bb", 0, 1, 6)])
+            .unwrap();
+        assert_eq!(load_records(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_gives_up_after_exhausting_failovers() {
+        let dir = tmp("failover-exhaust");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        let _guard = mgrts_fault::install_guarded(
+            mgrts_fault::FaultPlan::parse("sink.sync:full:always").unwrap(),
+        );
+        let err = sink
+            .commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5)])
+            .expect_err("every pair faults");
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_mid_segment_lines_are_quarantined_once() {
+        let dir = tmp("quarantine");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5)])
+            .unwrap();
+        // Scribble a complete (newline-terminated) garbage line into the
+        // middle of the record segment, then a valid committed shard
+        // after it — the garbage is not a truncated tail.
+        let mut raw = OpenOptions::new()
+            .append(true)
+            .open(dir.join(RECORDS_FILE))
+            .unwrap();
+        writeln!(raw, "###corrupt###").unwrap();
+        drop(raw);
+        sink.commit_shard(&shard("bb"), &[rec("bb", 0, 1, 6)])
+            .unwrap();
+
+        let store = LocalStore::open(&dir).unwrap();
+        let loaded = store.load_records().unwrap();
+        assert_eq!(loaded.len(), 2, "valid records still load");
+        let ledger = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(ledger.lines().count(), 1, "one corrupt line ledgered");
+        let entry: QuarantineEntry = serde_json::from_str(ledger.lines().next().unwrap()).unwrap();
+        assert_eq!(entry.raw, "###corrupt###");
+        assert_eq!(entry.segment, RECORDS_FILE);
+
+        // Re-loading does not grow the ledger (hash dedupe).
+        store.load_records().unwrap();
+        store.load_records().unwrap();
+        let ledger = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(ledger.lines().count(), 1, "ledger did not grow");
+
+        // A truncated (unterminated) tail is NOT quarantined: that is the
+        // expected SIGKILL shape.
+        let mut raw = OpenOptions::new()
+            .append(true)
+            .open(dir.join(RECORDS_FILE))
+            .unwrap();
+        write!(raw, "{{\"half\":").unwrap();
+        drop(raw);
+        store.load_records().unwrap();
+        let ledger = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(ledger.lines().count(), 1, "tail not quarantined");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_line_unbelieves_shard_and_is_quarantined() {
+        let dir = tmp("quarantine-cp");
+        let mut sink = RecordSink::open(&dir).unwrap();
+        sink.commit_shard(&shard("aa"), &[rec("aa", 0, 0, 5)])
+            .unwrap();
+        // Corrupt the (only) checkpoint line, then land a valid one after
+        // it so it is mid-file.
+        let text = std::fs::read_to_string(dir.join(CHECKPOINT_FILE)).unwrap();
+        std::fs::write(
+            dir.join(CHECKPOINT_FILE),
+            text.replace("aa", "\u{0}\u{0}").replace('{', "#"),
+        )
+        .unwrap();
+        sink.commit_shard(&shard("bb"), &[rec("bb", 0, 1, 6)])
+            .unwrap();
+        let store = LocalStore::open(&dir).unwrap();
+        let loaded = store.load_records().unwrap();
+        assert_eq!(loaded.len(), 1, "shard aa is no longer believed");
+        assert_eq!(loaded[0].shard, "bb");
+        let ledger = std::fs::read_to_string(dir.join(QUARANTINE_FILE)).unwrap();
+        assert_eq!(ledger.lines().count(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,160 @@
+//! Storage-fault robustness of the campaign engine: a full campaign run
+//! with a hostile (but storage-only) fault plan injected under every file
+//! operation must still converge to exactly the record set of a
+//! fault-free run — no duplicated units, no lost units, no torn records.
+//!
+//! Faults are injected through [`mgrts_fault::FaultFs`], the IO shim the
+//! record sink routes its appends / flushes / syncs / checkpoint writes
+//! through. The plan space deliberately excludes:
+//!
+//! * `engine.solve` — a panicking engine parks shards (by design), which
+//!   legitimately changes the final record set;
+//! * `corrupt` faults on record lines — scribbled bytes of a
+//!   *checkpointed* shard are quarantined, which also (by design) drops
+//!   those units rather than inventing data;
+//! * `store.manifest` — a store without a manifest cannot be resumed;
+//!   losing the manifest write is dispatch failure, not mid-run chaos.
+//!
+//! What remains is the transient-error space (interruptions, timeouts,
+//! full disks, busy handles) the commit retry + segment fail-over
+//! machinery claims to absorb. If a plan is hostile enough that the
+//! campaign gives up anyway, the store must still be *resumable* once
+//! the weather clears — the acceptance property is export equality
+//! either way.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use mgrts_bench::campaign::{canonical_store_export, resume, run_fresh, CampaignOptions, Manifest};
+use mgrts_core::engine::CancelGroup;
+use mgrts_fault::FaultPlan;
+
+fn manifest(seed: u64, shard_size: usize) -> Manifest {
+    Manifest::parse(&format!(
+        r#"
+[campaign]
+name = "fault-prop"
+seed = {seed}
+time_limit_ms = 5000
+instances_per_cell = 3
+shard_size = {shard_size}
+
+[grid]
+n = [3, 4]
+m = [2]
+t_max = [4]
+solvers = ["csp2-dc", "sat"]
+"#
+    ))
+    .expect("valid manifest")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mgrts-fault-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> CampaignOptions {
+    CampaignOptions {
+        threads: 2,
+        progress: false,
+        max_shards: None,
+    }
+}
+
+/// Derive a deterministic storage-fault plan from one seed: 1–3 rules
+/// over the sink's fault sites, transient error kinds only, mixed
+/// nth / every-nth / probabilistic triggers.
+fn storage_plan(plan_seed: u64) -> String {
+    const SITES: [&str; 5] = [
+        "sink.append",
+        "sink.flush",
+        "sink.sync",
+        "sink.checkpoint",
+        "sink.open",
+    ];
+    const KINDS: [&str; 5] = ["interrupted", "timeout", "busy", "full", "io"];
+    let mut x = plan_seed | 1;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    let n_rules = 1 + next() % 3;
+    let rules: Vec<String> = (0..n_rules)
+        .map(|_| {
+            let site = SITES[(next() % SITES.len() as u64) as usize];
+            let kind = KINDS[(next() % KINDS.len() as u64) as usize];
+            let trigger = match next() % 3 {
+                0 => format!("n{}", 1 + next() % 4),
+                1 => format!("every{}", 2 + next() % 4),
+                _ => format!("p0.{}", 1 + next() % 3),
+            };
+            format!("{site}:{kind}:{trigger}")
+        })
+        .collect();
+    format!("seed={plan_seed};{}", rules.join(";"))
+}
+
+proptest! {
+    // Each case runs two full campaigns (one under chaos); keep modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn campaign_under_storage_faults_matches_fault_free_run(
+        seed in 0u64..1_000,
+        plan_seed in 1u64..100_000,
+        shard_size in 1usize..=5,
+    ) {
+        let m = manifest(seed, shard_size);
+        let a = tmp(&format!("ref-{seed}-{plan_seed}-{shard_size}"));
+        let b = tmp(&format!("chaos-{seed}-{plan_seed}-{shard_size}"));
+
+        // Fault-free reference run.
+        let reference_run = run_fresh(&m, &a, &opts(), &CancelGroup::new()).unwrap();
+        prop_assert!(reference_run.summary.completed);
+
+        // Chaos run: the same campaign with the storage fault plan
+        // active. The commit retry + segment fail-over machinery should
+        // absorb most plans outright; a plan hostile enough to exhaust
+        // the retries fails the run but must leave a resumable store.
+        let plan_text = storage_plan(plan_seed);
+        let plan = FaultPlan::parse(&plan_text).expect("generated plan parses");
+        let guard = mgrts_fault::install_guarded(plan);
+        let chaos_run = run_fresh(&m, &b, &opts(), &CancelGroup::new());
+        let injected = mgrts_fault::injected_total();
+        drop(guard); // clear the plan before any recovery resume
+        match chaos_run {
+            Ok(outcome) => prop_assert!(outcome.summary.completed),
+            Err(e) => {
+                // The campaign gave up under fire — the store must heal
+                // by resuming once the faults stop.
+                let recovered = resume(&b, &opts(), &CancelGroup::new())
+                    .unwrap_or_else(|r| panic!("store not resumable after `{e}` (plan {plan_text}): {r}"));
+                prop_assert!(recovered.summary.completed);
+            }
+        }
+
+        // Acceptance: canonical exports identical — every unit present
+        // exactly once with the same verdict, regardless of how many
+        // retries, fail-over segments or healed truncations it took.
+        let reference = canonical_store_export(&a).unwrap();
+        let rebuilt = canonical_store_export(&b).unwrap();
+        prop_assert!(!reference.is_empty());
+        prop_assert_eq!(
+            reference, rebuilt,
+            "chaos run diverged (seed {}, plan `{}`, shard_size {}, {} faults injected)",
+            seed, plan_text, shard_size, injected
+        );
+
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+}

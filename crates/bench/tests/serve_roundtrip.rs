@@ -6,10 +6,20 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use mgrts_bench::serve::{ServeConfig, Server};
 use serde_json::Value;
+
+/// Serialize the tests in this binary: the fault-injection case installs
+/// a process-global fault plan that would panic any *other* test's solve
+/// while it is active.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn tmp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -32,6 +42,8 @@ fn config(tag: &str) -> ServeConfig {
         spill_budget_ms: 60_000,
         solve_delay_ms: 0,
         slow_ms: 0,
+        job_retries: 2,
+        deadline_slack_ms: 30_000,
     }
 }
 
@@ -66,6 +78,7 @@ fn exchange_on(stream: &TcpStream, line: &str) -> Value {
 
 #[test]
 fn concurrent_identical_requests_coalesce_onto_one_solve() {
+    let _serial = serial();
     let mut cfg = config("dedupe");
     cfg.solve_delay_ms = 300; // hold the in-flight window open
     let server = Server::start(cfg).unwrap();
@@ -101,6 +114,7 @@ fn concurrent_identical_requests_coalesce_onto_one_solve() {
 
 #[test]
 fn malformed_lines_get_errors_without_disconnect() {
+    let _serial = serial();
     let server = Server::start(config("malformed")).unwrap();
     let stream = TcpStream::connect(server.addr()).unwrap();
 
@@ -122,6 +136,7 @@ fn malformed_lines_get_errors_without_disconnect() {
 
 #[test]
 fn oversized_request_resolves_via_spill_and_poll() {
+    let _serial = serial();
     let mut cfg = config("spill");
     cfg.spill_tasks = 1; // every instance is "oversized"
     let data_dir = cfg.data_dir.clone();
@@ -170,6 +185,7 @@ fn oversized_request_resolves_via_spill_and_poll() {
 
 #[test]
 fn full_queue_rejects_with_overloaded() {
+    let _serial = serial();
     let mut cfg = config("overload");
     cfg.workers = 1;
     cfg.queue_cap = 1;
@@ -210,6 +226,7 @@ fn full_queue_rejects_with_overloaded() {
 
 #[test]
 fn metrics_request_returns_parseable_exposition() {
+    let _serial = serial();
     let server = Server::start(config("metrics")).unwrap();
     let addr = server.addr();
 
@@ -269,6 +286,7 @@ fn metrics_request_returns_parseable_exposition() {
 
 #[test]
 fn slow_request_threshold_logs_and_dumps_flight_recording() {
+    let _serial = serial();
     let mut cfg = config("slowlog");
     cfg.slow_ms = 1; // everything qualifies as slow
     let data_dir = cfg.data_dir.clone();
@@ -294,6 +312,7 @@ fn slow_request_threshold_logs_and_dumps_flight_recording() {
 
 #[test]
 fn cache_survives_restart_and_shutdown_request_stops_server() {
+    let _serial = serial();
     let cfg = config("restart");
     let data_dir = cfg.data_dir.clone();
     let server = Server::start(cfg.clone()).unwrap();
@@ -314,5 +333,72 @@ fn cache_survives_restart_and_shutdown_request_stops_server() {
     let hit = exchange(server.addr(), &solve_line(""));
     assert_eq!(hit["cache"].as_str(), Some("hit"), "{hit:?}");
     assert_eq!(server.stats().solves, 0);
+    server.shutdown();
+}
+
+#[test]
+fn heavy_worker_panic_settles_ticket_failed_and_releases_lease() {
+    let _serial = serial();
+    let mut cfg = config("heavypanic");
+    cfg.spill_tasks = 1; // every solve spills to the heavy queue
+    cfg.job_retries = 1; // two attempts, both panic
+    let data_dir = cfg.data_dir.clone();
+    // Every engine execution panics under this plan — the poison job.
+    let _plan = mgrts_fault::install_guarded(
+        mgrts_fault::FaultPlan::parse("seed=9;engine.solve:panic:always").unwrap(),
+    );
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let ticket_resp = exchange(addr, &solve_line(""));
+    assert_eq!(
+        ticket_resp["type"].as_str(),
+        Some("ticket"),
+        "{ticket_resp:?}"
+    );
+    let ticket = ticket_resp["ticket"].as_str().unwrap().to_string();
+
+    // The supervisor catches both panics, then settles the ticket as the
+    // terminal `failed` — it never wedges in `pending`, and the poll
+    // carries the Failed outcome.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let failed = loop {
+        let poll = exchange(
+            addr,
+            &format!("{{\"type\":\"poll\",\"ticket\":\"{ticket}\"}}"),
+        );
+        assert_eq!(poll["type"].as_str(), Some("poll"), "{poll:?}");
+        if poll["status"].as_str() == Some("failed") {
+            break poll;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "poison job never settled as failed: {poll:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(failed["outcome"].as_str(), Some("Failed"), "{failed:?}");
+    assert!(server.stats().failed >= 1);
+
+    // The `job-<ticket>` lease was released by the supervisor right away
+    // (its TTL is 60 s — a leaked lease would still be visible here).
+    let leases = mgrts_bench::queue::list_leases(&data_dir.join("leases")).unwrap();
+    assert!(
+        !leases.iter().any(|l| l.shard.contains(&ticket)),
+        "job lease leaked past the panic: {leases:?}"
+    );
+
+    // The failure is durable: a restarted server (fault plan cleared)
+    // reports the same terminal status instead of re-running the job.
+    server.shutdown();
+    drop(_plan);
+    let mut cfg2 = config("heavypanic2");
+    cfg2.data_dir = data_dir;
+    let server = Server::start(cfg2).unwrap();
+    let poll = exchange(
+        server.addr(),
+        &format!("{{\"type\":\"poll\",\"ticket\":\"{ticket}\"}}"),
+    );
+    assert_eq!(poll["status"].as_str(), Some("failed"), "{poll:?}");
     server.shutdown();
 }

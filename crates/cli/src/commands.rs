@@ -643,7 +643,8 @@ pub fn cmd_verify(args: &Args) -> Result<String, CliError> {
 
 /// `mgrts serve [--addr A] [--data-dir DIR] [--workers N] [--queue-cap N]
 /// [--budget-ms MS] [--spill-tasks N] [--spill-budget-ms MS]
-/// [--solve-delay-ms MS] [--slow-ms MS]`
+/// [--solve-delay-ms MS] [--slow-ms MS] [--job-retries N]
+/// [--deadline-slack-ms MS]`
 ///
 /// Runs until SIGTERM/SIGINT or a wire-level `shutdown` request.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
@@ -664,6 +665,12 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         )?,
         solve_delay_ms: args.opt_or("solve-delay-ms", "milliseconds", defaults.solve_delay_ms)?,
         slow_ms: args.opt_or("slow-ms", "milliseconds", defaults.slow_ms)?,
+        job_retries: args.opt_or("job-retries", "a retry count", defaults.job_retries)?,
+        deadline_slack_ms: args.opt_or(
+            "deadline-slack-ms",
+            "milliseconds",
+            defaults.deadline_slack_ms,
+        )?,
     };
     let token = crate::signal::install();
     let summary = mgrts_bench::serve::run(cfg, &token)?;
@@ -671,9 +678,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
 }
 
 /// Connect to a serve endpoint, retrying until `wait_ms` elapses (the
-/// server may still be binding when CI fires the first client).
+/// server may still be binding when CI fires the first client). Retries
+/// back off exponentially with jitter so a fleet of clients hammering a
+/// restarting server spreads out instead of thundering in lockstep.
 fn client_connect(addr: &str, wait_ms: u64) -> Result<std::net::TcpStream, CliError> {
     let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+    let salt = u64::from(std::process::id());
+    let mut attempt = 0u32;
     loop {
         match std::net::TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
@@ -681,7 +692,8 @@ fn client_connect(addr: &str, wait_ms: u64) -> Result<std::net::TcpStream, CliEr
                 if std::time::Instant::now() >= deadline {
                     return Err(CliError::Other(format!("cannot connect to {addr}: {e}")));
                 }
-                std::thread::sleep(Duration::from_millis(100));
+                std::thread::sleep(mgrts_fault::backoff_delay(attempt, 25, 1_000, salt));
+                attempt += 1;
             }
         }
     }
@@ -817,13 +829,17 @@ pub fn cmd_client(args: &Args) -> Result<String, CliError> {
             let wait_ms: u64 = args.opt_or("wait-ms", "milliseconds", 0)?;
             let line = format!("{{\"type\":\"poll\",\"ticket\":\"{ticket}\"}}");
             let deadline = std::time::Instant::now() + Duration::from_millis(wait_ms);
+            let salt = u64::from(std::process::id());
+            let mut attempt = 0u32;
             loop {
                 let stream = client_connect(&addr, connect_ms)?;
                 let response = client_exchange(&stream, &line)?;
                 let v: serde_json::Value = serde_json::from_str(&response)
                     .map_err(|e| CliError::Parse(format!("server response: {e}")))?;
-                let pending =
-                    v["type"].as_str() == Some("poll") && v["status"].as_str() != Some("done");
+                // `done` and `failed` are both terminal: a failed job will
+                // never settle to a verdict, so waiting on it is a hang.
+                let pending = v["type"].as_str() == Some("poll")
+                    && !matches!(v["status"].as_str(), Some("done" | "failed"));
                 if !pending {
                     return Ok(format!("{response}\n"));
                 }
@@ -836,7 +852,8 @@ pub fn cmd_client(args: &Args) -> Result<String, CliError> {
                         "ticket {ticket} still pending after {wait_ms} ms"
                     )));
                 }
-                std::thread::sleep(Duration::from_millis(200));
+                std::thread::sleep(mgrts_fault::backoff_delay(attempt, 50, 2_000, salt));
+                attempt += 1;
             }
         }
         "stats" => {

@@ -383,6 +383,105 @@ impl FeasibilitySolver for Instrumented {
     }
 }
 
+/// Chaos decorator: consults the `engine.solve` fault site (see
+/// `mgrts_fault`) before each solve. A triggered rule delays the solve,
+/// panics (exercising the panic supervisors in the campaign/serve
+/// layers), or fails with [`TaskError::EngineFailure`]. Interposed by
+/// [`SolverSpec::build_seeded`] / [`SolverSpec::build_shared`] only when
+/// a fault plan is active, so production builds never pay for it.
+pub struct Chaos {
+    inner: Box<dyn FeasibilitySolver>,
+}
+
+impl Chaos {
+    /// Site name consulted once per solve.
+    pub const SITE: &'static str = "engine.solve";
+
+    /// Wrap `inner` with the chaos hook.
+    #[must_use]
+    pub fn new(inner: Box<dyn FeasibilitySolver>) -> Self {
+        Chaos { inner }
+    }
+
+    fn roll(&self) -> Result<(), TaskError> {
+        match mgrts_fault::fire(Chaos::SITE) {
+            None | Some(mgrts_fault::FaultKind::Corrupt) => Ok(()),
+            Some(mgrts_fault::FaultKind::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(mgrts_fault::FaultKind::Panic) => {
+                panic!(
+                    "injected panic at fault site `{}` (solver {})",
+                    Chaos::SITE,
+                    self.inner.name()
+                )
+            }
+            Some(mgrts_fault::FaultKind::Error(kind)) => Err(TaskError::EngineFailure(format!(
+                "injected {kind:?} fault at `{}`",
+                Chaos::SITE
+            ))),
+        }
+    }
+}
+
+impl fmt::Debug for Chaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Chaos")
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl FeasibilitySolver for Chaos {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn solve(
+        &self,
+        ts: &TaskSet,
+        m: usize,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<SolveResult, TaskError> {
+        self.roll()?;
+        self.inner.solve(ts, m, budget, cancel)
+    }
+
+    fn solve_hetero(
+        &self,
+        ts: &TaskSet,
+        platform: &Platform,
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<SolveResult, TaskError> {
+        self.roll()?;
+        self.inner.solve_hetero(ts, platform, budget, cancel)
+    }
+
+    fn supports_hetero(&self) -> bool {
+        self.inner.supports_hetero()
+    }
+
+    fn is_exact(&self) -> bool {
+        self.inner.is_exact()
+    }
+
+    fn stats(&self) -> Option<mgrts_obs::SearchStats> {
+        self.inner.stats()
+    }
+}
+
+/// Interpose [`Chaos`] only when a fault plan is installed.
+fn chaos_wrap(inner: Box<dyn FeasibilitySolver>) -> Box<dyn FeasibilitySolver> {
+    if mgrts_fault::active() {
+        Box::new(Chaos::new(inner))
+    } else {
+        inner
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Backend implementations
 // ---------------------------------------------------------------------------
@@ -713,7 +812,7 @@ impl SolverSpec {
     /// [`mgrts_obs::SearchStats`] across its lifetime.
     #[must_use]
     pub fn build_seeded(&self, seed: u64) -> Box<dyn FeasibilitySolver> {
-        Box::new(Instrumented::new(self.build_raw(seed)))
+        Box::new(Instrumented::new(chaos_wrap(self.build_raw(seed))))
     }
 
     /// The bare backend, without the [`Instrumented`] wrapper.
@@ -757,7 +856,7 @@ impl SolverSpec {
     /// telemetry across every request they serve.
     #[must_use]
     pub fn build_shared(&self, seed: u64) -> Arc<dyn FeasibilitySolver> {
-        Arc::new(Instrumented::new(self.build_raw(seed)))
+        Arc::new(Instrumented::new(chaos_wrap(self.build_raw(seed))))
     }
 
     /// Does the built engine's behaviour depend on the seed?

@@ -41,7 +41,7 @@ use crate::store::{EmptyDomain, EventMask, StateId, Store, Val, VarId};
 /// wake/prune/entailment telemetry ([`crate::SolveStats::kinds`]).
 ///
 /// The two all-different variants are distinct kinds on purpose: which one
-/// [`build`] selected per scope (see `build_all_diff`) is exactly the sort
+/// `build` selected per scope (see `build_all_diff`) is exactly the sort
 /// of question the telemetry exists to answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PropKind {

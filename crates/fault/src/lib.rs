@@ -1,0 +1,685 @@
+//! Deterministic, zero-dependency fault injection for the MGRTS stack.
+//!
+//! Production code is threaded with named *fault sites* — one per
+//! interesting IO or solve operation (`sink.append`, `lease.claim`,
+//! `engine.solve`, …). With no plan installed every site is a single
+//! relaxed atomic load, so the shim is free in normal operation. When a
+//! [`FaultPlan`] is installed (programmatically or via the
+//! `MGRTS_FAULT_PLAN` environment variable) each site consults the plan
+//! and may be told to fail with a specific [`std::io::ErrorKind`], to
+//! panic, to sleep, or to *corrupt* the bytes it was about to write.
+//!
+//! Plans are **seeded and deterministic**: an `n`th-occurrence rule fires
+//! on exactly that occurrence of the site, and a probability rule hashes
+//! `(seed, site, occurrence)` — two runs with the same plan and the same
+//! per-site call sequence inject exactly the same faults. That is what
+//! makes chaos runs comparable against fault-free baselines.
+//!
+//! # Plan grammar
+//!
+//! A plan is a `;`-separated list of clauses. The optional `seed=N`
+//! clause sets the probability seed (default 0); every other clause is a
+//! rule of the form `site:kind:trigger`:
+//!
+//! ```text
+//! seed=7;sink.sync:io:n2;engine.solve:panic:n3;lease.claim:full:p0.02
+//! ```
+//!
+//! * `site` — a fault-site name, or a prefix ending in `*`
+//!   (`sink.*` matches every sink site).
+//! * `kind` — `io` (generic error), `full` (storage full), `interrupted`,
+//!   `notfound`, `denied`, `busy`, `timeout`, `panic`, `corrupt`, or
+//!   `delayMS` (e.g. `delay250`).
+//! * `trigger` — `always`, `nN` (exactly the Nth occurrence), `everyN`
+//!   (every Nth occurrence), or `pF` (probability per occurrence, e.g.
+//!   `p0.05`).
+//!
+//! Multiple rules may name the same site; each occurrence is counted
+//! once and every matching rule is offered it in plan order — the first
+//! rule that triggers wins. `engine.solve:panic:n1;engine.solve:panic:n2`
+//! therefore panics the first **two** solves.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, PoisonError, RwLock};
+use std::time::Duration;
+
+/// What an armed fault site does when its rule triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with this [`io::ErrorKind`].
+    Error(io::ErrorKind),
+    /// Panic at the site (exercises panic supervisors).
+    Panic,
+    /// Sleep this many milliseconds, then proceed normally.
+    Delay(u64),
+    /// For write sites: scribble over the payload (newlines preserved)
+    /// and report success — simulated silent corruption. For non-write
+    /// sites this is a no-op.
+    Corrupt,
+}
+
+/// When a rule fires, relative to the per-site occurrence counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every occurrence.
+    Always,
+    /// Exactly the Nth occurrence (1-based), once.
+    Nth(u64),
+    /// Every Nth occurrence (N, 2N, 3N, …).
+    EveryN(u64),
+    /// Independently with this probability per occurrence, derived
+    /// deterministically from `(seed, site, occurrence)`.
+    Probability(f64),
+}
+
+/// One `site:kind:trigger` clause of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Site name, or prefix ending in `*`.
+    pub site: String,
+    /// Action when triggered.
+    pub kind: FaultKind,
+    /// Firing condition.
+    pub trigger: Trigger,
+}
+
+impl FaultRule {
+    fn matches(&self, site: &str) -> bool {
+        match self.site.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => self.site == site,
+        }
+    }
+
+    fn triggers(&self, seed: u64, site: &str, occurrence: u64) -> bool {
+        match self.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => occurrence == n,
+            Trigger::EveryN(n) => n > 0 && occurrence.is_multiple_of(n),
+            Trigger::Probability(p) => unit_f64(seed, site, occurrence) < p,
+        }
+    }
+}
+
+/// A seeded, deterministic set of fault rules plus the per-site
+/// occurrence and injection counters accumulated while it is installed.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    occurrences: Mutex<BTreeMap<String, u64>>,
+    injected: Mutex<BTreeMap<String, u64>>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules (injects nothing).
+    #[must_use]
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit parts.
+    #[must_use]
+    pub fn new(seed: u64, rules: Vec<FaultRule>) -> Self {
+        FaultPlan {
+            seed,
+            rules,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Parse the compact plan grammar (see crate docs).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut rules = Vec::new();
+        for clause in text.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(v) = clause.strip_prefix("seed=") {
+                seed = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed `{v}` in fault plan"))?;
+                continue;
+            }
+            let parts: Vec<&str> = clause.split(':').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "bad fault rule `{clause}`: expected site:kind:trigger"
+                ));
+            }
+            let site = parts[0].trim();
+            if site.is_empty() {
+                return Err(format!("bad fault rule `{clause}`: empty site"));
+            }
+            rules.push(FaultRule {
+                site: site.to_string(),
+                kind: parse_kind(parts[1].trim())?,
+                trigger: parse_trigger(parts[2].trim())?,
+            });
+        }
+        Ok(FaultPlan::new(seed, rules))
+    }
+
+    /// True when the plan has no rules at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// One-line human description of the plan, for startup banners.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| format!("{}:{:?}:{:?}", r.site, r.kind, r.trigger))
+            .collect();
+        format!("seed={} rules=[{}]", self.seed, rules.join(", "))
+    }
+
+    /// Evaluate one occurrence of `site`, returning the fault to apply
+    /// (if any) and updating the occurrence/injection counters.
+    fn eval(&self, site: &str) -> Option<FaultKind> {
+        if !self.rules.iter().any(|r| r.matches(site)) {
+            return None;
+        }
+        let occurrence = {
+            let mut occ = lock(&self.occurrences);
+            let n = occ.entry(site.to_string()).or_insert(0);
+            *n += 1;
+            *n
+        };
+        for rule in self.rules.iter().filter(|r| r.matches(site)) {
+            if rule.triggers(self.seed, site, occurrence) {
+                *lock(&self.injected).entry(site.to_string()).or_insert(0) += 1;
+                return Some(rule.kind.clone());
+            }
+        }
+        None
+    }
+
+    /// Per-site injection counts so far, in site order.
+    #[must_use]
+    pub fn injected_counts(&self) -> Vec<(String, u64)> {
+        lock(&self.injected)
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+fn parse_kind(s: &str) -> Result<FaultKind, String> {
+    if let Some(ms) = s.strip_prefix("delay") {
+        let ms = ms
+            .parse()
+            .map_err(|_| format!("bad delay `{s}` in fault plan"))?;
+        return Ok(FaultKind::Delay(ms));
+    }
+    Ok(match s {
+        "io" | "error" => FaultKind::Error(io::ErrorKind::Other),
+        "full" | "storage-full" | "storage_full" => FaultKind::Error(io::ErrorKind::StorageFull),
+        "interrupted" => FaultKind::Error(io::ErrorKind::Interrupted),
+        "notfound" | "not-found" => FaultKind::Error(io::ErrorKind::NotFound),
+        "denied" => FaultKind::Error(io::ErrorKind::PermissionDenied),
+        "busy" => FaultKind::Error(io::ErrorKind::ResourceBusy),
+        "timeout" | "timedout" => FaultKind::Error(io::ErrorKind::TimedOut),
+        "panic" => FaultKind::Panic,
+        "corrupt" => FaultKind::Corrupt,
+        other => return Err(format!("unknown fault kind `{other}`")),
+    })
+}
+
+fn parse_trigger(s: &str) -> Result<Trigger, String> {
+    if s == "always" {
+        return Ok(Trigger::Always);
+    }
+    if let Some(n) = s.strip_prefix("every") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad trigger `{s}` in fault plan"))?;
+        if n == 0 {
+            return Err("every0 is not a valid trigger".to_string());
+        }
+        return Ok(Trigger::EveryN(n));
+    }
+    if let Some(n) = s.strip_prefix('n') {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("bad trigger `{s}` in fault plan"))?;
+        if n == 0 {
+            return Err("n0 is not a valid trigger (occurrences are 1-based)".to_string());
+        }
+        return Ok(Trigger::Nth(n));
+    }
+    if let Some(p) = s.strip_prefix('p') {
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("bad trigger `{s}` in fault plan"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("probability `{s}` outside [0, 1]"));
+        }
+        return Ok(Trigger::Probability(p));
+    }
+    Err(format!("unknown trigger `{s}` in fault plan"))
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic uniform sample in `[0, 1)` from `(seed, site, occurrence)`.
+fn unit_f64(seed: u64, site: &str, occurrence: u64) -> f64 {
+    let h = splitmix(
+        seed ^ fnv1a(site).rotate_left(17) ^ occurrence.wrapping_mul(0x2545_f491_4f6c_dd1d),
+    );
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Global installation
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+static ENV_INIT: Once = Once::new();
+
+/// Environment variable holding a plan in the compact grammar.
+pub const PLAN_ENV: &str = "MGRTS_FAULT_PLAN";
+
+/// Install `plan` process-wide, replacing any existing plan.
+pub fn install(plan: FaultPlan) {
+    let enable = !plan.is_empty();
+    *PLAN.write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(plan));
+    ENABLED.store(enable, Ordering::SeqCst);
+}
+
+/// Remove the installed plan; every site reverts to a no-op.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *PLAN.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// True when a non-empty plan is installed (after lazily consulting
+/// [`PLAN_ENV`] on first use).
+pub fn active() -> bool {
+    env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed plan's one-line summary, if any — for startup banners.
+#[must_use]
+pub fn summary() -> Option<String> {
+    env_init();
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    current().map(|p| p.summary())
+}
+
+/// Per-site injection counts of the installed plan (empty when inactive).
+#[must_use]
+pub fn injected_counts() -> Vec<(String, u64)> {
+    match current() {
+        Some(p) => p.injected_counts(),
+        None => Vec::new(),
+    }
+}
+
+/// Total injections across all sites of the installed plan.
+#[must_use]
+pub fn injected_total() -> u64 {
+    injected_counts().iter().map(|(_, n)| n).sum()
+}
+
+fn current() -> Option<Arc<FaultPlan>> {
+    PLAN.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(text) = std::env::var(PLAN_ENV) {
+            if text.trim().is_empty() {
+                return;
+            }
+            match FaultPlan::parse(&text) {
+                Ok(plan) => install(plan),
+                Err(e) => eprintln!("warning: ignoring malformed {PLAN_ENV}: {e}"),
+            }
+        }
+    });
+}
+
+/// Evaluate one occurrence of `site` against the installed plan.
+///
+/// Returns `None` (and costs one atomic load) when no plan is active.
+/// [`FaultKind::Delay`] is *not* applied here — callers that cannot
+/// sleep may handle it; use [`FaultFs::check`] for apply-and-go
+/// semantics.
+pub fn fire(site: &str) -> Option<FaultKind> {
+    env_init();
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    current().and_then(|p| p.eval(site))
+}
+
+/// Serializes tests that install process-global plans; dropping the
+/// guard clears the plan.
+pub struct PlanGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl fmt::Debug for PlanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PlanGuard")
+    }
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Install `plan` under a process-wide test lock. Concurrent callers
+/// (e.g. `cargo test` threads) block until the previous guard drops,
+/// which also clears the plan — so chaos tests cannot bleed into each
+/// other.
+pub fn install_guarded(plan: FaultPlan) -> PlanGuard {
+    let lock = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    install(plan);
+    PlanGuard { _lock: lock }
+}
+
+// ---------------------------------------------------------------------------
+// FaultFs: the IO shim
+// ---------------------------------------------------------------------------
+
+fn injected_err(site: &str, kind: io::ErrorKind) -> io::Error {
+    io::Error::new(kind, format!("injected fault at `{site}`"))
+}
+
+/// Scribble over a payload while preserving newlines, so line-oriented
+/// readers see exactly as many (corrupt) lines as were written.
+fn scribble(buf: &[u8]) -> Vec<u8> {
+    buf.iter()
+        .map(|&b| if b == b'\n' { b'\n' } else { b'#' })
+        .collect()
+}
+
+/// Static shims mirroring the `std::fs`/`std::io` operations used by the
+/// store, lease, and serve layers. Each consults a named fault site
+/// first, then delegates; with no plan installed the overhead is one
+/// atomic load per call.
+#[derive(Debug)]
+pub struct FaultFs;
+
+impl FaultFs {
+    /// Consult `site` and apply the verdict: inject errors as `Err`,
+    /// apply delays inline, panic on [`FaultKind::Panic`]. `Corrupt` is
+    /// meaningless without a payload and passes through as `Ok`.
+    pub fn check(site: &str) -> io::Result<()> {
+        match fire(site) {
+            None | Some(FaultKind::Corrupt) => Ok(()),
+            Some(FaultKind::Error(kind)) => Err(injected_err(site, kind)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Some(FaultKind::Panic) => panic!("injected panic at fault site `{site}`"),
+        }
+    }
+
+    /// `write_all` through the shim; `Corrupt` scribbles the payload
+    /// (newlines preserved) and reports success.
+    pub fn write_all(site: &str, w: &mut dyn Write, buf: &[u8]) -> io::Result<()> {
+        match fire(site) {
+            None => w.write_all(buf),
+            Some(FaultKind::Corrupt) => w.write_all(&scribble(buf)),
+            Some(FaultKind::Error(kind)) => Err(injected_err(site, kind)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                w.write_all(buf)
+            }
+            Some(FaultKind::Panic) => panic!("injected panic at fault site `{site}`"),
+        }
+    }
+
+    /// `flush` through the shim.
+    pub fn flush(site: &str, w: &mut dyn Write) -> io::Result<()> {
+        FaultFs::check(site)?;
+        w.flush()
+    }
+
+    /// `File::sync_data` through the shim.
+    pub fn sync_data(site: &str, f: &File) -> io::Result<()> {
+        FaultFs::check(site)?;
+        f.sync_data()
+    }
+
+    /// `fs::rename` through the shim.
+    pub fn rename(site: &str, from: &Path, to: &Path) -> io::Result<()> {
+        FaultFs::check(site)?;
+        std::fs::rename(from, to)
+    }
+
+    /// `fs::write` through the shim; `Corrupt` scribbles the payload.
+    pub fn write(site: &str, path: &Path, contents: &[u8]) -> io::Result<()> {
+        match fire(site) {
+            None => std::fs::write(path, contents),
+            Some(FaultKind::Corrupt) => std::fs::write(path, scribble(contents)),
+            Some(FaultKind::Error(kind)) => Err(injected_err(site, kind)),
+            Some(FaultKind::Delay(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                std::fs::write(path, contents)
+            }
+            Some(FaultKind::Panic) => panic!("injected panic at fault site `{site}`"),
+        }
+    }
+
+    /// Exclusive-create (`create_new`) through the shim.
+    pub fn create_new(site: &str, path: &Path) -> io::Result<File> {
+        FaultFs::check(site)?;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+    }
+
+    /// `fs::remove_file` through the shim.
+    pub fn remove_file(site: &str, path: &Path) -> io::Result<()> {
+        FaultFs::check(site)?;
+        std::fs::remove_file(path)
+    }
+}
+
+/// Classify an IO error as *transient* (worth retrying with backoff:
+/// interruptions, timeouts, full disks, generic injected errors) versus
+/// *structural* (retry cannot help: missing directories, permission
+/// problems, invalid input).
+#[must_use]
+pub fn is_transient_io(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::StorageFull
+            | io::ErrorKind::QuotaExceeded
+            | io::ErrorKind::ResourceBusy
+            | io::ErrorKind::Deadlock
+            | io::ErrorKind::Other
+    )
+}
+
+/// Deterministic jittered exponential backoff: attempt 0 waits about
+/// `base_ms`, doubling per attempt, capped at `cap_ms`, with ±25% jitter
+/// derived from `(salt, attempt)` so retry storms decorrelate without a
+/// RNG dependency.
+#[must_use]
+pub fn backoff_delay(attempt: u32, base_ms: u64, cap_ms: u64, salt: u64) -> Duration {
+    let exp = base_ms
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(cap_ms.max(base_ms));
+    // Map a hash to [-exp/4, +exp/4] around the exponential midpoint.
+    let h = splitmix(salt ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let span = (exp / 2).max(1);
+    let jitter = h % span;
+    Duration::from_millis(exp - exp / 4 + jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=7; sink.sync:io:n2 ;engine.solve:panic:always;a.b:delay250:p0.5;q.*:full:every3",
+        )
+        .expect("plan parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].kind, FaultKind::Error(io::ErrorKind::Other));
+        assert_eq!(plan.rules[0].trigger, Trigger::Nth(2));
+        assert_eq!(plan.rules[1].kind, FaultKind::Panic);
+        assert_eq!(plan.rules[2].kind, FaultKind::Delay(250));
+        assert_eq!(plan.rules[3].trigger, Trigger::EveryN(3));
+        assert!(plan.rules[3].matches("q.claim"));
+        assert!(!plan.rules[3].matches("sink.claim"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("justasite").is_err());
+        assert!(FaultPlan::parse("a:b:c:d").is_err());
+        assert!(FaultPlan::parse("a.b:frobnicate:n1").is_err());
+        assert!(FaultPlan::parse("a.b:io:n0").is_err());
+        assert!(FaultPlan::parse("a.b:io:p1.5").is_err());
+        assert!(FaultPlan::parse("seed=x;a.b:io:n1").is_err());
+        assert!(FaultPlan::parse("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let plan = FaultPlan::parse("x.y:io:n3").expect("plan");
+        assert_eq!(plan.eval("x.y"), None);
+        assert_eq!(plan.eval("x.y"), None);
+        assert_eq!(
+            plan.eval("x.y"),
+            Some(FaultKind::Error(io::ErrorKind::Other))
+        );
+        assert_eq!(plan.eval("x.y"), None);
+        assert_eq!(plan.injected_counts(), vec![("x.y".to_string(), 1)]);
+        // Unrelated sites never consume occurrences.
+        assert_eq!(plan.eval("other"), None);
+        assert!(lock(&plan.occurrences).get("other").is_none());
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_seeded() {
+        let a = FaultPlan::parse("seed=1;s:io:p0.5").expect("plan");
+        let b = FaultPlan::parse("seed=1;s:io:p0.5").expect("plan");
+        let hits_a: Vec<bool> = (0..64).map(|_| a.eval("s").is_some()).collect();
+        let hits_b: Vec<bool> = (0..64).map(|_| b.eval("s").is_some()).collect();
+        assert_eq!(hits_a, hits_b, "same seed, same plan, same faults");
+        assert!(hits_a.iter().any(|&h| h), "p=0.5 over 64 draws hits");
+        assert!(hits_a.iter().any(|&h| !h), "p=0.5 over 64 draws misses");
+
+        let c = FaultPlan::parse("seed=2;s:io:p0.5").expect("plan");
+        let hits_c: Vec<bool> = (0..64).map(|_| c.eval("s").is_some()).collect();
+        assert_ne!(hits_a, hits_c, "different seed, different faults");
+    }
+
+    #[test]
+    fn corrupt_scribbles_but_preserves_line_structure() {
+        let _guard = install_guarded(FaultPlan::parse("w:corrupt:n1").expect("plan"));
+        let mut out = Vec::new();
+        FaultFs::write_all("w", &mut out, b"{\"k\":1}\n").expect("corrupt write succeeds");
+        assert_eq!(out, b"#######\n");
+        out.clear();
+        FaultFs::write_all("w", &mut out, b"{\"k\":2}\n").expect("second write clean");
+        assert_eq!(out, b"{\"k\":2}\n");
+    }
+
+    #[test]
+    fn check_injects_errors_and_guard_clears() {
+        {
+            let _guard = install_guarded(FaultPlan::parse("op:full:always").expect("plan"));
+            let err = FaultFs::check("op").expect_err("injected");
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+            assert!(is_transient_io(&err));
+            assert!(active());
+            assert_eq!(injected_total(), 1);
+        }
+        assert!(!ENABLED.load(Ordering::SeqCst));
+        assert_eq!(FaultFs::check("op").ok(), Some(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at fault site `boom`")]
+    fn panic_kind_panics() {
+        let plan = FaultPlan::parse("boom:panic:always").expect("plan");
+        if let Some(FaultKind::Panic) = plan.eval("boom") {
+            panic!("injected panic at fault site `boom`");
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(is_transient_io(&io::Error::new(
+            io::ErrorKind::Interrupted,
+            "x"
+        )));
+        assert!(is_transient_io(&io::Error::other("x")));
+        assert!(!is_transient_io(&io::Error::new(
+            io::ErrorKind::NotFound,
+            "x"
+        )));
+        assert!(!is_transient_io(&io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "x"
+        )));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let d0 = backoff_delay(0, 100, 2_000, 1);
+        let d3 = backoff_delay(3, 100, 2_000, 1);
+        let d9 = backoff_delay(9, 100, 2_000, 1);
+        assert!(d0 < d3, "{d0:?} < {d3:?}");
+        assert!(d3 <= d9, "{d3:?} <= {d9:?}");
+        assert!(d9 <= Duration::from_millis(2_500), "cap holds: {d9:?}");
+        assert_eq!(
+            backoff_delay(5, 100, 2_000, 42),
+            backoff_delay(5, 100, 2_000, 42),
+            "deterministic for equal salt"
+        );
+    }
+}

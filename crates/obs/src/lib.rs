@@ -27,3 +27,19 @@ pub mod stats;
 pub use flight::{FlightRecorder, ThreadRing};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use stats::{KindStats, SearchStats};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide metric registry.
+///
+/// Library layers that have no registry handy (the record store's
+/// quarantine, the lease board's retry loop, panic supervisors) count
+/// into this one; surfaces that expose metrics (`mgrts serve`) render it
+/// alongside their own registry. Registration is idempotent, so
+/// counting is as simple as
+/// `mgrts_obs::global().counter(name, help).inc()`.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

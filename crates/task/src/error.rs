@@ -31,6 +31,10 @@ pub enum TaskError {
     EmptyTaskSet,
     /// The hyperperiod `lcm(T1..Tn)` overflows `u64`.
     HyperperiodOverflow,
+    /// A solver backend failed for a reason unrelated to the task model
+    /// (internal invariant breach, injected fault). The instance itself
+    /// may be perfectly valid; retrying can succeed.
+    EngineFailure(String),
 }
 
 impl fmt::Display for TaskError {
@@ -51,6 +55,7 @@ impl fmt::Display for TaskError {
             TaskError::HyperperiodOverflow => {
                 write!(f, "hyperperiod lcm(T1..Tn) overflows u64")
             }
+            TaskError::EngineFailure(msg) => write!(f, "engine failure: {msg}"),
         }
     }
 }
