@@ -781,6 +781,14 @@ fn execute(
                         &shard.hash,
                         &format!("shard {} of {}", shard.index, todo.len()),
                     );
+                    // Re-snapshot store-dependent policy state (adaptive
+                    // allowances) so this shard's budgets see every record
+                    // committed so far, not just the start-up snapshot.
+                    if let Err(e) = policy.refresh(store) {
+                        *failure.lock() = Some(e);
+                        cancel.cancel_all();
+                        break;
+                    }
                     // Supervise the shard: a panicking solver is retried a
                     // few times (transient chaos heals), then fails the
                     // campaign with the shard named — never silently skips

@@ -23,12 +23,13 @@
 //! Policies are declared in the manifest's `[policy]` section (see
 //! [`crate::campaign::Manifest`]), participate in the campaign fingerprint
 //! (changing the policy re-shards), and are **resumable and lease-safe**:
-//! a policy is a read-only object built once per executor/worker process
-//! from the manifest plus a snapshot of the store, so any number of
-//! workers can drain the same plan. Adaptive allowances are derived from
-//! the snapshot each worker sees at startup — a budget is a measurement-
-//! domain quantity (like the wall clock itself), so two workers with
-//! different snapshots still commit records that dedupe identically.
+//! a policy is built once per executor/worker process from the manifest
+//! plus a snapshot of the store, so any number of workers can drain the
+//! same plan. Adaptive allowances are re-derived per claimed shard via
+//! [`ExecutionPolicy::refresh`] (so long-running workers see records
+//! committed after they started) — a budget is a measurement-domain
+//! quantity (like the wall clock itself), so two workers with different
+//! snapshots still commit records that dedupe identically.
 
 use std::str::FromStr;
 use std::time::Duration;
@@ -229,35 +230,45 @@ impl PolicySpec {
             None => Ok(base),
             Some(spec) => {
                 spec.validate().map_err(CampaignError::Manifest)?;
-                let mut per_cell: Vec<Vec<u64>> = vec![Vec::new(); manifest.cells.len()];
-                for r in store.load_records()? {
-                    // Sample only runs decided under the *manifest* limit:
-                    // feeding adaptively-capped times back into the
-                    // quantile would ratchet allowances downward with
-                    // every resume / late-joining worker (slow-but-decided
-                    // runs turn into excluded Overruns under a cap, so a
-                    // capped sample set is biased fast).
-                    if r.cell < per_cell.len()
-                        && r.budget_src() == BudgetSource::Manifest
-                        && matches!(
-                            r.outcome,
-                            InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible
-                        )
-                    {
-                        per_cell[r.cell].push(r.time_us);
-                    }
-                }
-                let budgets = per_cell
-                    .into_iter()
-                    .map(|samples| budget_from_samples(samples, spec))
-                    .collect();
+                let budgets = adaptive_cell_budgets(manifest.cells.len(), store, spec)?;
                 Ok(Box::new(AdaptiveBudget {
                     inner: base,
-                    per_cell: budgets,
+                    spec: *spec,
+                    n_cells: manifest.cells.len(),
+                    per_cell: std::sync::Mutex::new(budgets),
                 }))
             }
         }
     }
+}
+
+/// Snapshot the per-cell quantile allowances from the records currently in
+/// `store`. Samples only runs decided under the *manifest* limit: feeding
+/// adaptively-capped times back into the quantile would ratchet allowances
+/// downward with every resume / late-joining worker (slow-but-decided runs
+/// turn into excluded Overruns under a cap, so a capped sample set is
+/// biased fast).
+fn adaptive_cell_budgets(
+    n_cells: usize,
+    store: &dyn RecordStore,
+    spec: &AdaptiveSpec,
+) -> Result<Vec<Option<Duration>>, CampaignError> {
+    let mut per_cell: Vec<Vec<u64>> = vec![Vec::new(); n_cells];
+    for r in store.load_records()? {
+        if r.cell < per_cell.len()
+            && r.budget_src() == BudgetSource::Manifest
+            && matches!(
+                r.outcome,
+                InstanceOutcome::Solved | InstanceOutcome::ProvedInfeasible
+            )
+        {
+            per_cell[r.cell].push(r.time_us);
+        }
+    }
+    Ok(per_cell
+        .into_iter()
+        .map(|samples| budget_from_samples(samples, spec))
+        .collect())
 }
 
 /// Nearest-rank quantile over an ascending-sorted sample set: the smallest
@@ -333,6 +344,15 @@ pub trait ExecutionPolicy: Send + Sync {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> UnitExecution;
+
+    /// Re-derive any store-dependent state (called by executors between
+    /// shards, so long-running workers see records committed after they
+    /// started). The default is a no-op: only [`AdaptiveBudget`]
+    /// re-snapshots its quantile allowances.
+    fn refresh(&self, store: &dyn RecordStore) -> Result<(), CampaignError> {
+        let _ = store;
+        Ok(())
+    }
 }
 
 /// The historical inline path, extracted: one roster solver per unit.
@@ -433,19 +453,32 @@ impl ExecutionPolicy for PortfolioRace {
 }
 
 /// Wrapper policy: delegate execution to `inner`, but cap each unit's
-/// allowance at the cell's recorded-solve-time quantile (snapshot taken at
-/// build time; see the module docs for why that is resume- and
-/// lease-safe). The quantile only ever *tightens* the manifest limit.
+/// allowance at the cell's recorded-solve-time quantile. The snapshot is
+/// taken at build time and *re-taken on every [`ExecutionPolicy::refresh`]*
+/// (executors call it per claimed shard), so a long-running worker's
+/// allowances track records committed after it started rather than
+/// freezing at its start-up snapshot. The quantile only ever *tightens*
+/// the manifest limit, and a budget is a measurement-domain quantity (like
+/// the wall clock itself), so workers holding different snapshots still
+/// commit records that dedupe identically — refresh is an accuracy
+/// improvement, never a correctness requirement.
 pub struct AdaptiveBudget {
     inner: Box<dyn ExecutionPolicy>,
-    per_cell: Vec<Option<Duration>>,
+    spec: AdaptiveSpec,
+    n_cells: usize,
+    per_cell: std::sync::Mutex<Vec<Option<Duration>>>,
 }
 
 impl AdaptiveBudget {
     /// The adaptive allowance of `cell`, when enough samples existed.
     #[must_use]
     pub fn cell_allowance(&self, cell: usize) -> Option<Duration> {
-        self.per_cell.get(cell).copied().flatten()
+        self.per_cell
+            .lock()
+            .expect("allowance lock")
+            .get(cell)
+            .copied()
+            .flatten()
     }
 }
 
@@ -471,6 +504,12 @@ impl ExecutionPolicy for AdaptiveBudget {
         cancel: &CancelToken,
     ) -> UnitExecution {
         self.inner.execute(p, platform, unit_solver, budget, cancel)
+    }
+
+    fn refresh(&self, store: &dyn RecordStore) -> Result<(), CampaignError> {
+        let budgets = adaptive_cell_budgets(self.n_cells, store, &self.spec)?;
+        *self.per_cell.lock().expect("allowance lock") = budgets;
+        self.inner.refresh(store)
     }
 }
 
@@ -621,6 +660,91 @@ mod tests {
             budget_from_samples(vec![7], &loose),
             Some(Duration::from_micros(7))
         );
+    }
+
+    #[test]
+    fn refresh_resnapshots_allowances_from_later_records() {
+        use crate::sink::{CampaignRecord, LocalStore};
+
+        let manifest = Manifest::parse(
+            r#"
+[campaign]
+name = "refresh-prop"
+seed = 1
+time_limit_ms = 5000
+instances_per_cell = 4
+shard_size = 8
+
+[grid]
+n = [3]
+m = [2]
+t_max = [4]
+solvers = ["csp2-dc"]
+
+[policy]
+adaptive_quantile = 0.9
+adaptive_min_samples = 3
+"#,
+        )
+        .expect("valid manifest");
+        let dir = std::env::temp_dir().join(format!(
+            "mgrts-policy-refresh-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LocalStore::open(&dir).expect("store");
+
+        // Built against an empty store: every cell falls back to the
+        // manifest limit.
+        let policy = manifest.build_policy(&store).expect("policy");
+        assert_eq!(policy.unit_budget(0).1, BudgetSource::Manifest);
+
+        // A peer worker commits three decided units for cell 0 *after*
+        // this policy's build-time snapshot.
+        let shards = manifest.plan();
+        let shard = &shards[0];
+        let records: Vec<CampaignRecord> = (0..3)
+            .map(|i| CampaignRecord {
+                shard: shard.hash.clone(),
+                cell: 0,
+                instance: i,
+                global_instance: i,
+                solver: "csp2-dc".parse().unwrap(),
+                outcome: InstanceOutcome::Solved,
+                time_us: (i + 1) * 1000,
+                ratio: 0.5,
+                filtered: false,
+                m: 2,
+                n: 3,
+                t_max: 4,
+                hetero: false,
+                hyperperiod: 12,
+                seed: 1,
+                policy: Some(PolicyKind::Single),
+                winner: None,
+                budget_source: Some(BudgetSource::Manifest),
+                cancel_latency_us: None,
+                backends: None,
+                search: None,
+            })
+            .collect();
+        store
+            .open_writer("peer")
+            .expect("writer")
+            .commit_shard(shard, &records)
+            .expect("commit");
+
+        // The stale snapshot still answers Manifest; refresh re-reads the
+        // store, so the next claimed shard sees the later records.
+        assert_eq!(policy.unit_budget(0).1, BudgetSource::Manifest);
+        policy.refresh(&store).expect("refresh");
+        let (budget, src) = policy.unit_budget(0);
+        assert_eq!(src, BudgetSource::Adaptive);
+        // p90 (nearest rank) of {1000, 2000, 3000} µs.
+        assert_eq!(budget.time, Some(Duration::from_micros(3000)));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

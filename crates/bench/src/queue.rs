@@ -872,6 +872,14 @@ fn worker_thread(
             std::thread::sleep(opts.poll);
             continue;
         };
+        // Re-derive store-dependent policy state (adaptive allowances) so
+        // this shard's budgets reflect every record committed so far, not
+        // the snapshot this worker started with.
+        if let Err(e) = policy.refresh(store) {
+            *failure.lock() = Some(e);
+            cancel.cancel_all();
+            return;
+        }
         // Supervise the shard execution: a panicking solver must not take
         // the worker (and its held leases) down with it. The caught shard
         // gets a durable failure count and is parked as poison after

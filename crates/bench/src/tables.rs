@@ -273,7 +273,7 @@ pub fn profile(rows: &[ProfileRow]) -> String {
     }
     let cell_width = rows.iter().map(|r| r.cell.len()).max().unwrap_or(4).max(4);
     let mut out = format!(
-        "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>10} {:>10}\n",
+        "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>8} {:>7} {:>7} {:>6} {:>10} {:>10}\n",
         "cell",
         "solves",
         "decisions",
@@ -281,6 +281,10 @@ pub fn profile(rows: &[ProfileRow]) -> String {
         "propagations",
         "restarts",
         "gac_reb",
+        "conflict",
+        "nogoods",
+        "mean_bj",
+        "db_red",
         "peak_trail",
         "peak_depth",
     );
@@ -292,8 +296,14 @@ pub fn profile(rows: &[ProfileRow]) -> String {
             continue;
         }
         let st = &row.stats;
+        // Mean levels skipped per analyzed conflict (0.0 = chronological).
+        let mean_bj = if st.conflicts == 0 {
+            0.0
+        } else {
+            st.backjump_sum as f64 / st.conflicts as f64
+        };
         out.push_str(&format!(
-            "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>10} {:>10}\n",
+            "{:<cell_width$} | {:>6} {:>12} {:>12} {:>13} {:>9} {:>9} {:>8} {:>7} {:>7.1} {:>6} {:>10} {:>10}\n",
             row.cell,
             st.solves,
             st.decisions,
@@ -301,6 +311,10 @@ pub fn profile(rows: &[ProfileRow]) -> String {
             st.propagations,
             st.restarts,
             st.gac_rebuilds,
+            st.conflicts,
+            st.learnt_clauses,
+            mean_bj,
+            st.db_reductions,
             st.peak_trail,
             st.peak_depth,
         ));
@@ -477,6 +491,53 @@ mod tests {
         assert!(out.contains('–'));
         assert!(out.contains("25%"));
         assert!(out.contains("345.95"));
+    }
+
+    #[test]
+    fn profile_golden_output_with_learning_counters() {
+        let rows = vec![
+            ProfileRow {
+                cell: "learn-cell".to_string(),
+                with_stats: 1,
+                without_stats: 0,
+                stats: mgrts_obs::SearchStats {
+                    solves: 2,
+                    decisions: 100,
+                    backtracks: 40,
+                    propagations: 900,
+                    conflicts: 8,
+                    restarts: 3,
+                    learnt_clauses: 6,
+                    backjump_sum: 20,
+                    db_reductions: 1,
+                    peak_trail: 50,
+                    peak_depth: 12,
+                    ..Default::default()
+                },
+            },
+            ProfileRow {
+                cell: "chrono".to_string(),
+                with_stats: 1,
+                without_stats: 1,
+                stats: mgrts_obs::SearchStats {
+                    solves: 1,
+                    decisions: 30,
+                    backtracks: 10,
+                    propagations: 200,
+                    peak_trail: 20,
+                    peak_depth: 5,
+                    ..Default::default()
+                },
+            },
+        ];
+        let out = profile(&rows);
+        let expected = "\
+cell       | solves    decisions   backtracks  propagations  restarts   gac_reb conflict nogoods mean_bj db_red peak_trail peak_depth\n\
+-------------------------------------------------------------------------------------------------------------------------------------\n\
+learn-cell |      2          100           40           900         3         0        8       6     2.5      1         50         12\n\
+chrono     |      1           30           10           200         0         0        0       0     0.0      0         20          5\n\
+(1 units carry no search telemetry and are excluded)\n";
+        assert_eq!(out, expected, "golden mismatch:\n{out}");
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct Csp2GenericConfig {
     /// Use chronological (input-order) variable selection rather than the
     /// engine default.
     pub chronological: bool,
+    /// Conflict-driven nogood learning (lazy clause generation): 1-UIP
+    /// conflict analysis, non-chronological backjumping, Luby restarts and
+    /// phase saving on top of the chronological ordering.
+    pub learning: bool,
     /// Wall-clock budget.
     pub time: Option<Duration>,
     /// Decision budget.
@@ -55,6 +59,7 @@ impl Default for Csp2GenericConfig {
         Csp2GenericConfig {
             symmetry_breaking: true,
             chronological: true,
+            learning: false,
             time: None,
             max_decisions: None,
             seed: 1,
@@ -179,7 +184,9 @@ pub fn solve_csp2_generic_cancellable(
     cancel: &CancelToken,
 ) -> Result<SolveResult, TaskError> {
     let (model, layout) = encode(ts, m, cfg.symmetry_breaking)?;
-    let mut solver_cfg = if cfg.chronological {
+    let mut solver_cfg = if cfg.learning {
+        SolverConfig::chronological_learning()
+    } else if cfg.chronological {
         SolverConfig {
             var_order: VarOrder::Input,
             ..SolverConfig::default()
@@ -282,6 +289,21 @@ mod tests {
         let res = solve_csp2_generic(&ts, 2, &cfg).unwrap();
         let s = res.verdict.schedule().expect("feasible");
         check_identical(&ts, 2, s).unwrap();
+    }
+
+    #[test]
+    fn learning_mode_agrees_on_both_verdicts() {
+        let cfg = Csp2GenericConfig {
+            learning: true,
+            ..Default::default()
+        };
+        let ts = TaskSet::running_example();
+        let res = solve_csp2_generic(&ts, 2, &cfg).unwrap();
+        let s = res.verdict.schedule().expect("feasible");
+        check_identical(&ts, 2, s).unwrap();
+        let ts = TaskSet::from_ocdt(&[(0, 1, 1, 2), (0, 1, 1, 2), (0, 1, 1, 2)]);
+        let res = solve_csp2_generic(&ts, 2, &cfg).unwrap();
+        assert!(res.verdict.is_infeasible());
     }
 
     #[test]

@@ -668,6 +668,9 @@ pub struct Csp2GenericEngine {
     pub symmetry_breaking: bool,
     /// Chronological (input-order) variable selection.
     pub chronological: bool,
+    /// Conflict-driven nogood learning (lazy clause generation) with
+    /// non-chronological backjumping, Luby restarts and phase saving.
+    pub learning: bool,
     /// Seed (relevant only without `chronological`).
     pub seed: u64,
 }
@@ -677,6 +680,7 @@ impl Default for Csp2GenericEngine {
         Csp2GenericEngine {
             symmetry_breaking: true,
             chronological: true,
+            learning: false,
             seed: 1,
         }
     }
@@ -684,7 +688,11 @@ impl Default for Csp2GenericEngine {
 
 impl FeasibilitySolver for Csp2GenericEngine {
     fn name(&self) -> String {
-        "csp2-generic".to_string()
+        if self.learning {
+            "csp2-learn".to_string()
+        } else {
+            "csp2-generic".to_string()
+        }
     }
 
     fn solve(
@@ -700,6 +708,7 @@ impl FeasibilitySolver for Csp2GenericEngine {
             &Csp2GenericConfig {
                 symmetry_breaking: self.symmetry_breaking,
                 chronological: self.chronological,
+                learning: self.learning,
                 time: budget.time,
                 max_decisions: budget.max_decisions,
                 seed: self.seed,
@@ -778,6 +787,10 @@ pub enum SolverSpec {
     Csp2(TaskOrder),
     /// CSP2 on the generic engine.
     Csp2Generic,
+    /// CSP2 on the generic engine with conflict-driven nogood learning
+    /// (lazy clause generation): 1-UIP analysis, non-chronological
+    /// backjumping, Luby restarts and phase saving.
+    Csp2Learn,
     /// Min-conflicts local search.
     Local,
     /// Tabu local search.
@@ -799,11 +812,12 @@ impl SolverSpec {
 
     /// A diverse default portfolio: the strongest CSP2 heuristic, both
     /// generic-engine routes, the SAT route and a local search.
-    pub const DEFAULT_PORTFOLIO: [SolverSpec; 5] = [
+    pub const DEFAULT_PORTFOLIO: [SolverSpec; 6] = [
         SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
         SolverSpec::Csp1,
         SolverSpec::Csp1Sat,
         SolverSpec::Csp2Generic,
+        SolverSpec::Csp2Learn,
         SolverSpec::Local,
     ];
 
@@ -822,6 +836,11 @@ impl SolverSpec {
             SolverSpec::Csp1Sat => Box::new(Csp1SatEngine::default()),
             SolverSpec::Csp2(order) => Box::new(Csp2Engine { order: *order }),
             SolverSpec::Csp2Generic => Box::new(Csp2GenericEngine {
+                seed,
+                ..Csp2GenericEngine::default()
+            }),
+            SolverSpec::Csp2Learn => Box::new(Csp2GenericEngine {
+                learning: true,
                 seed,
                 ..Csp2GenericEngine::default()
             }),
@@ -873,7 +892,7 @@ impl SolverSpec {
             | SolverSpec::Local
             | SolverSpec::LocalTabu
             | SolverSpec::LocalSa => true,
-            SolverSpec::Csp1Sat | SolverSpec::Csp2(_) => false,
+            SolverSpec::Csp1Sat | SolverSpec::Csp2(_) | SolverSpec::Csp2Learn => false,
         }
     }
 
@@ -889,6 +908,7 @@ impl SolverSpec {
             SolverSpec::Csp2(TaskOrder::PeriodMinusWcet) => "csp2-tc",
             SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet) => "csp2-dc",
             SolverSpec::Csp2Generic => "csp2-generic",
+            SolverSpec::Csp2Learn => "csp2-learn",
             SolverSpec::Local => "local",
             SolverSpec::LocalTabu => "local-tabu",
             SolverSpec::LocalSa => "local-sa",
@@ -927,13 +947,14 @@ impl FromStr for SolverSpec {
             "csp2-tc" => SolverSpec::Csp2(TaskOrder::PeriodMinusWcet),
             "csp2-dc" => SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
             "csp2-generic" => SolverSpec::Csp2Generic,
+            "csp2-learn" => SolverSpec::Csp2Learn,
             "local" => SolverSpec::Local,
             "local-tabu" => SolverSpec::LocalTabu,
             "local-sa" => SolverSpec::LocalSa,
             other => {
                 return Err(format!(
                     "unknown solver `{other}` (expected csp1|sat|csp2|csp2-rm|csp2-dm|\
-                     csp2-tc|csp2-dc|csp2-generic|local|local-tabu|local-sa)"
+                     csp2-tc|csp2-dc|csp2-generic|csp2-learn|local|local-tabu|local-sa)"
                 ))
             }
         })
@@ -1040,7 +1061,7 @@ mod tests {
     use super::*;
     use crate::verify::check_identical;
 
-    const ALL_SPECS: [SolverSpec; 11] = [
+    const ALL_SPECS: [SolverSpec; 12] = [
         SolverSpec::Csp1,
         SolverSpec::Csp1Sat,
         SolverSpec::Csp2(TaskOrder::Lexicographic),
@@ -1049,6 +1070,7 @@ mod tests {
         SolverSpec::Csp2(TaskOrder::PeriodMinusWcet),
         SolverSpec::Csp2(TaskOrder::DeadlineMinusWcet),
         SolverSpec::Csp2Generic,
+        SolverSpec::Csp2Learn,
         SolverSpec::Local,
         SolverSpec::LocalTabu,
         SolverSpec::LocalSa,
@@ -1128,6 +1150,20 @@ mod tests {
             assert_eq!(spec.build().name(), name);
         }
         assert!("nonsense".parse::<SolverSpec>().is_err());
+    }
+
+    #[test]
+    fn learning_spec_parses_labels_and_joins_the_portfolio() {
+        let spec: SolverSpec = "csp2-learn".parse().unwrap();
+        assert_eq!(spec, SolverSpec::Csp2Learn);
+        assert_eq!(spec.name(), "csp2-learn");
+        assert_eq!(spec.label(), "csp2-learn");
+        assert!(!spec.seed_sensitive());
+        assert_eq!(spec.build().name(), "csp2-learn");
+        assert!(SolverSpec::DEFAULT_PORTFOLIO.contains(&SolverSpec::Csp2Learn));
+        // The unknown-solver error advertises the learning roster entry.
+        let err = "bogus".parse::<SolverSpec>().unwrap_err();
+        assert!(err.contains("csp2-learn"), "{err}");
     }
 
     #[test]

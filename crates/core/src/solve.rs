@@ -120,9 +120,11 @@ pub fn search_from_csp(st: &csp_engine::SolveStats) -> mgrts_obs::SearchStats {
         decisions: st.decisions,
         backtracks: st.failures,
         propagations: st.propagations,
-        conflicts: 0,
+        conflicts: st.conflicts,
         restarts: st.restarts,
-        learnt_clauses: 0,
+        learnt_clauses: st.learned_nogoods,
+        backjump_sum: st.backjump_sum,
+        db_reductions: st.db_reductions,
         gac_rebuilds: st.gac_rebuilds,
         peak_trail: st.peak_trail as u64,
         peak_depth: st.max_depth as u64,
@@ -154,10 +156,7 @@ pub fn search_from_sat(st: &rt_sat::SatStats) -> mgrts_obs::SearchStats {
         conflicts: st.conflicts,
         restarts: st.restarts,
         learnt_clauses: st.learnt_clauses,
-        gac_rebuilds: 0,
-        peak_trail: 0,
-        peak_depth: 0,
-        kinds: Vec::new(),
+        ..Default::default()
     }
 }
 

@@ -30,7 +30,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use csp_engine::reference::RefSolver;
-use csp_engine::{Budget, Constraint, Model, SolverConfig, ValOrder, VarOrder};
+use csp_engine::{Budget, Constraint, LearnConfig, Model, SolverConfig, ValOrder, VarOrder};
 
 /// Deterministic LCG (Knuth MMIX constants) so the punched-out pattern and
 /// the table rows are stable across runs and toolchains.
@@ -92,6 +92,7 @@ fn alldiff_cfg() -> SolverConfig {
         val_order: ValOrder::Min,
         restarts: None,
         seed: 1,
+        learn: LearnConfig::default(),
         budget: Budget {
             max_decisions: Some(60_000),
             ..Budget::default()
@@ -146,6 +147,7 @@ fn table_cfg() -> SolverConfig {
         val_order: ValOrder::Min,
         restarts: None,
         seed: 1,
+        learn: LearnConfig::default(),
         budget: Budget::default(),
     }
 }

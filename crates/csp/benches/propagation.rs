@@ -31,7 +31,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use csp_engine::reference::RefSolver;
-use csp_engine::{Budget, Constraint, Model, Outcome, SolverConfig, ValOrder, VarOrder};
+use csp_engine::{
+    Budget, Constraint, LearnConfig, Model, Outcome, SolverConfig, ValOrder, VarOrder,
+};
 
 /// Synthetic paper-scale task system: (wcet, period) with offset 0 and
 /// deadline = period. lcm(5, 6, 7) = 210 instants; utilization ≈ 2.66 of 5,
@@ -96,6 +98,7 @@ fn chronological() -> SolverConfig {
         val_order: ValOrder::Max,
         restarts: None,
         seed: 1,
+        learn: LearnConfig::default(),
         budget: Budget {
             max_decisions: Some(200_000),
             ..Budget::default()
@@ -111,6 +114,7 @@ fn domwdeg() -> SolverConfig {
         val_order: ValOrder::Min,
         restarts: None,
         seed: 1,
+        learn: LearnConfig::default(),
         budget: Budget {
             max_decisions: Some(50_000),
             ..Budget::default()

@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 use csp_engine::reference::RefSolver;
-use csp_engine::{Budget, Constraint, Model, SolverConfig, ValOrder, VarOrder};
+use csp_engine::{Budget, Constraint, LearnConfig, Model, SolverConfig, ValOrder, VarOrder};
 
 const TASKS: [(i64, i64); 6] = [(2, 5), (3, 6), (3, 7), (2, 5), (3, 6), (3, 7)];
 const M: usize = 5;
@@ -62,6 +62,7 @@ fn cfg() -> SolverConfig {
         val_order: ValOrder::Max,
         restarts: None,
         seed: 1,
+        learn: LearnConfig::default(),
         budget: Budget {
             max_decisions: Some(200_000),
             ..Budget::default()

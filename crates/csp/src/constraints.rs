@@ -564,9 +564,8 @@ pub(crate) fn propagate_all_different(
             let val = store.value(v);
             for (jdx, &w) in vars.iter().enumerate() {
                 if jdx != idx && store.contains(w, val) {
-                    if store.is_fixed(w) {
-                        return Err(EmptyDomain(w));
-                    }
+                    // A fixed `w` wipes out inside `remove`, which records
+                    // the conflict context learning needs.
                     store.remove(w, val)?;
                     changed = true;
                 }
@@ -585,18 +584,12 @@ pub(crate) fn propagate_not_equal(
     if store.is_fixed(a) {
         let val = store.value(a);
         if Some(val) != except && store.contains(b, val) {
-            if store.is_fixed(b) {
-                return Err(EmptyDomain(b));
-            }
             store.remove(b, val)?;
         }
     }
     if store.is_fixed(b) {
         let val = store.value(b);
         if Some(val) != except && store.contains(a, val) {
-            if store.is_fixed(a) {
-                return Err(EmptyDomain(a));
-            }
             store.remove(a, val)?;
         }
     }
@@ -624,9 +617,6 @@ pub(crate) fn propagate_all_different_except(
             }
             for (jdx, &w) in vars.iter().enumerate() {
                 if jdx != idx && store.contains(w, val) {
-                    if store.is_fixed(w) {
-                        return Err(EmptyDomain(w));
-                    }
                     store.remove(w, val)?;
                     changed = true;
                 }

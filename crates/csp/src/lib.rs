@@ -61,6 +61,7 @@ pub mod constraints;
 pub mod graph;
 pub mod matching;
 pub mod model;
+pub mod nogood;
 pub mod propagators;
 pub mod reference;
 pub mod solver;
@@ -68,9 +69,10 @@ pub mod store;
 
 pub use constraints::{Constraint, Watched};
 pub use model::Model;
+pub use nogood::{Nogood, Pred, PredOp};
 pub use propagators::{PropKind, Propagator};
 pub use solver::{
-    Budget, KindCounters, LimitReason, Outcome, SolveStats, Solver, SolverConfig, ValOrder,
-    VarOrder,
+    Budget, KindCounters, LearnConfig, LimitReason, Outcome, SolveStats, Solver, SolverConfig,
+    ValOrder, VarOrder,
 };
 pub use store::{EventMask, StateId, Store, VarId};

@@ -35,6 +35,7 @@ use crate::constraints::{
 };
 use crate::graph::Scc;
 use crate::matching::Matching;
+use crate::nogood::{Pred, PredOp};
 use crate::store::{EmptyDomain, EventMask, StateId, Store, Val, VarId};
 
 /// Discriminates the propagator implementations for the per-kind
@@ -166,6 +167,18 @@ pub trait Propagator: std::fmt::Debug + Send {
     /// event-dispatch hot path.
     fn wants_pending(&self) -> bool {
         true
+    }
+
+    /// Explain a pruning this propagator performed (learning mode): append
+    /// to `out` predicates that currently hold and whose conjunction forces
+    /// `prune` under this constraint. The cited predicates must already
+    /// have held when the prune was made — within a branch domains only
+    /// shrink, so predicates derived from the *causing* state satisfy this
+    /// naturally. Return `false` to let the solver use its generic
+    /// scope-snapshot explanation instead (always sound, less precise).
+    fn explain(&self, store: &Store, prune: Pred, out: &mut Vec<Pred>) -> bool {
+        let _ = (store, prune, out);
+        false
     }
 }
 
@@ -922,6 +935,9 @@ impl Propagator for AtMostOneProp {
             // even when it is the same variable listed twice.
             if store.is_fixed(v) && store.value(v) == 1 {
                 if store.state(self.true_var) >= 0 {
+                    // `v` is fixed to 1: the remove is a guaranteed wipeout
+                    // and records the conflict context for learning.
+                    store.remove(v, 1)?;
                     return Err(EmptyDomain(v));
                 }
                 store.set_state(self.true_var, v as i64);
@@ -938,10 +954,12 @@ impl Propagator for AtMostOneProp {
         for &v in pending {
             if store.is_fixed(v) && store.value(v) == 1 {
                 if self.occurrences.get(v).len() > 1 {
+                    store.remove(v, 1)?;
                     return Err(EmptyDomain(v));
                 }
                 let t = store.state(self.true_var);
                 if t >= 0 && t != v as i64 {
+                    store.remove(v, 1)?;
                     return Err(EmptyDomain(v));
                 }
                 store.set_state(self.true_var, v as i64);
@@ -954,6 +972,22 @@ impl Propagator for AtMostOneProp {
         // `cleared` is entailment: some variable is 1 and the value 1 has
         // been removed from every other scope variable.
         Some(self.cleared)
+    }
+
+    fn explain(&self, store: &Store, prune: Pred, out: &mut Vec<Pred>) -> bool {
+        // `1 ∉ dom(w)` because the registered true variable is fixed to 1.
+        if prune.op != PredOp::Ne || prune.val != 1 {
+            return false;
+        }
+        let t = store.state(self.true_var);
+        if t >= 0 {
+            let t = t as VarId;
+            if t != prune.var && store.is_fixed(t) && store.value(t) == 1 {
+                out.push(Pred::eq(t, 1));
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -1015,14 +1049,28 @@ impl Propagator for AllDiffProp {
                     continue;
                 }
                 if store.contains(w, val) {
-                    if store.is_fixed(w) {
-                        return Err(EmptyDomain(w));
-                    }
+                    // A fixed `w` wipes out inside `remove`, which records
+                    // the conflict context learning needs.
                     store.remove(w, val)?;
                 }
             }
         }
         Ok(())
+    }
+
+    fn explain(&self, store: &Store, prune: Pred, out: &mut Vec<Pred>) -> bool {
+        // Forward checking: `x ∉ dom(w)` because some other scope variable
+        // is fixed to `x`.
+        if prune.op != PredOp::Ne || self.except == Some(prune.val) {
+            return false;
+        }
+        for &v in &self.vars {
+            if v != prune.var && store.is_fixed(v) && store.value(v) == prune.val {
+                out.push(Pred::eq(v, prune.val));
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -1256,6 +1304,25 @@ impl Propagator for NotEqualProp {
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
         propagate_not_equal(store, self.a, self.b, self.except)
     }
+
+    fn explain(&self, store: &Store, prune: Pred, out: &mut Vec<Pred>) -> bool {
+        // `x ∉ dom(w)` because the other side is fixed to `x`.
+        if prune.op != PredOp::Ne || self.except == Some(prune.val) {
+            return false;
+        }
+        let other = if prune.var == self.a {
+            self.b
+        } else if prune.var == self.b {
+            self.a
+        } else {
+            return false;
+        };
+        if store.is_fixed(other) && store.value(other) == prune.val {
+            out.push(Pred::eq(other, prune.val));
+            return true;
+        }
+        false
+    }
 }
 
 /// `a ≤ b`. Wakes only when `min(a)` rises or `max(b)` falls. (A trailed
@@ -1279,6 +1346,21 @@ impl Propagator for LeqVarProp {
 
     fn propagate_full(&mut self, store: &mut Store) -> Result<(), EmptyDomain> {
         propagate_leq_var(store, self.a, self.b)
+    }
+
+    fn explain(&self, store: &Store, prune: Pred, out: &mut Vec<Pred>) -> bool {
+        // a ≤ b: `b ≥ c` because `a ≥ c`, and `a ≤ c` because `b ≤ c`.
+        // Within a branch bounds only tighten, so the current bound still
+        // certifies the cited predicate.
+        if prune.var == self.b && prune.op == PredOp::Ge && store.min(self.a) >= prune.val {
+            out.push(Pred::ge(self.a, prune.val));
+            return true;
+        }
+        if prune.var == self.a && prune.op == PredOp::Le && store.max(self.b) <= prune.val {
+            out.push(Pred::le(self.b, prune.val));
+            return true;
+        }
+        false
     }
 }
 

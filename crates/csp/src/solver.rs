@@ -12,7 +12,7 @@
 //! Wall-clock budget checks are amortized: `Instant::now()` is consulted
 //! every ~1024 search steps rather than on every node and failure.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,6 +21,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::constraints::Constraint;
+use crate::nogood::{luby, Nogood, Pred, PredOp, Reason};
 use crate::propagators::{build, PropKind, Propagator};
 use crate::store::{EventMask, StateId, Store, Val, VarId};
 
@@ -141,6 +142,48 @@ impl Outcome {
     }
 }
 
+/// Knobs for conflict-driven nogood learning (lazy clause generation).
+/// Disabled by default; [`SolverConfig::chronological_learning`] turns it
+/// on with the portfolio's `csp2-learn` settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnConfig {
+    /// Master switch: record the implication log, analyze conflicts with
+    /// 1-UIP resolution, backjump, and propagate learned nogoods.
+    pub enabled: bool,
+    /// Conflicts per Luby-sequence unit: restart after
+    /// `luby(i) * luby_unit` conflicts. `0` is treated as `1`.
+    pub luby_unit: u64,
+    /// Learned-nogood database bound: exceeding it triggers a reduction
+    /// that evicts the worse (high-LBD, old) half. Glue nogoods
+    /// (LBD ≤ 2) and nogoods locked as reasons are never evicted.
+    pub db_max: usize,
+    /// Branch on the last value a variable was tried with, when still in
+    /// its domain (SAT-style phase saving).
+    pub phase_saving: bool,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            enabled: false,
+            luby_unit: 128,
+            db_max: 4000,
+            phase_saving: true,
+        }
+    }
+}
+
+impl LearnConfig {
+    /// Learning on, with default knobs.
+    #[must_use]
+    pub fn on() -> Self {
+        LearnConfig {
+            enabled: true,
+            ..LearnConfig::default()
+        }
+    }
+}
+
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
@@ -154,6 +197,8 @@ pub struct SolverConfig {
     pub seed: u64,
     /// Resource limits.
     pub budget: Budget,
+    /// Conflict-driven nogood learning (off by default).
+    pub learn: LearnConfig,
 }
 
 impl Default for SolverConfig {
@@ -164,6 +209,7 @@ impl Default for SolverConfig {
             restarts: None,
             seed: 42,
             budget: Budget::default(),
+            learn: LearnConfig::default(),
         }
     }
 }
@@ -181,6 +227,23 @@ impl SolverConfig {
             restarts: Some(RestartPolicy::default()),
             seed,
             budget: Budget::default(),
+            learn: LearnConfig::default(),
+        }
+    }
+
+    /// Chronological variable/value order with conflict-driven nogood
+    /// learning, Luby restarts and phase saving — the `csp2-learn`
+    /// portfolio entry. The geometric restart schedule is off (Luby
+    /// restarts are driven by the learning loop itself).
+    #[must_use]
+    pub fn chronological_learning() -> Self {
+        SolverConfig {
+            var_order: VarOrder::Input,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 42,
+            budget: Budget::default(),
+            learn: LearnConfig::on(),
         }
     }
 
@@ -223,6 +286,14 @@ pub struct SolveStats {
     pub peak_trail: usize,
     /// GAC all-different matching rebuilds.
     pub gac_rebuilds: u64,
+    /// Conflicts analyzed (learning mode; equals `failures` there).
+    pub conflicts: u64,
+    /// Nogoods learned by 1-UIP conflict analysis.
+    pub learned_nogoods: u64,
+    /// Σ of backjump lengths in levels (mean = `backjump_sum / conflicts`).
+    pub backjump_sum: u64,
+    /// Learned-database reductions performed.
+    pub db_reductions: u64,
     /// Per-propagator-kind wake/prune/entailment counters, indexed by
     /// [`PropKind::index`].
     pub kinds: [KindCounters; PropKind::COUNT],
@@ -295,6 +366,40 @@ pub struct Solver {
     /// Advances monotonically within a branch (amortized O(1) per node) and
     /// rewinds with the trail on backtrack.
     input_cursor: StateId,
+    /// Learned-nogood database; `None` slots are tombstones left by DB
+    /// reduction (ids stay stable, watch lists are cleaned lazily).
+    nogoods: Vec<Option<Nogood>>,
+    /// Live (non-tombstone) entries of `nogoods`.
+    ng_live: usize,
+    /// Per-variable nogood watch lists: `(nogood id, watch index)`.
+    /// Orphaned entries (evicted nogood, moved watch) are dropped lazily
+    /// during the scan.
+    ng_watches: Vec<Vec<(u32, u8)>>,
+    /// Variables with fresh events whose nogood watches must be
+    /// re-examined (learning mode only).
+    ng_dirty: Vec<VarId>,
+    /// Last value each variable was branched on (phase saving; untrailed
+    /// by design).
+    saved_phase: Vec<Option<Val>>,
+}
+
+/// Result of 1-UIP conflict analysis.
+enum Analysis {
+    /// An asserting nogood: the unique current-level predicate `uip` plus
+    /// the lower-level conjuncts with their levels.
+    Learned {
+        uip: Pred,
+        rest: Vec<(Pred, u32)>,
+        assert_level: usize,
+        lbd: u32,
+    },
+    /// Analysis could not produce a sound nogood (missing conflict
+    /// context, propagator without a usable explanation chain, …): take a
+    /// chronological step instead. Learning is an accelerator, never
+    /// load-bearing.
+    Fallback,
+    /// The conflict follows from root facts alone: the model is UNSAT.
+    RootUnsat,
 }
 
 impl Solver {
@@ -359,8 +464,15 @@ impl Solver {
         }
         // Events no propagator subscribed to are dropped inside the store —
         // they never reach the dirty queue, so the backtracking-heavy hot
-        // path skips their bookkeeping entirely.
-        store.set_wake_masks(&wake_masks);
+        // path skips their bookkeeping entirely. Learning needs every
+        // event: nogood watches can sit on any variable and the semantic
+        // log must see every change.
+        if config.learn.enabled {
+            store.set_wake_masks(&vec![EventMask::ANY; n_vars]);
+            store.set_learning(true);
+        } else {
+            store.set_wake_masks(&wake_masks);
+        }
         let wants_pending = props.iter().map(|p| p.wants_pending()).collect();
         let kind_of = props.iter().map(|p| p.kind().index() as u8).collect();
         let var_weight = counts.iter().map(|&c| u64::from(c)).collect();
@@ -393,6 +505,11 @@ impl Solver {
             abort_pending: false,
             dirty_buf: Vec::new(),
             input_cursor,
+            nogoods: Vec::new(),
+            ng_live: 0,
+            ng_watches: vec![Vec::new(); n_vars],
+            ng_dirty: Vec::new(),
+            saved_phase: vec![None; n_vars],
         }
     }
 
@@ -409,6 +526,19 @@ impl Solver {
     /// trailed state recovers automatically).
     pub fn set_budget(&mut self, budget: Budget) {
         self.config.budget = budget;
+    }
+
+    /// Read-only view of the underlying domain store (diagnostics and
+    /// tests).
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Live entries of the learned-nogood database, for auditing (e.g.
+    /// checking no returned solution violates a learned nogood).
+    pub fn learned_nogoods(&self) -> impl Iterator<Item = &Nogood> {
+        self.nogoods.iter().filter_map(|slot| slot.as_ref())
     }
 
     /// Statistics of the last [`Solver::solve`] call.
@@ -456,7 +586,11 @@ impl Solver {
     /// Run the search to a verdict or a budget limit.
     pub fn solve(&mut self) -> Outcome {
         let start = Instant::now();
-        let outcome = self.solve_inner(start);
+        let outcome = if self.config.learn.enabled {
+            self.solve_learning(start)
+        } else {
+            self.solve_inner(start)
+        };
         self.stats.elapsed_us = start.elapsed().as_micros() as u64;
         if let Outcome::Sat(sol) = &outcome {
             // The engine's own post-condition: never hand out a bogus model.
@@ -583,6 +717,10 @@ impl Solver {
         self.budget_ticks = 0;
         self.abort_pending = false;
         self.gac_base = self.store.gac_rebuild_count();
+        // Enumeration never learns (no conflict analysis here); already
+        // learned nogoods are model-implied, so their pruning cannot drop
+        // solutions, but the implication log must stop growing.
+        self.store.set_learning(false);
         if self.initially_inconsistent {
             return (0, true);
         }
@@ -711,7 +849,12 @@ impl Solver {
         let mut buf = std::mem::take(&mut self.dirty_buf);
         buf.clear();
         self.store.drain_dirty(&mut buf);
+        let learning = self.config.learn.enabled;
         for &(v, mask) in &buf {
+            if learning {
+                // Any event can make a nogood watch on `v` start holding.
+                self.ng_dirty.push(v);
+            }
             let (ws, we) = (
                 self.watch_starts[v] as usize,
                 self.watch_starts[v + 1] as usize,
@@ -753,6 +896,7 @@ impl Solver {
             self.pending[ci].clear();
         }
         self.store.clear_dirty();
+        self.ng_dirty.clear();
     }
 
     /// Abandon the current fixpoint on a budget/interrupt check: flush the
@@ -786,6 +930,10 @@ impl Solver {
             }
         }
         self.dirty_buf = buf;
+        // Nogood watch events are dropped too: harmless — nogoods are
+        // redundant (model-implied), so a missed unit propagation only
+        // costs pruning, never soundness.
+        self.ng_dirty.clear();
     }
 
     fn bump_weight(&mut self, ci: usize) {
@@ -800,8 +948,26 @@ impl Solver {
     }
 
     /// Run the propagation queue to fixpoint. Returns false on conflict.
+    ///
+    /// In learning mode, learned-nogood unit propagation is interleaved:
+    /// the cheap watch scans drain before each (comparatively expensive)
+    /// propagator run.
     fn propagate(&mut self, start: Instant) -> bool {
-        while let Some(ci) = self.queue.pop_front() {
+        let learning = self.config.learn.enabled;
+        loop {
+            if learning && !self.ng_dirty.is_empty() && !self.nogood_fixpoint() {
+                // The failed enforcement left its conflict context in the
+                // store; unwind exactly like a propagator conflict.
+                if self.store.depth() == 0 {
+                    self.abort_fixpoint();
+                } else {
+                    self.abort_fixpoint_on_conflict();
+                }
+                return false;
+            }
+            let Some(ci) = self.queue.pop_front() else {
+                return true;
+            };
             let ci_us = ci as usize;
             self.in_queue[ci_us] = false;
             self.stats.propagations += 1;
@@ -819,6 +985,14 @@ impl Solver {
                 self.abort_fixpoint();
                 self.abort_pending = true;
                 return true;
+            }
+            if learning {
+                // Every prune of this run is explainable from the scope
+                // state at `run_start` (see `explain_requested`).
+                self.store.set_reason(Reason::Prop {
+                    ci,
+                    run_start: self.store.log_len(),
+                });
             }
             let ki = usize::from(self.kind_of[ci_us]);
             let prunes_before = self.store.prune_count();
@@ -861,7 +1035,6 @@ impl Solver {
                 Ok(()) => self.dispatch_dirty(),
             }
         }
-        true
     }
 
     fn enact(&mut self, var: VarId, val: Val, start: Instant) -> bool {
@@ -944,6 +1117,541 @@ impl Solver {
             .map(|v| self.store.value(v))
             .collect()
     }
+
+    /// The learning search loop: DFS with 1-UIP conflict analysis,
+    /// non-chronological backjumping, a bounded learned-nogood database,
+    /// Luby restarts and phase saving. Verdict-equivalent to
+    /// [`Solver::solve_inner`] — every learned nogood is model-implied, so
+    /// pruning by nogoods never loses solutions, and any analysis anomaly
+    /// degrades to a plain chronological step.
+    fn solve_learning(&mut self, start: Instant) -> Outcome {
+        self.stats = SolveStats::default();
+        self.budget_ticks = 0;
+        self.abort_pending = false;
+        self.gac_base = self.store.gac_rebuild_count();
+        if self.initially_inconsistent {
+            return Outcome::Unsat;
+        }
+        // Learning always resumes from the root: the implication log only
+        // covers levels pushed while it was enabled, so state left behind
+        // by a previous non-logging call must be unwound first.
+        self.store.backtrack_to_root();
+        self.decisions.clear();
+        self.store.set_learning(true);
+        for ci in 0..self.constraints.len() {
+            self.enqueue(ci as u32);
+        }
+        if !self.propagate(start) {
+            return Outcome::Unsat;
+        }
+        if let Some(r) = self.check_budget(start) {
+            return Outcome::Unknown(r);
+        }
+
+        let unit = self.config.learn.luby_unit.max(1);
+        let mut restart_idx = 0u64;
+        let mut restart_quota = luby(0) * unit;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            if let Some(r) = self.check_budget(start) {
+                return Outcome::Unknown(r);
+            }
+            if conflicts_since_restart >= restart_quota && !self.decisions.is_empty() {
+                self.store.backtrack_to_root();
+                self.decisions.clear();
+                self.stats.restarts += 1;
+                restart_idx += 1;
+                restart_quota = luby(restart_idx) * unit;
+                conflicts_since_restart = 0;
+                // Learned root facts survive the restart; re-propagate.
+                for ci in 0..self.constraints.len() {
+                    self.enqueue(ci as u32);
+                }
+                if !self.propagate(start) {
+                    return Outcome::Unsat;
+                }
+                continue;
+            }
+
+            let Some(var) = self.select_var() else {
+                return Outcome::Sat(self.extract());
+            };
+            let val = self.select_val_learning(var);
+            self.store.push_level();
+            self.decisions.push((var, val));
+            if self.config.learn.phase_saving {
+                self.saved_phase[var] = Some(val);
+            }
+            self.stats.decisions += 1;
+            self.stats.max_depth = self.stats.max_depth.max(self.decisions.len());
+            self.stats.peak_trail = self.stats.peak_trail.max(self.store.trail_len());
+            if self
+                .config
+                .budget
+                .max_decisions
+                .is_some_and(|mx| self.stats.decisions > mx)
+            {
+                return Outcome::Unknown(LimitReason::Decisions);
+            }
+
+            self.store.set_reason(Reason::Decision);
+            let mut ok = self.enact(var, val, start);
+            while !ok {
+                self.stats.failures += 1;
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self
+                    .config
+                    .budget
+                    .max_failures
+                    .is_some_and(|mx| self.stats.failures > mx)
+                {
+                    return Outcome::Unknown(LimitReason::Failures);
+                }
+                if let Some(r) = self.check_budget(start) {
+                    return Outcome::Unknown(r);
+                }
+                if self.store.depth() == 0 {
+                    return Outcome::Unsat;
+                }
+                match self.analyze() {
+                    Analysis::RootUnsat => return Outcome::Unsat,
+                    Analysis::Fallback => {
+                        // Plain chronological step: refute the deepest
+                        // decision at its parent level.
+                        let Some((v, dval)) = self.decisions.pop() else {
+                            return Outcome::Unsat;
+                        };
+                        self.store.backtrack();
+                        self.store.set_reason(Reason::PriorDecisions);
+                        ok = match self.store.remove(v, dval) {
+                            Err(_) => false,
+                            Ok(_) => {
+                                self.dispatch_dirty();
+                                self.propagate(start)
+                            }
+                        };
+                    }
+                    Analysis::Learned {
+                        uip,
+                        rest,
+                        assert_level,
+                        lbd,
+                    } => {
+                        self.stats.backjump_sum += (self.store.depth() - assert_level) as u64;
+                        while self.store.depth() > assert_level {
+                            self.store.backtrack();
+                            self.decisions.pop();
+                        }
+                        self.stats.learned_nogoods += 1;
+                        if rest.is_empty() {
+                            // Unit nogood: ¬uip is a permanent root fact
+                            // (root mutations are never logged, so the
+                            // reason is irrelevant).
+                            self.store.set_reason(Reason::Decision);
+                        } else {
+                            let id = self.add_nogood(uip, &rest, lbd);
+                            self.store.set_reason(Reason::Nogood { id });
+                        }
+                        ok = if self.enforce_negated(uip) {
+                            self.dispatch_dirty();
+                            self.propagate(start)
+                        } else {
+                            false
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value choice with phase saving: re-try the last value branched on
+    /// for this variable when it is still available.
+    fn select_val_learning(&mut self, var: VarId) -> Val {
+        if self.config.learn.phase_saving {
+            if let Some(s) = self.saved_phase[var] {
+                if self.store.contains(var, s) {
+                    return s;
+                }
+            }
+        }
+        self.select_val(var)
+    }
+
+    /// Establish the negation of `p` in the store. False ⇒ wipeout (the
+    /// store records the conflict context while learning).
+    fn enforce_negated(&mut self, p: Pred) -> bool {
+        let r = match p.op {
+            PredOp::Ge => self.store.remove_above(p.var, p.val - 1).map(|_| ()),
+            PredOp::Le => self.store.remove_below(p.var, p.val + 1).map(|_| ()),
+            PredOp::Eq => self.store.remove(p.var, p.val).map(|_| ()),
+            PredOp::Ne => self.store.assign(p.var, p.val).map(|_| ()),
+        };
+        r.is_ok()
+    }
+
+    /// Unit propagation over the learned-nogood database, SAT-style with
+    /// two watched predicates per nogood (watch invariant on the *negated*
+    /// literals: each watched predicate is non-holding, or some watched
+    /// predicate is falsified — backtracking only un-holds predicates, so
+    /// the watches need no trailing). Returns false on conflict, leaving
+    /// the store's conflict context set by the failed enforcement.
+    fn nogood_fixpoint(&mut self) -> bool {
+        while let Some(v) = self.ng_dirty.pop() {
+            let mut k = 0usize;
+            while k < self.ng_watches[v].len() {
+                let (id, wi) = self.ng_watches[v][k];
+                let id_us = id as usize;
+                let wi_us = wi as usize;
+                let Some(ng) = self.nogoods[id_us].as_ref() else {
+                    // Evicted by DB reduction: drop the orphaned entry.
+                    self.ng_watches[v].swap_remove(k);
+                    continue;
+                };
+                let (w0, w1) = (ng.watch[0], ng.watch[1]);
+                let p = ng.preds[(if wi_us == 0 { w0 } else { w1 }) as usize];
+                if p.var != v {
+                    // This watch moved to another variable since the
+                    // entry was queued.
+                    self.ng_watches[v].swap_remove(k);
+                    continue;
+                }
+                if !p.holds(&self.store) {
+                    k += 1;
+                    continue;
+                }
+                let po = ng.preds[(if wi_us == 0 { w1 } else { w0 }) as usize];
+                if po.falsified(&self.store) {
+                    // Some conjunct can never hold on this branch: the
+                    // nogood is satisfied here.
+                    k += 1;
+                    continue;
+                }
+                // Try to move this watch onto a non-holding conjunct.
+                let repl = ng.preds.iter().enumerate().find_map(|(j, q)| {
+                    let j = j as u32;
+                    (j != w0 && j != w1 && !q.holds(&self.store)).then_some((j, q.var))
+                });
+                if let Some((j, qv)) = repl {
+                    self.nogoods[id_us].as_mut().expect("live").watch[wi_us] = j;
+                    self.ng_watches[qv].push((id, wi));
+                    self.ng_watches[v].swap_remove(k);
+                    continue;
+                }
+                // Unit: every conjunct except `po` holds — enforce its
+                // negation. If `po` holds too, the enforcement wipes out
+                // and seeds conflict analysis with this nogood as reason.
+                self.store.set_reason(Reason::Nogood { id });
+                if !self.enforce_negated(po) {
+                    return false;
+                }
+                self.dispatch_dirty();
+                k += 1;
+            }
+        }
+        true
+    }
+
+    /// Store a learned nogood `{uip} ∪ rest`, watching the asserting
+    /// predicate and a deepest remaining conjunct (the pair that
+    /// un-falsifies last on backtracking).
+    fn add_nogood(&mut self, uip: Pred, rest: &[(Pred, u32)], lbd: u32) -> u32 {
+        let mut preds = Vec::with_capacity(rest.len() + 1);
+        preds.push(uip);
+        preds.extend(rest.iter().map(|&(p, _)| p));
+        let w1 = 1 + rest
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(_, l))| l)
+            .map(|(i, _)| i)
+            .expect("rest is non-empty for stored nogoods") as u32;
+        let id = self.nogoods.len() as u32;
+        self.ng_watches[preds[0].var].push((id, 0));
+        self.ng_watches[preds[w1 as usize].var].push((id, 1));
+        self.nogoods.push(Some(Nogood {
+            preds,
+            lbd,
+            watch: [0, w1],
+        }));
+        self.ng_live += 1;
+        if self.ng_live > self.config.learn.db_max {
+            self.reduce_db();
+        }
+        id
+    }
+
+    /// Evict the worse half of the evictable learned nogoods: highest LBD
+    /// first, oldest first on ties. Glue nogoods (LBD ≤ 2) and nogoods
+    /// currently locked as implication reasons are kept.
+    fn reduce_db(&mut self) {
+        let locked: HashSet<u32> = self
+            .store
+            .log()
+            .iter()
+            .filter_map(|e| match e.reason {
+                Reason::Nogood { id } => Some(id),
+                _ => None,
+            })
+            .collect();
+        let mut cands: Vec<(u32, u32)> = self
+            .nogoods
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|ng| (id as u32, ng.lbd)))
+            .filter(|&(id, lbd)| lbd > 2 && !locked.contains(&id))
+            .map(|(id, lbd)| (lbd, id))
+            .collect();
+        cands.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let n = cands.len() / 2;
+        for &(_, id) in &cands[..n] {
+            self.nogoods[id as usize] = None;
+            self.ng_live -= 1;
+        }
+        self.stats.db_reductions += 1;
+    }
+
+    /// 1-UIP conflict analysis over the store's implication log.
+    fn analyze(&mut self) -> Analysis {
+        let Some(conf) = self.store.take_conflict() else {
+            // A propagator-internal conflict (no failed store mutation):
+            // nothing to resolve from.
+            return Analysis::Fallback;
+        };
+        let cur_level = self.store.depth() as u32;
+        if cur_level == 0 {
+            return Analysis::RootUnsat;
+        }
+        let log_len = self.store.log_len();
+        let mut expl: Vec<Pred> = Vec::new();
+        if !self.explain_requested(conf.requested, conf.reason, cur_level, &mut expl) {
+            return Analysis::Fallback;
+        }
+        expl.push(conf.holding);
+        // Map the conflicting predicates onto implication-log entries.
+        // Predicates with no implying entry held at the root already and
+        // resolve away. When several predicates map to one entry, the
+        // slot must keep a predicate implying all of them — the entry's
+        // own predicate always does, as the last resort.
+        fn merge(items: &mut HashMap<u32, Pred>, pos: u32, q: Pred, entry_pred: Pred) {
+            items
+                .entry(pos)
+                .and_modify(|cur| {
+                    if !cur.implies(q) {
+                        *cur = if q.implies(*cur) { q } else { entry_pred };
+                    }
+                })
+                .or_insert(q);
+        }
+        let mut items: HashMap<u32, Pred> = HashMap::new();
+        for &q in &expl {
+            if let Some(pos) = self.lookup(q, log_len) {
+                let entry_pred = self.store.log()[pos as usize].pred;
+                merge(&mut items, pos, q, entry_pred);
+            }
+        }
+        // Resolve the latest current-level entry away until one remains
+        // (the first unique implication point). Every step replaces the
+        // maximum current-level position by strictly earlier ones, so
+        // this terminates; the guard bounds any pathological case.
+        let mut guard = 16 * u64::from(log_len) + 64;
+        loop {
+            if guard == 0 {
+                return Analysis::Fallback;
+            }
+            guard -= 1;
+            let mut cur_count = 0usize;
+            let mut max_pos: Option<u32> = None;
+            for &pos in items.keys() {
+                if self.store.log()[pos as usize].level == cur_level {
+                    cur_count += 1;
+                    if max_pos.is_none_or(|m| pos > m) {
+                        max_pos = Some(pos);
+                    }
+                }
+            }
+            if cur_count == 0 {
+                // Without a current-level item there is no asserting
+                // nogood; an empty set means the conflict follows from
+                // root facts alone.
+                return if items.is_empty() {
+                    Analysis::RootUnsat
+                } else {
+                    Analysis::Fallback
+                };
+            }
+            if cur_count == 1 {
+                break;
+            }
+            let emax = max_pos.expect("cur_count > 0");
+            items.remove(&emax);
+            expl.clear();
+            if !self.explain_entry(emax, &mut expl) {
+                return Analysis::Fallback;
+            }
+            for &q in &expl {
+                if let Some(pos) = self.lookup(q, emax) {
+                    let entry_pred = self.store.log()[pos as usize].pred;
+                    merge(&mut items, pos, q, entry_pred);
+                }
+            }
+        }
+        let (uip_pos, uip) = items
+            .iter()
+            .find(|&(&pos, _)| self.store.log()[pos as usize].level == cur_level)
+            .map(|(&pos, &p)| (pos, p))
+            .expect("one current-level item remains");
+        items.remove(&uip_pos);
+        let rest: Vec<(Pred, u32)> = items
+            .iter()
+            .map(|(&pos, &p)| (p, self.store.log()[pos as usize].level))
+            .collect();
+        let assert_level = rest.iter().map(|&(_, l)| l).max().unwrap_or(0) as usize;
+        let mut levels: Vec<u32> = rest.iter().map(|&(_, l)| l).collect();
+        levels.push(cur_level);
+        levels.sort_unstable();
+        levels.dedup();
+        Analysis::Learned {
+            uip,
+            rest,
+            assert_level,
+            lbd: levels.len() as u32,
+        }
+    }
+
+    /// Earliest implication-log entry strictly before `limit` whose
+    /// predicate implies `p`, via `p.var`'s per-variable chain. `None` ⇒
+    /// `p` already held at the root (root facts are never logged and
+    /// resolve away during analysis).
+    fn lookup(&self, p: Pred, limit: u32) -> Option<u32> {
+        let log = self.store.log();
+        let mut pos = self.store.var_log_head(p.var);
+        let mut found = None;
+        while pos != u32::MAX {
+            let e = &log[pos as usize];
+            if pos < limit && e.pred.implies(p) {
+                found = Some(pos);
+            }
+            pos = e.prev;
+        }
+        found
+    }
+
+    /// Explain a log entry: append predicates that held strictly before
+    /// it and together force `entry.pred`. False ⇒ unexplainable (the
+    /// whole analysis falls back to a chronological step).
+    fn explain_entry(&self, eidx: u32, out: &mut Vec<Pred>) -> bool {
+        let e = self.store.log()[eidx as usize];
+        let v = e.pred.var;
+        match e.reason {
+            Reason::Bound => match e.pred.op {
+                // A min-raise recorded after removing `base − 1`: the old
+                // bound plus the removed run of values force the new one.
+                PredOp::Ge => {
+                    out.push(Pred::ge(v, e.base - 1));
+                    for k in (e.base - 1)..e.pred.val {
+                        out.push(Pred::ne(v, k));
+                    }
+                    true
+                }
+                PredOp::Le => {
+                    out.push(Pred::le(v, e.base + 1));
+                    for k in (e.pred.val + 1)..=(e.base + 1) {
+                        out.push(Pred::ne(v, k));
+                    }
+                    true
+                }
+                // A fix event: both bounds closed on the value.
+                PredOp::Eq => {
+                    out.push(Pred::ge(v, e.pred.val));
+                    out.push(Pred::le(v, e.pred.val));
+                    true
+                }
+                PredOp::Ne => false,
+            },
+            Reason::Decision => false,
+            _ => {
+                // The entry records the *result* of a requested mutation:
+                // explain the requested cut, bridging any holes it skipped
+                // with the removals that created them.
+                let (req, lo, hi) = match e.pred.op {
+                    PredOp::Ge => (Pred::ge(v, e.base), e.base, e.pred.val),
+                    PredOp::Le => (Pred::le(v, e.base), e.pred.val + 1, e.base + 1),
+                    _ => (e.pred, 0, 0),
+                };
+                if !self.explain_requested(req, e.reason, e.level, out) {
+                    return false;
+                }
+                for k in lo..hi {
+                    out.push(Pred::ne(v, k));
+                }
+                true
+            }
+        }
+    }
+
+    /// Explain why `req` was being enforced under `reason` (`level` is
+    /// the decision level at play, for `PriorDecisions`): append
+    /// predicates that held when the enforcement fired. False ⇒ no usable
+    /// explanation.
+    fn explain_requested(
+        &self,
+        req: Pred,
+        reason: Reason,
+        level: u32,
+        out: &mut Vec<Pred>,
+    ) -> bool {
+        match reason {
+            Reason::Decision | Reason::Bound => false,
+            Reason::Prop { ci, run_start } => {
+                let ci_us = ci as usize;
+                let before = out.len();
+                if self.props[ci_us].explain(&self.store, req, out) {
+                    return true;
+                }
+                out.truncate(before);
+                // Generic fallback: a propagator's prunes are a function
+                // of its scope's domains when the run began, so the logged
+                // predicates on scope variables before `run_start` form a
+                // coarse but sound explanation.
+                let (s, e) = (
+                    self.prop_var_starts[ci_us] as usize,
+                    self.prop_var_starts[ci_us + 1] as usize,
+                );
+                let log = self.store.log();
+                for &sv in &self.prop_var_entries[s..e] {
+                    let mut pos = self.store.var_log_head(sv);
+                    while pos != u32::MAX {
+                        let entry = &log[pos as usize];
+                        if pos < run_start {
+                            out.push(entry.pred);
+                        }
+                        pos = entry.prev;
+                    }
+                }
+                true
+            }
+            Reason::Nogood { id } => {
+                let Some(ng) = self.nogoods[id as usize].as_ref() else {
+                    return false;
+                };
+                // At enforcement time every other conjunct held, and
+                // branch mutations only ever strengthen domains — the
+                // currently-holding conjuncts are exactly the reason.
+                out.extend(ng.preds.iter().copied().filter(|q| q.holds(&self.store)));
+                true
+            }
+            Reason::PriorDecisions => {
+                // A chronological refutation is implied by the decisions
+                // above it, all of which are logged `Eq` entries.
+                let lvl = (level as usize).min(self.decisions.len());
+                for &(dv, dval) in &self.decisions[..lvl] {
+                    out.push(Pred::eq(dv, dval));
+                }
+                true
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -966,10 +1674,25 @@ mod tests {
                     restarts: None,
                     seed: 7,
                     budget: Budget::default(),
+                    learn: LearnConfig::default(),
                 });
             }
         }
         cfgs.push(SolverConfig::generic_randomized(3));
+        cfgs.push(SolverConfig::chronological_learning());
+        cfgs.push(SolverConfig {
+            var_order: VarOrder::DomOverWDeg,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 5,
+            budget: Budget::default(),
+            learn: LearnConfig {
+                enabled: true,
+                luby_unit: 2, // stress the restart machinery
+                db_max: 8,    // stress DB reduction
+                phase_saving: false,
+            },
+        });
         cfgs
     }
 
@@ -1131,6 +1854,7 @@ mod tests {
             restarts: None,
             seed: 0,
             budget: Budget::time_limit(Duration::ZERO),
+            learn: LearnConfig::default(),
         };
         let mut s = m.into_solver(cfg);
         let first = s.solve();
@@ -1162,6 +1886,7 @@ mod tests {
             restarts: None,
             seed: 0,
             budget: Budget::default(),
+            learn: LearnConfig::default(),
         };
         cfg.budget.max_decisions = Some(2);
         let mut s = m.into_solver(cfg);
@@ -1200,6 +1925,7 @@ mod tests {
             var_order: VarOrder::Random,
             seed: 11,
             budget: Budget::default(),
+            learn: LearnConfig::default(),
         };
         let mut s = m.into_solver(cfg);
         assert!(s.solve().is_unsat());
@@ -1273,5 +1999,129 @@ mod tests {
         // report SAT (all vars fixed → immediate extraction).
         let b = s.solve().is_sat();
         assert!(a && b);
+    }
+
+    /// Pairwise-not-equal pigeonhole (p vars, p−1 values): conflict-dense
+    /// and invisible to bounds reasoning, so learning actually has to work.
+    /// (Pairwise on purpose — the GAC all-different would refute it at the
+    /// root and leave nothing to learn from.)
+    fn pigeonhole_pairwise(p: i32) -> Model {
+        let mut m = Model::new();
+        let v = m.new_vars(p as usize, 0, p - 2);
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                m.post(Constraint::NotEqual { a: v[i], b: v[j] });
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn learning_proves_pigeonhole_unsat_and_actually_learns() {
+        let mut s = pigeonhole_pairwise(7).into_solver(SolverConfig::chronological_learning());
+        assert!(s.solve().is_unsat());
+        let st = s.stats();
+        assert!(st.conflicts > 0, "expected conflicts, got {st:?}");
+        assert!(
+            st.learned_nogoods > 0,
+            "expected learned nogoods, got {st:?}"
+        );
+        assert!(s.learned_nogoods().count() > 0);
+    }
+
+    #[test]
+    fn learning_beats_chronological_on_pigeonhole_conflicts() {
+        // The whole point of the PR: learning must cut the conflict count,
+        // not just match the verdict.
+        let chrono = SolverConfig {
+            var_order: VarOrder::Input,
+            val_order: ValOrder::Min,
+            restarts: None,
+            seed: 42,
+            budget: Budget::default(),
+            learn: LearnConfig::default(),
+        };
+        let mut a = pigeonhole_pairwise(8).into_solver(chrono);
+        assert!(a.solve().is_unsat());
+        let mut b = pigeonhole_pairwise(8).into_solver(SolverConfig::chronological_learning());
+        assert!(b.solve().is_unsat());
+        assert!(
+            b.stats().failures < a.stats().failures,
+            "learning: {} failures, chronological: {}",
+            b.stats().failures,
+            a.stats().failures
+        );
+    }
+
+    #[test]
+    fn learned_nogoods_are_never_violated_by_solutions() {
+        // SAT instance with real conflicts: pigeonhole-ish but feasible.
+        let mut m = Model::new();
+        let v = m.new_vars(7, 0, 6);
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                m.post(Constraint::NotEqual { a: v[i], b: v[j] });
+            }
+        }
+        m.post(Constraint::linear_eq(v, vec![1; 7], 21));
+        let mut s = m.into_solver(SolverConfig::chronological_learning());
+        let out = s.solve();
+        let sol = out.solution().expect("feasible instance");
+        for ng in s.learned_nogoods() {
+            assert!(
+                !ng.preds.iter().all(|p| p.satisfied_by(sol)),
+                "solution satisfies every conjunct of learned nogood {ng:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn learning_solver_is_rerunnable_and_budget_recoverable() {
+        let mut s = pigeonhole_pairwise(7).into_solver(
+            SolverConfig::chronological_learning().with_budget(Budget::time_limit(Duration::ZERO)),
+        );
+        assert_eq!(s.solve(), Outcome::Unknown(LimitReason::Time));
+        s.set_budget(Budget::default());
+        assert!(s.solve().is_unsat());
+        // And again, from the already-learned state.
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn learning_then_enumerate_agrees_with_plain_enumeration() {
+        // Learned nogoods are model-implied: enumeration after a learning
+        // solve must still see every solution.
+        let build = || {
+            let mut m = Model::new();
+            let v = m.new_vars(4, 0, 3);
+            for i in 0..v.len() {
+                for j in (i + 1)..v.len() {
+                    m.post(Constraint::NotEqual { a: v[i], b: v[j] });
+                }
+            }
+            m
+        };
+        let mut plain = build().into_solver(SolverConfig::default());
+        let expected = plain.count_solutions(10_000);
+        let mut s = build().into_solver(SolverConfig::chronological_learning());
+        assert!(s.solve().is_sat());
+        assert_eq!(s.count_solutions(10_000), expected);
+    }
+
+    #[test]
+    fn learning_restarts_fire_under_a_tiny_luby_unit() {
+        let mut cfg = SolverConfig::chronological_learning();
+        cfg.learn.luby_unit = 1;
+        let mut s = pigeonhole_pairwise(7).into_solver(cfg);
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().restarts > 0, "stats: {:?}", s.stats());
+    }
+
+    #[test]
+    fn learning_db_reduction_keeps_the_verdict() {
+        let mut cfg = SolverConfig::chronological_learning();
+        cfg.learn.db_max = 4;
+        let mut s = pigeonhole_pairwise(8).into_solver(cfg);
+        assert!(s.solve().is_unsat());
     }
 }

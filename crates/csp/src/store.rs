@@ -22,6 +22,8 @@
 //! [`EventMask`]), letting the solver wake only the propagators that
 //! subscribed to that event kind.
 
+use crate::nogood::{ConflictInfo, LogEntry, Pred, Reason};
+
 /// Index of a decision variable.
 pub type VarId = usize;
 
@@ -171,6 +173,27 @@ pub struct Store {
     /// Monotone count of GAC matching rebuilds
     /// ([`Store::note_gac_rebuild`]).
     gac_rebuilds: u64,
+    /// When true, every non-root mutation appends semantic
+    /// [`LogEntry`] records to `llog` for conflict analysis. Root writes
+    /// are permanent facts and never logged (a log lookup miss therefore
+    /// *means* "root fact" and is dropped from nogoods).
+    learn: bool,
+    /// The semantic prune log (learning mode only).
+    llog: Vec<LogEntry>,
+    /// Log marks parallel to `level_marks`: `llog.len()` at each
+    /// [`Store::push_level`]. Maintained unconditionally (cheap) so the
+    /// `learn` flag can be toggled between solves without desyncing.
+    lmarks: Vec<u32>,
+    /// Per-variable head of the intrusive latest-first chain through
+    /// `llog` (`u32::MAX` = no entry).
+    var_head: Vec<u32>,
+    /// The reason attached to entries logged by the next mutations
+    /// (installed by the solver before decisions, propagator runs and
+    /// nogood enforcements).
+    reason_ctx: Reason,
+    /// Set on a wiped-out mutation while learning; consumed by conflict
+    /// analysis.
+    conflict: Option<ConflictInfo>,
 }
 
 /// Raised by a pruning operation that wipes a domain out.
@@ -207,6 +230,12 @@ impl Store {
             wake_mask: Vec::new(),
             prunes: 0,
             gac_rebuilds: 0,
+            learn: false,
+            llog: Vec::new(),
+            lmarks: Vec::new(),
+            var_head: Vec::new(),
+            reason_ctx: Reason::Decision,
+            conflict: None,
         }
     }
 
@@ -240,6 +269,7 @@ impl Store {
         self.var_stamp.push(0);
         self.dirty_mask.push(0);
         self.wake_mask.push(EventMask::ANY.0);
+        self.var_head.push(u32::MAX);
         let v = self.vars.len() - 1;
         // Insert into the unfixed sparse set at the active boundary (the
         // tail may hold detached variables).
@@ -479,6 +509,7 @@ impl Store {
     /// Open a new decision level.
     pub fn push_level(&mut self) {
         self.level_marks.push(self.trail.len());
+        self.lmarks.push(self.llog.len() as u32);
         self.stamp += 1;
     }
 
@@ -509,6 +540,14 @@ impl Store {
             }
         }
         self.trail.truncate(mark);
+        // Rewind the semantic prune log in lockstep: restore each entry's
+        // variable chain head, then drop the suffix.
+        let lmark = self.lmarks.pop().expect("lmarks desynced") as usize;
+        for i in (lmark..self.llog.len()).rev() {
+            let e = self.llog[i];
+            self.var_head[e.pred.var] = e.prev;
+        }
+        self.llog.truncate(lmark);
         self.stamp += 1;
         self.version += 1;
         self.clear_dirty();
@@ -519,6 +558,57 @@ impl Store {
         while !self.level_marks.is_empty() {
             self.backtrack();
         }
+    }
+
+    // -- semantic prune log (learning mode) ----------------------------------
+
+    /// Enable/disable the semantic prune log. The level-mark bookkeeping is
+    /// always maintained, so toggling between solves is safe at any depth.
+    pub(crate) fn set_learning(&mut self, on: bool) {
+        self.learn = on;
+    }
+
+    /// Install the reason recorded on entries logged by subsequent
+    /// mutations.
+    pub(crate) fn set_reason(&mut self, r: Reason) {
+        self.reason_ctx = r;
+    }
+
+    /// Consume the conflict context captured by the last wiped-out
+    /// mutation (learning mode only).
+    pub(crate) fn take_conflict(&mut self) -> Option<ConflictInfo> {
+        self.conflict.take()
+    }
+
+    /// The semantic prune log (learning mode only; empty otherwise).
+    pub(crate) fn log(&self) -> &[LogEntry] {
+        &self.llog
+    }
+
+    /// Current log length — recorded by the solver as each propagator
+    /// run's `run_start`.
+    pub(crate) fn log_len(&self) -> u32 {
+        self.llog.len() as u32
+    }
+
+    /// Latest log position concerning `v` (`u32::MAX` = none).
+    pub(crate) fn var_log_head(&self, v: VarId) -> u32 {
+        self.var_head[v]
+    }
+
+    /// Append one log entry for `pred` (which just became true) at the
+    /// current depth.
+    fn log_pred(&mut self, pred: Pred, base: Val, reason: Reason) {
+        let v = pred.var;
+        let prev = self.var_head[v];
+        self.var_head[v] = self.llog.len() as u32;
+        self.llog.push(LogEntry {
+            pred,
+            base,
+            reason,
+            level: self.level_marks.len() as u32,
+            prev,
+        });
     }
 
     /// Move the modified-variable set, with the accumulated [`EventMask`]
@@ -613,6 +703,13 @@ impl Store {
             return Ok(false);
         }
         if self.vars[v].size == 1 {
+            if self.learn {
+                self.conflict = Some(ConflictInfo {
+                    requested: Pred::ne(v, val),
+                    holding: Pred::eq(v, self.vars[v].min),
+                    reason: self.reason_ctx,
+                });
+            }
             return Err(EmptyDomain(v));
         }
         self.save_meta(v);
@@ -636,6 +733,21 @@ impl Store {
             ev |= EventMask::FIX;
             self.detach_unfixed(v);
         }
+        if self.learn && !self.level_marks.is_empty() {
+            // Entry order matters: later entries may cite earlier positions
+            // of the same mutation (the bound cites the removal, the fix
+            // cites the bound).
+            self.log_pred(Pred::ne(v, val), val, self.reason_ctx);
+            if ev.intersects(EventMask::MIN) {
+                self.log_pred(Pred::ge(v, self.vars[v].min), val + 1, Reason::Bound);
+            }
+            if ev.intersects(EventMask::MAX) {
+                self.log_pred(Pred::le(v, self.vars[v].max), val - 1, Reason::Bound);
+            }
+            if ev.intersects(EventMask::FIX) {
+                self.log_pred(Pred::eq(v, self.vars[v].min), val, Reason::Bound);
+            }
+        }
         self.mark_dirty(v, ev);
         Ok(true)
     }
@@ -643,6 +755,21 @@ impl Store {
     /// Fix `v` to `val`. Returns `Ok(true)` if the domain changed.
     pub fn assign(&mut self, v: VarId, val: Val) -> Result<bool, EmptyDomain> {
         if !self.contains(v, val) {
+            if self.learn {
+                let m = &self.vars[v];
+                let holding = if val < m.min {
+                    Pred::ge(v, m.min)
+                } else if val > m.max {
+                    Pred::le(v, m.max)
+                } else {
+                    Pred::ne(v, val)
+                };
+                self.conflict = Some(ConflictInfo {
+                    requested: Pred::eq(v, val),
+                    holding,
+                    reason: self.reason_ctx,
+                });
+            }
             return Err(EmptyDomain(v));
         }
         if self.vars[v].size == 1 {
@@ -677,6 +804,11 @@ impl Store {
         m.min = val;
         m.max = val;
         self.detach_unfixed(v);
+        if self.learn && !self.level_marks.is_empty() {
+            // One Eq entry covers the whole assignment: Eq implies every
+            // bound/disequality predicate the removals established.
+            self.log_pred(Pred::eq(v, val), val, self.reason_ctx);
+        }
         self.mark_dirty(v, ev);
         Ok(true)
     }
@@ -688,6 +820,13 @@ impl Store {
             return Ok(false);
         }
         if val > meta.max {
+            if self.learn {
+                self.conflict = Some(ConflictInfo {
+                    requested: Pred::ge(v, val),
+                    holding: Pred::le(v, meta.max),
+                    reason: self.reason_ctx,
+                });
+            }
             return Err(EmptyDomain(v));
         }
         self.save_meta(v);
@@ -721,6 +860,15 @@ impl Store {
             ev |= EventMask::FIX;
             self.detach_unfixed(v);
         }
+        if self.learn && !self.level_marks.is_empty() {
+            // `base` records the requested cut; the resulting bound may be
+            // tighter when it landed past holes (analysis bridges the gap
+            // with the holes' earlier `Ne` entries).
+            self.log_pred(Pred::ge(v, self.vars[v].min), val, self.reason_ctx);
+            if ev.intersects(EventMask::FIX) {
+                self.log_pred(Pred::eq(v, self.vars[v].min), val, Reason::Bound);
+            }
+        }
         self.mark_dirty(v, ev);
         Ok(true)
     }
@@ -732,6 +880,13 @@ impl Store {
             return Ok(false);
         }
         if val < meta.min {
+            if self.learn {
+                self.conflict = Some(ConflictInfo {
+                    requested: Pred::le(v, val),
+                    holding: Pred::ge(v, meta.min),
+                    reason: self.reason_ctx,
+                });
+            }
             return Err(EmptyDomain(v));
         }
         self.save_meta(v);
@@ -768,6 +923,12 @@ impl Store {
         if self.vars[v].size == 1 {
             ev |= EventMask::FIX;
             self.detach_unfixed(v);
+        }
+        if self.learn && !self.level_marks.is_empty() {
+            self.log_pred(Pred::le(v, self.vars[v].max), val, self.reason_ctx);
+            if ev.intersects(EventMask::FIX) {
+                self.log_pred(Pred::eq(v, self.vars[v].min), val, Reason::Bound);
+            }
         }
         self.mark_dirty(v, ev);
         Ok(true)

@@ -391,4 +391,84 @@ proptest! {
     fn solution_counts_are_identical_on_global_models(csp in arb_global_csp()) {
         check_counts(&csp)?;
     }
+
+    /// Learning differential: the conflict-learning solver's verdict must
+    /// equal both the stateless reference and the non-learning incremental
+    /// solver (nogoods are implied, never load-bearing), every learned
+    /// nogood must be unsatisfied by any returned solution, and exhaustive
+    /// enumeration run *after* a learning solve — with the nogood database
+    /// populated — must count exactly the reference's solutions.
+    #[test]
+    fn learning_agrees_with_reference_and_incremental(csp in arb_csp(), seed in 0u64..500) {
+        check_learning_equivalence(&csp, seed)?;
+    }
+
+    /// The learning differential on the GAC-slanted models: conflicts here
+    /// come out of Régin filtering, whose explanations fall back to scope
+    /// snapshots — the soundness-critical generic path.
+    #[test]
+    fn learning_agrees_on_global_models(csp in arb_global_csp(), seed in 0u64..500) {
+        check_learning_equivalence(&csp, seed)?;
+    }
+}
+
+/// Shared body of the learning differential suites.
+fn check_learning_equivalence(csp: &RandomCsp, seed: u64) -> Result<(), TestCaseError> {
+    let model = build_model(csp);
+    let base_cfg = SolverConfig {
+        var_order: VarOrder::Input,
+        val_order: ValOrder::Min,
+        seed,
+        ..SolverConfig::default()
+    };
+    let mut learner = model
+        .clone()
+        .into_solver(SolverConfig::chronological_learning());
+    let learned = learner.solve();
+    let reference = RefSolver::from_model(&model, base_cfg).solve();
+    let incremental = model.clone().into_solver(base_cfg).solve();
+    prop_assert_eq!(
+        learned.is_sat(),
+        reference.is_sat(),
+        "SAT drift learning vs reference: {:?} vs {:?}",
+        learned,
+        reference
+    );
+    prop_assert_eq!(
+        learned.is_unsat(),
+        reference.is_unsat(),
+        "UNSAT drift vs reference"
+    );
+    prop_assert_eq!(
+        learned.is_sat(),
+        incremental.is_sat(),
+        "SAT drift vs incremental"
+    );
+    prop_assert_eq!(
+        learned.is_unsat(),
+        incremental.is_unsat(),
+        "UNSAT drift vs incremental"
+    );
+    if let Outcome::Sat(sol) = &learned {
+        for c in &csp.constraints {
+            prop_assert!(c.is_satisfied(sol), "learning solution violates {c:?}");
+        }
+        // A learned nogood is a conjunction that can never all hold; the
+        // returned solution must falsify at least one conjunct of each.
+        for ng in learner.learned_nogoods() {
+            prop_assert!(
+                !ng.preds.iter().all(|p| p.satisfied_by(sol)),
+                "returned solution satisfies learned nogood {:?}",
+                ng.preds
+            );
+        }
+    }
+    // Enumeration with the learned-nogood database still populated: one
+    // over-strong nogood would drop a solution from this count.
+    let (learn_count, learn_complete) = learner.count_solutions(100_000);
+    let (ref_count, ref_complete) =
+        RefSolver::from_model(&model, base_cfg).count_solutions(100_000);
+    prop_assert!(learn_complete && ref_complete);
+    prop_assert_eq!(learn_count, ref_count, "count drift after learning");
+    Ok(())
 }

@@ -7,7 +7,7 @@
 //! plain saturating-free `u64` counters — cheap to bump, cheap to merge,
 //! loss-free to serialize.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Counters for one propagator kind (the CSP engine's per-kind telemetry).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -29,7 +29,7 @@ pub struct KindStats {
 /// conflict/restart/learnt counters. [`SearchStats::merge`] folds two
 /// blocks together (sums for throughput counters, maxima for peaks), so
 /// the same type serves per-run, per-engine-lifetime and per-cell roles.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Solver runs aggregated into this block.
     pub solves: u64,
@@ -43,8 +43,16 @@ pub struct SearchStats {
     pub conflicts: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// SAT clauses learned.
+    /// SAT clauses / CSP nogoods learned.
     pub learnt_clauses: u64,
+    /// Levels jumped over by non-chronological backtracking, summed over
+    /// all conflicts (0 for chronological search). Serde-additive: absent
+    /// in pre-learning records and omitted from output while zero (see the
+    /// hand-written impls below).
+    pub backjump_sum: u64,
+    /// Learned-nogood database reductions performed. Serde-additive like
+    /// `backjump_sum`.
+    pub db_reductions: u64,
     /// Régin all-different matching rebuilds (GAC propagator).
     pub gac_rebuilds: u64,
     /// Deepest trail length observed (CSP store entries).
@@ -54,6 +62,59 @@ pub struct SearchStats {
     /// Per-propagator-kind wake/prune/entailment counters, sorted by kind
     /// name. Kinds that never woke are omitted.
     pub kinds: Vec<KindStats>,
+}
+
+// Hand-written (de)serialization instead of the derives: the learning
+// counters must be *absent* keys — not zeros, not nulls — whenever they are
+// zero, so blocks written by non-learning backends stay byte-identical to
+// pre-learning records (campaign fingerprints pin this), while records that
+// predate the fields still load with zero defaults.
+impl Serialize for SearchStats {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("solves".to_string(), self.solves.to_value()),
+            ("decisions".to_string(), self.decisions.to_value()),
+            ("backtracks".to_string(), self.backtracks.to_value()),
+            ("propagations".to_string(), self.propagations.to_value()),
+            ("conflicts".to_string(), self.conflicts.to_value()),
+            ("restarts".to_string(), self.restarts.to_value()),
+            ("learnt_clauses".to_string(), self.learnt_clauses.to_value()),
+        ];
+        if self.backjump_sum != 0 {
+            pairs.push(("backjump_sum".to_string(), self.backjump_sum.to_value()));
+        }
+        if self.db_reductions != 0 {
+            pairs.push(("db_reductions".to_string(), self.db_reductions.to_value()));
+        }
+        pairs.push(("gac_rebuilds".to_string(), self.gac_rebuilds.to_value()));
+        pairs.push(("peak_trail".to_string(), self.peak_trail.to_value()));
+        pairs.push(("peak_depth".to_string(), self.peak_depth.to_value()));
+        pairs.push(("kinds".to_string(), self.kinds.to_value()));
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for SearchStats {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let opt = |name: &str| -> Result<u64, DeError> {
+            Ok(serde::__private::field::<Option<u64>>(v, name)?.unwrap_or(0))
+        };
+        Ok(SearchStats {
+            solves: serde::__private::field(v, "solves")?,
+            decisions: serde::__private::field(v, "decisions")?,
+            backtracks: serde::__private::field(v, "backtracks")?,
+            propagations: serde::__private::field(v, "propagations")?,
+            conflicts: serde::__private::field(v, "conflicts")?,
+            restarts: serde::__private::field(v, "restarts")?,
+            learnt_clauses: serde::__private::field(v, "learnt_clauses")?,
+            backjump_sum: opt("backjump_sum")?,
+            db_reductions: opt("db_reductions")?,
+            gac_rebuilds: serde::__private::field(v, "gac_rebuilds")?,
+            peak_trail: serde::__private::field(v, "peak_trail")?,
+            peak_depth: serde::__private::field(v, "peak_depth")?,
+            kinds: serde::__private::field(v, "kinds")?,
+        })
+    }
 }
 
 impl SearchStats {
@@ -74,6 +135,8 @@ impl SearchStats {
         self.conflicts += other.conflicts;
         self.restarts += other.restarts;
         self.learnt_clauses += other.learnt_clauses;
+        self.backjump_sum += other.backjump_sum;
+        self.db_reductions += other.db_reductions;
         self.gac_rebuilds += other.gac_rebuilds;
         self.peak_trail = self.peak_trail.max(other.peak_trail);
         self.peak_depth = self.peak_depth.max(other.peak_depth);
@@ -159,5 +222,38 @@ mod tests {
         let text = serde_json::to_string(&s).expect("serialize");
         let back: SearchStats = serde_json::from_str(&text).expect("parse");
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn learning_counters_merge_and_stay_serde_additive() {
+        let mut a = SearchStats {
+            conflicts: 4,
+            learnt_clauses: 3,
+            backjump_sum: 9,
+            db_reductions: 1,
+            ..SearchStats::default()
+        };
+        a.merge(&SearchStats {
+            backjump_sum: 2,
+            db_reductions: 1,
+            ..SearchStats::default()
+        });
+        assert_eq!((a.backjump_sum, a.db_reductions), (11, 2));
+
+        // Pre-learning records (no backjump_sum / db_reductions keys) must
+        // still load; this JSON shape is pinned — do not extend it.
+        let legacy = r#"{"solves":1,"decisions":8,"backtracks":2,
+            "propagations":30,"conflicts":0,"restarts":0,
+            "learnt_clauses":0,"gac_rebuilds":0,"peak_trail":12,
+            "peak_depth":4,"kinds":[]}"#;
+        let back: SearchStats = serde_json::from_str(legacy).expect("legacy parse");
+        assert_eq!(back.backjump_sum, 0);
+        assert_eq!(back.db_reductions, 0);
+
+        // Zero learning counters serialize to the legacy byte shape, so
+        // non-learning campaign fingerprints are unchanged.
+        let text = serde_json::to_string(&SearchStats::default()).expect("serialize");
+        assert!(!text.contains("backjump_sum"), "{text}");
+        assert!(!text.contains("db_reductions"), "{text}");
     }
 }
